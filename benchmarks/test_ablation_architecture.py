@@ -1,0 +1,112 @@
+"""Architecture ablation: DeepSets vs Set Transformer (paper §2 / §3.2).
+
+The paper states: "Although the Set Transformer has a slightly better
+accuracy than the DeepSets model for some more complicated tasks, for
+simpler tasks, they perform similarly.  However, the DeepSets model is
+superiorly faster and smaller, which is crucial when replacing traditional
+data structures."  This bench measures all three claims on the cardinality
+task: accuracy (comparable), model size (DeepSets smaller), per-query
+latency (DeepSets faster).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.bench import report_table
+from repro.core import (
+    DeepSetsModel,
+    LogMinMaxScaler,
+    SetTransformerModel,
+    TrainConfig,
+    guided_fit,
+    mean_q_error,
+)
+from repro.datasets import generate_rw_like
+from repro.nn.serialize import state_dict_bytes
+from repro.sets import cardinality_training_pairs
+
+
+@lru_cache(maxsize=None)
+def world():
+    collection = generate_rw_like(1500, seed=77)
+    subsets, cards = cardinality_training_pairs(
+        collection, max_subset_size=3, max_samples=15_000,
+        rng=np.random.default_rng(0),
+    )
+    scaler = LogMinMaxScaler.for_cardinality(int(cards.max()))
+    return collection, list(subsets), cards.astype(float), scaler
+
+
+@lru_cache(maxsize=None)
+def trained(kind: str):
+    collection, subsets, cards, scaler = world()
+    vocab = collection.max_element_id() + 1
+    if kind == "deepsets":
+        model = DeepSetsModel(
+            vocab, 16, (32,), (32,), rng=np.random.default_rng(1)
+        )
+    else:
+        model = SetTransformerModel(
+            vocab, dim=16, num_heads=4, num_blocks=1,
+            rng=np.random.default_rng(1),
+        )
+    result = guided_fit(
+        model, subsets, cards, scaler,
+        TrainConfig(epochs=20, batch_size=512, lr=3e-3, loss="mse", seed=1),
+        rng=np.random.default_rng(1),
+    )
+    return model, result.history.seconds_per_epoch
+
+
+def test_ablation_architecture(benchmark):
+    _, subsets, cards, scaler = world()
+    rng = np.random.default_rng(2)
+    chosen = rng.choice(len(subsets), 300, replace=False)
+    queries = [subsets[i] for i in chosen]
+    exact = cards[chosen]
+
+    rows = []
+    metrics = {}
+    for label, kind in (("DeepSets", "deepsets"), ("SetTransformer", "transformer")):
+        model, seconds_per_epoch = trained(kind)
+        estimates = np.maximum(scaler.inverse(model.predict(queries)), 1.0)
+        # Batched per-query time: single-query calls are dominated by
+        # Python dispatch overhead for both models, so the paper's speed
+        # comparison is measured on batches (as training/inference runs).
+        import time
+
+        started = time.perf_counter()
+        for _ in range(5):
+            model.predict(queries)
+        batched_ms = (time.perf_counter() - started) / (5 * len(queries)) * 1e3
+        metrics[label] = {
+            "q": mean_q_error(estimates, exact),
+            "bytes": state_dict_bytes(model),
+            "ms": batched_ms,
+            "epoch_s": seconds_per_epoch,
+        }
+        rows.append(
+            [label, metrics[label]["q"], metrics[label]["bytes"] / 1e3,
+             batched_ms, seconds_per_epoch]
+        )
+
+    report_table(
+        "ablation_architecture",
+        ["model", "mean q-error", "size (KB)", "ms/query (batched)", "s/epoch"],
+        rows,
+        title="Ablation: DeepSets vs Set Transformer (cardinality task)",
+    )
+
+    deepsets, transformer = metrics["DeepSets"], metrics["SetTransformer"]
+    # Paper §3.2: similar accuracy on simple tasks...
+    assert deepsets["q"] < transformer["q"] * 3
+    # ...but DeepSets is smaller and faster (inference and training).
+    assert deepsets["ms"] < transformer["ms"]
+    assert deepsets["epoch_s"] < transformer["epoch_s"]
+    assert deepsets["bytes"] < transformer["bytes"]
+
+    model, _ = trained("deepsets")
+    benchmark(model.predict_one, queries[0])

@@ -1,0 +1,79 @@
+"""Figure 6: cardinality-estimation accuracy (q-error) per result size.
+
+For every dataset, four estimators — LSM, LSM-Hybrid, CLSM, CLSM-Hybrid —
+are trained over the same subset corpus and scored on a positive query
+workload, with the average q-error bucketed by true result size exactly as
+in the paper's figure.  Expected shapes:
+
+* hybrids sharply improve on their plain counterparts (outliers answered
+  exactly, model fits the rest better);
+* LSM is generally at least as accurate as CLSM (compression trades
+  accuracy for memory);
+* errors grow with dataset size / vocabulary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from conftest import ALL_DATASETS
+
+from repro.bench import (
+    get_cardinality_estimator,
+    get_cardinality_workload,
+    report_table,
+)
+from repro.core import group_q_error_by_result_size, mean_q_error
+
+VARIANTS = (
+    ("LSM", "lsm", False),
+    ("LSM-Hybrid", "lsm", True),
+    ("CLSM", "clsm", False),
+    ("CLSM-Hybrid", "clsm", True),
+)
+
+
+def _workload_truth(name: str):
+    # Queries are drawn from the trained subset corpus, as in the paper
+    # (all subsets are training data there, §7.1.1).
+    queries, exact = get_cardinality_workload(name, 600)
+    return list(queries), np.asarray(exact)
+
+
+@pytest.mark.parametrize("name", ALL_DATASETS)
+def test_fig6_accuracy_by_result_size(name, benchmark):
+    queries, exact = _workload_truth(name)
+    buckets: list[str] = []
+    table: dict[str, dict[str, float]] = {}
+    means: dict[str, float] = {}
+    for label, kind, hybrid in VARIANTS:
+        estimator = get_cardinality_estimator(name, kind, hybrid)
+        estimates = estimator.estimate_many(queries)
+        grouped = group_q_error_by_result_size(estimates, exact)
+        table[label] = grouped
+        means[label] = mean_q_error(estimates, exact)
+        for bucket in grouped:
+            if bucket not in buckets:
+                buckets.append(bucket)
+    rows = [
+        [label] + [table[label].get(bucket, float("nan")) for bucket in buckets]
+        + [means[label]]
+        for label, _, _ in VARIANTS
+    ]
+    report_table(
+        "fig6",
+        ["estimator"] + buckets + ["mean"],
+        rows,
+        title=f"Figure 6 ({name}): avg q-error per query result size",
+    )
+
+    # Paper shape: the hybrid variants improve on the plain models.
+    assert means["LSM-Hybrid"] <= means["LSM"] * 1.05
+    assert means["CLSM-Hybrid"] <= means["CLSM"] * 1.05
+    # Hybrids land in the near-exact regime.
+    assert means["LSM-Hybrid"] < 5.0
+    assert means["CLSM-Hybrid"] < 5.0
+
+    # Benchmark the batched estimation path of the best variant.
+    estimator = get_cardinality_estimator(name, "clsm", True)
+    benchmark(estimator.estimate_many, queries[:100])

@@ -1,0 +1,187 @@
+"""Figure 7: sum-of-digits — DeepSets vs compressed DeepSets vs LSTM/GRU.
+
+The original DeepSets text experiment (§8.5.1): train on multisets of at
+most 10 digits labelled with their sum, test on much larger multisets
+(sizes 5–100).  Expected shapes:
+
+* DeepSets and the compressed variant generalize far beyond the training
+  sizes (sum pooling + linear head extrapolates);
+* LSTM and GRU degrade badly as the test size grows;
+* with a larger digit universe (values up to 100), the compressed variant
+  matches the plain model's accuracy with a smaller embedding footprint.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro import nn
+from repro.bench import report_table
+from repro.core import (
+    CompressedDeepSetsModel,
+    DeepSetsModel,
+    ElementCompressor,
+    TrainConfig,
+    Trainer,
+)
+from repro.core.deepsets import SetModel
+from repro.datasets import digit_sum_eval_data, digit_sum_training_data
+from repro.nn.data import SetBatch, SetDataLoader
+
+TRAIN_SAMPLES = 12_000
+EVAL_SIZES = (5, 10, 20, 50, 100)
+EVAL_SAMPLES = 500
+EPOCHS = 25
+
+
+class RecurrentRegressor(SetModel):
+    """Embedding -> LSTM/GRU -> linear head, consuming ragged batches.
+
+    The Figure 7 competitors: sequence models have to *read* the multiset
+    in some order, so they are exposed to the size distribution shift.
+    """
+
+    def __init__(self, cell: str, vocab_size: int, embedding_dim: int = 16,
+                 hidden: int = 32, rng=None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.embedding = nn.Embedding(vocab_size, embedding_dim, rng=rng)
+        recurrent = nn.LSTM if cell == "lstm" else nn.GRU
+        self.rnn = recurrent(embedding_dim, hidden, rng=rng)
+        self.head = nn.Linear(hidden, 1, rng=rng)
+
+    def forward(self, batch: SetBatch):
+        sizes = batch.set_sizes()
+        max_len = int(sizes.max()) if len(sizes) else 1
+        padded = np.zeros((batch.num_sets, max_len), dtype=np.int64)
+        mask = np.zeros((batch.num_sets, max_len), dtype=np.float64)
+        cursor = 0
+        for row, size in enumerate(sizes):
+            padded[row, :size] = batch.elements[cursor : cursor + size]
+            mask[row, :size] = 1.0
+            cursor += size
+        embedded = self.embedding(padded.ravel())
+        embedded = embedded.reshape(batch.num_sets, max_len, -1)
+        return self.head(self.rnn(embedded, mask))
+
+
+def make_deepsets(max_digit: int, rng) -> DeepSetsModel:
+    return DeepSetsModel(
+        vocab_size=max_digit + 1,
+        embedding_dim=16,
+        phi_hidden=(32,),
+        rho_hidden=(),           # linear head: the extrapolating choice
+        pooling="sum",
+        out_activation="identity",
+        rng=rng,
+    )
+
+
+def make_compressed(max_digit: int, rng) -> CompressedDeepSetsModel:
+    return CompressedDeepSetsModel(
+        ElementCompressor(max_digit, ns=2),
+        embedding_dim=16,
+        phi_hidden=(32,),
+        rho_hidden=(),
+        pooling="sum",
+        out_activation="identity",
+        rng=rng,
+    )
+
+
+@lru_cache(maxsize=None)
+def trained_models(max_digit: int):
+    sets, sums = digit_sum_training_data(
+        TRAIN_SAMPLES, max_set_size=10, max_digit=max_digit, seed=0
+    )
+    models = {
+        "DeepSets": make_deepsets(max_digit, np.random.default_rng(0)),
+        "CDeepSets": make_compressed(max_digit, np.random.default_rng(1)),
+        "LSTM": RecurrentRegressor(
+            "lstm", max_digit + 1, rng=np.random.default_rng(2)
+        ),
+        "GRU": RecurrentRegressor(
+            "gru", max_digit + 1, rng=np.random.default_rng(3)
+        ),
+    }
+    for label, model in models.items():
+        loader = SetDataLoader(
+            sets, sums, batch_size=256, rng=np.random.default_rng(4)
+        )
+        Trainer(
+            model, TrainConfig(epochs=EPOCHS, lr=3e-3, loss="mae", seed=4)
+        ).fit(loader)
+    return models
+
+
+def evaluate(model, max_digit: int) -> dict[int, float]:
+    maes = {}
+    for size in EVAL_SIZES:
+        sets, sums = digit_sum_eval_data(
+            size, EVAL_SAMPLES, max_digit=max_digit, seed=size
+        )
+        predictions = model.predict(sets)
+        maes[size] = float(np.abs(predictions - sums).mean())
+    return maes
+
+
+def test_fig7a_digits_1_to_10(benchmark):
+    models = trained_models(10)
+    rows = []
+    results = {}
+    for label, model in models.items():
+        maes = evaluate(model, 10)
+        results[label] = maes
+        rows.append([label] + [maes[s] for s in EVAL_SIZES])
+    report_table(
+        "fig7",
+        ["model"] + [f"M={s}" for s in EVAL_SIZES],
+        rows,
+        title="Figure 7a: sum-of-digits MAE, digits in [1, 10]",
+    )
+
+    # Paper shape: set models generalize to sizes far beyond training;
+    # recurrent models fall apart at M=100.
+    assert results["DeepSets"][100] < results["LSTM"][100] / 3
+    assert results["DeepSets"][100] < results["GRU"][100] / 3
+    assert results["CDeepSets"][100] < results["LSTM"][100] / 3
+    # In-distribution everyone is decent.
+    assert results["LSTM"][10] < 5.0
+    assert results["DeepSets"][10] < 5.0
+
+    benchmark(models["DeepSets"].predict_one, list(range(1, 9)))
+
+
+def test_fig7b_digits_1_to_100(benchmark):
+    """Larger digit universe: compression pays while accuracy holds."""
+    models = trained_models(100)
+    deepsets = models["DeepSets"]
+    compressed = models["CDeepSets"]
+    rows = []
+    results = {}
+    for label, model in (("DeepSets", deepsets), ("CDeepSets", compressed)):
+        maes = evaluate(model, 100)
+        results[label] = maes
+        rows.append(
+            [label]
+            + [maes[s] for s in EVAL_SIZES]
+            + [model.embedding_parameters() * 4 / 1e3]
+        )
+    report_table(
+        "fig7",
+        ["model"] + [f"M={s}" for s in EVAL_SIZES] + ["emb KB"],
+        rows,
+        title="Figure 7b: sum-of-digits MAE, digits in [1, 100]",
+    )
+
+    # Paper shape: the compressed embedding is smaller while accuracy is
+    # in the same regime.
+    assert compressed.embedding_parameters() < deepsets.embedding_parameters()
+    # Normalize by the label magnitude (sums scale with M * E[digit]).
+    rel_plain = results["DeepSets"][100] / (100 * 50.5)
+    rel_comp = results["CDeepSets"][100] / (100 * 50.5)
+    assert rel_comp < max(3 * rel_plain, 0.25)
+
+    benchmark(compressed.predict_one, [1, 50, 99])

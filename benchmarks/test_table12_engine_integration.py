@@ -1,0 +1,78 @@
+"""Table 12: cardinality estimation inside a relational engine.
+
+The paper implements CLSM as a PostgreSQL UDF and compares exact COUNT
+queries without an index, with the hstore (GIN) index, and through the
+estimator (§8.5.3).  The mini engine reproduces the three regimes over the
+RW-large dataset.  Expected shapes: seq-scan COUNT is orders of magnitude
+slower than both alternatives; the CLSM UDF's footprint is a tiny fraction
+of the GIN index; the UDF is competitive with the index on latency while
+the model build (training) costs far more than the index build.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.bench import (
+    Timer,
+    get_cardinality_estimator,
+    get_cardinality_workload,
+    get_collection,
+    mean_query_ms,
+    megabytes,
+    report_table,
+)
+from repro.engine import SetQueryEngine, SetTable
+
+NAME = "rw-large"
+NUM_QUERIES = 100  # scaled from the paper's 5000 (seq scans dominate)
+
+
+@lru_cache(maxsize=None)
+def engine_with_everything():
+    table = SetTable.from_collection(get_collection(NAME))
+    engine = SetQueryEngine(table)
+    with Timer() as gin_timer:
+        engine.create_gin_index()
+    estimator = get_cardinality_estimator(NAME, "clsm", True)
+    engine.register_udf("clsm", estimator.estimate)
+    return engine, estimator, gin_timer.seconds
+
+
+def test_table12_three_regimes(benchmark):
+    engine, estimator, gin_build_seconds = engine_with_everything()
+    queries = list(get_cardinality_workload(NAME, NUM_QUERIES)[0])
+
+    seqscan_ms = mean_query_ms(
+        lambda q: engine.count(q, plan="seqscan"), queries[:20]
+    )
+    gin_ms = mean_query_ms(lambda q: engine.count(q, plan="gin"), queries)
+    udf_ms = mean_query_ms(lambda q: engine.count(q, plan="udf:clsm"), queries)
+
+    report_table(
+        "table12",
+        ["metric", "engine w/o index", "engine w/ GIN index", "CLSM UDF"],
+        [
+            ["avg exec time (ms)", seqscan_ms, gin_ms, udf_ms],
+            ["memory (MB)", "-", megabytes(engine.gin.size_bytes()),
+             megabytes(estimator.total_bytes())],
+            ["build time (s)", "-", gin_build_seconds,
+             estimator.report.total_seconds],
+        ],
+        title="Table 12: cardinality estimation in the mini engine (RW-large)",
+    )
+
+    # Paper shapes.
+    assert seqscan_ms > 20 * gin_ms          # index >> seq scan
+    assert seqscan_ms > 20 * udf_ms          # UDF >> seq scan
+    assert estimator.total_bytes() < engine.gin.size_bytes() / 3
+    assert estimator.report.total_seconds > gin_build_seconds
+
+    benchmark(lambda: engine.count(queries[0], plan="udf:clsm"))
+
+
+def test_table12_planner_prefers_gin(benchmark):
+    engine, _, _ = engine_with_everything()
+    assert engine.explain() == "gin"
+    result = benchmark(lambda: engine.count((1, 2), plan=None))
+    assert result.plan == "gin"

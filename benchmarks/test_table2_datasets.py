@@ -1,0 +1,79 @@
+"""Table 2: dataset statistics.
+
+Regenerates the paper's dataset-specification table for the scaled
+reproduction datasets and checks their qualitative properties (size
+ordering, set-size ranges, skew).
+"""
+
+from __future__ import annotations
+
+from conftest import ALL_DATASETS
+
+from repro.bench import get_collection, report_table
+from repro.datasets import DATASETS
+
+# Paper values for reference (Table 2).
+PAPER = {
+    "rw-small": ("RW-200k", 200_000, 30_324, 52_905, 2, 8),
+    "rw-mid": ("RW-1.5M", 1_500_000, 231_954, 638_488, 2, 8),
+    "rw-large": ("RW-3M", 3_000_000, 346_893, 968_112, 2, 8),
+    "tweets": ("Tweets", 1_900_000, 73_618, 513_696, 1, 12),
+    "sd": ("SD", 100_000, 5_661, 99_280, 6, 7),
+}
+
+
+def test_table2_dataset_statistics(benchmark):
+    rows = []
+    for name in ALL_DATASETS:
+        collection = get_collection(name)
+        stats = collection.stats()
+        paper_name, *_ = PAPER[name]
+        rows.append(
+            [
+                paper_name,
+                stats.num_sets,
+                stats.num_unique_elements,
+                stats.max_cardinality,
+                f"{stats.min_set_size}/{stats.max_set_size}",
+            ]
+        )
+    report_table(
+        "table2",
+        ["dataset", "n", "uniq elem", "max card", "min/max size"],
+        rows,
+        title="Table 2: dataset specification (reproduction scale)",
+    )
+    # Benchmark the stats computation itself on the smallest dataset.
+    benchmark(get_collection("sd").stats)
+
+
+def test_table2_shape_properties(benchmark):
+    # RW sizes strictly ordered like the paper's three variants.
+    sizes = benchmark(
+        lambda: [len(get_collection(n)) for n in ("rw-small", "rw-mid", "rw-large")]
+    )
+    assert sizes[0] < sizes[1] < sizes[2]
+    # Set-size ranges match the paper.
+    for name in ("rw-small", "rw-mid", "rw-large"):
+        stats = get_collection(name).stats()
+        assert stats.min_set_size >= 2 and stats.max_set_size <= 8
+    tweets = get_collection("tweets").stats()
+    assert tweets.min_set_size >= 1 and tweets.max_set_size <= 12
+    sd = get_collection("sd").stats()
+    assert {sd.min_set_size, sd.max_set_size} <= {6, 7}
+    # SD has far fewer unique elements relative to its size (the paper's
+    # "fewer unique elements that appear often").
+    sd_ratio = len(get_collection("sd")) / sd.num_unique_elements
+    rw_stats = get_collection("rw-small").stats()
+    rw_ratio = len(get_collection("rw-small")) / rw_stats.num_unique_elements
+    assert sd_ratio > rw_ratio
+
+
+def test_table2_vocab_scales_with_rw_size(benchmark):
+    small, large = benchmark(
+        lambda: (
+            get_collection("rw-small").stats().num_unique_elements,
+            get_collection("rw-large").stats().num_unique_elements,
+        )
+    )
+    assert large > small * 2

@@ -1,0 +1,67 @@
+"""Table 3: memory consumption for the cardinality-estimation task.
+
+LSM / LSM-Hybrid / CLSM / CLSM-Hybrid against the exact all-subsets
+HashMap.  Expected shape: CLSM models are orders of magnitude smaller than
+LSM models (the compressed embeddings); hybrids add a modest auxiliary
+overhead; the HashMap dwarfs everything.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import pytest
+from conftest import ALL_DATASETS, LARGE_VOCAB_DATASETS
+
+from repro.baselines import SubsetHashMap
+from repro.bench import (
+    MAX_SUBSET_SIZE,
+    get_cardinality_estimator,
+    get_collection,
+    megabytes,
+    report_table,
+)
+
+
+@lru_cache(maxsize=None)
+def hashmap_for(name: str) -> SubsetHashMap:
+    return SubsetHashMap(get_collection(name), max_subset_size=MAX_SUBSET_SIZE)
+
+
+@pytest.mark.parametrize("name", ALL_DATASETS)
+def test_table3_memory(name, benchmark):
+    lsm = get_cardinality_estimator(name, "lsm", False)
+    lsm_hybrid = get_cardinality_estimator(name, "lsm", True)
+    clsm = get_cardinality_estimator(name, "clsm", False)
+    clsm_hybrid = get_cardinality_estimator(name, "clsm", True)
+    hashmap = hashmap_for(name)
+
+    row = [
+        name,
+        megabytes(lsm.total_bytes()),
+        megabytes(lsm_hybrid.total_bytes()),
+        megabytes(clsm.total_bytes()),
+        megabytes(clsm_hybrid.total_bytes()),
+        megabytes(hashmap.size_bytes()),
+    ]
+    report_table(
+        "table3",
+        ["dataset", "LSM", "LSM-Hybrid", "CLSM", "CLSM-Hybrid", "HashMap"],
+        [row],
+        title=f"Table 3 ({name}): memory (MB), cardinality task",
+    )
+
+    # Paper shapes: compression shrinks the model (massively so when the
+    # vocabulary is large); the exact HashMap is far larger than any
+    # learned variant.
+    if name in LARGE_VOCAB_DATASETS:
+        assert clsm.model_bytes() < lsm.model_bytes() / 5
+    else:
+        assert clsm.model_bytes() <= lsm.model_bytes()
+    assert hashmap.size_bytes() > lsm_hybrid.total_bytes()
+    assert hashmap.size_bytes() > 10 * clsm_hybrid.total_bytes()
+    # Hybrid = model + auxiliary, strictly more than the plain model.
+    assert lsm_hybrid.total_bytes() > lsm.model_bytes()
+    assert clsm_hybrid.total_bytes() > clsm.model_bytes()
+
+    benchmark(clsm_hybrid.total_bytes)

@@ -1,0 +1,56 @@
+"""Table 4: per-query execution time for the cardinality-estimation task.
+
+Queries run one at a time ("to mimic the behavior of a real query system",
+§8.2.3).  Expected shape: the HashMap is orders of magnitude faster than
+any model; CLSM is slightly slower than LSM (compression adds the
+concatenation step); hybrids are no slower than their plain counterparts
+(auxiliary hits short-circuit the model).
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import ALL_DATASETS
+from test_table3_cardinality_memory import hashmap_for
+
+from repro.bench import (
+    get_cardinality_estimator,
+    get_cardinality_workload,
+    mean_query_ms,
+    report_table,
+)
+
+
+@pytest.mark.parametrize("name", ALL_DATASETS)
+def test_table4_latency(name, benchmark):
+    queries, _ = get_cardinality_workload(name, 300)
+    queries = list(queries)
+    hashmap = hashmap_for(name)
+
+    timings = {}
+    for label, kind, hybrid in (
+        ("LSM", "lsm", False),
+        ("LSM-Hybrid", "lsm", True),
+        ("CLSM", "clsm", False),
+        ("CLSM-Hybrid", "clsm", True),
+    ):
+        estimator = get_cardinality_estimator(name, kind, hybrid)
+        timings[label] = mean_query_ms(estimator.estimate, queries)
+    timings["HashMap"] = mean_query_ms(hashmap.cardinality, queries)
+
+    report_table(
+        "table4",
+        ["dataset", "LSM", "LSM-Hybrid", "CLSM", "CLSM-Hybrid", "HashMap"],
+        [[name] + [timings[k] for k in
+                   ("LSM", "LSM-Hybrid", "CLSM", "CLSM-Hybrid", "HashMap")]],
+        title=f"Table 4 ({name}): execution time (ms/query), cardinality task",
+    )
+
+    # Paper shape: the HashMap lookup beats every model by a wide margin.
+    assert timings["HashMap"] < timings["LSM"] / 10
+    assert timings["HashMap"] < timings["CLSM"] / 10
+    # Models answer within single-digit milliseconds at this scale.
+    assert max(timings.values()) < 10.0
+
+    estimator = get_cardinality_estimator(name, "clsm", True)
+    benchmark(estimator.estimate, queries[0])

@@ -1,0 +1,75 @@
+"""Table 5: index accuracy (q-error / absolute error) vs outlier percentile.
+
+For each dataset and model kind, the hybrid index is trained with guided
+outlier removal at thresholds <50 / <75 / <90 / <95 and with no removal.
+Accuracy is measured over the index workload, with auxiliary (outlier)
+hits answered exactly.  Expected shapes: error decreases monotonically as
+more outliers are evicted; "No Removal" is clearly the worst; LSM is
+generally at least as accurate as CLSM.
+
+Datasets: the three representative ones (RW-small, Tweets, SD) — training
+5 percentile variants x 2 kinds per dataset is the expensive part of the
+suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import get_index_workload, get_set_index, report_table
+from repro.core import LearnedSetIndex, mean_absolute_error, mean_q_error
+
+DATASETS = ("rw-small", "tweets", "sd")
+PERCENTILES = (50.0, 75.0, 90.0, 95.0, None)
+
+
+def hybrid_errors(index: LearnedSetIndex, queries, positions):
+    """Predicted-vs-true errors with auxiliary hits answered exactly."""
+    estimates = np.empty(len(queries), dtype=np.float64)
+    for row, query in enumerate(queries):
+        exact = index.auxiliary.get(query)
+        estimates[row] = exact if exact is not None else index.predict_position(query)
+    truths = positions.astype(np.float64)
+    # Positions are 0-based; shift both sides so q-error is well defined.
+    return (
+        mean_q_error(estimates + 1.0, truths + 1.0),
+        mean_absolute_error(estimates, truths),
+    )
+
+
+@pytest.mark.parametrize("name", DATASETS)
+@pytest.mark.parametrize("kind", ("lsm", "clsm"))
+def test_table5_accuracy_vs_percentile(name, kind, benchmark):
+    queries, positions = get_index_workload(name, 300)
+    queries = list(queries)
+
+    q_errors = {}
+    abs_errors = {}
+    for percentile in PERCENTILES:
+        index = get_set_index(name, kind, percentile)
+        q_err, abs_err = hybrid_errors(index, queries, positions)
+        label = f"<{percentile:.0f}%" if percentile is not None else "No Removal"
+        q_errors[label] = q_err
+        abs_errors[label] = abs_err
+
+    labels = list(q_errors)
+    report_table(
+        "table5",
+        ["dataset/kind", "metric"] + labels,
+        [
+            [f"{name}/{kind.upper()}", "avg q-error"] + [q_errors[k] for k in labels],
+            [f"{name}/{kind.upper()}", "avg abs-error"]
+            + [abs_errors[k] for k in labels],
+        ],
+        title=f"Table 5 ({name}, {kind.upper()}-Hybrid): accuracy vs percentile",
+    )
+
+    # Paper shape: more aggressive removal -> lower (or equal) error, and
+    # every removal beats No Removal.
+    assert q_errors["<50%"] <= q_errors["No Removal"] * 1.05
+    assert abs_errors["<50%"] <= abs_errors["No Removal"] * 1.05
+    assert q_errors["<50%"] <= q_errors["<95%"] * 1.05
+
+    index = get_set_index(name, kind, 90.0)
+    benchmark(index.predict_position, queries[0])

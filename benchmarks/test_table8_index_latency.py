@@ -1,0 +1,94 @@
+"""Table 8: per-query execution time for the index task, plus the
+local-vs-global error-bound comparison (§8.3.3).
+
+Expected shapes: the B+ tree answers in microseconds while the hybrid
+learned indexes take fractions of a millisecond to milliseconds (bounded
+sequential search around the prediction); local error bounds scan no more
+sets than a single global bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import INDEX_DATASETS
+from test_table7_index_memory import bptree_for
+
+from repro.baselines import commutative_set_hash
+from repro.bench import (
+    get_index_workload,
+    get_set_index,
+    mean_query_ms,
+    report_table,
+)
+
+
+@pytest.mark.parametrize("name", INDEX_DATASETS)
+def test_table8_latency(name, benchmark):
+    queries, _ = get_index_workload(name, 200)
+    queries = list(queries)
+    tree = bptree_for(name)
+
+    timings = {}
+    for label, kind in (("LSM-Hybrid", "lsm"), ("CLSM-Hybrid", "clsm")):
+        index = get_set_index(name, kind)
+        index.use_local_errors = True
+        timings[label] = mean_query_ms(index.lookup, queries)
+    timings["B+ tree"] = mean_query_ms(
+        lambda q: tree.search(commutative_set_hash(q)), queries
+    )
+
+    report_table(
+        "table8",
+        ["dataset", "LSM-Hybrid", "CLSM-Hybrid", "B+ tree"],
+        [[name, timings["LSM-Hybrid"], timings["CLSM-Hybrid"], timings["B+ tree"]]],
+        title=f"Table 8 ({name}): execution time (ms/query), index task",
+    )
+
+    # Paper shape: the B+ tree is far faster than the learned indexes.
+    assert timings["B+ tree"] < timings["LSM-Hybrid"] / 5
+    assert timings["B+ tree"] < timings["CLSM-Hybrid"] / 5
+
+    index = get_set_index(name, "clsm")
+    benchmark(index.lookup, queries[0])
+
+
+@pytest.mark.parametrize("name", INDEX_DATASETS)
+def test_table8_local_vs_global_error(name, benchmark):
+    """Local per-range bounds confine the sequential search (§8.3.3)."""
+    queries, _ = get_index_workload(name, 150)
+    queries = list(queries)
+    index = get_set_index(name, "clsm")
+
+    index.use_local_errors = True
+    index.reset_stats()
+    for query in queries:
+        index.lookup(query)
+    local_scanned = index.stats.sets_scanned
+
+    index.use_local_errors = False
+    index.reset_stats()
+    for query in queries:
+        index.lookup(query)
+    global_scanned = index.stats.sets_scanned
+
+    index.use_local_errors = True
+    index.reset_stats()
+
+    report_table(
+        "table8_local_vs_global",
+        ["dataset", "mean scan (local)", "mean scan (global)",
+         "mean bound (local)", "global bound"],
+        [[
+            name,
+            local_scanned / len(queries),
+            global_scanned / len(queries),
+            index.bounds.mean_bound(),
+            index.bounds.global_error,
+        ]],
+        title=f"Table 8 addendum ({name}): local vs global error bounds",
+    )
+
+    assert local_scanned <= global_scanned
+    assert index.bounds.mean_bound() <= index.bounds.global_error
+
+    benchmark(index.bounds.bound, float(len(index.collection) // 2))

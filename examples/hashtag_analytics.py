@@ -1,0 +1,93 @@
+"""Hashtag analytics: learned cardinality estimation over a tweet stream.
+
+The paper's motivating scenario (§1): analysts gather statistics over
+hashtag query logs.  This example builds a Tweets-like collection, trains
+LSM/CLSM estimators (with and without the hybrid auxiliary), and compares
+them against the exact all-subsets HashMap on accuracy, memory, and speed.
+
+Run:  python examples/hashtag_analytics.py [num_tweets]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.baselines import SubsetHashMap
+from repro.bench import mean_query_ms, print_table
+from repro.core import (
+    LearnedCardinalityEstimator,
+    ModelConfig,
+    OutlierRemovalConfig,
+    TrainConfig,
+    mean_q_error,
+)
+from repro.datasets import generate_tweets_like
+from repro.sets import InvertedIndex, sample_query_workload
+
+
+def main(num_tweets: int = 6000) -> None:
+    print(f"generating {num_tweets} tweet hashtag sets ...")
+    collection = generate_tweets_like(num_tweets, seed=14)
+    stats = collection.stats()
+    print(
+        f"  {stats.num_sets} sets, {stats.num_unique_elements} unique hashtags, "
+        f"hottest hashtag in {stats.max_cardinality} tweets"
+    )
+
+    truth = InvertedIndex(collection)
+    queries = sample_query_workload(
+        collection, 400, rng=np.random.default_rng(1), max_subset_size=4
+    )
+    exact = np.array([truth.cardinality(q) for q in queries])
+
+    training = TrainConfig(epochs=30, batch_size=1024, lr=5e-3, loss="mse", seed=0)
+    removal = OutlierRemovalConfig(percentile=90.0, at_epochs=(20,))
+
+    rows = []
+    for kind in ("lsm", "clsm"):
+        for hybrid in (False, True):
+            estimator = LearnedCardinalityEstimator.build(
+                collection,
+                model_config=ModelConfig(kind=kind, embedding_dim=8, seed=0),
+                train_config=training,
+                removal=removal if hybrid else None,
+                max_subset_size=4,
+                max_training_samples=40_000,
+            )
+            estimates = estimator.estimate_many(queries)
+            label = kind.upper() + ("-Hybrid" if hybrid else "")
+            rows.append(
+                [
+                    label,
+                    mean_q_error(estimates, exact),
+                    estimator.total_bytes() / 1e6,
+                    mean_query_ms(estimator.estimate, queries[:200]),
+                ]
+            )
+
+    hashmap = SubsetHashMap(collection, max_subset_size=4)
+    rows.append(
+        [
+            "HashMap (exact)",
+            1.0,
+            hashmap.size_bytes() / 1e6,
+            mean_query_ms(hashmap.cardinality, queries[:200]),
+        ]
+    )
+
+    print_table(
+        ["estimator", "mean q-error", "memory (MB)", "ms/query"],
+        rows,
+        title="hashtag cardinality estimation",
+    )
+    print(
+        "\nTakeaway (paper §8.2): learned estimators are orders of magnitude "
+        "smaller than the exact HashMap; the hybrid variants sharpen accuracy "
+        "for a small memory overhead."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 6000)

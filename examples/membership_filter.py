@@ -1,0 +1,111 @@
+"""Malicious-combination filtering with a learned set Bloom filter.
+
+The paper's §7.1.2 use case: a stream of token sets must be filtered
+against a corpus of known-benign combinations; negative training data (the
+malicious combinations) is available up front.  The learned filter is
+compared with a traditional Bloom filter on accuracy, memory, and the
+no-false-negative guarantee.
+
+Run:  python examples/membership_filter.py [num_sets]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.baselines import BloomFilter
+from repro.bench import mean_query_ms, print_table
+from repro.core import LearnedBloomFilter, ModelConfig, TrainConfig, binary_accuracy
+from repro.datasets import generate_rw_like
+from repro.sets import (
+    InvertedIndex,
+    enumerate_subsets,
+    negative_membership_samples,
+    positive_membership_samples,
+)
+
+
+def main(num_sets: int = 3000) -> None:
+    print(f"generating {num_sets} benign token sets ...")
+    collection = generate_rw_like(num_sets, seed=21)
+    truth = InvertedIndex(collection)
+
+    positives = positive_membership_samples(collection, max_subset_size=3)
+    negatives = negative_membership_samples(
+        collection, truth, num_samples=len(positives) // 2,
+        max_subset_size=3, rng=np.random.default_rng(3),
+    )
+    print(f"  {len(positives)} benign subsets, {len(negatives)} malicious samples")
+
+    # The sampler returns negatives sorted; shuffle before splitting so the
+    # held-out half has the same element distribution as the trained half.
+    shuffled = list(negatives)
+    np.random.default_rng(4).shuffle(shuffled)
+    split = len(shuffled) // 2
+    train_negatives, test_negatives = shuffled[:split], shuffled[split:]
+
+    print("training the learned filter (CLSM classifier + backup filter) ...")
+    learned = LearnedBloomFilter.from_training_data(
+        positives,
+        train_negatives,
+        max_element_id=collection.max_element_id(),
+        model_config=ModelConfig(
+            kind="clsm", embedding_dim=4, phi_hidden=(32,), rho_hidden=(16,), seed=2
+        ),
+        train_config=TrainConfig(epochs=40, batch_size=1024, lr=5e-3, loss="bce", seed=2),
+    )
+
+    # Traditional filter indexes every (bounded) subset of every set.
+    traditional = BloomFilter(capacity=len(positives), fp_rate=0.01)
+    for stored in collection:
+        for subset in enumerate_subsets(stored, max_size=3):
+            traditional.add_set(subset)
+
+    # No false negatives, by construction, for both.
+    assert all(learned.contains(p) for p in positives)
+    assert all(traditional.contains_set(p) for p in positives)
+    print("  zero false negatives confirmed for both filters")
+
+    test_queries = list(positives[: len(test_negatives)]) + list(test_negatives)
+    labels = np.concatenate(
+        [np.ones(len(test_negatives)), np.zeros(len(test_negatives))]
+    )
+    learned_answers = learned.contains_many(test_queries).astype(float)
+    traditional_answers = np.array(
+        [traditional.contains_set(q) for q in test_queries], dtype=float
+    )
+
+    print_table(
+        ["filter", "train acc", "held-out acc", "memory (KB)", "ms/query"],
+        [
+            [
+                "learned (CLSM + backup)",
+                learned.report.train_accuracy,
+                binary_accuracy(learned_answers, labels),
+                learned.total_bytes() / 1e3,
+                mean_query_ms(learned.contains, test_queries[:200]),
+            ],
+            [
+                "Bloom filter (fp=0.01)",
+                1.0,
+                binary_accuracy(traditional_answers, labels),
+                traditional.size_bytes() / 1e3,
+                mean_query_ms(traditional.contains_set, test_queries[:200]),
+            ],
+        ],
+        title="membership filtering (train acc = Table 9's protocol)",
+    )
+    print(
+        "\nTakeaway (paper §8.4): the compressed learned filter approaches the "
+        "traditional filter's accuracy at a fraction of the memory; the backup "
+        "filter guarantees no false negatives on indexed subsets.  Held-out "
+        "accuracy depends on how adversarial the unseen negatives are — the "
+        "paper makes the same caveat (the false-positive rate cannot be "
+        "bounded without the complete negative universe)."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 3000)

@@ -1,0 +1,78 @@
+"""Quickstart: the paper's Figure 1 example, end to end.
+
+Builds a tiny collection of hashtag sets and exercises all three learned
+structures — cardinality estimator, set index, and Bloom filter — against
+exact ground truth.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    InvertedIndex,
+    LearnedBloomFilter,
+    LearnedCardinalityEstimator,
+    LearnedSetIndex,
+    ModelConfig,
+    SetCollection,
+    TrainConfig,
+)
+
+
+def main() -> None:
+    # Figure 1: four tweets of hashtags.  Real usage would load thousands
+    # of sets; the API is identical.
+    tweets = [
+        ["#pizza", "#dinner", "#foodie"],
+        ["#date", "#dinner"],
+        ["#pizza", "#dinner", "#date"],
+        ["#pizza", "#dinner", "#italian"],
+    ]
+    collection = SetCollection.from_token_sets(tweets)
+    vocab = collection.vocab
+    truth = InvertedIndex(collection)
+
+    query = vocab.encode(["#pizza", "#dinner"])
+    print(f"collection: {len(collection)} sets, {len(vocab)} unique hashtags")
+    print(f"query Q = {{#pizza, #dinner}} -> ids {query}")
+    print(f"exact cardinality: {truth.cardinality(query)} (T1, T3, T4)")
+    print(f"exact first position: {truth.first_position(query)}")
+
+    # Toy-size models train in well under a second.  MSE is the stabler
+    # loss at this scale (the paper notes MSE/MAE as q-error alternatives).
+    model = ModelConfig(kind="clsm", embedding_dim=4, seed=0)
+    training = TrainConfig(epochs=200, lr=0.01, loss="mse", seed=0)
+
+    estimator = LearnedCardinalityEstimator.build(
+        collection, model_config=model, train_config=training
+    )
+    print(f"\nlearned cardinality estimate: {estimator.estimate(query):.2f}")
+
+    index = LearnedSetIndex.build(
+        collection, model_config=model, train_config=training, error_range_length=2
+    )
+    print(f"learned index lookup:         {index.lookup(query)}")
+
+    bloom = LearnedBloomFilter.build(
+        collection,
+        model_config=model,
+        train_config=TrainConfig(epochs=60, lr=0.01, loss="bce", seed=0),
+        num_negative_samples=20,
+    )
+    present = vocab.encode(["#date", "#dinner"])
+    absent = vocab.encode(["#foodie", "#italian"])
+    print(f"membership {{#date, #dinner}}:    {bloom.contains(present)} (truth: True)")
+    print(f"membership {{#foodie, #italian}}: {bloom.contains(absent)} (truth: False)")
+
+    print(
+        f"\nfootprints: estimator {estimator.total_bytes()} B, "
+        f"index {index.total_bytes()} B, bloom filter {bloom.total_bytes()} B"
+    )
+
+
+if __name__ == "__main__":
+    np.seterr(all="raise")  # fail loudly on numeric issues in the example
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The execution environment has no ``wheel`` package and no network access,
+so modern (PEP 517) editable installs fail with ``invalid command
+'bdist_wheel'``.  This file enables the legacy ``setup.py develop`` path:
+``pip install -e . --no-build-isolation`` works out of the box.
+Project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

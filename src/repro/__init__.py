@@ -1,0 +1,63 @@
+"""Learning over Sets for Databases — reproduction library.
+
+A full reimplementation of Davitkova, Gjurovski & Michel, *Learning over
+Sets for Databases* (EDBT 2024): learned set indexes, learned set
+cardinality estimators, and learned set Bloom filters built on a DeepSets
+architecture with per-element compression and a hybrid (guided-learning)
+structure with error bounds.
+
+Subpackages
+-----------
+``repro.nn``        from-scratch numpy autograd + NN framework
+``repro.sets``      set collections, vocabularies, exact ground truth
+``repro.baselines`` B+ tree, Bloom filter, HashMap competitors
+``repro.core``      the paper's contribution (LSM/CLSM models, hybrid)
+``repro.datasets``  synthetic stand-ins for RW / Tweets / SD
+``repro.engine``    mini relational engine (PostgreSQL stand-in)
+``repro.bench``     benchmark harness regenerating every table & figure
+
+Quickstart
+----------
+>>> from repro import SetCollection, LearnedCardinalityEstimator
+>>> collection = SetCollection([[1, 2, 3], [2, 3], [1, 4]])
+>>> estimator = LearnedCardinalityEstimator.build(collection)
+>>> estimator.estimate((2, 3))  # doctest: +SKIP
+2.1
+"""
+
+from .core import (
+    CompressedDeepSetsModel,
+    DeepSetsModel,
+    ElementCompressor,
+    LearnedBloomFilter,
+    LearnedCardinalityEstimator,
+    LearnedSetIndex,
+    LogMinMaxScaler,
+    ModelConfig,
+    OutlierRemovalConfig,
+    TrainConfig,
+    mean_q_error,
+    q_error,
+)
+from .sets import InvertedIndex, SetCollection, Vocabulary
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SetCollection",
+    "InvertedIndex",
+    "Vocabulary",
+    "LearnedCardinalityEstimator",
+    "LearnedSetIndex",
+    "LearnedBloomFilter",
+    "DeepSetsModel",
+    "CompressedDeepSetsModel",
+    "ElementCompressor",
+    "ModelConfig",
+    "TrainConfig",
+    "OutlierRemovalConfig",
+    "LogMinMaxScaler",
+    "q_error",
+    "mean_q_error",
+    "__version__",
+]

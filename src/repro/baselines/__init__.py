@@ -1,0 +1,24 @@
+"""Traditional (non-learned) competitor structures from the paper's §8.1.2."""
+
+from .bloom import BloomFilter, bloom_size_bits, bloom_size_bytes
+from .bptree import BPlusTree
+from .hashing import (
+    canonical_set_hash,
+    commutative_set_hash,
+    double_hashes,
+    element_hash,
+)
+from .hashmap import SetHashIndex, SubsetHashMap
+
+__all__ = [
+    "BloomFilter",
+    "bloom_size_bits",
+    "bloom_size_bytes",
+    "BPlusTree",
+    "SubsetHashMap",
+    "SetHashIndex",
+    "element_hash",
+    "canonical_set_hash",
+    "commutative_set_hash",
+    "double_hashes",
+]

@@ -1,0 +1,89 @@
+"""Traditional Bloom filter, sized from a target false-positive rate.
+
+This is the competitor of the learned set Bloom filter (Tables 10/11) and
+the *backup* structure that guarantees the learned filter has no false
+negatives.  To answer subset-membership queries over a collection of sets,
+the caller inserts every (bounded-size) subset using a permutation-invariant
+set hash — exactly the paper's construction (§8.1.2).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from .hashing import commutative_set_hash, double_hashes
+
+__all__ = ["BloomFilter", "bloom_size_bits", "bloom_size_bytes"]
+
+
+def bloom_size_bits(num_items: int, fp_rate: float) -> int:
+    """Optimal bit count ``m = -n ln p / (ln 2)^2`` (at least 8)."""
+    if num_items <= 0:
+        raise ValueError("num_items must be positive")
+    if not 0.0 < fp_rate < 1.0:
+        raise ValueError("fp_rate must be in (0, 1)")
+    bits = -num_items * math.log(fp_rate) / (math.log(2.0) ** 2)
+    return max(8, int(math.ceil(bits)))
+
+
+def bloom_size_bytes(num_items: int, fp_rate: float) -> int:
+    """Size in bytes of an optimally sized filter (Figure 3's y-axis)."""
+    return (bloom_size_bits(num_items, fp_rate) + 7) // 8
+
+
+class BloomFilter:
+    """Bit-array Bloom filter over integer keys or element-id sets.
+
+    Parameters
+    ----------
+    capacity:
+        Expected number of inserted items; the bit array and hash count are
+        sized for this capacity at the requested ``fp_rate``.
+    fp_rate:
+        Target false-positive probability at full capacity.
+    """
+
+    def __init__(self, capacity: int, fp_rate: float = 0.01):
+        self.capacity = capacity
+        self.fp_rate = fp_rate
+        self.num_bits = bloom_size_bits(capacity, fp_rate)
+        self.num_hashes = max(1, round(self.num_bits / capacity * math.log(2.0)))
+        self._bits = np.zeros((self.num_bits + 7) // 8, dtype=np.uint8)
+        self.num_inserted = 0
+
+    # -- key-level API -------------------------------------------------------
+
+    def add_key(self, key: int) -> None:
+        for slot in double_hashes(key, self.num_hashes, self.num_bits):
+            self._bits[slot >> 3] |= 1 << (slot & 7)
+        self.num_inserted += 1
+
+    def contains_key(self, key: int) -> bool:
+        for slot in double_hashes(key, self.num_hashes, self.num_bits):
+            if not self._bits[slot >> 3] & (1 << (slot & 7)):
+                return False
+        return True
+
+    # -- set-level API (permutation invariant) ----------------------------------
+
+    def add_set(self, elements: Iterable[int]) -> None:
+        self.add_key(commutative_set_hash(elements))
+
+    def contains_set(self, elements: Iterable[int]) -> bool:
+        return self.contains_key(commutative_set_hash(elements))
+
+    def __contains__(self, key: int) -> bool:
+        return self.contains_key(key)
+
+    # -- accounting -------------------------------------------------------------
+
+    def size_bytes(self) -> int:
+        """Payload size of the bit array."""
+        return int(self._bits.nbytes)
+
+    def fill_ratio(self) -> float:
+        """Fraction of set bits (diagnostic for over-filled filters)."""
+        return float(np.unpackbits(self._bits).mean())

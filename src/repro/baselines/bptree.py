@@ -1,0 +1,226 @@
+"""An in-memory B+ tree with duplicate keys and leaf-linked range scans.
+
+The paper's set-index competitor (§8.1.2): keys are permutation-invariant
+hashes of sets and values are their positions; duplicate keys are supported
+because distinct sets may hash equal and equal sets occur at several
+positions.  The tree is also the auxiliary (outlier) structure of the
+hybrid learned index (Table 7).
+
+Classic algorithm: sorted keys per node, splits at ``order`` entries,
+internal nodes route by strict upper bounds, leaves are chained for
+in-order iteration.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator
+
+__all__ = ["BPlusTree"]
+
+
+class _Leaf:
+    __slots__ = ("keys", "values", "next")
+
+    def __init__(self):
+        self.keys: list[int] = []
+        self.values: list[list[Any]] = []  # one bucket per key (duplicates)
+        self.next: _Leaf | None = None
+
+
+class _Internal:
+    __slots__ = ("keys", "children")
+
+    def __init__(self):
+        self.keys: list[int] = []
+        self.children: list[Any] = []
+
+
+class BPlusTree:
+    """B+ tree mapping integer keys to buckets of values.
+
+    Parameters
+    ----------
+    order:
+        Maximum number of keys per node before it splits (the paper's
+        competitor uses branching factor 100).
+    """
+
+    def __init__(self, order: int = 100):
+        if order < 3:
+            raise ValueError("order must be at least 3")
+        self.order = order
+        self._root: _Leaf | _Internal = _Leaf()
+        self._num_entries = 0
+        self._num_keys = 0
+
+    def __len__(self) -> int:
+        """Number of inserted entries (duplicates counted)."""
+        return self._num_entries
+
+    @property
+    def num_unique_keys(self) -> int:
+        return self._num_keys
+
+    # -- insertion ---------------------------------------------------------
+
+    def insert(self, key: int, value: Any) -> None:
+        """Insert ``value`` under ``key`` (duplicates append to the bucket)."""
+        split = self._insert(self._root, key, value)
+        if split is not None:
+            separator, right = split
+            new_root = _Internal()
+            new_root.keys = [separator]
+            new_root.children = [self._root, right]
+            self._root = new_root
+        self._num_entries += 1
+
+    def _insert(self, node, key: int, value: Any):
+        if isinstance(node, _Leaf):
+            position = bisect.bisect_left(node.keys, key)
+            if position < len(node.keys) and node.keys[position] == key:
+                node.values[position].append(value)
+                return None
+            node.keys.insert(position, key)
+            node.values.insert(position, [value])
+            self._num_keys += 1
+            if len(node.keys) > self.order:
+                return self._split_leaf(node)
+            return None
+        # Internal: route to the child whose range covers the key.
+        child_index = bisect.bisect_right(node.keys, key)
+        split = self._insert(node.children[child_index], key, value)
+        if split is None:
+            return None
+        separator, right = split
+        node.keys.insert(child_index, separator)
+        node.children.insert(child_index + 1, right)
+        if len(node.keys) > self.order:
+            return self._split_internal(node)
+        return None
+
+    def _split_leaf(self, leaf: _Leaf):
+        middle = len(leaf.keys) // 2
+        right = _Leaf()
+        right.keys = leaf.keys[middle:]
+        right.values = leaf.values[middle:]
+        leaf.keys = leaf.keys[:middle]
+        leaf.values = leaf.values[:middle]
+        right.next = leaf.next
+        leaf.next = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Internal):
+        middle = len(node.keys) // 2
+        separator = node.keys[middle]
+        right = _Internal()
+        right.keys = node.keys[middle + 1 :]
+        right.children = node.children[middle + 1 :]
+        node.keys = node.keys[:middle]
+        node.children = node.children[: middle + 1]
+        return separator, right
+
+    # -- lookup -------------------------------------------------------------
+
+    def _find_leaf(self, key: int) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[bisect.bisect_right(node.keys, key)]
+        return node
+
+    def search(self, key: int) -> list[Any]:
+        """All values stored under ``key`` (empty list if absent)."""
+        leaf = self._find_leaf(key)
+        position = bisect.bisect_left(leaf.keys, key)
+        if position < len(leaf.keys) and leaf.keys[position] == key:
+            return list(leaf.values[position])
+        return []
+
+    def __contains__(self, key: int) -> bool:
+        return bool(self.search(key))
+
+    def range_scan(self, low: int, high: int) -> Iterator[tuple[int, Any]]:
+        """Yield ``(key, value)`` pairs with ``low <= key <= high``."""
+        leaf = self._find_leaf(low)
+        while leaf is not None:
+            for key, bucket in zip(leaf.keys, leaf.values):
+                if key > high:
+                    return
+                if key >= low:
+                    for value in bucket:
+                        yield key, value
+            leaf = leaf.next
+
+    def items(self) -> Iterator[tuple[int, Any]]:
+        """All entries in key order."""
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[0]
+        while node is not None:
+            for key, bucket in zip(node.keys, node.values):
+                for value in bucket:
+                    yield key, value
+            node = node.next
+
+    # -- pickling -----------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Serialize as a flat, sorted entry list.
+
+        The node graph links leaves into a chain, which naive pickling
+        would recurse through (RecursionError beyond ~1000 leaves); the
+        flat form also matches how an on-disk B+ tree would be laid out.
+        """
+        return {"order": self.order, "entries": list(self.items())}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(order=state["order"])
+        # Entries arrive in key order, so this is the classic sorted bulk
+        # load (append-only splits).
+        for key, value in state["entries"]:
+            self.insert(key, value)
+
+    # -- diagnostics ------------------------------------------------------------
+
+    def height(self) -> int:
+        """Number of levels (a lone leaf has height 1)."""
+        levels = 1
+        node = self._root
+        while isinstance(node, _Internal):
+            levels += 1
+            node = node.children[0]
+        return levels
+
+    def check_invariants(self) -> None:
+        """Validate ordering, fanout, and leaf chaining (test support)."""
+        leaves: list[_Leaf] = []
+        self._check_node(self._root, None, None, leaves, is_root=True)
+        chained = []
+        node = leaves[0] if leaves else None
+        while node is not None:
+            chained.append(node)
+            node = node.next
+        assert chained == leaves, "leaf chain does not match tree order"
+        all_keys = [k for leaf in leaves for k in leaf.keys]
+        assert all_keys == sorted(all_keys), "keys not globally sorted"
+        assert len(all_keys) == self._num_keys
+
+    def _check_node(self, node, low, high, leaves, is_root=False) -> None:
+        keys = node.keys
+        assert keys == sorted(keys), "node keys unsorted"
+        assert len(keys) <= self.order, "node overflow"
+        for key in keys:
+            assert low is None or key >= low
+            assert high is None or key < high
+        if isinstance(node, _Leaf):
+            assert len(node.values) == len(keys)
+            leaves.append(node)
+            return
+        assert len(node.children) == len(keys) + 1, "fanout mismatch"
+        if not is_root:
+            assert len(keys) >= 1
+        bounds = [low] + keys + [high]
+        for child, child_low, child_high in zip(
+            node.children, bounds[:-1], bounds[1:]
+        ):
+            self._check_node(child, child_low, child_high, leaves)

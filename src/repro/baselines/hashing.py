@@ -1,0 +1,60 @@
+"""Permutation-invariant hashing of sets.
+
+The paper's competitors (§8.1.2) make traditional structures set-aware by
+either hashing the *sorted* concatenation of elements or using a
+commutative (order-free) combination of per-element hashes.  Both are
+provided; all hashes are deterministic across processes (no reliance on
+Python's randomized ``hash``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+__all__ = ["element_hash", "canonical_set_hash", "commutative_set_hash", "double_hashes"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def element_hash(element: int, seed: int = 0) -> int:
+    """Deterministic 64-bit hash of one element id."""
+    digest = hashlib.blake2b(
+        int(element).to_bytes(8, "little", signed=False),
+        digest_size=8,
+        salt=seed.to_bytes(8, "little"),
+    ).digest()
+    return int.from_bytes(digest, "little")
+
+
+def canonical_set_hash(elements: Iterable[int], seed: int = 0) -> int:
+    """Hash the sorted element sequence — invariant because of the sort."""
+    ordered = sorted(set(elements))
+    payload = b"".join(int(e).to_bytes(8, "little", signed=False) for e in ordered)
+    digest = hashlib.blake2b(
+        payload, digest_size=8, salt=seed.to_bytes(8, "little")
+    ).digest()
+    return int.from_bytes(digest, "little")
+
+
+def commutative_set_hash(elements: Iterable[int], seed: int = 0) -> int:
+    """Sum per-element hashes mod 2^64 — invariant without sorting.
+
+    Addition commutes, so any permutation of the same elements yields the
+    same value (duplicates are collapsed first, as sets have none).
+    """
+    total = 0
+    for element in set(elements):
+        total = (total + element_hash(element, seed)) & _MASK64
+    return total
+
+
+def double_hashes(key: int, count: int, modulus: int) -> list[int]:
+    """``count`` slot indices via Kirsch–Mitzenmacher double hashing.
+
+    ``g_i(x) = (h1(x) + i * h2(x)) mod m`` gives Bloom-filter behaviour
+    statistically indistinguishable from ``count`` independent hashes.
+    """
+    h1 = element_hash(key, seed=1)
+    h2 = element_hash(key, seed=2) | 1  # odd, so all slots are reachable
+    return [((h1 + i * h2) & _MASK64) % modulus for i in range(count)]

@@ -1,0 +1,74 @@
+"""All-subsets HashMap structures — the exact competitors.
+
+* :class:`SubsetHashMap` — the cardinality-task competitor (§8.1.2): every
+  subset of every stored set (up to a size cap) is materialized with its
+  exact count.  Always exact, O(1) lookups, but the memory explodes with
+  the subset universe — which is precisely the trade-off Table 3 shows.
+* :class:`SetHashIndex` — the equality-search companion built on
+  permutation-invariant hashing (first position per distinct set).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..sets.collection import SetCollection
+from ..sets.subsets import enumerate_subsets
+from .hashing import commutative_set_hash
+
+__all__ = ["SubsetHashMap", "SetHashIndex"]
+
+
+class SubsetHashMap:
+    """Exact subset-cardinality map over a collection of sets."""
+
+    def __init__(self, collection: SetCollection, max_subset_size: int | None = None):
+        counts: dict[tuple[int, ...], int] = {}
+        for stored in collection:
+            for subset in enumerate_subsets(stored, max_subset_size):
+                counts[subset] = counts.get(subset, 0) + 1
+        self._counts = counts
+        self.max_subset_size = max_subset_size
+
+    def cardinality(self, query: Iterable[int]) -> int:
+        """Exact count; unseen subsets have cardinality zero."""
+        return self._counts.get(tuple(sorted(set(query))), 0)
+
+    def contains(self, query: Iterable[int]) -> bool:
+        return self.cardinality(query) > 0
+
+    def __len__(self) -> int:
+        """Number of materialized subsets."""
+        return len(self._counts)
+
+    def size_bytes(self) -> int:
+        """Pickled footprint of the subset->count map (Table 3's column)."""
+        from ..nn.serialize import pickled_size_bytes
+
+        return pickled_size_bytes(self._counts)
+
+
+class SetHashIndex:
+    """First-position index for *equality* queries via set hashing.
+
+    Stores ``hash(set) -> first position``; collisions are resolved by
+    verifying against the collection, so answers are exact.
+    """
+
+    def __init__(self, collection: SetCollection):
+        self._collection = collection
+        first: dict[int, list[int]] = {}
+        for position, stored in enumerate(collection):
+            first.setdefault(commutative_set_hash(stored), []).append(position)
+        self._buckets = first
+
+    def first_position(self, query: Iterable[int]) -> int | None:
+        """First position whose stored set equals ``query`` exactly."""
+        canonical = tuple(sorted(set(query)))
+        for position in self._buckets.get(commutative_set_hash(canonical), ()):
+            if self._collection[position] == canonical:
+                return position
+        return None
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())

@@ -1,0 +1,17 @@
+"""Memory accounting helpers (the paper pickles structures and reports MB)."""
+
+from __future__ import annotations
+
+from ..nn.serialize import pickled_size_bytes
+
+__all__ = ["megabytes", "pickled_megabytes"]
+
+
+def megabytes(num_bytes: int | float) -> float:
+    """Bytes -> MB (decimal, as the paper's tables use)."""
+    return float(num_bytes) / 1_000_000.0
+
+
+def pickled_megabytes(obj) -> float:
+    """MB of ``pickle.dumps(obj)`` — the paper's memory measurement."""
+    return megabytes(pickled_size_bytes(obj))

@@ -1,0 +1,108 @@
+"""Table rendering for the benchmark harness.
+
+Every benchmark prints the rows of its paper table/figure through these
+helpers so the regenerated results are easy to eyeball against the paper
+and to paste into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Any, Sequence
+
+__all__ = [
+    "format_value",
+    "format_table",
+    "print_table",
+    "markdown_table",
+    "report_table",
+    "results_dir",
+]
+
+
+def format_value(value: Any) -> str:
+    """Human-friendly cell formatting (floats get adaptive precision)."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1000:
+        return f"{value:,.0f}"
+    if magnitude >= 10:
+        return f"{value:.2f}"
+    if magnitude >= 0.01:
+        return f"{value:.4f}"
+    return f"{value:.2e}"
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str | None = None
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[format_value(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(header)), *(len(row[i]) for row in cells)) if cells else len(header)
+        for i, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str | None = None
+) -> None:
+    """Print an aligned ASCII table to stdout."""
+    print()
+    print(format_table(headers, rows, title=title))
+
+
+def results_dir() -> Path:
+    """Directory the benchmark tables are persisted to.
+
+    Defaults to ``./results``; override with the ``REPRO_RESULTS_DIR``
+    environment variable.
+    """
+    directory = Path(os.environ.get("REPRO_RESULTS_DIR", "results"))
+    directory.mkdir(parents=True, exist_ok=True)
+    return directory
+
+
+def report_table(
+    experiment_id: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> None:
+    """Print a table AND persist it under ``results/<experiment_id>.txt``.
+
+    pytest captures stdout, so the persisted copy is what survives a
+    ``pytest benchmarks/`` run; EXPERIMENTS.md is assembled from these
+    files.  Repeated calls with the same id append (several datasets per
+    experiment).
+    """
+    text = format_table(headers, rows, title=title)
+    print()
+    print(text)
+    path = results_dir() / f"{experiment_id}.txt"
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.write("\n\n")
+
+
+def markdown_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render the same data as a GitHub-flavoured markdown table."""
+    lines = ["| " + " | ".join(str(h) for h in headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(format_value(v) for v in row) + " |")
+    return "\n".join(lines)

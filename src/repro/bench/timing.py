@@ -1,0 +1,44 @@
+"""Timing helpers for the execution-time tables.
+
+The paper measures average per-query latency by running each query
+*individually* ("to mimic the behavior of a real query system"), which is
+what :func:`mean_query_ms` does.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Sequence
+
+__all__ = ["Timer", "mean_query_ms"]
+
+
+class Timer:
+    """Context manager measuring wall-clock seconds."""
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        self.seconds = 0.0
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.seconds = time.perf_counter() - self._start
+
+
+def mean_query_ms(
+    query_fn: Callable, queries: Sequence, warmup: int = 3
+) -> float:
+    """Average milliseconds per query, one call at a time.
+
+    A few warm-up calls are excluded so one-time allocation effects do not
+    skew small workloads.
+    """
+    if not len(queries):
+        raise ValueError("need at least one query")
+    for query in queries[: min(warmup, len(queries))]:
+        query_fn(query)
+    started = time.perf_counter()
+    for query in queries:
+        query_fn(query)
+    elapsed = time.perf_counter() - started
+    return elapsed / len(queries) * 1000.0

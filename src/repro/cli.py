@@ -1,0 +1,218 @@
+"""Command-line interface: generate data, train structures, run queries.
+
+Usage (installed as the ``repro`` console script, or
+``python -m repro.cli``):
+
+.. code-block:: bash
+
+    repro datasets                              # list presets
+    repro generate rw-small sets.txt --scale 0.5
+    repro stats sets.txt
+    repro train cardinality sets.txt est.pkl --kind clsm --epochs 30
+    repro train index sets.txt idx.pkl
+    repro train bloom sets.txt bf.pkl
+    repro estimate est.pkl 3 17 42             # cardinality of {3, 17, 42}
+    repro lookup idx.pkl 3 17                  # first position containing {3, 17}
+    repro contains bf.pkl 3 17                 # membership answer
+
+Trained structures are pickled whole (model + scaler + auxiliaries), which
+matches the paper's memory-measurement methodology.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pickle
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .core import (
+    LearnedBloomFilter,
+    LearnedCardinalityEstimator,
+    LearnedSetIndex,
+    ModelConfig,
+    OutlierRemovalConfig,
+    TrainConfig,
+)
+from .datasets import DATASETS, load_dataset
+from .sets import SetCollection
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing/docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Learned set structures (EDBT 2024 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("datasets", help="list the built-in dataset presets")
+
+    generate = commands.add_parser("generate", help="write a preset dataset to a file")
+    generate.add_argument("preset", choices=sorted(DATASETS))
+    generate.add_argument("out", type=Path)
+    generate.add_argument("--scale", type=float, default=None,
+                          help="size multiplier (default: REPRO_SCALE or 1.0)")
+
+    stats = commands.add_parser("stats", help="print Table-2 statistics of a file")
+    stats.add_argument("collection", type=Path)
+
+    train = commands.add_parser("train", help="train a learned structure")
+    train.add_argument("task", choices=("cardinality", "index", "bloom"))
+    train.add_argument("collection", type=Path)
+    train.add_argument("out", type=Path)
+    train.add_argument("--kind", choices=("lsm", "clsm"), default="clsm")
+    train.add_argument("--embedding-dim", type=int, default=8)
+    train.add_argument("--epochs", type=int, default=30)
+    train.add_argument("--lr", type=float, default=5e-3)
+    train.add_argument("--batch-size", type=int, default=1024)
+    train.add_argument("--max-subset-size", type=int, default=4)
+    train.add_argument("--max-training-samples", type=int, default=40_000)
+    train.add_argument("--no-hybrid", action="store_true",
+                       help="skip guided outlier removal (regression tasks)")
+    train.add_argument("--seed", type=int, default=0)
+
+    for name, help_text in (
+        ("estimate", "estimate the cardinality of a query subset"),
+        ("lookup", "find the first position containing a query subset"),
+        ("contains", "answer a subset-membership query"),
+    ):
+        sub = commands.add_parser(name, help=help_text)
+        sub.add_argument("structure", type=Path)
+        sub.add_argument("elements", type=int, nargs="+")
+
+    return parser
+
+
+def _cmd_datasets(_args) -> int:
+    for name, spec in DATASETS.items():
+        print(f"{name:10s} {spec.paper_name:10s} base size {spec.base_num_sets}")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    collection = load_dataset(args.preset, scale=args.scale)
+    collection.save(args.out)
+    print(f"wrote {len(collection)} sets to {args.out}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    collection = SetCollection.load(args.collection)
+    stats = collection.stats()
+    for key, value in stats.as_row().items():
+        print(f"{key:10s} {value}")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    collection = SetCollection.load(args.collection)
+    model_config = ModelConfig(
+        kind=args.kind, embedding_dim=args.embedding_dim, seed=args.seed
+    )
+    removal = None if args.no_hybrid else OutlierRemovalConfig(
+        percentile=90.0, at_epochs=(max(args.epochs * 2 // 3, 1),)
+    )
+    rng = np.random.default_rng(args.seed)
+    if args.task == "cardinality":
+        structure = LearnedCardinalityEstimator.build(
+            collection,
+            model_config=model_config,
+            train_config=TrainConfig(
+                epochs=args.epochs, batch_size=args.batch_size, lr=args.lr,
+                loss="mse", seed=args.seed,
+            ),
+            removal=removal,
+            max_subset_size=args.max_subset_size,
+            max_training_samples=args.max_training_samples,
+            rng=rng,
+        )
+    elif args.task == "index":
+        structure = LearnedSetIndex.build(
+            collection,
+            model_config=model_config,
+            train_config=TrainConfig(
+                epochs=args.epochs, batch_size=args.batch_size, lr=args.lr,
+                loss="mse", seed=args.seed,
+            ),
+            removal=removal,
+            max_subset_size=args.max_subset_size,
+            max_training_samples=args.max_training_samples,
+            rng=rng,
+        )
+    else:
+        structure = LearnedBloomFilter.build(
+            collection,
+            model_config=model_config,
+            train_config=TrainConfig(
+                epochs=args.epochs, batch_size=args.batch_size, lr=args.lr,
+                loss="bce", seed=args.seed,
+            ),
+            max_subset_size=min(args.max_subset_size, 3),
+            max_positive_samples=args.max_training_samples,
+            num_negative_samples=args.max_training_samples // 2,
+            rng=rng,
+        )
+    with open(args.out, "wb") as handle:
+        pickle.dump(structure, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    size_kb = args.out.stat().st_size / 1e3
+    print(f"trained {args.task} structure ({args.kind}) -> {args.out} ({size_kb:.1f} KB)")
+    return 0
+
+
+def _load_structure(path: Path):
+    with open(path, "rb") as handle:
+        return pickle.load(handle)
+
+
+def _cmd_estimate(args) -> int:
+    structure = _load_structure(args.structure)
+    if not isinstance(structure, LearnedCardinalityEstimator):
+        print("error: structure is not a cardinality estimator", file=sys.stderr)
+        return 2
+    print(f"{structure.estimate(args.elements):.2f}")
+    return 0
+
+
+def _cmd_lookup(args) -> int:
+    structure = _load_structure(args.structure)
+    if not isinstance(structure, LearnedSetIndex):
+        print("error: structure is not a set index", file=sys.stderr)
+        return 2
+    position = structure.lookup(args.elements)
+    print("not found" if position is None else str(position))
+    return 0
+
+
+def _cmd_contains(args) -> int:
+    structure = _load_structure(args.structure)
+    if not isinstance(structure, LearnedBloomFilter):
+        print("error: structure is not a Bloom filter", file=sys.stderr)
+        return 2
+    print("present" if structure.contains(args.elements) else "absent")
+    return 0
+
+
+_COMMANDS = {
+    "datasets": _cmd_datasets,
+    "generate": _cmd_generate,
+    "stats": _cmd_stats,
+    "train": _cmd_train,
+    "estimate": _cmd_estimate,
+    "lookup": _cmd_lookup,
+    "contains": _cmd_contains,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

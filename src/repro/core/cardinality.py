@@ -1,0 +1,223 @@
+"""Learned set cardinality estimation (paper §4.2, evaluated in §8.2).
+
+The estimator is a DeepSets regression model over subsets, trained on
+log-scaled cardinalities.  The hybrid variant evicts hard-to-learn subsets
+into an exact auxiliary map during guided training; queries check the map
+first and only fall through to the model (paper Figure 5, left path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..nn.data import RaggedArray
+from ..nn.serialize import pickled_size_bytes, state_dict_bytes
+from ..sets.collection import SetCollection
+from ..sets.inverted import InvertedIndex
+from ..sets.subsets import cardinality_training_pairs
+from .config import ModelConfig
+from .hybrid import OutlierRemovalConfig, guided_fit
+from .scaling import LogMinMaxScaler
+from .training import TrainConfig
+
+__all__ = ["LearnedCardinalityEstimator"]
+
+
+@dataclass
+class _BuildReport:
+    """What happened during construction (used by the benches)."""
+
+    num_training_subsets: int = 0
+    num_outliers: int = 0
+    seconds_per_epoch: float = 0.0
+    total_seconds: float = 0.0
+    final_loss: float = field(default=float("nan"))
+
+
+class LearnedCardinalityEstimator:
+    """DeepSets-backed cardinality estimator with optional hybrid auxiliary.
+
+    Build with :meth:`build` (from a collection) or :meth:`from_training_data`
+    (from pre-enumerated subset/cardinality pairs).  Query with
+    :meth:`estimate` / :meth:`estimate_many`.
+    """
+
+    def __init__(self, model, scaler: LogMinMaxScaler):
+        self.model = model
+        self.scaler = scaler
+        self.auxiliary: dict[tuple[int, ...], int] = {}
+        self.report = _BuildReport()
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        collection: SetCollection,
+        model_config: ModelConfig | None = None,
+        train_config: TrainConfig | None = None,
+        removal: OutlierRemovalConfig | None = None,
+        max_subset_size: int | None = 6,
+        max_training_samples: int | None = None,
+        rng: np.random.Generator | None = None,
+        training_pairs: tuple[Sequence[tuple[int, ...]], np.ndarray] | None = None,
+    ) -> "LearnedCardinalityEstimator":
+        """Enumerate subsets of ``collection`` and train the estimator.
+
+        ``max_subset_size`` defaults to the paper's cap of 6 (§7.1.1);
+        ``removal=None`` trains without the hybrid auxiliary.
+        ``training_pairs`` lets callers reuse an already-enumerated
+        ``(subsets, cardinalities)`` corpus (the benchmark suite trains
+        several variants over identical data).
+        """
+        rng = rng or np.random.default_rng(
+            train_config.seed if train_config else None
+        )
+        if training_pairs is not None:
+            subsets, cardinalities = training_pairs
+        else:
+            subsets, cardinalities = cardinality_training_pairs(
+                collection,
+                max_subset_size=max_subset_size,
+                max_samples=max_training_samples,
+                rng=rng,
+            )
+        index = InvertedIndex(collection)
+        scaler = LogMinMaxScaler.for_cardinality(index.max_element_cardinality())
+        return cls.from_training_data(
+            subsets,
+            cardinalities,
+            max_element_id=collection.max_element_id(),
+            scaler=scaler,
+            model_config=model_config,
+            train_config=train_config,
+            removal=removal,
+            rng=rng,
+        )
+
+    @classmethod
+    def from_training_data(
+        cls,
+        subsets: Sequence[tuple[int, ...]],
+        cardinalities: np.ndarray,
+        max_element_id: int,
+        scaler: LogMinMaxScaler | None = None,
+        model_config: ModelConfig | None = None,
+        train_config: TrainConfig | None = None,
+        removal: OutlierRemovalConfig | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> "LearnedCardinalityEstimator":
+        model_config = model_config or ModelConfig()
+        train_config = train_config or TrainConfig()
+        cardinalities = np.asarray(cardinalities, dtype=np.float64)
+        if scaler is None:
+            scaler = LogMinMaxScaler().fit(cardinalities)
+        model = model_config.build(max_element_id)
+        estimator = cls(model, scaler)
+        ragged = RaggedArray(subsets)
+        result = guided_fit(
+            model,
+            ragged,
+            cardinalities,
+            scaler,
+            train_config,
+            removal=removal,
+            rng=rng,
+        )
+        for position in result.outlier_indices:
+            estimator.auxiliary[tuple(subsets[position])] = int(
+                cardinalities[position]
+            )
+        estimator.report = _BuildReport(
+            num_training_subsets=len(subsets),
+            num_outliers=result.num_outliers,
+            seconds_per_epoch=result.history.seconds_per_epoch,
+            total_seconds=result.history.total_seconds,
+            final_loss=result.history.final_loss,
+        )
+        return estimator
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def is_hybrid(self) -> bool:
+        return bool(self.auxiliary)
+
+    def estimate(self, query: Iterable[int]) -> float:
+        """Estimated number of stored sets containing ``query``.
+
+        Hybrid path: exact auxiliary lookup first, model otherwise.
+        Estimates are floored at 1 — a query over known elements occurs at
+        least somewhere or the floor is the best minimal guess, matching
+        how q-error is scored.
+        """
+        canonical = tuple(sorted(set(query)))
+        exact = self.auxiliary.get(canonical)
+        if exact is not None:
+            return float(exact)
+        scaled = self.model.predict_one(canonical)
+        return float(max(self.scaler.inverse(np.asarray([scaled]))[0], 1.0))
+
+    def estimate_many(self, queries: Sequence[Iterable[int]]) -> np.ndarray:
+        """Vectorized estimates (auxiliary hits filled in exactly)."""
+        canonicals = [tuple(sorted(set(q))) for q in queries]
+        out = np.empty(len(canonicals), dtype=np.float64)
+        model_rows: list[int] = []
+        model_sets: list[tuple[int, ...]] = []
+        for row, canonical in enumerate(canonicals):
+            exact = self.auxiliary.get(canonical)
+            if exact is not None:
+                out[row] = float(exact)
+            else:
+                model_rows.append(row)
+                model_sets.append(canonical)
+        if model_sets:
+            scaled = self.model.predict(model_sets)
+            out[model_rows] = np.maximum(self.scaler.inverse(scaled), 1.0)
+        return out
+
+    # -- updates (paper §7.2) ----------------------------------------------------
+
+    def record_update(self, subset, cardinality: int) -> None:
+        """Record a post-training cardinality change for ``subset``.
+
+        The paper handles incremental updates through the auxiliary
+        structure: the exact value is stored there and consulted before the
+        model, deferring retraining.  After many updates the structure
+        degenerates towards the exact HashMap — monitor with
+        :meth:`should_retrain` and rebuild when accuracy deteriorates.
+        """
+        if cardinality < 0:
+            raise ValueError("cardinality cannot be negative")
+        self.auxiliary[tuple(sorted(set(subset)))] = int(cardinality)
+
+    def should_retrain(
+        self, queries, truths, max_mean_q_error: float = 4.0
+    ) -> bool:
+        """Accuracy-deterioration check (§7.2's retraining trigger).
+
+        Measures the mean q-error over a probe workload; exceeding
+        ``max_mean_q_error`` signals that the data distribution drifted
+        enough to rebuild the model.
+        """
+        from .qerror import mean_q_error
+
+        estimates = self.estimate_many(list(queries))
+        return mean_q_error(estimates, np.asarray(truths)) > max_mean_q_error
+
+    # -- accounting ------------------------------------------------------------
+
+    def model_bytes(self) -> int:
+        """Float32 weight footprint (the LSM/CLSM columns of Table 3)."""
+        return state_dict_bytes(self.model)
+
+    def auxiliary_bytes(self) -> int:
+        """Pickled size of the outlier map (0 when not hybrid)."""
+        return pickled_size_bytes(self.auxiliary) if self.auxiliary else 0
+
+    def total_bytes(self) -> int:
+        """Model + auxiliary footprint (the hybrid columns of Table 3)."""
+        return self.model_bytes() + self.auxiliary_bytes()

@@ -1,0 +1,116 @@
+"""Compressed DeepSets (paper Figure 4) — the CLSM family.
+
+Every element id is split into ``ns`` sub-elements (Algorithm 1); each
+sub-element position has its own small embedding table.  The per-element
+sub-embeddings are **concatenated and fused by the ``phi`` network before
+pooling** — the step Section 5 proves necessary: pooling the sub-embeddings
+independently makes the representation ambiguous between swapped
+quotient/remainder pairings (the X-vs-Z counterexample), silently merging
+distinct sets.  ``fuse_subelements=False`` reproduces that broken variant
+for the ablation bench.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.data import SetBatch
+from ..nn.layers import MLP, Embedding
+from ..nn.module import ModuleList
+from ..nn.tensor import Tensor
+from .compression import ElementCompressor
+from .deepsets import POOLINGS, SetModel, _pool
+
+__all__ = ["CompressedDeepSetsModel"]
+
+
+class CompressedDeepSetsModel(SetModel):
+    """Compressed learned set model (CLSM).
+
+    Parameters
+    ----------
+    compressor:
+        The :class:`ElementCompressor` defining ``ns`` and ``sv_d``; its
+        ``vocab_sizes()`` size the per-position embedding tables.
+    embedding_dim:
+        Width of each sub-element embedding (they are concatenated, so the
+        ``phi`` input width is ``ns * embedding_dim``).
+    phi_hidden:
+        Hidden widths of the fusion network.  Must be non-empty when
+        ``fuse_subelements`` is true — fusing is the point.
+    fuse_subelements:
+        When false, skips ``phi`` entirely (the paper's counterexample
+        configuration, kept for the ablation study).
+    """
+
+    def __init__(
+        self,
+        compressor: ElementCompressor,
+        embedding_dim: int = 8,
+        phi_hidden: Sequence[int] = (32,),
+        rho_hidden: Sequence[int] = (32,),
+        pooling: str = "sum",
+        out_activation: str = "sigmoid",
+        fuse_subelements: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if pooling not in POOLINGS:
+            raise ValueError(f"unknown pooling {pooling!r}; choose from {POOLINGS}")
+        if fuse_subelements and not phi_hidden:
+            raise ValueError(
+                "phi_hidden must be non-empty: the fusion network is what "
+                "preserves the quotient/remainder interconnection (Section 5)"
+            )
+        rng = rng or np.random.default_rng()
+        self.compressor = compressor
+        self.embedding_dim = embedding_dim
+        self.pooling = pooling
+        self.fuse_subelements = fuse_subelements
+        self.embeddings = ModuleList(
+            Embedding(vocab, embedding_dim, rng=rng)
+            for vocab in compressor.vocab_sizes()
+        )
+        concat_dim = compressor.ns * embedding_dim
+        if fuse_subelements:
+            self.phi = MLP(
+                concat_dim,
+                list(phi_hidden[:-1]),
+                phi_hidden[-1],
+                activation="relu",
+                out_activation="relu",
+                rng=rng,
+            )
+            pooled_dim = phi_hidden[-1]
+        else:
+            self.phi = None
+            pooled_dim = concat_dim
+        self.rho = MLP(
+            pooled_dim,
+            list(rho_hidden),
+            1,
+            activation="relu",
+            out_activation=out_activation,
+            rng=rng,
+        )
+
+    def forward(self, batch: SetBatch) -> Tensor:
+        sub_elements = self.compressor.compress_array(batch.elements)
+        embedded = [
+            embedding(sub_elements[position])
+            for position, embedding in enumerate(self.embeddings)
+        ]
+        concatenated = F.concat(embedded, axis=1)
+        if self.phi is not None:
+            concatenated = self.phi(concatenated)
+        pooled = _pool(
+            self.pooling, concatenated, batch.segment_ids, batch.num_sets
+        )
+        return self.rho(pooled)
+
+    def embedding_parameters(self) -> int:
+        """Total sub-embedding weights — compare with the LSM equivalent."""
+        return sum(e.weight.data.size for e in self.embeddings)

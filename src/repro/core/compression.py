@@ -1,0 +1,164 @@
+"""Per-element lossless compression (paper Section 5, Algorithm 1).
+
+An element id is decomposed into ``ns`` sub-elements through repeated
+division by a divisor ``sv_d``: at each step the remainder is emitted and
+the quotient carries on; the final quotient is the last sub-element.  With
+the optimal divisor ``sv_d = ceil(max_id ** (1/ns))`` every sub-element
+vocabulary has roughly ``max_id ** (1/ns)`` entries — the embedding matrix
+shrinks from ``O(max_id)`` rows to ``O(ns * max_id^{1/ns})`` rows, which is
+what makes learned Bloom filters competitive at all (Figure 3).
+
+``sv_d`` is *tunable* (Table 6): any value between 2 and ``max_id`` trades
+memory against the pattern complexity the network must learn; ``sv_d``
+larger than ``max_id`` degenerates to no compression.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "optimal_divisor",
+    "compress_element",
+    "decompress_element",
+    "ElementCompressor",
+    "embedding_matrix_entries",
+    "embedding_matrix_bytes",
+    "compressed_input_dims",
+]
+
+
+def optimal_divisor(max_value: int, ns: int) -> int:
+    """The paper's ``sv_d = ceil(ns-th root of max_value)`` (at least 2)."""
+    if max_value < 0:
+        raise ValueError("max_value must be non-negative")
+    if ns < 1:
+        raise ValueError("ns must be at least 1")
+    if ns == 1:
+        return max(2, max_value + 1)
+    root = math.ceil(max(max_value, 1) ** (1.0 / ns))
+    # Guard against floating point undershoot (e.g. 1000**(1/3) = 9.9999...).
+    while root**ns < max_value:
+        root += 1
+    return max(2, root)
+
+
+def compress_element(element: int, divisor: int, ns: int) -> tuple[int, ...]:
+    """Algorithm 1: split ``element`` into ``ns`` sub-elements.
+
+    Returns ``(r_1, ..., r_{ns-1}, q)`` — the remainders of successive
+    divisions followed by the final quotient.  Lossless together with
+    ``divisor``.
+    """
+    if element < 0:
+        raise ValueError("element ids must be non-negative")
+    if divisor < 2:
+        raise ValueError("divisor must be at least 2")
+    current = int(element)
+    parts: list[int] = []
+    for _ in range(ns - 1):
+        quotient, remainder = divmod(current, divisor)
+        parts.append(remainder)
+        current = quotient
+    parts.append(current)
+    return tuple(parts)
+
+
+def decompress_element(parts: tuple[int, ...], divisor: int) -> int:
+    """Inverse of :func:`compress_element`."""
+    value = parts[-1]
+    for remainder in reversed(parts[:-1]):
+        value = value * divisor + remainder
+    return int(value)
+
+
+class ElementCompressor:
+    """Vectorized compressor bound to a dataset's element universe.
+
+    Parameters
+    ----------
+    max_value:
+        Largest element id in the collection (``max_{v_id}``).
+    ns:
+        Number of sub-elements (the paper recommends 2 or 3).
+    divisor:
+        Compression factor ``sv_d``; defaults to the optimal (most
+        compressing) value.  Larger divisors (Table 6) enlarge the
+        remainder vocabulary and improve accuracy at a memory cost.
+    """
+
+    def __init__(self, max_value: int, ns: int = 2, divisor: int | None = None):
+        if ns < 1:
+            raise ValueError("ns must be at least 1")
+        self.max_value = int(max_value)
+        self.ns = ns
+        self.divisor = int(divisor) if divisor is not None else optimal_divisor(
+            max_value, ns
+        )
+        if self.divisor < 2:
+            raise ValueError("divisor must be at least 2")
+
+    def compress(self, element: int) -> tuple[int, ...]:
+        return compress_element(element, self.divisor, self.ns)
+
+    def decompress(self, parts: tuple[int, ...]) -> int:
+        return decompress_element(parts, self.divisor)
+
+    def compress_array(self, elements: np.ndarray) -> np.ndarray:
+        """Compress a flat id array to shape ``(ns, len(elements))``.
+
+        Row ``i`` holds the ``i``-th sub-element of every input element, in
+        the same order as :func:`compress_element`.
+        """
+        current = np.asarray(elements, dtype=np.int64)
+        rows = np.empty((self.ns, len(current)), dtype=np.int64)
+        for i in range(self.ns - 1):
+            rows[i] = current % self.divisor
+            current = current // self.divisor
+        rows[self.ns - 1] = current
+        return rows
+
+    def vocab_sizes(self) -> tuple[int, ...]:
+        """Embedding-table row counts per sub-element position.
+
+        Remainder positions need ``divisor`` rows; the final quotient is at
+        most ``max_value // divisor^(ns-1)``.
+        """
+        sizes = [self.divisor] * (self.ns - 1)
+        sizes.append(self.max_value // self.divisor ** (self.ns - 1) + 1)
+        return tuple(sizes)
+
+    def total_vocab(self) -> int:
+        """Total embedding rows across all sub-element tables (Figure 8)."""
+        return sum(self.vocab_sizes())
+
+    def __repr__(self) -> str:
+        return (
+            f"ElementCompressor(max_value={self.max_value}, ns={self.ns}, "
+            f"divisor={self.divisor})"
+        )
+
+
+def embedding_matrix_entries(vocab_size: int, embedding_dim: int) -> int:
+    """Number of weights in a ``vocab_size x embedding_dim`` table."""
+    return vocab_size * embedding_dim
+
+
+def embedding_matrix_bytes(
+    vocab_size: int, embedding_dim: int, bytes_per_weight: int = 4
+) -> int:
+    """Float32 footprint of an embedding table (Figure 3's learned curve)."""
+    return embedding_matrix_entries(vocab_size, embedding_dim) * bytes_per_weight
+
+
+def compressed_input_dims(max_value: int, ns: int) -> int:
+    """One-hot input width after compressing with optimal ``sv_d`` (Fig. 8).
+
+    For ``ns = 1`` this is the uncompressed vocabulary size; higher ``ns``
+    shrinks it towards ``ns * max_value^{1/ns}``.
+    """
+    if ns == 1:
+        return max_value + 1
+    return ElementCompressor(max_value, ns).total_vocab()

@@ -1,0 +1,65 @@
+"""Model configuration shared by the three database tasks.
+
+One dataclass covers the paper's sweep space (Table 1 + §8.1): model kind
+(LSM vs CLSM), embedding size 2–32, 1–2 layers of 8–256 neurons, pooling,
+and — for CLSM — the compression parameters ``ns`` and ``sv_d``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .clsm import CompressedDeepSetsModel
+from .compression import ElementCompressor
+from .deepsets import DeepSetsModel, SetModel
+
+__all__ = ["ModelConfig"]
+
+
+@dataclass
+class ModelConfig:
+    """Architecture choices for one learned set model.
+
+    ``kind`` is ``"lsm"`` (shared full-vocabulary embedding) or ``"clsm"``
+    (compressed sub-element embeddings).  ``divisor=None`` uses the optimal
+    (most compressing) ``sv_d``; Table 6 tunes it upward for accuracy.
+    """
+
+    kind: str = "clsm"
+    embedding_dim: int = 8
+    phi_hidden: tuple[int, ...] = (32,)
+    rho_hidden: tuple[int, ...] = (32,)
+    pooling: str = "sum"
+    ns: int = 2
+    divisor: int | None = None
+    seed: int | None = None
+
+    def __post_init__(self):
+        if self.kind not in ("lsm", "clsm"):
+            raise ValueError("kind must be 'lsm' or 'clsm'")
+
+    def build(self, max_element_id: int) -> SetModel:
+        """Instantiate the model for a universe of ids ``0..max_element_id``."""
+        rng = np.random.default_rng(self.seed)
+        if self.kind == "lsm":
+            return DeepSetsModel(
+                vocab_size=max_element_id + 1,
+                embedding_dim=self.embedding_dim,
+                phi_hidden=self.phi_hidden,
+                rho_hidden=self.rho_hidden,
+                pooling=self.pooling,
+                out_activation="sigmoid",
+                rng=rng,
+            )
+        compressor = ElementCompressor(max_element_id, ns=self.ns, divisor=self.divisor)
+        return CompressedDeepSetsModel(
+            compressor,
+            embedding_dim=self.embedding_dim,
+            phi_hidden=self.phi_hidden,
+            rho_hidden=self.rho_hidden,
+            pooling=self.pooling,
+            out_activation="sigmoid",
+            rng=rng,
+        )

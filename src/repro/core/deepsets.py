@@ -1,0 +1,143 @@
+"""The DeepSets architecture (paper Figure 2) — the LSM family.
+
+``f(X) = rho( pool_{x in X} phi(embed(x)) )``: a shared element embedding,
+an elementwise ``phi`` network, a permutation-invariant pooling (sum by
+default), and a ``rho`` network producing the output (position, cardinality
+estimate, or membership probability — all through a sigmoid head, Table 1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.data import RaggedArray, SetBatch
+from ..nn.layers import MLP, Embedding, Identity
+from ..nn.module import Module
+from ..nn.tensor import Tensor, no_grad
+
+__all__ = ["SetModel", "DeepSetsModel", "POOLINGS"]
+
+POOLINGS = ("sum", "mean", "max")
+
+
+def _pool(name: str, x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    if name == "sum":
+        return F.segment_sum(x, segment_ids, num_segments)
+    if name == "mean":
+        return F.segment_mean(x, segment_ids, num_segments)
+    if name == "max":
+        return F.segment_max(x, segment_ids, num_segments)
+    raise ValueError(f"unknown pooling {name!r}; choose from {POOLINGS}")
+
+
+class SetModel(Module):
+    """Base class for set-to-vector models: batched numpy prediction."""
+
+    def forward(self, batch: SetBatch) -> Tensor:
+        raise NotImplementedError
+
+    def predict(
+        self,
+        sets: Sequence[Iterable[int]] | RaggedArray,
+        batch_size: int = 4096,
+    ) -> np.ndarray:
+        """Forward a corpus of sets in inference mode; returns shape (n,).
+
+        Used by evaluation and by the hybrid structure's error computation;
+        graph recording is disabled so this is allocation-light.
+        """
+        ragged = sets if isinstance(sets, RaggedArray) else RaggedArray(sets)
+        outputs = np.empty(len(ragged), dtype=np.float64)
+        was_training = self.training
+        self.eval()
+        try:
+            with no_grad():
+                for start in range(0, len(ragged), batch_size):
+                    indices = np.arange(start, min(start + batch_size, len(ragged)))
+                    batch = ragged.batch(indices)
+                    outputs[indices] = self.forward(batch).data.ravel()
+        finally:
+            self.train(was_training)
+        return outputs
+
+    def predict_one(self, elements: Iterable[int]) -> float:
+        """Single-set prediction (the per-query path of the latency tables)."""
+        batch = SetBatch.from_sets([list(elements)])
+        with no_grad():
+            return float(self.forward(batch).data.ravel()[0])
+
+
+class DeepSetsModel(SetModel):
+    """Non-compressed learned set model (LSM).
+
+    Parameters
+    ----------
+    vocab_size:
+        Number of distinct element ids (embedding rows).
+    embedding_dim:
+        Shared embedding width (the paper sweeps 2–32).
+    phi_hidden:
+        Hidden widths of the elementwise ``phi`` network; empty means the
+        pooled representation is the raw embedding.
+    rho_hidden:
+        Hidden widths of the post-pooling ``rho`` network (8–256 neurons,
+        1–2 layers in the paper's sweep).
+    pooling:
+        Permutation-invariant reduction: ``sum`` (paper default), ``mean``,
+        or ``max``.
+    out_activation:
+        Output head; ``sigmoid`` for every task in Table 1.
+    """
+
+    def __init__(
+        self,
+        vocab_size: int,
+        embedding_dim: int = 8,
+        phi_hidden: Sequence[int] = (32,),
+        rho_hidden: Sequence[int] = (32,),
+        pooling: str = "sum",
+        out_activation: str = "sigmoid",
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if pooling not in POOLINGS:
+            raise ValueError(f"unknown pooling {pooling!r}; choose from {POOLINGS}")
+        rng = rng or np.random.default_rng()
+        self.vocab_size = vocab_size
+        self.embedding_dim = embedding_dim
+        self.pooling = pooling
+        self.embedding = Embedding(vocab_size, embedding_dim, rng=rng)
+        if phi_hidden:
+            self.phi = MLP(
+                embedding_dim,
+                list(phi_hidden[:-1]),
+                phi_hidden[-1],
+                activation="relu",
+                out_activation="relu",
+                rng=rng,
+            )
+            pooled_dim = phi_hidden[-1]
+        else:
+            self.phi = Identity()
+            pooled_dim = embedding_dim
+        self.rho = MLP(
+            pooled_dim,
+            list(rho_hidden),
+            1,
+            activation="relu",
+            out_activation=out_activation,
+            rng=rng,
+        )
+
+    def forward(self, batch: SetBatch) -> Tensor:
+        embedded = self.embedding(batch.elements)
+        transformed = self.phi(embedded)
+        pooled = _pool(self.pooling, transformed, batch.segment_ids, batch.num_sets)
+        return self.rho(pooled)
+
+    def embedding_parameters(self) -> int:
+        """Embedding-table weight count — the term compression attacks."""
+        return self.embedding.weight.data.size

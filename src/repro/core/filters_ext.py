@@ -1,0 +1,158 @@
+"""Learned Bloom filter variants from the paper's related work (§2).
+
+The paper builds on Kraska et al.'s learned Bloom filter (model + backup);
+two published refinements are implemented here as extensions so the design
+space the paper cites is explorable within this codebase:
+
+* :class:`SandwichedLearnedBloomFilter` (Mitzenmacher, NeurIPS 2018) — an
+  *initial* Bloom filter in front of the model removes most true negatives
+  before they ever reach the classifier, which lets the backup filter be
+  smaller for the same overall false-positive rate.
+* :class:`PartitionedLearnedBloomFilter` (Vaidya et al., ICLR 2021) — the
+  classifier score range is split into segments, each with its own backup
+  filter whose false-positive budget reflects how trustworthy scores in
+  that segment are (high-score regions need almost no backing).
+
+Both wrap the same DeepSets/CLSM classifier used by
+:class:`repro.core.membership.LearnedBloomFilter` and preserve the
+no-false-negative guarantee over the indexed positives.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..baselines.bloom import BloomFilter
+from ..nn.serialize import state_dict_bytes
+from .deepsets import SetModel
+
+__all__ = ["SandwichedLearnedBloomFilter", "PartitionedLearnedBloomFilter"]
+
+
+class SandwichedLearnedBloomFilter:
+    """Initial filter -> classifier -> backup filter.
+
+    Construction takes an already-trained classifier (sharing it with a
+    plain learned filter is the common setup) plus the positive universe;
+    the initial filter indexes *all* positives at a loose fp rate, the
+    backup only the classifier's misses.
+    """
+
+    def __init__(
+        self,
+        model: SetModel,
+        positives: Sequence[tuple[int, ...]],
+        threshold: float = 0.5,
+        initial_fp_rate: float = 0.05,
+        backup_fp_rate: float = 0.01,
+    ):
+        if not positives:
+            raise ValueError("at least one positive is required")
+        if not 0.0 < threshold < 1.0:
+            raise ValueError("threshold must be in (0, 1)")
+        self.model = model
+        self.threshold = threshold
+        self.initial = BloomFilter(capacity=len(positives), fp_rate=initial_fp_rate)
+        for positive in positives:
+            self.initial.add_set(positive)
+        scores = model.predict([tuple(sorted(set(p))) for p in positives])
+        missed = [p for p, score in zip(positives, scores) if score < threshold]
+        self.backup: BloomFilter | None = None
+        if missed:
+            self.backup = BloomFilter(capacity=len(missed), fp_rate=backup_fp_rate)
+            for positive in missed:
+                self.backup.add_set(positive)
+        self.num_backup_entries = len(missed)
+
+    def contains(self, query: Iterable[int]) -> bool:
+        """Sandwich evaluation: initial filter, then model, then backup."""
+        canonical = tuple(sorted(set(query)))
+        if not self.initial.contains_set(canonical):
+            return False  # definitely absent: the initial filter is exact-negative
+        if self.model.predict_one(canonical) >= self.threshold:
+            return True
+        if self.backup is not None:
+            return self.backup.contains_set(canonical)
+        return False
+
+    def __contains__(self, query: Iterable[int]) -> bool:
+        return self.contains(query)
+
+    def total_bytes(self) -> int:
+        """Model + both filters."""
+        backup = self.backup.size_bytes() if self.backup else 0
+        return state_dict_bytes(self.model) + self.initial.size_bytes() + backup
+
+
+class PartitionedLearnedBloomFilter:
+    """Score-segmented backup filters (partitioned LBF).
+
+    The score axis ``[0, 1]`` is cut at ``boundaries``; positives falling
+    into segment ``i`` are indexed by that segment's own Bloom filter with
+    fp rate ``fp_rates[i]``.  Low-score segments (where the model distrusts
+    itself) get strict filters; the top segment typically needs none —
+    queries scoring there are accepted outright.
+    """
+
+    def __init__(
+        self,
+        model: SetModel,
+        positives: Sequence[tuple[int, ...]],
+        boundaries: Sequence[float] = (0.3, 0.7),
+        fp_rates: Sequence[float] = (0.001, 0.01),
+        accept_top_segment: bool = True,
+    ):
+        if not positives:
+            raise ValueError("at least one positive is required")
+        if list(boundaries) != sorted(boundaries):
+            raise ValueError("boundaries must be sorted ascending")
+        if any(not 0.0 < b < 1.0 for b in boundaries):
+            raise ValueError("boundaries must lie strictly inside (0, 1)")
+        expected = len(boundaries) + (0 if accept_top_segment else 1)
+        if len(fp_rates) != expected:
+            raise ValueError(
+                f"need {expected} fp rates for {len(boundaries)} boundaries "
+                f"(accept_top_segment={accept_top_segment})"
+            )
+        self.model = model
+        self.boundaries = list(boundaries)
+        self.accept_top_segment = accept_top_segment
+
+        canonicals = [tuple(sorted(set(p))) for p in positives]
+        scores = model.predict(canonicals)
+        segments = np.searchsorted(self.boundaries, scores)
+        num_filters = len(fp_rates)
+        self.filters: list[BloomFilter | None] = [None] * num_filters
+        for segment in range(num_filters):
+            members = [
+                canonical
+                for canonical, seg in zip(canonicals, segments)
+                if seg == segment
+            ]
+            if members:
+                bloom = BloomFilter(capacity=len(members), fp_rate=fp_rates[segment])
+                for member in members:
+                    bloom.add_set(member)
+                self.filters[segment] = bloom
+
+    def segment_of(self, score: float) -> int:
+        """Index of the score segment (0 = lowest scores)."""
+        return int(np.searchsorted(self.boundaries, score))
+
+    def contains(self, query: Iterable[int]) -> bool:
+        canonical = tuple(sorted(set(query)))
+        score = self.model.predict_one(canonical)
+        segment = self.segment_of(score)
+        if self.accept_top_segment and segment == len(self.boundaries):
+            return True
+        bloom = self.filters[segment] if segment < len(self.filters) else None
+        return bloom.contains_set(canonical) if bloom is not None else False
+
+    def __contains__(self, query: Iterable[int]) -> bool:
+        return self.contains(query)
+
+    def total_bytes(self) -> int:
+        filters = sum(f.size_bytes() for f in self.filters if f is not None)
+        return state_dict_bytes(self.model) + filters

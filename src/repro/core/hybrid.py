@@ -1,0 +1,223 @@
+"""Hybrid structure with guided learning and error bounds (paper Section 6).
+
+Two cooperating pieces:
+
+* :func:`guided_fit` — the iterative training protocol: train for a warm-up,
+  then at chosen epochs score every active sample, evict those whose error
+  exceeds a percentile (or absolute) threshold into the *outlier* set, and
+  keep training on the remainder.  The model fits the learnable mass; the
+  auxiliary structure answers exactly for the rest.
+* :class:`LocalErrorBounds` — per-range maximum absolute errors over the
+  *predicted-value axis* (Algorithm 2's ``errors[r]``).  A single global
+  bound makes every index lookup scan as far as the worst prediction;
+  bucketing confines a bad outlier's damage to its own range, which the
+  paper shows cuts the average scanned window by an order of magnitude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..nn.data import RaggedArray, SetDataLoader
+from .deepsets import SetModel
+from .qerror import absolute_error, q_error
+from .scaling import LogMinMaxScaler
+from .training import TrainConfig, Trainer, TrainingHistory
+
+__all__ = [
+    "OutlierRemovalConfig",
+    "GuidedFitResult",
+    "guided_fit",
+    "LocalErrorBounds",
+]
+
+
+@dataclass
+class OutlierRemovalConfig:
+    """When and how aggressively to evict hard samples.
+
+    ``percentile`` is the paper's knob: at each removal epoch the samples
+    whose error exceeds that percentile of the current error distribution
+    move to the auxiliary structure.  ``None`` disables removal (the
+    "No Removal" columns of Table 5).  ``error_kind`` selects the error the
+    threshold applies to (q-error for both regression tasks).
+    ``max_fraction_removed`` is a safety valve: guided learning degenerates
+    to a plain traditional structure if it evicts everything (§6's "worst
+    case"), so eviction stops once that fraction of the corpus is outliers.
+    """
+
+    percentile: float | None = 90.0
+    at_epochs: tuple[int, ...] = (10,)
+    error_kind: str = "q_error"
+    max_fraction_removed: float = 0.5
+
+    def __post_init__(self):
+        if self.percentile is not None and not 0.0 < self.percentile < 100.0:
+            raise ValueError("percentile must lie in (0, 100)")
+        if self.error_kind not in ("q_error", "absolute"):
+            raise ValueError("error_kind must be 'q_error' or 'absolute'")
+
+
+@dataclass
+class GuidedFitResult:
+    """Outcome of a guided training run."""
+
+    history: TrainingHistory
+    outlier_indices: np.ndarray
+    # Per-sample errors measured on the final model over ALL samples
+    # (outliers included) — used for error bounds and reporting.
+    final_errors_abs: np.ndarray
+    final_predictions: np.ndarray
+
+    @property
+    def num_outliers(self) -> int:
+        return int(len(self.outlier_indices))
+
+
+def _sample_errors(
+    model: SetModel,
+    ragged: RaggedArray,
+    indices: np.ndarray,
+    targets: np.ndarray,
+    scaler: LogMinMaxScaler,
+    kind: str,
+) -> np.ndarray:
+    # predict() runs over the whole ragged corpus; select the rows we need.
+    scaled = model.predict(ragged, batch_size=8192)
+    estimates = scaler.inverse(scaled[indices])
+    truths = targets[indices]
+    if kind == "q_error":
+        return q_error(estimates, truths)
+    return absolute_error(estimates, truths)
+
+
+def guided_fit(
+    model: SetModel,
+    sets: Sequence | RaggedArray,
+    targets: np.ndarray,
+    scaler: LogMinMaxScaler,
+    train_config: TrainConfig,
+    removal: OutlierRemovalConfig | None = None,
+    rng: np.random.Generator | None = None,
+) -> GuidedFitResult:
+    """Train ``model`` with iterative outlier eviction.
+
+    ``targets`` are in the original space (positions or cardinalities); the
+    loader is built on the scaled space.  Returns the history, the evicted
+    indices, and final per-sample absolute errors over the full corpus.
+    """
+    ragged = sets if isinstance(sets, RaggedArray) else RaggedArray(sets)
+    targets = np.asarray(targets, dtype=np.float64)
+    scaled_targets = scaler.transform(targets)
+    loader = SetDataLoader(
+        ragged,
+        scaled_targets,
+        batch_size=train_config.batch_size,
+        rng=rng or np.random.default_rng(train_config.seed),
+    )
+    trainer = Trainer(model, train_config)
+    total = len(ragged)
+    outliers: list[np.ndarray] = []
+
+    def epoch_end(epoch: int, _trainer: Trainer) -> None:
+        if removal is None or removal.percentile is None:
+            return
+        if epoch not in removal.at_epochs:
+            return
+        already_removed = total - loader.num_active
+        budget = int(removal.max_fraction_removed * total) - already_removed
+        if budget <= 0:
+            return
+        active = loader.active_indices()
+        errors = _sample_errors(
+            model, ragged, active, targets, scaler, removal.error_kind
+        )
+        threshold = np.percentile(errors, removal.percentile)
+        evict_mask = errors > threshold
+        evict = active[evict_mask]
+        if len(evict) > budget:
+            # Evict the worst offenders first when clipped by the budget.
+            order = np.argsort(errors[evict_mask])[::-1]
+            evict = evict[order[:budget]]
+        if len(evict):
+            loader.deactivate(evict)
+            outliers.append(evict)
+
+    history = trainer.fit(loader, epoch_end=epoch_end)
+
+    outlier_indices = (
+        np.sort(np.concatenate(outliers)) if outliers else np.empty(0, dtype=np.int64)
+    )
+    final_scaled = model.predict(ragged, batch_size=8192)
+    final_estimates = scaler.inverse(final_scaled)
+    return GuidedFitResult(
+        history=history,
+        outlier_indices=outlier_indices,
+        final_errors_abs=absolute_error(final_estimates, targets),
+        final_predictions=final_estimates,
+    )
+
+
+class LocalErrorBounds:
+    """Per-range maximum absolute error over predicted positions (Alg. 2).
+
+    The prediction axis ``[min_value, max_value]`` is divided into buckets
+    of ``range_length``; each bucket stores the largest absolute error any
+    (non-outlier) training sample landing in it produced.  A lookup maps an
+    estimate to its bucket's bound — the window the sequential search must
+    cover.
+    """
+
+    def __init__(
+        self,
+        estimates: np.ndarray,
+        truths: np.ndarray,
+        range_length: int = 100,
+        min_value: float = 0.0,
+        max_value: float | None = None,
+    ):
+        if range_length <= 0:
+            raise ValueError("range_length must be positive")
+        estimates = np.asarray(estimates, dtype=np.float64)
+        truths = np.asarray(truths, dtype=np.float64)
+        if estimates.shape != truths.shape:
+            raise ValueError("estimates and truths must align")
+        self.range_length = int(range_length)
+        self.min_value = float(min_value)
+        if max_value is None:
+            max_value = float(estimates.max()) if len(estimates) else min_value
+        self.max_value = float(max_value)
+        num_buckets = (
+            int((self.max_value - self.min_value) // self.range_length) + 1
+        )
+        self.errors = np.zeros(max(num_buckets, 1), dtype=np.float64)
+        if len(estimates):
+            buckets = self._bucket_of(estimates)
+            np.maximum.at(self.errors, buckets, np.abs(estimates - truths))
+        self.global_error = float(np.abs(estimates - truths).max()) if len(
+            estimates
+        ) else 0.0
+
+    def _bucket_of(self, estimates: np.ndarray) -> np.ndarray:
+        raw = ((np.asarray(estimates) - self.min_value) // self.range_length).astype(
+            np.int64
+        )
+        return np.clip(raw, 0, len(self.errors) - 1)
+
+    def bound(self, estimate: float) -> float:
+        """Maximum absolute error for predictions near ``estimate``."""
+        return float(self.errors[self._bucket_of(np.asarray([estimate]))[0]])
+
+    def mean_bound(self) -> float:
+        """Average per-bucket bound — the paper's local-vs-global headline."""
+        return float(self.errors.mean())
+
+    def size_bytes(self) -> int:
+        """Footprint of the stored error list (the Err. column of Table 7)."""
+        return int(self.errors.nbytes)
+
+    def __len__(self) -> int:
+        return len(self.errors)

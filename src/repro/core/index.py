@@ -1,0 +1,273 @@
+"""Learned set index (paper §4.1 and §6, evaluated in §8.3).
+
+Maps a query subset to the *first* position in the (unordered!) collection
+whose set contains it.  Because no sort order exists, a plain regression
+model produces large errors; the production configuration is the hybrid:
+
+1. guided training evicts hard subsets into an exact auxiliary map;
+2. per-range **local error bounds** (Algorithm 2) confine the sequential
+   search around the predicted position;
+3. the search scans ``[est - e_r, est + e_r]`` left to right and returns
+   the first set containing the query.
+
+For subsets seen during training this is exact: either the auxiliary holds
+them, or their true position is within the recorded bound of their
+prediction by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..nn.data import RaggedArray
+from ..nn.serialize import pickled_size_bytes, state_dict_bytes
+from ..sets.collection import SetCollection
+from ..sets.subsets import index_training_pairs
+from .config import ModelConfig
+from .hybrid import LocalErrorBounds, OutlierRemovalConfig, guided_fit
+from .scaling import LogMinMaxScaler
+from .training import TrainConfig
+
+__all__ = ["LearnedSetIndex", "LookupStats"]
+
+
+@dataclass
+class LookupStats:
+    """Aggregate search-cost telemetry (Table 8's local-vs-global story)."""
+
+    lookups: int = 0
+    auxiliary_hits: int = 0
+    sets_scanned: int = 0
+    not_found: int = 0
+
+    @property
+    def mean_scan_length(self) -> float:
+        model_lookups = self.lookups - self.auxiliary_hits
+        return self.sets_scanned / model_lookups if model_lookups else 0.0
+
+
+@dataclass
+class _BuildReport:
+    num_training_subsets: int = 0
+    num_outliers: int = 0
+    seconds_per_epoch: float = 0.0
+    total_seconds: float = 0.0
+    final_loss: float = field(default=float("nan"))
+
+
+class LearnedSetIndex:
+    """Hybrid learned index over an unordered collection of sets."""
+
+    def __init__(
+        self,
+        collection: SetCollection,
+        model,
+        scaler: LogMinMaxScaler,
+        bounds: LocalErrorBounds,
+        use_local_errors: bool = True,
+    ):
+        self.collection = collection
+        self.model = model
+        self.scaler = scaler
+        self.bounds = bounds
+        self.use_local_errors = use_local_errors
+        self.auxiliary: dict[tuple[int, ...], int] = {}
+        self.stats = LookupStats()
+        self.report = _BuildReport()
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        collection: SetCollection,
+        model_config: ModelConfig | None = None,
+        train_config: TrainConfig | None = None,
+        removal: OutlierRemovalConfig | None = None,
+        max_subset_size: int | None = 6,
+        max_training_samples: int | None = None,
+        error_range_length: int = 100,
+        use_local_errors: bool = True,
+        rng: np.random.Generator | None = None,
+        training_pairs: tuple[Sequence[tuple[int, ...]], np.ndarray] | None = None,
+    ) -> "LearnedSetIndex":
+        """Train the index over all (capped) subsets of ``collection``.
+
+        The paper generates *all* subsets for the index task to guarantee
+        every query is findable; ``max_training_samples`` exists for
+        scaled-down experiments, at the cost of that guarantee for
+        unsampled subsets (lookups then fall back to a full scan).
+        ``training_pairs`` reuses a pre-enumerated ``(subsets, positions)``
+        corpus.
+        """
+        model_config = model_config or ModelConfig()
+        train_config = train_config or TrainConfig()
+        rng = rng or np.random.default_rng(train_config.seed)
+        if training_pairs is not None:
+            subsets, positions = training_pairs
+        else:
+            subsets, positions = index_training_pairs(
+                collection,
+                max_subset_size=max_subset_size,
+                max_samples=max_training_samples,
+                rng=rng,
+            )
+        scaler = LogMinMaxScaler.for_positions(len(collection))
+        model = model_config.build(collection.max_element_id())
+        ragged = RaggedArray(subsets)
+        result = guided_fit(
+            model,
+            ragged,
+            positions.astype(np.float64),
+            scaler,
+            train_config,
+            removal=removal,
+            rng=rng,
+        )
+        # Error bounds cover the *retained* (non-outlier) subsets: outliers
+        # are answered exactly by the auxiliary map and must not inflate
+        # anyone else's search window.
+        retained = np.setdiff1d(
+            np.arange(len(subsets)), result.outlier_indices, assume_unique=True
+        )
+        bounds = LocalErrorBounds(
+            estimates=result.final_predictions[retained],
+            truths=positions[retained].astype(np.float64),
+            range_length=error_range_length,
+            min_value=0.0,
+            max_value=float(len(collection) - 1),
+        )
+        index = cls(collection, model, scaler, bounds, use_local_errors)
+        for row in result.outlier_indices:
+            index.auxiliary[tuple(subsets[row])] = int(positions[row])
+        index.report = _BuildReport(
+            num_training_subsets=len(subsets),
+            num_outliers=result.num_outliers,
+            seconds_per_epoch=result.history.seconds_per_epoch,
+            total_seconds=result.history.total_seconds,
+            final_loss=result.history.final_loss,
+        )
+        return index
+
+    # -- queries --------------------------------------------------------------
+
+    def predict_position(self, query: Iterable[int]) -> float:
+        """Raw model estimate of the first position (no search)."""
+        scaled = self.model.predict_one(tuple(sorted(set(query))))
+        return float(self.scaler.inverse(np.asarray([scaled]))[0])
+
+    def lookup(self, query: Iterable[int], fallback_scan: bool = True) -> int | None:
+        """First position ``i`` with ``query ⊆ S[i]`` (Algorithm 2).
+
+        ``fallback_scan`` controls behaviour for queries outside the
+        trained/bounded universe: scan the whole collection (exact, slow)
+        or return ``None``.
+        """
+        canonical = tuple(sorted(set(query)))
+        self.stats.lookups += 1
+        exact = self.auxiliary.get(canonical)
+        if exact is not None:
+            self.stats.auxiliary_hits += 1
+            return exact
+        estimate = self.predict_position(canonical)
+        radius = (
+            self.bounds.bound(estimate)
+            if self.use_local_errors
+            else self.bounds.global_error
+        )
+        low = max(int(np.floor(estimate - radius)), 0)
+        high = min(int(np.ceil(estimate + radius)), len(self.collection) - 1)
+        found = self._scan(canonical, low, high)
+        if found is not None:
+            return found
+        if fallback_scan:
+            found = self._scan(canonical, 0, len(self.collection) - 1)
+            if found is not None:
+                return found
+        self.stats.not_found += 1
+        return None
+
+    def _scan(self, query: tuple[int, ...], low: int, high: int) -> int | None:
+        """Left-to-right subset scan over ``collection[low..high]``."""
+        q = frozenset(query)
+        sets = self.collection.sets()
+        for position in range(low, high + 1):
+            self.stats.sets_scanned += 1
+            if q.issubset(sets[position]):
+                return position
+        return None
+
+    def lookup_equal(self, query: Iterable[int], fallback_scan: bool = True) -> int | None:
+        """First position whose stored set *equals* ``query`` (equality mode)."""
+        canonical = tuple(sorted(set(query)))
+        exact = self.auxiliary.get(canonical)
+        if exact is not None and self.collection[exact] == canonical:
+            return exact
+        estimate = self.predict_position(canonical)
+        radius = (
+            self.bounds.bound(estimate)
+            if self.use_local_errors
+            else self.bounds.global_error
+        )
+        low = max(int(np.floor(estimate - radius)), 0)
+        high = min(int(np.ceil(estimate + radius)), len(self.collection) - 1)
+        sets = self.collection.sets()
+        for position in range(low, high + 1):
+            if sets[position] == canonical:
+                return position
+        if fallback_scan:
+            for position in range(len(sets)):
+                if sets[position] == canonical:
+                    return position
+        return None
+
+    # -- updates (paper §7.2) ---------------------------------------------------
+
+    def insert_update(self, subset: Iterable[int], new_position: int) -> None:
+        """Record a post-training position change.
+
+        If the new position still falls inside the query-time search window
+        nothing needs storing; otherwise the subset joins the auxiliary
+        structure, which is consulted before the model (§7.2).  After many
+        updates the structure degenerates towards a traditional index —
+        callers should rebuild when ``auxiliary_fraction`` grows large.
+        """
+        canonical = tuple(sorted(set(subset)))
+        estimate = self.predict_position(canonical)
+        radius = (
+            self.bounds.bound(estimate)
+            if self.use_local_errors
+            else self.bounds.global_error
+        )
+        if abs(estimate - new_position) > radius:
+            self.auxiliary[canonical] = int(new_position)
+
+    @property
+    def auxiliary_fraction(self) -> float:
+        trained = max(self.report.num_training_subsets, 1)
+        return len(self.auxiliary) / trained
+
+    # -- accounting ------------------------------------------------------------
+
+    def model_bytes(self) -> int:
+        """Float32 weight footprint (the Model column of Table 7)."""
+        return state_dict_bytes(self.model)
+
+    def auxiliary_bytes(self) -> int:
+        """Pickled size of the outlier map (the Aux.Str. column)."""
+        return pickled_size_bytes(self.auxiliary) if self.auxiliary else 0
+
+    def error_bytes(self) -> int:
+        """Size of the local error-bound list (the Err. column)."""
+        return self.bounds.size_bytes()
+
+    def total_bytes(self) -> int:
+        """Full hybrid footprint: model + auxiliary + error bounds."""
+        return self.model_bytes() + self.auxiliary_bytes() + self.error_bytes()
+
+    def reset_stats(self) -> None:
+        """Clear the lookup telemetry counters."""
+        self.stats = LookupStats()

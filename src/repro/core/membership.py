@@ -1,0 +1,235 @@
+"""Learned set Bloom filter (paper §4.3, evaluated in §8.4).
+
+A DeepSets classifier scores subset membership; scores below the threshold
+fall through to a **backup Bloom filter** holding exactly the positive
+training subsets the model got wrong, so there are *no false negatives* on
+the indexed universe — the same guarantee a traditional Bloom filter gives
+(Kraska et al.'s construction, adapted to sets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..nn.data import RaggedArray, SetDataLoader
+from ..nn.serialize import state_dict_bytes
+from ..baselines.bloom import BloomFilter
+from ..sets.collection import SetCollection
+from ..sets.inverted import InvertedIndex
+from ..sets.subsets import negative_membership_samples, positive_membership_samples
+from .config import ModelConfig
+from .qerror import binary_accuracy
+from .training import TrainConfig, Trainer
+
+__all__ = ["LearnedBloomFilter"]
+
+
+@dataclass
+class _BuildReport:
+    num_positives: int = 0
+    num_negatives: int = 0
+    num_backup_entries: int = 0
+    seconds_per_epoch: float = 0.0
+    total_seconds: float = 0.0
+    train_accuracy: float = field(default=float("nan"))
+
+
+class LearnedBloomFilter:
+    """Classifier + backup filter answering subset-membership queries."""
+
+    def __init__(self, model, threshold: float = 0.5):
+        if not 0.0 < threshold < 1.0:
+            raise ValueError("threshold must be in (0, 1)")
+        self.model = model
+        self.threshold = threshold
+        self.backup: BloomFilter | None = None
+        self.report = _BuildReport()
+        # Validation aid: the positives this filter guarantees (kept only
+        # in memory; not part of the serialized structure or its size).
+        self.trained_positives: tuple[tuple[int, ...], ...] = ()
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        collection: SetCollection,
+        model_config: ModelConfig | None = None,
+        train_config: TrainConfig | None = None,
+        max_subset_size: int | None = 4,
+        max_positive_samples: int | None = None,
+        num_negative_samples: int | None = None,
+        threshold: float = 0.5,
+        backup_fp_rate: float = 0.01,
+        rng: np.random.Generator | None = None,
+    ) -> "LearnedBloomFilter":
+        """Generate positive/negative training data and train the filter.
+
+        Negatives are sampled combinations of existing elements verified to
+        be absent (§7.1.2); their count defaults to matching the positives.
+        """
+        rng = rng or np.random.default_rng(
+            train_config.seed if train_config else None
+        )
+        positives = positive_membership_samples(
+            collection, max_subset_size, max_positive_samples, rng
+        )
+        index = InvertedIndex(collection)
+        negatives = negative_membership_samples(
+            collection,
+            index,
+            num_samples=num_negative_samples or len(positives),
+            max_subset_size=max_subset_size or 4,
+            rng=rng,
+        )
+        return cls.from_training_data(
+            positives,
+            negatives,
+            max_element_id=collection.max_element_id(),
+            model_config=model_config,
+            train_config=train_config,
+            threshold=threshold,
+            backup_fp_rate=backup_fp_rate,
+            rng=rng,
+        )
+
+    @classmethod
+    def from_training_data(
+        cls,
+        positives: Sequence[tuple[int, ...]],
+        negatives: Sequence[tuple[int, ...]],
+        max_element_id: int,
+        model_config: ModelConfig | None = None,
+        train_config: TrainConfig | None = None,
+        threshold: float = 0.5,
+        backup_fp_rate: float = 0.01,
+        rng: np.random.Generator | None = None,
+    ) -> "LearnedBloomFilter":
+        if not positives:
+            raise ValueError("at least one positive sample is required")
+        model_config = model_config or ModelConfig(
+            embedding_dim=2, phi_hidden=(8,), rho_hidden=(8, 8)
+        )
+        train_config = train_config or TrainConfig(loss="bce")
+        if train_config.loss != "bce":
+            raise ValueError("the membership task trains with the 'bce' loss")
+        model = model_config.build(max_element_id)
+        filter_ = cls(model, threshold=threshold)
+
+        samples = list(positives) + list(negatives)
+        labels = np.concatenate(
+            [np.ones(len(positives)), np.zeros(len(negatives))]
+        )
+        loader = SetDataLoader(
+            RaggedArray(samples),
+            labels,
+            batch_size=train_config.batch_size,
+            rng=rng or np.random.default_rng(train_config.seed),
+        )
+        trainer = Trainer(model, train_config)
+        history = trainer.fit(loader)
+
+        # Backup filter: exactly the positives the model misses — this is
+        # what eliminates false negatives.
+        scores = model.predict(list(positives))
+        missed = [p for p, s in zip(positives, scores) if s < threshold]
+        if missed:
+            filter_.backup = BloomFilter(
+                capacity=len(missed), fp_rate=backup_fp_rate
+            )
+            for subset in missed:
+                filter_.backup.add_set(subset)
+
+        filter_.trained_positives = tuple(positives)
+        all_scores = model.predict(samples)
+        filter_.report = _BuildReport(
+            num_positives=len(positives),
+            num_negatives=len(negatives),
+            num_backup_entries=len(missed),
+            seconds_per_epoch=history.seconds_per_epoch,
+            total_seconds=history.total_seconds,
+            train_accuracy=binary_accuracy(all_scores, labels, threshold),
+        )
+        return filter_
+
+    # -- queries --------------------------------------------------------------
+
+    def _max_known_id(self) -> int:
+        """Largest element id the classifier can embed."""
+        model = self.model
+        if hasattr(model, "vocab_size"):
+            return model.vocab_size - 1
+        return model.compressor.max_value
+
+    def _in_universe(self, canonical: tuple[int, ...]) -> bool:
+        return bool(canonical) and 0 <= canonical[0] and canonical[-1] <= self._max_known_id()
+
+    def score(self, query: Iterable[int]) -> float:
+        """Raw membership probability from the classifier.
+
+        Queries containing elements outside the trained universe score 0 —
+        an element the collection never contained cannot be a member of any
+        stored set (though the backup filter may still hold it if it was
+        inserted post-training).
+        """
+        canonical = tuple(sorted(set(query)))
+        if not self._in_universe(canonical):
+            return 0.0
+        return self.model.predict_one(canonical)
+
+    def contains(self, query: Iterable[int]) -> bool:
+        """Membership answer; model first, backup filter on rejection."""
+        if self.score(query) >= self.threshold:
+            return True
+        if self.backup is not None:
+            return self.backup.contains_set(set(query))
+        return False
+
+    def __contains__(self, query: Iterable[int]) -> bool:
+        return self.contains(query)
+
+    def contains_many(self, queries: Sequence[Iterable[int]]) -> np.ndarray:
+        """Vectorized membership answers."""
+        canonicals = [tuple(sorted(set(q))) for q in queries]
+        answers = np.zeros(len(canonicals), dtype=bool)
+        known_rows = [
+            row for row, c in enumerate(canonicals) if self._in_universe(c)
+        ]
+        if known_rows:
+            scores = self.model.predict([canonicals[row] for row in known_rows])
+            answers[known_rows] = scores >= self.threshold
+        if self.backup is not None:
+            for row in np.flatnonzero(~answers):
+                answers[row] = self.backup.contains_set(canonicals[row])
+        return answers
+
+    # -- updates (paper §7.2) ----------------------------------------------------
+
+    def insert(self, subset, expected_inserts: int = 1024) -> None:
+        """Index a new subset without retraining.
+
+        Updates flow into the backup Bloom filter (created lazily with
+        ``expected_inserts`` capacity), preserving the no-false-negative
+        guarantee for inserted subsets; the classifier is rebuilt only when
+        the filter saturates.
+        """
+        if self.backup is None:
+            self.backup = BloomFilter(capacity=expected_inserts, fp_rate=0.01)
+        self.backup.add_set(set(subset))
+
+    # -- accounting ------------------------------------------------------------
+
+    def model_bytes(self) -> int:
+        """Float32 weight footprint (the LSM/CLSM columns of Table 10)."""
+        return state_dict_bytes(self.model)
+
+    def backup_bytes(self) -> int:
+        """Bit-array size of the backup filter (0 when none was needed)."""
+        return self.backup.size_bytes() if self.backup is not None else 0
+
+    def total_bytes(self) -> int:
+        """Model + backup-filter footprint."""
+        return self.model_bytes() + self.backup_bytes()

@@ -1,0 +1,100 @@
+"""Multi-collection membership querying — the paper's §9 future work.
+
+The paper closes by proposing "multi-set multi-membership querying" as an
+extension.  This module provides the natural construction on top of the
+existing components: one learned Bloom filter per named collection, with a
+single query answered against all of them at once ("which of these tweet
+archives / log shards contains this combination?").
+
+Each filter keeps its own guarantee (no false negatives on its indexed
+universe); the router adds cross-collection conveniences and aggregate
+memory accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..sets.collection import SetCollection
+from .membership import LearnedBloomFilter
+
+__all__ = ["MultiSetMembership"]
+
+
+class MultiSetMembership:
+    """Route membership queries across several learned-filter-backed shards."""
+
+    def __init__(self):
+        self._filters: dict[str, LearnedBloomFilter] = {}
+
+    # -- registration ----------------------------------------------------------
+
+    def add_filter(self, name: str, filter_: LearnedBloomFilter) -> None:
+        """Register an already-trained filter under ``name``."""
+        if name in self._filters:
+            raise KeyError(f"a filter named {name!r} is already registered")
+        self._filters[name] = filter_
+
+    def add_collection(
+        self, name: str, collection: SetCollection, **build_kwargs
+    ) -> LearnedBloomFilter:
+        """Train and register a filter for ``collection``.
+
+        ``build_kwargs`` are forwarded to :meth:`LearnedBloomFilter.build`.
+        """
+        filter_ = LearnedBloomFilter.build(collection, **build_kwargs)
+        self.add_filter(name, filter_)
+        return filter_
+
+    def names(self) -> list[str]:
+        return sorted(self._filters)
+
+    def __len__(self) -> int:
+        return len(self._filters)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._filters
+
+    # -- querying ---------------------------------------------------------------
+
+    def membership(self, query: Iterable[int]) -> dict[str, bool]:
+        """Per-collection membership answers for one query set."""
+        if not self._filters:
+            raise RuntimeError("no collections registered")
+        canonical = tuple(sorted(set(query)))
+        return {
+            name: filter_.contains(canonical)
+            for name, filter_ in self._filters.items()
+        }
+
+    def collections_containing(self, query: Iterable[int]) -> list[str]:
+        """Names of the collections reporting the query present (sorted)."""
+        return sorted(
+            name for name, present in self.membership(query).items() if present
+        )
+
+    def contains_any(self, query: Iterable[int]) -> bool:
+        return any(self.membership(query).values())
+
+    def contains_all(self, query: Iterable[int]) -> bool:
+        return all(self.membership(query).values())
+
+    def membership_many(
+        self, queries: Sequence[Iterable[int]]
+    ) -> dict[str, np.ndarray]:
+        """Vectorized per-collection answers for a batch of queries."""
+        if not self._filters:
+            raise RuntimeError("no collections registered")
+        canonicals = [tuple(sorted(set(q))) for q in queries]
+        return {
+            name: filter_.contains_many(canonicals)
+            for name, filter_ in self._filters.items()
+        }
+
+    # -- accounting ---------------------------------------------------------------
+
+    def total_bytes(self) -> int:
+        """Combined footprint of all registered filters."""
+        return sum(f.total_bytes() for f in self._filters.values())

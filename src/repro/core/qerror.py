@@ -1,0 +1,83 @@
+"""Accuracy metrics used throughout the paper's evaluation.
+
+The central one is the **q-error** ``max(est/true, true/est)`` — a
+multiplicative, symmetric error whose optimum is 1.  Estimates and truths
+are floored at 1 (the usual convention for cardinalities/positions, which
+avoids division by zero and matches how the paper scores results).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "q_error",
+    "mean_q_error",
+    "q_error_percentile",
+    "absolute_error",
+    "mean_absolute_error",
+    "binary_accuracy",
+    "group_q_error_by_result_size",
+]
+
+
+def q_error(estimate, truth) -> np.ndarray:
+    """Elementwise q-error with both sides floored at 1."""
+    est = np.maximum(np.asarray(estimate, dtype=np.float64), 1.0)
+    true = np.maximum(np.asarray(truth, dtype=np.float64), 1.0)
+    return np.maximum(est / true, true / est)
+
+
+def mean_q_error(estimate, truth) -> float:
+    """Average q-error across the workload."""
+    return float(q_error(estimate, truth).mean())
+
+
+def q_error_percentile(estimate, truth, percentile: float) -> float:
+    """The given percentile of the q-error distribution."""
+    return float(np.percentile(q_error(estimate, truth), percentile))
+
+
+def absolute_error(estimate, truth) -> np.ndarray:
+    """Elementwise absolute error (the index task's second metric)."""
+    return np.abs(
+        np.asarray(estimate, dtype=np.float64) - np.asarray(truth, dtype=np.float64)
+    )
+
+
+def mean_absolute_error(estimate, truth) -> float:
+    """Average absolute error across the workload."""
+    return float(absolute_error(estimate, truth).mean())
+
+
+def binary_accuracy(probabilities, labels, threshold: float = 0.5) -> float:
+    """Fraction of correct thresholded predictions (Bloom filter task)."""
+    predictions = np.asarray(probabilities, dtype=np.float64) >= threshold
+    return float((predictions == np.asarray(labels, dtype=bool)).mean())
+
+
+def group_q_error_by_result_size(
+    estimate,
+    truth,
+    bin_edges: list[int] | None = None,
+) -> dict[str, float]:
+    """Average q-error bucketed by the true result size (Figure 6's x-axis).
+
+    ``bin_edges`` are the inclusive lower bounds of each bucket; the default
+    mirrors the paper's result-size ranges.
+    """
+    edges = bin_edges or [1, 2, 5, 10, 50, 100, 1000]
+    est = np.asarray(estimate, dtype=np.float64)
+    true = np.asarray(truth, dtype=np.float64)
+    errors = q_error(est, true)
+    grouped: dict[str, float] = {}
+    for low, high in zip(edges, edges[1:] + [None]):
+        if high is None:
+            mask = true >= low
+            label = f">={low}"
+        else:
+            mask = (true >= low) & (true < high)
+            label = f"[{low},{high})"
+        if mask.any():
+            grouped[label] = float(errors[mask].mean())
+    return grouped

@@ -1,0 +1,86 @@
+"""Target scaling for the regression tasks (paper §4.1/§4.2).
+
+Positions and cardinalities are log-transformed and min-max scaled into
+``[0, 1]`` so a sigmoid output head fits them.  ``log1p`` is used (positions
+start at 0); the inverse transform rounds back through ``expm1``.
+
+For cardinality estimation the paper points out the scaler's upper bound is
+known *a priori*: a subset's cardinality never exceeds the largest
+single-element cardinality, so :meth:`LogMinMaxScaler.for_cardinality`
+builds the scaler straight from that bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LogMinMaxScaler"]
+
+
+class LogMinMaxScaler:
+    """``y -> (log1p(y) - lo) / (hi - lo)``, clamped to [0, 1] on inverse."""
+
+    def __init__(self):
+        self.lo: float | None = None
+        self.hi: float | None = None
+
+    # -- construction --------------------------------------------------------
+
+    def fit(self, values) -> "LogMinMaxScaler":
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            raise ValueError("cannot fit scaler on empty data")
+        if values.min() < 0:
+            raise ValueError("targets must be non-negative")
+        logs = np.log1p(values)
+        self.lo = float(logs.min())
+        self.hi = float(logs.max())
+        return self
+
+    @classmethod
+    def from_bounds(cls, min_value: float, max_value: float) -> "LogMinMaxScaler":
+        """Build from known target bounds (no data pass needed)."""
+        if min_value < 0 or max_value < min_value:
+            raise ValueError("need 0 <= min_value <= max_value")
+        scaler = cls()
+        scaler.lo = float(np.log1p(min_value))
+        scaler.hi = float(np.log1p(max_value))
+        return scaler
+
+    @classmethod
+    def for_cardinality(cls, max_element_cardinality: int) -> "LogMinMaxScaler":
+        """Scaler for the cardinality task: range [1, max element card]."""
+        return cls.from_bounds(1.0, float(max_element_cardinality))
+
+    @classmethod
+    def for_positions(cls, num_sets: int) -> "LogMinMaxScaler":
+        """Scaler for the index task: positions in [0, num_sets - 1]."""
+        if num_sets <= 0:
+            raise ValueError("num_sets must be positive")
+        return cls.from_bounds(0.0, float(num_sets - 1))
+
+    # -- transforms ----------------------------------------------------------
+
+    @property
+    def span(self) -> float:
+        """``hi - lo`` in log space (the q-error/MAE conversion constant)."""
+        self._require_fitted()
+        return self.hi - self.lo
+
+    def transform(self, values) -> np.ndarray:
+        self._require_fitted()
+        logs = np.log1p(np.asarray(values, dtype=np.float64))
+        if self.hi == self.lo:
+            return np.zeros_like(logs)
+        return (logs - self.lo) / (self.hi - self.lo)
+
+    def inverse(self, scaled) -> np.ndarray:
+        """Map model outputs back to the original target space (>= 0)."""
+        self._require_fitted()
+        scaled = np.clip(np.asarray(scaled, dtype=np.float64), 0.0, 1.0)
+        logs = scaled * (self.hi - self.lo) + self.lo
+        return np.maximum(np.expm1(logs), 0.0)
+
+    def _require_fitted(self) -> None:
+        if self.lo is None or self.hi is None:
+            raise RuntimeError("scaler is not fitted")

@@ -1,0 +1,100 @@
+"""Set Transformer model (Lee et al. 2019) as a drop-in set model.
+
+The paper weighs the Set Transformer against DeepSets and picks DeepSets
+for speed and size (§2, §3.2: "for simpler tasks they perform similarly
+[but] the DeepSets model is superiorly faster and smaller").  This model
+implements the alternative so the trade-off is measurable — see the
+``test_ablation_architecture`` bench.
+
+Architecture: shared element embedding -> ``num_blocks`` SAB (or ISAB)
+encoder blocks -> PMA(1) pooling -> feed-forward head with a sigmoid (or
+identity) output, consuming the same ragged :class:`SetBatch` as the
+DeepSets models (padding + key masks are internal).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.attention import ISAB, PMA, SAB
+from ..nn.layers import MLP, Embedding
+from ..nn.module import ModuleList
+from ..nn.data import SetBatch
+from ..nn.tensor import Tensor
+from .deepsets import SetModel
+
+__all__ = ["SetTransformerModel"]
+
+
+class SetTransformerModel(SetModel):
+    """Attention-based permutation-invariant set model.
+
+    Parameters
+    ----------
+    vocab_size:
+        Number of distinct element ids.
+    dim:
+        Model width (embedding and attention dimension); must be divisible
+        by ``num_heads``.
+    num_blocks:
+        Number of encoder self-attention blocks.
+    num_inducing:
+        When positive, use ISAB blocks with that many inducing points
+        (linear cost); 0 selects plain SAB blocks.
+    """
+
+    def __init__(
+        self,
+        vocab_size: int,
+        dim: int = 32,
+        num_heads: int = 4,
+        num_blocks: int = 2,
+        num_inducing: int = 0,
+        out_activation: str = "sigmoid",
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.vocab_size = vocab_size
+        self.dim = dim
+        self.embedding = Embedding(vocab_size, dim, rng=rng)
+        if num_inducing > 0:
+            blocks = [
+                ISAB(dim, num_inducing=num_inducing, num_heads=num_heads, rng=rng)
+                for _ in range(num_blocks)
+            ]
+        else:
+            blocks = [SAB(dim, num_heads=num_heads, rng=rng) for _ in range(num_blocks)]
+        self.encoder = ModuleList(blocks)
+        self.pool = PMA(dim, num_seeds=1, num_heads=num_heads, rng=rng)
+        self.head = MLP(
+            dim, [dim], 1, activation="relu", out_activation=out_activation, rng=rng
+        )
+
+    @staticmethod
+    def _pad(batch: SetBatch) -> tuple[np.ndarray, np.ndarray]:
+        """Flattened ragged batch -> (padded ids, key mask)."""
+        sizes = batch.set_sizes()
+        max_len = int(sizes.max()) if len(sizes) else 1
+        padded = np.zeros((batch.num_sets, max_len), dtype=np.int64)
+        mask = np.zeros((batch.num_sets, max_len), dtype=np.float64)
+        cursor = 0
+        for row, size in enumerate(sizes):
+            padded[row, :size] = batch.elements[cursor : cursor + size]
+            mask[row, :size] = 1.0
+            cursor += size
+        return padded, mask
+
+    def forward(self, batch: SetBatch) -> Tensor:
+        padded, mask = self._pad(batch)
+        x = self.embedding(padded.ravel()).reshape(
+            batch.num_sets, padded.shape[1], self.dim
+        )
+        for block in self.encoder:
+            x = block(x, key_mask=mask)
+        pooled = self.pool(x, key_mask=mask)  # (B, 1, D)
+        return self.head(pooled.reshape(batch.num_sets, self.dim))
+
+    def embedding_parameters(self) -> int:
+        """Embedding-table weight count (for size comparisons)."""
+        return self.embedding.weight.data.size

@@ -1,0 +1,162 @@
+"""Training loop for set models.
+
+A thin, explicit loop: mini-batches from a :class:`SetDataLoader`, a loss
+from :mod:`repro.nn.losses`, Adam by default.  The ``epoch_end`` callback is
+the hook the guided (outlier-removing) training of Section 6 plugs into.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..nn.data import SetDataLoader
+from ..nn.losses import resolve_loss
+from ..nn.optim import SGD, Adam, RMSprop
+from .deepsets import SetModel
+
+__all__ = ["TrainConfig", "TrainingHistory", "Trainer"]
+
+_OPTIMIZERS = {"adam": Adam, "sgd": SGD, "rmsprop": RMSprop}
+
+
+@dataclass
+class TrainConfig:
+    """Hyperparameters for one training run.
+
+    ``loss`` names a function from :mod:`repro.nn.losses`; the paper uses
+    ``q_error`` (the MAE-on-scaled surrogate) for regression and ``bce``
+    for the Bloom-filter task.
+    """
+
+    epochs: int = 50
+    batch_size: int = 512
+    lr: float = 1e-3
+    loss: str = "q_error"
+    optimizer: str = "adam"
+    seed: int | None = None
+    verbose: bool = False
+    # Stop when the epoch loss has not improved by at least ``min_delta``
+    # for ``patience`` consecutive epochs (None disables early stopping).
+    patience: int | None = None
+    min_delta: float = 1e-5
+    # Clip the global gradient norm before each step (None disables).
+    grad_clip_norm: float | None = None
+
+    def __post_init__(self):
+        if self.epochs <= 0:
+            raise ValueError("epochs must be positive")
+        if self.patience is not None and self.patience <= 0:
+            raise ValueError("patience must be positive (or None)")
+        if self.grad_clip_norm is not None and self.grad_clip_norm <= 0:
+            raise ValueError("grad_clip_norm must be positive (or None)")
+
+    def make_optimizer(self, parameters):
+        try:
+            factory = _OPTIMIZERS[self.optimizer]
+        except KeyError:
+            raise ValueError(
+                f"unknown optimizer {self.optimizer!r}; "
+                f"choose from {sorted(_OPTIMIZERS)}"
+            ) from None
+        return factory(parameters, lr=self.lr)
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch loss and wall-clock record (the §8.1 training-time data)."""
+
+    losses: list[float] = field(default_factory=list)
+    epoch_seconds: list[float] = field(default_factory=list)
+    active_samples: list[int] = field(default_factory=list)
+    stopped_early: bool = False
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1]
+
+    @property
+    def seconds_per_epoch(self) -> float:
+        return float(np.mean(self.epoch_seconds)) if self.epoch_seconds else 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return float(np.sum(self.epoch_seconds))
+
+
+class Trainer:
+    """Runs the epoch loop of one model over one data loader."""
+
+    def __init__(self, model: SetModel, config: TrainConfig):
+        self.model = model
+        self.config = config
+        self.optimizer = config.make_optimizer(model.parameters())
+        self.loss_fn = resolve_loss(config.loss)
+
+    def fit(
+        self,
+        loader: SetDataLoader,
+        epoch_end: Callable[[int, "Trainer"], None] | None = None,
+    ) -> TrainingHistory:
+        """Train for ``config.epochs`` epochs.
+
+        ``epoch_end(epoch, trainer)`` runs after each epoch (1-based); it
+        may call ``loader.deactivate`` — subsequent epochs then skip the
+        evicted samples, which is exactly the guided-learning protocol.
+        """
+        history = TrainingHistory()
+        best_loss = float("inf")
+        stale_epochs = 0
+        self.model.train()
+        for epoch in range(1, self.config.epochs + 1):
+            started = time.perf_counter()
+            epoch_loss = 0.0
+            samples = 0
+            for batch, targets, _ in loader:
+                predictions = self.model(batch)
+                loss = self.loss_fn(predictions, targets.reshape(-1, 1))
+                self.optimizer.zero_grad()
+                loss.backward()
+                if self.config.grad_clip_norm is not None:
+                    self._clip_gradients(self.config.grad_clip_norm)
+                self.optimizer.step()
+                epoch_loss += loss.item() * len(batch)
+                samples += len(batch)
+            mean_loss = epoch_loss / max(samples, 1)
+            history.losses.append(mean_loss)
+            history.epoch_seconds.append(time.perf_counter() - started)
+            history.active_samples.append(loader.num_active)
+            if self.config.verbose:
+                print(
+                    f"epoch {epoch:3d}/{self.config.epochs}  "
+                    f"loss={mean_loss:.5f}  active={loader.num_active}"
+                )
+            if epoch_end is not None:
+                epoch_end(epoch, self)
+            if self.config.patience is not None:
+                if mean_loss < best_loss - self.config.min_delta:
+                    best_loss = mean_loss
+                    stale_epochs = 0
+                else:
+                    stale_epochs += 1
+                    if stale_epochs >= self.config.patience:
+                        history.stopped_early = True
+                        break
+        self.model.eval()
+        return history
+
+    def _clip_gradients(self, max_norm: float) -> None:
+        """Scale all gradients so their global L2 norm is <= ``max_norm``."""
+        total = 0.0
+        for parameter in self.optimizer.parameters:
+            if parameter.grad is not None:
+                total += float((parameter.grad**2).sum())
+        norm = total**0.5
+        if norm > max_norm:
+            scale = max_norm / norm
+            for parameter in self.optimizer.parameters:
+                if parameter.grad is not None:
+                    parameter.grad *= scale

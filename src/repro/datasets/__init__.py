@@ -1,0 +1,21 @@
+"""Synthetic dataset generators standing in for the paper's data (§8.1.1)."""
+
+from .digits import digit_sum_eval_data, digit_sum_training_data
+from .registry import DATASETS, DatasetSpec, dataset_names, load_dataset, repro_scale
+from .synthetic import generate_sd
+from .zipf import generate_rw_like, generate_tweets_like, sample_zipf_sets, zipf_weights
+
+__all__ = [
+    "generate_rw_like",
+    "generate_tweets_like",
+    "generate_sd",
+    "sample_zipf_sets",
+    "zipf_weights",
+    "digit_sum_training_data",
+    "digit_sum_eval_data",
+    "DatasetSpec",
+    "DATASETS",
+    "dataset_names",
+    "load_dataset",
+    "repro_scale",
+]

@@ -1,0 +1,75 @@
+"""Named dataset presets mirroring the paper's Table 2 line-up.
+
+The five presets correspond to RW-200k / RW-1.5M / RW-3M / Tweets / SD,
+scaled down so a full benchmark run fits a single CPU core.  Every preset
+size is multiplied by ``REPRO_SCALE`` (environment variable, default 1.0),
+so the suite can be pushed toward paper scale on bigger hardware without
+code changes.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable
+
+from ..sets.collection import SetCollection
+from .synthetic import generate_sd
+from .zipf import generate_rw_like, generate_tweets_like
+
+__all__ = ["DatasetSpec", "DATASETS", "load_dataset", "dataset_names", "repro_scale"]
+
+
+def repro_scale() -> float:
+    """Global size multiplier from the ``REPRO_SCALE`` environment variable."""
+    try:
+        value = float(os.environ.get("REPRO_SCALE", "1.0"))
+    except ValueError:
+        raise ValueError("REPRO_SCALE must be a number") from None
+    if value <= 0:
+        raise ValueError("REPRO_SCALE must be positive")
+    return value
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One named dataset: its paper counterpart and generator."""
+
+    name: str
+    paper_name: str
+    base_num_sets: int
+    factory: Callable[..., SetCollection]
+    seed: int
+
+    def generate(self, scale: float | None = None) -> SetCollection:
+        scale = repro_scale() if scale is None else scale
+        num_sets = max(int(self.base_num_sets * scale), 100)
+        return self.factory(num_sets=num_sets, seed=self.seed)
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in (
+        DatasetSpec("rw-small", "RW-200k", 6_000, generate_rw_like, seed=11),
+        DatasetSpec("rw-mid", "RW-1.5M", 18_000, generate_rw_like, seed=12),
+        DatasetSpec("rw-large", "RW-3M", 36_000, generate_rw_like, seed=13),
+        DatasetSpec("tweets", "Tweets", 12_000, generate_tweets_like, seed=14),
+        DatasetSpec("sd", "SD", 3_000, generate_sd, seed=15),
+    )
+}
+
+
+def dataset_names() -> list[str]:
+    """Names of the available presets, in Table 2 order."""
+    return list(DATASETS)
+
+
+def load_dataset(name: str, scale: float | None = None) -> SetCollection:
+    """Generate a preset collection by name (sizes scaled by REPRO_SCALE)."""
+    try:
+        spec = DATASETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; choose from {dataset_names()}"
+        ) from None
+    return spec.generate(scale)

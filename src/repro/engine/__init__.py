@@ -1,0 +1,8 @@
+"""Mini relational engine: the PostgreSQL stand-in for Table 12."""
+
+from .gin import GinIndex
+from .query import QueryResult, SetQueryEngine
+from .table import SetTable
+from .udf import UdfRegistry
+
+__all__ = ["SetTable", "GinIndex", "SetQueryEngine", "QueryResult", "UdfRegistry"]

@@ -1,0 +1,120 @@
+"""COUNT-query execution over a :class:`SetTable` (Table 12's three regimes).
+
+The engine answers ``SELECT COUNT(*) FROM t WHERE set @> :query`` through
+one of three plans, mirroring the paper's PostgreSQL comparison:
+
+* ``seqscan``   — full-table scan with a subset test per row
+  (PostgreSQL without an index);
+* ``gin``       — posting-list intersection on the :class:`GinIndex`
+  (PostgreSQL with the hstore index);
+* ``udf:NAME``  — delegate to a registered estimator UDF
+  (the paper's CLSM-in-PostgreSQL integration; approximate).
+
+``explain`` implements the planner choice: GIN if present, else seq scan —
+a UDF plan is only used when explicitly requested, as in the paper.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable
+
+from .gin import GinIndex
+from .table import SetTable
+from .udf import UdfRegistry
+
+__all__ = ["QueryResult", "SetQueryEngine"]
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Outcome of one COUNT query."""
+
+    count: float
+    plan: str
+    rows_examined: int
+    seconds: float
+
+    @property
+    def is_exact(self) -> bool:
+        return not self.plan.startswith("udf:")
+
+
+class SetQueryEngine:
+    """Planner + executor for subset-containment COUNT queries."""
+
+    def __init__(self, table: SetTable):
+        self.table = table
+        self.gin: GinIndex | None = None
+        self.udfs = UdfRegistry()
+
+    # -- DDL-ish operations ----------------------------------------------------
+
+    def create_gin_index(self) -> GinIndex:
+        """Build (or rebuild) the GIN index on the set column."""
+        self.gin = GinIndex(self.table)
+        return self.gin
+
+    def drop_gin_index(self) -> None:
+        self.gin = None
+
+    def register_udf(self, name: str, function) -> None:
+        self.udfs.register(name, function)
+
+    # -- planning ----------------------------------------------------------------
+
+    def explain(self, plan: str | None = None) -> str:
+        """Resolve the plan for a COUNT query.
+
+        ``None`` lets the planner pick: GIN when available, sequential scan
+        otherwise.  Explicit values are validated.
+        """
+        if plan is None:
+            return "gin" if self.gin is not None else "seqscan"
+        if plan == "seqscan":
+            return plan
+        if plan == "gin":
+            if self.gin is None:
+                raise RuntimeError("no GIN index exists; create_gin_index() first")
+            return plan
+        if plan.startswith("udf:"):
+            name = plan[4:]
+            if name not in self.udfs:
+                raise KeyError(f"no UDF registered under {name!r}")
+            return plan
+        raise ValueError(f"unknown plan {plan!r}")
+
+    # -- execution ----------------------------------------------------------------
+
+    def count(self, query: Iterable[int], plan: str | None = None) -> QueryResult:
+        """Run ``COUNT(*) WHERE set @> query`` under the resolved plan."""
+        canonical = tuple(sorted(set(int(e) for e in query)))
+        if not canonical:
+            raise ValueError("query must contain at least one element")
+        resolved = self.explain(plan)
+        started = time.perf_counter()
+        if resolved == "seqscan":
+            count, examined = self._seqscan(canonical)
+        elif resolved == "gin":
+            count = self.gin.count_contains(canonical)
+            examined = 0
+        else:
+            count = self.udfs.call(resolved[4:], canonical)
+            examined = 0
+        return QueryResult(
+            count=float(count),
+            plan=resolved,
+            rows_examined=examined,
+            seconds=time.perf_counter() - started,
+        )
+
+    def _seqscan(self, query: tuple[int, ...]) -> tuple[int, int]:
+        q = frozenset(query)
+        count = 0
+        examined = 0
+        for _, stored in self.table.scan():
+            examined += 1
+            if q.issubset(stored):
+                count += 1
+        return count, examined

@@ -1,0 +1,60 @@
+"""An hstore-style table: rows carrying a set-valued attribute.
+
+Stands in for the paper's PostgreSQL 13 + ``hstore`` setup (§8.5.3): the
+RW collection is imported as a table whose set column holds element ids,
+and ``COUNT(*) WHERE sets @> query`` is answered by the engine in
+:mod:`repro.engine.query`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..nn.serialize import pickled_size_bytes
+from ..sets.collection import SetCollection
+
+__all__ = ["SetTable"]
+
+
+class SetTable:
+    """Append-only table of ``(row_id, element_id_set)`` rows."""
+
+    def __init__(self, name: str = "sets"):
+        self.name = name
+        self._rows: list[tuple[int, ...]] = []
+
+    @classmethod
+    def from_collection(cls, collection: SetCollection, name: str = "sets") -> "SetTable":
+        table = cls(name)
+        for stored in collection:
+            table.insert(stored)
+        return table
+
+    def insert(self, elements: Iterable[int]) -> int:
+        """Insert a row; returns its row id."""
+        canonical = tuple(sorted(set(int(e) for e in elements)))
+        if not canonical:
+            raise ValueError("the set attribute cannot be empty")
+        self._rows.append(canonical)
+        return len(self._rows) - 1
+
+    def row(self, row_id: int) -> tuple[int, ...]:
+        return self._rows[row_id]
+
+    def scan(self) -> Iterator[tuple[int, tuple[int, ...]]]:
+        """Full-table scan yielding ``(row_id, set)``."""
+        return enumerate(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def max_element_id(self) -> int:
+        return max(s[-1] for s in self._rows)
+
+    def heap_bytes(self) -> int:
+        """Approximate on-heap size of the stored rows."""
+        return pickled_size_bytes(self._rows)
+
+    def to_collection(self) -> SetCollection:
+        """View the table as a :class:`SetCollection` (row order preserved)."""
+        return SetCollection(self._rows)

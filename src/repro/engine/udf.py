@@ -1,0 +1,45 @@
+"""User-defined function registry.
+
+The paper implements its cardinality estimator as a PostgreSQL UDF
+(§8.5.3); the mini engine mirrors that: a UDF is a named callable the query
+planner can route a COUNT query to instead of executing it exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+__all__ = ["UdfRegistry"]
+
+Udf = Callable[[tuple[int, ...]], float]
+
+
+class UdfRegistry:
+    """Named scalar functions available to the engine."""
+
+    def __init__(self):
+        self._functions: dict[str, Udf] = {}
+
+    def register(self, name: str, function: Udf) -> None:
+        """Register ``function`` under ``name`` (replacing any previous)."""
+        if not callable(function):
+            raise TypeError("UDF must be callable")
+        self._functions[name] = function
+
+    def unregister(self, name: str) -> None:
+        del self._functions[name]
+
+    def get(self, name: str) -> Udf:
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise KeyError(f"no UDF registered under {name!r}") from None
+
+    def call(self, name: str, query: Iterable[int]) -> float:
+        return float(self.get(name)(tuple(sorted(set(query)))))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._functions
+
+    def names(self) -> list[str]:
+        return sorted(self._functions)

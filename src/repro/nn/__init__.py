@@ -1,0 +1,101 @@
+"""A from-scratch numpy neural-network framework.
+
+Built because the reproduction environment has no deep-learning framework
+installed; provides exactly what the paper's models need:
+
+* :mod:`repro.nn.tensor` — reverse-mode autograd over numpy arrays.
+* :mod:`repro.nn.functional` — activations plus the set primitives
+  (``gather``, ``segment_sum``/``mean``/``max``).
+* :mod:`repro.nn.layers` — Linear, Embedding, Dropout, Sequential, MLP.
+* :mod:`repro.nn.rnn` — LSTM/GRU (Figure 7 competitors).
+* :mod:`repro.nn.losses` — MSE/MAE/q-error surrogate/BCE.
+* :mod:`repro.nn.optim` — SGD/Adam/RMSprop + LR schedules.
+* :mod:`repro.nn.data` — ragged set batching and data loaders.
+* :mod:`repro.nn.serialize` — weight (de)serialization and size accounting.
+"""
+
+from . import functional
+from .attention import ISAB, MAB, PMA, SAB, LayerNorm, MultiheadAttention
+from .data import RaggedArray, SetBatch, SetDataLoader
+from .layers import (
+    MLP,
+    Dropout,
+    Embedding,
+    Identity,
+    LeakyReLU,
+    Linear,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Softplus,
+    Tanh,
+    resolve_activation,
+)
+from .losses import (
+    bce_with_logits,
+    binary_cross_entropy,
+    huber_loss,
+    mae_loss,
+    mse_loss,
+    q_error_loss,
+    resolve_loss,
+)
+from .module import Module, ModuleList, Parameter
+from .optim import SGD, Adam, CosineAnnealingLR, ExponentialLR, Optimizer, RMSprop, StepLR
+from .rnn import GRU, LSTM, GRUCell, LSTMCell
+from .serialize import load_state, pickled_size_bytes, save_state, state_dict_bytes
+from .tensor import Tensor, as_tensor, is_grad_enabled, no_grad
+
+__all__ = [
+    "functional",
+    "Tensor",
+    "as_tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "Linear",
+    "Embedding",
+    "Sequential",
+    "MLP",
+    "Dropout",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "Softplus",
+    "Identity",
+    "resolve_activation",
+    "mse_loss",
+    "mae_loss",
+    "q_error_loss",
+    "huber_loss",
+    "binary_cross_entropy",
+    "bce_with_logits",
+    "resolve_loss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "RMSprop",
+    "StepLR",
+    "ExponentialLR",
+    "CosineAnnealingLR",
+    "LSTM",
+    "GRU",
+    "LSTMCell",
+    "GRUCell",
+    "MultiheadAttention",
+    "LayerNorm",
+    "MAB",
+    "SAB",
+    "ISAB",
+    "PMA",
+    "SetBatch",
+    "RaggedArray",
+    "SetDataLoader",
+    "save_state",
+    "load_state",
+    "pickled_size_bytes",
+    "state_dict_bytes",
+]

@@ -1,0 +1,174 @@
+"""Attention blocks for the Set Transformer (Lee et al., ICML 2019).
+
+The paper chooses DeepSets over the Set Transformer on the grounds of
+execution time and memory (§2, §3.2: "the DeepSets model is superiorly
+faster and smaller").  These blocks exist so that claim can be *measured*:
+:mod:`repro.core.set_transformer` assembles them into a drop-in set model
+and the ablation bench compares the two architectures.
+
+Implemented blocks, following the original paper's notation:
+
+* :class:`MultiheadAttention` — scaled dot-product attention with heads
+  and an optional key-padding mask.
+* :class:`MAB` — multihead attention block
+  ``LayerNorm(H + rFF(H))`` with ``H = LayerNorm(X + Attention(X, Y))``.
+* :class:`SAB` — self-attention block ``MAB(X, X)``.
+* :class:`ISAB` — induced self-attention with ``m`` inducing points
+  (linear instead of quadratic in the set size).
+* :class:`PMA` — pooling by multihead attention onto ``k`` seed vectors
+  (the permutation-invariant reduction).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from . import init as initializers
+from .layers import MLP, Linear
+from .module import Module, Parameter
+from .tensor import Tensor
+
+__all__ = ["MultiheadAttention", "MAB", "SAB", "ISAB", "PMA", "LayerNorm"]
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last axis with learned scale/shift."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.gain = Parameter(np.ones(dim))
+        self.bias = Parameter(np.zeros(dim))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        variance = (centered * centered).mean(axis=-1, keepdims=True)
+        normalized = centered / F.sqrt(variance + self.eps)
+        return normalized * self.gain + self.bias
+
+
+class MultiheadAttention(Module):
+    """Scaled dot-product attention, ``(B, L, D)`` in and out.
+
+    ``key_mask`` is a ``(B, L_k)`` boolean/float array; masked (0) key
+    positions receive effectively zero attention — this is how ragged sets
+    are handled after padding.
+    """
+
+    def __init__(self, dim: int, num_heads: int = 4, rng=None):
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError("dim must be divisible by num_heads")
+        rng = rng or np.random.default_rng()
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.project_q = Linear(dim, dim, rng=rng)
+        self.project_k = Linear(dim, dim, rng=rng)
+        self.project_v = Linear(dim, dim, rng=rng)
+        self.project_out = Linear(dim, dim, rng=rng)
+
+    def _split_heads(self, x: Tensor, batch: int, length: int) -> Tensor:
+        # (B, L, D) -> (B, h, L, d)
+        return x.reshape(batch, length, self.num_heads, self.head_dim).transpose(
+            0, 2, 1, 3
+        )
+
+    def forward(
+        self, query: Tensor, key_value: Tensor, key_mask: np.ndarray | None = None
+    ) -> Tensor:
+        batch, len_q = query.shape[0], query.shape[1]
+        len_k = key_value.shape[1]
+        q = self._split_heads(self.project_q(query), batch, len_q)
+        k = self._split_heads(self.project_k(key_value), batch, len_k)
+        v = self._split_heads(self.project_v(key_value), batch, len_k)
+
+        scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.head_dim))
+        if key_mask is not None:
+            # Additive mask: -1e9 on padded keys, broadcast over heads/queries.
+            additive = np.where(
+                np.asarray(key_mask, dtype=bool), 0.0, -1e9
+            )[:, None, None, :]
+            scores = scores + Tensor(additive)
+        weights = F.softmax(scores, axis=-1)
+        attended = weights @ v  # (B, h, Lq, d)
+        merged = attended.transpose(0, 2, 1, 3).reshape(batch, len_q, self.dim)
+        return self.project_out(merged)
+
+
+class MAB(Module):
+    """Multihead attention block: attention + residual + rFF + LayerNorms."""
+
+    def __init__(self, dim: int, num_heads: int = 4, ff_hidden: int | None = None,
+                 rng=None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.attention = MultiheadAttention(dim, num_heads, rng=rng)
+        self.norm_attention = LayerNorm(dim)
+        self.feed_forward = MLP(
+            dim, [ff_hidden or dim], dim, activation="relu",
+            out_activation="identity", rng=rng,
+        )
+        self.norm_output = LayerNorm(dim)
+
+    def forward(self, x: Tensor, y: Tensor, key_mask=None) -> Tensor:
+        hidden = self.norm_attention(x + self.attention(x, y, key_mask))
+        return self.norm_output(hidden + self.feed_forward(hidden))
+
+
+class SAB(Module):
+    """Self-attention block: elements attend to the rest of their set."""
+
+    def __init__(self, dim: int, num_heads: int = 4, rng=None):
+        super().__init__()
+        self.block = MAB(dim, num_heads, rng=rng)
+
+    def forward(self, x: Tensor, key_mask=None) -> Tensor:
+        return self.block(x, x, key_mask)
+
+
+class ISAB(Module):
+    """Induced self-attention: attend through ``m`` learned inducing points.
+
+    Cost is ``O(L * m)`` instead of ``O(L^2)`` — the variant the Set
+    Transformer paper recommends for large sets.
+    """
+
+    def __init__(self, dim: int, num_inducing: int = 8, num_heads: int = 4, rng=None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.inducing = Parameter(
+            initializers.glorot_uniform((1, num_inducing, dim), rng)
+        )
+        self.block_in = MAB(dim, num_heads, rng=rng)
+        self.block_out = MAB(dim, num_heads, rng=rng)
+
+    def forward(self, x: Tensor, key_mask=None) -> Tensor:
+        batch = x.shape[0]
+        # Broadcast the (1, m, D) parameter across the batch via an add, so
+        # gradients flow back into the inducing points.
+        seeds = self.inducing + Tensor(np.zeros((batch, 1, 1)))
+        induced = self.block_in(seeds, x, key_mask)
+        return self.block_out(x, induced)
+
+
+class PMA(Module):
+    """Pooling by multihead attention onto ``k`` seed vectors.
+
+    The permutation-invariant reduction of the Set Transformer; with
+    ``k = 1`` the output is one vector per set, matching DeepSets pooling.
+    """
+
+    def __init__(self, dim: int, num_seeds: int = 1, num_heads: int = 4, rng=None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.seeds = Parameter(initializers.glorot_uniform((1, num_seeds, dim), rng))
+        self.block = MAB(dim, num_heads, rng=rng)
+
+    def forward(self, x: Tensor, key_mask=None) -> Tensor:
+        batch = x.shape[0]
+        seeds = self.seeds + Tensor(np.zeros((batch, 1, 1)))
+        return self.block(seeds, x, key_mask)

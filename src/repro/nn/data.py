@@ -1,0 +1,169 @@
+"""Ragged batching for collections of sets.
+
+DeepSets consumes a *batch of sets* whose sizes differ.  Rather than padding,
+we flatten a batch to one long element-id axis plus a sorted ``segment_ids``
+array mapping every element to its set; the permutation-invariant pooling is
+then a segment reduction (:func:`repro.nn.functional.segment_sum`).
+
+:class:`SetBatch` is that flattened representation; :class:`RaggedArray`
+stores an entire training corpus in two flat arrays so mini-batches can be
+sliced out without touching Python lists; :class:`SetDataLoader` yields
+shuffled mini-batches ``(SetBatch, targets, indices)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["SetBatch", "RaggedArray", "SetDataLoader"]
+
+
+@dataclass(frozen=True)
+class SetBatch:
+    """A flattened batch of sets.
+
+    Attributes
+    ----------
+    elements:
+        1-D int64 array of element ids, sets laid out back to back.
+    segment_ids:
+        1-D int64 array, same length, mapping each element to its set index
+        within the batch; sorted non-decreasing by construction.
+    num_sets:
+        Number of sets in the batch (segments may not be empty: sets in this
+        problem contain at least one element).
+    """
+
+    elements: np.ndarray
+    segment_ids: np.ndarray
+    num_sets: int
+
+    @staticmethod
+    def from_sets(sets: Sequence[Iterable[int]]) -> "SetBatch":
+        """Flatten an iterable of element-id collections."""
+        arrays = [np.asarray(list(s), dtype=np.int64) for s in sets]
+        if any(len(a) == 0 for a in arrays):
+            raise ValueError("sets must be non-empty")
+        if arrays:
+            elements = np.concatenate(arrays)
+            segment_ids = np.repeat(
+                np.arange(len(arrays), dtype=np.int64),
+                [len(a) for a in arrays],
+            )
+        else:
+            elements = np.empty(0, dtype=np.int64)
+            segment_ids = np.empty(0, dtype=np.int64)
+        return SetBatch(elements, segment_ids, len(arrays))
+
+    def __len__(self) -> int:
+        return self.num_sets
+
+    def set_sizes(self) -> np.ndarray:
+        """Number of elements of each set in the batch."""
+        return np.bincount(self.segment_ids, minlength=self.num_sets)
+
+
+class RaggedArray:
+    """A corpus of sets stored as flat ``values`` + ``offsets`` arrays.
+
+    ``offsets`` has length ``n + 1``; set ``i`` occupies
+    ``values[offsets[i]:offsets[i + 1]]``.  Batching by arbitrary index
+    lists is vectorized with ``np.concatenate`` over slices.
+    """
+
+    def __init__(self, sets: Sequence[Iterable[int]]):
+        lengths = []
+        chunks = []
+        for s in sets:
+            chunk = np.asarray(list(s), dtype=np.int64)
+            if len(chunk) == 0:
+                raise ValueError("sets must be non-empty")
+            lengths.append(len(chunk))
+            chunks.append(chunk)
+        self.offsets = np.zeros(len(chunks) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=self.offsets[1:])
+        self.values = (
+            np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
+        )
+
+    def __len__(self) -> int:
+        return len(self.offsets) - 1
+
+    def get(self, index: int) -> np.ndarray:
+        return self.values[self.offsets[index] : self.offsets[index + 1]]
+
+    def lengths(self) -> np.ndarray:
+        return np.diff(self.offsets)
+
+    def batch(self, indices: np.ndarray) -> SetBatch:
+        """Materialize a :class:`SetBatch` for the given set indices."""
+        indices = np.asarray(indices, dtype=np.int64)
+        starts = self.offsets[indices]
+        stops = self.offsets[indices + 1]
+        sizes = stops - starts
+        total = int(sizes.sum())
+        # Build a flat gather index: for each selected set, the range
+        # [start, stop) — vectorized without a Python loop.
+        gather = np.repeat(starts - np.concatenate(([0], np.cumsum(sizes)[:-1])), sizes)
+        gather = gather + np.arange(total)
+        elements = self.values[gather]
+        segment_ids = np.repeat(np.arange(len(indices), dtype=np.int64), sizes)
+        return SetBatch(elements, segment_ids, len(indices))
+
+
+class SetDataLoader:
+    """Mini-batch iterator over a :class:`RaggedArray` and target array.
+
+    Yields ``(SetBatch, targets, indices)`` so callers (e.g. the hybrid
+    trainer's outlier bookkeeping) can map per-sample errors back to corpus
+    positions.
+    """
+
+    def __init__(
+        self,
+        sets: RaggedArray | Sequence[Iterable[int]],
+        targets: np.ndarray,
+        batch_size: int = 256,
+        shuffle: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        self.ragged = sets if isinstance(sets, RaggedArray) else RaggedArray(sets)
+        self.targets = np.asarray(targets, dtype=np.float64)
+        if len(self.ragged) != len(self.targets):
+            raise ValueError(
+                f"{len(self.ragged)} sets but {len(self.targets)} targets"
+            )
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.rng = rng or np.random.default_rng()
+        # Active-sample mask lets the guided trainer evict outliers without
+        # rebuilding the ragged storage.
+        self._active = np.ones(len(self.ragged), dtype=bool)
+
+    def __len__(self) -> int:
+        active = int(self._active.sum())
+        return (active + self.batch_size - 1) // self.batch_size
+
+    @property
+    def num_active(self) -> int:
+        return int(self._active.sum())
+
+    def deactivate(self, indices: np.ndarray) -> None:
+        """Exclude samples (outliers moved to the auxiliary structure)."""
+        self._active[np.asarray(indices, dtype=np.int64)] = False
+
+    def active_indices(self) -> np.ndarray:
+        return np.flatnonzero(self._active)
+
+    def __iter__(self) -> Iterator[tuple[SetBatch, np.ndarray, np.ndarray]]:
+        indices = self.active_indices()
+        if self.shuffle:
+            indices = self.rng.permutation(indices)
+        for start in range(0, len(indices), self.batch_size):
+            chunk = indices[start : start + self.batch_size]
+            yield self.ragged.batch(chunk), self.targets[chunk], chunk

@@ -1,0 +1,303 @@
+"""Differentiable functions on :class:`repro.nn.tensor.Tensor`.
+
+The set-specific primitives live here:
+
+* :func:`gather` — embedding row lookup for a flat array of element ids.
+* :func:`segment_sum` / :func:`segment_mean` / :func:`segment_max` — the
+  permutation-invariant pooling step of DeepSets over a *ragged* batch: a
+  batch of sets is flattened to one long element axis plus an array of
+  segment ids, and pooling reduces each segment to one row.
+
+Everything else is the standard activation/stacking toolbox the paper's
+models need (sigmoid outputs, ReLU hidden layers, concatenation of
+quotient/remainder embeddings, ...).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "exp",
+    "log",
+    "sigmoid",
+    "tanh",
+    "relu",
+    "leaky_relu",
+    "softplus",
+    "abs",
+    "maximum",
+    "clip",
+    "concat",
+    "stack",
+    "gather",
+    "segment_sum",
+    "segment_mean",
+    "segment_max",
+    "segment_boundaries",
+    "logsumexp",
+    "softmax",
+    "sqrt",
+]
+
+
+def exp(x: Tensor) -> Tensor:
+    x = as_tensor(x)
+    out_data = np.exp(x.data)
+    return Tensor._make(out_data, (x,), lambda grad: [(x, grad * out_data)])
+
+
+def log(x: Tensor) -> Tensor:
+    x = as_tensor(x)
+    return Tensor._make(np.log(x.data), (x,), lambda grad: [(x, grad / x.data)])
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    x = as_tensor(x)
+    # Numerically stable piecewise formulation.
+    data = x.data
+    out_data = np.where(
+        data >= 0, 1.0 / (1.0 + np.exp(-np.abs(data))),
+        np.exp(-np.abs(data)) / (1.0 + np.exp(-np.abs(data))),
+    )
+    return Tensor._make(
+        out_data, (x,), lambda grad: [(x, grad * out_data * (1.0 - out_data))]
+    )
+
+
+def tanh(x: Tensor) -> Tensor:
+    x = as_tensor(x)
+    out_data = np.tanh(x.data)
+    return Tensor._make(
+        out_data, (x,), lambda grad: [(x, grad * (1.0 - out_data**2))]
+    )
+
+
+def relu(x: Tensor) -> Tensor:
+    x = as_tensor(x)
+    mask = x.data > 0
+    return Tensor._make(
+        np.where(mask, x.data, 0.0), (x,), lambda grad: [(x, grad * mask)]
+    )
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    x = as_tensor(x)
+    mask = x.data > 0
+    scale = np.where(mask, 1.0, negative_slope)
+    return Tensor._make(x.data * scale, (x,), lambda grad: [(x, grad * scale)])
+
+
+def softplus(x: Tensor) -> Tensor:
+    x = as_tensor(x)
+    # log(1 + e^x) computed stably as max(x, 0) + log1p(e^{-|x|}).
+    data = x.data
+    out_data = np.maximum(data, 0.0) + np.log1p(np.exp(-np.abs(data)))
+    sig = np.where(
+        data >= 0, 1.0 / (1.0 + np.exp(-np.abs(data))),
+        np.exp(-np.abs(data)) / (1.0 + np.exp(-np.abs(data))),
+    )
+    return Tensor._make(out_data, (x,), lambda grad: [(x, grad * sig)])
+
+
+def abs(x: Tensor) -> Tensor:  # noqa: A001 - mirrors numpy naming
+    x = as_tensor(x)
+    sign = np.sign(x.data)
+    return Tensor._make(np.abs(x.data), (x,), lambda grad: [(x, grad * sign)])
+
+
+def maximum(a: Tensor, b) -> Tensor:
+    """Elementwise maximum; ties send the gradient to the first argument."""
+    a = as_tensor(a)
+    b = as_tensor(b)
+    take_a = a.data >= b.data
+
+    def backward(grad):
+        from .tensor import _unbroadcast
+
+        return [
+            (a, _unbroadcast(grad * take_a, a.data.shape)),
+            (b, _unbroadcast(grad * ~take_a, b.data.shape)),
+        ]
+
+    return Tensor._make(np.maximum(a.data, b.data), (a, b), backward)
+
+
+def clip(x: Tensor, low: float | None, high: float | None) -> Tensor:
+    """Clamp values; gradient is zero outside the active range."""
+    x = as_tensor(x)
+    out_data = np.clip(x.data, low, high)
+    inside = np.ones_like(x.data, dtype=bool)
+    if low is not None:
+        inside &= x.data >= low
+    if high is not None:
+        inside &= x.data <= high
+    return Tensor._make(out_data, (x,), lambda grad: [(x, grad * inside)])
+
+
+def concat(tensors: list[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis`` (split gradient on the way back)."""
+    tensors = [as_tensor(t) for t in tensors]
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad):
+        contributions = []
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            index = [slice(None)] * grad.ndim
+            index[axis] = slice(start, stop)
+            contributions.append((tensor, grad[tuple(index)]))
+        return contributions
+
+    return Tensor._make(
+        np.concatenate([t.data for t in tensors], axis=axis), tuple(tensors), backward
+    )
+
+
+def stack(tensors: list[Tensor], axis: int = 0) -> Tensor:
+    tensors = [as_tensor(t) for t in tensors]
+
+    def backward(grad):
+        slabs = np.moveaxis(grad, axis, 0)
+        return [(tensor, slabs[i]) for i, tensor in enumerate(tensors)]
+
+    return Tensor._make(
+        np.stack([t.data for t in tensors], axis=axis), tuple(tensors), backward
+    )
+
+
+def gather(table: Tensor, indices: np.ndarray) -> Tensor:
+    """Row lookup ``table[indices]`` — the embedding primitive.
+
+    ``indices`` is a plain integer ndarray (it carries no gradient); the
+    backward pass scatter-adds the upstream gradient into the rows that were
+    read, which is exactly the sparse embedding gradient.
+    """
+    indices = np.asarray(indices)
+    if not np.issubdtype(indices.dtype, np.integer):
+        raise TypeError("gather indices must be integers")
+
+    def backward(grad):
+        full = np.zeros_like(table.data)
+        np.add.at(full, indices, grad)
+        return [(table, full)]
+
+    return Tensor._make(table.data[indices], (table,), backward)
+
+
+def segment_boundaries(segment_ids: np.ndarray, num_segments: int) -> np.ndarray:
+    """Start offsets of each segment in a *sorted* segment-id array."""
+    return np.searchsorted(segment_ids, np.arange(num_segments))
+
+
+def _check_sorted(segment_ids: np.ndarray) -> None:
+    if len(segment_ids) > 1 and np.any(np.diff(segment_ids) < 0):
+        raise ValueError("segment_ids must be sorted non-decreasing")
+
+
+def segment_sum(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Sum rows of ``x`` per segment: the DeepSets pooling operation.
+
+    ``segment_ids`` must be sorted non-decreasing (the ragged batching in
+    :mod:`repro.nn.data` produces them that way), which allows the fast
+    ``np.add.reduceat`` path.  Empty segments yield zero rows.
+    """
+    segment_ids = np.asarray(segment_ids)
+    _check_sorted(segment_ids)
+    out_data = np.zeros((num_segments,) + x.data.shape[1:], dtype=x.data.dtype)
+    if len(segment_ids):
+        starts = segment_boundaries(segment_ids, num_segments)
+        present = starts < len(segment_ids)
+        # reduceat mis-handles empty segments (repeats the next value), so
+        # reduce only over segments that actually contain rows.
+        reduced = np.add.reduceat(x.data, starts[present], axis=0)
+        out_data[present] = reduced
+        # A start offset that equals the next segment's start is empty and
+        # reduceat returned the *next* segment's row there; zero it out.
+        sizes = np.diff(np.append(starts, len(segment_ids)))
+        out_data[sizes == 0] = 0.0
+
+    def backward(grad):
+        return [(x, grad[segment_ids])]
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def segment_mean(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Average rows per segment (empty segments stay zero)."""
+    segment_ids = np.asarray(segment_ids)
+    counts = np.bincount(segment_ids, minlength=num_segments).astype(x.data.dtype)
+    safe = np.maximum(counts, 1.0)
+    total = segment_sum(x, segment_ids, num_segments)
+    return total * Tensor(1.0 / safe[:, None] if x.data.ndim > 1 else 1.0 / safe)
+
+
+def segment_max(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Maximum per segment; empty segments are zero.
+
+    Gradient is split evenly among the rows attaining the maximum so that
+    finite-difference checks pass on exact ties.
+    """
+    segment_ids = np.asarray(segment_ids)
+    _check_sorted(segment_ids)
+    out_data = np.zeros((num_segments,) + x.data.shape[1:], dtype=x.data.dtype)
+    if len(segment_ids):
+        starts = segment_boundaries(segment_ids, num_segments)
+        present = starts < len(segment_ids)
+        reduced = np.maximum.reduceat(x.data, starts[present], axis=0)
+        out_data[present] = reduced
+        sizes = np.diff(np.append(starts, len(segment_ids)))
+        out_data[sizes == 0] = 0.0
+
+    def backward(grad):
+        per_row_max = out_data[segment_ids]
+        mask = (x.data == per_row_max).astype(x.data.dtype)
+        # Count ties per segment and feature to split the gradient.
+        tie_counts = np.zeros_like(out_data)
+        np.add.at(tie_counts, segment_ids, mask)
+        tie_counts = np.maximum(tie_counts, 1.0)
+        return [(x, mask * grad[segment_ids] / tie_counts[segment_ids])]
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def sqrt(x: Tensor) -> Tensor:
+    """Elementwise square root."""
+    x = as_tensor(x)
+    out_data = np.sqrt(x.data)
+    return Tensor._make(
+        out_data, (x,), lambda grad: [(x, grad * 0.5 / out_data)]
+    )
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``.
+
+    Implemented as a primitive with the closed-form Jacobian product
+    ``dx = s * (g - sum(g * s))`` — the building block of the attention
+    layers in :mod:`repro.nn.attention`.
+    """
+    x = as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    out_data = exps / exps.sum(axis=axis, keepdims=True)
+
+    def backward(grad):
+        inner = (grad * out_data).sum(axis=axis, keepdims=True)
+        return [(x, out_data * (grad - inner))]
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def logsumexp(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
+    """Numerically stable log-sum-exp reduction (an alternative pooling)."""
+    x = as_tensor(x)
+    shift = x.data.max(axis=axis, keepdims=True)
+    shifted = exp(x - Tensor(shift))
+    summed = shifted.sum(axis=axis, keepdims=True)
+    out = log(summed) + Tensor(shift)
+    if not keepdims:
+        out = out.reshape(tuple(np.delete(out.shape, axis)))
+    return out

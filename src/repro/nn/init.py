@@ -1,0 +1,66 @@
+"""Weight initializers.
+
+Keras dense layers default to Glorot-uniform weights and zero biases; we
+provide the same so that training dynamics resemble the paper's setup, plus
+He initialization for deeper ReLU stacks and simple uniform/normal schemes
+for embeddings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "glorot_uniform",
+    "glorot_normal",
+    "he_uniform",
+    "he_normal",
+    "uniform",
+    "normal",
+    "zeros",
+]
+
+
+def glorot_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def glorot_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    fan_in, fan_out = _fans(shape)
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def he_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    fan_in, _ = _fans(shape)
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    fan_in, _ = _fans(shape)
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def uniform(shape: tuple[int, ...], rng: np.random.Generator, scale: float = 0.05):
+    return rng.uniform(-scale, scale, size=shape)
+
+
+def normal(shape: tuple[int, ...], rng: np.random.Generator, std: float = 0.05):
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape: tuple[int, ...], rng: np.random.Generator | None = None):
+    return np.zeros(shape)
+
+
+def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
+    """Fan-in/fan-out for dense (in, out) and embedding (vocab, dim) shapes."""
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    fan_in = int(np.prod(shape[:-1]))
+    fan_out = shape[-1]
+    return fan_in, fan_out

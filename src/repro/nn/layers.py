@@ -1,0 +1,220 @@
+"""Standard layers: Linear, Embedding, activations, Dropout, Sequential, MLP.
+
+These are the building blocks the paper's models are assembled from:
+shared element embeddings, small dense ``phi``/``rho`` networks with ReLU
+hidden layers, and sigmoid outputs (Table 1 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from . import functional as F
+from . import init as initializers
+from .module import Module, ModuleList, Parameter
+from .tensor import Tensor
+
+__all__ = [
+    "Linear",
+    "Embedding",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "Softplus",
+    "Identity",
+    "Dropout",
+    "Sequential",
+    "MLP",
+    "resolve_activation",
+]
+
+
+class Linear(Module):
+    """Affine layer ``y = x @ W + b`` with Glorot-uniform weights."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+        weight_init: Callable = initializers.glorot_uniform,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(weight_init((in_features, out_features), rng))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features}, {self.out_features})"
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors.
+
+    This is the shared element embedding of the DeepSets architecture; in
+    the compressed variant two smaller instances hold the quotient and
+    remainder vocabularies.
+    """
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        rng: np.random.Generator | None = None,
+        scale: float = 0.05,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(
+            initializers.uniform((num_embeddings, embedding_dim), rng, scale=scale)
+        )
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        indices = np.asarray(indices)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.num_embeddings):
+            raise IndexError(
+                f"embedding index out of range [0, {self.num_embeddings}): "
+                f"[{indices.min()}, {indices.max()}]"
+            )
+        return F.gather(self.weight, indices)
+
+    def __repr__(self) -> str:
+        return f"Embedding({self.num_embeddings}, {self.embedding_dim})"
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu(x)
+
+
+class LeakyReLU(Module):
+    def __init__(self, negative_slope: float = 0.01):
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.leaky_relu(x, self.negative_slope)
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.tanh(x)
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.sigmoid(x)
+
+
+class Softplus(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.softplus(x)
+
+
+class Identity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+_ACTIVATIONS: dict[str, Callable[[], Module]] = {
+    "relu": ReLU,
+    "leaky_relu": LeakyReLU,
+    "tanh": Tanh,
+    "sigmoid": Sigmoid,
+    "softplus": Softplus,
+    "identity": Identity,
+    "linear": Identity,
+}
+
+
+def resolve_activation(name: str) -> Module:
+    """Instantiate an activation module from its name."""
+    try:
+        return _ACTIVATIONS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown activation {name!r}; choose from {sorted(_ACTIVATIONS)}"
+        ) from None
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | None = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self.rng = rng or np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self.rng.random(x.shape) < keep) / keep
+        return x * Tensor(mask)
+
+
+class Sequential(Module):
+    """Apply modules in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self.layers = ModuleList(modules)
+
+    def forward(self, x):
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+
+class MLP(Sequential):
+    """A dense stack: ``in -> hidden... -> out`` with a chosen nonlinearity.
+
+    Matches the paper's sweep vocabulary: ``hidden`` is the neurons-per-layer
+    list (1 or 2 layers in the evaluation), ``activation`` the hidden
+    nonlinearity, and ``out_activation`` the output head (sigmoid for every
+    task in Table 1).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: Sequence[int],
+        out_features: int,
+        activation: str = "relu",
+        out_activation: str = "identity",
+        rng: np.random.Generator | None = None,
+    ):
+        rng = rng or np.random.default_rng()
+        layers: list[Module] = []
+        previous = in_features
+        for width in hidden:
+            layers.append(Linear(previous, width, rng=rng))
+            layers.append(resolve_activation(activation))
+            previous = width
+        layers.append(Linear(previous, out_features, rng=rng))
+        layers.append(resolve_activation(out_activation))
+        super().__init__(*layers)
+        self.in_features = in_features
+        self.out_features = out_features

@@ -1,0 +1,141 @@
+"""Module/parameter abstractions, mirroring the familiar layer-stack API.
+
+A :class:`Module` owns :class:`Parameter` leaves and child modules, found by
+introspecting instance attributes (lists of modules are supported through
+:class:`ModuleList`).  State dicts are flat ``{dotted.name: ndarray}``
+mappings used for serialization and for the model-size accounting that the
+paper's memory tables rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Parameter", "Module", "ModuleList"]
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as trainable state of a module."""
+
+    def __init__(self, data):
+        super().__init__(np.asarray(data, dtype=np.float64), requires_grad=True)
+
+
+class Module:
+    """Base class for all neural network building blocks."""
+
+    def __init__(self):
+        self.training = True
+
+    # -- traversal --------------------------------------------------------
+
+    def children(self) -> Iterator[tuple[str, "Module"]]:
+        """Yield ``(name, child_module)`` for direct children."""
+        for name, value in vars(self).items():
+            if isinstance(value, Module):
+                yield name, value
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` for the whole subtree."""
+        for name, value in vars(self).items():
+            full = f"{prefix}{name}"
+            if isinstance(value, Parameter):
+                yield full, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{full}.")
+
+    def parameters(self) -> list[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    # -- training state -----------------------------------------------------
+
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for _, child in self.children():
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    # -- forward -----------------------------------------------------------
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    # -- serialization --------------------------------------------------------
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy all parameter arrays keyed by dotted name."""
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load arrays produced by :meth:`state_dict` (strict matching)."""
+        own = dict(self.named_parameters())
+        missing = own.keys() - state.keys()
+        unexpected = state.keys() - own.keys()
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)} "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, parameter in own.items():
+            array = np.asarray(state[name], dtype=parameter.data.dtype)
+            if array.shape != parameter.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"{array.shape} vs {parameter.data.shape}"
+                )
+            parameter.data = array.copy()
+
+    # -- size accounting ----------------------------------------------------
+
+    def num_parameters(self) -> int:
+        return sum(p.data.size for p in self.parameters())
+
+    def parameter_bytes(self, dtype=np.float32) -> int:
+        """Serialized weight footprint assuming ``dtype`` storage.
+
+        The paper reports model sizes of pickled float32 weights; this is
+        the analogous figure.
+        """
+        itemsize = np.dtype(dtype).itemsize
+        return self.num_parameters() * itemsize
+
+
+class ModuleList(Module):
+    """A list of modules whose parameters are all registered."""
+
+    def __init__(self, modules=()):
+        super().__init__()
+        self._modules = list(modules)
+        self._sync()
+
+    def _sync(self) -> None:
+        # Expose each module as an indexed attribute so traversal finds it.
+        for index, module in enumerate(self._modules):
+            setattr(self, f"_m{index}", module)
+
+    def append(self, module: Module) -> None:
+        self._modules.append(module)
+        setattr(self, f"_m{len(self._modules) - 1}", module)
+
+    def __iter__(self):
+        return iter(self._modules)
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._modules[index]

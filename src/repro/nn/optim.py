@@ -1,0 +1,197 @@
+"""Optimizers and learning-rate schedules.
+
+Adam is the workhorse (the Keras default the paper's models would have
+used); SGD with momentum and RMSprop exist for the ablation benches and for
+the sum-of-digits experiment's recurrent competitors.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .module import Parameter
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "RMSprop",
+    "StepLR",
+    "ExponentialLR",
+    "CosineAnnealingLR",
+]
+
+
+class Optimizer:
+    """Base class holding a parameter list and a learning rate."""
+
+    def __init__(self, parameters: list[Parameter], lr: float):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        nesterov: bool = False,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters, lr)
+        if nesterov and momentum == 0.0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = momentum
+        self.nesterov = nesterov
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for parameter, velocity in zip(self.parameters, self._velocity):
+            if parameter.grad is None:
+                continue
+            grad = parameter.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                update = (
+                    grad + self.momentum * velocity if self.nesterov else velocity
+                )
+            else:
+                update = grad
+            parameter.data -= self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with bias correction."""
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step_count += 1
+        correction1 = 1.0 - self.beta1**self._step_count
+        correction2 = 1.0 - self.beta2**self._step_count
+        for parameter, m, v in zip(self.parameters, self._m, self._v):
+            if parameter.grad is None:
+                continue
+            grad = parameter.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            m_hat = m / correction1
+            v_hat = v / correction2
+            parameter.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class RMSprop(Optimizer):
+    """RMSprop with exponentially decaying squared-gradient average."""
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        lr: float = 1e-3,
+        alpha: float = 0.99,
+        eps: float = 1e-8,
+    ):
+        super().__init__(parameters, lr)
+        self.alpha = alpha
+        self.eps = eps
+        self._square_avg = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for parameter, square_avg in zip(self.parameters, self._square_avg):
+            if parameter.grad is None:
+                continue
+            grad = parameter.grad
+            square_avg *= self.alpha
+            square_avg += (1.0 - self.alpha) * grad**2
+            parameter.data -= self.lr * grad / (np.sqrt(square_avg) + self.eps)
+
+
+class _Scheduler:
+    """Base: schedulers rescale the optimizer's lr from its initial value."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> None:
+        self.epoch += 1
+        self.optimizer.lr = self._lr_at(self.epoch)
+
+    def _lr_at(self, epoch: int) -> float:
+        raise NotImplementedError
+
+
+class StepLR(_Scheduler):
+    """Multiply the lr by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        super().__init__(optimizer)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def _lr_at(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class ExponentialLR(_Scheduler):
+    """Multiply the lr by ``gamma`` every epoch."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.95):
+        super().__init__(optimizer)
+        self.gamma = gamma
+
+    def _lr_at(self, epoch: int) -> float:
+        return self.base_lr * self.gamma**epoch
+
+
+class CosineAnnealingLR(_Scheduler):
+    """Cosine decay from the base lr to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0):
+        super().__init__(optimizer)
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def _lr_at(self, epoch: int) -> float:
+        t = min(epoch, self.t_max)
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (
+            1.0 + math.cos(math.pi * t / self.t_max)
+        )

@@ -1,0 +1,158 @@
+"""Recurrent layers: LSTM and GRU.
+
+These exist to reproduce Figure 7 of the paper (sum-of-digits), where the
+DeepSets and compressed-DeepSets models are compared against LSTM and GRU
+sequence models.  Sequences are dense ``(batch, time, features)`` tensors
+with an optional boolean mask for padded positions: a masked step leaves the
+hidden state unchanged, so padding at the tail is equivalent to a shorter
+sequence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from . import init as initializers
+from .module import Module, Parameter
+from .tensor import Tensor
+
+__all__ = ["LSTMCell", "GRUCell", "LSTM", "GRU"]
+
+
+class _GateCell(Module):
+    """Shared plumbing: stacked input/hidden projections for gated cells."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        num_gates: int,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        gate_width = num_gates * hidden_size
+        self.w_input = Parameter(
+            initializers.glorot_uniform((input_size, gate_width), rng)
+        )
+        self.w_hidden = Parameter(
+            initializers.glorot_uniform((hidden_size, gate_width), rng)
+        )
+        self.bias = Parameter(np.zeros(gate_width))
+
+    def _gates(self, x: Tensor, h: Tensor) -> Tensor:
+        return x @ self.w_input + h @ self.w_hidden + self.bias
+
+    def _slice(self, gates: Tensor, index: int) -> Tensor:
+        start = index * self.hidden_size
+        return gates[:, start : start + self.hidden_size]
+
+
+class LSTMCell(_GateCell):
+    """One LSTM step; gate order is (input, forget, cell, output)."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng=None):
+        super().__init__(input_size, hidden_size, num_gates=4, rng=rng)
+        # Initialize the forget-gate bias to 1 — the standard trick that
+        # keeps gradients alive early in training.
+        self.bias.data[hidden_size : 2 * hidden_size] = 1.0
+
+    def forward(self, x: Tensor, state: tuple[Tensor, Tensor]):
+        h_prev, c_prev = state
+        gates = self._gates(x, h_prev)
+        i = F.sigmoid(self._slice(gates, 0))
+        f = F.sigmoid(self._slice(gates, 1))
+        g = F.tanh(self._slice(gates, 2))
+        o = F.sigmoid(self._slice(gates, 3))
+        c = f * c_prev + i * g
+        h = o * F.tanh(c)
+        return h, c
+
+
+class GRUCell(_GateCell):
+    """One GRU step; gate order is (reset, update, candidate)."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng=None):
+        super().__init__(input_size, hidden_size, num_gates=3, rng=rng)
+
+    def forward(self, x: Tensor, h_prev: Tensor) -> Tensor:
+        # Candidate gate uses the *reset-scaled* hidden state, so compute
+        # the first two gates from the stacked projection and the candidate
+        # separately.
+        joint = x @ self.w_input + h_prev @ self.w_hidden + self.bias
+        r = F.sigmoid(self._slice(joint, 0))
+        z = F.sigmoid(self._slice(joint, 1))
+        # Recompute candidate with reset applied to the hidden projection.
+        start = 2 * self.hidden_size
+        x_cand = (x @ self.w_input)[:, start : start + self.hidden_size]
+        h_cand = (h_prev @ self.w_hidden)[:, start : start + self.hidden_size]
+        bias_cand = self.bias[start : start + self.hidden_size]
+        n = F.tanh(x_cand + r * h_cand + bias_cand)
+        return (1.0 - z) * n + z * h_prev
+
+
+class _Recurrent(Module):
+    """Run a cell across time with optional padding mask."""
+
+    def __init__(self, cell: Module):
+        super().__init__()
+        self.cell = cell
+
+    @property
+    def hidden_size(self) -> int:
+        return self.cell.hidden_size
+
+    def _initial(self, batch: int) -> Tensor:
+        return Tensor(np.zeros((batch, self.cell.hidden_size)))
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        raise NotImplementedError
+
+
+class LSTM(_Recurrent):
+    """LSTM over ``(batch, time, features)``; returns the final hidden state.
+
+    ``mask`` is a boolean/float array ``(batch, time)``; masked (0) steps
+    keep the previous hidden and cell state.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng=None):
+        super().__init__(LSTMCell(input_size, hidden_size, rng=rng))
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        batch, time = x.shape[0], x.shape[1]
+        h = self._initial(batch)
+        c = self._initial(batch)
+        for t in range(time):
+            x_t = x[:, t, :]
+            h_new, c_new = self.cell(x_t, (h, c))
+            if mask is not None:
+                m = Tensor(np.asarray(mask[:, t], dtype=np.float64)[:, None])
+                h = h_new * m + h * (1.0 - m)
+                c = c_new * m + c * (1.0 - m)
+            else:
+                h, c = h_new, c_new
+        return h
+
+
+class GRU(_Recurrent):
+    """GRU over ``(batch, time, features)``; returns the final hidden state."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng=None):
+        super().__init__(GRUCell(input_size, hidden_size, rng=rng))
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        batch, time = x.shape[0], x.shape[1]
+        h = self._initial(batch)
+        for t in range(time):
+            x_t = x[:, t, :]
+            h_new = self.cell(x_t, h)
+            if mask is not None:
+                m = Tensor(np.asarray(mask[:, t], dtype=np.float64)[:, None])
+                h = h_new * m + h * (1.0 - m)
+            else:
+                h = h_new
+        return h

@@ -1,0 +1,55 @@
+"""Model serialization and size accounting.
+
+The paper reports memory as the size of the pickled weight file (§8.2.2);
+:func:`pickled_size_bytes` reproduces that measurement for arbitrary Python
+structures, while :func:`save_state` / :func:`load_state` store weight dicts
+compactly as ``.npz`` archives with float32 weights (what one would ship).
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+from pathlib import Path
+
+import numpy as np
+
+from .module import Module
+
+__all__ = [
+    "save_state",
+    "load_state",
+    "pickled_size_bytes",
+    "state_dict_bytes",
+]
+
+
+def save_state(module: Module, path: str | Path, dtype=np.float32) -> None:
+    """Write a module's weights to ``path`` as a compressed npz archive."""
+    state = {
+        name: array.astype(dtype) for name, array in module.state_dict().items()
+    }
+    with open(path, "wb") as handle:
+        np.savez_compressed(handle, **state)
+
+
+def load_state(module: Module, path: str | Path) -> None:
+    """Load weights written by :func:`save_state` into ``module``."""
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files}
+    module.load_state_dict(state)
+
+
+def pickled_size_bytes(obj) -> int:
+    """Size of ``pickle.dumps(obj)`` — the paper's memory metric."""
+    buffer = io.BytesIO()
+    pickle.dump(obj, buffer, protocol=pickle.HIGHEST_PROTOCOL)
+    return buffer.getbuffer().nbytes
+
+
+def state_dict_bytes(module: Module, dtype=np.float32) -> int:
+    """Pickled size of the float32 weight dict (model-only footprint)."""
+    state = {
+        name: array.astype(dtype) for name, array in module.state_dict().items()
+    }
+    return pickled_size_bytes(state)

@@ -1,0 +1,391 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+This module is the foundation of the :mod:`repro.nn` framework.  The paper's
+models were implemented in Keras; since no deep-learning framework is
+available in this environment, we implement a compact, well-tested autograd
+engine that supports everything DeepSets, the compressed DeepSets variant,
+and the LSTM/GRU competitors need: broadcasting arithmetic, matrix products,
+reductions, indexing, and (in :mod:`repro.nn.functional`) gather and
+segment-sum primitives for ragged set batches.
+
+Design notes
+------------
+* A :class:`Tensor` wraps an ``np.ndarray``.  When gradients are enabled, an
+  operation records a closure mapping the upstream gradient to a list of
+  ``(parent, gradient)`` contributions.
+* ``backward()`` topologically sorts the recorded graph (iteratively, so
+  long RNN chains cannot overflow the Python stack) and accumulates
+  gradients into ``.grad`` on leaf tensors.
+* Gradients are plain ``np.ndarray`` objects; higher-order gradients are out
+  of scope, which keeps the engine small and auditable.
+* :func:`no_grad` disables graph recording, making pure inference (used by
+  the latency benchmarks) allocation-light.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor"]
+
+_GRAD_ENABLED = True
+
+# A backward closure maps the upstream gradient to per-parent contributions.
+BackwardFn = Callable[[np.ndarray], list[tuple["Tensor", np.ndarray]]]
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph construction.
+
+    Inside the block every operation behaves like plain numpy with a thin
+    :class:`Tensor` wrapper; ``backward`` cannot flow through results
+    produced here.
+    """
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record the autograd graph."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing numpy broadcasting.
+
+    Broadcasting can add leading axes and stretch length-1 axes; the adjoint
+    of broadcasting is summation over exactly those axes.
+    """
+    if grad.shape == shape:
+        return grad
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad
+
+
+def as_tensor(value, requires_grad: bool = False) -> "Tensor":
+    """Coerce ``value`` (Tensor, ndarray, or scalar) into a :class:`Tensor`."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value, requires_grad=requires_grad)
+
+
+class Tensor:
+    """A numpy array with reverse-mode gradient support.
+
+    Parameters
+    ----------
+    data:
+        Anything ``np.asarray`` accepts.  Non-array input is converted to
+        ``float64``; existing arrays keep their dtype (integer arrays are
+        allowed for index inputs but cannot require gradients).
+    requires_grad:
+        Whether gradients should be accumulated into ``self.grad`` during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+
+    def __init__(self, data, requires_grad: bool = False):
+        if isinstance(data, np.ndarray):
+            self.data = data
+        else:
+            self.data = np.asarray(data, dtype=np.float64)
+        if requires_grad and not np.issubdtype(self.data.dtype, np.floating):
+            raise TypeError("only floating point tensors can require gradients")
+        self.grad: np.ndarray | None = None
+        self.requires_grad = requires_grad
+        self._backward: BackwardFn | None = None
+        self._parents: tuple[Tensor, ...] = ()
+
+    # -- graph bookkeeping ---------------------------------------------------
+
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: tuple["Tensor", ...],
+        backward: BackwardFn,
+    ) -> "Tensor":
+        """Create a non-leaf tensor, recording the graph iff enabled."""
+        needs = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=needs)
+        if needs:
+            out._parents = parents
+            out._backward = backward
+        return out
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor.
+
+        ``grad`` defaults to ones, the usual seed for a scalar loss.  Raises
+        if called on a tensor produced under :func:`no_grad`.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() on a tensor that does not require grad")
+        if grad is None:
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=self.data.dtype)
+            if grad.shape != self.data.shape:
+                raise ValueError(
+                    f"gradient shape {grad.shape} does not match tensor shape "
+                    f"{self.data.shape}"
+                )
+
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited and parent.requires_grad:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node._backward is None:
+                # Leaf tensor: accumulate into .grad.
+                if node.grad is None:
+                    node.grad = node_grad.astype(node.data.dtype, copy=True)
+                else:
+                    node.grad += node_grad
+                continue
+            for parent, contribution in node._backward(node_grad):
+                if not parent.requires_grad:
+                    continue
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + contribution
+                else:
+                    grads[key] = contribution
+
+    # -- basic properties ------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        """Return a tensor sharing data but cut off from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({self.data!r}{grad_flag})"
+
+    # -- arithmetic --------------------------------------------------------------
+
+    def __add__(self, other) -> "Tensor":
+        other = as_tensor(other)
+
+        def backward(grad):
+            return [
+                (self, _unbroadcast(grad, self.data.shape)),
+                (other, _unbroadcast(grad, other.data.shape)),
+            ]
+
+        return Tensor._make(self.data + other.data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        return Tensor._make(-self.data, (self,), lambda grad: [(self, -grad)])
+
+    def __sub__(self, other) -> "Tensor":
+        other = as_tensor(other)
+
+        def backward(grad):
+            return [
+                (self, _unbroadcast(grad, self.data.shape)),
+                (other, _unbroadcast(-grad, other.data.shape)),
+            ]
+
+        return Tensor._make(self.data - other.data, (self, other), backward)
+
+    def __rsub__(self, other) -> "Tensor":
+        return as_tensor(other) - self
+
+    def __mul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+
+        def backward(grad):
+            return [
+                (self, _unbroadcast(grad * other.data, self.data.shape)),
+                (other, _unbroadcast(grad * self.data, other.data.shape)),
+            ]
+
+        return Tensor._make(self.data * other.data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = as_tensor(other)
+
+        def backward(grad):
+            return [
+                (self, _unbroadcast(grad / other.data, self.data.shape)),
+                (
+                    other,
+                    _unbroadcast(
+                        -grad * self.data / (other.data**2), other.data.shape
+                    ),
+                ),
+            ]
+
+        return Tensor._make(self.data / other.data, (self, other), backward)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return as_tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+
+        def backward(grad):
+            return [(self, grad * exponent * self.data ** (exponent - 1))]
+
+        return Tensor._make(self.data**exponent, (self,), backward)
+
+    def __matmul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+
+        def backward(grad):
+            # Batch dimensions broadcast in matmul; the adjoints must be
+            # summed back down (e.g. a (B, L, D) @ (D, H) product sends a
+            # (B, D, H) gradient to the (D, H) weight).
+            contributions = []
+            if self.requires_grad:
+                grad_self = grad @ other.data.swapaxes(-1, -2)
+                contributions.append((self, _unbroadcast(grad_self, self.data.shape)))
+            if other.requires_grad:
+                grad_other = self.data.swapaxes(-1, -2) @ grad
+                contributions.append(
+                    (other, _unbroadcast(grad_other, other.data.shape))
+                )
+            return contributions
+
+        return Tensor._make(self.data @ other.data, (self, other), backward)
+
+    # -- reductions ------------------------------------------------------------
+
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        def backward(grad):
+            g = grad
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+            return [(self, np.broadcast_to(g, self.data.shape).copy())]
+
+        return Tensor._make(
+            self.data.sum(axis=axis, keepdims=keepdims), (self,), backward
+        )
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad):
+            g = grad
+            o = out_data
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+                o = np.expand_dims(o, axis)
+            mask = (self.data == o).astype(self.data.dtype)
+            # Split ties evenly so numeric gradient checks pass on plateaus.
+            if axis is None:
+                denom = mask.sum()
+            else:
+                denom = mask.sum(axis=axis, keepdims=True)
+            return [(self, mask * g / denom)]
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # -- shape manipulation --------------------------------------------------------
+
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+
+        def backward(grad):
+            return [(self, grad.reshape(self.data.shape))]
+
+        return Tensor._make(self.data.reshape(shape), (self,), backward)
+
+    def ravel(self) -> "Tensor":
+        return self.reshape(-1)
+
+    def transpose(self, *axes) -> "Tensor":
+        axes_arg = axes if axes else None
+
+        def backward(grad):
+            if axes_arg is None:
+                return [(self, grad.transpose())]
+            return [(self, grad.transpose(np.argsort(axes_arg)))]
+
+        return Tensor._make(self.data.transpose(axes_arg), (self,), backward)
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __getitem__(self, key) -> "Tensor":
+        def backward(grad):
+            full = np.zeros_like(self.data)
+            np.add.at(full, key, grad)
+            return [(self, full)]
+
+        return Tensor._make(self.data[key], (self,), backward)

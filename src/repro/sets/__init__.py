@@ -1,0 +1,26 @@
+"""Set-collection substrate: storage, vocabulary, ground truth, workloads."""
+
+from .collection import CollectionStats, SetCollection
+from .inverted import InvertedIndex
+from .subsets import (
+    cardinality_training_pairs,
+    enumerate_subsets,
+    index_training_pairs,
+    negative_membership_samples,
+    positive_membership_samples,
+    sample_query_workload,
+)
+from .vocab import Vocabulary
+
+__all__ = [
+    "SetCollection",
+    "CollectionStats",
+    "InvertedIndex",
+    "Vocabulary",
+    "enumerate_subsets",
+    "index_training_pairs",
+    "cardinality_training_pairs",
+    "positive_membership_samples",
+    "negative_membership_samples",
+    "sample_query_workload",
+]

@@ -1,0 +1,186 @@
+"""Subset enumeration and training-data generation (paper §7.1).
+
+The regression tasks train on *subsets of the stored sets* labelled with
+their cardinality or first index position; the membership task additionally
+needs *negative* samples — element combinations that never co-occur.  The
+paper caps enumeration at subset size 6 because, under skewed element
+distributions, larger subsets are almost always singletons in frequency;
+``max_subset_size`` is the corresponding knob here, and ``max_samples``
+optionally subsamples the enumerated universe to keep CPU training cheap.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from .collection import SetCollection
+from .inverted import InvertedIndex
+
+__all__ = [
+    "enumerate_subsets",
+    "index_training_pairs",
+    "cardinality_training_pairs",
+    "positive_membership_samples",
+    "negative_membership_samples",
+    "sample_query_workload",
+]
+
+
+def enumerate_subsets(
+    elements: Sequence[int], max_size: int | None = None
+) -> Iterator[tuple[int, ...]]:
+    """Yield all non-empty subsets of ``elements`` up to ``max_size``.
+
+    Elements are assumed distinct; subsets come out in increasing-size,
+    lexicographic order and as sorted tuples (the canonical form used
+    throughout).
+    """
+    ordered = sorted(elements)
+    limit = len(ordered) if max_size is None else min(max_size, len(ordered))
+    for size in range(1, limit + 1):
+        yield from itertools.combinations(ordered, size)
+
+
+def index_training_pairs(
+    collection: SetCollection,
+    max_subset_size: int | None = None,
+    max_samples: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> tuple[list[tuple[int, ...]], np.ndarray]:
+    """All distinct subsets with their *first* position in the collection.
+
+    A single pass in storage order guarantees the recorded position is the
+    first occurrence (paper §4.1).  When ``max_samples`` is given, a uniform
+    subsample is drawn (the learned index then only guarantees lookups for
+    trained subsets — the benches use the same subsample as the workload).
+    """
+    first_position: dict[tuple[int, ...], int] = {}
+    for position, stored in enumerate(collection):
+        for subset in enumerate_subsets(stored, max_subset_size):
+            if subset not in first_position:
+                first_position[subset] = position
+    subsets = list(first_position.keys())
+    positions = np.fromiter(first_position.values(), dtype=np.int64, count=len(subsets))
+    if max_samples is not None and len(subsets) > max_samples:
+        rng = rng or np.random.default_rng()
+        keep = rng.choice(len(subsets), size=max_samples, replace=False)
+        keep.sort()
+        subsets = [subsets[i] for i in keep]
+        positions = positions[keep]
+    return subsets, positions
+
+
+def cardinality_training_pairs(
+    collection: SetCollection,
+    max_subset_size: int | None = None,
+    max_samples: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> tuple[list[tuple[int, ...]], np.ndarray]:
+    """All distinct subsets with their number of occurrences.
+
+    Cardinalities are counted exactly during the same enumeration pass
+    (each stored set contributes one occurrence to each of its subsets), so
+    no second scan over the collection is needed.
+    """
+    counts: dict[tuple[int, ...], int] = {}
+    for stored in collection:
+        for subset in enumerate_subsets(stored, max_subset_size):
+            counts[subset] = counts.get(subset, 0) + 1
+    subsets = list(counts.keys())
+    cardinalities = np.fromiter(counts.values(), dtype=np.int64, count=len(subsets))
+    if max_samples is not None and len(subsets) > max_samples:
+        rng = rng or np.random.default_rng()
+        keep = rng.choice(len(subsets), size=max_samples, replace=False)
+        keep.sort()
+        subsets = [subsets[i] for i in keep]
+        cardinalities = cardinalities[keep]
+    return subsets, cardinalities
+
+
+def positive_membership_samples(
+    collection: SetCollection,
+    max_subset_size: int | None = None,
+    max_samples: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> list[tuple[int, ...]]:
+    """Distinct subsets present in the collection (label 1 for the filter)."""
+    subsets, _ = cardinality_training_pairs(
+        collection, max_subset_size, max_samples, rng
+    )
+    return subsets
+
+
+def negative_membership_samples(
+    collection: SetCollection,
+    index: InvertedIndex,
+    num_samples: int,
+    max_subset_size: int = 4,
+    rng: np.random.Generator | None = None,
+    max_attempts_factor: int = 50,
+    frequency_weighted: bool = False,
+) -> list[tuple[int, ...]]:
+    """Element combinations that do NOT co-occur in any stored set.
+
+    The paper notes (§7.1.2) that the complete negative universe is
+    combinatorial, so training uses a sample restricted to subsets up to a
+    predefined size.  Candidates combine *existing* element ids and are
+    verified against the exact inverted index.
+
+    By default elements are drawn uniformly over the vocabulary, mirroring
+    the paper's "combinations of elements not appearing [together] in the
+    original sets" — under skew these mostly involve tail elements, which
+    is what lets small classifiers reach Table 9's accuracies.  Setting
+    ``frequency_weighted=True`` instead draws elements by frequency,
+    producing *adversarial* negatives that look like plausible queries; the
+    ablation bench shows how sharply this degrades the learned filter.
+    """
+    rng = rng or np.random.default_rng()
+    frequencies = collection.element_frequencies()
+    population = np.flatnonzero(frequencies)
+    if frequency_weighted:
+        weights = frequencies[population] / frequencies[population].sum()
+    else:
+        weights = None
+    negatives: set[tuple[int, ...]] = set()
+    attempts = 0
+    max_attempts = max_attempts_factor * num_samples
+    while len(negatives) < num_samples and attempts < max_attempts:
+        attempts += 1
+        size = int(rng.integers(2, max_subset_size + 1))
+        if size > len(population):
+            break
+        candidate = tuple(
+            sorted(rng.choice(population, size=size, replace=False, p=weights))
+        )
+        if candidate in negatives:
+            continue
+        if index.cardinality(candidate) == 0:
+            negatives.add(candidate)
+    return sorted(negatives)
+
+
+def sample_query_workload(
+    collection: SetCollection,
+    num_queries: int,
+    rng: np.random.Generator | None = None,
+    max_subset_size: int | None = None,
+) -> list[tuple[int, ...]]:
+    """Positive query workload: random subsets of random stored sets.
+
+    Mirrors the paper's workload construction ("subsets of the original
+    sets having both few and many elements"): the subset size is uniform
+    in ``[1, min(|X|, max_subset_size)]``.
+    """
+    rng = rng or np.random.default_rng()
+    queries: list[tuple[int, ...]] = []
+    n = len(collection)
+    for _ in range(num_queries):
+        stored = collection[int(rng.integers(0, n))]
+        cap = len(stored) if max_subset_size is None else min(len(stored), max_subset_size)
+        size = int(rng.integers(1, cap + 1))
+        chosen = rng.choice(len(stored), size=size, replace=False)
+        queries.append(tuple(sorted(stored[i] for i in chosen)))
+    return queries

@@ -1,0 +1,74 @@
+"""String <-> integer vocabulary for set elements.
+
+The learned models operate on dense integer ids; real data (hashtags, log
+tokens) arrives as strings.  :class:`Vocabulary` provides a stable bijection
+plus frequency bookkeeping, which the dataset statistics (Table 2) and the
+compression divisor computation rely on.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator
+
+__all__ = ["Vocabulary"]
+
+
+class Vocabulary:
+    """Bidirectional mapping between element tokens and dense integer ids.
+
+    Ids are assigned in first-seen order starting at 0, so ``max_id`` equals
+    ``len(vocab) - 1`` — the quantity the compression divisor is derived
+    from.
+    """
+
+    def __init__(self):
+        self._token_to_id: dict[str, int] = {}
+        self._id_to_token: list[str] = []
+        self._frequencies: Counter[int] = Counter()
+
+    def add(self, token: str) -> int:
+        """Intern ``token`` (counting one occurrence) and return its id."""
+        existing = self._token_to_id.get(token)
+        if existing is None:
+            existing = len(self._id_to_token)
+            self._token_to_id[token] = existing
+            self._id_to_token.append(token)
+        self._frequencies[existing] += 1
+        return existing
+
+    def add_set(self, tokens: Iterable[str]) -> tuple[int, ...]:
+        """Intern a whole set; returns the sorted, de-duplicated id tuple."""
+        return tuple(sorted({self.add(token) for token in tokens}))
+
+    def id_of(self, token: str) -> int:
+        """Return the id of ``token``; raises ``KeyError`` if unknown."""
+        return self._token_to_id[token]
+
+    def token_of(self, element_id: int) -> str:
+        return self._id_to_token[element_id]
+
+    def encode(self, tokens: Iterable[str]) -> tuple[int, ...]:
+        """Encode known tokens to a sorted id tuple (KeyError if unknown)."""
+        return tuple(sorted({self._token_to_id[token] for token in tokens}))
+
+    def decode(self, element_ids: Iterable[int]) -> frozenset[str]:
+        return frozenset(self._id_to_token[i] for i in element_ids)
+
+    def frequency(self, element_id: int) -> int:
+        """How many times the element was interned via :meth:`add`."""
+        return self._frequencies[element_id]
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_token)
+
+    @property
+    def max_id(self) -> int:
+        """Largest assigned id (−1 when empty)."""
+        return len(self._id_to_token) - 1

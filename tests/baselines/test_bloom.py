@@ -1,0 +1,106 @@
+"""Tests for the traditional Bloom filter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import BloomFilter, bloom_size_bits, bloom_size_bytes
+
+
+class TestSizing:
+    def test_size_grows_with_items(self):
+        assert bloom_size_bits(1000, 0.01) > bloom_size_bits(100, 0.01)
+
+    def test_size_grows_with_stricter_fp(self):
+        assert bloom_size_bits(1000, 0.001) > bloom_size_bits(1000, 0.1)
+
+    def test_textbook_value(self):
+        # ~9.59 bits per item at 1% fp rate.
+        bits = bloom_size_bits(10_000, 0.01)
+        assert 9.5 * 10_000 < bits < 9.7 * 10_000
+
+    def test_bytes_conversion(self):
+        assert bloom_size_bytes(1000, 0.01) == (bloom_size_bits(1000, 0.01) + 7) // 8
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            bloom_size_bits(0, 0.01)
+        with pytest.raises(ValueError):
+            bloom_size_bits(10, 1.5)
+
+
+class TestMembership:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(capacity=500, fp_rate=0.01)
+        keys = list(range(0, 5000, 10))
+        for key in keys:
+            bloom.add_key(key)
+        assert all(bloom.contains_key(key) for key in keys)
+
+    def test_fp_rate_near_target(self):
+        capacity = 2000
+        bloom = BloomFilter(capacity=capacity, fp_rate=0.01)
+        for key in range(capacity):
+            bloom.add_key(key)
+        probes = np.arange(capacity, capacity + 20_000)
+        false_positives = sum(bloom.contains_key(int(k)) for k in probes)
+        rate = false_positives / len(probes)
+        assert rate < 0.03  # target 0.01 with generous slack
+
+    def test_empty_filter_rejects_everything(self):
+        bloom = BloomFilter(capacity=10, fp_rate=0.01)
+        assert not any(bloom.contains_key(k) for k in range(100))
+
+    def test_dunder_contains(self):
+        bloom = BloomFilter(capacity=10)
+        bloom.add_key(5)
+        assert 5 in bloom
+
+
+class TestSetAPI:
+    def test_permutation_invariant_membership(self):
+        bloom = BloomFilter(capacity=10)
+        bloom.add_set([3, 1, 2])
+        assert bloom.contains_set([2, 3, 1])
+
+    def test_subset_is_not_member_unless_added(self):
+        bloom = BloomFilter(capacity=100, fp_rate=0.001)
+        bloom.add_set([1, 2, 3])
+        assert not bloom.contains_set([1, 2])
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        sets=st.lists(
+            st.sets(st.integers(0, 1000), min_size=1, max_size=6),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_property_inserted_sets_always_found(self, sets):
+        bloom = BloomFilter(capacity=max(len(sets), 1), fp_rate=0.05)
+        for s in sets:
+            bloom.add_set(s)
+        for s in sets:
+            assert bloom.contains_set(s)
+
+
+class TestAccounting:
+    def test_size_bytes_matches_bit_array(self):
+        bloom = BloomFilter(capacity=1000, fp_rate=0.01)
+        assert bloom.size_bytes() == (bloom.num_bits + 7) // 8
+
+    def test_fill_ratio_increases(self):
+        bloom = BloomFilter(capacity=100, fp_rate=0.01)
+        before = bloom.fill_ratio()
+        for key in range(100):
+            bloom.add_key(key)
+        assert bloom.fill_ratio() > before
+
+    def test_num_inserted_counter(self):
+        bloom = BloomFilter(capacity=10)
+        bloom.add_key(1)
+        bloom.add_set([1, 2])
+        assert bloom.num_inserted == 2

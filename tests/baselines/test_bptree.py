@@ -1,0 +1,167 @@
+"""Tests for the B+ tree, including invariant checks under random workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import BPlusTree
+
+
+class TestBasics:
+    def test_insert_and_search(self):
+        tree = BPlusTree(order=4)
+        tree.insert(10, "a")
+        tree.insert(5, "b")
+        tree.insert(20, "c")
+        assert tree.search(5) == ["b"]
+        assert tree.search(10) == ["a"]
+        assert tree.search(20) == ["c"]
+
+    def test_missing_key_returns_empty(self):
+        tree = BPlusTree()
+        tree.insert(1, "x")
+        assert tree.search(2) == []
+        assert 2 not in tree
+        assert 1 in tree
+
+    def test_duplicate_keys_accumulate(self):
+        tree = BPlusTree(order=4)
+        tree.insert(7, "first")
+        tree.insert(7, "second")
+        assert tree.search(7) == ["first", "second"]
+        assert len(tree) == 2
+        assert tree.num_unique_keys == 1
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=2)
+
+
+class TestSplitsAndStructure:
+    def test_many_inserts_stay_sorted(self):
+        tree = BPlusTree(order=4)
+        keys = list(range(100, 0, -1))
+        for key in keys:
+            tree.insert(key, key)
+        assert [k for k, _ in tree.items()] == sorted(keys)
+        tree.check_invariants()
+
+    def test_height_grows_logarithmically(self):
+        tree = BPlusTree(order=4)
+        for key in range(500):
+            tree.insert(key, key)
+        assert 2 <= tree.height() <= 7
+        tree.check_invariants()
+
+    def test_large_order_stays_shallow(self):
+        tree = BPlusTree(order=100)
+        for key in range(5000):
+            tree.insert(key, key)
+        assert tree.height() <= 3
+        tree.check_invariants()
+
+    def test_all_keys_retrievable_after_splits(self):
+        tree = BPlusTree(order=3)
+        rng = np.random.default_rng(0)
+        keys = rng.permutation(300)
+        for key in keys:
+            tree.insert(int(key), int(key) * 2)
+        for key in keys:
+            assert tree.search(int(key)) == [int(key) * 2]
+
+
+class TestRangeScan:
+    @pytest.fixture
+    def tree(self):
+        t = BPlusTree(order=4)
+        for key in range(0, 100, 2):  # even keys
+            t.insert(key, f"v{key}")
+        return t
+
+    def test_inclusive_bounds(self, tree):
+        result = [k for k, _ in tree.range_scan(10, 20)]
+        assert result == [10, 12, 14, 16, 18, 20]
+
+    def test_bounds_between_keys(self, tree):
+        result = [k for k, _ in tree.range_scan(11, 19)]
+        assert result == [12, 14, 16, 18]
+
+    def test_empty_range(self, tree):
+        assert list(tree.range_scan(101, 200)) == []
+
+    def test_full_range(self, tree):
+        assert len(list(tree.range_scan(0, 98))) == 50
+
+    def test_range_scan_includes_duplicates(self):
+        tree = BPlusTree(order=4)
+        tree.insert(5, "a")
+        tree.insert(5, "b")
+        tree.insert(6, "c")
+        assert [(k, v) for k, v in tree.range_scan(5, 6)] == [
+            (5, "a"),
+            (5, "b"),
+            (6, "c"),
+        ]
+
+
+class TestPickling:
+    def test_roundtrip_preserves_entries(self):
+        import pickle
+
+        tree = BPlusTree(order=4)
+        for key in [5, 1, 5, 9, 3]:
+            tree.insert(key, f"v{key}")
+        clone = pickle.loads(pickle.dumps(tree))
+        clone.check_invariants()
+        assert clone.search(5) == ["v5", "v5"]
+        assert len(clone) == 5
+        assert clone.order == 4
+
+    def test_deep_leaf_chain_does_not_recurse(self):
+        """Pickling must not recurse through the leaf chain (flat state)."""
+        import pickle
+
+        tree = BPlusTree(order=3)
+        for key in range(5000):
+            tree.insert(key, key)
+        clone = pickle.loads(pickle.dumps(tree))
+        assert clone.search(4999) == [4999]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    keys=st.lists(st.integers(-1000, 1000), min_size=1, max_size=200),
+    order=st.integers(3, 16),
+)
+def test_property_matches_dict_reference(keys, order):
+    """The tree agrees with a dict-of-lists reference on any workload."""
+    tree = BPlusTree(order=order)
+    reference: dict[int, list[int]] = {}
+    for position, key in enumerate(keys):
+        tree.insert(key, position)
+        reference.setdefault(key, []).append(position)
+    tree.check_invariants()
+    for key, expected in reference.items():
+        assert tree.search(key) == expected
+    assert tree.search(10_000) == []
+    assert [k for k, _ in tree.items()] == sorted(
+        k for k, bucket in reference.items() for _ in bucket
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    keys=st.lists(st.integers(0, 500), min_size=1, max_size=150),
+    low=st.integers(0, 500),
+    span=st.integers(0, 100),
+)
+def test_property_range_scan_matches_filter(keys, low, span):
+    tree = BPlusTree(order=5)
+    for key in keys:
+        tree.insert(key, key)
+    high = low + span
+    expected = sorted(k for k in keys if low <= k <= high)
+    assert [k for k, _ in tree.range_scan(low, high)] == expected

@@ -1,0 +1,75 @@
+"""Tests for permutation-invariant hashing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    canonical_set_hash,
+    commutative_set_hash,
+    double_hashes,
+    element_hash,
+)
+
+
+class TestElementHash:
+    def test_deterministic(self):
+        assert element_hash(42) == element_hash(42)
+
+    def test_seed_changes_hash(self):
+        assert element_hash(42, seed=0) != element_hash(42, seed=1)
+
+    def test_distinct_elements_differ(self):
+        hashes = {element_hash(e) for e in range(1000)}
+        assert len(hashes) == 1000
+
+    def test_64_bit_range(self):
+        assert 0 <= element_hash(123) < 2**64
+
+
+class TestSetHashes:
+    @pytest.mark.parametrize("hash_fn", [canonical_set_hash, commutative_set_hash])
+    def test_permutation_invariant(self, hash_fn):
+        assert hash_fn([1, 2, 3]) == hash_fn([3, 1, 2])
+
+    @pytest.mark.parametrize("hash_fn", [canonical_set_hash, commutative_set_hash])
+    def test_duplicates_collapse(self, hash_fn):
+        assert hash_fn([1, 1, 2]) == hash_fn([1, 2])
+
+    @pytest.mark.parametrize("hash_fn", [canonical_set_hash, commutative_set_hash])
+    def test_different_sets_differ(self, hash_fn):
+        assert hash_fn([1, 2]) != hash_fn([1, 3])
+
+    def test_subset_not_equal_superset(self):
+        assert commutative_set_hash([1, 2]) != commutative_set_hash([1, 2, 3])
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        elements=st.sets(st.integers(0, 10**6), min_size=1, max_size=10),
+        seed=st.integers(0, 100),
+    )
+    def test_property_invariance_under_random_permutation(self, elements, seed):
+        ordered = list(elements)
+        shuffled = list(np.random.default_rng(seed).permutation(ordered))
+        assert commutative_set_hash(ordered) == commutative_set_hash(shuffled)
+        assert canonical_set_hash(ordered) == canonical_set_hash(shuffled)
+
+
+class TestDoubleHashes:
+    def test_count_and_range(self):
+        slots = double_hashes(99, count=5, modulus=1000)
+        assert len(slots) == 5
+        assert all(0 <= s < 1000 for s in slots)
+
+    def test_deterministic(self):
+        assert double_hashes(7, 3, 100) == double_hashes(7, 3, 100)
+
+    def test_slots_spread(self):
+        # Across many keys, slots should cover most of a small table.
+        seen = set()
+        for key in range(200):
+            seen.update(double_hashes(key, 4, 64))
+        assert len(seen) > 55

@@ -1,0 +1,63 @@
+"""Tests for the exact HashMap competitors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import SetHashIndex, SubsetHashMap
+from repro.sets import SetCollection
+
+
+@pytest.fixture
+def collection() -> SetCollection:
+    return SetCollection([[1, 2, 3], [2, 3], [1, 4], [2, 3, 4], [1, 2, 3]])
+
+
+class TestSubsetHashMap:
+    def test_exact_cardinalities(self, collection):
+        hashmap = SubsetHashMap(collection)
+        assert hashmap.cardinality((2, 3)) == 4
+        assert hashmap.cardinality((1, 2, 3)) == 2
+        assert hashmap.cardinality((4,)) == 2
+        assert hashmap.cardinality((1, 4)) == 1
+
+    def test_unseen_subset_is_zero(self, collection):
+        hashmap = SubsetHashMap(collection)
+        assert hashmap.cardinality((1, 2, 3, 4)) == 0
+        assert not hashmap.contains((9,))
+
+    def test_query_order_does_not_matter(self, collection):
+        hashmap = SubsetHashMap(collection)
+        assert hashmap.cardinality((3, 2)) == hashmap.cardinality((2, 3))
+
+    def test_size_cap_limits_universe(self, collection):
+        capped = SubsetHashMap(collection, max_subset_size=1)
+        full = SubsetHashMap(collection)
+        assert len(capped) < len(full)
+        assert capped.cardinality((1, 2)) == 0  # beyond the cap
+
+    def test_matches_linear_scan_everywhere(self, collection):
+        hashmap = SubsetHashMap(collection)
+        from repro.sets import enumerate_subsets
+
+        for stored in collection:
+            for subset in enumerate_subsets(stored):
+                assert hashmap.cardinality(subset) == collection.cardinality(subset)
+
+
+class TestSetHashIndex:
+    def test_first_position_of_duplicates(self, collection):
+        index = SetHashIndex(collection)
+        assert index.first_position((1, 2, 3)) == 0  # also stored at 4
+
+    def test_exact_equality_only(self, collection):
+        index = SetHashIndex(collection)
+        assert index.first_position((2, 3)) == 1
+        assert index.first_position((2, 4)) is None  # subset, not a stored set
+
+    def test_query_order_invariance(self, collection):
+        index = SetHashIndex(collection)
+        assert index.first_position((3, 2, 1)) == 0
+
+    def test_len_counts_positions(self, collection):
+        assert len(SetHashIndex(collection)) == len(collection)

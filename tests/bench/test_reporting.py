@@ -1,0 +1,87 @@
+"""Tests for the benchmark reporting/timing/memory helpers."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench import (
+    Timer,
+    format_table,
+    format_value,
+    markdown_table,
+    mean_query_ms,
+    megabytes,
+    pickled_megabytes,
+)
+
+
+class TestFormatValue:
+    def test_ints_plain(self):
+        assert format_value(42) == "42"
+
+    def test_large_floats_grouped(self):
+        assert format_value(1234567.0) == "1,234,567"
+
+    def test_mid_floats_two_decimals(self):
+        assert format_value(12.345) == "12.35"
+
+    def test_small_floats_four_decimals(self):
+        assert format_value(0.1234) == "0.1234"
+
+    def test_tiny_floats_scientific(self):
+        assert "e" in format_value(0.00001)
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_strings_passthrough(self):
+        assert format_value("LSM") == "LSM"
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(["name", "value"], [["a", 1], ["bb", 22]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_empty_rows(self):
+        text = format_table(["h1", "h2"], [])
+        assert "h1" in text
+
+    def test_markdown_shape(self):
+        md = markdown_table(["a", "b"], [[1, 2]])
+        lines = md.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+
+class TestTiming:
+    def test_timer_measures(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.seconds >= 0.009
+
+    def test_mean_query_ms(self):
+        calls = []
+        ms = mean_query_ms(lambda q: calls.append(q), [1, 2, 3, 4], warmup=2)
+        assert ms >= 0
+        # 2 warmups + 4 timed calls.
+        assert len(calls) == 6
+
+    def test_empty_queries_rejected(self):
+        with pytest.raises(ValueError):
+            mean_query_ms(lambda q: None, [])
+
+
+class TestMemory:
+    def test_megabytes(self):
+        assert megabytes(2_000_000) == 2.0
+
+    def test_pickled_megabytes_positive(self):
+        assert pickled_megabytes({"a": list(range(1000))}) > 0

@@ -1,0 +1,44 @@
+"""Tests for the benchmark workbench's cheap parts (no training)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import report_table, results_dir
+from repro.bench.workbench import model_config
+
+
+class TestModelConfig:
+    def test_all_tasks_and_kinds(self):
+        for task in ("bloom", "index", "cardinality"):
+            for kind in ("lsm", "clsm"):
+                config = model_config(kind, task)
+                assert config.kind == kind
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(ValueError, match="unknown task"):
+            model_config("lsm", "join-ordering")
+
+    def test_bloom_uses_smallest_models(self):
+        bloom = model_config("clsm", "bloom")
+        cardinality = model_config("clsm", "cardinality")
+        assert bloom.embedding_dim < cardinality.embedding_dim
+
+
+class TestReportTable:
+    def test_persists_and_appends(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        report_table("exp1", ["a"], [[1]], title="first")
+        report_table("exp1", ["a"], [[2]], title="second")
+        text = (tmp_path / "exp1.txt").read_text()
+        assert "first" in text
+        assert "second" in text
+        printed = capsys.readouterr().out
+        assert "first" in printed
+
+    def test_results_dir_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "deep"))
+        directory = results_dir()
+        assert directory == tmp_path / "deep"
+        assert directory.exists()

@@ -1,0 +1,32 @@
+"""Shared test fixtures and numeric helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh, seeded random generator per test."""
+    return np.random.default_rng(12345)
+
+
+def numeric_gradient(func, array: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar ``func()`` w.r.t. ``array``.
+
+    ``func`` must recompute the full forward pass reading ``array`` in place.
+    """
+    grad = np.zeros_like(array)
+    iterator = np.nditer(array, flags=["multi_index"])
+    while not iterator.finished:
+        index = iterator.multi_index
+        original = array[index]
+        array[index] = original + eps
+        plus = func()
+        array[index] = original - eps
+        minus = func()
+        array[index] = original
+        grad[index] = (plus - minus) / (2.0 * eps)
+        iterator.iternext()
+    return grad

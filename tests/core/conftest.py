@@ -1,0 +1,80 @@
+"""Shared fixtures for task-level tests: a small trained stack.
+
+Training is the expensive part, so the collection and the three learned
+structures are module-scoped and deliberately tiny.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    LearnedBloomFilter,
+    LearnedCardinalityEstimator,
+    LearnedSetIndex,
+    ModelConfig,
+    OutlierRemovalConfig,
+    TrainConfig,
+)
+from repro.sets import InvertedIndex, SetCollection
+
+
+def _make_collection(seed: int = 7, n: int = 250, vocab: int = 80) -> SetCollection:
+    """Zipf-ish toy collection: frequent elements co-occur, tail is sparse."""
+    rng = np.random.default_rng(seed)
+    weights = 1.0 / np.arange(1, vocab + 1) ** 1.2
+    weights /= weights.sum()
+    sets = []
+    for _ in range(n):
+        size = int(rng.integers(2, 6))
+        sets.append(
+            tuple(sorted(set(rng.choice(vocab, size=size, replace=False, p=weights))))
+        )
+    return SetCollection(sets)
+
+
+@pytest.fixture(scope="module")
+def small_collection() -> SetCollection:
+    return _make_collection()
+
+
+@pytest.fixture(scope="module")
+def ground_truth(small_collection) -> InvertedIndex:
+    return InvertedIndex(small_collection)
+
+
+@pytest.fixture(scope="module")
+def trained_estimator(small_collection) -> LearnedCardinalityEstimator:
+    return LearnedCardinalityEstimator.build(
+        small_collection,
+        model_config=ModelConfig(kind="clsm", embedding_dim=4, seed=0),
+        train_config=TrainConfig(epochs=12, batch_size=256, lr=3e-3, seed=0),
+        removal=OutlierRemovalConfig(percentile=90.0, at_epochs=(6,)),
+        max_subset_size=3,
+    )
+
+
+@pytest.fixture(scope="module")
+def trained_index(small_collection) -> LearnedSetIndex:
+    return LearnedSetIndex.build(
+        small_collection,
+        model_config=ModelConfig(kind="clsm", embedding_dim=4, seed=1),
+        train_config=TrainConfig(epochs=12, batch_size=256, lr=3e-3, seed=1),
+        removal=OutlierRemovalConfig(percentile=90.0, at_epochs=(6,)),
+        max_subset_size=3,
+        error_range_length=50,
+    )
+
+
+@pytest.fixture(scope="module")
+def trained_filter(small_collection) -> LearnedBloomFilter:
+    return LearnedBloomFilter.build(
+        small_collection,
+        model_config=ModelConfig(
+            kind="clsm", embedding_dim=4, phi_hidden=(16,), rho_hidden=(16,), seed=2
+        ),
+        train_config=TrainConfig(epochs=15, batch_size=256, lr=5e-3, loss="bce", seed=2),
+        max_subset_size=3,
+        num_negative_samples=1500,
+    )

@@ -1,0 +1,102 @@
+"""Tests for the learned cardinality estimator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    LearnedCardinalityEstimator,
+    ModelConfig,
+    TrainConfig,
+    mean_q_error,
+)
+from repro.sets import sample_query_workload
+
+
+class TestBuild:
+    def test_report_populated(self, trained_estimator):
+        report = trained_estimator.report
+        assert report.num_training_subsets > 0
+        assert report.num_outliers > 0
+        assert report.seconds_per_epoch > 0
+        assert np.isfinite(report.final_loss)
+
+    def test_hybrid_flag(self, trained_estimator):
+        assert trained_estimator.is_hybrid
+
+    def test_from_training_data_without_removal_is_pure_model(self):
+        subsets = [(0,), (1,), (0, 1), (2,)]
+        cards = np.array([3, 2, 1, 1])
+        estimator = LearnedCardinalityEstimator.from_training_data(
+            subsets,
+            cards,
+            max_element_id=2,
+            model_config=ModelConfig(kind="lsm", embedding_dim=2, seed=0),
+            train_config=TrainConfig(epochs=3, seed=0),
+        )
+        assert not estimator.is_hybrid
+        assert estimator.auxiliary_bytes() == 0
+
+
+class TestEstimates:
+    def test_outliers_answered_exactly(self, trained_estimator, ground_truth):
+        for subset in list(trained_estimator.auxiliary)[:20]:
+            assert trained_estimator.estimate(subset) == ground_truth.cardinality(
+                subset
+            )
+
+    def test_estimates_floored_at_one(self, trained_estimator):
+        # Even a garbage query returns at least 1.
+        assert trained_estimator.estimate((0, 1, 2, 3, 4)) >= 1.0
+
+    def test_query_order_invariance(self, trained_estimator):
+        a = trained_estimator.estimate((5, 1))
+        b = trained_estimator.estimate((1, 5))
+        assert a == pytest.approx(b)
+
+    def test_estimate_many_matches_single(self, trained_estimator):
+        queries = [(0,), (1, 2), (3,)]
+        many = trained_estimator.estimate_many(queries)
+        singles = [trained_estimator.estimate(q) for q in queries]
+        np.testing.assert_allclose(many, singles)
+
+    def test_estimate_many_mixes_aux_and_model(self, trained_estimator):
+        aux_query = next(iter(trained_estimator.auxiliary))
+        queries = [aux_query, (0, 1)]
+        out = trained_estimator.estimate_many(queries)
+        assert out[0] == trained_estimator.auxiliary[aux_query]
+
+    def test_accuracy_reasonable_on_workload(
+        self, trained_estimator, small_collection, ground_truth
+    ):
+        queries = sample_query_workload(
+            small_collection, 150, rng=np.random.default_rng(0), max_subset_size=3
+        )
+        truth = np.array([ground_truth.cardinality(q) for q in queries])
+        estimates = trained_estimator.estimate_many(queries)
+        assert mean_q_error(estimates, truth) < 3.0
+
+
+class TestMemoryAccounting:
+    def test_totals_add_up(self, trained_estimator):
+        assert trained_estimator.total_bytes() == (
+            trained_estimator.model_bytes() + trained_estimator.auxiliary_bytes()
+        )
+
+    def test_clsm_model_smaller_than_lsm(self, small_collection):
+        common = dict(
+            train_config=TrainConfig(epochs=2, seed=0),
+            max_subset_size=2,
+        )
+        lsm = LearnedCardinalityEstimator.build(
+            small_collection,
+            model_config=ModelConfig(kind="lsm", embedding_dim=8, seed=0),
+            **common,
+        )
+        clsm = LearnedCardinalityEstimator.build(
+            small_collection,
+            model_config=ModelConfig(kind="clsm", embedding_dim=8, seed=0),
+            **common,
+        )
+        assert clsm.model_bytes() < lsm.model_bytes()

@@ -1,0 +1,142 @@
+"""Tests for the compressed DeepSets model, including the paper's
+X-vs-Z counterexample showing why the phi fusion is mandatory."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CompressedDeepSetsModel, ElementCompressor
+from repro.nn.data import SetBatch
+
+
+@pytest.fixture
+def compressor() -> ElementCompressor:
+    return ElementCompressor(max_value=99, ns=2)  # divisor 10
+
+
+@pytest.fixture
+def model(compressor, rng) -> CompressedDeepSetsModel:
+    return CompressedDeepSetsModel(
+        compressor, embedding_dim=4, phi_hidden=(16,), rho_hidden=(8,), rng=rng
+    )
+
+
+class TestForward:
+    def test_output_shape(self, model):
+        batch = SetBatch.from_sets([[1, 2, 3], [4]])
+        assert model(batch).shape == (2, 1)
+
+    def test_handles_max_element(self, model):
+        batch = SetBatch.from_sets([[99]])
+        assert model(batch).shape == (1, 1)
+
+    def test_ns3(self, rng):
+        compressor = ElementCompressor(max_value=999, ns=3)
+        model = CompressedDeepSetsModel(compressor, 4, (8,), (8,), rng=rng)
+        batch = SetBatch.from_sets([[0, 500, 999]])
+        assert model(batch).shape == (1, 1)
+
+    def test_fusion_required_when_enabled(self, compressor, rng):
+        with pytest.raises(ValueError, match="phi_hidden"):
+            CompressedDeepSetsModel(compressor, 4, phi_hidden=(), rng=rng)
+
+
+class TestEmbeddingShrinkage:
+    def test_embeddings_much_smaller_than_lsm(self, rng):
+        """The whole point of Section 5: sub-embeddings are tiny."""
+        from repro.core import DeepSetsModel
+
+        max_id = 100_000
+        lsm = DeepSetsModel(max_id + 1, 8, (8,), (8,), rng=rng)
+        compressor = ElementCompressor(max_id, ns=2)
+        clsm = CompressedDeepSetsModel(compressor, 8, (8,), (8,), rng=rng)
+        assert clsm.embedding_parameters() < lsm.embedding_parameters() / 100
+
+    def test_embedding_tables_match_vocab_sizes(self, model, compressor):
+        sizes = [e.num_embeddings for e in model.embeddings]
+        assert tuple(sizes) == compressor.vocab_sizes()
+
+
+class TestPermutationInvariance:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        elements=st.sets(st.integers(0, 99), min_size=1, max_size=8),
+        seed=st.integers(0, 100),
+    )
+    def test_property_invariant_under_permutation(self, elements, seed):
+        compressor = ElementCompressor(99, ns=2)
+        model = CompressedDeepSetsModel(
+            compressor, 4, (8,), (8,), rng=np.random.default_rng(0)
+        )
+        ordered = list(elements)
+        shuffled = list(np.random.default_rng(seed).permutation(ordered))
+        out_a = model(SetBatch.from_sets([ordered])).data
+        out_b = model(SetBatch.from_sets([shuffled])).data
+        np.testing.assert_allclose(out_a, out_b, atol=1e-12)
+
+
+class TestPhiFusionCounterexample:
+    """Section 5's X-vs-Z argument.
+
+    With divisor 10, elements 12 -> (2, 1) and 21 -> (1, 2), while
+    11 -> (1, 1) and 22 -> (2, 2).  The sets X = {12, 21} and Z = {11, 22}
+    have identical *pooled sub-element* statistics (quotients {1, 2},
+    remainders {1, 2}), so a model WITHOUT the phi fusion cannot tell them
+    apart.  With fusion the pairs are combined per element first and the
+    sets are distinguishable.
+    """
+
+    X = [12, 21]
+    Z = [11, 22]
+
+    def test_without_fusion_sets_collide(self, compressor, rng):
+        broken = CompressedDeepSetsModel(
+            compressor,
+            embedding_dim=4,
+            phi_hidden=(),
+            rho_hidden=(8,),
+            fuse_subelements=False,
+            rng=rng,
+        )
+        out_x = broken(SetBatch.from_sets([self.X])).data
+        out_z = broken(SetBatch.from_sets([self.Z])).data
+        np.testing.assert_allclose(out_x, out_z, atol=1e-12)
+
+    def test_with_fusion_sets_differ(self, model):
+        out_x = model(SetBatch.from_sets([self.X])).data
+        out_z = model(SetBatch.from_sets([self.Z])).data
+        assert abs(out_x[0, 0] - out_z[0, 0]) > 1e-9
+
+    def test_fused_model_can_learn_to_separate_the_pair(self, compressor, rng):
+        """Train the fused model to give X and Z different labels."""
+        from repro.nn import Adam, binary_cross_entropy
+
+        model = CompressedDeepSetsModel(
+            compressor, 4, (16,), (8,), rng=rng
+        )
+        batch = SetBatch.from_sets([self.X, self.Z])
+        labels = np.array([[1.0], [0.0]])
+        optimizer = Adam(model.parameters(), lr=0.02)
+        for _ in range(200):
+            loss = binary_cross_entropy(model(batch), labels)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        out = model(batch).data
+        assert out[0, 0] > 0.9
+        assert out[1, 0] < 0.1
+
+
+class TestPredict:
+    def test_predict_matches_forward(self, model):
+        sets = [[1, 2, 3], [99], [50, 60]]
+        direct = model(SetBatch.from_sets(sets)).data.ravel()
+        np.testing.assert_allclose(model.predict(sets), direct)
+
+    def test_predict_one(self, model):
+        assert model.predict_one([5, 7]) == pytest.approx(
+            float(model.predict([[5, 7]])[0])
+        )

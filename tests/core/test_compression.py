@@ -1,0 +1,171 @@
+"""Tests for Algorithm 1: per-element lossless compression."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ElementCompressor,
+    compress_element,
+    compressed_input_dims,
+    decompress_element,
+    embedding_matrix_bytes,
+    embedding_matrix_entries,
+    optimal_divisor,
+)
+
+
+class TestOptimalDivisor:
+    def test_square_root_for_ns2(self):
+        assert optimal_divisor(100, 2) == 10
+        assert optimal_divisor(101, 2) == 11
+
+    def test_cube_root_for_ns3(self):
+        assert optimal_divisor(1000, 3) == 10
+
+    def test_floating_point_undershoot_guarded(self):
+        # naive ceil(v ** (1/ns)) can undershoot on exact powers.
+        for value in (10**6, 10**9, 2**30):
+            divisor = optimal_divisor(value, 3)
+            assert divisor**3 >= value
+
+    def test_minimum_two(self):
+        assert optimal_divisor(1, 2) == 2
+        assert optimal_divisor(0, 2) == 2
+
+    def test_ns1_degenerates_to_identity_range(self):
+        assert optimal_divisor(50, 1) == 51
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            optimal_divisor(-1, 2)
+        with pytest.raises(ValueError):
+            optimal_divisor(10, 0)
+
+
+class TestCompressElement:
+    def test_paper_example(self):
+        """Figure 4: ns=2, max=100 -> sv_d=10; 91 -> (1, 9), 12 -> (2, 1), 23 -> (3, 2)."""
+        divisor = optimal_divisor(100, 2)
+        assert compress_element(91, divisor, 2) == (1, 9)
+        assert compress_element(12, divisor, 2) == (2, 1)
+        assert compress_element(23, divisor, 2) == (3, 2)
+
+    def test_roundtrip_ns2(self):
+        for element in (0, 1, 9, 10, 99, 100, 12345):
+            parts = compress_element(element, 10, 2)
+            assert decompress_element(parts, 10) == element
+
+    def test_roundtrip_ns4(self):
+        for element in (0, 7, 255, 4095, 65535):
+            parts = compress_element(element, 16, 4)
+            assert len(parts) == 4
+            assert decompress_element(parts, 16) == element
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            compress_element(-1, 10, 2)
+        with pytest.raises(ValueError):
+            compress_element(5, 1, 2)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        element=st.integers(0, 10**9),
+        divisor=st.integers(2, 10**4),
+        ns=st.integers(1, 5),
+    )
+    def test_property_lossless(self, element, divisor, ns):
+        parts = compress_element(element, divisor, ns)
+        assert len(parts) == ns
+        assert decompress_element(parts, divisor) == element
+
+    @settings(max_examples=100, deadline=None)
+    @given(element=st.integers(0, 10**6), ns=st.integers(2, 4))
+    def test_property_subelements_bounded_with_optimal_divisor(self, element, ns):
+        divisor = optimal_divisor(10**6, ns)
+        parts = compress_element(element, divisor, ns)
+        for remainder in parts[:-1]:
+            assert 0 <= remainder < divisor
+        assert 0 <= parts[-1] <= 10**6 // divisor ** (ns - 1)
+
+
+class TestElementCompressor:
+    def test_default_divisor_is_optimal(self):
+        compressor = ElementCompressor(100, ns=2)
+        assert compressor.divisor == 10
+
+    def test_custom_divisor(self):
+        compressor = ElementCompressor(100, ns=2, divisor=50)
+        assert compressor.compress(91) == (41, 1)
+        assert compressor.decompress((41, 1)) == 91
+
+    def test_compress_array_matches_scalar(self):
+        compressor = ElementCompressor(10_000, ns=3)
+        elements = np.array([0, 5, 99, 1234, 9999])
+        rows = compressor.compress_array(elements)
+        assert rows.shape == (3, 5)
+        for column, element in enumerate(elements):
+            assert tuple(rows[:, column]) == compressor.compress(int(element))
+
+    def test_vocab_sizes_cover_all_subelements(self):
+        compressor = ElementCompressor(999, ns=2)
+        remainder_vocab, quotient_vocab = compressor.vocab_sizes()
+        for element in range(1000):
+            remainder, quotient = compressor.compress(element)
+            assert remainder < remainder_vocab
+            assert quotient < quotient_vocab
+
+    def test_paper_motivating_numbers(self):
+        """Section 5: 1M elements, ns=2 -> two tables of about 1000 rows."""
+        compressor = ElementCompressor(1_000_000, ns=2)
+        sizes = compressor.vocab_sizes()
+        assert all(size <= 1001 for size in sizes)
+        assert compressor.total_vocab() <= 2002
+
+    def test_repr(self):
+        assert "ns=2" in repr(ElementCompressor(100, ns=2))
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        max_value=st.integers(1, 10**6),
+        ns=st.integers(1, 4),
+        seed=st.integers(0, 1000),
+    )
+    def test_property_array_roundtrip(self, max_value, ns, seed):
+        compressor = ElementCompressor(max_value, ns=ns)
+        elements = np.random.default_rng(seed).integers(0, max_value + 1, size=20)
+        rows = compressor.compress_array(elements)
+        recovered = [
+            compressor.decompress(tuple(rows[:, i])) for i in range(len(elements))
+        ]
+        np.testing.assert_array_equal(recovered, elements)
+
+
+class TestSizeAccounting:
+    def test_embedding_entries_and_bytes(self):
+        assert embedding_matrix_entries(1000, 100) == 100_000
+        assert embedding_matrix_bytes(1000, 100) == 400_000
+
+    def test_compressed_input_dims_shrink_with_ns(self):
+        """Figure 8: higher ns drastically reduces input dimensions."""
+        dims = [compressed_input_dims(10**6, ns) for ns in (1, 2, 3, 4)]
+        assert dims[0] == 10**6 + 1
+        assert dims[1] < dims[0] / 100
+        assert dims[2] < dims[1]
+        assert dims[3] < dims[2]
+
+    def test_compression_beats_bloom_crossover(self):
+        """Figure 3's point: raw embeddings dwarf a Bloom filter, compressed
+        embeddings do not."""
+        from repro.baselines import bloom_size_bytes
+
+        items = 1_000_000
+        raw = embedding_matrix_bytes(items, 8)
+        bloom = bloom_size_bytes(items, 0.01)
+        assert raw > bloom  # the problem
+        compressed_rows = ElementCompressor(items, ns=2).total_vocab()
+        compressed = embedding_matrix_bytes(compressed_rows, 8)
+        assert compressed < bloom  # the fix

@@ -1,0 +1,44 @@
+"""Tests for the shared model configuration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CompressedDeepSetsModel, DeepSetsModel, ModelConfig
+
+
+class TestModelConfig:
+    def test_lsm_build(self):
+        model = ModelConfig(kind="lsm", embedding_dim=4, seed=0).build(99)
+        assert isinstance(model, DeepSetsModel)
+        assert model.vocab_size == 100
+
+    def test_clsm_build(self):
+        model = ModelConfig(kind="clsm", ns=2, seed=0).build(99)
+        assert isinstance(model, CompressedDeepSetsModel)
+        assert model.compressor.ns == 2
+        assert model.compressor.max_value == 99
+
+    def test_custom_divisor_forwarded(self):
+        model = ModelConfig(kind="clsm", ns=2, divisor=50, seed=0).build(99)
+        assert model.compressor.divisor == 50
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            ModelConfig(kind="transformer")
+
+    def test_seed_reproducibility(self):
+        a = ModelConfig(kind="lsm", seed=42).build(10)
+        b = ModelConfig(kind="lsm", seed=42).build(10)
+        np.testing.assert_array_equal(
+            a.embedding.weight.data, b.embedding.weight.data
+        )
+
+    def test_sigmoid_head_everywhere(self):
+        from repro.nn.data import SetBatch
+
+        for kind in ("lsm", "clsm"):
+            model = ModelConfig(kind=kind, seed=0).build(50)
+            out = model(SetBatch.from_sets([[1, 2], [50]])).data
+            assert np.all((out > 0) & (out < 1))

@@ -1,0 +1,134 @@
+"""Tests for the DeepSets (LSM) model: invariance, shapes, learning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DeepSetsModel
+from repro.nn.data import SetBatch
+
+
+@pytest.fixture
+def model(rng) -> DeepSetsModel:
+    return DeepSetsModel(
+        vocab_size=50, embedding_dim=4, phi_hidden=(8,), rho_hidden=(8,), rng=rng
+    )
+
+
+class TestForward:
+    def test_output_shape(self, model):
+        batch = SetBatch.from_sets([[1, 2, 3], [4], [5, 6]])
+        assert model(batch).shape == (3, 1)
+
+    def test_sigmoid_output_range(self, model):
+        batch = SetBatch.from_sets([[i] for i in range(50)])
+        out = model(batch).data
+        assert np.all((out > 0) & (out < 1))
+
+    def test_variable_set_sizes_in_one_batch(self, model):
+        batch = SetBatch.from_sets([[1], list(range(30))])
+        assert model(batch).shape == (2, 1)
+
+    @pytest.mark.parametrize("pooling", ["sum", "mean", "max"])
+    def test_all_poolings_run(self, rng, pooling):
+        model = DeepSetsModel(20, 4, (8,), (8,), pooling=pooling, rng=rng)
+        batch = SetBatch.from_sets([[1, 2], [3]])
+        assert model(batch).shape == (2, 1)
+
+    def test_unknown_pooling_rejected(self, rng):
+        with pytest.raises(ValueError):
+            DeepSetsModel(10, 4, pooling="median", rng=rng)
+
+    def test_empty_phi_pools_raw_embeddings(self, rng):
+        model = DeepSetsModel(10, 4, phi_hidden=(), rho_hidden=(8,), rng=rng)
+        batch = SetBatch.from_sets([[1, 2]])
+        assert model(batch).shape == (1, 1)
+
+
+class TestPermutationInvariance:
+    """The defining property (paper §3.2)."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        elements=st.sets(st.integers(0, 49), min_size=1, max_size=10),
+        seed=st.integers(0, 100),
+    )
+    def test_property_invariant_under_permutation(self, elements, seed):
+        model = DeepSetsModel(50, 4, (8,), (8,), rng=np.random.default_rng(0))
+        ordered = list(elements)
+        shuffled = list(np.random.default_rng(seed).permutation(ordered))
+        out_a = model(SetBatch.from_sets([ordered])).data
+        out_b = model(SetBatch.from_sets([shuffled])).data
+        np.testing.assert_allclose(out_a, out_b, atol=1e-12)
+
+    def test_batch_order_does_not_change_per_set_outputs(self, model):
+        sets = [[1, 2], [3, 4, 5], [6]]
+        out_forward = model(SetBatch.from_sets(sets)).data
+        out_reversed = model(SetBatch.from_sets(sets[::-1])).data
+        np.testing.assert_allclose(out_forward, out_reversed[::-1], atol=1e-12)
+
+    def test_different_sets_give_different_outputs(self, model):
+        out = model(SetBatch.from_sets([[1, 2], [3, 4]])).data
+        assert abs(out[0, 0] - out[1, 0]) > 1e-9
+
+
+class TestVariableSizeSupport:
+    def test_same_multiset_different_sizes_distinct(self, model):
+        out = model(SetBatch.from_sets([[1], [1, 2]])).data
+        assert abs(out[0, 0] - out[1, 0]) > 1e-9
+
+
+class TestPredictHelpers:
+    def test_predict_matches_forward(self, model):
+        sets = [[1, 2, 3], [4], [5, 6]]
+        direct = model(SetBatch.from_sets(sets)).data.ravel()
+        np.testing.assert_allclose(model.predict(sets), direct)
+
+    def test_predict_batches_consistently(self, model):
+        sets = [[i % 50, (i * 7) % 50] for i in range(100)]
+        sets = [sorted(set(s)) for s in sets]
+        np.testing.assert_allclose(
+            model.predict(sets, batch_size=7), model.predict(sets, batch_size=100)
+        )
+
+    def test_predict_one_matches_predict(self, model):
+        assert model.predict_one([3, 1]) == pytest.approx(
+            float(model.predict([[1, 3]])[0])
+        )
+
+    def test_predict_restores_training_mode(self, model):
+        model.train()
+        model.predict([[1]])
+        assert model.training
+
+    def test_embedding_parameters(self, model):
+        assert model.embedding_parameters() == 50 * 4
+
+
+class TestLearning:
+    def test_learns_simple_set_function(self, rng):
+        """The model can learn 'does the set contain element 0'."""
+        model = DeepSetsModel(20, 4, (16,), (16,), rng=rng)
+        from repro.nn import Adam, binary_cross_entropy
+        from repro.nn.data import RaggedArray
+
+        sets, labels = [], []
+        for _ in range(300):
+            size = int(rng.integers(1, 5))
+            s = list(rng.choice(20, size=size, replace=False))
+            sets.append(sorted(set(s)))
+            labels.append(1.0 if 0 in s else 0.0)
+        labels = np.array(labels)[:, None]
+        ragged = RaggedArray(sets)
+        optimizer = Adam(model.parameters(), lr=0.01)
+        batch = ragged.batch(np.arange(len(sets)))
+        for _ in range(100):
+            loss = binary_cross_entropy(model(batch), labels)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        accuracy = ((model.predict(sets) > 0.5) == labels.ravel()).mean()
+        assert accuracy > 0.95

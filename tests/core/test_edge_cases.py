@@ -1,0 +1,107 @@
+"""Edge-case and failure-injection tests across the core package."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DeepSetsModel,
+    LogMinMaxScaler,
+    LookupStats,
+    ModelConfig,
+    TrainConfig,
+    guided_fit,
+)
+from repro.nn.data import RaggedArray, SetBatch
+
+
+class TestPredictPaths:
+    def test_predict_accepts_ragged_array(self, rng):
+        model = DeepSetsModel(10, 2, (4,), (4,), rng=rng)
+        sets = [[1, 2], [3], [4, 5, 6]]
+        ragged = RaggedArray(sets)
+        np.testing.assert_allclose(model.predict(ragged), model.predict(sets))
+
+    def test_predict_empty_batch_size_edge(self, rng):
+        model = DeepSetsModel(10, 2, (4,), (4,), rng=rng)
+        sets = [[1]] * 5
+        np.testing.assert_allclose(
+            model.predict(sets, batch_size=1), model.predict(sets, batch_size=5)
+        )
+
+    def test_forward_rejects_out_of_vocab(self, rng):
+        model = DeepSetsModel(10, 2, (4,), (4,), rng=rng)
+        with pytest.raises(IndexError):
+            model(SetBatch.from_sets([[10]]))
+
+
+class TestLookupStats:
+    def test_mean_scan_length_no_lookups(self):
+        assert LookupStats().mean_scan_length == 0.0
+
+    def test_mean_scan_length_only_aux_hits(self):
+        stats = LookupStats(lookups=5, auxiliary_hits=5, sets_scanned=0)
+        assert stats.mean_scan_length == 0.0
+
+    def test_mean_scan_length_mixed(self):
+        stats = LookupStats(lookups=10, auxiliary_hits=4, sets_scanned=60)
+        assert stats.mean_scan_length == 10.0
+
+
+class TestScalerEdges:
+    def test_span_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            LogMinMaxScaler().span
+
+    def test_inverse_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            LogMinMaxScaler().inverse([0.5])
+
+    def test_zero_values_allowed(self):
+        scaler = LogMinMaxScaler().fit([0, 10])
+        assert scaler.transform([0])[0] == pytest.approx(0.0)
+        assert scaler.inverse([0.0])[0] == pytest.approx(0.0)
+
+
+class TestGuidedFitEdges:
+    def test_single_sample_corpus(self, rng):
+        model = DeepSetsModel(5, 2, (4,), (4,), rng=rng)
+        scaler = LogMinMaxScaler.from_bounds(0, 10)
+        result = guided_fit(
+            model,
+            [[1, 2]],
+            np.array([3.0]),
+            scaler,
+            TrainConfig(epochs=2, seed=0),
+            rng=np.random.default_rng(0),
+        )
+        assert result.num_outliers == 0
+        assert len(result.final_predictions) == 1
+
+    def test_targets_all_equal(self, rng):
+        """A constant target distribution must not crash the scaler path."""
+        model = DeepSetsModel(5, 2, (4,), (4,), rng=rng)
+        scaler = LogMinMaxScaler().fit([7.0, 7.0])
+        result = guided_fit(
+            model,
+            [[1], [2]],
+            np.array([7.0, 7.0]),
+            scaler,
+            TrainConfig(epochs=2, seed=0),
+            rng=np.random.default_rng(0),
+        )
+        assert np.all(np.isfinite(result.final_predictions))
+
+
+class TestModelConfigEdges:
+    def test_max_element_id_zero(self):
+        """A single-element universe still builds (vocab of one)."""
+        model = ModelConfig(kind="lsm", embedding_dim=2, seed=0).build(0)
+        out = model(SetBatch.from_sets([[0]]))
+        assert out.shape == (1, 1)
+
+    def test_clsm_tiny_universe(self):
+        model = ModelConfig(kind="clsm", embedding_dim=2, seed=0).build(1)
+        out = model(SetBatch.from_sets([[0, 1]]))
+        assert out.shape == (1, 1)

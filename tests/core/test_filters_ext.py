@@ -1,0 +1,125 @@
+"""Tests for the sandwiched and partitioned learned Bloom filters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PartitionedLearnedBloomFilter,
+    SandwichedLearnedBloomFilter,
+)
+from repro.sets import positive_membership_samples
+
+
+@pytest.fixture(scope="module")
+def trained_pieces(trained_filter, small_collection):
+    """Reuse the module-scoped trained classifier and positive universe."""
+    positives = positive_membership_samples(small_collection, max_subset_size=3)
+    return trained_filter.model, positives
+
+
+class TestSandwiched:
+    def test_no_false_negatives(self, trained_pieces):
+        model, positives = trained_pieces
+        sandwiched = SandwichedLearnedBloomFilter(model, positives)
+        for positive in positives[:500]:
+            assert sandwiched.contains(positive)
+
+    def test_initial_filter_rejects_clear_negatives(self, trained_pieces):
+        """The front filter rejects sets it never indexed (modulo its fp)."""
+        model, positives = trained_pieces
+        sandwiched = SandwichedLearnedBloomFilter(
+            model, positives, initial_fp_rate=0.001
+        )
+        universe = set(positives)
+        rng = np.random.default_rng(0)
+        rejected = 0
+        probes = 0
+        while probes < 200:
+            candidate = tuple(sorted(rng.integers(0, 80, size=3).tolist()))
+            if len(set(candidate)) < 3 or candidate in universe:
+                continue
+            probes += 1
+            if not sandwiched.contains(candidate):
+                rejected += 1
+        assert rejected > 150  # most unindexed combos are filtered out
+
+    def test_dunder_contains(self, trained_pieces):
+        model, positives = trained_pieces
+        sandwiched = SandwichedLearnedBloomFilter(model, positives)
+        assert positives[0] in sandwiched
+
+    def test_total_bytes_includes_both_filters(self, trained_pieces):
+        model, positives = trained_pieces
+        sandwiched = SandwichedLearnedBloomFilter(model, positives)
+        from repro.nn.serialize import state_dict_bytes
+
+        assert sandwiched.total_bytes() > state_dict_bytes(model)
+
+    def test_validation(self, trained_pieces):
+        model, positives = trained_pieces
+        with pytest.raises(ValueError):
+            SandwichedLearnedBloomFilter(model, [])
+        with pytest.raises(ValueError):
+            SandwichedLearnedBloomFilter(model, positives, threshold=1.0)
+
+
+class TestPartitioned:
+    def test_no_false_negatives(self, trained_pieces):
+        model, positives = trained_pieces
+        partitioned = PartitionedLearnedBloomFilter(model, positives)
+        for positive in positives[:500]:
+            assert partitioned.contains(positive)
+
+    def test_segment_of(self, trained_pieces):
+        model, positives = trained_pieces
+        partitioned = PartitionedLearnedBloomFilter(
+            model, positives, boundaries=(0.3, 0.7), fp_rates=(0.001, 0.01)
+        )
+        assert partitioned.segment_of(0.1) == 0
+        assert partitioned.segment_of(0.5) == 1
+        assert partitioned.segment_of(0.9) == 2
+
+    def test_top_segment_accepted_without_filter(self, trained_pieces):
+        model, positives = trained_pieces
+        partitioned = PartitionedLearnedBloomFilter(model, positives)
+        assert len(partitioned.filters) == 2  # one per non-top segment
+
+    def test_explicit_top_filter(self, trained_pieces):
+        model, positives = trained_pieces
+        partitioned = PartitionedLearnedBloomFilter(
+            model,
+            positives,
+            boundaries=(0.5,),
+            fp_rates=(0.001, 0.05),
+            accept_top_segment=False,
+        )
+        assert len(partitioned.filters) == 2
+        for positive in positives[:300]:
+            assert partitioned.contains(positive)
+
+    def test_validation(self, trained_pieces):
+        model, positives = trained_pieces
+        with pytest.raises(ValueError):
+            PartitionedLearnedBloomFilter(model, [])
+        with pytest.raises(ValueError):
+            PartitionedLearnedBloomFilter(
+                model, positives, boundaries=(0.7, 0.3), fp_rates=(0.1, 0.1)
+            )
+        with pytest.raises(ValueError):
+            PartitionedLearnedBloomFilter(
+                model, positives, boundaries=(0.5,), fp_rates=(0.1, 0.1, 0.1)
+            )
+        with pytest.raises(ValueError):
+            PartitionedLearnedBloomFilter(
+                model, positives, boundaries=(0.0,), fp_rates=(0.1,)
+            )
+
+    def test_smaller_than_sandwiched_for_confident_models(self, trained_pieces):
+        """Partitioning skips backup for high-score positives, so it is
+        usually no larger than the sandwich at matched budgets."""
+        model, positives = trained_pieces
+        partitioned = PartitionedLearnedBloomFilter(model, positives)
+        sandwiched = SandwichedLearnedBloomFilter(model, positives)
+        assert partitioned.total_bytes() < sandwiched.total_bytes()

@@ -1,0 +1,169 @@
+"""Tests for guided training with outlier removal and local error bounds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DeepSetsModel,
+    LocalErrorBounds,
+    LogMinMaxScaler,
+    OutlierRemovalConfig,
+    TrainConfig,
+    guided_fit,
+)
+
+
+def make_regression_task(rng, n=150, vocab=30):
+    sets = []
+    targets = []
+    for _ in range(n):
+        size = int(rng.integers(1, 4))
+        s = sorted(set(rng.choice(vocab, size=size, replace=False).tolist()))
+        sets.append(s)
+        targets.append(float(sum(s)))  # learnable additive target
+    return sets, np.array(targets)
+
+
+class TestOutlierRemovalConfig:
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            OutlierRemovalConfig(percentile=0.0)
+        with pytest.raises(ValueError):
+            OutlierRemovalConfig(percentile=100.0)
+
+    def test_error_kind_validation(self):
+        with pytest.raises(ValueError):
+            OutlierRemovalConfig(error_kind="rmse")
+
+    def test_none_percentile_allowed(self):
+        assert OutlierRemovalConfig(percentile=None).percentile is None
+
+
+class TestGuidedFit:
+    def run(self, rng, removal, epochs=8):
+        sets, targets = make_regression_task(rng)
+        scaler = LogMinMaxScaler().fit(targets)
+        model = DeepSetsModel(30, 4, (8,), (8,), rng=rng)
+        return guided_fit(
+            model,
+            sets,
+            targets,
+            scaler,
+            TrainConfig(epochs=epochs, lr=5e-3, batch_size=64, seed=0),
+            removal=removal,
+            rng=np.random.default_rng(0),
+        ), len(sets)
+
+    def test_no_removal_keeps_everything(self, rng):
+        result, n = self.run(rng, removal=None)
+        assert result.num_outliers == 0
+        assert result.history.active_samples[-1] == n
+
+    def test_removal_evicts_roughly_the_percentile(self, rng):
+        result, n = self.run(
+            rng, removal=OutlierRemovalConfig(percentile=90.0, at_epochs=(4,))
+        )
+        assert 0 < result.num_outliers <= int(0.12 * n) + 1
+        assert result.history.active_samples[-1] == n - result.num_outliers
+
+    def test_multiple_removal_epochs_accumulate(self, rng):
+        result, _ = self.run(
+            rng, removal=OutlierRemovalConfig(percentile=80.0, at_epochs=(3, 6))
+        )
+        single, _ = self.run(
+            rng, removal=OutlierRemovalConfig(percentile=80.0, at_epochs=(3,))
+        )
+        assert result.num_outliers > single.num_outliers
+
+    def test_max_fraction_budget_respected(self, rng):
+        result, n = self.run(
+            rng,
+            removal=OutlierRemovalConfig(
+                percentile=50.0,
+                at_epochs=(2, 3, 4, 5, 6, 7),
+                max_fraction_removed=0.2,
+            ),
+        )
+        assert result.num_outliers <= int(0.2 * n)
+
+    def test_final_errors_cover_all_samples(self, rng):
+        result, n = self.run(
+            rng, removal=OutlierRemovalConfig(percentile=90.0, at_epochs=(4,))
+        )
+        assert len(result.final_errors_abs) == n
+        assert len(result.final_predictions) == n
+        assert np.all(result.final_errors_abs >= 0)
+
+    def test_outlier_indices_sorted_unique(self, rng):
+        result, _ = self.run(
+            rng, removal=OutlierRemovalConfig(percentile=80.0, at_epochs=(3, 6))
+        )
+        outliers = result.outlier_indices
+        assert np.all(np.diff(outliers) > 0)
+
+
+class TestLocalErrorBounds:
+    def test_bound_is_max_error_in_bucket(self):
+        estimates = np.array([5.0, 7.0, 150.0])
+        truths = np.array([6.0, 4.0, 100.0])
+        bounds = LocalErrorBounds(estimates, truths, range_length=100, max_value=200)
+        assert bounds.bound(5.0) == pytest.approx(3.0)  # bucket 0: errors 1, 3
+        assert bounds.bound(150.0) == pytest.approx(50.0)
+
+    def test_local_tighter_than_global(self):
+        """The paper's motivating case: one bad prediction should not widen
+        everyone's search window."""
+        rng = np.random.default_rng(0)
+        truths = rng.uniform(0, 1000, size=500)
+        estimates = truths + rng.normal(0, 2.0, size=500)
+        estimates[0] = truths[0] + 800.0  # one catastrophic outlier
+        bounds = LocalErrorBounds(estimates, truths, range_length=50, max_value=2000)
+        assert bounds.global_error >= 800.0
+        assert bounds.mean_bound() < bounds.global_error / 10
+
+    def test_bucket_boundaries(self):
+        bounds = LocalErrorBounds(
+            np.array([0.0, 99.0, 100.0]),
+            np.array([10.0, 99.0, 130.0]),
+            range_length=100,
+            max_value=200,
+        )
+        assert bounds.bound(50.0) == pytest.approx(10.0)
+        assert bounds.bound(100.0) == pytest.approx(30.0)
+
+    def test_out_of_range_estimates_clip_to_edge_buckets(self):
+        bounds = LocalErrorBounds(
+            np.array([50.0]), np.array([55.0]), range_length=100, max_value=100
+        )
+        assert bounds.bound(-10.0) == pytest.approx(5.0)
+        assert bounds.bound(1e9) >= 0.0
+
+    def test_empty_bucket_has_zero_bound(self):
+        bounds = LocalErrorBounds(
+            np.array([10.0]), np.array([12.0]), range_length=10, max_value=100
+        )
+        assert bounds.bound(95.0) == 0.0
+
+    def test_size_bytes_scales_with_range(self):
+        estimates = np.arange(1000.0)
+        coarse = LocalErrorBounds(estimates, estimates, range_length=100)
+        fine = LocalErrorBounds(estimates, estimates, range_length=10)
+        assert fine.size_bytes() > coarse.size_bytes()
+        assert len(fine) > len(coarse)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LocalErrorBounds(np.zeros(2), np.zeros(3))
+        with pytest.raises(ValueError):
+            LocalErrorBounds(np.zeros(2), np.zeros(2), range_length=0)
+
+    def test_truths_within_bounds_by_construction(self):
+        """For every training sample, |est - truth| <= bound(est)."""
+        rng = np.random.default_rng(1)
+        truths = rng.uniform(0, 500, size=300)
+        estimates = truths + rng.normal(0, 30, size=300)
+        bounds = LocalErrorBounds(estimates, truths, range_length=25, max_value=600)
+        for est, truth in zip(estimates, truths):
+            assert abs(est - truth) <= bounds.bound(est) + 1e-9

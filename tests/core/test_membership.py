@@ -1,0 +1,133 @@
+"""Tests for the learned Bloom filter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import LearnedBloomFilter, ModelConfig, TrainConfig
+from repro.sets import positive_membership_samples
+
+
+class TestGuarantees:
+    def test_zero_false_negatives_on_trained_positives(
+        self, trained_filter, small_collection
+    ):
+        """The defining guarantee: every indexed subset is reported present."""
+        positives = positive_membership_samples(small_collection, max_subset_size=3)
+        answers = trained_filter.contains_many(positives)
+        assert answers.all()
+
+    def test_contains_single_matches_many(self, trained_filter, small_collection):
+        positives = positive_membership_samples(small_collection, max_subset_size=2)[
+            :30
+        ]
+        many = trained_filter.contains_many(positives)
+        singles = [trained_filter.contains(p) for p in positives]
+        assert list(many) == singles
+
+    def test_query_order_invariance(self, trained_filter):
+        assert trained_filter.contains((1, 5)) == trained_filter.contains((5, 1))
+
+    def test_dunder_contains(self, trained_filter, small_collection):
+        # The guarantee holds up to the trained subset-size cap (3), as the
+        # paper restricts the filter to subsets of a predefined size.
+        stored = small_collection[0][:3]
+        assert stored in trained_filter
+
+
+class TestBuildValidation:
+    def test_empty_positives_rejected(self):
+        with pytest.raises(ValueError):
+            LearnedBloomFilter.from_training_data([], [(1, 2)], max_element_id=5)
+
+    def test_wrong_loss_rejected(self):
+        with pytest.raises(ValueError, match="bce"):
+            LearnedBloomFilter.from_training_data(
+                [(1,)],
+                [],
+                max_element_id=5,
+                train_config=TrainConfig(loss="mse"),
+            )
+
+    def test_invalid_threshold(self):
+        from repro.core.config import ModelConfig as MC
+
+        model = MC(kind="lsm", embedding_dim=2).build(5)
+        with pytest.raises(ValueError):
+            LearnedBloomFilter(model, threshold=1.0)
+
+    def test_report_populated(self, trained_filter):
+        report = trained_filter.report
+        assert report.num_positives > 0
+        assert report.num_negatives > 0
+        assert 0.0 <= report.train_accuracy <= 1.0
+        assert report.num_backup_entries >= 0
+
+
+class TestBackup:
+    def test_backup_holds_exactly_the_missed_positives(self):
+        """Build a deliberately under-trained model: the backup must cover
+        whatever it misses."""
+        rng = np.random.default_rng(0)
+        positives = [tuple(sorted(set(rng.integers(0, 50, size=3)))) for _ in range(80)]
+        positives = sorted(set(positives))
+        negatives = [(100, 101)]
+        filter_ = LearnedBloomFilter.from_training_data(
+            positives,
+            negatives,
+            max_element_id=101,
+            model_config=ModelConfig(kind="lsm", embedding_dim=2, seed=0),
+            train_config=TrainConfig(epochs=1, loss="bce", seed=0),
+        )
+        for positive in positives:
+            assert filter_.contains(positive)
+
+    def test_perfect_model_needs_no_backup(self):
+        """If every positive scores above threshold, no backup is built."""
+        positives = [(1,), (2,)]
+        negatives = [(3,)]
+        filter_ = LearnedBloomFilter.from_training_data(
+            positives,
+            negatives,
+            max_element_id=3,
+            model_config=ModelConfig(kind="lsm", embedding_dim=4, seed=0),
+            train_config=TrainConfig(epochs=300, lr=0.05, loss="bce", seed=0),
+        )
+        if filter_.report.num_backup_entries == 0:
+            assert filter_.backup is None
+            assert filter_.backup_bytes() == 0
+        for positive in positives:
+            assert filter_.contains(positive)
+
+
+class TestMemoryAccounting:
+    def test_totals_add_up(self, trained_filter):
+        assert trained_filter.total_bytes() == (
+            trained_filter.model_bytes() + trained_filter.backup_bytes()
+        )
+
+    def test_clsm_filter_far_smaller_than_lsm(self):
+        """Table 10's story, at toy scale: CLSM shrinks the model."""
+        rng = np.random.default_rng(1)
+        positives = sorted(
+            {tuple(sorted(set(rng.integers(0, 5000, size=3)))) for _ in range(60)}
+        )
+        negatives = [(0, 4999)]
+        common = dict(
+            max_element_id=4999,
+            train_config=TrainConfig(epochs=1, loss="bce", seed=0),
+        )
+        lsm = LearnedBloomFilter.from_training_data(
+            positives,
+            negatives,
+            model_config=ModelConfig(kind="lsm", embedding_dim=2, seed=0),
+            **common,
+        )
+        clsm = LearnedBloomFilter.from_training_data(
+            positives,
+            negatives,
+            model_config=ModelConfig(kind="clsm", embedding_dim=2, seed=0),
+            **common,
+        )
+        assert clsm.model_bytes() < lsm.model_bytes() / 5

@@ -1,0 +1,85 @@
+"""Tests for multi-collection membership (the paper's §9 extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    LearnedBloomFilter,
+    ModelConfig,
+    MultiSetMembership,
+    TrainConfig,
+)
+from repro.sets import SetCollection
+
+
+def make_filter(sets, seed=0) -> LearnedBloomFilter:
+    collection = SetCollection(sets)
+    return LearnedBloomFilter.build(
+        collection,
+        model_config=ModelConfig(kind="lsm", embedding_dim=4, seed=seed),
+        train_config=TrainConfig(epochs=150, lr=0.03, loss="bce", seed=seed),
+        num_negative_samples=10,
+    )
+
+
+@pytest.fixture(scope="module")
+def router() -> MultiSetMembership:
+    router = MultiSetMembership()
+    router.add_filter("food", make_filter([[1, 2, 3], [2, 4]], seed=0))
+    router.add_filter("travel", make_filter([[10, 11], [11, 12, 13]], seed=1))
+    return router
+
+
+class TestRegistration:
+    def test_names_sorted(self, router):
+        assert router.names() == ["food", "travel"]
+        assert len(router) == 2
+        assert "food" in router
+
+    def test_duplicate_name_rejected(self, router):
+        with pytest.raises(KeyError):
+            router.add_filter("food", make_filter([[1]], seed=2))
+
+    def test_add_collection_trains_and_registers(self):
+        router = MultiSetMembership()
+        filter_ = router.add_collection(
+            "logs",
+            SetCollection([[1, 2], [3]]),
+            model_config=ModelConfig(kind="lsm", embedding_dim=2, seed=3),
+            train_config=TrainConfig(epochs=50, lr=0.05, loss="bce", seed=3),
+            num_negative_samples=5,
+        )
+        assert "logs" in router
+        assert isinstance(filter_, LearnedBloomFilter)
+
+
+class TestQuerying:
+    def test_membership_per_collection(self, router):
+        answers = router.membership((1, 2))
+        assert answers["food"] is True
+        # travel may report a false positive (allowed, Bloom semantics),
+        # but ids beyond its embedding universe are definitely absent.
+        assert router.membership((99, 100))["travel"] is False
+        answers_travel = router.membership((11,))
+        assert answers_travel["travel"] is True
+
+    def test_collections_containing(self, router):
+        assert "food" in router.collections_containing((2,))
+
+    def test_contains_any_all(self, router):
+        assert router.contains_any((2, 4))
+        assert not router.contains_all((2, 4)) or router.membership((2, 4))["travel"]
+
+    def test_membership_many_shapes(self, router):
+        answers = router.membership_many([(1, 2), (2, 3)])
+        assert set(answers) == {"food", "travel"}
+        assert all(len(v) == 2 for v in answers.values())
+
+    def test_empty_router_raises(self):
+        with pytest.raises(RuntimeError):
+            MultiSetMembership().membership((1,))
+
+    def test_total_bytes(self, router):
+        assert router.total_bytes() > 0

@@ -1,0 +1,86 @@
+"""Tests for the q-error and companion metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    absolute_error,
+    binary_accuracy,
+    group_q_error_by_result_size,
+    mean_absolute_error,
+    mean_q_error,
+    q_error,
+    q_error_percentile,
+)
+
+
+class TestQError:
+    def test_perfect_estimate_is_one(self):
+        np.testing.assert_allclose(q_error([5.0, 10.0], [5.0, 10.0]), 1.0)
+
+    def test_symmetric_in_ratio(self):
+        assert q_error([10.0], [5.0])[0] == pytest.approx(2.0)
+        assert q_error([5.0], [10.0])[0] == pytest.approx(2.0)
+
+    def test_floors_at_one(self):
+        # Estimate 0.2 vs truth 0 -> both floored to 1 -> q = 1.
+        assert q_error([0.2], [0.0])[0] == pytest.approx(1.0)
+        # Estimate 0 vs truth 10 -> est floored to 1 -> q = 10.
+        assert q_error([0.0], [10.0])[0] == pytest.approx(10.0)
+
+    def test_mean_and_percentile(self):
+        est = np.array([1.0, 2.0, 4.0])
+        true = np.array([1.0, 1.0, 1.0])
+        assert mean_q_error(est, true) == pytest.approx((1 + 2 + 4) / 3)
+        assert q_error_percentile(est, true, 50) == pytest.approx(2.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        est=st.floats(0.0, 1e6, allow_nan=False),
+        true=st.floats(0.0, 1e6, allow_nan=False),
+    )
+    def test_property_q_error_at_least_one(self, est, true):
+        assert q_error([est], [true])[0] >= 1.0
+
+
+class TestAbsoluteError:
+    def test_values(self):
+        np.testing.assert_allclose(absolute_error([3.0, 1.0], [1.0, 4.0]), [2.0, 3.0])
+
+    def test_mean(self):
+        assert mean_absolute_error([3.0, 1.0], [1.0, 4.0]) == pytest.approx(2.5)
+
+
+class TestBinaryAccuracy:
+    def test_perfect(self):
+        assert binary_accuracy([0.9, 0.1], [1, 0]) == 1.0
+
+    def test_threshold_inclusive(self):
+        assert binary_accuracy([0.5], [1], threshold=0.5) == 1.0
+
+    def test_half_right(self):
+        assert binary_accuracy([0.9, 0.9], [1, 0]) == 0.5
+
+
+class TestGrouping:
+    def test_buckets_cover_sizes(self):
+        true = np.array([1, 1, 3, 7, 60, 2000])
+        est = true * 2.0
+        grouped = group_q_error_by_result_size(est, true)
+        assert grouped["[1,2)"] == pytest.approx(2.0)
+        assert grouped[">=1000"] == pytest.approx(2.0)
+
+    def test_empty_buckets_omitted(self):
+        grouped = group_q_error_by_result_size([1.0], [1.0])
+        assert "[1,2)" in grouped
+        assert ">=1000" not in grouped
+
+    def test_custom_edges(self):
+        grouped = group_q_error_by_result_size(
+            [10.0, 100.0], [10.0, 100.0], bin_edges=[1, 50]
+        )
+        assert set(grouped) == {"[1,50)", ">=50"}

@@ -1,0 +1,106 @@
+"""Tests for the log min-max target scaler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LogMinMaxScaler
+
+
+class TestFit:
+    def test_transform_range(self):
+        scaler = LogMinMaxScaler().fit([1, 10, 100])
+        scaled = scaler.transform([1, 10, 100])
+        assert scaled[0] == pytest.approx(0.0)
+        assert scaled[-1] == pytest.approx(1.0)
+        assert 0.0 < scaled[1] < 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LogMinMaxScaler().fit([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LogMinMaxScaler().fit([-1.0])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LogMinMaxScaler().transform([1.0])
+
+    def test_constant_targets_map_to_zero(self):
+        scaler = LogMinMaxScaler().fit([7, 7, 7])
+        np.testing.assert_allclose(scaler.transform([7]), [0.0])
+
+
+class TestBounds:
+    def test_from_bounds_matches_fit(self):
+        fitted = LogMinMaxScaler().fit([0, 99])
+        bounded = LogMinMaxScaler.from_bounds(0, 99)
+        np.testing.assert_allclose(
+            fitted.transform([5, 50]), bounded.transform([5, 50])
+        )
+
+    def test_for_cardinality_lower_bound_is_one(self):
+        scaler = LogMinMaxScaler.for_cardinality(1000)
+        assert scaler.transform([1])[0] == pytest.approx(0.0)
+        assert scaler.transform([1000])[0] == pytest.approx(1.0)
+
+    def test_for_positions(self):
+        scaler = LogMinMaxScaler.for_positions(100)
+        assert scaler.transform([0])[0] == pytest.approx(0.0)
+        assert scaler.transform([99])[0] == pytest.approx(1.0)
+
+    def test_for_positions_invalid(self):
+        with pytest.raises(ValueError):
+            LogMinMaxScaler.for_positions(0)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            LogMinMaxScaler.from_bounds(10, 5)
+
+    def test_span(self):
+        scaler = LogMinMaxScaler.from_bounds(0, 99)
+        assert scaler.span == pytest.approx(np.log1p(99))
+
+
+class TestInverse:
+    def test_roundtrip(self):
+        scaler = LogMinMaxScaler().fit([1, 500])
+        values = np.array([1.0, 17.0, 250.0, 500.0])
+        np.testing.assert_allclose(
+            scaler.inverse(scaler.transform(values)), values, rtol=1e-10
+        )
+
+    def test_inverse_clamps_out_of_range(self):
+        scaler = LogMinMaxScaler().fit([1, 100])
+        assert scaler.inverse([-0.5])[0] == pytest.approx(1.0)
+        assert scaler.inverse([1.5])[0] == pytest.approx(100.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        values=st.lists(st.integers(0, 10**6), min_size=2, max_size=50).filter(
+            lambda v: min(v) != max(v)
+        )
+    )
+    def test_property_roundtrip(self, values):
+        scaler = LogMinMaxScaler().fit(values)
+        array = np.asarray(values, dtype=float)
+        np.testing.assert_allclose(
+            scaler.inverse(scaler.transform(array)), array, rtol=1e-8, atol=1e-8
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        a=st.integers(0, 10**6),
+        b=st.integers(0, 10**6),
+    )
+    def test_property_monotone(self, a, b):
+        scaler = LogMinMaxScaler.from_bounds(0, 10**6)
+        ta, tb = scaler.transform([a])[0], scaler.transform([b])[0]
+        if a < b:
+            assert ta < tb
+        elif a == b:
+            assert ta == tb

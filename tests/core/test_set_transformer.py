@@ -1,0 +1,115 @@
+"""Tests for the Set Transformer set model (the DeepSets alternative)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DeepSetsModel, SetTransformerModel
+from repro.nn.data import SetBatch
+
+
+@pytest.fixture
+def model(rng) -> SetTransformerModel:
+    return SetTransformerModel(50, dim=16, num_heads=4, num_blocks=1, rng=rng)
+
+
+class TestForward:
+    def test_output_shape(self, model):
+        batch = SetBatch.from_sets([[1, 2, 3], [4], [5, 6]])
+        assert model(batch).shape == (3, 1)
+
+    def test_sigmoid_range(self, model):
+        out = model(SetBatch.from_sets([[i] for i in range(0, 50, 5)])).data
+        assert np.all((out > 0) & (out < 1))
+
+    def test_identity_head(self, rng):
+        model = SetTransformerModel(10, dim=8, out_activation="identity", rng=rng)
+        out = model(SetBatch.from_sets([[1], [2]])).data
+        assert out.shape == (2, 1)
+
+    def test_isab_variant(self, rng):
+        model = SetTransformerModel(
+            20, dim=16, num_blocks=2, num_inducing=4, rng=rng
+        )
+        assert model(SetBatch.from_sets([[1, 2, 3]])).shape == (1, 1)
+
+    def test_padding_does_not_leak_between_sets(self, model):
+        """A set's output must not depend on other sets in the batch."""
+        alone = model(SetBatch.from_sets([[1, 2, 3]])).data
+        batched = model(
+            SetBatch.from_sets([[1, 2, 3], [10, 11, 12, 13, 14, 15]])
+        ).data
+        np.testing.assert_allclose(alone[0], batched[0], atol=1e-8)
+
+
+class TestPermutationInvariance:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        elements=st.sets(st.integers(0, 49), min_size=1, max_size=8),
+        seed=st.integers(0, 50),
+    )
+    def test_property_invariant(self, elements, seed):
+        model = SetTransformerModel(
+            50, dim=8, num_heads=2, num_blocks=1, rng=np.random.default_rng(0)
+        )
+        ordered = list(elements)
+        shuffled = list(np.random.default_rng(seed).permutation(ordered))
+        out_a = model(SetBatch.from_sets([ordered])).data
+        out_b = model(SetBatch.from_sets([shuffled])).data
+        np.testing.assert_allclose(out_a, out_b, atol=1e-9)
+
+
+class TestTraining:
+    def test_learns_simple_set_function(self, rng):
+        from repro.nn import Adam, binary_cross_entropy
+
+        sets, labels = [], []
+        for _ in range(200):
+            size = int(rng.integers(1, 5))
+            s = sorted(set(rng.choice(20, size=size, replace=False).tolist()))
+            sets.append(s)
+            labels.append(1.0 if 0 in s else 0.0)
+        labels = np.array(labels)[:, None]
+        model = SetTransformerModel(20, dim=16, num_blocks=1, rng=rng)
+        optimizer = Adam(model.parameters(), lr=3e-3)
+        batch = SetBatch.from_sets(sets)
+        for _ in range(60):
+            loss = binary_cross_entropy(model(batch), labels)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        accuracy = ((model.predict(sets) > 0.5) == labels.ravel()).mean()
+        assert accuracy > 0.9
+
+
+class TestPaperTradeoff:
+    def test_more_parameters_than_deepsets_at_same_width(self, rng):
+        """§3.2's size claim: attention layers cost more than DeepSets."""
+        vocab = 100
+        transformer = SetTransformerModel(vocab, dim=16, num_blocks=1, rng=rng)
+        deepsets = DeepSetsModel(vocab, 16, (16,), (16,), rng=rng)
+        assert transformer.num_parameters() > deepsets.num_parameters()
+
+    def test_slower_inference_than_deepsets(self, rng):
+        """§3.2's speed claim, at equal width and batch."""
+        import time
+
+        vocab = 100
+        transformer = SetTransformerModel(vocab, dim=16, num_blocks=1, rng=rng)
+        deepsets = DeepSetsModel(vocab, 16, (16,), (16,), rng=rng)
+        sets = [
+            sorted(set(rng.choice(vocab, size=5, replace=False).tolist()))
+            for _ in range(64)
+        ]
+
+        def clock(model):
+            started = time.perf_counter()
+            for _ in range(5):
+                model.predict(sets)
+            return time.perf_counter() - started
+
+        clock(deepsets), clock(transformer)  # warm up
+        assert clock(transformer) > clock(deepsets)

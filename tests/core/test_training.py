@@ -1,0 +1,152 @@
+"""Tests for the trainer and train config."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DeepSetsModel, TrainConfig, Trainer
+from repro.nn.data import SetDataLoader
+
+
+def make_task(rng, n=200, vocab=20):
+    """Sets labelled by whether they contain element 0 (easy classification)."""
+    sets, labels = [], []
+    for _ in range(n):
+        size = int(rng.integers(1, 5))
+        s = sorted(set(rng.choice(vocab, size=size, replace=False).tolist()))
+        sets.append(s)
+        labels.append(1.0 if 0 in s else 0.0)
+    return sets, np.array(labels)
+
+
+class TestTrainConfig:
+    def test_defaults(self):
+        config = TrainConfig()
+        assert config.epochs == 50
+        assert config.loss == "q_error"
+
+    def test_make_optimizer_variants(self):
+        from repro.nn import SGD, Adam, RMSprop
+        from repro.nn.module import Parameter
+
+        params = [Parameter(np.zeros(2))]
+        assert isinstance(TrainConfig(optimizer="adam").make_optimizer(params), Adam)
+        assert isinstance(TrainConfig(optimizer="sgd").make_optimizer(params), SGD)
+        assert isinstance(
+            TrainConfig(optimizer="rmsprop").make_optimizer(params), RMSprop
+        )
+
+    def test_unknown_optimizer(self):
+        from repro.nn.module import Parameter
+
+        with pytest.raises(ValueError):
+            TrainConfig(optimizer="adagrad").make_optimizer([Parameter(np.zeros(1))])
+
+
+class TestTrainer:
+    def test_loss_decreases(self, rng):
+        sets, labels = make_task(rng)
+        model = DeepSetsModel(20, 4, (16,), (16,), rng=rng)
+        loader = SetDataLoader(sets, labels, batch_size=64, rng=rng)
+        trainer = Trainer(model, TrainConfig(epochs=25, lr=0.01, loss="bce"))
+        history = trainer.fit(loader)
+        assert history.losses[-1] < history.losses[0] * 0.5
+
+    def test_history_bookkeeping(self, rng):
+        sets, labels = make_task(rng, n=50)
+        model = DeepSetsModel(20, 2, (4,), (4,), rng=rng)
+        loader = SetDataLoader(sets, labels, batch_size=32, rng=rng)
+        history = Trainer(model, TrainConfig(epochs=3, loss="bce")).fit(loader)
+        assert len(history.losses) == 3
+        assert len(history.epoch_seconds) == 3
+        assert history.active_samples == [50, 50, 50]
+        assert history.final_loss == history.losses[-1]
+        assert history.seconds_per_epoch > 0
+        assert history.total_seconds >= history.seconds_per_epoch
+
+    def test_model_left_in_eval_mode(self, rng):
+        sets, labels = make_task(rng, n=30)
+        model = DeepSetsModel(20, 2, (4,), (4,), rng=rng)
+        loader = SetDataLoader(sets, labels, batch_size=32, rng=rng)
+        Trainer(model, TrainConfig(epochs=1, loss="bce")).fit(loader)
+        assert not model.training
+
+    def test_epoch_end_callback_and_deactivation(self, rng):
+        sets, labels = make_task(rng, n=40)
+        model = DeepSetsModel(20, 2, (4,), (4,), rng=rng)
+        loader = SetDataLoader(sets, labels, batch_size=32, rng=rng)
+        calls = []
+
+        def on_epoch(epoch, trainer):
+            calls.append(epoch)
+            if epoch == 1:
+                loader.deactivate(np.arange(10))
+
+        history = Trainer(model, TrainConfig(epochs=3, loss="bce")).fit(
+            loader, epoch_end=on_epoch
+        )
+        assert calls == [1, 2, 3]
+        # Epoch 1 saw all 40; later epochs saw 30.
+        assert history.active_samples == [40, 30, 30]
+
+    def test_early_stopping_halts_on_plateau(self, rng):
+        sets, labels = make_task(rng, n=60)
+        model = DeepSetsModel(20, 2, (4,), (4,), rng=rng)
+        loader = SetDataLoader(sets, labels, batch_size=32, rng=rng)
+        # An absurd min_delta makes every epoch after the first "stale":
+        # training stops after 1 + patience epochs.
+        history = Trainer(
+            model,
+            TrainConfig(epochs=50, loss="bce", patience=3, min_delta=1e9),
+        ).fit(loader)
+        assert history.stopped_early
+        assert len(history.losses) == 4
+
+    def test_no_early_stop_while_improving(self, rng):
+        sets, labels = make_task(rng, n=200)
+        model = DeepSetsModel(20, 4, (16,), (16,), rng=rng)
+        loader = SetDataLoader(sets, labels, batch_size=64, rng=rng)
+        history = Trainer(
+            model,
+            TrainConfig(epochs=8, lr=0.01, loss="bce", patience=5, min_delta=0.0),
+        ).fit(loader)
+        assert not history.stopped_early
+        assert len(history.losses) == 8
+
+    def test_gradient_clipping_bounds_update_norm(self, rng):
+        sets, labels = make_task(rng, n=60)
+        model = DeepSetsModel(20, 2, (4,), (4,), rng=rng)
+        loader = SetDataLoader(sets, labels, batch_size=60, rng=rng)
+        # SGD applies the clipped gradient directly (Adam would rescale it).
+        trainer = Trainer(
+            model,
+            TrainConfig(
+                epochs=1, loss="bce", optimizer="sgd", grad_clip_norm=1e-6, lr=1.0
+            ),
+        )
+        before = {name: p.data.copy() for name, p in model.named_parameters()}
+        trainer.fit(loader)
+        # With the norm clipped to ~0, a huge lr still barely moves weights.
+        for name, parameter in model.named_parameters():
+            np.testing.assert_allclose(parameter.data, before[name], atol=1e-4)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TrainConfig(epochs=0)
+        with pytest.raises(ValueError):
+            TrainConfig(patience=0)
+        with pytest.raises(ValueError):
+            TrainConfig(grad_clip_norm=0.0)
+
+    def test_deterministic_given_seed(self):
+        def run():
+            rng = np.random.default_rng(5)
+            sets, labels = make_task(rng, n=60)
+            model = DeepSetsModel(20, 2, (4,), (4,), rng=np.random.default_rng(1))
+            loader = SetDataLoader(
+                sets, labels, batch_size=32, rng=np.random.default_rng(2)
+            )
+            return Trainer(model, TrainConfig(epochs=3, loss="bce")).fit(loader).losses
+
+        assert run() == run()

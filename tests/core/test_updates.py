@@ -1,0 +1,72 @@
+"""Tests for the §7.2 incremental-update paths of the learned structures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+class TestCardinalityUpdates:
+    def test_record_update_overrides_model(self, trained_estimator):
+        query = (0, 1)
+        trained_estimator.record_update(query, 777)
+        assert trained_estimator.estimate(query) == 777.0
+        del trained_estimator.auxiliary[query]  # restore shared fixture
+
+    def test_record_update_canonicalizes(self, trained_estimator):
+        trained_estimator.record_update((5, 1, 5), 3)
+        assert trained_estimator.estimate((1, 5)) == 3.0
+        del trained_estimator.auxiliary[(1, 5)]
+
+    def test_negative_cardinality_rejected(self, trained_estimator):
+        with pytest.raises(ValueError):
+            trained_estimator.record_update((1,), -1)
+
+    def test_should_retrain_false_on_trained_data(
+        self, trained_estimator, small_collection, ground_truth
+    ):
+        from repro.sets import cardinality_training_pairs
+
+        subsets, cards = cardinality_training_pairs(
+            small_collection, max_subset_size=3
+        )
+        rng = np.random.default_rng(0)
+        chosen = rng.choice(len(subsets), 100, replace=False)
+        queries = [subsets[i] for i in chosen]
+        truths = cards[chosen]
+        assert not trained_estimator.should_retrain(
+            queries, truths, max_mean_q_error=10.0
+        )
+
+    def test_should_retrain_true_under_drift(self, trained_estimator):
+        # Fabricate a drifted world: the same queries now have huge counts.
+        queries = [(0,), (1,), (2,)]
+        drifted = np.array([1e6, 1e6, 1e6])
+        assert trained_estimator.should_retrain(queries, drifted)
+
+
+class TestBloomInserts:
+    def test_insert_makes_subset_present(self, trained_filter):
+        new_subset = (7001, 7002)  # ids beyond anything trained
+        # predict_one would fail for out-of-range ids on LSM, so insert
+        # routes through the backup filter only; use in-range ids instead.
+        new_subset = (0, 2, 4)
+        had_before = trained_filter.contains(new_subset)
+        trained_filter.insert(new_subset)
+        assert trained_filter.contains(new_subset)
+        assert had_before in (True, False)  # insert never breaks anything
+
+    def test_insert_creates_backup_lazily(self):
+        from repro.core import LearnedBloomFilter, ModelConfig, TrainConfig
+
+        filter_ = LearnedBloomFilter.from_training_data(
+            [(1,)],
+            [(2, 3)],
+            max_element_id=3,
+            model_config=ModelConfig(kind="lsm", embedding_dim=2, seed=0),
+            train_config=TrainConfig(epochs=200, lr=0.05, loss="bce", seed=0),
+        )
+        filter_.backup = None  # simulate the perfect-model case
+        filter_.insert((2, 3))
+        assert filter_.backup is not None
+        assert filter_.contains((2, 3))

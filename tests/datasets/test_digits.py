@@ -1,0 +1,48 @@
+"""Tests for the sum-of-digits task data (Figure 7)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import digit_sum_eval_data, digit_sum_training_data
+
+
+class TestTrainingData:
+    def test_labels_are_sums(self):
+        sets, sums = digit_sum_training_data(100, seed=0)
+        for s, total in zip(sets, sums):
+            assert sum(s) == total
+
+    def test_sizes_within_cap(self):
+        sets, _ = digit_sum_training_data(200, max_set_size=10, seed=0)
+        assert all(1 <= len(s) <= 10 for s in sets)
+
+    def test_digit_range(self):
+        sets, _ = digit_sum_training_data(200, max_digit=10, seed=0)
+        values = {d for s in sets for d in s}
+        assert min(values) >= 1
+        assert max(values) <= 10
+
+    def test_multisets_allowed(self):
+        sets, _ = digit_sum_training_data(500, max_set_size=10, max_digit=3, seed=0)
+        assert any(len(set(s)) < len(s) for s in sets)
+
+    def test_larger_digit_universe(self):
+        sets, _ = digit_sum_training_data(100, max_digit=100, seed=0)
+        assert max(d for s in sets for d in s) > 10
+
+
+class TestEvalData:
+    def test_fixed_size(self):
+        sets, sums = digit_sum_eval_data(set_size=25, num_samples=50, seed=0)
+        assert all(len(s) == 25 for s in sets)
+        assert len(sums) == 50
+
+    def test_labels_are_sums(self):
+        sets, sums = digit_sum_eval_data(set_size=7, num_samples=30, seed=0)
+        np.testing.assert_array_equal([sum(s) for s in sets], sums)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            digit_sum_eval_data(set_size=0, num_samples=5)

@@ -1,0 +1,115 @@
+"""Tests for the dataset generators and their Table 2-style properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    generate_rw_like,
+    generate_sd,
+    generate_tweets_like,
+    sample_zipf_sets,
+    zipf_weights,
+)
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        assert zipf_weights(100, 1.1).sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(50, 1.3)
+        assert np.all(np.diff(weights) < 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_weights(10, 0.0)
+
+
+class TestSampleZipfSets:
+    def test_respects_sizes(self):
+        rng = np.random.default_rng(0)
+        sizes = np.array([2, 3, 4, 5])
+        sets = sample_zipf_sets(4, 100, sizes, 1.1, rng)
+        assert [len(s) for s in sets] == [2, 3, 4, 5]
+
+    def test_elements_distinct_within_set(self):
+        rng = np.random.default_rng(1)
+        sizes = np.full(50, 5)
+        for s in sample_zipf_sets(50, 30, sizes, 1.5, rng):
+            assert len(set(s)) == len(s)
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            sample_zipf_sets(3, 10, np.array([2, 2]), 1.0, np.random.default_rng(0))
+
+    def test_head_elements_more_frequent(self):
+        rng = np.random.default_rng(2)
+        sets = sample_zipf_sets(500, 200, np.full(500, 4), 1.3, rng)
+        counts = np.zeros(200)
+        for s in sets:
+            counts[list(s)] += 1
+        assert counts[0] > counts[100:].max()
+
+
+class TestRWLike:
+    def test_set_size_range(self):
+        collection = generate_rw_like(500, seed=0)
+        stats = collection.stats()
+        assert stats.min_set_size >= 2
+        assert stats.max_set_size <= 8
+
+    def test_sparse_vocabulary(self):
+        """Most elements appear in only a few sets — the RW signature."""
+        collection = generate_rw_like(2000, seed=0)
+        frequencies = collection.element_frequencies()
+        present = frequencies[frequencies > 0]
+        assert np.median(present) <= 5
+
+    def test_deterministic(self):
+        a = generate_rw_like(200, seed=3)
+        b = generate_rw_like(200, seed=3)
+        assert list(a) == list(b)
+
+    def test_different_seeds_differ(self):
+        a = generate_rw_like(200, seed=3)
+        b = generate_rw_like(200, seed=4)
+        assert list(a) != list(b)
+
+
+class TestTweetsLike:
+    def test_small_sets_dominate(self):
+        collection = generate_tweets_like(2000, seed=0)
+        sizes = np.array([len(s) for s in collection])
+        assert np.median(sizes) <= 3
+        assert sizes.max() <= 12
+
+    def test_skewed_cardinalities(self):
+        collection = generate_tweets_like(2000, seed=0)
+        frequencies = collection.element_frequencies()
+        present = frequencies[frequencies > 0]
+        # Head vs tail ratio is large under Zipf.
+        assert present.max() > 20 * np.median(present)
+
+
+class TestSD:
+    def test_set_sizes_six_or_seven(self):
+        collection = generate_sd(500, seed=0)
+        sizes = {len(s) for s in collection}
+        assert sizes <= {6, 7}
+
+    def test_small_vocabulary_high_reuse(self):
+        collection = generate_sd(1000, vocab_size=200, seed=0)
+        stats = collection.stats()
+        assert stats.num_unique_elements <= 200
+        # Elements recur across many sets (the high-cardinality regime).
+        assert stats.max_cardinality > 50
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_sd(10, min_size=5, max_size=4)
+        with pytest.raises(ValueError):
+            generate_sd(10, vocab_size=2, base_subset_size=3)

@@ -1,0 +1,65 @@
+"""Tests for the dataset registry and scaling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import DATASETS, dataset_names, load_dataset, repro_scale
+
+
+class TestRegistry:
+    def test_all_five_paper_datasets_present(self):
+        assert set(dataset_names()) == {
+            "rw-small",
+            "rw-mid",
+            "rw-large",
+            "tweets",
+            "sd",
+        }
+        paper_names = {spec.paper_name for spec in DATASETS.values()}
+        assert paper_names == {"RW-200k", "RW-1.5M", "RW-3M", "Tweets", "SD"}
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("imagenet")
+
+    def test_scale_parameter(self):
+        small = load_dataset("sd", scale=0.1)
+        smaller = load_dataset("sd", scale=0.05)
+        assert len(small) > len(smaller) >= 100
+
+    def test_rw_sizes_ordered(self):
+        specs = DATASETS
+        assert (
+            specs["rw-small"].base_num_sets
+            < specs["rw-mid"].base_num_sets
+            < specs["rw-large"].base_num_sets
+        )
+
+    def test_generation_deterministic(self):
+        a = load_dataset("tweets", scale=0.05)
+        b = load_dataset("tweets", scale=0.05)
+        assert list(a) == list(b)
+
+
+class TestReproScale:
+    def test_default_is_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert repro_scale() == 1.0
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        assert repro_scale() == 0.5
+
+    def test_invalid_values(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "zero")
+        with pytest.raises(ValueError):
+            repro_scale()
+        monkeypatch.setenv("REPRO_SCALE", "-1")
+        with pytest.raises(ValueError):
+            repro_scale()
+
+    def test_spec_generate_uses_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.05")
+        collection = DATASETS["sd"].generate()
+        assert len(collection) == max(int(3000 * 0.05), 100)

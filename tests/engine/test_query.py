@@ -1,0 +1,138 @@
+"""Tests for the COUNT-query engine: plans, correctness, UDF integration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import SetQueryEngine, SetTable
+from repro.sets import SetCollection
+
+
+@pytest.fixture
+def engine() -> SetQueryEngine:
+    collection = SetCollection([[1, 2, 3], [2, 3], [1, 4], [2, 3, 4], [1, 2, 3]])
+    return SetQueryEngine(SetTable.from_collection(collection))
+
+
+class TestSeqScan:
+    def test_counts_exactly(self, engine):
+        result = engine.count((2, 3), plan="seqscan")
+        assert result.count == 4
+        assert result.plan == "seqscan"
+        assert result.rows_examined == 5
+        assert result.is_exact
+
+    def test_absent_query(self, engine):
+        assert engine.count((1, 2, 3, 4), plan="seqscan").count == 0
+
+    def test_empty_query_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.count(())
+
+
+class TestGinPlan:
+    def test_requires_index(self, engine):
+        with pytest.raises(RuntimeError):
+            engine.count((1,), plan="gin")
+
+    def test_matches_seqscan(self, engine):
+        engine.create_gin_index()
+        for query in [(1,), (2, 3), (1, 2, 3), (4,), (2, 4)]:
+            assert (
+                engine.count(query, plan="gin").count
+                == engine.count(query, plan="seqscan").count
+            )
+
+    def test_examines_no_rows(self, engine):
+        engine.create_gin_index()
+        assert engine.count((2, 3), plan="gin").rows_examined == 0
+
+    def test_index_size_and_build_time(self, engine):
+        index = engine.create_gin_index()
+        assert index.size_bytes() > 0
+        assert index.build_seconds >= 0
+
+    def test_drop_index(self, engine):
+        engine.create_gin_index()
+        engine.drop_gin_index()
+        assert engine.explain() == "seqscan"
+
+
+class TestPlanner:
+    def test_default_prefers_gin(self, engine):
+        assert engine.explain() == "seqscan"
+        engine.create_gin_index()
+        assert engine.explain() == "gin"
+
+    def test_unknown_plan_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.explain("bitmap")
+
+    def test_udf_plan_requires_registration(self, engine):
+        with pytest.raises(KeyError):
+            engine.explain("udf:clsm")
+
+
+class TestUdfPlan:
+    def test_udf_routes_to_function(self, engine):
+        engine.register_udf("fortytwo", lambda q: 42.0)
+        result = engine.count((1,), plan="udf:fortytwo")
+        assert result.count == 42.0
+        assert result.plan == "udf:fortytwo"
+        assert not result.is_exact
+
+    def test_udf_receives_canonical_query(self, engine):
+        seen = []
+        engine.register_udf("probe", lambda q: seen.append(q) or 0.0)
+        engine.count((3, 1, 3), plan="udf:probe")
+        assert seen == [(1, 3)]
+
+    def test_learned_estimator_as_udf(self, engine):
+        """The Table 12 wiring: a learned estimator behind the UDF plan."""
+        from repro.core import (
+            LearnedCardinalityEstimator,
+            ModelConfig,
+            TrainConfig,
+        )
+
+        collection = engine.table.to_collection()
+        estimator = LearnedCardinalityEstimator.build(
+            collection,
+            model_config=ModelConfig(kind="clsm", embedding_dim=2, seed=0),
+            train_config=TrainConfig(epochs=3, seed=0),
+        )
+        engine.register_udf("clsm", estimator.estimate)
+        result = engine.count((2, 3), plan="udf:clsm")
+        assert result.count >= 1.0
+
+    def test_registry_management(self, engine):
+        engine.register_udf("f", lambda q: 1.0)
+        assert "f" in engine.udfs
+        assert engine.udfs.names() == ["f"]
+        engine.udfs.unregister("f")
+        assert "f" not in engine.udfs
+
+    def test_non_callable_rejected(self, engine):
+        with pytest.raises(TypeError):
+            engine.register_udf("bad", 7)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    data=st.lists(
+        st.sets(st.integers(0, 20), min_size=1, max_size=5).map(tuple),
+        min_size=1,
+        max_size=25,
+    ),
+    query=st.sets(st.integers(0, 20), min_size=1, max_size=3).map(tuple),
+)
+def test_property_gin_equals_seqscan(data, query):
+    engine = SetQueryEngine(SetTable.from_collection(SetCollection(data)))
+    engine.create_gin_index()
+    assert (
+        engine.count(query, plan="gin").count
+        == engine.count(query, plan="seqscan").count
+    )

@@ -1,0 +1,51 @@
+"""Tests for the hstore-style set table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import SetTable
+from repro.sets import SetCollection
+
+
+class TestSetTable:
+    def test_insert_returns_row_ids(self):
+        table = SetTable()
+        assert table.insert([1, 2]) == 0
+        assert table.insert([3]) == 1
+        assert len(table) == 2
+
+    def test_rows_canonicalized(self):
+        table = SetTable()
+        table.insert([3, 1, 3])
+        assert table.row(0) == (1, 3)
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            SetTable().insert([])
+
+    def test_scan_order(self):
+        table = SetTable()
+        table.insert([1])
+        table.insert([2])
+        assert list(table.scan()) == [(0, (1,)), (1, (2,))]
+
+    def test_from_collection_preserves_order(self):
+        collection = SetCollection([[5, 6], [1], [5, 6]])
+        table = SetTable.from_collection(collection)
+        assert [row for _, row in table.scan()] == list(collection)
+
+    def test_to_collection_roundtrip(self):
+        collection = SetCollection([[5, 6], [1]])
+        table = SetTable.from_collection(collection)
+        assert list(table.to_collection()) == list(collection)
+
+    def test_heap_bytes_positive(self):
+        table = SetTable()
+        table.insert([1, 2, 3])
+        assert table.heap_bytes() > 0
+
+    def test_max_element_id(self):
+        table = SetTable()
+        table.insert([7, 2])
+        assert table.max_element_id() == 7

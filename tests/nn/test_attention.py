@@ -1,0 +1,118 @@
+"""Tests for the attention blocks (Set Transformer building blocks)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn.attention import ISAB, MAB, PMA, SAB, LayerNorm, MultiheadAttention
+from tests.conftest import numeric_gradient
+
+
+class TestLayerNorm:
+    def test_normalizes_last_axis(self, rng):
+        layer = LayerNorm(8)
+        out = layer(Tensor(rng.normal(size=(3, 5, 8)) * 10 + 4)).data
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-9)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_gain_and_bias_applied(self, rng):
+        layer = LayerNorm(4)
+        layer.gain.data[:] = 2.0
+        layer.bias.data[:] = 3.0
+        out = layer(Tensor(rng.normal(size=(2, 4)))).data
+        np.testing.assert_allclose(out.mean(axis=-1), 3.0, atol=1e-9)
+
+    def test_gradcheck(self, rng):
+        layer = LayerNorm(3)
+        data = rng.normal(size=(2, 3))
+        seed = rng.normal(size=(2, 3))
+
+        def value():
+            return float((layer(Tensor(data)).data * seed).sum())
+
+        x = Tensor(data.copy(), requires_grad=True)
+        layer(x).backward(seed)
+        for parameter in layer.parameters():
+            grad = parameter.grad.copy()
+            parameter.zero_grad()
+            expected = numeric_gradient(value, parameter.data)
+            np.testing.assert_allclose(grad, expected, atol=1e-5)
+
+
+class TestMultiheadAttention:
+    def test_output_shape(self, rng):
+        attention = MultiheadAttention(16, num_heads=4, rng=rng)
+        q = Tensor(rng.normal(size=(2, 3, 16)))
+        kv = Tensor(rng.normal(size=(2, 5, 16)))
+        assert attention(q, kv).shape == (2, 3, 16)
+
+    def test_dim_head_divisibility(self, rng):
+        with pytest.raises(ValueError):
+            MultiheadAttention(10, num_heads=4, rng=rng)
+
+    def test_masked_keys_ignored(self, rng):
+        """Replacing a masked key's content must not change the output."""
+        attention = MultiheadAttention(8, num_heads=2, rng=rng)
+        q = Tensor(rng.normal(size=(1, 2, 8)))
+        kv_data = rng.normal(size=(1, 4, 8))
+        mask = np.array([[1.0, 1.0, 0.0, 0.0]])
+        out_a = attention(q, Tensor(kv_data.copy()), key_mask=mask).data
+        kv_data[0, 2:] = 999.0  # corrupt masked positions
+        out_b = attention(q, Tensor(kv_data), key_mask=mask).data
+        np.testing.assert_allclose(out_a, out_b, atol=1e-9)
+
+    def test_gradients_flow_through_all_projections(self, rng):
+        attention = MultiheadAttention(8, num_heads=2, rng=rng)
+        q = Tensor(rng.normal(size=(1, 2, 8)))
+        attention(q, q).sum().backward()
+        for name, parameter in attention.named_parameters():
+            assert parameter.grad is not None, name
+
+    def test_attention_weights_average_values(self, rng):
+        """With identical keys, attention is a plain average of values."""
+        attention = MultiheadAttention(4, num_heads=1, rng=rng)
+        kv = Tensor(np.tile(rng.normal(size=(1, 1, 4)), (1, 6, 1)))
+        q = Tensor(rng.normal(size=(1, 1, 4)))
+        out_full = attention(q, kv).data
+        out_single = attention(q, Tensor(kv.data[:, :1, :])).data
+        np.testing.assert_allclose(out_full, out_single, atol=1e-9)
+
+
+class TestBlocks:
+    @pytest.mark.parametrize("block_cls", [SAB, lambda d, rng: ISAB(d, 4, rng=rng)])
+    def test_shape_preserved(self, rng, block_cls):
+        block = (
+            block_cls(16, rng=rng)
+            if block_cls is SAB
+            else block_cls(16, rng)
+        )
+        x = Tensor(rng.normal(size=(2, 5, 16)))
+        assert block(x).shape == (2, 5, 16)
+
+    def test_mab_residual_structure(self, rng):
+        block = MAB(8, num_heads=2, rng=rng)
+        x = Tensor(rng.normal(size=(1, 3, 8)))
+        y = Tensor(rng.normal(size=(1, 4, 8)))
+        assert block(x, y).shape == (1, 3, 8)
+
+    def test_pma_pools_to_seeds(self, rng):
+        pool = PMA(8, num_seeds=2, num_heads=2, rng=rng)
+        x = Tensor(rng.normal(size=(3, 7, 8)))
+        assert pool(x).shape == (3, 2, 8)
+
+    def test_pma_permutation_invariant(self, rng):
+        pool = PMA(8, num_seeds=1, num_heads=2, rng=rng)
+        data = rng.normal(size=(1, 5, 8))
+        perm = rng.permutation(5)
+        out_a = pool(Tensor(data)).data
+        out_b = pool(Tensor(data[:, perm, :])).data
+        np.testing.assert_allclose(out_a, out_b, atol=1e-9)
+
+    def test_isab_parameters_receive_gradients(self, rng):
+        block = ISAB(8, num_inducing=3, num_heads=2, rng=rng)
+        x = Tensor(rng.normal(size=(2, 4, 8)))
+        block(x).sum().backward()
+        assert block.inducing.grad is not None
+        assert np.abs(block.inducing.grad).sum() > 0

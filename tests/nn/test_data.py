@@ -1,0 +1,123 @@
+"""Tests for ragged batching and the set data loader."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.data import RaggedArray, SetBatch, SetDataLoader
+
+
+class TestSetBatch:
+    def test_from_sets_layout(self):
+        batch = SetBatch.from_sets([[1, 2], [3], [4, 5, 6]])
+        np.testing.assert_array_equal(batch.elements, [1, 2, 3, 4, 5, 6])
+        np.testing.assert_array_equal(batch.segment_ids, [0, 0, 1, 2, 2, 2])
+        assert batch.num_sets == 3
+        assert len(batch) == 3
+
+    def test_set_sizes(self):
+        batch = SetBatch.from_sets([[1, 2], [3, 4, 5]])
+        np.testing.assert_array_equal(batch.set_sizes(), [2, 3])
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            SetBatch.from_sets([[1], []])
+
+    def test_empty_batch(self):
+        batch = SetBatch.from_sets([])
+        assert batch.num_sets == 0
+        assert len(batch.elements) == 0
+
+
+class TestRaggedArray:
+    def test_get(self):
+        ragged = RaggedArray([[1, 2], [3], [4, 5, 6]])
+        np.testing.assert_array_equal(ragged.get(1), [3])
+        np.testing.assert_array_equal(ragged.get(2), [4, 5, 6])
+
+    def test_lengths(self):
+        ragged = RaggedArray([[1, 2], [3], [4, 5, 6]])
+        np.testing.assert_array_equal(ragged.lengths(), [2, 1, 3])
+
+    def test_batch_arbitrary_order(self):
+        ragged = RaggedArray([[1, 2, 3], [4], [5, 6], [7, 8, 9, 10]])
+        batch = ragged.batch(np.array([2, 0, 3]))
+        np.testing.assert_array_equal(batch.elements, [5, 6, 1, 2, 3, 7, 8, 9, 10])
+        np.testing.assert_array_equal(batch.segment_ids, [0, 0, 1, 1, 1, 2, 2, 2, 2])
+
+    def test_batch_with_repeats(self):
+        ragged = RaggedArray([[1], [2, 3]])
+        batch = ragged.batch(np.array([1, 1]))
+        np.testing.assert_array_equal(batch.elements, [2, 3, 2, 3])
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            RaggedArray([[1], []])
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        data=st.lists(
+            st.lists(st.integers(0, 100), min_size=1, max_size=8),
+            min_size=1,
+            max_size=20,
+        ),
+        seed=st.integers(0, 1000),
+    )
+    def test_property_batch_matches_python_reference(self, data, seed):
+        ragged = RaggedArray(data)
+        generator = np.random.default_rng(seed)
+        indices = generator.integers(0, len(data), size=min(5, len(data)))
+        batch = ragged.batch(indices)
+        expected = np.concatenate(
+            [np.asarray(data[i], dtype=np.int64) for i in indices]
+        )
+        np.testing.assert_array_equal(batch.elements, expected)
+
+
+class TestSetDataLoader:
+    def make_loader(self, n=10, **kwargs):
+        sets = [[i, i + 1] for i in range(n)]
+        targets = np.arange(n, dtype=float)
+        return SetDataLoader(sets, targets, **kwargs)
+
+    def test_iterates_all_samples(self):
+        loader = self.make_loader(n=10, batch_size=3, shuffle=False)
+        seen = []
+        for batch, targets, indices in loader:
+            assert len(batch) == len(targets) == len(indices)
+            seen.extend(indices.tolist())
+        assert sorted(seen) == list(range(10))
+
+    def test_len_counts_batches(self):
+        loader = self.make_loader(n=10, batch_size=3)
+        assert len(loader) == 4
+
+    def test_targets_align_with_sets(self):
+        loader = self.make_loader(n=6, batch_size=2, shuffle=False)
+        for batch, targets, indices in loader:
+            np.testing.assert_array_equal(targets, indices.astype(float))
+
+    def test_shuffle_changes_order(self):
+        loader = self.make_loader(
+            n=100, batch_size=100, rng=np.random.default_rng(0)
+        )
+        (_, _, first), = list(loader)
+        assert not np.array_equal(first, np.arange(100))
+
+    def test_deactivate_excludes_outliers(self):
+        loader = self.make_loader(n=10, batch_size=10, shuffle=False)
+        loader.deactivate(np.array([0, 5, 9]))
+        assert loader.num_active == 7
+        (_, _, indices), = list(loader)
+        assert set(indices.tolist()) == set(range(10)) - {0, 5, 9}
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            SetDataLoader([[1], [2]], np.zeros(3))
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            self.make_loader(batch_size=0)

@@ -1,0 +1,244 @@
+"""Tests for activations and the ragged set primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+from tests.conftest import numeric_gradient
+
+
+def check_unary(op, data, tol=1e-6):
+    x = Tensor(data.copy(), requires_grad=True)
+    out = op(x)
+    seed = np.random.default_rng(0).normal(size=out.shape)
+    out.backward(seed)
+    holder = Tensor(data, requires_grad=True)
+
+    def value():
+        return float((op(holder).data * seed).sum())
+
+    np.testing.assert_allclose(x.grad, numeric_gradient(value, holder.data), atol=tol)
+
+
+class TestActivations:
+    def test_exp(self, rng):
+        check_unary(F.exp, rng.normal(size=(3, 2)))
+
+    def test_log(self, rng):
+        check_unary(F.log, rng.random((4,)) + 0.5)
+
+    def test_sigmoid(self, rng):
+        check_unary(F.sigmoid, rng.normal(size=(5,)))
+
+    def test_sigmoid_extreme_values_stable(self):
+        out = F.sigmoid(Tensor(np.array([-1000.0, 0.0, 1000.0])))
+        np.testing.assert_allclose(out.data, [0.0, 0.5, 1.0], atol=1e-12)
+        assert np.all(np.isfinite(out.data))
+
+    def test_tanh(self, rng):
+        check_unary(F.tanh, rng.normal(size=(5,)))
+
+    def test_relu(self, rng):
+        data = rng.normal(size=(6,))
+        data[np.abs(data) < 0.1] = 0.5  # stay away from the kink
+        check_unary(F.relu, data)
+
+    def test_relu_values(self):
+        np.testing.assert_allclose(
+            F.relu(Tensor(np.array([-1.0, 0.0, 2.0]))).data, [0.0, 0.0, 2.0]
+        )
+
+    def test_leaky_relu(self, rng):
+        data = rng.normal(size=(6,))
+        data[np.abs(data) < 0.1] = 0.5
+        check_unary(lambda x: F.leaky_relu(x, 0.1), data)
+
+    def test_softplus(self, rng):
+        check_unary(F.softplus, rng.normal(size=(5,)))
+
+    def test_softplus_large_input_stable(self):
+        out = F.softplus(Tensor(np.array([800.0])))
+        np.testing.assert_allclose(out.data, [800.0])
+
+    def test_abs(self, rng):
+        data = rng.normal(size=(5,))
+        data[np.abs(data) < 0.1] = 0.3
+        check_unary(F.abs, data)
+
+    def test_maximum(self, rng):
+        a = rng.normal(size=(4,))
+        b = a + rng.choice([-1.0, 1.0], size=4) * 0.5  # no ties
+        x = Tensor(a.copy(), requires_grad=True)
+        y = Tensor(b.copy(), requires_grad=True)
+        F.maximum(x, y).sum().backward()
+        np.testing.assert_allclose(x.grad, (a >= b).astype(float))
+        np.testing.assert_allclose(y.grad, (a < b).astype(float))
+
+    def test_clip_gradient_zero_outside(self):
+        x = Tensor(np.array([-2.0, 0.5, 2.0]), requires_grad=True)
+        F.clip(x, 0.0, 1.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+    def test_logsumexp_matches_scipy_semantics(self, rng):
+        data = rng.normal(size=(3, 5))
+        expected = np.log(np.exp(data).sum(axis=-1))
+        np.testing.assert_allclose(
+            F.logsumexp(Tensor(data), axis=-1).data, expected, atol=1e-10
+        )
+
+    def test_logsumexp_stable_for_large_values(self):
+        data = np.array([[1000.0, 1000.0]])
+        out = F.logsumexp(Tensor(data), axis=-1)
+        np.testing.assert_allclose(out.data, [1000.0 + np.log(2.0)])
+
+
+class TestSoftmaxSqrt:
+    def test_softmax_sums_to_one(self, rng):
+        out = F.softmax(Tensor(rng.normal(size=(3, 5))), axis=-1)
+        np.testing.assert_allclose(out.data.sum(axis=-1), 1.0)
+
+    def test_softmax_stable_for_large_logits(self):
+        out = F.softmax(Tensor(np.array([[1000.0, 1000.0, -1000.0]])))
+        np.testing.assert_allclose(out.data, [[0.5, 0.5, 0.0]], atol=1e-12)
+
+    def test_softmax_gradcheck(self, rng):
+        check_unary(lambda x: F.softmax(x, axis=-1), rng.normal(size=(2, 4)))
+
+    def test_sqrt_values_and_gradient(self, rng):
+        data = rng.random(5) + 0.5
+        check_unary(F.sqrt, data)
+        np.testing.assert_allclose(F.sqrt(Tensor(np.array([4.0]))).data, [2.0])
+
+
+class TestConcatStack:
+    def test_concat_values(self, rng):
+        a, b = rng.normal(size=(2, 3)), rng.normal(size=(2, 2))
+        out = F.concat([Tensor(a), Tensor(b)], axis=1)
+        np.testing.assert_allclose(out.data, np.concatenate([a, b], axis=1))
+
+    def test_concat_gradient_splits(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 2)), requires_grad=True)
+        out = F.concat([a, b], axis=1)
+        seed = rng.normal(size=(2, 5))
+        out.backward(seed)
+        np.testing.assert_allclose(a.grad, seed[:, :3])
+        np.testing.assert_allclose(b.grad, seed[:, 3:])
+
+    def test_stack_gradient(self, rng):
+        a = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        out = F.stack([a, b], axis=0)
+        seed = rng.normal(size=(2, 3))
+        out.backward(seed)
+        np.testing.assert_allclose(a.grad, seed[0])
+        np.testing.assert_allclose(b.grad, seed[1])
+
+
+class TestGather:
+    def test_values(self, rng):
+        table = Tensor(rng.normal(size=(5, 3)), requires_grad=True)
+        idx = np.array([4, 0, 0, 2])
+        np.testing.assert_allclose(F.gather(table, idx).data, table.data[idx])
+
+    def test_duplicate_indices_accumulate(self, rng):
+        table = Tensor(rng.normal(size=(5, 3)), requires_grad=True)
+        idx = np.array([1, 1, 1])
+        F.gather(table, idx).sum().backward()
+        np.testing.assert_allclose(table.grad[1], [3.0, 3.0, 3.0])
+        np.testing.assert_allclose(table.grad[0], [0.0, 0.0, 0.0])
+
+    def test_rejects_float_indices(self):
+        with pytest.raises(TypeError):
+            F.gather(Tensor(np.ones((2, 2))), np.array([0.0]))
+
+
+class TestSegmentOps:
+    def test_segment_sum_values(self, rng):
+        x = rng.normal(size=(6, 2))
+        seg = np.array([0, 0, 1, 1, 1, 3])
+        out = F.segment_sum(Tensor(x), seg, 4)
+        np.testing.assert_allclose(out.data[0], x[:2].sum(axis=0))
+        np.testing.assert_allclose(out.data[1], x[2:5].sum(axis=0))
+        np.testing.assert_allclose(out.data[2], [0.0, 0.0])
+        np.testing.assert_allclose(out.data[3], x[5])
+
+    def test_segment_sum_gradient(self, rng):
+        x = Tensor(rng.normal(size=(5, 2)), requires_grad=True)
+        seg = np.array([0, 0, 1, 2, 2])
+        out = F.segment_sum(x, seg, 3)
+        seed = rng.normal(size=(3, 2))
+        out.backward(seed)
+        np.testing.assert_allclose(x.grad, seed[seg])
+
+    def test_segment_sum_requires_sorted(self, rng):
+        with pytest.raises(ValueError):
+            F.segment_sum(Tensor(rng.normal(size=(3, 1))), np.array([1, 0, 2]), 3)
+
+    def test_segment_sum_empty_input(self):
+        out = F.segment_sum(Tensor(np.empty((0, 3))), np.empty(0, dtype=int), 2)
+        np.testing.assert_allclose(out.data, np.zeros((2, 3)))
+
+    def test_segment_sum_leading_empty_segment(self, rng):
+        x = rng.normal(size=(2, 2))
+        out = F.segment_sum(Tensor(x), np.array([1, 1]), 2)
+        np.testing.assert_allclose(out.data[0], [0.0, 0.0])
+        np.testing.assert_allclose(out.data[1], x.sum(axis=0))
+
+    def test_segment_mean_values(self, rng):
+        x = rng.normal(size=(4, 3))
+        seg = np.array([0, 0, 0, 1])
+        out = F.segment_mean(Tensor(x), seg, 2)
+        np.testing.assert_allclose(out.data[0], x[:3].mean(axis=0))
+        np.testing.assert_allclose(out.data[1], x[3])
+
+    def test_segment_max_values(self, rng):
+        x = rng.normal(size=(5, 2))
+        seg = np.array([0, 0, 0, 2, 2])
+        out = F.segment_max(Tensor(x), seg, 3)
+        np.testing.assert_allclose(out.data[0], x[:3].max(axis=0))
+        np.testing.assert_allclose(out.data[1], [0.0, 0.0])
+        np.testing.assert_allclose(out.data[2], x[3:].max(axis=0))
+
+    def test_segment_max_gradient_unique(self, rng):
+        data = np.array([[1.0], [3.0], [2.0], [5.0]])
+        x = Tensor(data, requires_grad=True)
+        seg = np.array([0, 0, 1, 1])
+        F.segment_max(x, seg, 2).sum().backward()
+        np.testing.assert_allclose(x.grad, [[0.0], [1.0], [0.0], [1.0]])
+
+    def test_segment_max_gradient_splits_ties(self):
+        x = Tensor(np.array([[2.0], [2.0]]), requires_grad=True)
+        F.segment_max(x, np.array([0, 0]), 1).sum().backward()
+        np.testing.assert_allclose(x.grad, [[0.5], [0.5]])
+
+
+class TestPermutationInvariance:
+    """The pooling primitives must not care about within-set order."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1), size=st.integers(1, 10))
+    def test_segment_sum_invariant_under_permutation(self, seed, size):
+        generator = np.random.default_rng(seed)
+        x = generator.normal(size=(size, 3))
+        perm = generator.permutation(size)
+        seg = np.zeros(size, dtype=int)
+        out = F.segment_sum(Tensor(x), seg, 1)
+        out_perm = F.segment_sum(Tensor(x[perm]), seg, 1)
+        np.testing.assert_allclose(out.data, out_perm.data, atol=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1), size=st.integers(1, 10))
+    def test_segment_max_invariant_under_permutation(self, seed, size):
+        generator = np.random.default_rng(seed)
+        x = generator.normal(size=(size, 2))
+        perm = generator.permutation(size)
+        seg = np.zeros(size, dtype=int)
+        out = F.segment_max(Tensor(x), seg, 1)
+        out_perm = F.segment_max(Tensor(x[perm]), seg, 1)
+        np.testing.assert_allclose(out.data, out_perm.data)

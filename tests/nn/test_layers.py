@@ -1,0 +1,160 @@
+"""Tests for layers, module traversal, and state dicts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+
+
+class TestLinear:
+    def test_forward_matches_manual(self, rng):
+        layer = nn.Linear(3, 2, rng=rng)
+        x = rng.normal(size=(4, 3))
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+
+    def test_no_bias(self, rng):
+        layer = nn.Linear(3, 2, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_glorot_bounds(self, rng):
+        layer = nn.Linear(100, 50, rng=rng)
+        limit = np.sqrt(6.0 / 150)
+        assert np.abs(layer.weight.data).max() <= limit
+
+    def test_deterministic_given_rng(self):
+        a = nn.Linear(3, 2, rng=np.random.default_rng(7))
+        b = nn.Linear(3, 2, rng=np.random.default_rng(7))
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+
+class TestEmbedding:
+    def test_lookup(self, rng):
+        emb = nn.Embedding(10, 4, rng=rng)
+        out = emb(np.array([3, 3, 9]))
+        np.testing.assert_allclose(out.data[0], out.data[1])
+        assert out.shape == (3, 4)
+
+    def test_out_of_range_raises(self, rng):
+        emb = nn.Embedding(5, 2, rng=rng)
+        with pytest.raises(IndexError):
+            emb(np.array([5]))
+        with pytest.raises(IndexError):
+            emb(np.array([-1]))
+
+    def test_gradient_sparsity(self, rng):
+        emb = nn.Embedding(6, 2, rng=rng)
+        emb(np.array([1, 2])).sum().backward()
+        assert np.all(emb.weight.grad[0] == 0)
+        assert np.all(emb.weight.grad[1] == 1)
+
+
+class TestActivationsAndResolve:
+    def test_resolve_known(self):
+        assert isinstance(nn.resolve_activation("relu"), nn.ReLU)
+        assert isinstance(nn.resolve_activation("sigmoid"), nn.Sigmoid)
+        assert isinstance(nn.resolve_activation("identity"), nn.Identity)
+        assert isinstance(nn.resolve_activation("linear"), nn.Identity)
+
+    def test_resolve_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown activation"):
+            nn.resolve_activation("swishy")
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        drop = nn.Dropout(0.5, rng=rng)
+        drop.eval()
+        x = Tensor(rng.normal(size=(10,)))
+        np.testing.assert_array_equal(drop(x).data, x.data)
+
+    def test_train_mode_scales_survivors(self, rng):
+        drop = nn.Dropout(0.5, rng=rng)
+        x = Tensor(np.ones(10000))
+        out = drop(x).data
+        survivors = out[out != 0]
+        np.testing.assert_allclose(survivors, 2.0)
+        assert 0.4 < (out != 0).mean() < 0.6
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+
+
+class TestSequentialAndMLP:
+    def test_sequential_applies_in_order(self, rng):
+        model = nn.Sequential(nn.Linear(2, 3, rng=rng), nn.ReLU())
+        out = model(Tensor(rng.normal(size=(5, 2))))
+        assert out.shape == (5, 3)
+        assert np.all(out.data >= 0)
+
+    def test_mlp_layer_count(self, rng):
+        model = nn.MLP(4, [8, 8], 1, rng=rng)
+        linears = [m for m in model if isinstance(m, nn.Linear)]
+        assert [(m.in_features, m.out_features) for m in linears] == [
+            (4, 8),
+            (8, 8),
+            (8, 1),
+        ]
+
+    def test_mlp_sigmoid_output_in_unit_interval(self, rng):
+        model = nn.MLP(4, [8], 1, out_activation="sigmoid", rng=rng)
+        out = model(Tensor(rng.normal(size=(10, 4)) * 10))
+        assert np.all((out.data > 0) & (out.data < 1))
+
+    def test_parameters_found_through_module_list(self, rng):
+        model = nn.MLP(4, [8, 8], 1, rng=rng)
+        # 3 linears x (weight + bias)
+        assert len(model.parameters()) == 6
+
+
+class TestModuleStateDict:
+    def test_roundtrip(self, rng):
+        model = nn.MLP(3, [5], 2, rng=rng)
+        state = model.state_dict()
+        clone = nn.MLP(3, [5], 2, rng=np.random.default_rng(99))
+        clone.load_state_dict(state)
+        x = rng.normal(size=(4, 3))
+        np.testing.assert_allclose(model(Tensor(x)).data, clone(Tensor(x)).data)
+
+    def test_state_dict_is_a_copy(self, rng):
+        model = nn.Linear(2, 2, rng=rng)
+        state = model.state_dict()
+        state["weight"][0, 0] = 1e9
+        assert model.weight.data[0, 0] != 1e9
+
+    def test_load_rejects_missing_keys(self, rng):
+        model = nn.Linear(2, 2, rng=rng)
+        with pytest.raises(KeyError):
+            model.load_state_dict({"weight": np.zeros((2, 2))})
+
+    def test_load_rejects_wrong_shape(self, rng):
+        model = nn.Linear(2, 2, rng=rng)
+        state = model.state_dict()
+        state["weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_num_parameters_and_bytes(self, rng):
+        model = nn.Linear(10, 5, rng=rng)
+        assert model.num_parameters() == 55
+        assert model.parameter_bytes(np.float32) == 55 * 4
+        assert model.parameter_bytes(np.float64) == 55 * 8
+
+    def test_train_eval_propagates(self, rng):
+        model = nn.Sequential(nn.Dropout(0.5), nn.Linear(2, 2, rng=rng))
+        model.eval()
+        assert not model.layers[0].training
+        model.train()
+        assert model.layers[0].training
+
+    def test_zero_grad_clears_all(self, rng):
+        model = nn.MLP(2, [3], 1, rng=rng)
+        model(Tensor(rng.normal(size=(2, 2)))).sum().backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())

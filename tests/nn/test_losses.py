@@ -1,0 +1,114 @@
+"""Tests for loss functions, including the q-error/MAE equivalence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+from tests.conftest import numeric_gradient
+
+
+class TestRegressionLosses:
+    def test_mse_value(self):
+        pred = Tensor(np.array([1.0, 2.0]))
+        loss = nn.mse_loss(pred, np.array([0.0, 4.0]))
+        assert loss.item() == pytest.approx((1.0 + 4.0) / 2)
+
+    def test_mae_value(self):
+        pred = Tensor(np.array([1.0, -2.0]))
+        loss = nn.mae_loss(pred, np.array([0.0, 0.0]))
+        assert loss.item() == pytest.approx(1.5)
+
+    def test_mse_gradient(self, rng):
+        data = rng.normal(size=(5,))
+        target = rng.normal(size=(5,))
+        x = Tensor(data.copy(), requires_grad=True)
+        nn.mse_loss(x, target).backward()
+        holder = Tensor(data, requires_grad=True)
+        expected = numeric_gradient(
+            lambda: nn.mse_loss(holder, target).item(), holder.data
+        )
+        np.testing.assert_allclose(x.grad, expected, atol=1e-6)
+
+    def test_huber_quadratic_then_linear(self):
+        pred = Tensor(np.array([0.5, 3.0]))
+        loss = nn.huber_loss(pred, np.array([0.0, 0.0]), delta=1.0)
+        expected = (0.5 * 0.25 + (1.0**2 * 0.5 + (3.0 - 1.0) * 1.0)) / 2
+        assert loss.item() == pytest.approx(expected)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            nn.mse_loss(Tensor(np.ones(3)), np.ones(4))
+
+    def test_q_error_is_mae(self, rng):
+        pred = Tensor(rng.random(6))
+        target = rng.random(6)
+        assert nn.q_error_loss(pred, target).item() == pytest.approx(
+            nn.mae_loss(pred, target).item()
+        )
+
+    def test_q_error_equivalence_with_log_scale(self, rng):
+        """MAE on log-minmax-scaled targets == mean log q-error / (hi - lo)."""
+        y_true = rng.integers(1, 1000, size=20).astype(float)
+        y_pred = y_true * rng.uniform(0.5, 2.0, size=20)
+        lo, hi = 0.0, np.log(1000.0)
+        scaled_true = (np.log(y_true) - lo) / (hi - lo)
+        scaled_pred = (np.log(y_pred) - lo) / (hi - lo)
+        mae = nn.q_error_loss(Tensor(scaled_pred), scaled_true).item()
+        q_errors = np.maximum(y_pred / y_true, y_true / y_pred)
+        assert mae * (hi - lo) == pytest.approx(np.log(q_errors).mean())
+
+
+class TestClassificationLosses:
+    def test_bce_perfect_prediction_near_zero(self):
+        pred = Tensor(np.array([0.999999, 0.000001]))
+        loss = nn.binary_cross_entropy(pred, np.array([1.0, 0.0]))
+        assert loss.item() < 1e-5
+
+    def test_bce_symmetric(self):
+        a = nn.binary_cross_entropy(Tensor(np.array([0.3])), np.array([1.0]))
+        b = nn.binary_cross_entropy(Tensor(np.array([0.7])), np.array([0.0]))
+        assert a.item() == pytest.approx(b.item())
+
+    def test_bce_saturated_inputs_finite(self):
+        loss = nn.binary_cross_entropy(
+            Tensor(np.array([0.0, 1.0])), np.array([1.0, 0.0])
+        )
+        assert np.isfinite(loss.item())
+
+    def test_bce_with_logits_matches_probability_version(self, rng):
+        logits = rng.normal(size=(8,))
+        targets = rng.integers(0, 2, size=8).astype(float)
+        probs = 1.0 / (1.0 + np.exp(-logits))
+        a = nn.bce_with_logits(Tensor(logits), targets).item()
+        b = nn.binary_cross_entropy(Tensor(probs), targets).item()
+        assert a == pytest.approx(b, rel=1e-6)
+
+    def test_bce_with_logits_extreme_stable(self):
+        loss = nn.bce_with_logits(
+            Tensor(np.array([1000.0, -1000.0])), np.array([1.0, 0.0])
+        )
+        assert loss.item() == pytest.approx(0.0, abs=1e-9)
+
+    def test_bce_gradient(self, rng):
+        data = rng.uniform(0.1, 0.9, size=6)
+        target = rng.integers(0, 2, size=6).astype(float)
+        x = Tensor(data.copy(), requires_grad=True)
+        nn.binary_cross_entropy(x, target).backward()
+        holder = Tensor(data, requires_grad=True)
+        expected = numeric_gradient(
+            lambda: nn.binary_cross_entropy(holder, target).item(), holder.data
+        )
+        np.testing.assert_allclose(x.grad, expected, atol=1e-5)
+
+
+class TestResolveLoss:
+    def test_resolve_all_names(self):
+        for name in ("mse", "mae", "q_error", "huber", "bce"):
+            assert callable(nn.resolve_loss(name))
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown loss"):
+            nn.resolve_loss("nll")

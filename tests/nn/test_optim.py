@@ -1,0 +1,155 @@
+"""Tests for optimizers and LR schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+from repro.nn.module import Parameter
+
+
+def quadratic_step(optimizer, parameter):
+    """One optimization step on f(w) = ||w||^2 / 2 (gradient = w)."""
+    optimizer.zero_grad()
+    (parameter * parameter * 0.5).sum().backward()
+    optimizer.step()
+
+
+class TestSGD:
+    def test_plain_sgd_matches_formula(self):
+        p = Parameter(np.array([1.0, -2.0]))
+        opt = nn.SGD([p], lr=0.1)
+        quadratic_step(opt, p)
+        np.testing.assert_allclose(p.data, [0.9, -1.8])
+
+    def test_momentum_accelerates(self):
+        p_plain = Parameter(np.array([10.0]))
+        p_momentum = Parameter(np.array([10.0]))
+        opt_plain = nn.SGD([p_plain], lr=0.01)
+        opt_momentum = nn.SGD([p_momentum], lr=0.01, momentum=0.9)
+        for _ in range(50):
+            quadratic_step(opt_plain, p_plain)
+            quadratic_step(opt_momentum, p_momentum)
+        assert abs(p_momentum.data[0]) < abs(p_plain.data[0])
+
+    def test_weight_decay_shrinks_faster(self):
+        p = Parameter(np.array([1.0]))
+        opt = nn.SGD([p], lr=0.1, weight_decay=0.5)
+        quadratic_step(opt, p)
+        # grad = w + 0.5 w = 1.5 -> w = 1 - 0.15
+        np.testing.assert_allclose(p.data, [0.85])
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError):
+            nn.SGD([Parameter(np.zeros(1))], lr=0.1, nesterov=True)
+
+    def test_skips_parameters_without_grad(self):
+        p = Parameter(np.array([1.0]))
+        opt = nn.SGD([p], lr=0.1)
+        opt.step()  # no backward happened
+        np.testing.assert_allclose(p.data, [1.0])
+
+
+class TestAdam:
+    def test_first_step_size_is_lr(self):
+        # With bias correction, the very first Adam update is ~lr * sign(g).
+        p = Parameter(np.array([1.0]))
+        opt = nn.Adam([p], lr=0.1)
+        quadratic_step(opt, p)
+        np.testing.assert_allclose(p.data, [0.9], atol=1e-6)
+
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0]))
+        opt = nn.Adam([p], lr=0.1)
+        for _ in range(300):
+            quadratic_step(opt, p)
+        np.testing.assert_allclose(p.data, [0.0, 0.0], atol=1e-3)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            nn.Adam([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            nn.Adam([], lr=0.1)
+
+
+class TestRMSprop:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0]))
+        opt = nn.RMSprop([p], lr=0.05)
+        for _ in range(500):
+            quadratic_step(opt, p)
+        np.testing.assert_allclose(p.data, [0.0], atol=1e-2)
+
+
+class TestTrainingIntegration:
+    def test_mlp_learns_linear_function(self, rng):
+        x = rng.normal(size=(256, 3))
+        w_true = rng.normal(size=(3, 1))
+        y = x @ w_true
+        model = nn.MLP(3, [16], 1, rng=rng)
+        opt = nn.Adam(model.parameters(), lr=0.01)
+        first_loss = None
+        for _ in range(200):
+            loss = nn.mse_loss(model(Tensor(x)), y)
+            if first_loss is None:
+                first_loss = loss.item()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert loss.item() < first_loss * 0.01
+
+    def test_classifier_learns_separable_data(self, rng):
+        x = rng.normal(size=(200, 2))
+        y = (x[:, 0] + x[:, 1] > 0).astype(float)[:, None]
+        model = nn.MLP(2, [8], 1, out_activation="sigmoid", rng=rng)
+        opt = nn.Adam(model.parameters(), lr=0.05)
+        for _ in range(150):
+            loss = nn.binary_cross_entropy(model(Tensor(x)), y)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        accuracy = ((model(Tensor(x)).data > 0.5) == y).mean()
+        assert accuracy > 0.95
+
+
+class TestSchedulers:
+    def test_step_lr(self):
+        p = Parameter(np.zeros(1))
+        opt = nn.SGD([p], lr=1.0)
+        sched = nn.StepLR(opt, step_size=2, gamma=0.1)
+        lrs = []
+        for _ in range(4):
+            sched.step()
+            lrs.append(opt.lr)
+        np.testing.assert_allclose(lrs, [1.0, 0.1, 0.1, 0.01])
+
+    def test_exponential_lr(self):
+        p = Parameter(np.zeros(1))
+        opt = nn.SGD([p], lr=2.0)
+        sched = nn.ExponentialLR(opt, gamma=0.5)
+        sched.step()
+        assert opt.lr == pytest.approx(1.0)
+        sched.step()
+        assert opt.lr == pytest.approx(0.5)
+
+    def test_cosine_reaches_eta_min(self):
+        p = Parameter(np.zeros(1))
+        opt = nn.SGD([p], lr=1.0)
+        sched = nn.CosineAnnealingLR(opt, t_max=10, eta_min=0.1)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_cosine_monotone_decreasing(self):
+        p = Parameter(np.zeros(1))
+        opt = nn.SGD([p], lr=1.0)
+        sched = nn.CosineAnnealingLR(opt, t_max=20)
+        previous = opt.lr
+        for _ in range(20):
+            sched.step()
+            assert opt.lr <= previous + 1e-12
+            previous = opt.lr

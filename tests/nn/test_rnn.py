@@ -1,0 +1,119 @@
+"""Tests for the LSTM/GRU layers used as Figure 7 competitors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+from tests.conftest import numeric_gradient
+
+
+@pytest.fixture(params=["lstm", "gru"])
+def recurrent(request, rng):
+    if request.param == "lstm":
+        return nn.LSTM(3, 4, rng=rng)
+    return nn.GRU(3, 4, rng=rng)
+
+
+class TestShapesAndState:
+    def test_output_shape(self, recurrent, rng):
+        x = Tensor(rng.normal(size=(5, 7, 3)))
+        assert recurrent(x).shape == (5, 4)
+
+    def test_single_step(self, recurrent, rng):
+        x = Tensor(rng.normal(size=(2, 1, 3)))
+        assert recurrent(x).shape == (2, 4)
+
+    def test_deterministic(self, rng):
+        x = rng.normal(size=(2, 5, 3))
+        model = nn.LSTM(3, 4, rng=np.random.default_rng(3))
+        np.testing.assert_array_equal(
+            model(Tensor(x)).data, model(Tensor(x)).data
+        )
+
+
+class TestMasking:
+    def test_tail_padding_equals_shorter_sequence(self, recurrent, rng):
+        """Masked trailing steps must not change the final state."""
+        x_short = rng.normal(size=(1, 3, 3))
+        x_padded = np.concatenate([x_short, rng.normal(size=(1, 2, 3))], axis=1)
+        mask = np.array([[1.0, 1.0, 1.0, 0.0, 0.0]])
+        out_short = recurrent(Tensor(x_short))
+        out_padded = recurrent(Tensor(x_padded), mask)
+        np.testing.assert_allclose(out_short.data, out_padded.data, atol=1e-12)
+
+    def test_mixed_lengths_in_batch(self, recurrent, rng):
+        seq_a = rng.normal(size=(1, 2, 3))
+        seq_b = rng.normal(size=(1, 4, 3))
+        padded_a = np.concatenate([seq_a, np.zeros((1, 2, 3))], axis=1)
+        batch = np.concatenate([padded_a, seq_b], axis=0)
+        mask = np.array([[1, 1, 0, 0], [1, 1, 1, 1]], dtype=float)
+        out = recurrent(Tensor(batch), mask)
+        out_a = recurrent(Tensor(seq_a))
+        out_b = recurrent(Tensor(seq_b))
+        np.testing.assert_allclose(out.data[0], out_a.data[0], atol=1e-12)
+        np.testing.assert_allclose(out.data[1], out_b.data[0], atol=1e-12)
+
+
+class TestGradients:
+    def test_lstm_gradcheck(self, rng):
+        model = nn.LSTM(2, 3, rng=rng)
+        x = rng.normal(size=(2, 3, 2))
+        seed = rng.normal(size=(2, 3))
+
+        def value():
+            return float((model(Tensor(x)).data * seed).sum())
+
+        model(Tensor(x)).backward(seed)
+        for name, parameter in model.named_parameters():
+            grad = parameter.grad.copy()
+            parameter.zero_grad()
+            expected = numeric_gradient(value, parameter.data)
+            np.testing.assert_allclose(grad, expected, atol=1e-5, err_msg=name)
+
+    def test_gru_gradcheck(self, rng):
+        model = nn.GRU(2, 3, rng=rng)
+        x = rng.normal(size=(2, 3, 2))
+        seed = rng.normal(size=(2, 3))
+
+        def value():
+            return float((model(Tensor(x)).data * seed).sum())
+
+        model(Tensor(x)).backward(seed)
+        for name, parameter in model.named_parameters():
+            grad = parameter.grad.copy()
+            parameter.zero_grad()
+            expected = numeric_gradient(value, parameter.data)
+            np.testing.assert_allclose(grad, expected, atol=1e-5, err_msg=name)
+
+    def test_long_sequence_backward_completes(self, rng):
+        """BPTT over 200 steps must not blow the recursion limit."""
+        model = nn.GRU(2, 3, rng=rng)
+        x = Tensor(rng.normal(size=(1, 200, 2)))
+        model(x).sum().backward()
+        assert model.cell.w_input.grad is not None
+
+
+class TestLSTMInternals:
+    def test_forget_bias_initialized_to_one(self, rng):
+        cell = nn.LSTMCell(2, 4, rng=rng)
+        np.testing.assert_allclose(cell.bias.data[4:8], 1.0)
+        np.testing.assert_allclose(cell.bias.data[:4], 0.0)
+
+    def test_learns_to_count(self, rng):
+        """An LSTM can learn to sum a short sequence of scalars."""
+        x = rng.uniform(0, 1, size=(128, 5, 1))
+        y = x.sum(axis=1)
+        model = nn.Sequential()
+        lstm = nn.LSTM(1, 8, rng=rng)
+        head = nn.Linear(8, 1, rng=rng)
+        opt = nn.Adam(list(lstm.parameters()) + list(head.parameters()), lr=0.02)
+        for _ in range(150):
+            pred = head(lstm(Tensor(x)))
+            loss = nn.mse_loss(pred, y)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert loss.item() < 0.05

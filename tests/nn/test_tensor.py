@@ -1,0 +1,265 @@
+"""Tests for the autograd core: every primitive op is gradient-checked."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor, as_tensor, is_grad_enabled, no_grad
+from tests.conftest import numeric_gradient
+
+
+def check_unary(op, data, tol=1e-6):
+    x = Tensor(data.copy(), requires_grad=True)
+    out = op(x)
+    seed = np.random.default_rng(0).normal(size=out.shape)
+    out.backward(seed)
+
+    holder = Tensor(data, requires_grad=True)
+
+    def value():
+        return float((op(holder).data * seed).sum())
+
+    expected = numeric_gradient(value, holder.data)
+    np.testing.assert_allclose(x.grad, expected, atol=tol)
+
+
+def check_binary(op, a_data, b_data, tol=1e-6):
+    a = Tensor(a_data.copy(), requires_grad=True)
+    b = Tensor(b_data.copy(), requires_grad=True)
+    out = op(a, b)
+    seed = np.random.default_rng(1).normal(size=out.shape)
+    out.backward(seed)
+
+    a_holder = Tensor(a_data, requires_grad=True)
+    b_holder = Tensor(b_data, requires_grad=True)
+
+    def value():
+        return float((op(a_holder, b_holder).data * seed).sum())
+
+    np.testing.assert_allclose(a.grad, numeric_gradient(value, a_holder.data), atol=tol)
+    np.testing.assert_allclose(b.grad, numeric_gradient(value, b_holder.data), atol=tol)
+
+
+class TestConstruction:
+    def test_scalar_becomes_float64(self):
+        t = Tensor(3)
+        assert t.dtype == np.float64
+        assert t.item() == 3.0
+
+    def test_ndarray_kept_by_reference(self):
+        data = np.ones(3)
+        t = Tensor(data)
+        data[0] = 7.0
+        assert t.data[0] == 7.0
+
+    def test_integer_tensor_cannot_require_grad(self):
+        with pytest.raises(TypeError):
+            Tensor(np.arange(3), requires_grad=True)
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor([1.0])
+        assert as_tensor(t) is t
+
+    def test_repr_mentions_grad_flag(self):
+        assert "requires_grad=True" in repr(Tensor([1.0], requires_grad=True))
+
+
+class TestArithmeticGradients:
+    def test_add(self, rng):
+        check_binary(lambda a, b: a + b, rng.normal(size=(3, 4)), rng.normal(size=(3, 4)))
+
+    def test_add_broadcast(self, rng):
+        check_binary(lambda a, b: a + b, rng.normal(size=(3, 4)), rng.normal(size=(4,)))
+
+    def test_sub(self, rng):
+        check_binary(lambda a, b: a - b, rng.normal(size=(2, 3)), rng.normal(size=(2, 3)))
+
+    def test_rsub_scalar(self, rng):
+        check_unary(lambda x: 2.0 - x, rng.normal(size=(4,)))
+
+    def test_mul(self, rng):
+        check_binary(lambda a, b: a * b, rng.normal(size=(3, 2)), rng.normal(size=(3, 2)))
+
+    def test_mul_broadcast_column(self, rng):
+        check_binary(lambda a, b: a * b, rng.normal(size=(3, 2)), rng.normal(size=(3, 1)))
+
+    def test_div(self, rng):
+        denom = rng.normal(size=(3,)) + 3.0
+        check_binary(lambda a, b: a / b, rng.normal(size=(3,)), denom)
+
+    def test_rdiv_scalar(self, rng):
+        check_unary(lambda x: 1.0 / x, rng.normal(size=(3,)) + 2.0)
+
+    def test_neg(self, rng):
+        check_unary(lambda x: -x, rng.normal(size=(5,)))
+
+    def test_pow(self, rng):
+        check_unary(lambda x: x**3, rng.normal(size=(4,)))
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+    def test_matmul(self, rng):
+        check_binary(lambda a, b: a @ b, rng.normal(size=(3, 4)), rng.normal(size=(4, 2)))
+
+    def test_matmul_batched(self, rng):
+        check_binary(
+            lambda a, b: a @ b,
+            rng.normal(size=(2, 3, 4)),
+            rng.normal(size=(2, 4, 5)),
+            tol=1e-5,
+        )
+
+
+class TestReductions:
+    def test_sum_all(self, rng):
+        check_unary(lambda x: x.sum(), rng.normal(size=(3, 4)))
+
+    def test_sum_axis(self, rng):
+        check_unary(lambda x: x.sum(axis=1), rng.normal(size=(3, 4)))
+
+    def test_sum_keepdims(self, rng):
+        check_unary(lambda x: x.sum(axis=0, keepdims=True), rng.normal(size=(3, 4)))
+
+    def test_mean(self, rng):
+        check_unary(lambda x: x.mean(), rng.normal(size=(6,)))
+
+    def test_mean_axis_matches_numpy(self, rng):
+        data = rng.normal(size=(3, 5))
+        np.testing.assert_allclose(Tensor(data).mean(axis=0).data, data.mean(axis=0))
+
+    def test_max_axis(self, rng):
+        # Distinct values avoid tie plateaus in the numeric check.
+        data = rng.permutation(12).astype(float).reshape(3, 4)
+        check_unary(lambda x: x.max(axis=1), data)
+
+    def test_max_tie_splits_gradient(self):
+        x = Tensor(np.array([2.0, 2.0, 1.0]), requires_grad=True)
+        x.max().backward()
+        np.testing.assert_allclose(x.grad, [0.5, 0.5, 0.0])
+
+
+class TestShapes:
+    def test_reshape_roundtrip_gradient(self, rng):
+        check_unary(lambda x: x.reshape(6), rng.normal(size=(2, 3)))
+
+    def test_ravel(self, rng):
+        data = rng.normal(size=(2, 2))
+        assert Tensor(data).ravel().shape == (4,)
+
+    def test_transpose(self, rng):
+        check_unary(lambda x: x.T, rng.normal(size=(2, 3)))
+
+    def test_transpose_axes(self, rng):
+        check_unary(lambda x: x.transpose(1, 0, 2), rng.normal(size=(2, 3, 4)))
+
+    def test_getitem_slice(self, rng):
+        check_unary(lambda x: x[1:3], rng.normal(size=(5, 2)))
+
+    def test_getitem_fancy_with_duplicates(self):
+        x = Tensor(np.arange(4.0), requires_grad=True)
+        out = x[np.array([0, 0, 2])]
+        out.backward(np.ones(3))
+        np.testing.assert_allclose(x.grad, [2.0, 0.0, 1.0, 0.0])
+
+
+class TestBackwardMechanics:
+    def test_backward_without_requires_grad_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_backward_shape_mismatch_raises(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            (x * 2).backward(np.ones(3))
+
+    def test_grad_accumulates_across_backwards(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2).backward()
+        (x * 2).backward()
+        np.testing.assert_allclose(x.grad, [4.0])
+
+    def test_diamond_graph_accumulates_once_per_path(self):
+        x = Tensor([3.0], requires_grad=True)
+        y = x * 2
+        z = y + y  # two paths through y
+        z.backward()
+        np.testing.assert_allclose(x.grad, [4.0])
+
+    def test_reused_leaf_in_two_ops(self):
+        x = Tensor([2.0], requires_grad=True)
+        out = x * x + x
+        out.backward()
+        np.testing.assert_allclose(x.grad, [5.0])  # 2x + 1
+
+    def test_long_chain_does_not_recurse(self):
+        # Deep graphs (RNN over long sequences) must not hit Python's
+        # recursion limit: the topological sort is iterative.
+        x = Tensor([1.0], requires_grad=True)
+        out = x
+        for _ in range(5000):
+            out = out + 1.0
+        out.backward()
+        np.testing.assert_allclose(x.grad, [1.0])
+
+    def test_detach_cuts_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = (x * 2).detach()
+        assert not y.requires_grad
+
+    def test_zero_grad(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 3).backward()
+        x.zero_grad()
+        assert x.grad is None
+
+
+class TestNoGrad:
+    def test_no_grad_disables_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2
+        assert not y.requires_grad
+        assert not y._parents
+
+    def test_no_grad_restores_state(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with no_grad():
+                raise RuntimeError("boom")
+        assert is_grad_enabled()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    shape=st.tuples(st.integers(1, 4), st.integers(1, 4)),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_property_add_mul_gradients_match_manual(shape, seed):
+    """d/da (a*b + a) = b + 1 and d/db = a, for random shapes/values."""
+    generator = np.random.default_rng(seed)
+    a_data = generator.normal(size=shape)
+    b_data = generator.normal(size=shape)
+    a = Tensor(a_data.copy(), requires_grad=True)
+    b = Tensor(b_data.copy(), requires_grad=True)
+    (a * b + a).sum().backward()
+    np.testing.assert_allclose(a.grad, b_data + 1.0)
+    np.testing.assert_allclose(b.grad, a_data)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1), n=st.integers(1, 20))
+def test_property_sum_gradient_is_ones(seed, n):
+    data = np.random.default_rng(seed).normal(size=n)
+    x = Tensor(data, requires_grad=True)
+    x.sum().backward()
+    np.testing.assert_allclose(x.grad, np.ones(n))

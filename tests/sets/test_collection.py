@@ -1,0 +1,100 @@
+"""Tests for SetCollection storage, statistics, and exact scans."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sets import SetCollection
+
+
+@pytest.fixture
+def hashtags() -> SetCollection:
+    """The Figure 1 example: four tweets of hashtags."""
+    return SetCollection.from_token_sets(
+        [
+            ["#pizza", "#dinner", "#foodie"],
+            ["#date", "#dinner"],
+            ["#pizza", "#dinner", "#date"],
+            ["#pizza", "#dinner", "#italian"],
+        ]
+    )
+
+
+class TestConstruction:
+    def test_canonicalizes_to_sorted_tuples(self):
+        collection = SetCollection([[3, 1, 2], [5, 5, 4]])
+        assert collection[0] == (1, 2, 3)
+        assert collection[1] == (4, 5)
+
+    def test_preserves_order_and_duplicates(self):
+        collection = SetCollection([[1, 2], [3], [1, 2]])
+        assert len(collection) == 3
+        assert collection[0] == collection[2]
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            SetCollection([[1], []])
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError):
+            SetCollection([[-1, 2]])
+
+    def test_from_token_sets_builds_vocab(self, hashtags):
+        assert hashtags.vocab is not None
+        assert len(hashtags.vocab) == 5  # pizza dinner foodie date italian
+        assert len(hashtags) == 4
+
+
+class TestStats:
+    def test_figure1_stats(self, hashtags):
+        stats = hashtags.stats()
+        assert stats.num_sets == 4
+        assert stats.num_unique_elements == 5
+        # '#dinner' appears in all four tweets.
+        assert stats.max_cardinality == 4
+        assert stats.min_set_size == 2
+        assert stats.max_set_size == 3
+
+    def test_as_row_keys(self, hashtags):
+        row = hashtags.stats().as_row()
+        assert set(row) == {"n", "uniq_elem", "max_card", "min_size", "max_size"}
+
+    def test_element_frequencies(self):
+        collection = SetCollection([[0, 1], [1, 2], [1]])
+        np.testing.assert_array_equal(collection.element_frequencies(), [1, 3, 1])
+
+    def test_max_element_id(self):
+        assert SetCollection([[0, 7], [3]]).max_element_id() == 7
+
+
+class TestExactQueries:
+    def test_figure1_cardinality(self, hashtags):
+        """The paper's running example: card({#pizza, #dinner}) = 3."""
+        query = hashtags.vocab.encode(["#pizza", "#dinner"])
+        assert hashtags.cardinality(query) == 3
+
+    def test_first_position(self, hashtags):
+        query = hashtags.vocab.encode(["#pizza", "#dinner"])
+        assert hashtags.first_position(query) == 0
+        query_date = hashtags.vocab.encode(["#date"])
+        assert hashtags.first_position(query_date) == 1
+
+    def test_absent_subset(self, hashtags):
+        query = hashtags.vocab.encode(["#foodie", "#italian"])
+        assert hashtags.first_position(query) is None
+        assert hashtags.cardinality(query) == 0
+        assert not hashtags.contains_subset(query)
+
+    def test_full_set_is_subset_of_itself(self):
+        collection = SetCollection([[1, 2, 3]])
+        assert collection.contains_subset((1, 2, 3))
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        collection = SetCollection([[3, 1], [2], [9, 4, 5]])
+        path = tmp_path / "sets.txt"
+        collection.save(path)
+        loaded = SetCollection.load(path)
+        assert list(loaded) == list(collection)

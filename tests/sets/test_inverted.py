@@ -1,0 +1,88 @@
+"""Tests for the exact inverted index, cross-checked against linear scans."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sets import InvertedIndex, SetCollection
+
+
+@pytest.fixture
+def collection() -> SetCollection:
+    return SetCollection([[1, 2, 3], [2, 3], [1, 4], [2, 3, 4], [1, 2, 3]])
+
+
+@pytest.fixture
+def index(collection) -> InvertedIndex:
+    return InvertedIndex(collection)
+
+
+class TestPostings:
+    def test_posting_lists_sorted(self, index):
+        np.testing.assert_array_equal(index.posting(2), [0, 1, 3, 4])
+        np.testing.assert_array_equal(index.posting(4), [2, 3])
+
+    def test_unknown_element_empty_posting(self, index):
+        assert len(index.posting(99)) == 0
+        assert 99 not in index
+        assert 2 in index
+
+    def test_document_frequency(self, index):
+        assert index.document_frequency(1) == 3
+        assert index.document_frequency(99) == 0
+
+    def test_num_sets(self, index, collection):
+        assert index.num_sets == len(collection)
+
+
+class TestQueries:
+    def test_cardinality_matches_scan(self, index, collection):
+        for query in [(1,), (2, 3), (1, 2, 3), (4,), (1, 4), (2, 4)]:
+            assert index.cardinality(query) == collection.cardinality(query)
+
+    def test_first_position_matches_scan(self, index, collection):
+        for query in [(1,), (2, 3), (1, 2, 3), (4,), (1, 4), (2, 4)]:
+            assert index.first_position(query) == collection.first_position(query)
+
+    def test_absent_query(self, index):
+        assert index.cardinality((1, 99)) == 0
+        assert index.first_position((1, 99)) is None
+        assert not index.contains((99,))
+
+    def test_contains(self, index):
+        assert index.contains((2, 3, 4))
+        assert not index.contains((1, 2, 3, 4))
+
+    def test_matching_positions(self, index):
+        np.testing.assert_array_equal(index.matching_positions((2, 3)), [0, 1, 3, 4])
+
+    def test_empty_query_rejected(self, index):
+        with pytest.raises(ValueError):
+            index.cardinality(())
+
+    def test_duplicate_query_elements_collapse(self, index, collection):
+        assert index.cardinality((2, 2, 3)) == collection.cardinality((2, 3))
+
+    def test_max_element_cardinality(self, index):
+        assert index.max_element_cardinality() == 4  # element 2
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    data=st.lists(
+        st.sets(st.integers(0, 15), min_size=1, max_size=6).map(tuple),
+        min_size=1,
+        max_size=30,
+    ),
+    query=st.sets(st.integers(0, 15), min_size=1, max_size=4).map(tuple),
+)
+def test_property_index_agrees_with_linear_scan(data, query):
+    """For arbitrary collections and queries, the index equals the scan."""
+    collection = SetCollection(data)
+    index = InvertedIndex(collection)
+    assert index.cardinality(query) == collection.cardinality(query)
+    assert index.first_position(query) == collection.first_position(query)
+    assert index.contains(query) == collection.contains_subset(query)

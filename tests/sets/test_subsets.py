@@ -1,0 +1,173 @@
+"""Tests for subset enumeration and training-data generation."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sets import (
+    InvertedIndex,
+    SetCollection,
+    cardinality_training_pairs,
+    enumerate_subsets,
+    index_training_pairs,
+    negative_membership_samples,
+    positive_membership_samples,
+    sample_query_workload,
+)
+
+
+class TestEnumerateSubsets:
+    def test_counts_match_binomials(self):
+        subsets = list(enumerate_subsets([1, 2, 3, 4]))
+        assert len(subsets) == 2**4 - 1
+
+    def test_max_size_cap(self):
+        subsets = list(enumerate_subsets([1, 2, 3, 4], max_size=2))
+        assert len(subsets) == 4 + 6
+        assert all(len(s) <= 2 for s in subsets)
+
+    def test_sorted_canonical_form(self):
+        subsets = list(enumerate_subsets([3, 1, 2]))
+        assert all(s == tuple(sorted(s)) for s in subsets)
+
+    def test_no_duplicates(self):
+        subsets = list(enumerate_subsets([5, 6, 7]))
+        assert len(subsets) == len(set(subsets))
+
+    def test_paper_example_sizes(self):
+        """A set of size 8 capped at size 6 gives sum_{k=1..6} C(8,k)."""
+        subsets = list(enumerate_subsets(range(8), max_size=6))
+        expected = sum(
+            len(list(itertools.combinations(range(8), k))) for k in range(1, 7)
+        )
+        assert len(subsets) == expected == 246
+
+
+@pytest.fixture
+def collection() -> SetCollection:
+    return SetCollection([[1, 2, 3], [2, 3], [1, 4], [2, 3, 4]])
+
+
+class TestIndexTrainingPairs:
+    def test_positions_are_first_occurrences(self, collection):
+        subsets, positions = index_training_pairs(collection)
+        lookup = dict(zip(subsets, positions))
+        assert lookup[(2, 3)] == 0  # appears in sets 0, 1, 3; first is 0
+        assert lookup[(4,)] == 2
+        assert lookup[(2, 3, 4)] == 3
+
+    def test_covers_every_subset(self, collection):
+        subsets, _ = index_training_pairs(collection)
+        assert (1, 2, 3) in subsets
+        assert (1, 4) in subsets
+        expected_universe = set()
+        for stored in collection:
+            expected_universe.update(enumerate_subsets(stored))
+        assert set(subsets) == expected_universe
+
+    def test_max_samples_subsamples(self, collection):
+        subsets, positions = index_training_pairs(
+            collection, max_samples=3, rng=np.random.default_rng(0)
+        )
+        assert len(subsets) == len(positions) == 3
+
+    def test_positions_verified_against_scan(self, collection):
+        subsets, positions = index_training_pairs(collection)
+        for subset, position in zip(subsets, positions):
+            assert collection.first_position(subset) == position
+
+
+class TestCardinalityTrainingPairs:
+    def test_cardinalities_verified_against_scan(self, collection):
+        subsets, cards = cardinality_training_pairs(collection)
+        for subset, card in zip(subsets, cards):
+            assert collection.cardinality(subset) == card
+
+    def test_max_subset_size(self, collection):
+        subsets, _ = cardinality_training_pairs(collection, max_subset_size=1)
+        assert all(len(s) == 1 for s in subsets)
+
+    def test_singleton_cardinality_is_element_frequency(self, collection):
+        subsets, cards = cardinality_training_pairs(collection, max_subset_size=1)
+        freq = collection.element_frequencies()
+        for (element,), card in zip(subsets, cards):
+            assert card == freq[element]
+
+
+class TestMembershipSamples:
+    def test_positive_samples_are_present(self, collection):
+        index = InvertedIndex(collection)
+        for subset in positive_membership_samples(collection):
+            assert index.contains(subset)
+
+    def test_negative_samples_are_absent(self, collection):
+        index = InvertedIndex(collection)
+        negatives = negative_membership_samples(
+            collection, index, num_samples=5, rng=np.random.default_rng(0)
+        )
+        assert negatives, "expected some negatives for this collection"
+        for subset in negatives:
+            assert not index.contains(subset)
+
+    def test_negative_samples_use_existing_elements(self, collection):
+        index = InvertedIndex(collection)
+        known = {e for s in collection for e in s}
+        negatives = negative_membership_samples(
+            collection, index, num_samples=5, rng=np.random.default_rng(1)
+        )
+        for subset in negatives:
+            assert set(subset) <= known
+
+    def test_negative_generation_terminates_when_space_exhausted(self):
+        # All pairs co-occur: no negatives of size 2 exist.
+        collection = SetCollection([[1, 2], [1, 3], [2, 3]])
+        index = InvertedIndex(collection)
+        negatives = negative_membership_samples(
+            collection,
+            index,
+            num_samples=10,
+            max_subset_size=2,
+            rng=np.random.default_rng(2),
+        )
+        assert negatives == []
+
+
+class TestQueryWorkload:
+    def test_queries_are_positive_subsets(self, collection):
+        index = InvertedIndex(collection)
+        queries = sample_query_workload(
+            collection, 50, rng=np.random.default_rng(3)
+        )
+        assert len(queries) == 50
+        for query in queries:
+            assert index.contains(query)
+
+    def test_size_cap(self, collection):
+        queries = sample_query_workload(
+            collection, 50, rng=np.random.default_rng(4), max_subset_size=2
+        )
+        assert all(1 <= len(q) <= 2 for q in queries)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    data=st.lists(
+        st.sets(st.integers(0, 12), min_size=1, max_size=5).map(tuple),
+        min_size=1,
+        max_size=15,
+    )
+)
+def test_property_training_pairs_consistent_with_ground_truth(data):
+    collection = SetCollection(data)
+    index = InvertedIndex(collection)
+    subsets, cards = cardinality_training_pairs(collection, max_subset_size=3)
+    for subset, card in zip(subsets, cards):
+        assert index.cardinality(subset) == card
+    subsets_i, positions = index_training_pairs(collection, max_subset_size=3)
+    for subset, position in zip(subsets_i, positions):
+        assert index.first_position(subset) == position

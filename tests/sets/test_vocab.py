@@ -1,0 +1,66 @@
+"""Tests for the element vocabulary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sets import Vocabulary
+
+
+class TestVocabulary:
+    def test_first_seen_order_ids(self):
+        vocab = Vocabulary()
+        assert vocab.add("pizza") == 0
+        assert vocab.add("dinner") == 1
+        assert vocab.add("pizza") == 0
+
+    def test_add_set_dedupes_and_sorts(self):
+        vocab = Vocabulary()
+        ids = vocab.add_set(["b", "a", "b"])
+        assert ids == tuple(sorted(ids))
+        assert len(ids) == 2
+
+    def test_roundtrip(self):
+        vocab = Vocabulary()
+        vocab.add_set(["x", "y", "z"])
+        ids = vocab.encode(["z", "x"])
+        assert vocab.decode(ids) == frozenset({"x", "z"})
+
+    def test_encode_unknown_raises(self):
+        vocab = Vocabulary()
+        vocab.add("a")
+        with pytest.raises(KeyError):
+            vocab.encode(["b"])
+
+    def test_id_of_and_token_of(self):
+        vocab = Vocabulary()
+        vocab.add("alpha")
+        assert vocab.id_of("alpha") == 0
+        assert vocab.token_of(0) == "alpha"
+
+    def test_contains_and_len(self):
+        vocab = Vocabulary()
+        vocab.add_set(["a", "b"])
+        assert "a" in vocab
+        assert "c" not in vocab
+        assert len(vocab) == 2
+
+    def test_frequency_counts_interning(self):
+        vocab = Vocabulary()
+        vocab.add("a")
+        vocab.add("a")
+        vocab.add("b")
+        assert vocab.frequency(vocab.id_of("a")) == 2
+        assert vocab.frequency(vocab.id_of("b")) == 1
+
+    def test_max_id(self):
+        vocab = Vocabulary()
+        assert vocab.max_id == -1
+        vocab.add_set(["a", "b", "c"])
+        assert vocab.max_id == 2
+
+    def test_iteration_order(self):
+        vocab = Vocabulary()
+        vocab.add("first")
+        vocab.add("second")
+        assert list(vocab) == ["first", "second"]

@@ -1,0 +1,112 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.sets import SetCollection
+
+
+@pytest.fixture
+def collection_file(tmp_path):
+    path = tmp_path / "sets.txt"
+    SetCollection(
+        [[1, 2, 3], [2, 3], [1, 4], [2, 3, 4], [5, 6], [1, 5, 6]]
+    ).save(path)
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "imagenet", "out.txt"])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train", "cardinality", "a", "b"])
+        assert args.kind == "clsm"
+        assert args.epochs == 30
+
+
+class TestDatasetsAndStats:
+    def test_datasets_lists_presets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("rw-small", "tweets", "sd"):
+            assert name in out
+
+    def test_generate_and_stats(self, tmp_path, capsys, monkeypatch):
+        out_file = tmp_path / "sd.txt"
+        assert main(["generate", "sd", str(out_file), "--scale", "0.05"]) == 0
+        assert out_file.exists()
+        assert main(["stats", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "uniq_elem" in out
+
+
+class TestTrainAndQuery:
+    def test_cardinality_roundtrip(self, collection_file, tmp_path, capsys):
+        model_file = tmp_path / "est.pkl"
+        assert main(
+            [
+                "train", "cardinality", str(collection_file), str(model_file),
+                "--kind", "lsm", "--epochs", "5", "--no-hybrid",
+            ]
+        ) == 0
+        assert model_file.exists()
+        assert main(["estimate", str(model_file), "2", "3"]) == 0
+        value = float(capsys.readouterr().out.strip().splitlines()[-1])
+        assert value >= 1.0
+
+    def test_index_roundtrip(self, collection_file, tmp_path, capsys):
+        model_file = tmp_path / "idx.pkl"
+        assert main(
+            [
+                "train", "index", str(collection_file), str(model_file),
+                "--kind", "lsm", "--epochs", "5", "--no-hybrid",
+            ]
+        ) == 0
+        assert main(["lookup", str(model_file), "2", "3"]) == 0
+        answer = capsys.readouterr().out.strip().splitlines()[-1]
+        assert answer == "0"  # first set containing {2, 3}
+
+    def test_bloom_roundtrip(self, collection_file, tmp_path, capsys):
+        model_file = tmp_path / "bf.pkl"
+        assert main(
+            [
+                "train", "bloom", str(collection_file), str(model_file),
+                "--kind", "lsm", "--epochs", "30",
+            ]
+        ) == 0
+        assert main(["contains", str(model_file), "2", "3"]) == 0
+        answer = capsys.readouterr().out.strip().splitlines()[-1]
+        assert answer == "present"  # trained positive: guaranteed
+
+    def test_wrong_structure_type_errors(self, collection_file, tmp_path, capsys):
+        model_file = tmp_path / "est.pkl"
+        main(
+            [
+                "train", "cardinality", str(collection_file), str(model_file),
+                "--kind", "lsm", "--epochs", "2", "--no-hybrid",
+            ]
+        )
+        assert main(["lookup", str(model_file), "1"]) == 2
+        assert "not a set index" in capsys.readouterr().err
+
+    def test_pickled_structure_is_loadable(self, collection_file, tmp_path):
+        model_file = tmp_path / "est.pkl"
+        main(
+            [
+                "train", "cardinality", str(collection_file), str(model_file),
+                "--kind", "clsm", "--epochs", "2", "--no-hybrid",
+            ]
+        )
+        with open(model_file, "rb") as handle:
+            structure = pickle.load(handle)
+        assert structure.estimate((2, 3)) >= 1.0

@@ -1,0 +1,114 @@
+"""End-to-end integration: datasets -> learned structures -> engine.
+
+One scaled-down pass over the full pipeline the benchmarks run, checking
+the cross-module contracts rather than individual behaviours.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    InvertedIndex,
+    LearnedBloomFilter,
+    LearnedCardinalityEstimator,
+    LearnedSetIndex,
+    ModelConfig,
+    OutlierRemovalConfig,
+    TrainConfig,
+    mean_q_error,
+)
+from repro.datasets import generate_rw_like
+from repro.engine import SetQueryEngine, SetTable
+from repro.nn.serialize import load_state, save_state
+from repro.sets import cardinality_training_pairs, sample_query_workload
+
+
+@pytest.fixture(scope="module")
+def world():
+    collection = generate_rw_like(800, seed=99)
+    truth = InvertedIndex(collection)
+    return collection, truth
+
+
+@pytest.fixture(scope="module")
+def estimator(world):
+    collection, _ = world
+    return LearnedCardinalityEstimator.build(
+        collection,
+        model_config=ModelConfig(kind="clsm", embedding_dim=8, seed=0),
+        train_config=TrainConfig(epochs=20, batch_size=512, lr=5e-3,
+                                 loss="mse", seed=0),
+        removal=OutlierRemovalConfig(percentile=90.0, at_epochs=(14,)),
+        max_subset_size=3,
+    )
+
+
+class TestFullPipeline:
+    def test_cardinality_accuracy_on_trained_corpus(self, world, estimator):
+        collection, truth = world
+        subsets, cards = cardinality_training_pairs(collection, max_subset_size=3)
+        rng = np.random.default_rng(0)
+        chosen = rng.choice(len(subsets), 200, replace=False)
+        queries = [subsets[i] for i in chosen]
+        exact = cards[chosen].astype(float)
+        assert mean_q_error(estimator.estimate_many(queries), exact) < 2.5
+
+    def test_index_round_trip(self, world):
+        collection, truth = world
+        index = LearnedSetIndex.build(
+            collection,
+            model_config=ModelConfig(kind="clsm", embedding_dim=8, seed=1),
+            train_config=TrainConfig(epochs=20, batch_size=512, lr=5e-3,
+                                     loss="mse", seed=1),
+            removal=OutlierRemovalConfig(percentile=90.0, at_epochs=(14,)),
+            max_subset_size=3,
+            error_range_length=50,
+        )
+        queries = sample_query_workload(
+            collection, 80, rng=np.random.default_rng(1), max_subset_size=3
+        )
+        for query in queries:
+            assert index.lookup(query) == truth.first_position(query)
+
+    def test_bloom_no_false_negatives(self, world):
+        collection, _ = world
+        bloom = LearnedBloomFilter.build(
+            collection,
+            model_config=ModelConfig(kind="clsm", embedding_dim=4,
+                                     phi_hidden=(16,), rho_hidden=(16,), seed=2),
+            train_config=TrainConfig(epochs=15, batch_size=512, lr=5e-3,
+                                     loss="bce", seed=2),
+            max_subset_size=2,
+        )
+        from repro.sets import positive_membership_samples
+
+        for positive in positive_membership_samples(collection, max_subset_size=2):
+            assert bloom.contains(positive)
+
+    def test_estimator_as_engine_udf(self, world, estimator):
+        collection, truth = world
+        engine = SetQueryEngine(SetTable.from_collection(collection))
+        engine.create_gin_index()
+        engine.register_udf("clsm", estimator.estimate)
+        queries = sample_query_workload(
+            collection, 30, rng=np.random.default_rng(2), max_subset_size=2
+        )
+        for query in queries:
+            exact = engine.count(query, plan="gin")
+            approx = engine.count(query, plan="udf:clsm")
+            assert exact.count == truth.cardinality(query)
+            assert approx.count >= 1.0
+
+    def test_model_weights_roundtrip_through_disk(self, estimator, tmp_path):
+        path = tmp_path / "estimator.npz"
+        save_state(estimator.model, path)
+        clone_model = ModelConfig(kind="clsm", embedding_dim=8, seed=123).build(
+            estimator.model.compressor.max_value
+        )
+        load_state(clone_model, path)
+        query = [(1, 2)]
+        np.testing.assert_allclose(
+            clone_model.predict(query), estimator.model.predict(query), atol=1e-6
+        )

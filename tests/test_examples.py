@@ -1,0 +1,36 @@
+"""Smoke tests: every example script runs end to end at reduced scale."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+@pytest.mark.parametrize(
+    "script,args,expected",
+    [
+        ("quickstart.py", (), "learned cardinality estimate"),
+        ("hashtag_analytics.py", ("800",), "hashtag cardinality estimation"),
+        ("server_log_index.py", ("600",), "learned index vs B+ tree"),
+        ("membership_filter.py", ("600",), "membership filtering"),
+        ("engine_count_queries.py", ("800",), "COUNT queries, three regimes"),
+    ],
+)
+def test_example_runs(script, args, expected):
+    result = run_example(script, *args)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert expected in result.stdout

@@ -4,6 +4,9 @@ The paper's motivating scenario (§1): analysts gather statistics over
 hashtag query logs.  This example builds a Tweets-like collection, trains
 LSM/CLSM estimators (with and without the hybrid auxiliary), and compares
 them against the exact all-subsets HashMap on accuracy, memory, and speed.
+It closes with the serving path analysts would actually hit: string
+hashtags decoded leniently (unseen tags are a defined miss, not a
+``KeyError``) and answered through the guarded reliability facade.
 
 Run:  python examples/hashtag_analytics.py [num_tweets]
 """
@@ -24,7 +27,8 @@ from repro.core import (
     mean_q_error,
 )
 from repro.datasets import generate_tweets_like
-from repro.sets import InvertedIndex, sample_query_workload
+from repro.reliability import GuardedCardinalityEstimator
+from repro.sets import InvertedIndex, Vocabulary, sample_query_workload
 
 
 def main(num_tweets: int = 6000) -> None:
@@ -46,6 +50,7 @@ def main(num_tweets: int = 6000) -> None:
     removal = OutlierRemovalConfig(percentile=90.0, at_epochs=(20,))
 
     rows = []
+    last_estimator = None
     for kind in ("lsm", "clsm"):
         for hybrid in (False, True):
             estimator = LearnedCardinalityEstimator.build(
@@ -56,6 +61,7 @@ def main(num_tweets: int = 6000) -> None:
                 max_subset_size=4,
                 max_training_samples=40_000,
             )
+            last_estimator = estimator
             estimates = estimator.estimate_many(queries)
             label = kind.upper() + ("-Hybrid" if hybrid else "")
             rows.append(
@@ -87,6 +93,32 @@ def main(num_tweets: int = 6000) -> None:
         "smaller than the exact HashMap; the hybrid variants sharpen accuracy "
         "for a small memory overhead."
     )
+
+    # -- robust serving: string queries through the reliability layer --------
+    # Analysts type hashtags, not element ids.  Intern one tag name per id
+    # (ids are assigned sequentially, so they line up with the collection),
+    # decode queries leniently, and serve through the guarded facade.
+    vocab = Vocabulary()
+    for element_id in range(collection.max_element_id() + 1):
+        vocab.add(f"#tag{element_id}")
+    guarded = GuardedCardinalityEstimator.for_collection(last_estimator, collection)
+
+    print("\nrobust string-query serving (guarded CLSM-Hybrid):")
+    tag_queries = [
+        ["#tag3", "#tag7"],
+        ["#tag1", "#notatag"],   # unseen hashtag: defined miss
+        ["#tag2", "#tag2"],      # duplicates collapse
+        [],                      # empty query: matches every tweet
+    ]
+    for tokens in tag_queries:
+        ids, unknown = vocab.encode_lenient(tokens)
+        if unknown:
+            answer, note = 0.0, f"miss (unseen: {', '.join(unknown)})"
+        else:
+            answer = guarded.estimate(ids)
+            note = "guarded estimate"
+        print(f"  {str(tokens):32s} -> {answer:8.1f}  [{note}]")
+    print(f"  {guarded.health.report_line()}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Fault suite: run every fault-injection test, then the full tier-1 suite,
+# proving the reliability guards hold AND nothing regressed around them.
+#
+# Usage:  scripts/run_fault_suite.sh [extra pytest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== fault-injection tests (-m faults) =="
+python -m pytest -m faults -q -p no:cacheprovider "$@"
+
+echo
+echo "== full tier-1 suite =="
+python -m pytest -q -p no:cacheprovider "$@"

@@ -14,6 +14,7 @@ Subpackages
 ``repro.core``      the paper's contribution (LSM/CLSM models, hybrid)
 ``repro.datasets``  synthetic stand-ins for RW / Tweets / SD
 ``repro.engine``    mini relational engine (PostgreSQL stand-in)
+``repro.reliability`` guarded serving, health counters, fault injection
 ``repro.bench``     benchmark harness regenerating every table & figure
 
 Quickstart
@@ -39,6 +40,13 @@ from .core import (
     mean_q_error,
     q_error,
 )
+from .reliability import (
+    FaultInjector,
+    GuardedBloomFilter,
+    GuardedCardinalityEstimator,
+    GuardedSetIndex,
+    HealthCounters,
+)
 from .sets import InvertedIndex, SetCollection, Vocabulary
 
 __version__ = "1.0.0"
@@ -59,5 +67,10 @@ __all__ = [
     "LogMinMaxScaler",
     "q_error",
     "mean_q_error",
+    "GuardedCardinalityEstimator",
+    "GuardedSetIndex",
+    "GuardedBloomFilter",
+    "HealthCounters",
+    "FaultInjector",
     "__version__",
 ]

@@ -37,6 +37,11 @@ from .core import (
     TrainConfig,
 )
 from .datasets import DATASETS, load_dataset
+from .reliability import (
+    GuardedBloomFilter,
+    GuardedCardinalityEstimator,
+    GuardedSetIndex,
+)
 from .sets import SetCollection
 
 __all__ = ["build_parser", "main"]
@@ -74,6 +79,9 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--max-training-samples", type=int, default=40_000)
     train.add_argument("--no-hybrid", action="store_true",
                        help="skip guided outlier removal (regression tasks)")
+    train.add_argument("--guarded", action="store_true",
+                       help="wrap the structure in the reliability facade "
+                            "(exact fallback + health counters)")
     train.add_argument("--seed", type=int, default=0)
 
     for name, help_text in (
@@ -157,10 +165,23 @@ def _cmd_train(args) -> int:
             num_negative_samples=args.max_training_samples // 2,
             rng=rng,
         )
+    if args.guarded:
+        if args.task == "cardinality":
+            structure = GuardedCardinalityEstimator.for_collection(
+                structure, collection
+            )
+        elif args.task == "index":
+            structure = GuardedSetIndex(structure)
+        else:
+            structure = GuardedBloomFilter.for_collection(structure, collection)
     with open(args.out, "wb") as handle:
         pickle.dump(structure, handle, protocol=pickle.HIGHEST_PROTOCOL)
     size_kb = args.out.stat().st_size / 1e3
-    print(f"trained {args.task} structure ({args.kind}) -> {args.out} ({size_kb:.1f} KB)")
+    guarded_note = " guarded" if args.guarded else ""
+    print(
+        f"trained{guarded_note} {args.task} structure ({args.kind}) "
+        f"-> {args.out} ({size_kb:.1f} KB)"
+    )
     return 0
 
 
@@ -169,31 +190,44 @@ def _load_structure(path: Path):
         return pickle.load(handle)
 
 
+def _report_health(structure) -> None:
+    """Print the guarded facade's health-report line (stderr, machine-greppable)."""
+    print(structure.health.report_line(), file=sys.stderr)
+
+
 def _cmd_estimate(args) -> int:
     structure = _load_structure(args.structure)
-    if not isinstance(structure, LearnedCardinalityEstimator):
+    if not isinstance(
+        structure, (LearnedCardinalityEstimator, GuardedCardinalityEstimator)
+    ):
         print("error: structure is not a cardinality estimator", file=sys.stderr)
         return 2
     print(f"{structure.estimate(args.elements):.2f}")
+    if isinstance(structure, GuardedCardinalityEstimator):
+        _report_health(structure)
     return 0
 
 
 def _cmd_lookup(args) -> int:
     structure = _load_structure(args.structure)
-    if not isinstance(structure, LearnedSetIndex):
+    if not isinstance(structure, (LearnedSetIndex, GuardedSetIndex)):
         print("error: structure is not a set index", file=sys.stderr)
         return 2
     position = structure.lookup(args.elements)
     print("not found" if position is None else str(position))
+    if isinstance(structure, GuardedSetIndex):
+        _report_health(structure)
     return 0
 
 
 def _cmd_contains(args) -> int:
     structure = _load_structure(args.structure)
-    if not isinstance(structure, LearnedBloomFilter):
+    if not isinstance(structure, (LearnedBloomFilter, GuardedBloomFilter)):
         print("error: structure is not a Bloom filter", file=sys.stderr)
         return 2
     print("present" if structure.contains(args.elements) else "absent")
+    if isinstance(structure, GuardedBloomFilter):
+        _report_health(structure)
     return 0
 
 

@@ -15,6 +15,7 @@ import numpy as np
 
 from ..nn.data import RaggedArray
 from ..nn.serialize import pickled_size_bytes, state_dict_bytes
+from ..reliability.faults import corrupt_prediction, corrupt_predictions
 from ..sets.collection import SetCollection
 from ..sets.inverted import InvertedIndex
 from ..sets.subsets import cardinality_training_pairs
@@ -158,7 +159,7 @@ class LearnedCardinalityEstimator:
         exact = self.auxiliary.get(canonical)
         if exact is not None:
             return float(exact)
-        scaled = self.model.predict_one(canonical)
+        scaled = corrupt_prediction(self.model.predict_one(canonical))
         return float(max(self.scaler.inverse(np.asarray([scaled]))[0], 1.0))
 
     def estimate_many(self, queries: Sequence[Iterable[int]]) -> np.ndarray:
@@ -175,7 +176,7 @@ class LearnedCardinalityEstimator:
                 model_rows.append(row)
                 model_sets.append(canonical)
         if model_sets:
-            scaled = self.model.predict(model_sets)
+            scaled = corrupt_predictions(self.model.predict(model_sets))
             out[model_rows] = np.maximum(self.scaler.inverse(scaled), 1.0)
         return out
 

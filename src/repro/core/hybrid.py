@@ -71,6 +71,11 @@ class GuidedFitResult:
     # (outliers included) — used for error bounds and reporting.
     final_errors_abs: np.ndarray
     final_predictions: np.ndarray
+    # Reliability telemetry: how often ``max_fraction_removed`` clipped or
+    # blocked an eviction, and whether an eviction had to be clamped to
+    # keep the active training set non-empty.
+    budget_hits: int = 0
+    eviction_clamped: bool = False
 
     @property
     def num_outliers(self) -> int:
@@ -121,6 +126,7 @@ def guided_fit(
     trainer = Trainer(model, train_config)
     total = len(ragged)
     outliers: list[np.ndarray] = []
+    removal_stats = {"budget_hits": 0, "clamped": False}
 
     def epoch_end(epoch: int, _trainer: Trainer) -> None:
         if removal is None or removal.percentile is None:
@@ -130,6 +136,7 @@ def guided_fit(
         already_removed = total - loader.num_active
         budget = int(removal.max_fraction_removed * total) - already_removed
         if budget <= 0:
+            removal_stats["budget_hits"] += 1
             return
         active = loader.active_indices()
         errors = _sample_errors(
@@ -142,9 +149,18 @@ def guided_fit(
             # Evict the worst offenders first when clipped by the budget.
             order = np.argsort(errors[evict_mask])[::-1]
             evict = evict[order[:budget]]
+            removal_stats["budget_hits"] += 1
+        if len(evict) >= len(active):
+            # An extreme percentile must never evict the whole corpus:
+            # guided learning with nothing left to train on is §6's
+            # degenerate worst case.  Keep the best-fitting sample active.
+            keep = active[np.argmin(errors)]
+            evict = evict[evict != keep]
+            removal_stats["clamped"] = True
         if len(evict):
             loader.deactivate(evict)
             outliers.append(evict)
+        assert loader.num_active > 0, "guided eviction emptied the training set"
 
     history = trainer.fit(loader, epoch_end=epoch_end)
 
@@ -158,6 +174,8 @@ def guided_fit(
         outlier_indices=outlier_indices,
         final_errors_abs=absolute_error(final_estimates, targets),
         final_predictions=final_estimates,
+        budget_hits=removal_stats["budget_hits"],
+        eviction_clamped=removal_stats["clamped"],
     )
 
 

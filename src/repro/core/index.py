@@ -24,6 +24,7 @@ import numpy as np
 
 from ..nn.data import RaggedArray
 from ..nn.serialize import pickled_size_bytes, state_dict_bytes
+from ..reliability.faults import corrupt_prediction
 from ..sets.collection import SetCollection
 from ..sets.subsets import index_training_pairs
 from .config import ModelConfig
@@ -156,7 +157,7 @@ class LearnedSetIndex:
 
     def predict_position(self, query: Iterable[int]) -> float:
         """Raw model estimate of the first position (no search)."""
-        scaled = self.model.predict_one(tuple(sorted(set(query))))
+        scaled = corrupt_prediction(self.model.predict_one(tuple(sorted(set(query)))))
         return float(self.scaler.inverse(np.asarray([scaled]))[0])
 
     def lookup(self, query: Iterable[int], fallback_scan: bool = True) -> int | None:

@@ -17,6 +17,7 @@ import numpy as np
 from ..nn.data import RaggedArray, SetDataLoader
 from ..nn.serialize import state_dict_bytes
 from ..baselines.bloom import BloomFilter
+from ..reliability.faults import corrupt_prediction, corrupt_predictions
 from ..sets.collection import SetCollection
 from ..sets.inverted import InvertedIndex
 from ..sets.subsets import negative_membership_samples, positive_membership_samples
@@ -178,7 +179,7 @@ class LearnedBloomFilter:
         canonical = tuple(sorted(set(query)))
         if not self._in_universe(canonical):
             return 0.0
-        return self.model.predict_one(canonical)
+        return corrupt_prediction(self.model.predict_one(canonical))
 
     def contains(self, query: Iterable[int]) -> bool:
         """Membership answer; model first, backup filter on rejection."""
@@ -199,7 +200,9 @@ class LearnedBloomFilter:
             row for row, c in enumerate(canonicals) if self._in_universe(c)
         ]
         if known_rows:
-            scores = self.model.predict([canonicals[row] for row in known_rows])
+            scores = corrupt_predictions(
+                self.model.predict([canonicals[row] for row in known_rows])
+            )
             answers[known_rows] = scores >= self.threshold
         if self.backup is not None:
             for row in np.flatnonzero(~answers):

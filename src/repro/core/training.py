@@ -3,10 +3,16 @@
 A thin, explicit loop: mini-batches from a :class:`SetDataLoader`, a loss
 from :mod:`repro.nn.losses`, Adam by default.  The ``epoch_end`` callback is
 the hook the guided (outlier-removing) training of Section 6 plugs into.
+
+The loop is divergence-safe: a non-finite batch loss (numeric blow-up, or
+one injected by :mod:`repro.reliability.faults`) triggers a rollback to the
+best weights seen so far plus a learning-rate backoff, retrying the epoch a
+bounded number of times before raising :class:`TrainingDivergedError`.
 """
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Callable
@@ -16,11 +22,21 @@ import numpy as np
 from ..nn.data import SetDataLoader
 from ..nn.losses import resolve_loss
 from ..nn.optim import SGD, Adam, RMSprop
+from ..reliability.faults import corrupt_loss
 from .deepsets import SetModel
 
-__all__ = ["TrainConfig", "TrainingHistory", "Trainer"]
+__all__ = [
+    "TrainConfig",
+    "TrainingHistory",
+    "Trainer",
+    "TrainingDivergedError",
+]
 
 _OPTIMIZERS = {"adam": Adam, "sgd": SGD, "rmsprop": RMSprop}
+
+
+class TrainingDivergedError(RuntimeError):
+    """Training kept producing non-finite losses after every retry."""
 
 
 @dataclass
@@ -45,6 +61,12 @@ class TrainConfig:
     min_delta: float = 1e-5
     # Clip the global gradient norm before each step (None disables).
     grad_clip_norm: float | None = None
+    # Divergence recovery: on a non-finite batch loss, restore the best
+    # weights seen so far, multiply the learning rate by ``lr_backoff``,
+    # and retry the epoch — at most ``max_divergence_retries`` times over
+    # the whole run (0 surfaces the divergence immediately).
+    max_divergence_retries: int = 3
+    lr_backoff: float = 0.5
 
     def __post_init__(self):
         if self.epochs <= 0:
@@ -53,8 +75,12 @@ class TrainConfig:
             raise ValueError("patience must be positive (or None)")
         if self.grad_clip_norm is not None and self.grad_clip_norm <= 0:
             raise ValueError("grad_clip_norm must be positive (or None)")
+        if self.max_divergence_retries < 0:
+            raise ValueError("max_divergence_retries cannot be negative")
+        if not 0.0 < self.lr_backoff <= 1.0:
+            raise ValueError("lr_backoff must lie in (0, 1]")
 
-    def make_optimizer(self, parameters):
+    def make_optimizer(self, parameters, lr: float | None = None):
         try:
             factory = _OPTIMIZERS[self.optimizer]
         except KeyError:
@@ -62,7 +88,7 @@ class TrainConfig:
                 f"unknown optimizer {self.optimizer!r}; "
                 f"choose from {sorted(_OPTIMIZERS)}"
             ) from None
-        return factory(parameters, lr=self.lr)
+        return factory(parameters, lr=self.lr if lr is None else lr)
 
 
 @dataclass
@@ -73,6 +99,10 @@ class TrainingHistory:
     epoch_seconds: list[float] = field(default_factory=list)
     active_samples: list[int] = field(default_factory=list)
     stopped_early: bool = False
+    # Divergence-recovery record: how many non-finite losses were hit and
+    # the learning rates applied after each rollback.
+    divergences: int = 0
+    lr_backoffs: list[float] = field(default_factory=list)
 
     @property
     def final_loss(self) -> float:
@@ -106,25 +136,52 @@ class Trainer:
         ``epoch_end(epoch, trainer)`` runs after each epoch (1-based); it
         may call ``loader.deactivate`` — subsequent epochs then skip the
         evicted samples, which is exactly the guided-learning protocol.
+        Epochs that diverge are rolled back and retried; ``epoch_end`` only
+        sees epochs that completed with finite losses.
         """
         history = TrainingHistory()
         best_loss = float("inf")
         stale_epochs = 0
+        # Rollback target: the weights of the best finite epoch so far
+        # (the initial weights until one exists).
+        checkpoint = self.model.state_dict()
+        checkpoint_loss = float("inf")
+        retries_left = self.config.max_divergence_retries
         self.model.train()
-        for epoch in range(1, self.config.epochs + 1):
+        epoch = 1
+        while epoch <= self.config.epochs:
             started = time.perf_counter()
             epoch_loss = 0.0
             samples = 0
+            diverged = False
             for batch, targets, _ in loader:
                 predictions = self.model(batch)
                 loss = self.loss_fn(predictions, targets.reshape(-1, 1))
+                loss_value = corrupt_loss(loss.item())
+                if not math.isfinite(loss_value):
+                    # Abandon the epoch before the bad gradients can
+                    # propagate into the weights.
+                    diverged = True
+                    break
                 self.optimizer.zero_grad()
                 loss.backward()
                 if self.config.grad_clip_norm is not None:
                     self._clip_gradients(self.config.grad_clip_norm)
                 self.optimizer.step()
-                epoch_loss += loss.item() * len(batch)
+                epoch_loss += loss_value * len(batch)
                 samples += len(batch)
+            if diverged:
+                history.divergences += 1
+                if retries_left <= 0:
+                    self.model.eval()
+                    raise TrainingDivergedError(
+                        f"non-finite loss at epoch {epoch} with no retries "
+                        f"left (lr={self.optimizer.lr:g}, "
+                        f"divergences={history.divergences})"
+                    )
+                retries_left -= 1
+                self._rollback(checkpoint, history)
+                continue  # retry the same epoch with smaller steps
             mean_loss = epoch_loss / max(samples, 1)
             history.losses.append(mean_loss)
             history.epoch_seconds.append(time.perf_counter() - started)
@@ -134,6 +191,9 @@ class Trainer:
                     f"epoch {epoch:3d}/{self.config.epochs}  "
                     f"loss={mean_loss:.5f}  active={loader.num_active}"
                 )
+            if math.isfinite(mean_loss) and mean_loss < checkpoint_loss:
+                checkpoint_loss = mean_loss
+                checkpoint = self.model.state_dict()
             if epoch_end is not None:
                 epoch_end(epoch, self)
             if self.config.patience is not None:
@@ -145,8 +205,20 @@ class Trainer:
                     if stale_epochs >= self.config.patience:
                         history.stopped_early = True
                         break
+            epoch += 1
         self.model.eval()
         return history
+
+    def _rollback(self, checkpoint: dict[str, np.ndarray], history: TrainingHistory) -> None:
+        """Restore the best weights and rebuild the optimizer at a smaller lr.
+
+        The optimizer is rebuilt from scratch: Adam/RMSprop moments computed
+        from the diverged trajectory would re-poison the retried epoch.
+        """
+        self.model.load_state_dict(checkpoint)
+        new_lr = self.optimizer.lr * self.config.lr_backoff
+        self.optimizer = self.config.make_optimizer(self.model.parameters(), lr=new_lr)
+        history.lr_backoffs.append(new_lr)
 
     def _clip_gradients(self, max_norm: float) -> None:
         """Scale all gradients so their global L2 norm is <= ``max_norm``."""

@@ -20,6 +20,7 @@ import time
 from dataclasses import dataclass
 from typing import Iterable
 
+from ..sets.vocab import Vocabulary
 from .gin import GinIndex
 from .table import SetTable
 from .udf import UdfRegistry
@@ -108,6 +109,29 @@ class SetQueryEngine:
             rows_examined=examined,
             seconds=time.perf_counter() - started,
         )
+
+    def count_tokens(
+        self,
+        tokens: Iterable[str],
+        vocab: Vocabulary,
+        plan: str | None = None,
+    ) -> QueryResult:
+        """COUNT for a string-token query; unseen tokens are a defined miss.
+
+        Real queries arrive as strings (hashtags, log tokens).  A token the
+        vocabulary never interned cannot occur in any stored set, so the
+        exact count is 0 — returned without touching the plan's executor
+        instead of surfacing an uncaught ``KeyError`` from strict encoding.
+        """
+        ids, unknown = vocab.encode_lenient(tokens)
+        if unknown:
+            return QueryResult(
+                count=0.0,
+                plan=self.explain(plan),
+                rows_examined=0,
+                seconds=0.0,
+            )
+        return self.count(ids, plan=plan)
 
     def _seqscan(self, query: tuple[int, ...]) -> tuple[int, int]:
         q = frozenset(query)

@@ -43,7 +43,13 @@ from .losses import (
 from .module import Module, ModuleList, Parameter
 from .optim import SGD, Adam, CosineAnnealingLR, ExponentialLR, Optimizer, RMSprop, StepLR
 from .rnn import GRU, LSTM, GRUCell, LSTMCell
-from .serialize import load_state, pickled_size_bytes, save_state, state_dict_bytes
+from .serialize import (
+    CorruptStateError,
+    load_state,
+    pickled_size_bytes,
+    save_state,
+    state_dict_bytes,
+)
 from .tensor import Tensor, as_tensor, is_grad_enabled, no_grad
 
 __all__ = [
@@ -96,6 +102,7 @@ __all__ = [
     "SetDataLoader",
     "save_state",
     "load_state",
+    "CorruptStateError",
     "pickled_size_bytes",
     "state_dict_bytes",
 ]

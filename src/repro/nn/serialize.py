@@ -4,40 +4,111 @@ The paper reports memory as the size of the pickled weight file (§8.2.2);
 :func:`pickled_size_bytes` reproduces that measurement for arbitrary Python
 structures, while :func:`save_state` / :func:`load_state` store weight dicts
 compactly as ``.npz`` archives with float32 weights (what one would ship).
+
+Persistence is crash-safe: :func:`save_state` writes to a temporary file,
+fsyncs, and atomically renames, so a crash mid-write can never leave a
+half-written archive under the destination path.  Archives embed a CRC32
+checksum that :func:`load_state` validates, turning truncated or bit-rotted
+files into a clear :class:`CorruptStateError` instead of a bare
+``zipfile``/``KeyError`` deep in numpy.
 """
 
 from __future__ import annotations
 
 import io
+import os
 import pickle
+import zipfile
+import zlib
 from pathlib import Path
 
 import numpy as np
 
+from ..reliability.faults import corrupt_state_file
 from .module import Module
 
 __all__ = [
+    "CorruptStateError",
     "save_state",
     "load_state",
     "pickled_size_bytes",
     "state_dict_bytes",
 ]
 
+# Reserved archive entry holding the CRC32 of all weight arrays; the name
+# cannot collide with a parameter because dotted parameter names never
+# start with a dunder segment.
+_CHECKSUM_KEY = "__checksum__"
+
+
+class CorruptStateError(RuntimeError):
+    """A weight archive is unreadable, truncated, or fails validation."""
+
+    def __init__(self, path, reason: str):
+        super().__init__(f"corrupt state file {Path(path)}: {reason}")
+        self.path = Path(path)
+        self.reason = reason
+
+
+def _state_checksum(state: dict[str, np.ndarray]) -> int:
+    """CRC32 over names, dtypes, shapes, and raw bytes of all arrays."""
+    crc = 0
+    for name in sorted(state):
+        array = np.ascontiguousarray(state[name])
+        header = f"{name}:{array.dtype.str}:{array.shape}".encode()
+        crc = zlib.crc32(header, crc)
+        crc = zlib.crc32(array.tobytes(), crc)
+    return crc
+
 
 def save_state(module: Module, path: str | Path, dtype=np.float32) -> None:
-    """Write a module's weights to ``path`` as a compressed npz archive."""
+    """Atomically write a module's weights to ``path`` as a checksummed npz.
+
+    The archive is written to ``path + ".tmp"``, flushed and fsynced, then
+    renamed over ``path`` — readers never observe a partial file.
+    """
+    path = Path(path)
     state = {
         name: array.astype(dtype) for name, array in module.state_dict().items()
     }
-    with open(path, "wb") as handle:
-        np.savez_compressed(handle, **state)
+    state[_CHECKSUM_KEY] = np.asarray([_state_checksum(state)], dtype=np.int64)
+    tmp_path = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp_path, "wb") as handle:
+            np.savez_compressed(handle, **state)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    finally:
+        if tmp_path.exists():
+            tmp_path.unlink()
+    corrupt_state_file(path)  # test-only fault-injection hook
 
 
 def load_state(module: Module, path: str | Path) -> None:
-    """Load weights written by :func:`save_state` into ``module``."""
-    with np.load(path) as archive:
-        state = {name: archive[name] for name in archive.files}
-    module.load_state_dict(state)
+    """Load and validate weights written by :func:`save_state`.
+
+    Raises :class:`CorruptStateError` (naming the file) when the archive is
+    unreadable, fails its checksum, or does not match the module's
+    parameters; raises ``FileNotFoundError`` for a missing file.
+    """
+    path = Path(path)
+    try:
+        with np.load(path) as archive:
+            state = {name: archive[name] for name in archive.files}
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, ValueError, EOFError, KeyError, OSError) as error:
+        raise CorruptStateError(path, f"unreadable archive ({error})") from error
+    stored = state.pop(_CHECKSUM_KEY, None)
+    if stored is not None and int(stored[0]) != _state_checksum(state):
+        raise CorruptStateError(path, "checksum mismatch (bit rot or tampering)")
+    try:
+        module.load_state_dict(state)
+    except (KeyError, ValueError) as error:
+        raise CorruptStateError(
+            path, f"archive does not match the module ({error})"
+        ) from error
 
 
 def pickled_size_bytes(obj) -> int:

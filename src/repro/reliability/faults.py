@@ -1,0 +1,159 @@
+"""Test-only fault injection for the reliability layer.
+
+Production code calls the module-level ``corrupt_*`` hooks at exactly the
+points where real deployments fail: model predictions (NaN weights, numeric
+blow-ups), training losses (divergence), and weight files (truncated or
+bit-rotted archives).  When no injector is installed the hooks are
+near-free pass-throughs; tests install a :class:`FaultInjector` — it is a
+context manager — to force those failures and then assert that the guarded
+structures degrade to exact answers instead of raising.
+
+The hooks are also plain module attributes, so tests that need bespoke
+failure shapes can monkeypatch them directly::
+
+    monkeypatch.setattr(faults, "corrupt_prediction", lambda v: float("inf"))
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "ALWAYS",
+    "FaultInjector",
+    "active_injector",
+    "corrupt_prediction",
+    "corrupt_predictions",
+    "corrupt_loss",
+    "corrupt_state_file",
+]
+
+#: Budget value meaning "fire on every call, forever".
+ALWAYS = math.inf
+
+_active: "FaultInjector | None" = None
+
+
+class FaultInjector:
+    """Forces failures into the predict, training, and serialize paths.
+
+    Each ``*`` budget counts how many more times that fault fires
+    (:data:`ALWAYS` never runs out):
+
+    ``nan_predictions``
+        Model predictions are replaced with NaN.
+    ``nan_losses``
+        Per-batch training losses are replaced with NaN (the Trainer's
+        divergence-recovery path must kick in).
+    ``truncate_saves``
+        Weight files written by ``save_state`` are truncated to
+        ``truncate_to_bytes`` bytes after the atomic rename, simulating
+        at-rest corruption that ``load_state`` must detect.
+
+    The ``*_corrupted`` counters record how many faults actually fired.
+    """
+
+    def __init__(
+        self,
+        *,
+        nan_predictions: float = 0,
+        nan_losses: float = 0,
+        truncate_saves: float = 0,
+        truncate_to_bytes: int = 8,
+    ):
+        self.nan_predictions = float(nan_predictions)
+        self.nan_losses = float(nan_losses)
+        self.truncate_saves = float(truncate_saves)
+        self.truncate_to_bytes = int(truncate_to_bytes)
+        self.predictions_corrupted = 0
+        self.losses_corrupted = 0
+        self.saves_corrupted = 0
+
+    # -- budget bookkeeping --------------------------------------------------
+
+    def _consume(self, budget_name: str) -> bool:
+        budget = getattr(self, budget_name)
+        if budget <= 0:
+            return False
+        if math.isfinite(budget):
+            setattr(self, budget_name, budget - 1)
+        return True
+
+    # -- fault application ---------------------------------------------------
+
+    def prediction(self, value: float) -> float:
+        if self._consume("nan_predictions"):
+            self.predictions_corrupted += 1
+            return float("nan")
+        return value
+
+    def predictions(self, values: np.ndarray) -> np.ndarray:
+        out = np.array(values, dtype=np.float64, copy=True)
+        for row in range(len(out)):
+            if not self._consume("nan_predictions"):
+                break
+            out[row] = np.nan
+            self.predictions_corrupted += 1
+        return out
+
+    def loss(self, value: float) -> float:
+        if self._consume("nan_losses"):
+            self.losses_corrupted += 1
+            return float("nan")
+        return value
+
+    def state_file(self, path) -> None:
+        if self._consume("truncate_saves"):
+            path = Path(path)
+            data = path.read_bytes()
+            path.write_bytes(data[: self.truncate_to_bytes])
+            self.saves_corrupted += 1
+
+    # -- installation --------------------------------------------------------
+
+    def install(self) -> "FaultInjector":
+        global _active
+        _active = self
+        return self
+
+    def uninstall(self) -> None:
+        global _active
+        if _active is self:
+            _active = None
+
+    def __enter__(self) -> "FaultInjector":
+        return self.install()
+
+    def __exit__(self, *exc_info) -> None:
+        self.uninstall()
+
+
+def active_injector() -> "FaultInjector | None":
+    """The currently installed injector, or ``None`` in production."""
+    return _active
+
+
+# -- hooks called from production code (identity when no injector) ----------
+
+def corrupt_prediction(value: float) -> float:
+    """Hook in the single-query predict paths."""
+    return value if _active is None else _active.prediction(value)
+
+
+def corrupt_predictions(values: np.ndarray) -> np.ndarray:
+    """Hook in the batched predict paths."""
+    return values if _active is None else _active.predictions(values)
+
+
+def corrupt_loss(value: float) -> float:
+    """Hook in the Trainer's per-batch loss path."""
+    return value if _active is None else _active.loss(value)
+
+
+def corrupt_state_file(path) -> None:
+    """Hook after ``save_state`` finishes writing ``path``."""
+    if _active is not None:
+        _active.state_file(path)

@@ -1,0 +1,298 @@
+"""Guarded serving facades: learned structures that fail *soft*.
+
+The paper's hybrid design (§6) pairs every learned structure with an exact
+auxiliary; this module turns that pairing into a runtime guarantee.  Each
+facade wraps one learned structure together with a paired exact structure
+(an :class:`~repro.sets.inverted.InvertedIndex` over the same collection,
+plus the Bloom filter's own backup filter) and serves queries through three
+lines of defence:
+
+1. **query validation** — empty, oversized, out-of-vocabulary, and
+   malformed queries get defined answers instead of ``KeyError`` /
+   ``IndexError``;
+2. **prediction validation** — NaN, infinite, and out-of-range model
+   outputs are rejected before they can poison an answer;
+3. **exact fallback** — any rejected prediction or exception in the model
+   path is answered by the paired exact structure.
+
+Every event is recorded in per-structure :class:`HealthCounters`.
+
+Failure semantics (the documented contract):
+
+===================  =============  ==============  ===============
+query                cardinality    index lookup    bloom contains
+===================  =============  ==============  ===============
+empty set            ``N`` (all)    ``0`` (first)   ``True``\\*
+oversized query      ``0.0``        ``None``        backup / False
+OOV element          ``0.0``        ``None``        backup / False
+malformed query      ``0.0``        ``None``        ``False``
+model failure        exact count    exact position  exact answer
+===================  =============  ==============  ===============
+
+\\* the empty set is a subset of every stored set (vacuous truth), so the
+answers are the mathematically exact ones for a non-empty collection.
+Oversized and OOV queries cannot be subsets of any stored set, so the miss
+answers are exact too; the Bloom facade still consults its backup filter
+first because post-training inserts may lie outside the trained universe.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..sets.inverted import InvertedIndex
+from .health import HealthCounters
+
+__all__ = [
+    "GuardedEstimator",
+    "GuardedCardinalityEstimator",
+    "GuardedSetIndex",
+    "GuardedBloomFilter",
+    "REASON_MALFORMED",
+    "REASON_EMPTY",
+    "REASON_OVERSIZED",
+    "REASON_OOV",
+    "REASON_MODEL_ERROR",
+    "REASON_INVALID_PREDICTION",
+    "REASON_WINDOW_MISS",
+]
+
+# Fallback / short-circuit reasons recorded in the health counters.
+REASON_MALFORMED = "malformed_query"
+REASON_EMPTY = "empty_query"
+REASON_OVERSIZED = "oversized_query"
+REASON_OOV = "oov_query"
+REASON_MODEL_ERROR = "model_error"
+REASON_INVALID_PREDICTION = "invalid_prediction"
+REASON_WINDOW_MISS = "window_miss"
+
+
+def _max_known_id(model) -> int | None:
+    """Largest element id the wrapped model can embed (None if unknown)."""
+    if hasattr(model, "vocab_size"):
+        return model.vocab_size - 1
+    if hasattr(model, "compressor"):
+        return model.compressor.max_value
+    return None
+
+
+class GuardedEstimator:
+    """Shared validation and health machinery for the guarded facades.
+
+    Parameters
+    ----------
+    model:
+        The wrapped learned structure's model (used to derive the trained
+        id universe for OOV detection).
+    exact:
+        The paired exact structure — an :class:`InvertedIndex` over the
+        same collection the learned structure was built from.
+    max_query_size:
+        Queries with more elements than this cannot be subsets of any
+        stored set and short-circuit to the miss answer; ``None`` disables
+        the check.
+    """
+
+    structure_name = "structure"
+
+    def __init__(self, model, exact: InvertedIndex, max_query_size: int | None = None):
+        self.exact = exact
+        self.max_query_size = max_query_size
+        self._id_ceiling = _max_known_id(model)
+        self.health = HealthCounters(self.structure_name)
+
+    # -- query validation ----------------------------------------------------
+
+    @staticmethod
+    def _canonicalize(query: Iterable) -> tuple[int, ...] | None:
+        """Sorted de-duplicated id tuple, or ``None`` for malformed input."""
+        try:
+            return tuple(sorted({int(element) for element in query}))
+        except (TypeError, ValueError):
+            return None
+
+    def _validate(self, canonical: tuple[int, ...] | None) -> str | None:
+        """Reason a query must not reach the model, or ``None`` if it may."""
+        if canonical is None:
+            return REASON_MALFORMED
+        if not canonical:
+            return REASON_EMPTY
+        if canonical[0] < 0:
+            return REASON_OOV
+        if self._id_ceiling is not None and canonical[-1] > self._id_ceiling:
+            return REASON_OOV
+        if self.max_query_size is not None and len(canonical) > self.max_query_size:
+            return REASON_OVERSIZED
+        return None
+
+
+def _max_stored_size(collection) -> int:
+    return max(len(stored) for stored in collection)
+
+
+class GuardedCardinalityEstimator(GuardedEstimator):
+    """Reliability facade over :class:`LearnedCardinalityEstimator`."""
+
+    structure_name = "cardinality"
+
+    def __init__(self, estimator, exact: InvertedIndex, max_query_size: int | None = None):
+        super().__init__(estimator.model, exact, max_query_size)
+        self.estimator = estimator
+
+    @classmethod
+    def for_collection(cls, estimator, collection) -> "GuardedCardinalityEstimator":
+        """Pair ``estimator`` with an exact inverted index over ``collection``."""
+        return cls(
+            estimator,
+            InvertedIndex(collection),
+            max_query_size=_max_stored_size(collection),
+        )
+
+    def estimate(self, query: Iterable[int]) -> float:
+        """Cardinality estimate that never raises on any query."""
+        self.health.record_query()
+        canonical = self._canonicalize(query)
+        reason = self._validate(canonical)
+        if reason == REASON_EMPTY:
+            # The empty set is contained in every stored set.
+            self.health.record_short_circuit(reason)
+            return float(self.exact.num_sets)
+        if reason is not None:
+            self.health.record_short_circuit(reason)
+            return 0.0
+        try:
+            value = self.estimator.estimate(canonical)
+        except Exception:
+            return self._exact(canonical, REASON_MODEL_ERROR)
+        if not math.isfinite(value) or value < 0.0 or value > self.exact.num_sets:
+            return self._exact(canonical, REASON_INVALID_PREDICTION)
+        self.health.record_model_answer()
+        return float(value)
+
+    def estimate_many(self, queries: Sequence[Iterable[int]]) -> np.ndarray:
+        return np.asarray([self.estimate(q) for q in queries], dtype=np.float64)
+
+    def _exact(self, canonical: tuple[int, ...], reason: str) -> float:
+        self.health.record_fallback(reason)
+        return float(self.exact.cardinality(canonical))
+
+
+class GuardedSetIndex(GuardedEstimator):
+    """Reliability facade over :class:`LearnedSetIndex`."""
+
+    structure_name = "index"
+
+    def __init__(self, index, exact: InvertedIndex | None = None,
+                 max_query_size: int | None = None):
+        if exact is None:
+            exact = InvertedIndex(index.collection)
+        if max_query_size is None:
+            max_query_size = _max_stored_size(index.collection)
+        super().__init__(index.model, exact, max_query_size)
+        self.index = index
+
+    def lookup(self, query: Iterable[int]) -> int | None:
+        """First position containing ``query``; never raises, always exact.
+
+        The learned index answers within its error window; a window miss,
+        a non-finite prediction, or any exception falls back to the exact
+        inverted index instead of the unguarded full-collection rescan.
+        """
+        self.health.record_query()
+        canonical = self._canonicalize(query)
+        reason = self._validate(canonical)
+        if reason == REASON_EMPTY:
+            # Empty query: contained in every set, so the first position.
+            self.health.record_short_circuit(reason)
+            return 0 if self.exact.num_sets else None
+        if reason is not None:
+            self.health.record_short_circuit(reason)
+            return None
+        try:
+            estimate = self.index.predict_position(canonical)
+        except Exception:
+            return self._exact(canonical, REASON_MODEL_ERROR)
+        if not math.isfinite(estimate):
+            return self._exact(canonical, REASON_INVALID_PREDICTION)
+        try:
+            found = self.index.lookup(canonical, fallback_scan=False)
+        except Exception:
+            return self._exact(canonical, REASON_MODEL_ERROR)
+        if found is None:
+            return self._exact(canonical, REASON_WINDOW_MISS)
+        self.health.record_model_answer()
+        return found
+
+    def _exact(self, canonical: tuple[int, ...], reason: str) -> int | None:
+        self.health.record_fallback(reason)
+        return self.exact.first_position(canonical)
+
+
+class GuardedBloomFilter(GuardedEstimator):
+    """Reliability facade over :class:`LearnedBloomFilter`.
+
+    Preserves the no-false-negative guarantee even when the classifier
+    produces NaN scores: a non-finite score is answered by the exact
+    inverted index (with the backup filter consulted for post-training
+    inserts), so an indexed subset can never be reported absent.
+    """
+
+    structure_name = "bloom"
+
+    def __init__(self, filter_, exact: InvertedIndex,
+                 max_query_size: int | None = None):
+        super().__init__(filter_.model, exact, max_query_size)
+        self.filter = filter_
+
+    @classmethod
+    def for_collection(cls, filter_, collection) -> "GuardedBloomFilter":
+        return cls(
+            filter_,
+            InvertedIndex(collection),
+            max_query_size=_max_stored_size(collection),
+        )
+
+    def contains(self, query: Iterable[int]) -> bool:
+        self.health.record_query()
+        canonical = self._canonicalize(query)
+        reason = self._validate(canonical)
+        if reason == REASON_MALFORMED:
+            self.health.record_short_circuit(reason)
+            return False
+        if reason == REASON_EMPTY:
+            self.health.record_short_circuit(reason)
+            return self.exact.num_sets > 0
+        if reason is not None:
+            # OOV / oversized subsets cannot be members of the trained
+            # universe, but post-training inserts live in the backup filter.
+            self.health.record_short_circuit(reason)
+            return self._backup_contains(canonical)
+        try:
+            score = self.filter.score(canonical)
+        except Exception:
+            return self._exact(canonical, REASON_MODEL_ERROR)
+        if not math.isfinite(score):
+            return self._exact(canonical, REASON_INVALID_PREDICTION)
+        self.health.record_model_answer()
+        if score >= self.filter.threshold:
+            return True
+        return self._backup_contains(canonical)
+
+    def __contains__(self, query: Iterable[int]) -> bool:
+        return self.contains(query)
+
+    def contains_many(self, queries: Sequence[Iterable[int]]) -> np.ndarray:
+        return np.asarray([self.contains(q) for q in queries], dtype=bool)
+
+    def _backup_contains(self, canonical: tuple[int, ...]) -> bool:
+        backup = self.filter.backup
+        return backup.contains_set(set(canonical)) if backup is not None else False
+
+    def _exact(self, canonical: tuple[int, ...], reason: str) -> bool:
+        self.health.record_fallback(reason)
+        if self.exact.contains(canonical):
+            return True
+        return self._backup_contains(canonical)

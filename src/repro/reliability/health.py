@@ -1,0 +1,102 @@
+"""Per-structure health accounting for guarded serving.
+
+Every guarded facade owns one :class:`HealthCounters` instance and records
+where each query was answered: by the model, by the paired exact structure
+(and *why* it fell back), or by a defined short-circuit for queries the
+model should never see (empty, oversized, out-of-vocabulary, malformed).
+Operators read :meth:`report_line` — the CLI prints it after every guarded
+query — or :meth:`as_dict` for programmatic scraping.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+__all__ = ["HealthCounters"]
+
+
+@dataclass
+class HealthCounters:
+    """Counters describing how a guarded structure has been answering.
+
+    ``model_answers`` are the happy path; ``exact_fallbacks`` count answers
+    the paired exact structure produced after a model failure (keyed by
+    reason); ``short_circuits`` count queries answered by definition
+    without touching model or exact structure (also keyed by reason).
+    """
+
+    structure: str
+    queries: int = 0
+    model_answers: int = 0
+    exact_fallbacks: Counter = field(default_factory=Counter)
+    short_circuits: Counter = field(default_factory=Counter)
+
+    # -- recording -----------------------------------------------------------
+
+    def record_query(self) -> None:
+        self.queries += 1
+
+    def record_model_answer(self) -> None:
+        self.model_answers += 1
+
+    def record_fallback(self, reason: str) -> None:
+        self.exact_fallbacks[reason] += 1
+
+    def record_short_circuit(self, reason: str) -> None:
+        self.short_circuits[reason] += 1
+
+    # -- aggregates ----------------------------------------------------------
+
+    @property
+    def total_fallbacks(self) -> int:
+        return sum(self.exact_fallbacks.values())
+
+    @property
+    def total_short_circuits(self) -> int:
+        return sum(self.short_circuits.values())
+
+    @property
+    def fallback_fraction(self) -> float:
+        """Share of queries the model failed to answer itself."""
+        return self.total_fallbacks / self.queries if self.queries else 0.0
+
+    def healthy(self, max_fallback_fraction: float = 0.5) -> bool:
+        """Whether the model is still carrying its share of the traffic.
+
+        A structure answering most queries through the exact fallback has
+        effectively degenerated to the traditional structure and should be
+        retrained (the §7.2 trigger, applied to serving health).
+        """
+        return self.fallback_fraction <= max_fallback_fraction
+
+    # -- reporting -----------------------------------------------------------
+
+    def report_line(self) -> str:
+        """One-line operator summary (printed by the CLI's guarded mode)."""
+        reasons = Counter(self.exact_fallbacks) + Counter(self.short_circuits)
+        detail = (
+            ",".join(f"{reason}:{count}" for reason, count in sorted(reasons.items()))
+            or "none"
+        )
+        return (
+            f"[health] {self.structure}: queries={self.queries} "
+            f"model={self.model_answers} exact_fallback={self.total_fallbacks} "
+            f"short_circuit={self.total_short_circuits} reasons={detail}"
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "structure": self.structure,
+            "queries": self.queries,
+            "model_answers": self.model_answers,
+            "exact_fallbacks": dict(self.exact_fallbacks),
+            "short_circuits": dict(self.short_circuits),
+            "fallback_fraction": self.fallback_fraction,
+        }
+
+    def reset(self) -> None:
+        self.queries = 0
+        self.model_answers = 0
+        self.exact_fallbacks.clear()
+        self.short_circuits.clear()

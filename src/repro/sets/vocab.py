@@ -52,6 +52,27 @@ class Vocabulary:
         """Encode known tokens to a sorted id tuple (KeyError if unknown)."""
         return tuple(sorted({self._token_to_id[token] for token in tokens}))
 
+    def encode_lenient(
+        self, tokens: Iterable[str]
+    ) -> tuple[tuple[int, ...], tuple[str, ...]]:
+        """Encode known tokens; unknown ones are returned, not raised.
+
+        Returns ``(ids, unknown_tokens)``: the sorted id tuple of the
+        recognized tokens plus the unrecognized tokens in first-seen order
+        (de-duplicated).  A query containing an unseen token can never
+        match a stored set, so callers treat non-empty ``unknown_tokens``
+        as a defined miss instead of an uncaught ``KeyError``.
+        """
+        ids: set[int] = set()
+        unknown: dict[str, None] = {}
+        for token in tokens:
+            element_id = self._token_to_id.get(token)
+            if element_id is None:
+                unknown[token] = None
+            else:
+                ids.add(element_id)
+        return tuple(sorted(ids)), tuple(unknown)
+
     def decode(self, element_ids: Iterable[int]) -> frozenset[str]:
         return frozenset(self._id_to_token[i] for i in element_ids)
 

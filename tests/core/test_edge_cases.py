@@ -14,6 +14,11 @@ from repro.core import (
     guided_fit,
 )
 from repro.nn.data import RaggedArray, SetBatch
+from repro.reliability import (
+    GuardedBloomFilter,
+    GuardedCardinalityEstimator,
+    GuardedSetIndex,
+)
 
 
 class TestPredictPaths:
@@ -92,6 +97,63 @@ class TestGuidedFitEdges:
             rng=np.random.default_rng(0),
         )
         assert np.all(np.isfinite(result.final_predictions))
+
+
+class TestEdgeQueries:
+    """Empty / oversized / all-OOV / duplicated queries across structures.
+
+    Raw structures surface exceptions (documented here); the guarded
+    facades convert every one of them into a defined miss.
+    """
+
+    OOV = (10_000, 10_001)
+
+    def test_raw_estimator_raises_on_oov_and_empty(self, trained_estimator):
+        with pytest.raises(IndexError):
+            trained_estimator.estimate(self.OOV)
+        with pytest.raises(ValueError):
+            trained_estimator.estimate(())
+
+    def test_guarded_estimator_defined_miss(self, trained_estimator, small_collection):
+        guarded = GuardedCardinalityEstimator.for_collection(
+            trained_estimator, small_collection
+        )
+        assert guarded.estimate(()) == float(len(small_collection))
+        assert guarded.estimate(self.OOV) == 0.0
+        oversized = tuple(range(len(max(small_collection, key=len)) + 1))
+        assert guarded.estimate(oversized) == 0.0
+
+    def test_guarded_estimator_duplicates_match_raw(
+        self, trained_estimator, small_collection
+    ):
+        guarded = GuardedCardinalityEstimator.for_collection(
+            trained_estimator, small_collection
+        )
+        assert guarded.estimate([1, 1, 2]) == trained_estimator.estimate([1, 2])
+
+    def test_guarded_index_defined_miss(self, trained_index):
+        guarded = GuardedSetIndex(trained_index)
+        assert guarded.lookup(()) == 0
+        assert guarded.lookup(self.OOV) is None
+        assert guarded.lookup([0, 0, 0]) == guarded.lookup([0])
+
+    def test_guarded_filter_defined_miss(self, trained_filter, small_collection):
+        guarded = GuardedBloomFilter.for_collection(trained_filter, small_collection)
+        assert guarded.contains(()) is True  # empty set ⊆ every stored set
+        assert guarded.contains(self.OOV) is False
+        assert guarded.contains(["not-an-id"]) is False
+
+    def test_guarded_lookup_is_sound_on_stored_sets(
+        self, trained_index, small_collection
+    ):
+        """Stored sets (even beyond the trained subset size) always resolve
+        to a position that really contains them — exactness of *first*
+        position is only guaranteed for trained query sizes."""
+        guarded = GuardedSetIndex(trained_index)
+        for stored in list(small_collection)[:20]:
+            position = guarded.lookup(stored)
+            assert position is not None
+            assert set(stored).issubset(small_collection[position])
 
 
 class TestModelConfigEdges:

@@ -8,7 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.engine import SetQueryEngine, SetTable
-from repro.sets import SetCollection
+from repro.sets import SetCollection, Vocabulary
 
 
 @pytest.fixture
@@ -118,6 +118,38 @@ class TestUdfPlan:
     def test_non_callable_rejected(self, engine):
         with pytest.raises(TypeError):
             engine.register_udf("bad", 7)
+
+
+class TestCountTokens:
+    @pytest.fixture
+    def vocab(self):
+        vocabulary = Vocabulary()
+        for element_id in range(5):  # "t0".."t4" line up with ids 0..4
+            vocabulary.add(f"t{element_id}")
+        return vocabulary
+
+    def test_known_tokens_match_id_query(self, engine, vocab):
+        result = engine.count_tokens(["t2", "t3"], vocab, plan="seqscan")
+        assert result.count == engine.count((2, 3), plan="seqscan").count
+        assert result.is_exact
+
+    def test_unknown_token_is_defined_miss(self, engine, vocab):
+        result = engine.count_tokens(["t2", "#neverseen"], vocab)
+        assert result.count == 0.0
+        assert result.rows_examined == 0
+        assert result.plan in ("seqscan", "gin")
+
+    def test_all_unknown_tokens_miss(self, engine, vocab):
+        assert engine.count_tokens(["x", "y"], vocab).count == 0.0
+
+    def test_strict_encode_would_raise(self, engine, vocab):
+        """The lenient path is load-bearing: strict encoding raises KeyError."""
+        with pytest.raises(KeyError):
+            engine.count(vocab.encode(["t2", "#neverseen"]))
+
+    def test_empty_token_list_keeps_engine_contract(self, engine, vocab):
+        with pytest.raises(ValueError):
+            engine.count_tokens([], vocab)
 
 
 @settings(max_examples=25, deadline=None)

@@ -3,10 +3,12 @@
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
 from repro import nn
 from repro.nn import Tensor
 from repro.nn.serialize import (
+    CorruptStateError,
     load_state,
     pickled_size_bytes,
     save_state,
@@ -33,6 +35,86 @@ class TestSaveLoad:
         clone = nn.Linear(4, 4, rng=np.random.default_rng(1))
         load_state(clone, path)
         np.testing.assert_allclose(model.weight.data, clone.weight.data, atol=1e-6)
+
+
+class TestAtomicSave:
+    def test_no_tmp_file_left_behind(self, rng, tmp_path):
+        model = nn.MLP(3, [8], 1, rng=rng)
+        save_state(model, tmp_path / "weights.npz")
+        assert [p.name for p in tmp_path.iterdir()] == ["weights.npz"]
+
+    def test_overwrite_is_atomic_replace(self, rng, tmp_path):
+        model = nn.Linear(4, 4, rng=rng)
+        path = tmp_path / "w.npz"
+        save_state(model, path)
+        model.weight.data += 1.0
+        save_state(model, path)
+        clone = nn.Linear(4, 4, rng=np.random.default_rng(9))
+        load_state(clone, path)
+        np.testing.assert_allclose(clone.weight.data, model.weight.data, atol=1e-6)
+
+
+class TestCorruptionDetection:
+    def test_missing_file_stays_file_not_found(self, rng, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_state(nn.Linear(2, 2, rng=rng), tmp_path / "absent.npz")
+
+    def test_truncated_file_raises_corrupt(self, rng, tmp_path):
+        model = nn.Linear(4, 4, rng=rng)
+        path = tmp_path / "w.npz"
+        save_state(model, path)
+        path.write_bytes(path.read_bytes()[:20])
+        with pytest.raises(CorruptStateError):
+            load_state(model, path)
+
+    def test_garbage_file_raises_corrupt(self, rng, tmp_path):
+        path = tmp_path / "w.npz"
+        path.write_bytes(b"not a zip archive at all")
+        with pytest.raises(CorruptStateError):
+            load_state(nn.Linear(2, 2, rng=rng), path)
+
+    def test_bitflip_fails_checksum(self, rng, tmp_path):
+        """A tampered weight array inside a structurally valid archive is
+        caught by the checksum, not by the zip layer."""
+        model = nn.Linear(4, 4, rng=rng)
+        path = tmp_path / "w.npz"
+        save_state(model, path)
+        with np.load(path) as archive:
+            arrays = {name: archive[name].copy() for name in archive.files}
+        weight_name = next(n for n in arrays if "weight" in n)
+        arrays[weight_name][0, 0] += 1.0
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(CorruptStateError, match="checksum"):
+            load_state(model, path)
+
+    def test_module_mismatch_raises_corrupt(self, rng, tmp_path):
+        path = tmp_path / "w.npz"
+        save_state(nn.Linear(4, 4, rng=rng), path)
+        with pytest.raises(CorruptStateError):
+            load_state(nn.Linear(5, 5, rng=rng), path)
+
+    def test_error_carries_path_and_reason(self, rng, tmp_path):
+        path = tmp_path / "w.npz"
+        path.write_bytes(b"junk")
+        try:
+            load_state(nn.Linear(2, 2, rng=rng), path)
+        except CorruptStateError as error:
+            assert error.path == path
+            assert error.reason
+        else:  # pragma: no cover
+            pytest.fail("expected CorruptStateError")
+
+    def test_legacy_archive_without_checksum_loads(self, rng, tmp_path):
+        """Pre-checksum archives (plain savez of the state dict) still load."""
+        model = nn.Linear(4, 4, rng=rng)
+        path = tmp_path / "w.npz"
+        np.savez_compressed(
+            path,
+            **{k: v.astype(np.float32) for k, v in model.state_dict().items()},
+        )
+        clone = nn.Linear(4, 4, rng=np.random.default_rng(2))
+        load_state(clone, path)
+        np.testing.assert_allclose(clone.weight.data, model.weight.data, atol=1e-6)
 
 
 class TestSizeAccounting:

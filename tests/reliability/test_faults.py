@@ -1,0 +1,70 @@
+"""FaultInjector mechanics: budgets, installation, and the serialize hook."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.serialize import CorruptStateError, load_state, save_state
+from repro.reliability import ALWAYS, FaultInjector, active_injector
+from repro.reliability import faults
+
+pytestmark = pytest.mark.faults
+
+
+class TestBudgets:
+    def test_prediction_budget_counts_down(self):
+        injector = FaultInjector(nan_predictions=2)
+        assert math.isnan(injector.prediction(1.0))
+        assert math.isnan(injector.prediction(2.0))
+        assert injector.prediction(3.0) == 3.0
+        assert injector.predictions_corrupted == 2
+
+    def test_always_budget_never_runs_out(self):
+        injector = FaultInjector(nan_predictions=ALWAYS)
+        for value in range(50):
+            assert math.isnan(injector.prediction(float(value)))
+        assert injector.nan_predictions == ALWAYS
+
+    def test_batched_predictions_respect_budget(self):
+        injector = FaultInjector(nan_predictions=2)
+        out = injector.predictions(np.asarray([1.0, 2.0, 3.0, 4.0]))
+        assert np.isnan(out[:2]).all()
+        np.testing.assert_allclose(out[2:], [3.0, 4.0])
+
+    def test_loss_budget(self):
+        injector = FaultInjector(nan_losses=1)
+        assert math.isnan(injector.loss(0.5))
+        assert injector.loss(0.5) == 0.5
+        assert injector.losses_corrupted == 1
+
+
+class TestInstallation:
+    def test_context_manager_installs_and_uninstalls(self):
+        assert active_injector() is None
+        with FaultInjector(nan_predictions=ALWAYS) as injector:
+            assert active_injector() is injector
+            assert math.isnan(faults.corrupt_prediction(1.0))
+        assert active_injector() is None
+
+    def test_hooks_are_identity_when_inactive(self):
+        assert faults.corrupt_prediction(2.5) == 2.5
+        assert faults.corrupt_loss(0.1) == 0.1
+        values = np.asarray([1.0, 2.0])
+        assert faults.corrupt_predictions(values) is values
+
+
+class TestSerializeFault:
+    def test_truncated_save_detected_on_load(self, rng, tmp_path):
+        model = nn.MLP(3, [4], 1, rng=rng)
+        path = tmp_path / "weights.npz"
+        with FaultInjector(truncate_saves=1, truncate_to_bytes=16) as injector:
+            save_state(model, path)
+        assert injector.saves_corrupted == 1
+        assert path.stat().st_size == 16
+        with pytest.raises(CorruptStateError) as excinfo:
+            load_state(model, path)
+        assert str(path) in str(excinfo.value)

@@ -1,0 +1,191 @@
+"""Guarded serving: defined edge semantics and exact fallback under faults."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.reliability import (
+    ALWAYS,
+    FaultInjector,
+    GuardedBloomFilter,
+    GuardedCardinalityEstimator,
+    GuardedSetIndex,
+    REASON_EMPTY,
+    REASON_INVALID_PREDICTION,
+    REASON_OOV,
+    REASON_OVERSIZED,
+)
+from repro.sets import sample_query_workload
+
+OOV_QUERY = (900, 901)
+
+
+@pytest.fixture
+def guarded_estimator(estimator, collection):
+    return GuardedCardinalityEstimator.for_collection(estimator, collection)
+
+
+@pytest.fixture
+def guarded_index(index):
+    return GuardedSetIndex(index)
+
+
+@pytest.fixture
+def guarded_bloom(bloom, collection):
+    return GuardedBloomFilter.for_collection(bloom, collection)
+
+
+class TestCardinalityEdgeSemantics:
+    def test_empty_query_counts_every_set(self, guarded_estimator, collection):
+        assert guarded_estimator.estimate([]) == float(len(collection))
+        assert guarded_estimator.health.short_circuits[REASON_EMPTY] == 1
+
+    def test_oversized_query_is_zero(self, guarded_estimator):
+        oversized = tuple(range(6))  # in-vocab but larger than any stored set
+        assert guarded_estimator.estimate(oversized) == 0.0
+        assert guarded_estimator.health.short_circuits[REASON_OVERSIZED] == 1
+
+    def test_all_oov_query_is_zero(self, guarded_estimator):
+        assert guarded_estimator.estimate(OOV_QUERY) == 0.0
+        assert guarded_estimator.health.short_circuits[REASON_OOV] == 1
+
+    def test_negative_ids_are_oov(self, guarded_estimator):
+        assert guarded_estimator.estimate([-3, 1]) == 0.0
+
+    def test_malformed_query_is_zero(self, guarded_estimator):
+        assert guarded_estimator.estimate(["#hashtag"]) == 0.0
+
+    def test_duplicates_collapse(self, guarded_estimator):
+        assert guarded_estimator.estimate([1, 1, 2, 2]) == guarded_estimator.estimate([1, 2])
+
+    def test_model_answers_recorded(self, guarded_estimator):
+        guarded_estimator.estimate([1, 2])
+        assert guarded_estimator.health.model_answers == 1
+        assert guarded_estimator.health.healthy()
+
+
+class TestIndexEdgeSemantics:
+    def test_empty_query_first_position(self, guarded_index):
+        assert guarded_index.lookup([]) == 0
+
+    def test_oversized_query_not_found(self, guarded_index):
+        assert guarded_index.lookup(tuple(range(10))) is None
+
+    def test_all_oov_query_not_found(self, guarded_index):
+        assert guarded_index.lookup(OOV_QUERY) is None
+
+    def test_duplicates_collapse(self, guarded_index):
+        assert guarded_index.lookup([2, 2, 1, 1]) == guarded_index.lookup([1, 2])
+
+    def test_trained_queries_exact(self, guarded_index, truth, collection):
+        queries = sample_query_workload(
+            collection, 30, rng=np.random.default_rng(5), max_subset_size=3
+        )
+        for query in queries:
+            assert guarded_index.lookup(query) == truth.first_position(query)
+
+
+class TestBloomEdgeSemantics:
+    def test_empty_query_is_member(self, guarded_bloom):
+        assert guarded_bloom.contains([]) is True
+
+    def test_oversized_query_absent(self, guarded_bloom):
+        assert guarded_bloom.contains(tuple(range(10))) is False
+
+    def test_all_oov_query_absent(self, guarded_bloom):
+        assert guarded_bloom.contains(OOV_QUERY) is False
+
+    def test_malformed_query_absent(self, guarded_bloom):
+        assert guarded_bloom.contains([object()]) is False
+
+    def test_oov_checks_backup_for_post_training_inserts(self, bloom, collection):
+        guarded = GuardedBloomFilter.for_collection(bloom, collection)
+        guarded.filter.insert(OOV_QUERY)
+        assert guarded.contains(OOV_QUERY) is True
+
+    def test_duplicates_collapse(self, guarded_bloom):
+        assert guarded_bloom.contains([1, 1, 2]) == guarded_bloom.contains([1, 2])
+
+
+@pytest.mark.faults
+class TestNanPredictionFallback:
+    """Forced NaN predictions: every answer must match the exact structure."""
+
+    def test_cardinality_falls_back_to_exact(self, guarded_estimator, truth, collection):
+        queries = sample_query_workload(
+            collection, 25, rng=np.random.default_rng(7), max_subset_size=3
+        )
+        with FaultInjector(nan_predictions=ALWAYS):
+            estimates = [guarded_estimator.estimate(q) for q in queries]
+        # Hybrid auxiliary hits stay exact without the model; everything else
+        # must have been answered by the inverted index.
+        for query, estimate in zip(queries, estimates):
+            assert estimate == float(truth.cardinality(query))
+        assert guarded_estimator.health.exact_fallbacks[REASON_INVALID_PREDICTION] > 0
+
+    def test_index_falls_back_to_exact(self, guarded_index, truth, collection):
+        queries = sample_query_workload(
+            collection, 25, rng=np.random.default_rng(8), max_subset_size=3
+        )
+        with FaultInjector(nan_predictions=ALWAYS):
+            positions = [guarded_index.lookup(q) for q in queries]
+        for query, position in zip(queries, positions):
+            assert position == truth.first_position(query)
+        assert guarded_index.health.total_fallbacks > 0
+
+    def test_bloom_has_zero_false_negatives(self, guarded_bloom, bloom):
+        with FaultInjector(nan_predictions=ALWAYS):
+            answers = [guarded_bloom.contains(p) for p in bloom.trained_positives]
+        assert all(answers), "guarded Bloom filter produced a false negative"
+
+    def test_unguarded_bloom_would_false_negative(self, bloom):
+        """The guard is load-bearing: raw NaN scores drop model-answered positives."""
+        baseline = [bloom.contains(p) for p in bloom.trained_positives]
+        assert all(baseline)
+        with FaultInjector(nan_predictions=ALWAYS):
+            nan_answers = [bloom.contains(p) for p in bloom.trained_positives]
+        if bloom.report.num_backup_entries < bloom.report.num_positives:
+            assert not all(nan_answers)
+
+
+@pytest.mark.faults
+class TestOovFlood:
+    """100%-OOV floods must degrade to defined misses, never exceptions."""
+
+    def test_cardinality_flood(self, guarded_estimator):
+        rng = np.random.default_rng(3)
+        for _ in range(200):
+            query = tuple(rng.integers(1000, 2000, size=3))
+            assert guarded_estimator.estimate(query) == 0.0
+        assert guarded_estimator.health.queries == 200
+
+    def test_index_flood(self, guarded_index):
+        rng = np.random.default_rng(4)
+        assert all(
+            guarded_index.lookup(tuple(rng.integers(1000, 2000, size=2))) is None
+            for _ in range(200)
+        )
+
+    def test_bloom_flood(self, guarded_bloom):
+        rng = np.random.default_rng(5)
+        assert not any(
+            guarded_bloom.contains(tuple(rng.integers(1000, 2000, size=2)))
+            for _ in range(200)
+        )
+
+
+class TestHealthReporting:
+    def test_report_line_mentions_reasons(self, guarded_estimator):
+        guarded_estimator.estimate([])
+        guarded_estimator.estimate(OOV_QUERY)
+        line = guarded_estimator.health.report_line()
+        assert "[health] cardinality" in line
+        assert REASON_EMPTY in line and REASON_OOV in line
+
+    def test_as_dict_and_reset(self, guarded_estimator):
+        guarded_estimator.estimate([1, 2])
+        snapshot = guarded_estimator.health.as_dict()
+        assert snapshot["queries"] == 1
+        guarded_estimator.health.reset()
+        assert guarded_estimator.health.queries == 0

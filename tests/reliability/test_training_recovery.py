@@ -1,0 +1,131 @@
+"""Divergence-safe training: rollback, LR backoff, and bounded retries."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DeepSetsModel,
+    LogMinMaxScaler,
+    OutlierRemovalConfig,
+    TrainConfig,
+    guided_fit,
+)
+from repro.core.training import Trainer, TrainingDivergedError
+from repro.datasets import digit_sum_training_data
+from repro.nn.data import RaggedArray, SetDataLoader
+from repro.reliability import ALWAYS, FaultInjector
+
+pytestmark = pytest.mark.faults
+
+
+def _digits_loader_and_model(num_samples: int = 160, seed: int = 0):
+    sets, sums = digit_sum_training_data(num_samples, max_set_size=5, max_digit=10, seed=seed)
+    scaler = LogMinMaxScaler().fit(sums)
+    model = DeepSetsModel(11, 4, (8,), (8,), rng=np.random.default_rng(seed))
+    loader = SetDataLoader(
+        RaggedArray(sets),
+        scaler.transform(sums),
+        batch_size=32,
+        rng=np.random.default_rng(seed),
+    )
+    return model, loader, scaler, sets, sums
+
+
+class TestRecovery:
+    def test_recovers_from_injected_nan_and_converges(self):
+        """An injected NaN loss triggers rollback + backoff, then training
+        still converges on the synthetic digits dataset."""
+        model, loader, _, _, _ = _digits_loader_and_model()
+        config = TrainConfig(
+            epochs=10, batch_size=32, lr=5e-3, loss="mse", seed=0,
+            max_divergence_retries=3, lr_backoff=0.5,
+        )
+        trainer = Trainer(model, config)
+        with FaultInjector(nan_losses=2) as injector:
+            history = trainer.fit(loader)
+        assert injector.losses_corrupted == 2
+        assert history.divergences >= 1
+        assert history.lr_backoffs, "rollback must shrink the learning rate"
+        assert history.lr_backoffs[0] == pytest.approx(5e-3 * 0.5)
+        assert all(math.isfinite(loss) for loss in history.losses)
+        assert len(history.losses) == config.epochs
+        assert history.final_loss < history.losses[0]
+
+    def test_weights_stay_finite_after_recovery(self):
+        model, loader, _, _, _ = _digits_loader_and_model()
+        config = TrainConfig(epochs=4, lr=5e-3, loss="mse", seed=0)
+        with FaultInjector(nan_losses=1):
+            Trainer(model, config).fit(loader)
+        for parameter in model.parameters():
+            assert np.isfinite(parameter.data).all()
+
+    def test_exhausted_retries_raise(self):
+        model, loader, _, _, _ = _digits_loader_and_model(num_samples=64)
+        config = TrainConfig(
+            epochs=3, lr=5e-3, loss="mse", seed=0, max_divergence_retries=1
+        )
+        with FaultInjector(nan_losses=ALWAYS):
+            with pytest.raises(TrainingDivergedError, match="non-finite loss"):
+                Trainer(model, config).fit(loader)
+
+    def test_zero_retries_surface_immediately(self):
+        model, loader, _, _, _ = _digits_loader_and_model(num_samples=64)
+        config = TrainConfig(epochs=3, lr=5e-3, loss="mse", seed=0,
+                             max_divergence_retries=0)
+        with FaultInjector(nan_losses=1):
+            with pytest.raises(TrainingDivergedError):
+                Trainer(model, config).fit(loader)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TrainConfig(max_divergence_retries=-1)
+        with pytest.raises(ValueError):
+            TrainConfig(lr_backoff=0.0)
+        with pytest.raises(ValueError):
+            TrainConfig(lr_backoff=1.5)
+
+
+class TestGuidedFitGuards:
+    def test_extreme_percentile_keeps_corpus_non_empty(self, rng):
+        """A near-zero percentile with a full removal budget must not evict
+        every sample."""
+        model = DeepSetsModel(6, 2, (4,), (4,), rng=rng)
+        scaler = LogMinMaxScaler.from_bounds(0, 10)
+        sets = [[i % 5] for i in range(20)]
+        targets = np.arange(20, dtype=np.float64) % 10
+        result = guided_fit(
+            model,
+            sets,
+            targets,
+            scaler,
+            TrainConfig(epochs=4, seed=0),
+            removal=OutlierRemovalConfig(
+                percentile=0.5, at_epochs=(1, 2, 3), max_fraction_removed=1.0
+            ),
+            rng=np.random.default_rng(0),
+        )
+        assert result.num_outliers < len(sets)
+        assert result.eviction_clamped or result.num_outliers < len(sets) - 1
+
+    def test_budget_hits_surfaced(self, rng):
+        model = DeepSetsModel(6, 2, (4,), (4,), rng=rng)
+        scaler = LogMinMaxScaler.from_bounds(0, 10)
+        sets = [[i % 5] for i in range(20)]
+        targets = np.arange(20, dtype=np.float64) % 10
+        result = guided_fit(
+            model,
+            sets,
+            targets,
+            scaler,
+            TrainConfig(epochs=5, seed=0),
+            removal=OutlierRemovalConfig(
+                percentile=1.0, at_epochs=(1, 2, 3, 4), max_fraction_removed=0.1
+            ),
+            rng=np.random.default_rng(0),
+        )
+        assert result.budget_hits >= 1
+        assert result.num_outliers <= 2  # 10% of 20

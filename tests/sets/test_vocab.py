@@ -53,6 +53,34 @@ class TestVocabulary:
         assert vocab.frequency(vocab.id_of("a")) == 2
         assert vocab.frequency(vocab.id_of("b")) == 1
 
+    def test_encode_lenient_splits_known_and_unknown(self):
+        vocab = Vocabulary()
+        vocab.add_set(["a", "b"])
+        ids, unknown = vocab.encode_lenient(["b", "zzz", "a", "yyy"])
+        assert ids == (vocab.id_of("a"), vocab.id_of("b"))
+        assert unknown == ("zzz", "yyy")  # first-seen order
+
+    def test_encode_lenient_all_unknown(self):
+        vocab = Vocabulary()
+        ids, unknown = vocab.encode_lenient(["x", "y"])
+        assert ids == ()
+        assert unknown == ("x", "y")
+
+    def test_encode_lenient_dedupes_both_sides(self):
+        vocab = Vocabulary()
+        vocab.add("a")
+        ids, unknown = vocab.encode_lenient(["a", "a", "nope", "nope"])
+        assert ids == (vocab.id_of("a"),)
+        assert unknown == ("nope",)
+
+    def test_encode_lenient_empty(self):
+        assert Vocabulary().encode_lenient([]) == ((), ())
+
+    def test_encode_lenient_does_not_intern(self):
+        vocab = Vocabulary()
+        vocab.encode_lenient(["ghost"])
+        assert "ghost" not in vocab
+
     def test_max_id(self):
         vocab = Vocabulary()
         assert vocab.max_id == -1

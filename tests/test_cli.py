@@ -99,6 +99,63 @@ class TestTrainAndQuery:
         assert main(["lookup", str(model_file), "1"]) == 2
         assert "not a set index" in capsys.readouterr().err
 
+    def test_guarded_roundtrip_with_health_report(
+        self, collection_file, tmp_path, capsys
+    ):
+        model_file = tmp_path / "guarded.pkl"
+        assert main(
+            [
+                "train", "cardinality", str(collection_file), str(model_file),
+                "--kind", "lsm", "--epochs", "3", "--no-hybrid", "--guarded",
+            ]
+        ) == 0
+        assert "guarded" in capsys.readouterr().out
+        assert main(["estimate", str(model_file), "2", "3"]) == 0
+        captured = capsys.readouterr()
+        assert float(captured.out.strip().splitlines()[-1]) >= 1.0
+        assert "[health] cardinality" in captured.err
+
+        with open(model_file, "rb") as handle:
+            guarded = pickle.load(handle)
+        assert guarded.estimate((900, 901)) == 0.0  # OOV: defined miss
+
+    def test_guarded_index_and_bloom(self, collection_file, tmp_path, capsys):
+        index_file = tmp_path / "idx.pkl"
+        assert main(
+            [
+                "train", "index", str(collection_file), str(index_file),
+                "--kind", "lsm", "--epochs", "3", "--no-hybrid", "--guarded",
+            ]
+        ) == 0
+        assert main(["lookup", str(index_file), "2", "3"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.strip().splitlines()[-1] == "0"
+        assert "[health] index" in captured.err
+
+        bloom_file = tmp_path / "bf.pkl"
+        assert main(
+            [
+                "train", "bloom", str(collection_file), str(bloom_file),
+                "--kind", "lsm", "--epochs", "10", "--guarded",
+            ]
+        ) == 0
+        assert main(["contains", str(bloom_file), "2", "3"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.strip().splitlines()[-1] == "present"
+        assert "[health] bloom" in captured.err
+
+    def test_unguarded_has_no_health_line(self, collection_file, tmp_path, capsys):
+        model_file = tmp_path / "est.pkl"
+        main(
+            [
+                "train", "cardinality", str(collection_file), str(model_file),
+                "--kind", "lsm", "--epochs", "2", "--no-hybrid",
+            ]
+        )
+        capsys.readouterr()
+        assert main(["estimate", str(model_file), "2", "3"]) == 0
+        assert "[health]" not in capsys.readouterr().err
+
     def test_pickled_structure_is_loadable(self, collection_file, tmp_path):
         model_file = tmp_path / "est.pkl"
         main(

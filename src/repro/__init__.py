@@ -15,6 +15,7 @@ Subpackages
 ``repro.datasets``  synthetic stand-ins for RW / Tweets / SD
 ``repro.engine``    mini relational engine (PostgreSQL stand-in)
 ``repro.reliability`` guarded serving, health counters, fault injection
+``repro.serve``     concurrent query serving: micro-batching, caching, swap
 ``repro.bench``     benchmark harness regenerating every table & figure
 
 Quickstart
@@ -47,6 +48,7 @@ from .reliability import (
     GuardedSetIndex,
     HealthCounters,
 )
+from .serve import BatchPolicy, ServerStats, SetServer
 from .sets import InvertedIndex, SetCollection, Vocabulary
 
 __version__ = "1.0.0"
@@ -72,5 +74,8 @@ __all__ = [
     "GuardedBloomFilter",
     "HealthCounters",
     "FaultInjector",
+    "SetServer",
+    "BatchPolicy",
+    "ServerStats",
     "__version__",
 ]

@@ -9,6 +9,7 @@ from .reporting import (
     report_table,
     results_dir,
 )
+from .serving import run_serving_benchmark, serving_workload, write_serving_report
 from .timing import Timer, mean_query_ms
 from .workbench import (
     MAX_SUBSET_SIZE,
@@ -37,6 +38,9 @@ __all__ = [
     "results_dir",
     "Timer",
     "mean_query_ms",
+    "run_serving_benchmark",
+    "serving_workload",
+    "write_serving_report",
     "MAX_SUBSET_SIZE",
     "MAX_TRAINING_SAMPLES",
     "get_collection",

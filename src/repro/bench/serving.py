@@ -1,0 +1,157 @@
+"""Serving benchmark: concurrent batched throughput vs the serial loop.
+
+The paper measures per-query latency by running queries one at a time
+(§8's methodology); this bench measures what the serving layer adds on top
+of that baseline: ``N`` client threads drive a :class:`SetServer` over the
+same workload, and the report compares queries-per-second, records the
+latency percentiles (p50/p95/p99), and captures the coalescing and cache
+counters.  Results are persisted as ``BENCH_serve.json`` so CI and
+EXPERIMENTS.md can track the speedup over time.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..serve import BatchPolicy, SetServer, detect_kind
+from ..sets import sample_query_workload
+from .reporting import results_dir
+
+__all__ = [
+    "run_serving_benchmark",
+    "serving_workload",
+    "write_serving_report",
+]
+
+
+def serving_workload(
+    collection,
+    num_queries: int,
+    max_subset_size: int = 4,
+    seed: int = 1234,
+    duplicate_fraction: float = 0.25,
+) -> list[tuple[int, ...]]:
+    """A serving-shaped workload: sampled queries plus a hot repeated tail.
+
+    Real query streams are skewed — a fraction of queries repeat hot
+    subsets — which is what both the result cache and the batch-level
+    dedupe exploit.  ``duplicate_fraction`` of the stream re-issues queries
+    drawn from the first tenth of the sample.
+    """
+    rng = np.random.default_rng(seed)
+    base = [
+        tuple(query)
+        for query in sample_query_workload(
+            collection, num_queries, rng=rng, max_subset_size=max_subset_size
+        )
+    ]
+    hot = base[: max(len(base) // 10, 1)]
+    for position in rng.choice(
+        len(base), size=int(len(base) * duplicate_fraction), replace=False
+    ):
+        base[position] = hot[int(rng.integers(len(hot)))]
+    return base
+
+
+def _single_query_fn(structure, kind: str):
+    if kind == "cardinality":
+        return structure.estimate
+    if kind == "index":
+        return structure.lookup
+    return structure.contains
+
+
+def run_serving_benchmark(
+    structure,
+    queries: Sequence[tuple[int, ...]],
+    threads: int = 8,
+    policy: BatchPolicy | None = None,
+    cache_size: int = 4096,
+) -> dict[str, Any]:
+    """Serial loop vs threaded server over the same workload.
+
+    Returns a flat dict (JSON-ready) with ``serial_qps``, ``served_qps``,
+    ``speedup``, latency percentiles, and the server's full stats.  Also
+    asserts elementwise agreement between both runs — a serving layer that
+    is fast but wrong is not a win.
+    """
+    kind = detect_kind(structure)
+    policy = policy or BatchPolicy()
+    single = _single_query_fn(structure, kind)
+
+    started = time.perf_counter()
+    serial_results = [single(query) for query in queries]
+    serial_seconds = time.perf_counter() - started
+    serial_qps = len(queries) / serial_seconds if serial_seconds else float("inf")
+
+    served_results: list[Any] = [None] * len(queries)
+    with SetServer(structure, policy=policy, cache_size=cache_size) as server:
+        slices = [range(tid, len(queries), threads) for tid in range(threads)]
+
+        def drive(rows) -> None:
+            # Open-loop submission: enqueue the whole slice, then gather,
+            # so the micro-batcher sees real concurrency rather than one
+            # in-flight request per thread.
+            futures = [(row, server.submit(queries[row])) for row in rows]
+            for row, future in futures:
+                served_results[row] = future.result(timeout=60.0)
+
+        workers = [
+            threading.Thread(target=drive, args=(rows,), name=f"loadgen-{i}")
+            for i, rows in enumerate(slices)
+        ]
+        started = time.perf_counter()
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        served_seconds = time.perf_counter() - started
+        stats = server.stats_dict()
+
+    served_qps = len(queries) / served_seconds if served_seconds else float("inf")
+    mismatches = sum(
+        1 for a, b in zip(serial_results, served_results) if not _agrees(a, b)
+    )
+    report = {
+        "kind": kind,
+        "num_queries": len(queries),
+        "threads": threads,
+        "max_batch_size": policy.max_batch_size,
+        "max_wait_ms": policy.max_wait_ms,
+        "cache_size": cache_size,
+        "serial_seconds": serial_seconds,
+        "served_seconds": served_seconds,
+        "serial_qps": serial_qps,
+        "served_qps": served_qps,
+        "speedup": served_qps / serial_qps if serial_qps else float("inf"),
+        "mismatches": mismatches,
+        "stats": stats,
+    }
+    report.update(
+        {k: stats[k] for k in ("p50_ms", "p95_ms", "p99_ms", "mean_batch_size")}
+    )
+    return report
+
+
+def _agrees(a: Any, b: Any) -> bool:
+    if isinstance(a, float) or isinstance(b, float):
+        return abs(float(a) - float(b)) <= 1e-9 * max(1.0, abs(float(a)))
+    return a == b
+
+
+def write_serving_report(
+    report: dict[str, Any], path: str | Path | None = None
+) -> Path:
+    """Persist the benchmark report (default: ``results/BENCH_serve.json``)."""
+    target = Path(path) if path is not None else results_dir() / "BENCH_serve.json"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with open(target, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return target

@@ -14,6 +14,8 @@ Usage (installed as the ``repro`` console script, or
     repro estimate est.pkl 3 17 42             # cardinality of {3, 17, 42}
     repro lookup idx.pkl 3 17                  # first position containing {3, 17}
     repro contains bf.pkl 3 17                 # membership answer
+    repro serve est.pkl --port 7007            # concurrent TCP query serving
+    repro bench-serve --dataset rw-small       # serving-vs-serial loadgen
 
 Trained structures are pickled whole (model + scaler + auxiliaries), which
 matches the paper's memory-measurement methodology.
@@ -93,7 +95,46 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("structure", type=Path)
         sub.add_argument("elements", type=int, nargs="+")
 
+    serve = commands.add_parser(
+        "serve",
+        help="serve a trained structure over TCP with micro-batching",
+    )
+    serve.add_argument("structure", type=Path)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7007)
+    _add_serving_knobs(serve)
+
+    bench = commands.add_parser(
+        "bench-serve",
+        help="load-generate against a SetServer and report QPS + latency",
+    )
+    bench.add_argument("--dataset", choices=sorted(DATASETS), default="rw-small")
+    bench.add_argument("--task", choices=("cardinality", "index", "bloom"),
+                       default="cardinality")
+    bench.add_argument("--num-queries", type=int, default=2000)
+    bench.add_argument("--threads", type=int, default=8)
+    bench.add_argument("--epochs", type=int, default=10)
+    bench.add_argument("--max-subset-size", type=int, default=4)
+    bench.add_argument("--max-training-samples", type=int, default=20_000)
+    bench.add_argument("--guarded", action="store_true",
+                       help="serve through the reliability facade")
+    bench.add_argument("--scale", type=float, default=None,
+                       help="dataset size multiplier (default: REPRO_SCALE)")
+    bench.add_argument("--out", type=Path, default=None,
+                       help="report path (default: results/BENCH_serve.json)")
+    bench.add_argument("--seed", type=int, default=0)
+    _add_serving_knobs(bench)
+
     return parser
+
+
+def _add_serving_knobs(sub) -> None:
+    sub.add_argument("--max-batch-size", type=int, default=64)
+    sub.add_argument("--max-wait-ms", type=float, default=2.0)
+    sub.add_argument("--max-queue", type=int, default=1024)
+    sub.add_argument("--overflow", choices=("block", "reject", "shed-to-exact"),
+                     default="block")
+    sub.add_argument("--cache-size", type=int, default=4096)
 
 
 def _cmd_datasets(_args) -> int:
@@ -117,12 +158,15 @@ def _cmd_stats(args) -> int:
     return 0
 
 
-def _cmd_train(args) -> int:
-    collection = SetCollection.load(args.collection)
+def _build_structure(args, collection: SetCollection):
+    """Train the structure described by ``args`` (shared by train/bench-serve)."""
+    kind = getattr(args, "kind", "clsm")
+    batch_size = getattr(args, "batch_size", 1024)
+    lr = getattr(args, "lr", 5e-3)
     model_config = ModelConfig(
-        kind=args.kind, embedding_dim=args.embedding_dim, seed=args.seed
+        kind=kind, embedding_dim=getattr(args, "embedding_dim", 8), seed=args.seed
     )
-    removal = None if args.no_hybrid else OutlierRemovalConfig(
+    removal = None if getattr(args, "no_hybrid", False) else OutlierRemovalConfig(
         percentile=90.0, at_epochs=(max(args.epochs * 2 // 3, 1),)
     )
     rng = np.random.default_rng(args.seed)
@@ -131,7 +175,7 @@ def _cmd_train(args) -> int:
             collection,
             model_config=model_config,
             train_config=TrainConfig(
-                epochs=args.epochs, batch_size=args.batch_size, lr=args.lr,
+                epochs=args.epochs, batch_size=batch_size, lr=lr,
                 loss="mse", seed=args.seed,
             ),
             removal=removal,
@@ -144,7 +188,7 @@ def _cmd_train(args) -> int:
             collection,
             model_config=model_config,
             train_config=TrainConfig(
-                epochs=args.epochs, batch_size=args.batch_size, lr=args.lr,
+                epochs=args.epochs, batch_size=batch_size, lr=lr,
                 loss="mse", seed=args.seed,
             ),
             removal=removal,
@@ -157,7 +201,7 @@ def _cmd_train(args) -> int:
             collection,
             model_config=model_config,
             train_config=TrainConfig(
-                epochs=args.epochs, batch_size=args.batch_size, lr=args.lr,
+                epochs=args.epochs, batch_size=batch_size, lr=lr,
                 loss="bce", seed=args.seed,
             ),
             max_subset_size=min(args.max_subset_size, 3),
@@ -174,6 +218,12 @@ def _cmd_train(args) -> int:
             structure = GuardedSetIndex(structure)
         else:
             structure = GuardedBloomFilter.for_collection(structure, collection)
+    return structure
+
+
+def _cmd_train(args) -> int:
+    collection = SetCollection.load(args.collection)
+    structure = _build_structure(args, collection)
     with open(args.out, "wb") as handle:
         pickle.dump(structure, handle, protocol=pickle.HIGHEST_PROTOCOL)
     size_kb = args.out.stat().st_size / 1e3
@@ -231,6 +281,80 @@ def _cmd_contains(args) -> int:
     return 0
 
 
+def _batch_policy(args):
+    from .serve import BatchPolicy
+
+    return BatchPolicy(
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        max_queue=args.max_queue,
+        overflow=args.overflow,
+    )
+
+
+def _cmd_serve(args) -> int:
+    from .serve import SetServer, TcpServeFrontend
+
+    structure = _load_structure(args.structure)
+    with SetServer(
+        structure, policy=_batch_policy(args), cache_size=args.cache_size
+    ) as server:
+        frontend = TcpServeFrontend(server, host=args.host, port=args.port)
+        host, port = frontend.address
+        print(
+            f"serving {server.kind} queries on {host}:{port} "
+            f"(one query per line; STATS for telemetry, QUIT to disconnect)"
+        )
+        try:
+            frontend.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            frontend.shutdown()
+        print(server.stats.report_line(), file=sys.stderr)
+    return 0
+
+
+def _cmd_bench_serve(args) -> int:
+    from .bench.serving import (
+        run_serving_benchmark,
+        serving_workload,
+        write_serving_report,
+    )
+
+    collection = load_dataset(args.dataset, scale=args.scale)
+    structure = _build_structure(args, collection)
+    queries = serving_workload(
+        collection,
+        args.num_queries,
+        max_subset_size=args.max_subset_size,
+        seed=args.seed + 1,
+    )
+    report = run_serving_benchmark(
+        structure,
+        queries,
+        threads=args.threads,
+        policy=_batch_policy(args),
+        cache_size=args.cache_size,
+    )
+    report["dataset"] = args.dataset
+    report["guarded"] = args.guarded
+    path = write_serving_report(report, args.out)
+    print(
+        f"{args.task} serving on {args.dataset}: "
+        f"serial {report['serial_qps']:,.0f} qps -> "
+        f"served {report['served_qps']:,.0f} qps "
+        f"({report['speedup']:.2f}x, {args.threads} threads)"
+    )
+    print(
+        f"latency p50={report['p50_ms']:.3f}ms p95={report['p95_ms']:.3f}ms "
+        f"p99={report['p99_ms']:.3f}ms  mean_batch={report['mean_batch_size']:.1f}  "
+        f"mismatches={report['mismatches']}"
+    )
+    print(f"wrote {path}")
+    return 0 if report["mismatches"] == 0 else 1
+
+
 _COMMANDS = {
     "datasets": _cmd_datasets,
     "generate": _cmd_generate,
@@ -239,6 +363,8 @@ _COMMANDS = {
     "estimate": _cmd_estimate,
     "lookup": _cmd_lookup,
     "contains": _cmd_contains,
+    "serve": _cmd_serve,
+    "bench-serve": _cmd_bench_serve,
 }
 
 

@@ -13,6 +13,7 @@ from .compression import (
 )
 from .config import ModelConfig
 from .deepsets import DeepSetsModel, SetModel
+from .hooks import UpdateNotifier
 from .hybrid import (
     GuidedFitResult,
     LocalErrorBounds,
@@ -43,6 +44,7 @@ __all__ = [
     "SandwichedLearnedBloomFilter",
     "PartitionedLearnedBloomFilter",
     "MultiSetMembership",
+    "UpdateNotifier",
     "LookupStats",
     "DeepSetsModel",
     "CompressedDeepSetsModel",

@@ -20,6 +20,7 @@ from ..sets.collection import SetCollection
 from ..sets.inverted import InvertedIndex
 from ..sets.subsets import cardinality_training_pairs
 from .config import ModelConfig
+from .hooks import UpdateNotifier
 from .hybrid import OutlierRemovalConfig, guided_fit
 from .scaling import LogMinMaxScaler
 from .training import TrainConfig
@@ -38,7 +39,7 @@ class _BuildReport:
     final_loss: float = field(default=float("nan"))
 
 
-class LearnedCardinalityEstimator:
+class LearnedCardinalityEstimator(UpdateNotifier):
     """DeepSets-backed cardinality estimator with optional hybrid auxiliary.
 
     Build with :meth:`build` (from a collection) or :meth:`from_training_data`
@@ -163,21 +164,34 @@ class LearnedCardinalityEstimator:
         return float(max(self.scaler.inverse(np.asarray([scaled]))[0], 1.0))
 
     def estimate_many(self, queries: Sequence[Iterable[int]]) -> np.ndarray:
-        """Vectorized estimates (auxiliary hits filled in exactly)."""
+        """Vectorized estimates (auxiliary hits filled in exactly).
+
+        Duplicate queries within one batch are collapsed to their unique
+        canonical forms before the model call and the shared prediction is
+        scattered back, so a batch of a thousand copies of one hot query
+        costs one forward row, not a thousand.
+        """
         canonicals = [tuple(sorted(set(q))) for q in queries]
         out = np.empty(len(canonicals), dtype=np.float64)
+        unique_sets: list[tuple[int, ...]] = []
+        unique_slot: dict[tuple[int, ...], int] = {}
         model_rows: list[int] = []
-        model_sets: list[tuple[int, ...]] = []
+        model_slots: list[int] = []
         for row, canonical in enumerate(canonicals):
             exact = self.auxiliary.get(canonical)
             if exact is not None:
                 out[row] = float(exact)
-            else:
-                model_rows.append(row)
-                model_sets.append(canonical)
-        if model_sets:
-            scaled = corrupt_predictions(self.model.predict(model_sets))
-            out[model_rows] = np.maximum(self.scaler.inverse(scaled), 1.0)
+                continue
+            slot = unique_slot.get(canonical)
+            if slot is None:
+                slot = unique_slot[canonical] = len(unique_sets)
+                unique_sets.append(canonical)
+            model_rows.append(row)
+            model_slots.append(slot)
+        if unique_sets:
+            scaled = corrupt_predictions(self.model.predict(unique_sets))
+            values = np.maximum(self.scaler.inverse(scaled), 1.0)
+            out[model_rows] = values[model_slots]
         return out
 
     # -- updates (paper §7.2) ----------------------------------------------------
@@ -193,7 +207,9 @@ class LearnedCardinalityEstimator:
         """
         if cardinality < 0:
             raise ValueError("cardinality cannot be negative")
-        self.auxiliary[tuple(sorted(set(subset)))] = int(cardinality)
+        canonical = tuple(sorted(set(subset)))
+        self.auxiliary[canonical] = int(cardinality)
+        self._notify_update(canonical)
 
     def should_retrain(
         self, queries, truths, max_mean_q_error: float = 4.0

@@ -1,0 +1,50 @@
+"""Update-notification hooks for the learned structures.
+
+The serving layer (:mod:`repro.serve`) caches query results keyed on the
+canonical subset, so every post-training mutation — a recorded cardinality
+change, an index position change, a Bloom insert — must invalidate the
+affected cache entries.  Rather than coupling :mod:`repro.core` to the
+server, each structure mixes in :class:`UpdateNotifier` and calls
+:meth:`_notify_update` from its mutation methods; interested parties
+(caches, replicas, metrics) register plain callables.
+
+Listeners are deliberately excluded from pickling: a serialized structure
+must not drag a live server (sockets, threads, locks) into the pickle.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["UpdateNotifier"]
+
+UpdateListener = Callable[[tuple[int, ...]], None]
+
+
+class UpdateNotifier:
+    """Mixin: register callables fired on every post-training mutation.
+
+    The listener receives the *canonical* (sorted, de-duplicated) subset
+    that changed.  Listener exceptions propagate to the mutator — a cache
+    that cannot invalidate must not be silently left stale.
+    """
+
+    def add_update_listener(self, listener: UpdateListener) -> None:
+        """Register ``listener(canonical)`` to fire on every mutation."""
+        if not callable(listener):
+            raise TypeError("update listener must be callable")
+        self.__dict__.setdefault("_update_listeners", []).append(listener)
+
+    def remove_update_listener(self, listener: UpdateListener) -> None:
+        """Detach a listener; raises ``ValueError`` if it is not attached."""
+        listeners = self.__dict__.get("_update_listeners", [])
+        listeners.remove(listener)
+
+    def _notify_update(self, canonical: tuple[int, ...]) -> None:
+        for listener in self.__dict__.get("_update_listeners", ()):
+            listener(canonical)
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("_update_listeners", None)
+        return state

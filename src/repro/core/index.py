@@ -24,10 +24,11 @@ import numpy as np
 
 from ..nn.data import RaggedArray
 from ..nn.serialize import pickled_size_bytes, state_dict_bytes
-from ..reliability.faults import corrupt_prediction
+from ..reliability.faults import corrupt_prediction, corrupt_predictions
 from ..sets.collection import SetCollection
 from ..sets.subsets import index_training_pairs
 from .config import ModelConfig
+from .hooks import UpdateNotifier
 from .hybrid import LocalErrorBounds, OutlierRemovalConfig, guided_fit
 from .scaling import LogMinMaxScaler
 from .training import TrainConfig
@@ -59,7 +60,7 @@ class _BuildReport:
     final_loss: float = field(default=float("nan"))
 
 
-class LearnedSetIndex:
+class LearnedSetIndex(UpdateNotifier):
     """Hybrid learned index over an unordered collection of sets."""
 
     def __init__(
@@ -160,6 +161,28 @@ class LearnedSetIndex:
         scaled = corrupt_prediction(self.model.predict_one(tuple(sorted(set(query)))))
         return float(self.scaler.inverse(np.asarray([scaled]))[0])
 
+    def predict_positions(self, queries: Sequence[Iterable[int]]) -> np.ndarray:
+        """Vectorized raw position estimates (no search).
+
+        Duplicate queries are collapsed to their unique canonical forms
+        before the forward pass and scattered back, mirroring
+        :meth:`LearnedCardinalityEstimator.estimate_many`.
+        """
+        canonicals = [tuple(sorted(set(q))) for q in queries]
+        unique_sets: list[tuple[int, ...]] = []
+        unique_slot: dict[tuple[int, ...], int] = {}
+        slots = np.empty(len(canonicals), dtype=np.int64)
+        for row, canonical in enumerate(canonicals):
+            slot = unique_slot.get(canonical)
+            if slot is None:
+                slot = unique_slot[canonical] = len(unique_sets)
+                unique_sets.append(canonical)
+            slots[row] = slot
+        if not unique_sets:
+            return np.empty(0, dtype=np.float64)
+        scaled = corrupt_predictions(self.model.predict(unique_sets))
+        return self.scaler.inverse(scaled)[slots]
+
     def lookup(self, query: Iterable[int], fallback_scan: bool = True) -> int | None:
         """First position ``i`` with ``query ⊆ S[i]`` (Algorithm 2).
 
@@ -174,16 +197,73 @@ class LearnedSetIndex:
             self.stats.auxiliary_hits += 1
             return exact
         estimate = self.predict_position(canonical)
-        radius = (
-            self.bounds.bound(estimate)
-            if self.use_local_errors
-            else self.bounds.global_error
-        )
-        low = max(int(np.floor(estimate - radius)), 0)
-        high = min(int(np.ceil(estimate + radius)), len(self.collection) - 1)
-        found = self._scan(canonical, low, high)
-        if found is not None:
-            return found
+        return self._search_from_estimate(canonical, estimate, fallback_scan)
+
+    def lookup_with_estimate(
+        self, query: Iterable[int], estimate: float, fallback_scan: bool = True
+    ) -> int | None:
+        """Bounded search around a pre-computed position ``estimate``.
+
+        The batched serving path predicts positions for a whole batch in
+        one forward pass (:meth:`predict_positions`) and then resolves each
+        query through this method, which performs exactly the search half
+        of :meth:`lookup` (auxiliary check included, telemetry counted).
+        """
+        canonical = tuple(sorted(set(query)))
+        self.stats.lookups += 1
+        exact = self.auxiliary.get(canonical)
+        if exact is not None:
+            self.stats.auxiliary_hits += 1
+            return exact
+        return self._search_from_estimate(canonical, estimate, fallback_scan)
+
+    def lookup_many(
+        self, queries: Sequence[Iterable[int]], fallback_scan: bool = True
+    ) -> list[int | None]:
+        """Vectorized :meth:`lookup`: one model call, per-query search.
+
+        Agrees elementwise with ``[self.lookup(q) for q in queries]`` and
+        maintains the same :class:`LookupStats` telemetry.
+        """
+        canonicals = [tuple(sorted(set(q))) for q in queries]
+        results: list[int | None] = [None] * len(canonicals)
+        model_rows: list[int] = []
+        for row, canonical in enumerate(canonicals):
+            self.stats.lookups += 1
+            exact = self.auxiliary.get(canonical)
+            if exact is not None:
+                self.stats.auxiliary_hits += 1
+                results[row] = exact
+            else:
+                model_rows.append(row)
+        if model_rows:
+            estimates = self.predict_positions([canonicals[r] for r in model_rows])
+            for row, estimate in zip(model_rows, estimates):
+                results[row] = self._search_from_estimate(
+                    canonicals[row], float(estimate), fallback_scan
+                )
+        return results
+
+    def _search_from_estimate(
+        self, canonical: tuple[int, ...], estimate: float, fallback_scan: bool
+    ) -> int | None:
+        """Window scan around ``estimate`` plus the optional full rescan.
+
+        A non-finite estimate (e.g. an injected NaN) has no meaningful
+        window; it degrades to the fallback scan (or a miss), never to an
+        ``IndexError``.
+        """
+        if np.isfinite(estimate):
+            radius = (
+                self.bounds.bound(estimate)
+                if self.use_local_errors
+                else self.bounds.global_error
+            )
+            low = max(int(np.floor(estimate - radius)), 0)
+            high = min(int(np.ceil(estimate + radius)), len(self.collection) - 1)
+            found = self._scan(canonical, low, high)
+            if found is not None:
+                return found
         if fallback_scan:
             found = self._scan(canonical, 0, len(self.collection) - 1)
             if found is not None:
@@ -245,6 +325,7 @@ class LearnedSetIndex:
         )
         if abs(estimate - new_position) > radius:
             self.auxiliary[canonical] = int(new_position)
+        self._notify_update(canonical)
 
     @property
     def auxiliary_fraction(self) -> float:

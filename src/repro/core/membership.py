@@ -22,6 +22,7 @@ from ..sets.collection import SetCollection
 from ..sets.inverted import InvertedIndex
 from ..sets.subsets import negative_membership_samples, positive_membership_samples
 from .config import ModelConfig
+from .hooks import UpdateNotifier
 from .qerror import binary_accuracy
 from .training import TrainConfig, Trainer
 
@@ -38,7 +39,7 @@ class _BuildReport:
     train_accuracy: float = field(default=float("nan"))
 
 
-class LearnedBloomFilter:
+class LearnedBloomFilter(UpdateNotifier):
     """Classifier + backup filter answering subset-membership queries."""
 
     def __init__(self, model, threshold: float = 0.5):
@@ -192,21 +193,39 @@ class LearnedBloomFilter:
     def __contains__(self, query: Iterable[int]) -> bool:
         return self.contains(query)
 
+    def score_many(self, queries: Sequence[Iterable[int]]) -> np.ndarray:
+        """Vectorized :meth:`score`: out-of-universe queries score 0.
+
+        Duplicate queries are collapsed to their unique canonical forms
+        before the forward pass and scattered back.
+        """
+        canonicals = [tuple(sorted(set(q))) for q in queries]
+        scores = np.zeros(len(canonicals), dtype=np.float64)
+        unique_sets: list[tuple[int, ...]] = []
+        unique_slot: dict[tuple[int, ...], int] = {}
+        model_rows: list[int] = []
+        model_slots: list[int] = []
+        for row, canonical in enumerate(canonicals):
+            if not self._in_universe(canonical):
+                continue
+            slot = unique_slot.get(canonical)
+            if slot is None:
+                slot = unique_slot[canonical] = len(unique_sets)
+                unique_sets.append(canonical)
+            model_rows.append(row)
+            model_slots.append(slot)
+        if unique_sets:
+            predicted = corrupt_predictions(self.model.predict(unique_sets))
+            scores[model_rows] = predicted[model_slots]
+        return scores
+
     def contains_many(self, queries: Sequence[Iterable[int]]) -> np.ndarray:
         """Vectorized membership answers."""
         canonicals = [tuple(sorted(set(q))) for q in queries]
-        answers = np.zeros(len(canonicals), dtype=bool)
-        known_rows = [
-            row for row, c in enumerate(canonicals) if self._in_universe(c)
-        ]
-        if known_rows:
-            scores = corrupt_predictions(
-                self.model.predict([canonicals[row] for row in known_rows])
-            )
-            answers[known_rows] = scores >= self.threshold
+        answers = self.score_many(canonicals) >= self.threshold
         if self.backup is not None:
             for row in np.flatnonzero(~answers):
-                answers[row] = self.backup.contains_set(canonicals[row])
+                answers[row] = self.backup.contains_set(set(canonicals[row]))
         return answers
 
     # -- updates (paper §7.2) ----------------------------------------------------
@@ -222,6 +241,7 @@ class LearnedBloomFilter:
         if self.backup is None:
             self.backup = BloomFilter(capacity=expected_inserts, fp_rate=0.01)
         self.backup.add_set(set(subset))
+        self._notify_update(tuple(sorted(set(subset))))
 
     # -- accounting ------------------------------------------------------------
 

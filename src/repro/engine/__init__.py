@@ -3,6 +3,13 @@
 from .gin import GinIndex
 from .query import QueryResult, SetQueryEngine
 from .table import SetTable
-from .udf import UdfRegistry
+from .udf import ServedUdf, UdfRegistry
 
-__all__ = ["SetTable", "GinIndex", "SetQueryEngine", "QueryResult", "UdfRegistry"]
+__all__ = [
+    "SetTable",
+    "GinIndex",
+    "SetQueryEngine",
+    "QueryResult",
+    "UdfRegistry",
+    "ServedUdf",
+]

@@ -23,7 +23,7 @@ from typing import Iterable
 from ..sets.vocab import Vocabulary
 from .gin import GinIndex
 from .table import SetTable
-from .udf import UdfRegistry
+from .udf import ServedUdf, UdfRegistry
 
 __all__ = ["QueryResult", "SetQueryEngine"]
 
@@ -62,6 +62,21 @@ class SetQueryEngine:
 
     def register_udf(self, name: str, function) -> None:
         self.udfs.register(name, function)
+
+    def register_server(self, name: str, server) -> None:
+        """Route ``udf:name`` COUNT plans through a serving ``SetServer``.
+
+        The server must serve the cardinality task (COUNT is what a UDF
+        plan estimates).  Single queries block on the server; batched
+        execution (:meth:`count_many`) submits everything up front so the
+        server's micro-batcher coalesces the whole workload.
+        """
+        kind = getattr(server, "kind", None)
+        if kind != "cardinality":
+            raise ValueError(
+                f"COUNT plans need a cardinality server, got kind={kind!r}"
+            )
+        self.udfs.register(name, ServedUdf(server))
 
     # -- planning ----------------------------------------------------------------
 
@@ -109,6 +124,41 @@ class SetQueryEngine:
             rows_examined=examined,
             seconds=time.perf_counter() - started,
         )
+
+    def count_many(
+        self, queries: Iterable[Iterable[int]], plan: str | None = None
+    ) -> list[QueryResult]:
+        """Run one COUNT per query under a single resolved plan.
+
+        For ``udf:`` plans whose UDF exposes a batch path (a registered
+        server), all queries are submitted together and answered by
+        coalesced vectorized model calls; other plans execute per query.
+        The per-result ``seconds`` is the mean over the batch for the
+        batched path, since batching makes individual timings meaningless.
+        """
+        canonicals = []
+        for query in queries:
+            canonical = tuple(sorted(set(int(e) for e in query)))
+            if not canonical:
+                raise ValueError("query must contain at least one element")
+            canonicals.append(canonical)
+        resolved = self.explain(plan)
+        if not resolved.startswith("udf:"):
+            return [self.count(canonical, plan=resolved) for canonical in canonicals]
+        started = time.perf_counter()
+        counts = self.udfs.call_many(resolved[4:], canonicals)
+        mean_seconds = (
+            (time.perf_counter() - started) / len(canonicals) if canonicals else 0.0
+        )
+        return [
+            QueryResult(
+                count=float(count),
+                plan=resolved,
+                rows_examined=0,
+                seconds=mean_seconds,
+            )
+            for count in counts
+        ]
 
     def count_tokens(
         self,

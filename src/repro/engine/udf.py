@@ -3,15 +3,41 @@
 The paper implements its cardinality estimator as a PostgreSQL UDF
 (§8.5.3); the mini engine mirrors that: a UDF is a named callable the query
 planner can route a COUNT query to instead of executing it exactly.
+
+A UDF may additionally expose a *batch* path: :class:`ServedUdf` wraps a
+:class:`repro.serve.SetServer` so a ``udf:`` plan executed over many
+queries at once rides the server's micro-batcher instead of looping
+single-query model calls.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable
+from typing import Callable, Iterable, Sequence
 
-__all__ = ["UdfRegistry"]
+__all__ = ["ServedUdf", "UdfRegistry"]
 
 Udf = Callable[[tuple[int, ...]], float]
+
+
+class ServedUdf:
+    """A UDF backed by a serving :class:`~repro.serve.SetServer`.
+
+    Scalar calls delegate to the server's blocking :meth:`query`; the
+    engine's batched execution path uses :meth:`many`, which submits every
+    query before waiting so the micro-batcher can coalesce them into
+    vectorized model calls.
+    """
+
+    def __init__(self, server):
+        if not hasattr(server, "query") or not hasattr(server, "query_many"):
+            raise TypeError("ServedUdf needs a SetServer-like object")
+        self.server = server
+
+    def __call__(self, query: tuple[int, ...]) -> float:
+        return float(self.server.query(query))
+
+    def many(self, queries: Sequence[tuple[int, ...]]) -> list[float]:
+        return [float(value) for value in self.server.query_many(queries)]
 
 
 class UdfRegistry:
@@ -37,6 +63,17 @@ class UdfRegistry:
 
     def call(self, name: str, query: Iterable[int]) -> float:
         return float(self.get(name)(tuple(sorted(set(query)))))
+
+    def call_many(
+        self, name: str, queries: Sequence[Iterable[int]]
+    ) -> list[float]:
+        """Batched invocation; uses the UDF's ``many`` path when it has one."""
+        function = self.get(name)
+        canonicals = [tuple(sorted(set(q))) for q in queries]
+        many = getattr(function, "many", None)
+        if callable(many):
+            return [float(value) for value in many(canonicals)]
+        return [float(function(canonical)) for canonical in canonicals]
 
     def __contains__(self, name: str) -> bool:
         return name in self._functions

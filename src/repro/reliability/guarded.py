@@ -173,7 +173,50 @@ class GuardedCardinalityEstimator(GuardedEstimator):
         return float(value)
 
     def estimate_many(self, queries: Sequence[Iterable[int]]) -> np.ndarray:
-        return np.asarray([self.estimate(q) for q in queries], dtype=np.float64)
+        """Vectorized :meth:`estimate`: one model call, per-query fallback.
+
+        Valid queries share a single :meth:`estimate_many` forward pass on
+        the wrapped estimator; each returned prediction is then validated
+        individually, so one NaN row falls back to the exact structure
+        without dragging its batchmates with it.  If the batched model call
+        itself raises, every query in the batch is answered exactly (and
+        each is counted as a ``model_error`` fallback).
+        """
+        out = np.empty(len(queries), dtype=np.float64)
+        model_rows: list[int] = []
+        model_sets: list[tuple[int, ...]] = []
+        for row, query in enumerate(queries):
+            self.health.record_query()
+            canonical = self._canonicalize(query)
+            reason = self._validate(canonical)
+            if reason == REASON_EMPTY:
+                self.health.record_short_circuit(reason)
+                out[row] = float(self.exact.num_sets)
+            elif reason is not None:
+                self.health.record_short_circuit(reason)
+                out[row] = 0.0
+            else:
+                model_rows.append(row)
+                model_sets.append(canonical)
+        if not model_rows:
+            return out
+        try:
+            values = np.asarray(
+                self.estimator.estimate_many(model_sets), dtype=np.float64
+            )
+            if len(values) != len(model_sets):
+                raise ValueError("batched estimate returned a short result")
+        except Exception:
+            for row, canonical in zip(model_rows, model_sets):
+                out[row] = self._exact(canonical, REASON_MODEL_ERROR)
+            return out
+        for row, canonical, value in zip(model_rows, model_sets, values):
+            if not math.isfinite(value) or value < 0.0 or value > self.exact.num_sets:
+                out[row] = self._exact(canonical, REASON_INVALID_PREDICTION)
+            else:
+                self.health.record_model_answer()
+                out[row] = float(value)
+        return out
 
     def _exact(self, canonical: tuple[int, ...], reason: str) -> float:
         self.health.record_fallback(reason)
@@ -218,13 +261,67 @@ class GuardedSetIndex(GuardedEstimator):
         if not math.isfinite(estimate):
             return self._exact(canonical, REASON_INVALID_PREDICTION)
         try:
-            found = self.index.lookup(canonical, fallback_scan=False)
+            found = self.index.lookup_with_estimate(
+                canonical, estimate, fallback_scan=False
+            )
         except Exception:
             return self._exact(canonical, REASON_MODEL_ERROR)
         if found is None:
             return self._exact(canonical, REASON_WINDOW_MISS)
         self.health.record_model_answer()
         return found
+
+    def lookup_many(self, queries: Sequence[Iterable[int]]) -> list[int | None]:
+        """Vectorized :meth:`lookup`: one prediction pass, per-query search.
+
+        Position estimates for all valid queries come from one
+        :meth:`predict_positions` call; each query is then resolved through
+        the index's bounded search individually, preserving the single-query
+        fallback reasons (non-finite prediction, window miss, model error).
+        """
+        results: list[int | None] = [None] * len(queries)
+        model_rows: list[int] = []
+        model_sets: list[tuple[int, ...]] = []
+        for row, query in enumerate(queries):
+            self.health.record_query()
+            canonical = self._canonicalize(query)
+            reason = self._validate(canonical)
+            if reason == REASON_EMPTY:
+                self.health.record_short_circuit(reason)
+                results[row] = 0 if self.exact.num_sets else None
+            elif reason is not None:
+                self.health.record_short_circuit(reason)
+                results[row] = None
+            else:
+                model_rows.append(row)
+                model_sets.append(canonical)
+        if not model_rows:
+            return results
+        try:
+            estimates = self.index.predict_positions(model_sets)
+            if len(estimates) != len(model_sets):
+                raise ValueError("batched prediction returned a short result")
+        except Exception:
+            for row, canonical in zip(model_rows, model_sets):
+                results[row] = self._exact(canonical, REASON_MODEL_ERROR)
+            return results
+        for row, canonical, estimate in zip(model_rows, model_sets, estimates):
+            if not math.isfinite(estimate):
+                results[row] = self._exact(canonical, REASON_INVALID_PREDICTION)
+                continue
+            try:
+                found = self.index.lookup_with_estimate(
+                    canonical, float(estimate), fallback_scan=False
+                )
+            except Exception:
+                results[row] = self._exact(canonical, REASON_MODEL_ERROR)
+                continue
+            if found is None:
+                results[row] = self._exact(canonical, REASON_WINDOW_MISS)
+            else:
+                self.health.record_model_answer()
+                results[row] = found
+        return results
 
     def _exact(self, canonical: tuple[int, ...], reason: str) -> int | None:
         self.health.record_fallback(reason)
@@ -285,7 +382,52 @@ class GuardedBloomFilter(GuardedEstimator):
         return self.contains(query)
 
     def contains_many(self, queries: Sequence[Iterable[int]]) -> np.ndarray:
-        return np.asarray([self.contains(q) for q in queries], dtype=bool)
+        """Vectorized :meth:`contains`: one scoring pass, per-query fallback.
+
+        Valid queries share one :meth:`score_many` forward pass; each score
+        is validated individually (a NaN row falls back to the exact index
+        alone) and sub-threshold rows consult the backup filter, exactly as
+        the single-query path does.
+        """
+        answers = np.zeros(len(queries), dtype=bool)
+        model_rows: list[int] = []
+        model_sets: list[tuple[int, ...]] = []
+        for row, query in enumerate(queries):
+            self.health.record_query()
+            canonical = self._canonicalize(query)
+            reason = self._validate(canonical)
+            if reason == REASON_MALFORMED:
+                self.health.record_short_circuit(reason)
+                answers[row] = False
+            elif reason == REASON_EMPTY:
+                self.health.record_short_circuit(reason)
+                answers[row] = self.exact.num_sets > 0
+            elif reason is not None:
+                self.health.record_short_circuit(reason)
+                answers[row] = self._backup_contains(canonical)
+            else:
+                model_rows.append(row)
+                model_sets.append(canonical)
+        if not model_rows:
+            return answers
+        try:
+            scores = np.asarray(self.filter.score_many(model_sets), dtype=np.float64)
+            if len(scores) != len(model_sets):
+                raise ValueError("batched scoring returned a short result")
+        except Exception:
+            for row, canonical in zip(model_rows, model_sets):
+                answers[row] = self._exact(canonical, REASON_MODEL_ERROR)
+            return answers
+        for row, canonical, score in zip(model_rows, model_sets, scores):
+            if not math.isfinite(score):
+                answers[row] = self._exact(canonical, REASON_INVALID_PREDICTION)
+                continue
+            self.health.record_model_answer()
+            if score >= self.filter.threshold:
+                answers[row] = True
+            else:
+                answers[row] = self._backup_contains(canonical)
+        return answers
 
     def _backup_contains(self, canonical: tuple[int, ...]) -> bool:
         backup = self.filter.backup

@@ -1,0 +1,44 @@
+"""Serving subsystem: concurrent query serving for learned set structures.
+
+The learned structures answer batches far faster than loops of single
+queries (one vectorized forward pass), but real traffic arrives one query
+per client.  This package turns the batch kernels into concurrent
+throughput:
+
+* :mod:`repro.serve.batcher` — dynamic micro-batching with bounded
+  admission and explicit overflow policies (``block`` / ``reject`` /
+  ``shed-to-exact``);
+* :mod:`repro.serve.cache` — thread-safe LRU result cache with explicit
+  invalidation on structure updates;
+* :mod:`repro.serve.snapshot` — atomic snapshot swap so retrained
+  structures go live without pausing traffic (§7.2's retrain strategy,
+  made hot);
+* :mod:`repro.serve.server` — :class:`SetServer`, the facade tying the
+  pieces together, plus :class:`ServerStats` telemetry;
+* :mod:`repro.serve.net` — a line-protocol TCP frontend
+  (``repro serve --port``).
+"""
+
+from .batcher import OVERFLOW_POLICIES, BatchPolicy, MicroBatcher
+from .cache import QueryCache
+from .errors import ServeError, ServerClosedError, ServerOverloadedError
+from .net import TcpServeFrontend
+from .server import SetServer, detect_kind
+from .snapshot import Snapshot, SnapshotHolder
+from .stats import ServerStats
+
+__all__ = [
+    "BatchPolicy",
+    "MicroBatcher",
+    "OVERFLOW_POLICIES",
+    "QueryCache",
+    "ServeError",
+    "ServerClosedError",
+    "ServerOverloadedError",
+    "ServerStats",
+    "SetServer",
+    "Snapshot",
+    "SnapshotHolder",
+    "TcpServeFrontend",
+    "detect_kind",
+]

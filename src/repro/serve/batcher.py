@@ -1,0 +1,259 @@
+"""Dynamic micro-batching: coalesce concurrent requests into one model call.
+
+Learned set structures answer a batch of ``n`` queries in far less than
+``n`` single-query calls (one vectorized forward pass instead of ``n``
+tiny ones), but clients arrive one query at a time.  The
+:class:`MicroBatcher` bridges the two: client threads enqueue requests into
+a bounded admission queue and block on per-request futures; a single
+dispatcher thread drains the queue into batches — flushing when either
+``max_batch_size`` requests have accumulated or the oldest request has
+waited ``max_wait_ms`` — and resolves every future from one batched call.
+
+Overload handling is explicit.  When the admission queue is full the
+configured :class:`OverflowPolicy` decides between blocking the producer
+(``block``), failing fast (``reject`` → :class:`ServerOverloadedError` on
+the future), and degrading gracefully (``shed-to-exact`` → the request is
+answered on the *caller's* thread by the exact fallback structure, trading
+latency for guaranteed service).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from .errors import ServerClosedError, ServerOverloadedError
+
+__all__ = ["BatchPolicy", "MicroBatcher", "OVERFLOW_POLICIES"]
+
+OVERFLOW_POLICIES = ("block", "reject", "shed-to-exact")
+
+# Dispatcher wake-up sentinel: close() enqueues it so a dispatcher blocked
+# on an empty queue notices the shutdown immediately.
+_SENTINEL = object()
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Knobs governing coalescing and admission control."""
+
+    max_batch_size: int = 64
+    max_wait_ms: float = 2.0
+    max_queue: int = 1024
+    overflow: str = "block"
+
+    def __post_init__(self):
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.max_wait_ms < 0:
+            raise ValueError("max_wait_ms cannot be negative")
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if self.overflow not in OVERFLOW_POLICIES:
+            raise ValueError(
+                f"unknown overflow policy {self.overflow!r}; "
+                f"choose from {OVERFLOW_POLICIES}"
+            )
+
+
+@dataclass
+class _Request:
+    query: Any
+    future: Future
+
+
+class MicroBatcher:
+    """Bounded queue + dispatcher thread resolving futures batch-wise.
+
+    Parameters
+    ----------
+    batch_fn:
+        ``batch_fn(queries) -> results`` — called on the dispatcher thread
+        with the coalesced queries; must return one result per query, in
+        order.
+    policy:
+        Coalescing and admission-control configuration.
+    shed_fn:
+        ``shed_fn(query) -> result`` for the ``shed-to-exact`` overflow
+        policy, executed on the submitting thread.  Required iff that
+        policy is selected.
+    on_batch:
+        Optional ``on_batch(batch_size)`` telemetry callback, called after
+        every dispatched batch.
+    on_shed / on_reject:
+        Optional zero-argument telemetry callbacks for overflow outcomes.
+    """
+
+    def __init__(
+        self,
+        batch_fn: Callable[[Sequence[Any]], Sequence[Any]],
+        policy: BatchPolicy | None = None,
+        shed_fn: Callable[[Any], Any] | None = None,
+        on_batch: Callable[[int], None] | None = None,
+        on_shed: Callable[[], None] | None = None,
+        on_reject: Callable[[], None] | None = None,
+    ):
+        self.policy = policy or BatchPolicy()
+        if self.policy.overflow == "shed-to-exact" and shed_fn is None:
+            raise ValueError("overflow='shed-to-exact' requires a shed_fn")
+        self._batch_fn = batch_fn
+        self._shed_fn = shed_fn
+        self._on_batch = on_batch
+        self._on_shed = on_shed
+        self._on_reject = on_reject
+        self._queue: queue.Queue = queue.Queue(maxsize=self.policy.max_queue)
+        self._closed = False
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> "MicroBatcher":
+        if self._thread is not None:
+            raise RuntimeError("batcher already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-dispatcher", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def close(self, timeout: float | None = 10.0) -> None:
+        """Stop accepting requests, drain the queue, join the dispatcher.
+
+        Every request admitted before ``close`` is still served — shutdown
+        is graceful, not abortive.  Idempotent.
+        """
+        if self._closed:
+            if self._thread is not None:
+                self._thread.join(timeout)
+            return
+        self._closed = True
+        if self._thread is None:
+            self._fail_pending(ServerClosedError("batcher never started"))
+            return
+        self._queue.put(_SENTINEL)
+        self._thread.join(timeout)
+        # A submit racing with close can slip a request in after the
+        # dispatcher drained; resolve any such straggler instead of leaving
+        # its future pending forever.
+        self._fail_pending(ServerClosedError("server closed"))
+
+    # -- submission (any thread) ----------------------------------------------
+
+    def submit(self, query: Any) -> Future:
+        """Enqueue ``query``; returns a future resolving to its result.
+
+        Never raises for overload — overflow outcomes are delivered through
+        the future so callers handle one error surface.  Submitting to a
+        closed batcher raises :class:`ServerClosedError` (a programming
+        error, not a load condition).
+        """
+        if self._closed:
+            raise ServerClosedError("cannot submit to a closed server")
+        future: Future = Future()
+        request = _Request(query, future)
+        policy = self.policy.overflow
+        if policy == "block":
+            self._queue.put(request)
+            return future
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            if policy == "reject":
+                if self._on_reject is not None:
+                    self._on_reject()
+                future.set_exception(
+                    ServerOverloadedError(
+                        f"admission queue full ({self.policy.max_queue})"
+                    )
+                )
+            else:  # shed-to-exact: serve on the caller's thread
+                if self._on_shed is not None:
+                    self._on_shed()
+                try:
+                    future.set_result(self._shed_fn(query))
+                except Exception as exc:
+                    future.set_exception(exc)
+        return future
+
+    # -- dispatcher (one thread) ----------------------------------------------
+
+    def _run(self) -> None:
+        draining = False
+        while True:
+            if draining:
+                try:
+                    first = self._queue.get_nowait()
+                except queue.Empty:
+                    return
+            else:
+                first = self._queue.get()
+            if first is _SENTINEL:
+                # No new submissions can arrive (closed flag is already
+                # set), so whatever remains queued is a finite backlog.
+                draining = True
+                continue
+            batch = [first]
+            deadline = time.monotonic() + self.policy.max_wait_ms / 1000.0
+            while len(batch) < self.policy.max_batch_size:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    item = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if item is _SENTINEL:
+                    draining = True
+                    break
+                batch.append(item)
+            self._dispatch(batch)
+
+    def _dispatch(self, batch: list[_Request]) -> None:
+        try:
+            results = self._batch_fn([request.query for request in batch])
+            if len(results) != len(batch):
+                raise RuntimeError(
+                    f"batch_fn returned {len(results)} results "
+                    f"for {len(batch)} queries"
+                )
+        except Exception:
+            self._dispatch_singly(batch)
+        else:
+            for request, result in zip(batch, results):
+                request.future.set_result(result)
+        if self._on_batch is not None:
+            self._on_batch(len(batch))
+
+    def _dispatch_singly(self, batch: list[_Request]) -> None:
+        """Fallback after a failed batch call: isolate the poison request.
+
+        One malformed query must not fail its co-batched neighbours, so the
+        batch is retried one request at a time and only the requests that
+        fail individually carry the exception.
+        """
+        for request in batch:
+            try:
+                results = self._batch_fn([request.query])
+                if len(results) != 1:
+                    raise RuntimeError("batch_fn returned a short result")
+            except Exception as exc:
+                request.future.set_exception(exc)
+            else:
+                request.future.set_result(results[0])
+
+    def _fail_pending(self, error: Exception) -> None:
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if item is not _SENTINEL:
+                item.future.set_exception(error)

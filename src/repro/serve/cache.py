@@ -1,0 +1,93 @@
+"""Thread-safe LRU result cache keyed on canonical query tuples.
+
+Learned-structure inference is pure between updates, so identical queries
+can be answered from memory: the server consults this cache before
+enqueueing a request and fills it after every resolved batch.  The cache is
+invalidated per key on structure mutations (``record_update`` /
+``insert_update`` / ``insert``, wired through
+:class:`repro.core.UpdateNotifier`) and cleared wholesale on snapshot swap,
+because a retrained model answers *every* query differently.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable
+
+__all__ = ["QueryCache"]
+
+_MISSING = object()
+
+
+class QueryCache:
+    """Bounded LRU map with hit/miss/eviction/invalidation counters.
+
+    ``capacity=0`` disables caching entirely (every ``get`` misses, ``put``
+    is a no-op), which keeps the server's code path uniform.  Cached values
+    may legitimately be ``None`` (an index lookup miss), so :meth:`get`
+    returns a ``(found, value)`` pair rather than a sentinel value.
+    """
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 0:
+            raise ValueError("capacity cannot be negative")
+        self.capacity = capacity
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def get(self, key: Hashable) -> tuple[bool, Any]:
+        """``(True, value)`` on a hit (refreshing recency), else ``(False, None)``."""
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                self.misses += 1
+                return False, None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return True, value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop one entry; counted even when the key was not cached."""
+        with self._lock:
+            self.invalidations += 1
+            return self._data.pop(key, _MISSING) is not _MISSING
+
+    def clear(self) -> None:
+        """Drop every entry (snapshot swap); counters are preserved."""
+        with self._lock:
+            self._data.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "entries": len(self._data),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+            }

@@ -1,0 +1,17 @@
+"""Exception types of the serving subsystem."""
+
+from __future__ import annotations
+
+__all__ = ["ServeError", "ServerClosedError", "ServerOverloadedError"]
+
+
+class ServeError(RuntimeError):
+    """Base class for serving-layer failures."""
+
+
+class ServerClosedError(ServeError):
+    """A request was submitted to a server that has been shut down."""
+
+
+class ServerOverloadedError(ServeError):
+    """The admission queue is full and the overflow policy is ``reject``."""

@@ -1,0 +1,101 @@
+"""Line-protocol TCP frontend over a :class:`SetServer`.
+
+``repro serve --port`` exposes a trained structure to remote clients with a
+protocol deliberately simple enough for ``nc``:
+
+* request: one query per line, element ids separated by spaces
+  (``3 17 42\\n``);
+* response: one line per query — cardinality as a float, index position as
+  an integer (``none`` for a miss), membership as ``true``/``false``;
+* ``STATS`` returns the full server-stats JSON on one line;
+* ``QUIT`` ends the connection (as does EOF);
+* a line that does not parse as integers is answered with
+  ``error malformed query`` — the connection stays up.
+
+Each client connection runs on its own thread (``ThreadingTCPServer``), so
+concurrent connections exercise the micro-batcher exactly like in-process
+client threads do.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import threading
+from typing import Any
+
+from .server import SetServer
+
+__all__ = ["TcpServeFrontend"]
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        server: SetServer = self.server.set_server  # type: ignore[attr-defined]
+        for raw in self.rfile:
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line:
+                continue
+            command = line.upper()
+            if command == "QUIT":
+                return
+            if command == "STATS":
+                self._reply(json.dumps(server.stats_dict(), sort_keys=True))
+                continue
+            try:
+                query = tuple(int(token) for token in line.split())
+            except ValueError:
+                self._reply("error malformed query")
+                continue
+            try:
+                self._reply(_format_answer(server.kind, server.query(query)))
+            except Exception as exc:
+                self._reply(f"error {type(exc).__name__}")
+
+    def _reply(self, text: str) -> None:
+        self.wfile.write((text + "\n").encode("utf-8"))
+        self.wfile.flush()
+
+
+def _format_answer(kind: str, answer: Any) -> str:
+    if kind == "cardinality":
+        return f"{float(answer):.2f}"
+    if kind == "index":
+        return "none" if answer is None else str(int(answer))
+    return "true" if answer else "false"
+
+
+class _TcpServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class TcpServeFrontend:
+    """Owns the listening socket; start with :meth:`serve_forever` (blocking)
+    or :meth:`start_background` (tests), stop with :meth:`shutdown`."""
+
+    def __init__(self, set_server: SetServer, host: str = "127.0.0.1", port: int = 0):
+        self._tcp = _TcpServer((host, port), _Handler)
+        self._tcp.set_server = set_server  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """Bound (host, port) — resolves ephemeral port 0 requests."""
+        return self._tcp.server_address[:2]
+
+    def serve_forever(self) -> None:
+        self._tcp.serve_forever()
+
+    def start_background(self) -> "TcpServeFrontend":
+        self._thread = threading.Thread(
+            target=self._tcp.serve_forever, name="repro-serve-tcp", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        self._tcp.shutdown()
+        self._tcp.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)

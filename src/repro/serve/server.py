@@ -1,0 +1,292 @@
+"""`SetServer`: concurrent query serving for the learned set structures.
+
+Ties the serving pieces together around one structure (learned or guarded):
+
+* requests from any number of client threads enter through
+  :meth:`SetServer.submit` (future-based) or :meth:`SetServer.query`
+  (blocking) and are coalesced by a :class:`MicroBatcher` into vectorized
+  ``estimate_many`` / ``lookup_many`` / ``contains_many`` calls;
+* a :class:`QueryCache` answers repeated queries without touching the
+  model, and is invalidated per key on structure updates (via
+  :class:`repro.core.UpdateNotifier`) and wholesale on snapshot swap;
+* a :class:`SnapshotHolder` lets a retrained structure replace the serving
+  structure atomically — in-flight batches finish on the generation they
+  started with, so a swap mid-traffic loses no requests;
+* a :class:`ServerStats` surface aggregates throughput, latency
+  percentiles, overflow outcomes, cache counters, and (for guarded
+  structures) the reliability health counters.
+
+The server itself never inspects query contents beyond canonicalization —
+validation semantics belong to the structure (use the guarded facades for
+untrusted input; a malformed query against a raw structure fails only its
+own future, never its batchmates).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future
+from typing import Any, Iterable, Sequence
+
+from ..core import (
+    LearnedBloomFilter,
+    LearnedCardinalityEstimator,
+    LearnedSetIndex,
+)
+from ..reliability import (
+    GuardedBloomFilter,
+    GuardedCardinalityEstimator,
+    GuardedSetIndex,
+)
+from ..sets.inverted import InvertedIndex
+from .batcher import BatchPolicy, MicroBatcher
+from .cache import QueryCache
+from .snapshot import Snapshot, SnapshotHolder
+from .stats import ServerStats
+
+__all__ = ["SetServer", "detect_kind"]
+
+_KIND_TYPES = {
+    "cardinality": (LearnedCardinalityEstimator, GuardedCardinalityEstimator),
+    "index": (LearnedSetIndex, GuardedSetIndex),
+    "bloom": (LearnedBloomFilter, GuardedBloomFilter),
+}
+
+
+def detect_kind(structure: Any) -> str:
+    """Task kind (``cardinality`` / ``index`` / ``bloom``) of a structure."""
+    for kind, types in _KIND_TYPES.items():
+        if isinstance(structure, types):
+            return kind
+    raise TypeError(
+        f"cannot serve {type(structure).__name__}; expected one of the "
+        "learned structures or their guarded facades"
+    )
+
+
+def _inner_structure(structure: Any) -> Any:
+    """The raw learned structure behind a guarded facade (or itself)."""
+    if isinstance(structure, GuardedCardinalityEstimator):
+        return structure.estimator
+    if isinstance(structure, GuardedSetIndex):
+        return structure.index
+    if isinstance(structure, GuardedBloomFilter):
+        return structure.filter
+    return structure
+
+
+def _backup_filter(structure: Any):
+    """The Bloom backup filter of a (possibly guarded) membership structure."""
+    return getattr(_inner_structure(structure), "backup", None)
+
+
+class SetServer:
+    """Concurrent, batching, caching server over one learned structure.
+
+    Parameters
+    ----------
+    structure:
+        A learned structure or guarded facade; the task kind is detected
+        from its type.
+    policy:
+        Micro-batching and admission-control knobs (:class:`BatchPolicy`).
+    cache_size:
+        LRU result-cache capacity (0 disables caching).
+    exact:
+        Exact :class:`InvertedIndex` used by the ``shed-to-exact`` overflow
+        policy.  Optional when the structure is guarded (its paired exact
+        index is reused) or is a :class:`LearnedSetIndex` (one is built
+        from its collection); required otherwise for that policy.
+    """
+
+    def __init__(
+        self,
+        structure: Any,
+        policy: BatchPolicy | None = None,
+        cache_size: int = 1024,
+        exact: InvertedIndex | None = None,
+    ):
+        self.kind = detect_kind(structure)
+        self.policy = policy or BatchPolicy()
+        self.stats = ServerStats()
+        self.cache = QueryCache(cache_size)
+        self._snapshots = SnapshotHolder(structure)
+        if exact is None:
+            exact = getattr(structure, "exact", None)
+        if exact is None and isinstance(structure, LearnedSetIndex):
+            exact = InvertedIndex(structure.collection)
+        if exact is None and self.policy.overflow == "shed-to-exact":
+            raise ValueError(
+                "overflow='shed-to-exact' needs an exact InvertedIndex: pass "
+                "exact=... or serve a guarded structure"
+            )
+        self._exact = exact
+        self._listener = self.cache.invalidate
+        self._attach_listener(structure)
+        self._batcher = MicroBatcher(
+            self._serve_batch,
+            policy=self.policy,
+            shed_fn=self._shed_answer if exact is not None else None,
+            on_batch=self.stats.record_batch,
+            on_shed=self.stats.record_shed,
+            on_reject=self.stats.record_reject,
+        )
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> "SetServer":
+        self._batcher.start()
+        return self
+
+    def close(self, timeout: float | None = 10.0) -> None:
+        self._batcher.close(timeout)
+
+    def __enter__(self) -> "SetServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def running(self) -> bool:
+        return self._batcher.running
+
+    # -- structure access ------------------------------------------------------
+
+    @property
+    def snapshot(self) -> Snapshot:
+        return self._snapshots.current
+
+    @property
+    def structure(self) -> Any:
+        return self._snapshots.current.structure
+
+    def swap(self, structure: Any) -> Snapshot:
+        """Atomically replace the serving structure (hot snapshot swap).
+
+        The new structure must serve the same task kind.  Batches already
+        dispatched finish on the old generation; the result cache is
+        cleared because a retrained model answers every query differently.
+        """
+        if detect_kind(structure) != self.kind:
+            raise TypeError(
+                f"cannot swap a {detect_kind(structure)} structure into a "
+                f"{self.kind} server"
+            )
+        self._detach_listener(self.structure)
+        snapshot = self._snapshots.swap(structure)
+        self._attach_listener(structure)
+        self.cache.clear()
+        self.stats.record_swap()
+        return snapshot
+
+    def _attach_listener(self, structure: Any) -> None:
+        inner = _inner_structure(structure)
+        if hasattr(inner, "add_update_listener"):
+            inner.add_update_listener(self._listener)
+
+    def _detach_listener(self, structure: Any) -> None:
+        inner = _inner_structure(structure)
+        try:
+            inner.remove_update_listener(self._listener)
+        except (AttributeError, ValueError):
+            pass
+
+    # -- querying --------------------------------------------------------------
+
+    def submit(self, query: Iterable[int]) -> Future:
+        """Admit one query; returns a future resolving to its answer.
+
+        Cache hits resolve immediately on the calling thread; misses are
+        coalesced by the micro-batcher.  Overload outcomes (reject / shed)
+        arrive through the future per the configured overflow policy.
+        """
+        started = time.monotonic()
+        self.stats.record_submitted()
+        key = self._canonical(query)
+        if key is not None:
+            found, value = self.cache.get(key)
+            if found:
+                future: Future = Future()
+                future.set_result(value)
+                self.stats.record_served(time.monotonic() - started, from_cache=True)
+                return future
+        future = self._batcher.submit(key if key is not None else query)
+
+        def _resolved(f: Future) -> None:
+            if f.cancelled() or f.exception() is not None:
+                self.stats.record_failed()
+                return
+            if key is not None:
+                self.cache.put(key, f.result())
+            self.stats.record_served(time.monotonic() - started)
+
+        future.add_done_callback(_resolved)
+        return future
+
+    def query(self, query: Iterable[int], timeout: float | None = 30.0) -> Any:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(query).result(timeout)
+
+    def query_many(
+        self, queries: Sequence[Iterable[int]], timeout: float | None = 30.0
+    ) -> list[Any]:
+        """Submit a client-side batch and gather the answers in order."""
+        futures = [self.submit(q) for q in queries]
+        return [future.result(timeout) for future in futures]
+
+    # -- batched execution (dispatcher thread) ---------------------------------
+
+    def _serve_batch(self, queries: Sequence[Any]) -> Sequence[Any]:
+        # One snapshot read per batch: a concurrent swap never tears a
+        # batch across generations.
+        structure = self._snapshots.current.structure
+        if self.kind == "cardinality":
+            return [float(v) for v in structure.estimate_many(queries)]
+        if self.kind == "index":
+            return list(structure.lookup_many(queries))
+        return [bool(v) for v in structure.contains_many(queries)]
+
+    # -- degraded serving (caller thread, shed-to-exact) -----------------------
+
+    def _shed_answer(self, query: Any) -> Any:
+        """Exact answer mirroring the guarded facades' defined semantics."""
+        exact = self._exact
+        canonical = self._canonical(query)
+        if self.kind == "cardinality":
+            if canonical is None:
+                return 0.0
+            if not canonical:
+                return float(exact.num_sets)
+            return float(exact.cardinality(canonical))
+        if self.kind == "index":
+            if canonical is None:
+                return None
+            if not canonical:
+                return 0 if exact.num_sets else None
+            return exact.first_position(canonical)
+        if canonical is None:
+            return False
+        if not canonical:
+            return exact.num_sets > 0
+        if exact.contains(canonical):
+            return True
+        backup = _backup_filter(self.structure)
+        return backup.contains_set(set(canonical)) if backup is not None else False
+
+    # -- reporting --------------------------------------------------------------
+
+    def stats_dict(self) -> dict:
+        """Full telemetry snapshot, health counters folded in when guarded."""
+        health = getattr(self.structure, "health", None)
+        out = self.stats.as_dict(cache=self.cache, health=health)
+        out["kind"] = self.kind
+        out["snapshot_version"] = self.snapshot.version
+        return out
+
+    @staticmethod
+    def _canonical(query: Any) -> tuple[int, ...] | None:
+        try:
+            return tuple(sorted({int(element) for element in query}))
+        except (TypeError, ValueError):
+            return None

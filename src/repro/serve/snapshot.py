@@ -1,0 +1,52 @@
+"""Atomic snapshot holder for hot structure swap.
+
+The paper's update strategy (§7.2) defers drift to the auxiliary structure
+and rebuilds the model when accuracy deteriorates (``should_retrain``).  In
+a serving system the rebuild must not pause traffic: the new structure is
+trained off-thread (``from_training_data``), then installed here with a
+single reference swap.  Requests in flight keep the snapshot they started
+with — the dispatcher reads the holder once per batch — so a swap never
+tears a batch across two models and never loses a request.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from time import time
+from typing import Any
+
+__all__ = ["Snapshot", "SnapshotHolder"]
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One immutable serving generation: a structure plus its version."""
+
+    structure: Any
+    version: int
+    installed_at: float = field(default_factory=time)
+
+
+class SnapshotHolder:
+    """Holds the current :class:`Snapshot`; swaps are atomic.
+
+    Reading :attr:`current` is a single attribute load (atomic under the
+    GIL), so the hot path takes no lock; the lock only serializes
+    concurrent swappers so versions stay monotonic.
+    """
+
+    def __init__(self, structure: Any):
+        self._lock = threading.Lock()
+        self._snapshot = Snapshot(structure, version=0)
+
+    @property
+    def current(self) -> Snapshot:
+        return self._snapshot
+
+    def swap(self, structure: Any) -> Snapshot:
+        """Install ``structure`` as the new serving generation."""
+        with self._lock:
+            snapshot = Snapshot(structure, version=self._snapshot.version + 1)
+            self._snapshot = snapshot
+        return snapshot

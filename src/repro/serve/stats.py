@@ -1,0 +1,128 @@
+"""Operator-facing telemetry for the serving subsystem.
+
+One :class:`ServerStats` instance aggregates everything an operator needs
+to judge a server: throughput (requests served, batches dispatched, mean
+batch size — the coalescing win is ``requests / batches``), latency
+percentiles from a bounded reservoir, overload outcomes (shed / rejected),
+cache effectiveness, snapshot swaps, and — when the served structure is a
+guarded facade — its reliability :class:`HealthCounters` folded into the
+same report.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+import numpy as np
+
+__all__ = ["ServerStats"]
+
+
+class ServerStats:
+    """Thread-safe counters + latency reservoir for one server."""
+
+    def __init__(self, latency_reservoir: int = 100_000):
+        self._lock = threading.Lock()
+        self.requests_submitted = 0
+        self.requests_served = 0
+        self.requests_failed = 0
+        self.cache_hits_served = 0
+        self.batches_dispatched = 0
+        self.batched_requests = 0
+        self.shed = 0
+        self.rejected = 0
+        self.snapshot_swaps = 0
+        self._latencies: deque[float] = deque(maxlen=latency_reservoir)
+
+    # -- recording (called from server / batcher callbacks) -------------------
+
+    def record_submitted(self) -> None:
+        with self._lock:
+            self.requests_submitted += 1
+
+    def record_served(self, latency_seconds: float, from_cache: bool = False) -> None:
+        with self._lock:
+            self.requests_served += 1
+            if from_cache:
+                self.cache_hits_served += 1
+            self._latencies.append(latency_seconds)
+
+    def record_failed(self) -> None:
+        with self._lock:
+            self.requests_failed += 1
+
+    def record_batch(self, size: int) -> None:
+        with self._lock:
+            self.batches_dispatched += 1
+            self.batched_requests += size
+
+    def record_shed(self) -> None:
+        with self._lock:
+            self.shed += 1
+
+    def record_reject(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def record_swap(self) -> None:
+        with self._lock:
+            self.snapshot_swaps += 1
+
+    # -- aggregates ------------------------------------------------------------
+
+    @property
+    def mean_batch_size(self) -> float:
+        return (
+            self.batched_requests / self.batches_dispatched
+            if self.batches_dispatched
+            else 0.0
+        )
+
+    def latency_percentiles_ms(self) -> dict[str, float]:
+        """p50/p95/p99 over the (bounded) latency reservoir, in ms."""
+        with self._lock:
+            sample = np.asarray(self._latencies, dtype=np.float64)
+        if not len(sample):
+            return {"p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0}
+        p50, p95, p99 = np.percentile(sample, (50, 95, 99)) * 1000.0
+        return {"p50_ms": float(p50), "p95_ms": float(p95), "p99_ms": float(p99)}
+
+    def as_dict(self, cache=None, health=None) -> dict:
+        """Full snapshot; pass the server's cache / the structure's health
+        counters to fold them into one report."""
+        with self._lock:
+            out = {
+                "requests_submitted": self.requests_submitted,
+                "requests_served": self.requests_served,
+                "requests_failed": self.requests_failed,
+                "cache_hits_served": self.cache_hits_served,
+                "batches_dispatched": self.batches_dispatched,
+                "batched_requests": self.batched_requests,
+                "mean_batch_size": self.mean_batch_size,
+                "shed": self.shed,
+                "rejected": self.rejected,
+                "snapshot_swaps": self.snapshot_swaps,
+            }
+        out.update(self.latency_percentiles_ms())
+        if cache is not None:
+            out["cache"] = cache.as_dict()
+        if health is not None:
+            out["health"] = health.as_dict()
+        return out
+
+    def report_line(self) -> str:
+        """One-line operator summary (the serving analogue of
+        :meth:`HealthCounters.report_line`)."""
+        pct = self.latency_percentiles_ms()
+        return (
+            f"[serve] served={self.requests_served} "
+            f"failed={self.requests_failed} "
+            f"batches={self.batches_dispatched} "
+            f"mean_batch={self.mean_batch_size:.2f} "
+            f"cache_hits={self.cache_hits_served} "
+            f"shed={self.shed} rejected={self.rejected} "
+            f"swaps={self.snapshot_swaps} "
+            f"p50={pct['p50_ms']:.3f}ms p95={pct['p95_ms']:.3f}ms "
+            f"p99={pct['p99_ms']:.3f}ms"
+        )

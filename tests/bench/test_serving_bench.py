@@ -1,0 +1,67 @@
+"""Serving benchmark harness: workload shape, correctness, persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import run_serving_benchmark, serving_workload, write_serving_report
+from repro.sets import SetCollection
+
+from ..serve.conftest import SETS, train_estimator
+
+
+@pytest.fixture(scope="module")
+def collection() -> SetCollection:
+    return SetCollection(SETS)
+
+
+@pytest.fixture(scope="module")
+def estimator(collection):
+    return train_estimator(collection)
+
+
+class TestServingWorkload:
+    def test_size_and_determinism(self, collection):
+        first = serving_workload(collection, 200, seed=9)
+        again = serving_workload(collection, 200, seed=9)
+        assert len(first) == 200
+        assert first == again
+        assert serving_workload(collection, 200, seed=10) != first
+
+    def test_duplicates_injected(self, collection):
+        queries = serving_workload(collection, 400, duplicate_fraction=0.5)
+        assert len(set(queries)) < len(queries)
+
+    def test_queries_are_canonical_tuples(self, collection):
+        for query in serving_workload(collection, 50):
+            assert isinstance(query, tuple)
+            assert query
+
+
+class TestRunServingBenchmark:
+    def test_report_is_complete_and_correct(self, estimator, collection):
+        queries = serving_workload(collection, 300, max_subset_size=3, seed=4)
+        report = run_serving_benchmark(estimator, queries, threads=4)
+        assert report["kind"] == "cardinality"
+        assert report["num_queries"] == 300
+        assert report["mismatches"] == 0
+        assert report["serial_qps"] > 0 and report["served_qps"] > 0
+        assert report["speedup"] == pytest.approx(
+            report["served_qps"] / report["serial_qps"]
+        )
+        for key in ("p50_ms", "p95_ms", "p99_ms", "mean_batch_size"):
+            assert key in report
+        assert report["stats"]["requests_served"] == 300
+
+    def test_write_report_round_trips(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        report = {"kind": "cardinality", "speedup": 2.5}
+        target = write_serving_report(report)
+        assert target == tmp_path / "BENCH_serve.json"
+        assert json.loads(target.read_text()) == report
+
+    def test_write_report_explicit_path(self, tmp_path):
+        target = write_serving_report({"a": 1}, tmp_path / "sub" / "out.json")
+        assert json.loads(target.read_text()) == {"a": 1}

@@ -1,0 +1,143 @@
+"""Batch/single parity: `*_many` must agree elementwise with the scalar API.
+
+Property-style checks over mixed workloads — auxiliary hits, model-path
+subsets, duplicates, and (through the guarded facades) out-of-vocabulary,
+empty, and malformed queries.  The serving subsystem routes everything
+through the batch entry points, so any divergence here would surface as
+answers that silently change when a query happens to share a batch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.reliability import (
+    GuardedBloomFilter,
+    GuardedCardinalityEstimator,
+    GuardedSetIndex,
+)
+
+
+def subset_workload(collection, rng, num_queries=120, max_size=3):
+    """In-vocabulary queries: subsets of stored sets, with duplicates mixed
+    in so the dedup-and-scatter path is exercised."""
+    queries = []
+    for _ in range(num_queries):
+        base = collection[int(rng.integers(len(collection)))]
+        size = int(rng.integers(1, min(max_size, len(base)) + 1))
+        queries.append(tuple(sorted(rng.choice(base, size=size, replace=False))))
+    # Repeat a slice verbatim: duplicates must share one model prediction.
+    queries.extend(queries[:20])
+    rng.shuffle(queries)
+    return [tuple(int(e) for e in q) for q in queries]
+
+
+def hostile_workload(collection, rng):
+    """The full mix for guarded facades: valid, OOV, empty, malformed."""
+    oov = collection.max_element_id() + 10_000
+    hostile = [
+        (),  # empty
+        (oov,),  # pure OOV
+        (0, oov),  # mixed OOV
+        ("not", "ints"),  # malformed
+        None,  # malformed
+    ]
+    queries = subset_workload(collection, rng, num_queries=60)
+    for position, query in zip(rng.integers(0, len(queries), len(hostile) * 4),
+                               hostile * 4):
+        queries.insert(int(position), query)
+    return queries
+
+
+class TestRawParity:
+    def test_estimate_many_matches_single(self, trained_estimator, small_collection, rng):
+        queries = subset_workload(small_collection, rng)
+        batched = trained_estimator.estimate_many(queries)
+        singles = np.array([trained_estimator.estimate(q) for q in queries])
+        np.testing.assert_allclose(batched, singles, rtol=1e-7)
+
+    def test_lookup_many_matches_single(self, trained_index, small_collection, rng):
+        queries = subset_workload(small_collection, rng)
+        batched = trained_index.lookup_many(queries)
+        singles = [trained_index.lookup(q) for q in queries]
+        assert batched == singles
+
+    def test_predict_positions_matches_predict_position(
+        self, trained_index, small_collection, rng
+    ):
+        queries = subset_workload(small_collection, rng, num_queries=40)
+        batched = trained_index.predict_positions(queries)
+        singles = np.array([trained_index.predict_position(q) for q in queries])
+        np.testing.assert_allclose(batched, singles, rtol=1e-7)
+
+    def test_contains_many_matches_single(self, trained_filter, small_collection, rng):
+        queries = subset_workload(small_collection, rng)
+        batched = trained_filter.contains_many(queries)
+        singles = [trained_filter.contains(q) for q in queries]
+        assert list(batched) == singles
+
+    def test_score_many_matches_score(self, trained_filter, small_collection, rng):
+        queries = subset_workload(small_collection, rng, num_queries=40)
+        batched = trained_filter.score_many(queries)
+        singles = np.array([trained_filter.score(q) for q in queries])
+        np.testing.assert_allclose(batched, singles, rtol=1e-7)
+
+    @pytest.mark.parametrize("bad", [(), (999_999,)])
+    def test_batch_and_single_raise_alike_on_invalid_input(
+        self, trained_estimator, bad
+    ):
+        with pytest.raises(Exception) as single_error:
+            trained_estimator.estimate(bad)
+        with pytest.raises(Exception) as batch_error:
+            trained_estimator.estimate_many([bad])
+        assert single_error.type is batch_error.type
+
+
+class TestGuardedParity:
+    """Each test runs the same hostile workload through two fresh facades
+    over one shared structure — a single-query loop versus one batch call —
+    and demands identical answers *and* identical health accounting."""
+
+    def test_guarded_estimate_parity(
+        self, trained_estimator, ground_truth, small_collection, rng
+    ):
+        queries = hostile_workload(small_collection, rng)
+        one = GuardedCardinalityEstimator(trained_estimator, ground_truth)
+        many = GuardedCardinalityEstimator(trained_estimator, ground_truth)
+        singles = np.array([one.estimate(q) for q in queries])
+        batched = many.estimate_many(queries)
+        np.testing.assert_allclose(batched, singles, rtol=1e-7)
+        assert one.health.as_dict() == many.health.as_dict()
+
+    def test_guarded_lookup_parity(
+        self, trained_index, ground_truth, small_collection, rng
+    ):
+        queries = hostile_workload(small_collection, rng)
+        one = GuardedSetIndex(trained_index, ground_truth)
+        many = GuardedSetIndex(trained_index, ground_truth)
+        singles = [one.lookup(q) for q in queries]
+        batched = many.lookup_many(queries)
+        assert batched == singles
+        assert one.health.as_dict() == many.health.as_dict()
+
+    def test_guarded_contains_parity(
+        self, trained_filter, ground_truth, small_collection, rng
+    ):
+        queries = hostile_workload(small_collection, rng)
+        one = GuardedBloomFilter(trained_filter, ground_truth)
+        many = GuardedBloomFilter(trained_filter, ground_truth)
+        singles = [one.contains(q) for q in queries]
+        batched = many.contains_many(queries)
+        assert list(batched) == singles
+        assert one.health.as_dict() == many.health.as_dict()
+
+    def test_guarded_parity_on_pure_duplicate_batch(
+        self, trained_estimator, ground_truth, small_collection
+    ):
+        """A batch of one hot query repeated: one model row, same answers."""
+        guarded = GuardedCardinalityEstimator(trained_estimator, ground_truth)
+        query = small_collection[0][:2]
+        batched = guarded.estimate_many([query] * 64)
+        assert np.all(batched == batched[0])
+        assert guarded.estimate(query) == pytest.approx(float(batched[0]), rel=1e-7)

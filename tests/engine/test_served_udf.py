@@ -1,0 +1,86 @@
+"""Engine ↔ serving integration: `udf:` plans backed by a SetServer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import ServedUdf, SetQueryEngine, SetTable
+from repro.serve import SetServer
+from repro.sets import SetCollection
+
+from ..serve.conftest import QUERIES, SETS, train_estimator
+
+
+@pytest.fixture(scope="module")
+def collection() -> SetCollection:
+    return SetCollection(SETS)
+
+
+@pytest.fixture(scope="module")
+def estimator(collection):
+    return train_estimator(collection)
+
+
+@pytest.fixture
+def engine(collection) -> SetQueryEngine:
+    return SetQueryEngine(SetTable.from_collection(collection))
+
+
+class TestServedUdf:
+    def test_rejects_non_server(self):
+        with pytest.raises(TypeError):
+            ServedUdf(object())
+
+    def test_register_server_requires_cardinality_kind(self, engine):
+        class FakeIndexServer:
+            kind = "index"
+
+        with pytest.raises(ValueError):
+            engine.register_server("idx", FakeIndexServer())
+
+    def test_count_routes_through_server(self, engine, estimator):
+        with SetServer(estimator) as server:
+            engine.register_server("clsm", server)
+            result = engine.count((0, 1), plan="udf:clsm")
+        assert result.plan == "udf:clsm"
+        assert not result.is_exact
+        assert result.count == pytest.approx(estimator.estimate((0, 1)), rel=1e-7)
+        assert server.stats.requests_served == 1
+
+    def test_count_many_batches_through_server(self, engine, estimator):
+        with SetServer(estimator, cache_size=0) as server:
+            engine.register_server("clsm", server)
+            results = engine.count_many(QUERIES, plan="udf:clsm")
+        assert len(results) == len(QUERIES)
+        for result, query in zip(results, QUERIES):
+            assert result.plan == "udf:clsm"
+            assert result.count == pytest.approx(
+                estimator.estimate(query), rel=1e-7
+            )
+        stats = server.stats
+        assert stats.requests_served == len(QUERIES)
+        # count_many submits the whole workload before gathering, so the
+        # micro-batcher gets to coalesce it into vectorized calls.
+        assert stats.batches_dispatched < stats.batched_requests
+
+    def test_count_many_exact_plans_match_scalar_path(self, engine):
+        queries = [(0, 1), (1, 2), (2, 3)]
+        batched = engine.count_many(queries, plan="seqscan")
+        for result, query in zip(batched, queries):
+            assert result.count == engine.count(query, plan="seqscan").count
+            assert result.is_exact
+
+    def test_count_many_plain_udf_falls_back_to_loop(self, engine):
+        engine.register_udf("fixed", lambda canonical: float(len(canonical)))
+        results = engine.count_many([(0, 1), (3,)], plan="udf:fixed")
+        assert [r.count for r in results] == [2.0, 1.0]
+
+    def test_count_many_rejects_empty_query(self, engine, estimator):
+        with SetServer(estimator) as server:
+            engine.register_server("clsm", server)
+            with pytest.raises(ValueError):
+                engine.count_many([(0, 1), ()], plan="udf:clsm")
+
+    def test_unknown_udf_plan_raises(self, engine):
+        with pytest.raises(KeyError):
+            engine.count((0,), plan="udf:ghost")

@@ -1,0 +1,107 @@
+"""Shared trained structures for the serving suite.
+
+Training dominates test time, so the three learned structures are built
+once per session over one small collection.  Tests that mutate a structure
+(updates, swaps) must train their own or operate on fresh facades; the
+server itself only reads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    LearnedBloomFilter,
+    LearnedCardinalityEstimator,
+    LearnedSetIndex,
+    ModelConfig,
+    OutlierRemovalConfig,
+    TrainConfig,
+)
+from repro.sets import InvertedIndex, SetCollection
+
+SETS = [
+    [0, 1, 2],
+    [1, 2],
+    [0, 3],
+    [1, 2, 3],
+    [4, 5],
+    [0, 4, 5],
+    [2, 3, 4],
+    [0, 1],
+    [3, 5],
+    [0, 2, 5],
+    [1, 4],
+    [2, 5],
+]
+
+# A workload mixing auxiliary hits, pure model-path subsets, repeated hot
+# queries, and (for guarded serving) never-stored combinations.
+QUERIES = [
+    (0, 1),
+    (1, 2),
+    (2, 3),
+    (0,),
+    (4, 5),
+    (1, 2, 3),
+    (2,),
+    (3, 5),
+    (0, 2),
+    (1, 4),
+    (5,),
+    (0, 4),
+] * 6
+
+
+def small_model_config() -> ModelConfig:
+    return ModelConfig(
+        kind="lsm", embedding_dim=2, phi_hidden=(4,), rho_hidden=(4,), seed=0
+    )
+
+
+def train_estimator(collection, seed: int = 0) -> LearnedCardinalityEstimator:
+    return LearnedCardinalityEstimator.build(
+        collection,
+        model_config=small_model_config(),
+        train_config=TrainConfig(epochs=4, batch_size=64, lr=5e-3, loss="mse", seed=seed),
+        removal=OutlierRemovalConfig(percentile=90.0, at_epochs=(3,)),
+        max_subset_size=3,
+        rng=np.random.default_rng(seed),
+    )
+
+
+@pytest.fixture(scope="session")
+def collection() -> SetCollection:
+    return SetCollection(SETS)
+
+
+@pytest.fixture(scope="session")
+def truth(collection) -> InvertedIndex:
+    return InvertedIndex(collection)
+
+
+@pytest.fixture(scope="session")
+def estimator(collection) -> LearnedCardinalityEstimator:
+    return train_estimator(collection)
+
+
+@pytest.fixture(scope="session")
+def index(collection) -> LearnedSetIndex:
+    return LearnedSetIndex.build(
+        collection,
+        model_config=small_model_config(),
+        train_config=TrainConfig(epochs=4, batch_size=64, lr=5e-3, loss="mse", seed=0),
+        max_subset_size=3,
+        rng=np.random.default_rng(0),
+    )
+
+
+@pytest.fixture(scope="session")
+def bloom(collection) -> LearnedBloomFilter:
+    return LearnedBloomFilter.build(
+        collection,
+        train_config=TrainConfig(epochs=4, batch_size=64, lr=5e-3, loss="bce", seed=0),
+        max_subset_size=2,
+        rng=np.random.default_rng(0),
+    )

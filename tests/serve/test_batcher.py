@@ -1,0 +1,199 @@
+"""MicroBatcher: coalescing, flush triggers, overflow, shutdown, errors."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serve import (
+    BatchPolicy,
+    MicroBatcher,
+    ServerClosedError,
+    ServerOverloadedError,
+)
+
+
+def echo_batch(queries):
+    return [("seen", q) for q in queries]
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        (
+            {"max_batch_size": 0},
+            {"max_wait_ms": -1.0},
+            {"max_queue": 0},
+            {"overflow": "panic"},
+        ),
+    )
+    def test_bad_policy_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            BatchPolicy(**kwargs)
+
+    def test_shed_policy_requires_shed_fn(self):
+        policy = BatchPolicy(overflow="shed-to-exact")
+        with pytest.raises(ValueError):
+            MicroBatcher(echo_batch, policy=policy)
+
+
+class TestCoalescing:
+    def test_coalesces_waiting_requests_into_one_batch(self):
+        sizes = []
+        entered = threading.Event()
+        release = threading.Event()
+
+        def slow_batch(queries):
+            entered.set()
+            release.wait(5.0)
+            sizes.append(len(queries))
+            return list(queries)
+
+        batcher = MicroBatcher(
+            slow_batch, BatchPolicy(max_batch_size=16, max_wait_ms=50.0)
+        ).start()
+        try:
+            first = batcher.submit("warmup")  # occupies the dispatcher
+            # The warmup batch is sealed once the batch fn is entered; only
+            # then enqueue the rest, so they must land in later batches.
+            assert entered.wait(5.0)
+            futures = [batcher.submit(i) for i in range(10)]
+            release.set()
+            assert first.result(5.0) == "warmup"
+            assert [f.result(5.0) for f in futures] == list(range(10))
+        finally:
+            batcher.close()
+        # warmup ran alone; the 10 queued while it ran coalesced afterwards.
+        assert sizes[0] == 1
+        assert max(sizes[1:]) > 1
+        assert sum(sizes) == 11
+
+    def test_max_batch_size_caps_batches(self):
+        sizes = []
+
+        def tracking_batch(queries):
+            sizes.append(len(queries))
+            return list(queries)
+
+        batcher = MicroBatcher(
+            tracking_batch, BatchPolicy(max_batch_size=4, max_wait_ms=100.0)
+        )
+        futures = [batcher.submit(i) for i in range(12)]
+        batcher.start()
+        assert [f.result(5.0) for f in futures] == list(range(12))
+        batcher.close()
+        assert all(size <= 4 for size in sizes)
+
+    def test_max_wait_flushes_partial_batch(self):
+        batcher = MicroBatcher(
+            echo_batch, BatchPolicy(max_batch_size=1024, max_wait_ms=10.0)
+        ).start()
+        try:
+            future = batcher.submit("lonely")
+            assert future.result(5.0) == ("seen", "lonely")
+        finally:
+            batcher.close()
+
+
+class TestOverflow:
+    def test_reject_policy_fails_fast_via_future(self):
+        rejected = []
+        batcher = MicroBatcher(
+            echo_batch,
+            BatchPolicy(max_queue=2, overflow="reject"),
+            on_reject=lambda: rejected.append(1),
+        )
+        # Dispatcher not started: queue fills at max_queue.
+        okay = [batcher.submit(i) for i in range(2)]
+        overflow = batcher.submit("too-much")
+        with pytest.raises(ServerOverloadedError):
+            overflow.result(1.0)
+        assert len(rejected) == 1
+        batcher.start()
+        assert [f.result(5.0) for f in okay] == [("seen", 0), ("seen", 1)]
+        batcher.close()
+
+    def test_shed_policy_answers_on_caller_thread(self):
+        shed_threads = []
+
+        def shed(query):
+            shed_threads.append(threading.current_thread().name)
+            return ("exact", query)
+
+        batcher = MicroBatcher(
+            echo_batch,
+            BatchPolicy(max_queue=1, overflow="shed-to-exact"),
+            shed_fn=shed,
+        )
+        queued = batcher.submit("queued")
+        shed_future = batcher.submit("overflowed")
+        assert shed_future.result(1.0) == ("exact", "overflowed")
+        assert shed_threads == [threading.current_thread().name]
+        batcher.start()
+        assert queued.result(5.0) == ("seen", "queued")
+        batcher.close()
+
+
+class TestErrorsAndShutdown:
+    def test_poison_request_fails_alone(self):
+        def picky_batch(queries):
+            if any(q == "poison" for q in queries):
+                raise ValueError("bad query in batch")
+            return list(queries)
+
+        batcher = MicroBatcher(
+            picky_batch, BatchPolicy(max_batch_size=8, max_wait_ms=100.0)
+        )
+        futures = [batcher.submit(q) for q in ("a", "poison", "b")]
+        batcher.start()
+        assert futures[0].result(5.0) == "a"
+        with pytest.raises(ValueError):
+            futures[1].result(5.0)
+        assert futures[2].result(5.0) == "b"
+        batcher.close()
+
+    def test_short_batch_result_is_an_error(self):
+        batcher = MicroBatcher(
+            lambda queries: queries[:-1],
+            BatchPolicy(max_batch_size=4, max_wait_ms=20.0),
+        )
+        futures = [batcher.submit(i) for i in range(3)]
+        batcher.start()
+        for future in futures:
+            with pytest.raises(RuntimeError):
+                future.result(5.0)
+        batcher.close()
+
+    def test_close_drains_admitted_requests(self):
+        batcher = MicroBatcher(echo_batch, BatchPolicy(max_wait_ms=5.0))
+        futures = [batcher.submit(i) for i in range(20)]
+        batcher.start()
+        batcher.close()
+        assert [f.result(1.0) for f in futures] == [("seen", i) for i in range(20)]
+        assert not batcher.running
+
+    def test_submit_after_close_raises(self):
+        batcher = MicroBatcher(echo_batch).start()
+        batcher.close()
+        with pytest.raises(ServerClosedError):
+            batcher.submit("late")
+
+    def test_close_is_idempotent(self):
+        batcher = MicroBatcher(echo_batch).start()
+        batcher.close()
+        batcher.close()
+
+    def test_on_batch_callback_counts_every_request(self):
+        sizes = []
+        batcher = MicroBatcher(
+            echo_batch,
+            BatchPolicy(max_batch_size=4, max_wait_ms=5.0),
+            on_batch=sizes.append,
+        )
+        futures = [batcher.submit(i) for i in range(10)]
+        batcher.start()
+        for future in futures:
+            future.result(5.0)
+        batcher.close()
+        assert sum(sizes) == 10

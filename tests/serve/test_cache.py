@@ -1,0 +1,120 @@
+"""QueryCache: LRU semantics, counters, invalidation, thread safety."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serve import QueryCache
+
+
+class TestLru:
+    def test_hit_and_miss_counters(self):
+        cache = QueryCache(capacity=2)
+        found, _ = cache.get(("a",))
+        assert not found
+        cache.put(("a",), 1.0)
+        found, value = cache.get(("a",))
+        assert found and value == 1.0
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_eviction_order_is_least_recently_used(self):
+        cache = QueryCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a; b is now LRU
+        cache.put("c", 3)
+        assert cache.get("b") == (False, None)
+        assert cache.get("a") == (True, 1)
+        assert cache.get("c") == (True, 3)
+        assert cache.evictions == 1
+
+    def test_cached_none_is_distinguishable_from_miss(self):
+        cache = QueryCache(capacity=4)
+        cache.put("missing-position", None)
+        assert cache.get("missing-position") == (True, None)
+
+    def test_put_refreshes_existing_key_without_eviction(self):
+        cache = QueryCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        assert len(cache) == 2
+        assert cache.evictions == 0
+        assert cache.get("a") == (True, 10)
+
+    def test_zero_capacity_disables_caching(self):
+        cache = QueryCache(capacity=0)
+        cache.put("a", 1)
+        assert cache.get("a") == (False, None)
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            QueryCache(capacity=-1)
+
+
+class TestInvalidation:
+    def test_invalidate_drops_single_key(self):
+        cache = QueryCache(capacity=4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.invalidate("a") is True
+        assert cache.get("a") == (False, None)
+        assert cache.get("b") == (True, 2)
+        assert cache.invalidations == 1
+
+    def test_invalidate_missing_key_is_counted_but_false(self):
+        cache = QueryCache(capacity=4)
+        assert cache.invalidate("ghost") is False
+        assert cache.invalidations == 1
+
+    def test_clear_preserves_counters(self):
+        cache = QueryCache(capacity=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+
+
+class TestConcurrency:
+    def test_concurrent_mixed_operations_stay_consistent(self):
+        cache = QueryCache(capacity=64)
+        errors = []
+
+        def hammer(tid: int) -> None:
+            try:
+                for i in range(500):
+                    key = (tid, i % 100)
+                    cache.put(key, i)
+                    cache.get(key)
+                    if i % 7 == 0:
+                        cache.invalidate(key)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(t,)) for t in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 64
+        assert cache.hits + cache.misses == 8 * 500
+
+    def test_as_dict_reports_all_counters(self):
+        cache = QueryCache(capacity=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        report = cache.as_dict()
+        assert report == {
+            "capacity": 4,
+            "entries": 1,
+            "hits": 1,
+            "misses": 1,
+            "evictions": 0,
+            "invalidations": 0,
+        }

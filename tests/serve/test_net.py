@@ -1,0 +1,98 @@
+"""TCP line-protocol frontend: answers, errors, STATS, concurrency."""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.serve import SetServer, TcpServeFrontend
+
+from .conftest import QUERIES
+
+
+@pytest.fixture
+def frontend(estimator):
+    server = SetServer(estimator, cache_size=64).start()
+    tcp = TcpServeFrontend(server, port=0).start_background()
+    yield tcp, server
+    tcp.shutdown()
+    server.close()
+
+
+def connect(tcp):
+    sock = socket.create_connection(tcp.address, timeout=10.0)
+    return sock, sock.makefile("rw", encoding="utf-8", newline="\n")
+
+
+def ask(stream, line):
+    stream.write(line + "\n")
+    stream.flush()
+    return stream.readline().strip()
+
+
+class TestProtocol:
+    def test_query_line_returns_formatted_estimate(self, frontend, estimator):
+        tcp, server = frontend
+        sock, stream = connect(tcp)
+        try:
+            assert ask(stream, "0 1") == f"{server.query((0, 1)):.2f}"
+        finally:
+            sock.close()
+
+    def test_malformed_line_keeps_connection_alive(self, frontend):
+        tcp, _ = frontend
+        sock, stream = connect(tcp)
+        try:
+            assert ask(stream, "zero one") == "error malformed query"
+            assert ask(stream, "0 1") != ""  # still serving
+        finally:
+            sock.close()
+
+    def test_stats_returns_server_json(self, frontend):
+        tcp, _ = frontend
+        sock, stream = connect(tcp)
+        try:
+            ask(stream, "0 1")
+            report = json.loads(ask(stream, "STATS"))
+            assert report["kind"] == "cardinality"
+            assert report["requests_served"] >= 1
+        finally:
+            sock.close()
+
+    def test_quit_closes_connection(self, frontend):
+        tcp, _ = frontend
+        sock, stream = connect(tcp)
+        try:
+            stream.write("QUIT\n")
+            stream.flush()
+            assert stream.readline() == ""  # EOF
+        finally:
+            sock.close()
+
+    def test_concurrent_connections_share_the_batcher(self, frontend, estimator):
+        tcp, server = frontend
+        want = {q: f"{server.query(q):.2f}" for q in dict.fromkeys(QUERIES)}
+        errors = []
+
+        def client() -> None:
+            try:
+                sock, stream = connect(tcp)
+                try:
+                    for query in QUERIES:
+                        line = " ".join(str(e) for e in query)
+                        assert ask(stream, line) == want[query]
+                finally:
+                    sock.close()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert server.stats.requests_failed == 0

@@ -1,0 +1,336 @@
+"""SetServer threaded integration: parity, coalescing, swap, admission.
+
+The acceptance tests for the serving subsystem live here: eight client
+threads drive each structure type through a shared :class:`SetServer` and
+the answers must match an unbatched serial loop exactly, while the server
+stats prove requests were actually coalesced.  A separate test performs a
+hot snapshot swap mid-traffic and checks no request is lost.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import numpy as np
+import pytest
+
+from repro.reliability import (
+    GuardedBloomFilter,
+    GuardedCardinalityEstimator,
+    GuardedSetIndex,
+)
+from repro.serve import (
+    BatchPolicy,
+    ServerOverloadedError,
+    SetServer,
+    detect_kind,
+)
+from repro.sets import InvertedIndex
+
+from .conftest import QUERIES, small_model_config, train_estimator
+
+THREADS = 8
+
+
+def serial_answers(kind, structure, queries):
+    """Ground truth: the unbatched single-query API, one call at a time."""
+    if kind == "cardinality":
+        return [float(structure.estimate(q)) for q in queries]
+    if kind == "index":
+        return [structure.lookup(q) for q in queries]
+    return [bool(structure.contains(q)) for q in queries]
+
+
+def answers_agree(kind, got, want):
+    if kind == "cardinality":
+        return math.isclose(got, want, rel_tol=1e-9, abs_tol=1e-9)
+    return got == want
+
+
+def drive_concurrently(server, queries, threads=THREADS):
+    """Fan the workload over client threads, each submitting its slice
+    open-loop (all futures first, then gather) so the queue actually fills
+    and the dispatcher gets something to coalesce."""
+    results = [None] * len(queries)
+    errors = []
+
+    def client(offset: int) -> None:
+        rows = list(range(offset, len(queries), threads))
+        try:
+            futures = [(row, server.submit(queries[row])) for row in rows]
+            for row, future in futures:
+                results[row] = future.result(timeout=30.0)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    workers = [threading.Thread(target=client, args=(t,)) for t in range(threads)]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    assert not errors
+    return results
+
+
+def guard(kind, structure, truth):
+    if kind == "cardinality":
+        return GuardedCardinalityEstimator(structure, truth)
+    if kind == "index":
+        return GuardedSetIndex(structure, truth)
+    return GuardedBloomFilter(structure, truth)
+
+
+STRUCTURES = [
+    ("cardinality", "estimator", False),
+    ("cardinality", "estimator", True),
+    ("index", "index", False),
+    ("index", "index", True),
+    ("bloom", "bloom", False),
+    ("bloom", "bloom", True),
+]
+
+
+@pytest.mark.parametrize(
+    "kind,fixture,guarded",
+    STRUCTURES,
+    ids=[f"{k}{'-guarded' if g else ''}" for k, _, g in STRUCTURES],
+)
+class TestThreadedParity:
+    """Acceptance: 8 threads, answers identical to serial, batching real."""
+
+    def test_concurrent_answers_match_serial_loop(
+        self, request, truth, kind, fixture, guarded
+    ):
+        structure = request.getfixturevalue(fixture)
+        if guarded:
+            structure = guard(kind, structure, truth)
+        serial = serial_answers(kind, structure, QUERIES)
+
+        policy = BatchPolicy(max_batch_size=32, max_wait_ms=20.0)
+        # cache_size=0: every request must travel through the batcher, so
+        # the parity check covers the batched path for all rows.
+        with SetServer(structure, policy=policy, cache_size=0) as server:
+            results = drive_concurrently(server, QUERIES)
+
+        for row, (got, want) in enumerate(zip(results, serial)):
+            assert answers_agree(kind, got, want), (
+                f"row {row} query {QUERIES[row]}: served {got!r} != serial {want!r}"
+            )
+
+        stats = server.stats
+        assert stats.requests_served == len(QUERIES)
+        assert stats.requests_failed == 0
+        # Batching actually coalesced: strictly fewer dispatches than
+        # requests, both against the served total and the through-queue
+        # count (which excludes any cache shortcuts by construction here).
+        assert stats.batches_dispatched < stats.requests_served
+        assert stats.batches_dispatched < stats.batched_requests
+        assert stats.mean_batch_size > 1.0
+
+
+class TestCaching:
+    def test_repeated_queries_are_served_from_cache(self, estimator):
+        with SetServer(estimator, cache_size=256) as server:
+            # Blocking one-at-a-time so each answer lands in the cache
+            # before its repeats arrive; then a full batched replay.
+            first = [server.query(q) for q in QUERIES]
+            second = server.query_many(QUERIES)
+        assert first == second
+        stats = server.stats
+        # QUERIES repeats each distinct query 6x, then we replayed it all:
+        # only the first occurrence of each distinct query can miss.
+        distinct = len({server._canonical(q) for q in QUERIES})
+        assert stats.cache_hits_served == stats.requests_served - distinct
+        assert server.cache.hits == stats.cache_hits_served
+        assert stats.batched_requests == distinct
+
+    def test_record_update_invalidates_cached_answer(self, collection):
+        estimator = train_estimator(collection, seed=2)
+        query = (0, 1)
+        with SetServer(estimator, cache_size=256) as server:
+            before = server.query(query)
+            assert server.query(query) == before  # cached
+            estimator.record_update(query, 41)
+            after = server.query(query)
+        assert after == 41.0
+        assert before != after
+        assert server.cache.invalidations >= 1
+
+    def test_swap_clears_cache(self, collection, estimator):
+        replacement = train_estimator(collection, seed=3)
+        with SetServer(estimator, cache_size=256) as server:
+            server.query((0, 1))
+            assert len(server.cache) == 1
+            server.swap(replacement)
+            assert len(server.cache) == 0
+            assert server.stats.snapshot_swaps == 1
+            assert server.snapshot.version == 1
+
+
+class TestSnapshotSwap:
+    def test_swap_rejects_kind_mismatch(self, estimator, index):
+        with SetServer(estimator, cache_size=0) as server:
+            with pytest.raises(TypeError):
+                server.swap(index)
+
+    def test_detect_kind_rejects_unknown_structure(self):
+        with pytest.raises(TypeError):
+            detect_kind(object())
+
+    @pytest.mark.parametrize("kind", ["cardinality", "index", "bloom"])
+    def test_swap_mid_traffic_loses_no_requests(
+        self, request, collection, kind
+    ):
+        import repro.core as core
+
+        old = request.getfixturevalue(
+            {"cardinality": "estimator", "index": "index", "bloom": "bloom"}[kind]
+        )
+        rng = np.random.default_rng(7)
+        if kind == "cardinality":
+            new = train_estimator(collection, seed=7)
+        elif kind == "index":
+            new = core.LearnedSetIndex.build(
+                collection,
+                model_config=small_model_config(),
+                train_config=core.TrainConfig(
+                    epochs=4, batch_size=64, lr=5e-3, loss="mse", seed=7
+                ),
+                max_subset_size=3,
+                rng=rng,
+            )
+        else:
+            new = core.LearnedBloomFilter.build(
+                collection,
+                train_config=core.TrainConfig(
+                    epochs=4, batch_size=64, lr=5e-3, loss="bce", seed=7
+                ),
+                max_subset_size=2,
+                rng=rng,
+            )
+
+        serial_old = serial_answers(kind, old, QUERIES)
+        serial_new = serial_answers(kind, new, QUERIES)
+
+        policy = BatchPolicy(max_batch_size=8, max_wait_ms=1.0)
+        results = [[None] * len(QUERIES) for _ in range(THREADS)]
+        errors = []
+        started = threading.Barrier(THREADS + 1)
+
+        def client(tid: int) -> None:
+            try:
+                started.wait(timeout=10.0)
+                # Closed loop: one query at a time, stretching traffic out
+                # so the swap lands while requests are in flight.
+                for row, query in enumerate(QUERIES):
+                    results[tid][row] = server.query(query, timeout=30.0)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        with SetServer(old, policy=policy, cache_size=0) as server:
+            workers = [
+                threading.Thread(target=client, args=(t,)) for t in range(THREADS)
+            ]
+            for worker in workers:
+                worker.start()
+            started.wait(timeout=10.0)
+            # Let traffic build, then hot-swap mid-flight.
+            threading.Event().wait(0.02)
+            server.swap(new)
+            for worker in workers:
+                worker.join()
+
+        assert not errors
+        # No request lost: every slot of every client resolved...
+        assert all(r is not None or kind == "index" for row in results for r in row)
+        assert server.stats.requests_served == THREADS * len(QUERIES)
+        assert server.stats.requests_failed == 0
+        assert server.stats.snapshot_swaps == 1
+        # ...and every answer came from a coherent generation (old or new).
+        for tid in range(THREADS):
+            for row in range(len(QUERIES)):
+                got = results[tid][row]
+                assert answers_agree(kind, got, serial_old[row]) or answers_agree(
+                    kind, got, serial_new[row]
+                ), (
+                    f"thread {tid} row {row}: {got!r} matches neither "
+                    f"old {serial_old[row]!r} nor new {serial_new[row]!r}"
+                )
+
+
+class TestAdmissionControl:
+    def test_shed_to_exact_requires_exact_index(self, estimator):
+        with pytest.raises(ValueError):
+            SetServer(
+                estimator, policy=BatchPolicy(overflow="shed-to-exact"), cache_size=0
+            )
+
+    def test_shed_to_exact_answers_exactly_under_overload(self, estimator, truth):
+        policy = BatchPolicy(max_queue=4, overflow="shed-to-exact")
+        server = SetServer(estimator, policy=policy, cache_size=0, exact=truth)
+        # Dispatcher not started: the queue fills, the rest must shed.
+        futures = [server.submit(q) for q in QUERIES[:12]]
+        shed_rows = [
+            row for row, f in enumerate(futures) if f.done() and row >= policy.max_queue
+        ]
+        assert server.stats.shed == len(QUERIES[:12]) - policy.max_queue
+        for row in shed_rows:
+            assert futures[row].result(0.0) == float(truth.cardinality(QUERIES[row]))
+        server.start()
+        for future in futures:
+            future.result(timeout=30.0)
+        server.close()
+        assert server.stats.requests_served == 12
+        assert server.stats.requests_failed == 0
+
+    def test_reject_policy_surfaces_overload_error(self, estimator):
+        policy = BatchPolicy(max_queue=2, overflow="reject")
+        server = SetServer(estimator, policy=policy, cache_size=0)
+        admitted = [server.submit(q) for q in QUERIES[:2]]
+        overflow = server.submit(QUERIES[2])
+        with pytest.raises(ServerOverloadedError):
+            overflow.result(1.0)
+        assert server.stats.rejected == 1
+        server.start()
+        for future in admitted:
+            future.result(timeout=30.0)
+        server.close()
+        assert server.stats.requests_failed == 1  # the rejected one
+
+    def test_malformed_query_fails_alone_on_raw_structure(self, estimator):
+        with SetServer(estimator, cache_size=0) as server:
+            good = server.submit((0, 1))
+            bad = server.submit(("not", "ints"))
+            also_good = server.submit((1, 2))
+            assert good.result(30.0) == pytest.approx(estimator.estimate((0, 1)))
+            with pytest.raises(Exception):
+                bad.result(30.0)
+            assert also_good.result(30.0) == pytest.approx(estimator.estimate((1, 2)))
+        assert server.stats.requests_failed == 1
+
+    def test_guarded_structure_absorbs_malformed_queries(self, estimator, truth):
+        guarded = GuardedCardinalityEstimator(estimator, truth)
+        with SetServer(guarded, cache_size=0) as server:
+            answers = server.query_many([(0, 1), ("not", "ints"), (1, 2)])
+        assert answers[1] == 0.0
+        assert server.stats.requests_failed == 0
+        health = server.stats_dict()["health"]
+        assert health["short_circuits"].get("malformed_query", 0) >= 1
+
+
+class TestStatsSurface:
+    def test_stats_dict_includes_kind_version_cache_and_health(
+        self, estimator, truth
+    ):
+        guarded = GuardedCardinalityEstimator(estimator, truth)
+        with SetServer(guarded, cache_size=64) as server:
+            server.query_many(QUERIES[:6])
+        report = server.stats_dict()
+        assert report["kind"] == "cardinality"
+        assert report["snapshot_version"] == 0
+        assert report["requests_served"] == 6
+        assert "p99_ms" in report and report["p50_ms"] >= 0.0
+        assert report["cache"]["capacity"] == 64
+        assert "model_answers" in report["health"]
+        assert "[serve]" in server.stats.report_line()

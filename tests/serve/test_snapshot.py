@@ -1,0 +1,48 @@
+"""SnapshotHolder: atomic swap semantics and version monotonicity."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.serve import SnapshotHolder
+
+
+class TestSnapshotHolder:
+    def test_initial_snapshot_is_version_zero(self):
+        holder = SnapshotHolder("structure-a")
+        assert holder.current.version == 0
+        assert holder.current.structure == "structure-a"
+
+    def test_swap_bumps_version_and_replaces_structure(self):
+        holder = SnapshotHolder("a")
+        snapshot = holder.swap("b")
+        assert snapshot.version == 1
+        assert holder.current is snapshot
+        assert holder.current.structure == "b"
+
+    def test_old_snapshot_reference_remains_usable(self):
+        """A reader holding the old snapshot keeps serving from it."""
+        holder = SnapshotHolder("a")
+        before = holder.current
+        holder.swap("b")
+        assert before.structure == "a"
+        assert holder.current.structure == "b"
+
+    def test_concurrent_swaps_keep_versions_unique_and_monotonic(self):
+        holder = SnapshotHolder("seed")
+        versions = []
+        lock = threading.Lock()
+
+        def swapper(tid: int) -> None:
+            for i in range(50):
+                snapshot = holder.swap(f"{tid}-{i}")
+                with lock:
+                    versions.append(snapshot.version)
+
+        threads = [threading.Thread(target=swapper, args=(t,)) for t in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sorted(versions) == list(range(1, 8 * 50 + 1))
+        assert holder.current.version == 8 * 50

@@ -167,3 +167,53 @@ class TestTrainAndQuery:
         with open(model_file, "rb") as handle:
             structure = pickle.load(handle)
         assert structure.estimate((2, 3)) >= 1.0
+
+
+class TestServeCli:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "model.pkl"])
+        assert args.port == 7007
+        assert args.max_batch_size == 64
+        assert args.overflow == "block"
+        assert args.cache_size == 4096
+
+    def test_bench_serve_parser_defaults(self):
+        args = build_parser().parse_args(["bench-serve"])
+        assert args.dataset == "rw-small"
+        assert args.task == "cardinality"
+        assert args.threads == 8
+        assert args.out is None
+
+    def test_bad_overflow_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "model.pkl", "--overflow", "panic"])
+
+    def test_bench_serve_smoke(self, tmp_path, capsys, monkeypatch):
+        import json
+
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        out_file = tmp_path / "serve.json"
+        assert main(
+            [
+                "bench-serve", "--dataset", "sd", "--scale", "0.02",
+                "--num-queries", "80", "--threads", "2", "--epochs", "2",
+                "--max-training-samples", "2000", "--out", str(out_file),
+            ]
+        ) == 0
+        report = json.loads(out_file.read_text())
+        assert report["mismatches"] == 0
+        assert report["dataset"] == "sd"
+        printed = capsys.readouterr().out
+        assert "qps" in printed
+        assert "wrote" in printed
+
+    def test_bench_serve_default_report_location(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        assert main(
+            [
+                "bench-serve", "--dataset", "sd", "--scale", "0.02",
+                "--num-queries", "40", "--threads", "2", "--epochs", "2",
+                "--max-training-samples", "2000", "--guarded",
+            ]
+        ) == 0
+        assert (tmp_path / "BENCH_serve.json").exists()

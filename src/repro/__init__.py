@@ -16,6 +16,7 @@ Subpackages
 ``repro.engine``    mini relational engine (PostgreSQL stand-in)
 ``repro.reliability`` guarded serving, health counters, fault injection
 ``repro.serve``     concurrent query serving: micro-batching, caching, swap
+``repro.shard``     sharded scale-out: parallel training, scatter-gather
 ``repro.bench``     benchmark harness regenerating every table & figure
 
 Quickstart
@@ -50,6 +51,15 @@ from .reliability import (
 )
 from .serve import BatchPolicy, ServerStats, SetServer
 from .sets import InvertedIndex, SetCollection, Vocabulary
+from .shard import (
+    Shard,
+    ShardBuildError,
+    ShardedBloomFilter,
+    ShardedBuilder,
+    ShardedCardinalityEstimator,
+    ShardedSetIndex,
+    ShardPlan,
+)
 
 __version__ = "1.0.0"
 
@@ -77,5 +87,12 @@ __all__ = [
     "SetServer",
     "BatchPolicy",
     "ServerStats",
+    "Shard",
+    "ShardPlan",
+    "ShardedBuilder",
+    "ShardBuildError",
+    "ShardedCardinalityEstimator",
+    "ShardedSetIndex",
+    "ShardedBloomFilter",
     "__version__",
 ]

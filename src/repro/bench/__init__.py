@@ -10,6 +10,7 @@ from .reporting import (
     results_dir,
 )
 from .serving import run_serving_benchmark, serving_workload, write_serving_report
+from .sharding import run_shard_benchmark, write_shard_report
 from .timing import Timer, mean_query_ms
 from .workbench import (
     MAX_SUBSET_SIZE,
@@ -41,6 +42,8 @@ __all__ = [
     "run_serving_benchmark",
     "serving_workload",
     "write_serving_report",
+    "run_shard_benchmark",
+    "write_shard_report",
     "MAX_SUBSET_SIZE",
     "MAX_TRAINING_SAMPLES",
     "get_collection",

@@ -1,0 +1,125 @@
+"""Sharding benchmark: parallel per-shard build time vs a single worker.
+
+Shard training is embarrassingly parallel — K independent processes, no
+shared state — so build time should scale with cores.  This bench times
+:class:`repro.shard.ShardedBuilder` at each requested worker count over
+the *same* plan and seeds (the outputs are identical by construction; only
+wall-clock changes), verifies the built routers against exact ground truth
+on a sampled workload, and persists ``results/BENCH_shard.json``.
+
+The report records ``cpu_count``: speedup is bounded by physical cores,
+so a 4-worker run on a 1-core container shows pool overhead, not the
+speedup a 4-core machine gets from the identical command.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..core import ModelConfig, TrainConfig
+from ..sets import InvertedIndex, sample_query_workload
+from ..shard import ShardedBuilder, ShardPlan
+from .reporting import results_dir
+
+__all__ = ["run_shard_benchmark", "write_shard_report"]
+
+
+def _verify_router(task: str, router, truth: InvertedIndex, queries) -> int:
+    """Count ground-truth violations (exactness for index, no false
+    negatives for bloom, positivity for cardinality)."""
+    violations = 0
+    if task == "index":
+        found = router.lookup_many(queries)
+        for query, position in zip(queries, found):
+            if position != truth.first_position(query):
+                violations += 1
+    elif task == "bloom":
+        answers = router.contains_many(queries)
+        for query, answer in zip(queries, answers):
+            if truth.contains(query) and not answer:
+                violations += 1
+    else:
+        estimates = router.estimate_many(queries)
+        violations = int(np.sum(~np.isfinite(estimates) | (estimates < 0)))
+    return violations
+
+
+def run_shard_benchmark(
+    collection,
+    task: str = "cardinality",
+    num_shards: int = 4,
+    worker_counts: Sequence[int] = (1, 2, 4),
+    num_queries: int = 200,
+    epochs: int = 6,
+    max_subset_size: int = 3,
+    max_training_samples: int | None = 4000,
+    seed: int = 0,
+) -> dict[str, Any]:
+    """Time sharded builds across ``worker_counts`` and verify the routers.
+
+    Returns a JSON-ready dict with per-worker-count build seconds, the
+    speedup of the largest worker count over one worker, the machine's
+    ``cpu_count``, and the verification violation counts (all zero on a
+    healthy build).
+    """
+    plan = ShardPlan.contiguous(collection, num_shards)
+    truth = InvertedIndex(collection)
+    queries = sample_query_workload(
+        collection,
+        num_queries,
+        rng=np.random.default_rng(seed + 1),
+        max_subset_size=max_subset_size,
+    )
+
+    times: dict[str, float] = {}
+    violations: dict[str, int] = {}
+    for workers in worker_counts:
+        builder = ShardedBuilder(
+            plan,
+            workers=workers,
+            base_seed=seed,
+            model_config=ModelConfig(
+                kind="lsm", embedding_dim=4, phi_hidden=(8,), rho_hidden=(8,)
+            ),
+            train_config=TrainConfig(epochs=epochs, batch_size=256, seed=seed),
+            max_subset_size=max_subset_size,
+            max_training_samples=max_training_samples,
+        )
+        started = time.perf_counter()
+        router = builder.build(task)
+        times[str(workers)] = time.perf_counter() - started
+        violations[str(workers)] = _verify_router(task, router, truth, queries)
+
+    baseline = times[str(worker_counts[0])]
+    best_workers = str(max(worker_counts))
+    return {
+        "task": task,
+        "num_sets": len(collection),
+        "num_shards": len(plan),
+        "worker_counts": list(worker_counts),
+        "num_queries": len(queries),
+        "epochs": epochs,
+        "cpu_count": os.cpu_count(),
+        "build_seconds": times,
+        "violations": violations,
+        "speedup": baseline / times[best_workers] if times[best_workers] else float("inf"),
+        "speedup_workers": int(best_workers),
+    }
+
+
+def write_shard_report(
+    report: dict[str, Any], path: str | Path | None = None
+) -> Path:
+    """Persist the benchmark report (default: ``results/BENCH_shard.json``)."""
+    target = Path(path) if path is not None else results_dir() / "BENCH_shard.json"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with open(target, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return target

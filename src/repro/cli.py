@@ -11,6 +11,8 @@ Usage (installed as the ``repro`` console script, or
     repro train cardinality sets.txt est.pkl --kind clsm --epochs 30
     repro train index sets.txt idx.pkl
     repro train bloom sets.txt bf.pkl
+    repro build index sets.txt idx.pkl --shards 4 --workers 4
+    repro bench-shard --dataset rw-small --shards 4
     repro estimate est.pkl 3 17 42             # cardinality of {3, 17, 42}
     repro lookup idx.pkl 3 17                  # first position containing {3, 17}
     repro contains bf.pkl 3 17                 # membership answer
@@ -86,6 +88,29 @@ def build_parser() -> argparse.ArgumentParser:
                             "(exact fallback + health counters)")
     train.add_argument("--seed", type=int, default=0)
 
+    build = commands.add_parser(
+        "build",
+        help="train a sharded structure (parallel per-shard training)",
+    )
+    build.add_argument("task", choices=("cardinality", "index", "bloom"))
+    build.add_argument("collection", type=Path)
+    build.add_argument("out", type=Path)
+    build.add_argument("--shards", type=int, default=4,
+                       help="number of contiguous shards (clamped to the "
+                            "collection size)")
+    build.add_argument("--workers", type=int, default=1,
+                       help="training process-pool size (1 = inline)")
+    build.add_argument("--kind", choices=("lsm", "clsm"), default="clsm")
+    build.add_argument("--embedding-dim", type=int, default=8)
+    build.add_argument("--epochs", type=int, default=30)
+    build.add_argument("--lr", type=float, default=5e-3)
+    build.add_argument("--batch-size", type=int, default=1024)
+    build.add_argument("--max-subset-size", type=int, default=4)
+    build.add_argument("--max-training-samples", type=int, default=40_000)
+    build.add_argument("--guarded", action="store_true",
+                       help="wrap each shard in its reliability facade")
+    build.add_argument("--seed", type=int, default=0)
+
     for name, help_text in (
         ("estimate", "estimate the cardinality of a query subset"),
         ("lookup", "find the first position containing a query subset"),
@@ -124,6 +149,27 @@ def build_parser() -> argparse.ArgumentParser:
                        help="report path (default: results/BENCH_serve.json)")
     bench.add_argument("--seed", type=int, default=0)
     _add_serving_knobs(bench)
+
+    bench_shard = commands.add_parser(
+        "bench-shard",
+        help="time parallel sharded builds vs one worker and verify results",
+    )
+    bench_shard.add_argument("--dataset", choices=sorted(DATASETS), default="rw-small")
+    bench_shard.add_argument("--task", choices=("cardinality", "index", "bloom"),
+                             default="cardinality")
+    bench_shard.add_argument("--shards", type=int, default=4)
+    bench_shard.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4],
+                             help="worker counts to time (each builds the "
+                                  "same plan with the same seeds)")
+    bench_shard.add_argument("--num-queries", type=int, default=200)
+    bench_shard.add_argument("--epochs", type=int, default=6)
+    bench_shard.add_argument("--max-subset-size", type=int, default=3)
+    bench_shard.add_argument("--max-training-samples", type=int, default=4000)
+    bench_shard.add_argument("--scale", type=float, default=None,
+                             help="dataset size multiplier (default: REPRO_SCALE)")
+    bench_shard.add_argument("--out", type=Path, default=None,
+                             help="report path (default: results/BENCH_shard.json)")
+    bench_shard.add_argument("--seed", type=int, default=0)
 
     return parser
 
@@ -235,6 +281,46 @@ def _cmd_train(args) -> int:
     return 0
 
 
+def _cmd_build(args) -> int:
+    from .shard import ShardedBuilder, ShardPlan
+
+    collection = SetCollection.load(args.collection)
+    plan = ShardPlan.contiguous(collection, args.shards)
+    removal = None if args.task == "bloom" else OutlierRemovalConfig(
+        percentile=90.0, at_epochs=(max(args.epochs * 2 // 3, 1),)
+    )
+    builder = ShardedBuilder(
+        plan,
+        workers=args.workers,
+        base_seed=args.seed,
+        guarded=args.guarded,
+        model_config=ModelConfig(
+            kind=args.kind, embedding_dim=args.embedding_dim, seed=args.seed
+        ),
+        train_config=TrainConfig(
+            epochs=args.epochs, batch_size=args.batch_size, lr=args.lr,
+            seed=args.seed,
+        ),
+        removal=removal,
+        max_subset_size=(
+            min(args.max_subset_size, 3) if args.task == "bloom"
+            else args.max_subset_size
+        ),
+        max_training_samples=args.max_training_samples,
+    )
+    structure = builder.build(args.task)
+    with open(args.out, "wb") as handle:
+        pickle.dump(structure, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    size_kb = args.out.stat().st_size / 1e3
+    guarded_note = " guarded" if args.guarded else ""
+    print(
+        f"built{guarded_note} sharded {args.task} structure "
+        f"({len(plan)} shards, {args.workers} workers) "
+        f"-> {args.out} ({size_kb:.1f} KB)"
+    )
+    return 0
+
+
 def _load_structure(path: Path):
     with open(path, "rb") as handle:
         return pickle.load(handle)
@@ -246,9 +332,16 @@ def _report_health(structure) -> None:
 
 
 def _cmd_estimate(args) -> int:
+    from .shard import ShardedCardinalityEstimator
+
     structure = _load_structure(args.structure)
     if not isinstance(
-        structure, (LearnedCardinalityEstimator, GuardedCardinalityEstimator)
+        structure,
+        (
+            LearnedCardinalityEstimator,
+            GuardedCardinalityEstimator,
+            ShardedCardinalityEstimator,
+        ),
     ):
         print("error: structure is not a cardinality estimator", file=sys.stderr)
         return 2
@@ -259,8 +352,10 @@ def _cmd_estimate(args) -> int:
 
 
 def _cmd_lookup(args) -> int:
+    from .shard import ShardedSetIndex
+
     structure = _load_structure(args.structure)
-    if not isinstance(structure, (LearnedSetIndex, GuardedSetIndex)):
+    if not isinstance(structure, (LearnedSetIndex, GuardedSetIndex, ShardedSetIndex)):
         print("error: structure is not a set index", file=sys.stderr)
         return 2
     position = structure.lookup(args.elements)
@@ -271,8 +366,12 @@ def _cmd_lookup(args) -> int:
 
 
 def _cmd_contains(args) -> int:
+    from .shard import ShardedBloomFilter
+
     structure = _load_structure(args.structure)
-    if not isinstance(structure, (LearnedBloomFilter, GuardedBloomFilter)):
+    if not isinstance(
+        structure, (LearnedBloomFilter, GuardedBloomFilter, ShardedBloomFilter)
+    ):
         print("error: structure is not a Bloom filter", file=sys.stderr)
         return 2
     print("present" if structure.contains(args.elements) else "absent")
@@ -355,16 +454,52 @@ def _cmd_bench_serve(args) -> int:
     return 0 if report["mismatches"] == 0 else 1
 
 
+def _cmd_bench_shard(args) -> int:
+    from .bench.sharding import run_shard_benchmark, write_shard_report
+
+    collection = load_dataset(args.dataset, scale=args.scale)
+    report = run_shard_benchmark(
+        collection,
+        task=args.task,
+        num_shards=args.shards,
+        worker_counts=tuple(args.workers),
+        num_queries=args.num_queries,
+        epochs=args.epochs,
+        max_subset_size=args.max_subset_size,
+        max_training_samples=args.max_training_samples,
+        seed=args.seed,
+    )
+    report["dataset"] = args.dataset
+    path = write_shard_report(report, args.out)
+    times = report["build_seconds"]
+    timings = "  ".join(
+        f"{workers}w={times[str(workers)]:.2f}s" for workers in args.workers
+    )
+    print(
+        f"sharded {args.task} build on {args.dataset} "
+        f"({report['num_shards']} shards, cpu_count={report['cpu_count']}): "
+        f"{timings}"
+    )
+    print(
+        f"speedup {report['speedup']:.2f}x at {report['speedup_workers']} workers; "
+        f"violations {sum(report['violations'].values())}"
+    )
+    print(f"wrote {path}")
+    return 0 if sum(report["violations"].values()) == 0 else 1
+
+
 _COMMANDS = {
     "datasets": _cmd_datasets,
     "generate": _cmd_generate,
     "stats": _cmd_stats,
     "train": _cmd_train,
+    "build": _cmd_build,
     "estimate": _cmd_estimate,
     "lookup": _cmd_lookup,
     "contains": _cmd_contains,
     "serve": _cmd_serve,
     "bench-serve": _cmd_bench_serve,
+    "bench-shard": _cmd_bench_shard,
 }
 
 

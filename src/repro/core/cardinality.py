@@ -148,6 +148,12 @@ class LearnedCardinalityEstimator(UpdateNotifier):
     def is_hybrid(self) -> bool:
         return bool(self.auxiliary)
 
+    def max_known_id(self) -> int:
+        """Largest element id the model can embed (the trained universe)."""
+        if hasattr(self.model, "vocab_size"):
+            return self.model.vocab_size - 1
+        return self.model.compressor.max_value
+
     def estimate(self, query: Iterable[int]) -> float:
         """Estimated number of stored sets containing ``query``.
 

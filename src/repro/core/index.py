@@ -156,6 +156,12 @@ class LearnedSetIndex(UpdateNotifier):
 
     # -- queries --------------------------------------------------------------
 
+    def max_known_id(self) -> int:
+        """Largest element id the model can embed (the trained universe)."""
+        if hasattr(self.model, "vocab_size"):
+            return self.model.vocab_size - 1
+        return self.model.compressor.max_value
+
     def predict_position(self, query: Iterable[int]) -> float:
         """Raw model estimate of the first position (no search)."""
         scaled = corrupt_prediction(self.model.predict_one(tuple(sorted(set(query)))))

@@ -159,15 +159,18 @@ class LearnedBloomFilter(UpdateNotifier):
 
     # -- queries --------------------------------------------------------------
 
-    def _max_known_id(self) -> int:
+    def max_known_id(self) -> int:
         """Largest element id the classifier can embed."""
         model = self.model
         if hasattr(model, "vocab_size"):
             return model.vocab_size - 1
         return model.compressor.max_value
 
+    # Backwards-compatible private alias (pre-sharding callers).
+    _max_known_id = max_known_id
+
     def _in_universe(self, canonical: tuple[int, ...]) -> bool:
-        return bool(canonical) and 0 <= canonical[0] and canonical[-1] <= self._max_known_id()
+        return bool(canonical) and 0 <= canonical[0] and canonical[-1] <= self.max_known_id()
 
     def score(self, query: Iterable[int]) -> float:
         """Raw membership probability from the classifier.

@@ -61,11 +61,22 @@ def _state_checksum(state: dict[str, np.ndarray]) -> int:
     return crc
 
 
+# Fixed zip-entry timestamp (the zip epoch): archives written from the
+# same weights must be byte-identical regardless of wall-clock time.
+_ZIP_EPOCH = (1980, 1, 1, 0, 0, 0)
+
+
 def save_state(module: Module, path: str | Path, dtype=np.float32) -> None:
     """Atomically write a module's weights to ``path`` as a checksummed npz.
 
     The archive is written to ``path + ".tmp"``, flushed and fsynced, then
     renamed over ``path`` — readers never observe a partial file.
+
+    Output is byte-deterministic: entries are written in sorted order with
+    a fixed zip timestamp (``np.savez_compressed`` would stamp each entry
+    with the current time, so re-saving identical weights in a different
+    second would change the file).  Two builds with the same seed therefore
+    produce bit-identical archives.
     """
     path = Path(path)
     state = {
@@ -75,7 +86,13 @@ def save_state(module: Module, path: str | Path, dtype=np.float32) -> None:
     tmp_path = path.with_name(path.name + ".tmp")
     try:
         with open(tmp_path, "wb") as handle:
-            np.savez_compressed(handle, **state)
+            with zipfile.ZipFile(handle, "w", zipfile.ZIP_DEFLATED) as archive:
+                for name in sorted(state):
+                    buffer = io.BytesIO()
+                    np.lib.format.write_array(buffer, np.asanyarray(state[name]))
+                    info = zipfile.ZipInfo(name + ".npy", date_time=_ZIP_EPOCH)
+                    info.compress_type = zipfile.ZIP_DEFLATED
+                    archive.writestr(info, buffer.getvalue())
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_path, path)

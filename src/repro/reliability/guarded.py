@@ -70,8 +70,22 @@ REASON_INVALID_PREDICTION = "invalid_prediction"
 REASON_WINDOW_MISS = "window_miss"
 
 
-def _max_known_id(model) -> int | None:
-    """Largest element id the wrapped model can embed (None if unknown)."""
+def _max_known_id(structure) -> int | None:
+    """Largest element id the wrapped structure can answer for.
+
+    Structures that know their universe (including the sharded routers)
+    report it through ``max_known_id()``; otherwise it is derived from the
+    underlying model's embedding range.  ``None`` disables OOV detection.
+    """
+    probe = getattr(structure, "max_known_id", None)
+    if callable(probe):
+        try:
+            ceiling = probe()
+        except Exception:
+            ceiling = None
+        if ceiling is not None:
+            return int(ceiling)
+    model = getattr(structure, "model", structure)
     if hasattr(model, "vocab_size"):
         return model.vocab_size - 1
     if hasattr(model, "compressor"):
@@ -103,6 +117,10 @@ class GuardedEstimator:
         self.max_query_size = max_query_size
         self._id_ceiling = _max_known_id(model)
         self.health = HealthCounters(self.structure_name)
+
+    def max_known_id(self) -> int | None:
+        """The wrapped structure's trained id universe (None if unknown)."""
+        return self._id_ceiling
 
     # -- query validation ----------------------------------------------------
 
@@ -139,7 +157,7 @@ class GuardedCardinalityEstimator(GuardedEstimator):
     structure_name = "cardinality"
 
     def __init__(self, estimator, exact: InvertedIndex, max_query_size: int | None = None):
-        super().__init__(estimator.model, exact, max_query_size)
+        super().__init__(estimator, exact, max_query_size)
         self.estimator = estimator
 
     @classmethod
@@ -234,7 +252,7 @@ class GuardedSetIndex(GuardedEstimator):
             exact = InvertedIndex(index.collection)
         if max_query_size is None:
             max_query_size = _max_stored_size(index.collection)
-        super().__init__(index.model, exact, max_query_size)
+        super().__init__(index, exact, max_query_size)
         self.index = index
 
     def lookup(self, query: Iterable[int]) -> int | None:
@@ -254,6 +272,10 @@ class GuardedSetIndex(GuardedEstimator):
         if reason is not None:
             self.health.record_short_circuit(reason)
             return None
+        if not hasattr(self.index, "predict_position"):
+            # Sharded routers resolve positions internally (per-shard error
+            # bounds + exhaustive shard scans) and expose no raw estimate.
+            return self._direct_lookup(canonical)
         try:
             estimate = self.index.predict_position(canonical)
         except Exception:
@@ -297,6 +319,22 @@ class GuardedSetIndex(GuardedEstimator):
                 model_sets.append(canonical)
         if not model_rows:
             return results
+        if not hasattr(self.index, "predict_positions"):
+            try:
+                found_list = self.index.lookup_many(model_sets)
+                if len(found_list) != len(model_sets):
+                    raise ValueError("batched lookup returned a short result")
+            except Exception:
+                for row, canonical in zip(model_rows, model_sets):
+                    results[row] = self._exact(canonical, REASON_MODEL_ERROR)
+                return results
+            for row, canonical, found in zip(model_rows, model_sets, found_list):
+                if found is None:
+                    results[row] = self._exact(canonical, REASON_WINDOW_MISS)
+                else:
+                    self.health.record_model_answer()
+                    results[row] = found
+            return results
         try:
             estimates = self.index.predict_positions(model_sets)
             if len(estimates) != len(model_sets):
@@ -323,6 +361,17 @@ class GuardedSetIndex(GuardedEstimator):
                 results[row] = found
         return results
 
+    def _direct_lookup(self, canonical: tuple[int, ...]) -> int | None:
+        """Model path for indexes without a raw-estimate API (sharded)."""
+        try:
+            found = self.index.lookup(canonical)
+        except Exception:
+            return self._exact(canonical, REASON_MODEL_ERROR)
+        if found is None:
+            return self._exact(canonical, REASON_WINDOW_MISS)
+        self.health.record_model_answer()
+        return found
+
     def _exact(self, canonical: tuple[int, ...], reason: str) -> int | None:
         self.health.record_fallback(reason)
         return self.exact.first_position(canonical)
@@ -341,7 +390,7 @@ class GuardedBloomFilter(GuardedEstimator):
 
     def __init__(self, filter_, exact: InvertedIndex,
                  max_query_size: int | None = None):
-        super().__init__(filter_.model, exact, max_query_size)
+        super().__init__(filter_, exact, max_query_size)
         self.filter = filter_
 
     @classmethod
@@ -367,6 +416,10 @@ class GuardedBloomFilter(GuardedEstimator):
             # universe, but post-training inserts live in the backup filter.
             self.health.record_short_circuit(reason)
             return self._backup_contains(canonical)
+        if not hasattr(self.filter, "score"):
+            # Sharded routers answer membership directly (their parts and
+            # backup filters are consulted internally).
+            return self._direct_contains(canonical)
         try:
             score = self.filter.score(canonical)
         except Exception:
@@ -410,6 +463,19 @@ class GuardedBloomFilter(GuardedEstimator):
                 model_sets.append(canonical)
         if not model_rows:
             return answers
+        if not hasattr(self.filter, "score_many"):
+            try:
+                found = self.filter.contains_many(model_sets)
+                if len(found) != len(model_sets):
+                    raise ValueError("batched membership returned a short result")
+            except Exception:
+                for row, canonical in zip(model_rows, model_sets):
+                    answers[row] = self._exact(canonical, REASON_MODEL_ERROR)
+                return answers
+            for row, hit in zip(model_rows, found):
+                self.health.record_model_answer()
+                answers[row] = bool(hit)
+            return answers
         try:
             scores = np.asarray(self.filter.score_many(model_sets), dtype=np.float64)
             if len(scores) != len(model_sets):
@@ -428,6 +494,15 @@ class GuardedBloomFilter(GuardedEstimator):
             else:
                 answers[row] = self._backup_contains(canonical)
         return answers
+
+    def _direct_contains(self, canonical: tuple[int, ...]) -> bool:
+        """Model path for filters without a raw-score API (sharded)."""
+        try:
+            answer = bool(self.filter.contains(canonical))
+        except Exception:
+            return self._exact(canonical, REASON_MODEL_ERROR)
+        self.health.record_model_answer()
+        return answer
 
     def _backup_contains(self, canonical: tuple[int, ...]) -> bool:
         backup = self.filter.backup

@@ -39,6 +39,11 @@ from ..reliability import (
     GuardedSetIndex,
 )
 from ..sets.inverted import InvertedIndex
+from ..shard import (
+    ShardedBloomFilter,
+    ShardedCardinalityEstimator,
+    ShardedSetIndex,
+)
 from .batcher import BatchPolicy, MicroBatcher
 from .cache import QueryCache
 from .snapshot import Snapshot, SnapshotHolder
@@ -47,9 +52,13 @@ from .stats import ServerStats
 __all__ = ["SetServer", "detect_kind"]
 
 _KIND_TYPES = {
-    "cardinality": (LearnedCardinalityEstimator, GuardedCardinalityEstimator),
-    "index": (LearnedSetIndex, GuardedSetIndex),
-    "bloom": (LearnedBloomFilter, GuardedBloomFilter),
+    "cardinality": (
+        LearnedCardinalityEstimator,
+        GuardedCardinalityEstimator,
+        ShardedCardinalityEstimator,
+    ),
+    "index": (LearnedSetIndex, GuardedSetIndex, ShardedSetIndex),
+    "bloom": (LearnedBloomFilter, GuardedBloomFilter, ShardedBloomFilter),
 }
 
 
@@ -113,8 +122,12 @@ class SetServer:
         self._snapshots = SnapshotHolder(structure)
         if exact is None:
             exact = getattr(structure, "exact", None)
-        if exact is None and isinstance(structure, LearnedSetIndex):
-            exact = InvertedIndex(structure.collection)
+        if exact is None:
+            # Index structures (unsharded or sharded) carry their
+            # collection; an exact inverted index derives from it.
+            collection = getattr(structure, "collection", None)
+            if collection is not None:
+                exact = InvertedIndex(collection)
         if exact is None and self.policy.overflow == "shed-to-exact":
             raise ValueError(
                 "overflow='shed-to-exact' needs an exact InvertedIndex: pass "

@@ -1,0 +1,31 @@
+"""Sharded scale-out layer: partitioned training + scatter-gather serving.
+
+The ROADMAP's production-scale step: partition a :class:`SetCollection`
+into K contiguous shards (:mod:`repro.shard.plan`), train each shard's
+learned structures in parallel processes (:mod:`repro.shard.builder`), and
+route queries through scatter-gather combinators that preserve the
+unsharded semantics exactly (:mod:`repro.shard.routers`) — sum for
+cardinality, offset-corrected first hit for the index, OR for membership.
+The routers speak the same single-query and ``*_many`` batch APIs as the
+unsharded structures, so the serving, reliability, and engine layers work
+over them unchanged.
+"""
+
+from .builder import ShardBuildError, ShardedBuilder, TASKS
+from .plan import Shard, ShardPlan
+from .routers import (
+    ShardedBloomFilter,
+    ShardedCardinalityEstimator,
+    ShardedSetIndex,
+)
+
+__all__ = [
+    "Shard",
+    "ShardPlan",
+    "ShardedBuilder",
+    "ShardBuildError",
+    "ShardedCardinalityEstimator",
+    "ShardedSetIndex",
+    "ShardedBloomFilter",
+    "TASKS",
+]

@@ -1,0 +1,144 @@
+"""Contiguous shard plans over a :class:`SetCollection`.
+
+Sharding splits the collection ``S = [X_1, ..., X_N]`` into K contiguous
+slices so each shard can train its own (much smaller) learned structures in
+parallel.  Contiguity is load-bearing: the set index answers *first
+position containing the query*, and only contiguous shards let the router
+resolve that globally — scan shards in plan order, and the first shard that
+reports a hit holds the global first position (every earlier position lives
+in an earlier shard).  Each shard records its global ``offset`` so local
+positions translate back with one addition.
+
+The same move mirrors the staging in Kraska et al.'s learned-index RMI and
+ACE's workload partitioning: many small models over ranges instead of one
+monolith over everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..sets.collection import SetCollection
+
+__all__ = ["Shard", "ShardPlan"]
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One contiguous slice of the parent collection.
+
+    ``collection[i]`` of this shard is the parent's ``collection[offset + i]``.
+    """
+
+    shard_id: int
+    offset: int
+    collection: SetCollection
+
+    def __len__(self) -> int:
+        return len(self.collection)
+
+    @property
+    def end(self) -> int:
+        """One past the last global position this shard covers."""
+        return self.offset + len(self.collection)
+
+    def to_global(self, local_position: int) -> int:
+        """Translate a shard-local position to a global one."""
+        if not 0 <= local_position < len(self.collection):
+            raise IndexError(
+                f"local position {local_position} outside shard of "
+                f"length {len(self.collection)}"
+            )
+        return self.offset + local_position
+
+    def max_element_id(self) -> int:
+        """Largest element id stored in this shard (its trained universe)."""
+        return self.collection.max_element_id()
+
+
+class ShardPlan:
+    """A partition of one collection into contiguous, balanced shards.
+
+    Build with :meth:`contiguous`; iterate to get :class:`Shard` objects in
+    global position order.  The plan keeps a reference to the parent
+    collection so routers can expose it (and guarded facades can derive
+    their exact fallback from it).
+    """
+
+    def __init__(self, collection: SetCollection, shards: Sequence[Shard]):
+        if not shards:
+            raise ValueError("a shard plan needs at least one shard")
+        expected = 0
+        for shard_id, shard in enumerate(shards):
+            if shard.shard_id != shard_id:
+                raise ValueError("shards must be numbered 0..K-1 in order")
+            if shard.offset != expected:
+                raise ValueError(
+                    f"shard {shard_id} starts at {shard.offset}, "
+                    f"expected {expected}: shards must tile the collection"
+                )
+            if len(shard) == 0:
+                raise ValueError("shards must be non-empty")
+            expected = shard.end
+        if expected != len(collection):
+            raise ValueError(
+                f"shards cover {expected} sets but the collection holds "
+                f"{len(collection)}"
+            )
+        self.collection = collection
+        self._shards = tuple(shards)
+
+    @classmethod
+    def contiguous(cls, collection: SetCollection, num_shards: int) -> "ShardPlan":
+        """Split ``collection`` into ``num_shards`` balanced contiguous shards.
+
+        ``num_shards`` is clamped to ``len(collection)`` (a shard cannot be
+        empty), so asking for more shards than sets degrades gracefully to
+        one set per shard.  Sizes differ by at most one: the first
+        ``N mod K`` shards take the extra set.
+        """
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if len(collection) == 0:
+            raise ValueError("cannot shard an empty collection")
+        k = min(num_shards, len(collection))
+        base, extra = divmod(len(collection), k)
+        shards: list[Shard] = []
+        offset = 0
+        sets = collection.sets()
+        for shard_id in range(k):
+            length = base + (1 if shard_id < extra else 0)
+            sub = SetCollection(sets[offset : offset + length], vocab=collection.vocab)
+            shards.append(Shard(shard_id=shard_id, offset=offset, collection=sub))
+            offset += length
+        return cls(collection, shards)
+
+    # -- container protocol ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __iter__(self) -> Iterator[Shard]:
+        return iter(self._shards)
+
+    def __getitem__(self, shard_id: int) -> Shard:
+        return self._shards[shard_id]
+
+    @property
+    def num_sets(self) -> int:
+        """Total sets across all shards (== the parent collection size)."""
+        return len(self.collection)
+
+    def shard_of_position(self, position: int) -> Shard:
+        """The shard holding global ``position``."""
+        if not 0 <= position < self.num_sets:
+            raise IndexError(f"position {position} outside collection")
+        for shard in self._shards:
+            if position < shard.end:
+                return shard
+        raise AssertionError("unreachable: shards tile the collection")
+
+    def offsets(self) -> tuple[int, ...]:
+        """Global start position of each shard, in shard order."""
+        return tuple(shard.offset for shard in self._shards)

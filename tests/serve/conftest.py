@@ -8,6 +8,8 @@ server itself only reads.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
@@ -52,6 +54,19 @@ QUERIES = [
     (5,),
     (0, 4),
 ] * 6
+
+
+def wait_until(predicate, timeout: float = 10.0, interval: float = 0.002) -> bool:
+    """Bounded condition wait for threaded tests: polls ``predicate`` until
+    it holds or ``timeout`` elapses (never a fixed sleep — on a loaded CI
+    box a fixed sleep is either too short, and flakes, or too long, and
+    wastes the whole suite's budget)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return bool(predicate())
 
 
 def small_model_config() -> ModelConfig:

@@ -28,7 +28,7 @@ from repro.serve import (
 )
 from repro.sets import InvertedIndex
 
-from .conftest import QUERIES, small_model_config, train_estimator
+from .conftest import QUERIES, small_model_config, train_estimator, wait_until
 
 THREADS = 8
 
@@ -91,6 +91,7 @@ STRUCTURES = [
 ]
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize(
     "kind,fixture,guarded",
     STRUCTURES,
@@ -178,6 +179,7 @@ class TestSnapshotSwap:
         with pytest.raises(TypeError):
             detect_kind(object())
 
+    @pytest.mark.slow
     @pytest.mark.parametrize("kind", ["cardinality", "index", "bloom"])
     def test_swap_mid_traffic_loses_no_requests(
         self, request, collection, kind
@@ -235,8 +237,9 @@ class TestSnapshotSwap:
             for worker in workers:
                 worker.start()
             started.wait(timeout=10.0)
-            # Let traffic build, then hot-swap mid-flight.
-            threading.Event().wait(0.02)
+            # Hot-swap once traffic is demonstrably in flight — at least
+            # two batches dispatched — instead of after a fixed sleep.
+            assert wait_until(lambda: server.stats.batches_dispatched >= 2)
             server.swap(new)
             for worker in workers:
                 worker.join()

@@ -1,0 +1,118 @@
+"""ShardedBuilder: fault isolation, failure aggregation, guarded wrapping."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+import repro.shard.builder as builder_mod
+from repro.reliability import (
+    GuardedBloomFilter,
+    GuardedCardinalityEstimator,
+    GuardedSetIndex,
+)
+from repro.shard import (
+    TASKS,
+    ShardBuildError,
+    ShardedBloomFilter,
+    ShardedBuilder,
+    ShardedCardinalityEstimator,
+    ShardedSetIndex,
+)
+
+from .conftest import make_builder
+
+
+def _failing_dispatch(fail_shards):
+    real = builder_mod._dispatch_build
+
+    def dispatch(task, shard, model_config, train_config, options):
+        if shard.shard_id in fail_shards:
+            raise RuntimeError(f"injected failure on shard {shard.shard_id}")
+        return real(task, shard, model_config, train_config, options)
+
+    return dispatch
+
+
+def _exit_worker(job):
+    """Simulates a worker process dying outright (segfault/OOM-kill)."""
+    os._exit(17)
+
+
+class TestFailureSurfacing:
+    def test_single_shard_failure_is_attributed(self, plans, monkeypatch):
+        monkeypatch.setattr(builder_mod, "_dispatch_build", _failing_dispatch({1}))
+        with pytest.raises(ShardBuildError) as excinfo:
+            make_builder(plans[3]).build_index()
+        assert excinfo.value.failures == [
+            (1, "RuntimeError: injected failure on shard 1")
+        ]
+        assert "shard 1" in str(excinfo.value)
+
+    def test_all_failures_are_collected_not_just_the_first(self, plans, monkeypatch):
+        monkeypatch.setattr(builder_mod, "_dispatch_build", _failing_dispatch({0, 2}))
+        with pytest.raises(ShardBuildError) as excinfo:
+            make_builder(plans[3]).build_cardinality()
+        assert [sid for sid, _ in excinfo.value.failures] == [0, 2]
+
+    def test_failure_crosses_the_process_pool_boundary(self, plans, monkeypatch):
+        monkeypatch.setattr(builder_mod, "_dispatch_build", _failing_dispatch({2}))
+        with pytest.raises(ShardBuildError) as excinfo:
+            make_builder(plans[3], workers=2).build_bloom()
+        assert [sid for sid, _ in excinfo.value.failures] == [2]
+
+    def test_dead_worker_process_surfaces_as_build_error(self, plans, monkeypatch):
+        monkeypatch.setattr(builder_mod, "_train_shard", _exit_worker)
+        with pytest.raises(ShardBuildError) as excinfo:
+            make_builder(plans[3], workers=2).build_index()
+        assert excinfo.value.failures[0][0] == -1
+        assert "worker pool failed" in excinfo.value.failures[0][1]
+
+    def test_healthy_shards_are_not_reported(self, plans, monkeypatch):
+        monkeypatch.setattr(builder_mod, "_dispatch_build", _failing_dispatch(set()))
+        router = make_builder(plans[2]).build_index()
+        assert isinstance(router, ShardedSetIndex)
+        assert len(router.parts) == 2
+
+
+class TestAssembly:
+    def test_build_all_returns_every_router(self, plans):
+        routers = make_builder(plans[2]).build_all()
+        assert set(routers) == set(TASKS)
+        assert isinstance(routers["cardinality"], ShardedCardinalityEstimator)
+        assert isinstance(routers["index"], ShardedSetIndex)
+        assert isinstance(routers["bloom"], ShardedBloomFilter)
+
+    def test_guarded_builder_wraps_each_shard(self, plans):
+        builder = make_builder(plans[2], guarded=True)
+        guard_types = {
+            "cardinality": GuardedCardinalityEstimator,
+            "index": GuardedSetIndex,
+            "bloom": GuardedBloomFilter,
+        }
+        for task, guard_type in guard_types.items():
+            router = builder.build(task)
+            assert len(router.parts) == 2
+            assert all(isinstance(part, guard_type) for part in router.parts)
+
+    def test_guarded_routers_still_answer(self, plans, truth, collection):
+        router = make_builder(plans[2], guarded=True).build_index()
+        query = tuple(collection[0][:2])
+        assert router.lookup(query) == truth.first_position(query)
+
+    def test_rejects_unknown_task(self, plans):
+        with pytest.raises(ValueError, match="unknown task"):
+            make_builder(plans[2]).build("join")
+
+    def test_rejects_bad_worker_count(self, plans):
+        with pytest.raises(ValueError, match="workers"):
+            make_builder(plans[2], workers=0)
+
+    def test_default_workers_is_at_least_one(self):
+        assert ShardedBuilder.default_workers() >= 1
+
+    def test_per_shard_seeds_differ(self, plans):
+        builder = make_builder(plans[3], base_seed=7)
+        seeds = [job[3].seed for job in builder._jobs("index")]
+        assert seeds == [7, 8, 9]

@@ -1,0 +1,99 @@
+"""Seed determinism: same seed ⇒ byte-identical ``save_state`` payloads.
+
+Covers the sharded builder (including across worker counts — the process
+pool must change *when* shards train, never *what* they train on) and the
+unsharded structures, plus the serialization layer itself: archives embed
+no wall-clock state, so re-saving identical weights is bit-identical.
+"""
+
+from __future__ import annotations
+
+import zipfile
+
+import pytest
+
+from repro.nn.serialize import load_state, save_state
+
+from .conftest import build_unsharded, make_builder
+
+
+def _part_payloads(router, tmp_path, tag):
+    payloads = []
+    for shard_id, part in enumerate(router.parts):
+        path = tmp_path / f"{tag}-{shard_id}.npz"
+        save_state(part.model, path)
+        payloads.append(path.read_bytes())
+    return payloads
+
+
+def _build_unsharded(plans, task, seed):
+    return build_unsharded(plans[1][0], task, seed=seed)
+
+
+class TestShardedDeterminism:
+    @pytest.mark.parametrize("task", ["cardinality", "index"])
+    def test_same_seed_builds_identical_parts(self, plans, tmp_path, task):
+        first = make_builder(plans[2]).build(task)
+        second = make_builder(plans[2]).build(task)
+        assert _part_payloads(first, tmp_path, "a") == _part_payloads(
+            second, tmp_path, "b"
+        )
+
+    def test_worker_count_does_not_change_weights(self, plans, tmp_path):
+        inline = make_builder(plans[2], workers=1).build_cardinality()
+        pooled = make_builder(plans[2], workers=2).build_cardinality()
+        assert _part_payloads(inline, tmp_path, "w1") == _part_payloads(
+            pooled, tmp_path, "w2"
+        )
+
+    def test_different_seeds_build_different_weights(self, plans, tmp_path):
+        base = make_builder(plans[2], base_seed=0).build_cardinality()
+        other = make_builder(plans[2], base_seed=1000).build_cardinality()
+        assert _part_payloads(base, tmp_path, "s0") != _part_payloads(
+            other, tmp_path, "s1"
+        )
+
+    def test_single_shard_matches_direct_unsharded_build(self, plans, tmp_path):
+        sharded = make_builder(plans[1]).build_cardinality()
+        direct = _build_unsharded(plans, "cardinality", seed=0)
+        save_state(direct.model, tmp_path / "direct.npz")
+        assert _part_payloads(sharded, tmp_path, "k1") == [
+            (tmp_path / "direct.npz").read_bytes()
+        ]
+
+
+class TestUnshardedDeterminism:
+    def test_same_seed_double_build_is_byte_identical(self, plans, tmp_path):
+        first = _build_unsharded(plans, "cardinality", seed=3)
+        second = _build_unsharded(plans, "cardinality", seed=3)
+        save_state(first.model, tmp_path / "first.npz")
+        save_state(second.model, tmp_path / "second.npz")
+        assert (tmp_path / "first.npz").read_bytes() == (
+            tmp_path / "second.npz"
+        ).read_bytes()
+
+
+class TestArchiveDeterminism:
+    def test_resaving_the_same_weights_is_byte_identical(self, plans, tmp_path):
+        model = _build_unsharded(plans, "cardinality", seed=5).model
+        save_state(model, tmp_path / "a.npz")
+        save_state(model, tmp_path / "b.npz")
+        assert (tmp_path / "a.npz").read_bytes() == (tmp_path / "b.npz").read_bytes()
+
+    def test_archive_embeds_no_wall_clock_timestamps(self, plans, tmp_path):
+        model = _build_unsharded(plans, "cardinality", seed=5).model
+        save_state(model, tmp_path / "weights.npz")
+        with zipfile.ZipFile(tmp_path / "weights.npz") as archive:
+            for info in archive.infolist():
+                assert info.date_time == (1980, 1, 1, 0, 0, 0)
+
+    def test_deterministic_archive_round_trips(self, plans, collection, tmp_path):
+        estimator = _build_unsharded(plans, "cardinality", seed=5)
+        save_state(estimator.model, tmp_path / "weights.npz")
+        reload = _build_unsharded(plans, "cardinality", seed=6)
+        load_state(reload.model, tmp_path / "weights.npz")
+        query = tuple(collection[0][:2])
+        # float32 archive dtype: answers agree to float32 precision.
+        assert reload.estimate(query) == pytest.approx(
+            estimator.estimate(query), rel=1e-3
+        )

@@ -1,0 +1,214 @@
+"""Differential/metamorphic harness: sharded vs unsharded ground truth.
+
+For every shard count K the routers must reproduce what a single structure
+over the whole collection guarantees:
+
+* **index** — the learned index is exact (bounded search + fallback scan),
+  so ``ShardedSetIndex`` must return *exactly* the global first position
+  from the exact inverted index, on every query;
+* **bloom** — no false negatives: every stored subset (all are trained
+  positives here, thanks to full enumeration) must be reported present;
+  the router's answer must also equal the OR of per-shard answers;
+* **cardinality** — estimates must equal the sum of per-shard estimates
+  over the shards the query can touch (counts over disjoint slices add
+  up), and at K == 1 the router must answer bit-identically to a directly
+  built unsharded estimator with the same seed.
+
+Edge cases ride along: empty, out-of-vocabulary, and oversized queries
+(through the guarded facades, which define their semantics), K larger
+than the collection, and fault injection on the shards' models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.reliability import (
+    FaultInjector,
+    GuardedBloomFilter,
+    GuardedCardinalityEstimator,
+    GuardedSetIndex,
+)
+from repro.shard import ShardPlan
+
+from .conftest import (
+    SHARD_COUNTS,
+    build_unsharded,
+    fresh_router,
+    make_builder,
+    mixed_workload,
+    subset_workload,
+)
+
+NUM_QUERIES = 220  # >= 200 randomized queries per structure, per K
+
+
+@pytest.mark.parametrize("k", SHARD_COUNTS)
+class TestIndexDifferential:
+    def test_sharded_lookup_matches_exact_first_position(
+        self, routers, truth, collection, rng, k
+    ):
+        queries = mixed_workload(collection, rng, num_queries=NUM_QUERIES)
+        index = routers("index", k)
+        batched = index.lookup_many(queries)
+        for query, got in zip(queries, batched):
+            assert got == truth.first_position(query), (
+                f"K={k} query {query}: sharded {got} != exact"
+            )
+
+    def test_single_lookup_agrees_with_batch(self, routers, collection, rng, k):
+        queries = mixed_workload(collection, rng, num_queries=40)
+        index = routers("index", k)
+        assert [index.lookup(q) for q in queries] == index.lookup_many(queries)
+
+
+@pytest.mark.parametrize("k", SHARD_COUNTS)
+class TestBloomDifferential:
+    def test_no_false_negatives_on_stored_subsets(
+        self, routers, truth, collection, rng, k
+    ):
+        queries = subset_workload(collection, rng, num_queries=NUM_QUERIES)
+        bloom = routers("bloom", k)
+        answers = bloom.contains_many(queries)
+        for query, answer in zip(queries, answers):
+            assert truth.contains(query)
+            assert answer, f"K={k}: false negative on stored subset {query}"
+
+    def test_router_answer_is_the_or_of_shard_answers(
+        self, routers, collection, rng, k
+    ):
+        queries = mixed_workload(collection, rng, num_queries=NUM_QUERIES)
+        bloom = routers("bloom", k)
+        batched = bloom.contains_many(queries)
+        for query, got in zip(queries, batched):
+            per_shard = [
+                bool(part.contains_many([query])[0])
+                for shard_id, part in enumerate(bloom.parts)
+                if bloom._shard_can_match(shard_id, tuple(sorted(set(query))))
+            ]
+            assert bool(got) == any(per_shard)
+
+
+@pytest.mark.parametrize("k", SHARD_COUNTS)
+class TestCardinalityDifferential:
+    def test_estimate_is_the_sum_of_shard_estimates(
+        self, routers, collection, rng, k
+    ):
+        queries = mixed_workload(collection, rng, num_queries=NUM_QUERIES)
+        estimator = routers("cardinality", k)
+        batched = estimator.estimate_many(queries)
+        for query, got in zip(queries, batched):
+            canonical = tuple(sorted(set(query)))
+            expected = sum(
+                float(part.estimate_many([canonical])[0])
+                for shard_id, part in enumerate(estimator.parts)
+                if estimator._shard_can_match(shard_id, canonical)
+            )
+            assert got == pytest.approx(expected, rel=1e-9), f"K={k} query {query}"
+
+    def test_estimates_are_finite_and_positive(self, routers, collection, rng, k):
+        queries = subset_workload(collection, rng, num_queries=60)
+        estimates = routers("cardinality", k).estimate_many(queries)
+        assert np.all(np.isfinite(estimates))
+        assert np.all(estimates >= 1.0)
+
+
+class TestSingleShardEquivalence:
+    """K == 1 routing must be a no-op: answers identical to a direct build."""
+
+    @pytest.fixture(scope="class")
+    def direct(self, plans):
+        return lambda task: build_unsharded(plans[1][0], task, seed=0)
+
+    def test_cardinality_identical_to_unsharded(
+        self, routers, direct, collection, rng
+    ):
+        queries = subset_workload(collection, rng, num_queries=80)
+        sharded = routers("cardinality", 1).estimate_many(queries)
+        unsharded = direct("cardinality").estimate_many(queries)
+        np.testing.assert_allclose(sharded, unsharded, rtol=0, atol=0)
+
+    def test_index_identical_to_unsharded(self, routers, direct, collection, rng):
+        queries = mixed_workload(collection, rng, num_queries=80)
+        assert routers("index", 1).lookup_many(queries) == direct("index").lookup_many(
+            queries
+        )
+
+    def test_bloom_identical_to_unsharded(self, routers, direct, collection, rng):
+        queries = mixed_workload(collection, rng, num_queries=80)
+        sharded = routers("bloom", 1).contains_many(queries)
+        unsharded = direct("bloom").contains_many(queries)
+        assert list(sharded) == [bool(a) for a in unsharded]
+
+
+class TestEdgeCases:
+    def test_k_larger_than_collection(self, collection, truth, rng):
+        plan = ShardPlan.contiguous(collection, len(collection) + 10)
+        index = make_builder(plan).build_index()
+        queries = mixed_workload(collection, rng, num_queries=60)
+        for query, got in zip(queries, index.lookup_many(queries)):
+            assert got == truth.first_position(query)
+
+    def test_empty_query_semantics(self, routers, collection):
+        assert routers("index", 3).lookup(()) == 0
+        assert routers("bloom", 3).contains(()) is True
+        assert routers("cardinality", 3).estimate(()) == float(len(collection))
+
+    def test_oov_query_semantics(self, routers, collection):
+        oov = (collection.max_element_id() + 10_000,)
+        assert routers("index", 3).lookup(oov) is None
+        assert routers("bloom", 3).contains(oov) is False
+        assert routers("cardinality", 3).estimate(oov) == 0.0
+
+    def test_oversized_query_misses(self, routers, collection):
+        oversized = tuple(range(max(len(s) for s in collection) + 1))
+        assert routers("index", 3).lookup(oversized) is None
+
+    def test_guarded_routers_define_hostile_semantics(
+        self, routers, truth, collection
+    ):
+        estimator = GuardedCardinalityEstimator(
+            fresh_router(routers("cardinality", 3)), truth
+        )
+        index = GuardedSetIndex(fresh_router(routers("index", 3)), truth)
+        bloom = GuardedBloomFilter(fresh_router(routers("bloom", 3)), truth)
+        oov = (collection.max_element_id() + 10_000,)
+        assert estimator.estimate(()) == float(len(collection))
+        assert estimator.estimate(oov) == 0.0
+        assert estimator.estimate(("not", "ints")) == 0.0
+        assert index.lookup(()) == 0
+        assert index.lookup(oov) is None
+        assert bloom.contains(()) is True
+        assert bloom.contains(oov) is False
+        assert bloom.contains(("not", "ints")) is False
+
+
+@pytest.mark.faults
+class TestFaultInjection:
+    """No-false-negative invariant under model faults on the shards.
+
+    Guarded per-shard parts fall back to their shard-local exact indexes
+    when predictions go non-finite, so even NaN classifiers on *every*
+    shard (a fortiori one) keep the OR exact for stored subsets.
+    """
+
+    def test_bloom_no_false_negatives_with_nan_shards(
+        self, plans, truth, collection, rng
+    ):
+        bloom = make_builder(plans[3], guarded=True).build_bloom()
+        queries = subset_workload(collection, rng, num_queries=NUM_QUERIES)
+        with FaultInjector(nan_predictions=np.inf):
+            answers = bloom.contains_many(queries)
+        for query, answer in zip(queries, answers):
+            assert truth.contains(query)
+            assert answer, f"false negative under fault injection: {query}"
+
+    def test_guarded_sharded_lookup_survives_nan_shards(
+        self, plans, truth, collection, rng
+    ):
+        index = GuardedSetIndex(make_builder(plans[3]).build_index(), truth)
+        queries = mixed_workload(collection, rng, num_queries=60)
+        with FaultInjector(nan_predictions=np.inf):
+            answers = index.lookup_many(queries)
+        assert answers == [truth.first_position(q) for q in queries]

@@ -1,0 +1,107 @@
+"""ShardPlan: contiguity, balance, clamping, position arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sets import SetCollection
+from repro.shard import Shard, ShardPlan
+
+from .conftest import SHARD_COUNTS
+
+
+class TestContiguous:
+    @pytest.mark.parametrize("k", SHARD_COUNTS)
+    def test_shards_tile_the_collection_in_order(self, collection, k):
+        plan = ShardPlan.contiguous(collection, k)
+        assert len(plan) == k
+        offset = 0
+        for shard_id, shard in enumerate(plan):
+            assert shard.shard_id == shard_id
+            assert shard.offset == offset
+            for local, stored in enumerate(shard.collection):
+                assert stored == collection[offset + local]
+            offset = shard.end
+        assert offset == len(collection)
+        assert plan.num_sets == len(collection)
+
+    @pytest.mark.parametrize("k", SHARD_COUNTS)
+    def test_shards_are_balanced(self, collection, k):
+        plan = ShardPlan.contiguous(collection, k)
+        sizes = [len(shard) for shard in plan]
+        assert max(sizes) - min(sizes) <= 1
+        assert sum(sizes) == len(collection)
+
+    def test_more_shards_than_sets_clamps_to_one_set_each(self, collection):
+        plan = ShardPlan.contiguous(collection, len(collection) + 50)
+        assert len(plan) == len(collection)
+        assert all(len(shard) == 1 for shard in plan)
+
+    def test_single_shard_is_the_whole_collection(self, collection):
+        plan = ShardPlan.contiguous(collection, 1)
+        assert len(plan) == 1
+        assert list(plan[0].collection) == list(collection)
+        assert plan[0].offset == 0
+
+    def test_vocab_is_preserved_on_subcollections(self):
+        collection = SetCollection.from_token_sets([["a", "b"], ["b", "c"], ["a"]])
+        plan = ShardPlan.contiguous(collection, 2)
+        for shard in plan:
+            assert shard.collection.vocab is collection.vocab
+
+    def test_rejects_bad_inputs(self, collection):
+        with pytest.raises(ValueError):
+            ShardPlan.contiguous(collection, 0)
+        with pytest.raises(ValueError):
+            ShardPlan.contiguous(SetCollection([]), 2)
+
+
+class TestPositions:
+    def test_shard_of_position_round_trips(self, collection):
+        plan = ShardPlan.contiguous(collection, 7)
+        for position in range(len(collection)):
+            shard = plan.shard_of_position(position)
+            local = position - shard.offset
+            assert shard.to_global(local) == position
+            assert shard.collection[local] == collection[position]
+
+    def test_shard_of_position_bounds(self, collection):
+        plan = ShardPlan.contiguous(collection, 3)
+        with pytest.raises(IndexError):
+            plan.shard_of_position(-1)
+        with pytest.raises(IndexError):
+            plan.shard_of_position(len(collection))
+
+    def test_to_global_rejects_out_of_shard_positions(self, collection):
+        plan = ShardPlan.contiguous(collection, 3)
+        with pytest.raises(IndexError):
+            plan[0].to_global(len(plan[0]))
+
+    def test_offsets_match_shards(self, collection):
+        plan = ShardPlan.contiguous(collection, 3)
+        assert plan.offsets() == tuple(shard.offset for shard in plan)
+
+
+class TestValidation:
+    def test_rejects_non_tiling_shards(self, collection):
+        sets = collection.sets()
+        a = Shard(0, 0, SetCollection(sets[:10]))
+        gap = Shard(1, 11, SetCollection(sets[11:], vocab=None))
+        with pytest.raises(ValueError):
+            ShardPlan(collection, [a, gap])
+
+    def test_rejects_misnumbered_shards(self, collection):
+        sets = collection.sets()
+        a = Shard(1, 0, SetCollection(sets[:10]))
+        with pytest.raises(ValueError):
+            ShardPlan(collection, [a])
+
+    def test_rejects_incomplete_cover(self, collection):
+        sets = collection.sets()
+        a = Shard(0, 0, SetCollection(sets[:10]))
+        with pytest.raises(ValueError):
+            ShardPlan(collection, [a])
+
+    def test_rejects_empty_plan(self, collection):
+        with pytest.raises(ValueError):
+            ShardPlan(collection, [])

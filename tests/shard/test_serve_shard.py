@@ -1,0 +1,109 @@
+"""SetServer over sharded routers: the serving layer must not notice.
+
+The routers expose the same ``*_many`` entry points, ``collection``
+attribute, update notifications, and (for membership) ``backup`` view as
+the unsharded structures, so every serving feature — kind detection,
+batched dispatch, result caching with per-key invalidation, hot snapshot
+swap (including unsharded → sharded), and shed-to-exact admission
+control — must work unchanged.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import BatchPolicy, SetServer, detect_kind
+
+from .conftest import build_unsharded, fresh_router, subset_workload
+
+
+def _serial(kind, structure, queries):
+    if kind == "cardinality":
+        return [float(structure.estimate(q)) for q in queries]
+    if kind == "index":
+        return [structure.lookup(q) for q in queries]
+    return [bool(structure.contains(q)) for q in queries]
+
+
+class TestKindDetection:
+    @pytest.mark.parametrize("task", ["cardinality", "index", "bloom"])
+    def test_sharded_routers_are_servable_kinds(self, routers, task):
+        assert detect_kind(routers(task, 2)) == task
+
+
+class TestServedParity:
+    @pytest.mark.parametrize("task", ["cardinality", "index", "bloom"])
+    def test_served_answers_match_the_router(self, routers, collection, rng, task):
+        router = routers(task, 3)
+        queries = subset_workload(collection, rng, num_queries=36)
+        serial = _serial(task, router, queries)
+        with SetServer(router, cache_size=0) as server:
+            served = server.query_many(queries)
+        assert served == serial
+        assert server.stats.requests_failed == 0
+
+
+class TestSnapshotSwap:
+    def test_swap_unsharded_to_sharded(self, routers, plans, collection, rng):
+        unsharded = build_unsharded(plans[1][0], "cardinality", seed=0)
+        sharded = routers("cardinality", 3)
+        queries = subset_workload(collection, rng, num_queries=12)
+        with SetServer(unsharded, cache_size=0) as server:
+            before = server.query_many(queries)
+            server.swap(sharded)
+            after = server.query_many(queries)
+        assert before == _serial("cardinality", unsharded, queries)
+        assert after == _serial("cardinality", sharded, queries)
+        assert server.stats.snapshot_swaps == 1
+
+    def test_swap_rejects_kind_mismatch(self, routers):
+        with SetServer(routers("cardinality", 2), cache_size=0) as server:
+            with pytest.raises(TypeError):
+                server.swap(routers("index", 2))
+
+
+class TestCacheInvalidation:
+    def test_record_update_invalidates_cached_sharded_answer(
+        self, routers, collection
+    ):
+        router = fresh_router(routers("cardinality", 3))
+        query = tuple(collection[0][:2])
+        with SetServer(router, cache_size=256) as server:
+            before = server.query(query)
+            assert server.query(query) == before  # cached
+            router.record_update(query, 41)
+            after = server.query(query)
+        assert after == 41.0
+        assert server.cache.invalidations >= 1
+
+    def test_bloom_insert_invalidates_cached_miss(self, routers, collection):
+        router = fresh_router(routers("bloom", 3))
+        absent = (collection.max_element_id() + 8, collection.max_element_id() + 9)
+        with SetServer(router, cache_size=256) as server:
+            assert server.query(absent) is False
+            router.insert(absent)
+            assert server.query(absent) is True
+
+
+class TestShedToExact:
+    def test_exact_index_derives_from_the_router_collection(self, routers, truth):
+        router = routers("cardinality", 3)
+        policy = BatchPolicy(max_queue=4, overflow="shed-to-exact")
+        # No exact= passed: the server derives one from router.collection.
+        server = SetServer(router, policy=policy, cache_size=0)
+        workload = [tuple(router.collection[i][:2]) for i in range(12)]
+        # Dispatcher not started: the queue fills, the rest must shed.
+        futures = [server.submit(q) for q in workload]
+        shed_rows = [
+            row
+            for row, f in enumerate(futures)
+            if f.done() and row >= policy.max_queue
+        ]
+        assert server.stats.shed == len(workload) - policy.max_queue
+        for row in shed_rows:
+            assert futures[row].result(0.0) == float(truth.cardinality(workload[row]))
+        server.start()
+        for future in futures:
+            future.result(timeout=30.0)
+        server.close()
+        assert server.stats.requests_failed == 0

@@ -169,6 +169,85 @@ class TestTrainAndQuery:
         assert structure.estimate((2, 3)) >= 1.0
 
 
+class TestShardCli:
+    def test_build_parser_defaults(self):
+        args = build_parser().parse_args(["build", "cardinality", "a.txt", "b.pkl"])
+        assert args.shards == 4
+        assert args.workers == 1
+        assert args.kind == "clsm"
+
+    def test_bench_shard_parser_defaults(self):
+        args = build_parser().parse_args(["bench-shard"])
+        assert args.shards == 4
+        assert args.workers == [1, 2, 4]
+        assert args.task == "cardinality"
+
+    def test_sharded_cardinality_roundtrip(self, collection_file, tmp_path, capsys):
+        model_file = tmp_path / "sharded.pkl"
+        assert main(
+            [
+                "build", "cardinality", str(collection_file), str(model_file),
+                "--shards", "2", "--kind", "lsm", "--epochs", "5",
+                "--max-subset-size", "3",
+            ]
+        ) == 0
+        assert "sharded cardinality" in capsys.readouterr().out
+        assert main(["estimate", str(model_file), "2", "3"]) == 0
+        value = float(capsys.readouterr().out.strip().splitlines()[-1])
+        assert value >= 1.0
+        with open(model_file, "rb") as handle:
+            router = pickle.load(handle)
+        assert router.num_shards == 2
+        assert router.estimate((2, 3)) >= 1.0
+
+    def test_sharded_index_roundtrip(self, collection_file, tmp_path, capsys):
+        model_file = tmp_path / "idx.pkl"
+        assert main(
+            [
+                "build", "index", str(collection_file), str(model_file),
+                "--shards", "3", "--kind", "lsm", "--epochs", "5",
+                "--max-subset-size", "3",
+            ]
+        ) == 0
+        assert main(["lookup", str(model_file), "2", "3"]) == 0
+        answer = capsys.readouterr().out.strip().splitlines()[-1]
+        assert answer == "0"  # first set containing {2, 3}
+
+    def test_guarded_sharded_bloom_roundtrip(self, collection_file, tmp_path, capsys):
+        model_file = tmp_path / "bf.pkl"
+        assert main(
+            [
+                "build", "bloom", str(collection_file), str(model_file),
+                "--shards", "2", "--kind", "lsm", "--epochs", "5", "--guarded",
+            ]
+        ) == 0
+        assert "guarded sharded bloom" in capsys.readouterr().out
+        assert main(["contains", str(model_file), "2", "3"]) == 0
+        answer = capsys.readouterr().out.strip().splitlines()[-1]
+        assert answer == "present"  # stored subset: no false negatives
+
+    def test_bench_shard_smoke(self, tmp_path, capsys, monkeypatch):
+        import json
+
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        out_file = tmp_path / "shard.json"
+        assert main(
+            [
+                "bench-shard", "--dataset", "sd", "--scale", "0.02",
+                "--shards", "2", "--workers", "1", "--num-queries", "40",
+                "--epochs", "2", "--max-training-samples", "2000",
+                "--out", str(out_file),
+            ]
+        ) == 0
+        report = json.loads(out_file.read_text())
+        assert report["violations"] == {"1": 0}
+        assert report["cpu_count"] >= 1
+        assert report["num_shards"] == 2
+        printed = capsys.readouterr().out
+        assert "speedup" in printed
+        assert "wrote" in printed
+
+
 class TestServeCli:
     def test_serve_parser_defaults(self):
         args = build_parser().parse_args(["serve", "model.pkl"])

@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""CI metrics smoke test: serve a tiny structure, scrape it, validate.
+
+Trains a minimal cardinality estimator, serves it through the TCP
+frontend, drives a few queries, then hits the ``METRICS`` verb and checks
+that the Prometheus-style exposition
+
+* is non-empty and ``# EOF``-framed,
+* contains no duplicate metric family names,
+* parses line by line (``# HELP``/``# TYPE`` comments plus
+  ``name{labels} value`` samples with float-parseable values),
+* covers the families the observability layer promises: serve latency
+  histogram, cache hit rate, guard fallbacks, shard fan-out, and the
+  last-training stats.
+
+Exit code 0 on success, 1 with a diagnostic on any violation — cheap
+enough for every CI run (a few seconds end to end).
+"""
+
+from __future__ import annotations
+
+import re
+import socket
+import sys
+
+from repro.core import ModelConfig, OutlierRemovalConfig, TrainConfig
+from repro.reliability import GuardedCardinalityEstimator
+from repro.serve import SetServer, TcpServeFrontend
+from repro.sets import SetCollection
+from repro.shard import ShardedBuilder, ShardPlan
+
+REQUIRED_FAMILIES = (
+    "repro_serve_latency_seconds",
+    "repro_serve_requests_served_total",
+    "repro_cache_hit_rate",
+    "repro_health_fallbacks",
+    "repro_shard_fanout_shard_calls",
+    "repro_training_final_loss",
+)
+
+SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+$"
+)
+
+
+def build_structure():
+    collection = SetCollection(
+        [[i % 5, (i % 7) + 5, (i % 3) + 12] for i in range(40)]
+    )
+    plan = ShardPlan.contiguous(collection, 2)
+    builder = ShardedBuilder(
+        plan,
+        workers=1,
+        base_seed=0,
+        guarded=True,
+        model_config=ModelConfig(
+            kind="lsm", embedding_dim=2, phi_hidden=(4,), rho_hidden=(4,), seed=0
+        ),
+        train_config=TrainConfig(epochs=2, batch_size=32, lr=5e-3, loss="mse", seed=0),
+        removal=OutlierRemovalConfig(percentile=90.0, at_epochs=(1,)),
+        max_subset_size=3,
+        max_training_samples=500,
+    )
+    return builder.build("cardinality"), collection
+
+
+def scrape(address) -> list[str]:
+    with socket.create_connection(address, timeout=10.0) as sock:
+        stream = sock.makefile("rw", encoding="utf-8", newline="\n")
+        for i in range(20):
+            stream.write(f"{i % 5} {(i % 7) + 5}\n")
+            stream.flush()
+            answer = stream.readline().strip()
+            if answer.startswith("error"):
+                raise AssertionError(f"query {i} failed: {answer}")
+        stream.write("METRICS\n")
+        stream.flush()
+        lines = []
+        for raw in stream:
+            if raw.strip() == "# EOF":
+                return lines
+            lines.append(raw.rstrip("\n"))
+    raise AssertionError("METRICS reply was not terminated by '# EOF'")
+
+
+def validate(lines: list[str]) -> None:
+    assert lines, "exposition is empty"
+    families: list[str] = []
+    samples = 0
+    for line in lines:
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            assert len(parts) == 4, f"malformed TYPE line: {line!r}"
+            assert parts[3] in ("counter", "gauge", "histogram"), line
+            families.append(parts[2])
+        elif line.startswith("# HELP "):
+            assert len(line.split()) >= 3, f"malformed HELP line: {line!r}"
+        elif line.startswith("#"):
+            raise AssertionError(f"unexpected comment line: {line!r}")
+        else:
+            assert SAMPLE_LINE.match(line), f"unparseable sample: {line!r}"
+            float(line.rsplit(" ", 1)[1])  # value must parse
+            samples += 1
+    assert samples > 0, "exposition has no samples"
+    duplicates = {name for name in families if families.count(name) > 1}
+    assert not duplicates, f"duplicate metric families: {sorted(duplicates)}"
+    missing = [name for name in REQUIRED_FAMILIES if name not in families]
+    assert not missing, f"missing required families: {missing}"
+
+
+def main() -> int:
+    structure, _ = build_structure()
+    assert isinstance(structure.parts[0], GuardedCardinalityEstimator)
+    with SetServer(structure, cache_size=64) as server:
+        frontend = TcpServeFrontend(server, port=0).start_background()
+        try:
+            lines = scrape(frontend.address)
+        finally:
+            frontend.shutdown()
+    validate(lines)
+    print(
+        f"metrics smoke OK: {len(lines)} exposition lines, "
+        f"{sum(1 for l in lines if l.startswith('# TYPE '))} families"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except AssertionError as failure:
+        print(f"metrics smoke FAILED: {failure}", file=sys.stderr)
+        sys.exit(1)

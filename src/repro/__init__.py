@@ -14,6 +14,7 @@ Subpackages
 ``repro.core``      the paper's contribution (LSM/CLSM models, hybrid)
 ``repro.datasets``  synthetic stand-ins for RW / Tweets / SD
 ``repro.engine``    mini relational engine (PostgreSQL stand-in)
+``repro.obs``       observability: metrics registry, tracing, profiler
 ``repro.reliability`` guarded serving, health counters, fault injection
 ``repro.serve``     concurrent query serving: micro-batching, caching, swap
 ``repro.shard``     sharded scale-out: parallel training, scatter-gather
@@ -41,6 +42,15 @@ from .core import (
     TrainConfig,
     mean_q_error,
     q_error,
+)
+from .obs import (
+    MetricsRegistry,
+    Tracer,
+    TrainingProfiler,
+    get_profiler,
+    get_tracer,
+    global_registry,
+    trace,
 )
 from .reliability import (
     FaultInjector,
@@ -87,6 +97,13 @@ __all__ = [
     "SetServer",
     "BatchPolicy",
     "ServerStats",
+    "MetricsRegistry",
+    "Tracer",
+    "TrainingProfiler",
+    "get_profiler",
+    "get_tracer",
+    "global_registry",
+    "trace",
     "Shard",
     "ShardPlan",
     "ShardedBuilder",

@@ -17,6 +17,9 @@ Usage (installed as the ``repro`` console script, or
     repro lookup idx.pkl 3 17                  # first position containing {3, 17}
     repro contains bf.pkl 3 17                 # membership answer
     repro serve est.pkl --port 7007            # concurrent TCP query serving
+    repro stats --connect 127.0.0.1:7007       # live server telemetry (JSON)
+    repro stats --connect 127.0.0.1:7007 --metrics   # Prometheus exposition
+    repro trace-dump --connect 127.0.0.1:7007  # recent query-path spans
     repro bench-serve --dataset rw-small       # serving-vs-serial loadgen
 
 Trained structures are pickled whole (model + scaler + auxiliaries), which
@@ -67,8 +70,29 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--scale", type=float, default=None,
                           help="size multiplier (default: REPRO_SCALE or 1.0)")
 
-    stats = commands.add_parser("stats", help="print Table-2 statistics of a file")
-    stats.add_argument("collection", type=Path)
+    stats = commands.add_parser(
+        "stats",
+        help="print Table-2 statistics of a collection file, or live "
+             "telemetry of a running server (--connect)",
+    )
+    stats.add_argument("collection", type=Path, nargs="?", default=None)
+    stats.add_argument("--connect", metavar="HOST:PORT", default=None,
+                       help="fetch telemetry from a running `repro serve` "
+                            "instead of reading a collection file")
+    stats.add_argument("--metrics", action="store_true",
+                       help="with --connect: print the Prometheus-style "
+                            "exposition (METRICS verb) instead of JSON stats")
+
+    trace_dump = commands.add_parser(
+        "trace-dump",
+        help="dump recent query-path trace spans from a running server",
+    )
+    trace_dump.add_argument("--connect", metavar="HOST:PORT", required=True)
+    trace_dump.add_argument("--limit", type=int, default=50,
+                            help="maximum spans to fetch (newest kept)")
+    trace_dump.add_argument("--json", action="store_true",
+                            help="print the raw span JSON instead of the "
+                                 "one-line-per-span summary")
 
     train = commands.add_parser("train", help="train a learned structure")
     train.add_argument("task", choices=("cardinality", "index", "bloom"))
@@ -196,11 +220,75 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _parse_address(address: str) -> tuple[str, int]:
+    host, _, port = address.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(f"error: --connect expects HOST:PORT, got {address!r}")
+    return host, int(port)
+
+
+def _fetch_from_server(address: str, verb: str) -> str:
+    """Send one protocol verb to a running server and return its reply.
+
+    ``METRICS`` replies are multi-line and terminated by ``# EOF``; every
+    other verb answers on a single line.
+    """
+    import socket
+
+    host, port = _parse_address(address)
+    with socket.create_connection((host, port), timeout=10.0) as sock:
+        stream = sock.makefile("rw", encoding="utf-8", newline="\n")
+        stream.write(verb + "\n")
+        stream.flush()
+        if not verb.upper().startswith("METRICS"):
+            return stream.readline().strip()
+        lines = []
+        for line in stream:
+            if line.strip() == "# EOF":
+                break
+            lines.append(line.rstrip("\n"))
+        return "\n".join(lines)
+
+
 def _cmd_stats(args) -> int:
+    if args.connect is not None:
+        print(_fetch_from_server(args.connect, "METRICS" if args.metrics else "STATS"))
+        return 0
+    if args.metrics:
+        print("error: --metrics requires --connect", file=sys.stderr)
+        return 2
+    if args.collection is None:
+        print("error: pass a collection file or --connect HOST:PORT",
+              file=sys.stderr)
+        return 2
     collection = SetCollection.load(args.collection)
     stats = collection.stats()
     for key, value in stats.as_row().items():
         print(f"{key:10s} {value}")
+    return 0
+
+
+def _cmd_trace_dump(args) -> int:
+    import json
+
+    payload = _fetch_from_server(args.connect, f"TRACE {max(args.limit, 0)}")
+    spans = json.loads(payload or "[]")
+    if args.json:
+        print(json.dumps(spans, indent=2, sort_keys=True))
+        return 0
+    if not spans:
+        print("no spans recorded")
+        return 0
+    for span in spans:
+        attrs = " ".join(
+            f"{key}={value}" for key, value in sorted(span["attrs"].items())
+        )
+        parent = f" parent={span['parent_id']}" if span.get("parent_id") else ""
+        print(
+            f"#{span['span_id']:<6d} {span['name']:<14s} "
+            f"{span['duration_ms']:9.3f}ms{parent}"
+            f"{'  ' + attrs if attrs else ''}"
+        )
     return 0
 
 
@@ -492,6 +580,7 @@ _COMMANDS = {
     "datasets": _cmd_datasets,
     "generate": _cmd_generate,
     "stats": _cmd_stats,
+    "trace-dump": _cmd_trace_dump,
     "train": _cmd_train,
     "build": _cmd_build,
     "estimate": _cmd_estimate,

@@ -22,6 +22,7 @@ from typing import Sequence
 import numpy as np
 
 from ..nn.data import RaggedArray, SetDataLoader
+from ..obs.profiler import TrainingProfiler, get_profiler
 from .deepsets import SetModel
 from .qerror import absolute_error, q_error
 from .scaling import LogMinMaxScaler
@@ -107,12 +108,16 @@ def guided_fit(
     train_config: TrainConfig,
     removal: OutlierRemovalConfig | None = None,
     rng: np.random.Generator | None = None,
+    profiler: TrainingProfiler | None = None,
 ) -> GuidedFitResult:
     """Train ``model`` with iterative outlier eviction.
 
     ``targets`` are in the original space (positions or cardinalities); the
     loader is built on the scaled space.  Returns the history, the evicted
     indices, and final per-sample absolute errors over the full corpus.
+    Eviction counts and budget hits are reported to ``profiler`` (the
+    process-wide training profiler by default), alongside the per-epoch
+    telemetry the inner :class:`Trainer` emits.
     """
     ragged = sets if isinstance(sets, RaggedArray) else RaggedArray(sets)
     targets = np.asarray(targets, dtype=np.float64)
@@ -123,7 +128,8 @@ def guided_fit(
         batch_size=train_config.batch_size,
         rng=rng or np.random.default_rng(train_config.seed),
     )
-    trainer = Trainer(model, train_config)
+    profiler = profiler if profiler is not None else get_profiler()
+    trainer = Trainer(model, train_config, profiler=profiler)
     total = len(ragged)
     outliers: list[np.ndarray] = []
     removal_stats = {"budget_hits": 0, "clamped": False}
@@ -137,6 +143,7 @@ def guided_fit(
         budget = int(removal.max_fraction_removed * total) - already_removed
         if budget <= 0:
             removal_stats["budget_hits"] += 1
+            profiler.on_budget_hit()
             return
         active = loader.active_indices()
         errors = _sample_errors(
@@ -150,6 +157,7 @@ def guided_fit(
             order = np.argsort(errors[evict_mask])[::-1]
             evict = evict[order[:budget]]
             removal_stats["budget_hits"] += 1
+            profiler.on_budget_hit()
         if len(evict) >= len(active):
             # An extreme percentile must never evict the whole corpus:
             # guided learning with nothing left to train on is §6's
@@ -160,6 +168,7 @@ def guided_fit(
         if len(evict):
             loader.deactivate(evict)
             outliers.append(evict)
+            profiler.on_eviction(len(evict))
         assert loader.num_active > 0, "guided eviction emptied the training set"
 
     history = trainer.fit(loader, epoch_end=epoch_end)

@@ -22,6 +22,7 @@ import numpy as np
 from ..nn.data import SetDataLoader
 from ..nn.losses import resolve_loss
 from ..nn.optim import SGD, Adam, RMSprop
+from ..obs.profiler import TrainingProfiler, get_profiler
 from ..reliability.faults import corrupt_loss
 from .deepsets import SetModel
 
@@ -118,13 +119,21 @@ class TrainingHistory:
 
 
 class Trainer:
-    """Runs the epoch loop of one model over one data loader."""
+    """Runs the epoch loop of one model over one data loader.
 
-    def __init__(self, model: SetModel, config: TrainConfig):
+    ``profiler`` receives per-epoch telemetry (loss, active samples,
+    learning rate) and divergence-rollback events; it defaults to the
+    process-wide :func:`repro.obs.get_profiler`, whose gauges back the
+    observability layer's ``repro_training_*`` metrics.
+    """
+
+    def __init__(self, model: SetModel, config: TrainConfig,
+                 profiler: TrainingProfiler | None = None):
         self.model = model
         self.config = config
         self.optimizer = config.make_optimizer(model.parameters())
         self.loss_fn = resolve_loss(config.loss)
+        self.profiler = profiler if profiler is not None else get_profiler()
 
     def fit(
         self,
@@ -186,6 +195,9 @@ class Trainer:
             history.losses.append(mean_loss)
             history.epoch_seconds.append(time.perf_counter() - started)
             history.active_samples.append(loader.num_active)
+            self.profiler.on_epoch(
+                epoch, mean_loss, loader.num_active, self.optimizer.lr
+            )
             if self.config.verbose:
                 print(
                     f"epoch {epoch:3d}/{self.config.epochs}  "
@@ -207,6 +219,7 @@ class Trainer:
                         break
             epoch += 1
         self.model.eval()
+        self.profiler.on_fit_end(history)
         return history
 
     def _rollback(self, checkpoint: dict[str, np.ndarray], history: TrainingHistory) -> None:
@@ -219,6 +232,7 @@ class Trainer:
         new_lr = self.optimizer.lr * self.config.lr_backoff
         self.optimizer = self.config.make_optimizer(self.model.parameters(), lr=new_lr)
         history.lr_backoffs.append(new_lr)
+        self.profiler.on_divergence(new_lr)
 
     def _clip_gradients(self, max_norm: float) -> None:
         """Scale all gradients so their global L2 norm is <= ``max_norm``."""

@@ -1,0 +1,49 @@
+"""Unified observability layer: metrics, tracing, training profiling.
+
+``repro.obs`` is the dependency-free telemetry substrate every other
+subsystem reports into:
+
+* :mod:`repro.obs.metrics` — thread-safe :class:`MetricsRegistry` of named
+  counters, gauges, and fixed-bucket histograms with a Prometheus-style
+  text exposition (``registry.render_text()``, served by the TCP
+  frontend's ``METRICS`` verb);
+* :mod:`repro.obs.trace` — lightweight nested spans over the query path
+  (``with trace("model_forward", batch_size=n):``) in a bounded in-memory
+  buffer, dumped by the ``TRACE`` verb / ``repro trace-dump``;
+* :mod:`repro.obs.profiler` — :class:`TrainingProfiler` gauges wired into
+  ``Trainer.fit`` and ``guided_fit`` (per-epoch loss, active samples,
+  divergence rollbacks, guided-eviction counts).
+
+The serving stats (:class:`repro.serve.ServerStats`) and reliability
+health counters (:class:`repro.reliability.HealthCounters`) store their
+counters *in* a registry, so one exposition covers the whole stack.
+"""
+
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    global_registry,
+)
+from .profiler import TrainingProfiler, get_profiler, set_profiler
+from .trace import Tracer, get_tracer, set_tracer, trace
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "Tracer",
+    "TrainingProfiler",
+    "get_profiler",
+    "get_tracer",
+    "global_registry",
+    "set_profiler",
+    "set_tracer",
+    "trace",
+]

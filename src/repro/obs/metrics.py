@@ -1,0 +1,469 @@
+"""Thread-safe metrics registry with Prometheus-style text exposition.
+
+The registry is the single telemetry surface for the whole stack: the
+serving layer (:class:`repro.serve.ServerStats`), the reliability facades
+(:class:`repro.reliability.HealthCounters`), the sharded routers, and the
+training profiler all store or expose their counters here, and the
+``METRICS`` verb of the TCP frontend renders one coherent exposition an
+operator (or a real Prometheus scraper) can parse.
+
+Three metric kinds, mirroring the Prometheus data model:
+
+* :class:`Counter` — monotonically increasing (``inc``);
+* :class:`Gauge` — settable value, optionally *callback-backed*
+  (``set_function``) so the exposition reads live state without the owner
+  pushing updates;
+* :class:`Histogram` — fixed-bucket distribution (``observe``) rendered as
+  cumulative ``_bucket``/``_sum``/``_count`` samples.
+
+Every metric belongs to a family (one name + help + label names); families
+with labels hand out per-labelset children via :meth:`MetricFamily.labels`,
+and label-less families proxy the child API directly
+(``registry.counter("x").inc()``).  Registration is idempotent: asking for
+an existing name with the same kind and labels returns the same family,
+while a kind or label mismatch raises — duplicate metric names can never
+reach the exposition.
+
+Everything here is dependency-free and picklable (locks are dropped and
+recreated), because health counters travel inside pickled guarded
+structures.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import re
+import threading
+from typing import Callable, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "global_registry",
+]
+
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+# Serving latencies span cache hits (~µs) to shed exact scans (~100ms).
+DEFAULT_LATENCY_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+)
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _format_number(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in labels.items()
+    )
+    return "{" + body + "}"
+
+
+class _Metric:
+    """One concrete time series (a family child); owns its own lock."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def samples(self) -> list[tuple[str, dict[str, str], float]]:
+        """``(name_suffix, extra_labels, value)`` rows for the exposition."""
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """Monotonically increasing value."""
+
+    kind = "counter"
+
+    def __init__(self):
+        super().__init__()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def reset(self) -> None:
+        """Zero the counter (operator resets, e.g. HealthCounters.reset)."""
+        with self._lock:
+            self._value = 0.0
+
+    def samples(self):
+        return [("", {}, self.value)]
+
+
+class Gauge(_Metric):
+    """Settable value; optionally reads a callback at exposition time."""
+
+    kind = "gauge"
+
+    def __init__(self):
+        super().__init__()
+        self._value = 0.0
+        self._fn: Callable[[], float] | None = None
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def set_function(self, fn: Callable[[], float]) -> "Gauge":
+        """Back the gauge with ``fn`` — evaluated on every read, so the
+        exposition always reflects live state (cache sizes, hit rates)."""
+        self._fn = fn
+        return self
+
+    @property
+    def value(self) -> float:
+        fn = self._fn
+        if fn is not None:
+            try:
+                return float(fn())
+            except Exception:
+                return math.nan
+        with self._lock:
+            return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+    def samples(self):
+        return [("", {}, self.value)]
+
+    def __getstate__(self):
+        state = super().__getstate__()
+        # A callback closes over live objects (servers, caches) that must
+        # not ride along in a pickle; the restored gauge is value-backed.
+        state.pop("_fn", None)
+        return state
+
+    def __setstate__(self, state):
+        super().__setstate__(state)
+        self._fn = None
+
+
+class Histogram(_Metric):
+    """Fixed-bucket distribution of observed values."""
+
+    kind = "histogram"
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS):
+        super().__init__()
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError("histogram buckets must be distinct")
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last slot: > max bound
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        slot = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[slot] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts = [0] * (len(self.buckets) + 1)
+            self._sum = 0.0
+            self._count = 0
+
+    def samples(self):
+        with self._lock:
+            counts = list(self._counts)
+            total_sum, total_count = self._sum, self._count
+        rows = []
+        cumulative = 0
+        for bound, count in zip(self.buckets, counts):
+            cumulative += count
+            rows.append(("_bucket", {"le": _format_number(bound)}, cumulative))
+        rows.append(("_bucket", {"le": "+Inf"}, total_count))
+        rows.append(("_sum", {}, total_sum))
+        rows.append(("_count", {}, total_count))
+        return rows
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """One metric name: help text, kind, label names, per-labelset children.
+
+    Label-less families own a single default child and proxy its API
+    (``inc`` / ``set`` / ``observe`` / ``value`` …), so the common case
+    reads as ``registry.counter("x_total").inc()``.
+    """
+
+    def __init__(self, name: str, help: str, kind: str,
+                 labelnames: Sequence[str] = (), **metric_kwargs):
+        if not _METRIC_NAME.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in labelnames:
+            if not _LABEL_NAME.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        self.name = name
+        self.help = help
+        self.kind = kind
+        self.labelnames = tuple(labelnames)
+        self._metric_kwargs = metric_kwargs
+        self._lock = threading.Lock()
+        self._children: dict[tuple[str, ...], _Metric] = {}
+        if not self.labelnames:
+            self._children[()] = _KINDS[kind](**metric_kwargs)
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def labels(self, **labels: str):
+        """The child for one labelset (created on first use)."""
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[name]) for name in self.labelnames)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._children[key] = _KINDS[self.kind](
+                    **self._metric_kwargs
+                )
+            return child
+
+    def items(self) -> list[tuple[dict[str, str], _Metric]]:
+        """``(labels_dict, child)`` pairs in insertion order."""
+        with self._lock:
+            return [
+                (dict(zip(self.labelnames, key)), child)
+                for key, child in self._children.items()
+            ]
+
+    def per_label_values(self) -> dict[tuple[str, ...], float]:
+        """Label values -> current value (scalar metrics only)."""
+        return {
+            tuple(labels.values()): child.value
+            for labels, child in self.items()
+        }
+
+    def reset(self) -> None:
+        for _, child in self.items():
+            child.reset()
+
+    # -- default-child proxy (label-less families) ---------------------------
+
+    def _default(self) -> _Metric:
+        if self.labelnames:
+            raise ValueError(
+                f"metric {self.name!r} has labels {self.labelnames}; "
+                "use .labels(...) first"
+            )
+        return self._children[()]
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._default().set(value)
+
+    def set_function(self, fn: Callable[[], float]) -> "MetricFamily":
+        self._default().set_function(fn)
+        return self
+
+    def observe(self, value: float) -> None:
+        self._default().observe(value)
+
+    @property
+    def value(self) -> float:
+        return self._default().value
+
+
+class MetricsRegistry:
+    """Named metric families + the Prometheus-style text exposition.
+
+    Thread-safe; registration is idempotent for identical declarations and
+    raises on kind/label mismatches, so an exposition can never contain two
+    families with the same name.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._families: dict[str, MetricFamily] = {}
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    # -- registration ---------------------------------------------------------
+
+    def _register(self, name: str, help: str, kind: str,
+                  labelnames: Sequence[str], **kwargs) -> MetricFamily:
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if family.kind != kind or family.labelnames != tuple(labelnames):
+                    raise ValueError(
+                        f"metric {name!r} already registered as a "
+                        f"{family.kind} with labels {family.labelnames}"
+                    )
+                return family
+            family = MetricFamily(name, help, kind, labelnames, **kwargs)
+            self._families[name] = family
+            return family
+
+    def counter(self, name: str, help: str = "",
+                labelnames: Sequence[str] = ()) -> MetricFamily:
+        """Register (or fetch) a counter family."""
+        return self._register(name, help, "counter", labelnames)
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: Sequence[str] = ()) -> MetricFamily:
+        """Register (or fetch) a gauge family."""
+        return self._register(name, help, "gauge", labelnames)
+
+    def gauge_function(self, name: str, help: str,
+                       fn: Callable[[], float]) -> MetricFamily:
+        """Register a callback-backed gauge in one call."""
+        return self.gauge(name, help).set_function(fn)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+                  labelnames: Sequence[str] = ()) -> MetricFamily:
+        """Register (or fetch) a fixed-bucket histogram family."""
+        return self._register(
+            name, help, "histogram", labelnames, buckets=buckets
+        )
+
+    # -- access ---------------------------------------------------------------
+
+    def get(self, name: str) -> MetricFamily | None:
+        with self._lock:
+            return self._families.get(name)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return list(self._families)
+
+    def families(self) -> list[MetricFamily]:
+        with self._lock:
+            return list(self._families.values())
+
+    # -- exposition -----------------------------------------------------------
+
+    def render_text(self) -> str:
+        """Prometheus text exposition over every registered family."""
+        lines: list[str] = []
+        for family in self.families():
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for labels, child in family.items():
+                for suffix, extra, value in child.samples():
+                    merged = {**labels, **extra}
+                    lines.append(
+                        f"{family.name}{suffix}{_format_labels(merged)} "
+                        f"{_format_number(value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat ``name{labels}`` -> value map (JSON-friendly snapshot)."""
+        out: dict[str, float] = {}
+        for family in self.families():
+            for labels, child in family.items():
+                for suffix, extra, value in child.samples():
+                    merged = {**labels, **extra}
+                    out[f"{family.name}{suffix}{_format_labels(merged)}"] = value
+        return out
+
+
+_GLOBAL_LOCK = threading.Lock()
+_GLOBAL: MetricsRegistry | None = None
+
+
+def global_registry() -> MetricsRegistry:
+    """The process-wide default registry (training profiler, builders)."""
+    global _GLOBAL
+    with _GLOBAL_LOCK:
+        if _GLOBAL is None:
+            _GLOBAL = MetricsRegistry()
+        return _GLOBAL

@@ -1,0 +1,128 @@
+"""Training profiler: per-epoch loss/eviction telemetry as registry gauges.
+
+:class:`repro.core.training.Trainer` and
+:func:`repro.core.hybrid.guided_fit` report into a
+:class:`TrainingProfiler`, which maintains the training-side gauges of the
+observability layer:
+
+* ``repro_training_epoch`` / ``repro_training_loss`` /
+  ``repro_training_active_samples`` / ``repro_training_lr`` — live state of
+  the current (or last) fit;
+* ``repro_training_divergences_total`` / ``repro_training_lr_backoffs_total``
+  — divergence-rollback events (the reliability layer's NaN recovery);
+* ``repro_training_evictions_total`` /
+  ``repro_training_eviction_budget_hits_total`` — guided-learning outlier
+  eviction (the paper's Section 6 protocol; the active-samples gauge is the
+  live view of its training-set shrinkage);
+* ``repro_training_runs_total`` / ``repro_training_final_loss`` /
+  ``repro_training_total_seconds`` / ``repro_training_epochs_completed`` /
+  ``repro_training_stopped_early`` — last-run summary.
+
+By default every trainer reports into one process-wide profiler backed by
+the global registry (:func:`get_profiler`); pass an explicit profiler to
+isolate runs (tests, concurrent builds).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from .metrics import MetricsRegistry, global_registry
+
+__all__ = ["TrainingProfiler", "get_profiler", "set_profiler"]
+
+
+class TrainingProfiler:
+    """Registry-backed sink for training-loop telemetry."""
+
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self.registry = registry if registry is not None else global_registry()
+        reg = self.registry
+        self._epoch = reg.gauge(
+            "repro_training_epoch", "Current (or last completed) epoch")
+        self._loss = reg.gauge(
+            "repro_training_loss", "Mean loss of the last completed epoch")
+        self._active = reg.gauge(
+            "repro_training_active_samples",
+            "Training samples still active after guided eviction")
+        self._lr = reg.gauge(
+            "repro_training_lr", "Current learning rate (after backoffs)")
+        self._divergences = reg.counter(
+            "repro_training_divergences_total",
+            "Non-finite epoch losses that triggered a rollback")
+        self._backoffs = reg.counter(
+            "repro_training_lr_backoffs_total",
+            "Learning-rate backoffs applied after divergences")
+        self._evictions = reg.counter(
+            "repro_training_evictions_total",
+            "Samples evicted to the auxiliary structure by guided learning")
+        self._budget_hits = reg.counter(
+            "repro_training_eviction_budget_hits_total",
+            "Evictions clipped or blocked by max_fraction_removed")
+        self._runs = reg.counter(
+            "repro_training_runs_total", "Completed Trainer.fit runs")
+        self._final_loss = reg.gauge(
+            "repro_training_final_loss", "Final epoch loss of the last run")
+        self._total_seconds = reg.gauge(
+            "repro_training_total_seconds",
+            "Wall-clock seconds of the last run")
+        self._epochs_completed = reg.gauge(
+            "repro_training_epochs_completed",
+            "Epochs the last run completed")
+        self._stopped_early = reg.gauge(
+            "repro_training_stopped_early",
+            "Whether the last run stopped on the patience criterion (0/1)")
+
+    # -- hooks called by the training loop ------------------------------------
+
+    def on_epoch(self, epoch: int, loss: float, active_samples: int,
+                 lr: float) -> None:
+        """One finite epoch completed."""
+        self._epoch.set(epoch)
+        self._loss.set(loss)
+        self._active.set(active_samples)
+        self._lr.set(lr)
+
+    def on_divergence(self, new_lr: float) -> None:
+        """A non-finite loss forced a rollback and LR backoff."""
+        self._divergences.inc()
+        self._backoffs.inc()
+        self._lr.set(new_lr)
+
+    def on_eviction(self, count: int) -> None:
+        """Guided learning moved ``count`` samples to the auxiliary."""
+        self._evictions.inc(count)
+
+    def on_budget_hit(self) -> None:
+        """``max_fraction_removed`` clipped or blocked an eviction."""
+        self._budget_hits.inc()
+
+    def on_fit_end(self, history) -> None:
+        """A :class:`TrainingHistory`-shaped run finished."""
+        self._runs.inc()
+        if history.losses:
+            self._final_loss.set(history.final_loss)
+            self._epochs_completed.set(len(history.losses))
+        self._total_seconds.set(history.total_seconds)
+        self._stopped_early.set(1.0 if history.stopped_early else 0.0)
+
+
+_DEFAULT_LOCK = threading.Lock()
+_DEFAULT: TrainingProfiler | None = None
+
+
+def get_profiler() -> TrainingProfiler:
+    """The process-wide default profiler (global-registry backed)."""
+    global _DEFAULT
+    with _DEFAULT_LOCK:
+        if _DEFAULT is None:
+            _DEFAULT = TrainingProfiler()
+        return _DEFAULT
+
+
+def set_profiler(profiler: TrainingProfiler) -> TrainingProfiler:
+    """Replace the process-wide default profiler (tests, embedders)."""
+    global _DEFAULT
+    with _DEFAULT_LOCK:
+        _DEFAULT = profiler
+    return profiler

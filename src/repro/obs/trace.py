@@ -1,0 +1,154 @@
+"""Lightweight per-stage tracing spans for the query path.
+
+A :class:`Tracer` records named spans — ``with tracer.span("model_forward",
+batch_size=32):`` — into a bounded in-memory ring buffer.  The serving
+stack instruments every stage a query crosses (encode, cache lookup,
+micro-batch wait, model forward, guard fallback, shard fan-out), so an
+operator can ask a live server *where* its latency goes via the ``TRACE``
+verb or ``repro trace-dump`` without attaching a profiler.
+
+Spans nest: a span opened while another is active on the same thread
+records that span as its parent, so a dump reconstructs per-request stage
+trees.  Recording is O(1) (one lock, one deque append); when the buffer is
+full the oldest span is dropped and counted, never blocking the hot path.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+__all__ = ["Tracer", "get_tracer", "set_tracer", "trace"]
+
+
+class Tracer:
+    """Bounded in-memory span buffer with nesting support.
+
+    Parameters
+    ----------
+    max_spans:
+        Ring-buffer capacity; the oldest spans are dropped (and counted in
+        :attr:`dropped`) once it fills.
+    enabled:
+        ``False`` turns every span into a no-op — the instrumentation can
+        stay in place at zero cost.
+    """
+
+    def __init__(self, max_spans: int = 4096, enabled: bool = True):
+        if max_spans < 1:
+            raise ValueError("max_spans must be >= 1")
+        self.max_spans = max_spans
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._spans: deque[dict[str, Any]] = deque(maxlen=max_spans)
+        self._dropped = 0
+        self._ids = itertools.count(1)
+        self._active = threading.local()
+
+    # -- recording ------------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[dict[str, Any]]:
+        """Record one span around the enclosed block.
+
+        Yields the (mutable) span dict so callers can attach attributes
+        discovered mid-stage (``span["attrs"]["hit"] = True``).
+        """
+        if not self.enabled:
+            yield {"attrs": {}}
+            return
+        stack = getattr(self._active, "stack", None)
+        if stack is None:
+            stack = self._active.stack = []
+        span = {
+            "span_id": next(self._ids),
+            "parent_id": stack[-1]["span_id"] if stack else None,
+            "name": name,
+            "start": time.time(),
+            "duration_ms": 0.0,
+            "attrs": dict(attrs),
+        }
+        stack.append(span)
+        started = time.perf_counter()
+        try:
+            yield span
+        finally:
+            span["duration_ms"] = (time.perf_counter() - started) * 1000.0
+            stack.pop()
+            self._append(span)
+
+    def record(self, name: str, duration_ms: float, **attrs: Any) -> None:
+        """Record an already-measured span (e.g. a queue wait)."""
+        if not self.enabled:
+            return
+        self._append(
+            {
+                "span_id": next(self._ids),
+                "parent_id": None,
+                "name": name,
+                "start": time.time(),
+                "duration_ms": float(duration_ms),
+                "attrs": dict(attrs),
+            }
+        )
+
+    def _append(self, span: dict[str, Any]) -> None:
+        with self._lock:
+            if len(self._spans) == self._spans.maxlen:
+                self._dropped += 1
+            self._spans.append(span)
+
+    # -- reading --------------------------------------------------------------
+
+    @property
+    def dropped(self) -> int:
+        """Spans evicted by the ring buffer since the last :meth:`clear`."""
+        with self._lock:
+            return self._dropped
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def snapshot(self, limit: int | None = None) -> list[dict[str, Any]]:
+        """The most recent spans (oldest first); ``limit`` caps the count."""
+        with self._lock:
+            spans = list(self._spans)
+        if limit is not None and limit >= 0:
+            spans = spans[-limit:]
+        return [dict(span, attrs=dict(span["attrs"])) for span in spans]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+            self._dropped = 0
+
+
+_DEFAULT_LOCK = threading.Lock()
+_DEFAULT: Tracer | None = None
+
+
+def get_tracer() -> Tracer:
+    """The process-wide default tracer (used when no explicit one is given)."""
+    global _DEFAULT
+    with _DEFAULT_LOCK:
+        if _DEFAULT is None:
+            _DEFAULT = Tracer()
+        return _DEFAULT
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Replace the process-wide default tracer (tests, embedders)."""
+    global _DEFAULT
+    with _DEFAULT_LOCK:
+        _DEFAULT = tracer
+    return tracer
+
+
+def trace(name: str, **attrs: Any):
+    """``with trace("predict", batch=8):`` — span on the default tracer."""
+    return get_tracer().span(name, **attrs)

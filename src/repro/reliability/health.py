@@ -6,17 +6,24 @@ where each query was answered: by the model, by the paired exact structure
 model should never see (empty, oversized, out-of-vocabulary, malformed).
 Operators read :meth:`report_line` — the CLI prints it after every guarded
 query — or :meth:`as_dict` for programmatic scraping.
+
+The counts are stored in a :class:`repro.obs.MetricsRegistry` (reasons as
+``reason`` labels), so a served guarded structure contributes
+``repro_health_*`` series to the same Prometheus exposition as the
+serving-layer counters.  The public surface — ``queries``,
+``model_answers``, the :class:`collections.Counter` views, ``healthy``,
+``report_line``, ``as_dict`` — is unchanged.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+
+from ..obs.metrics import MetricsRegistry
 
 __all__ = ["HealthCounters"]
 
 
-@dataclass
 class HealthCounters:
     """Counters describing how a guarded structure has been answering.
 
@@ -26,27 +33,100 @@ class HealthCounters:
     without touching model or exact structure (also keyed by reason).
     """
 
-    structure: str
-    queries: int = 0
-    model_answers: int = 0
-    exact_fallbacks: Counter = field(default_factory=Counter)
-    short_circuits: Counter = field(default_factory=Counter)
+    def __init__(self, structure: str,
+                 registry: MetricsRegistry | None = None):
+        self.structure = structure
+        self._init_metrics(registry if registry is not None else MetricsRegistry())
+
+    def _init_metrics(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self._queries = registry.counter(
+            "repro_health_queries_total",
+            "Queries answered by the guarded structure",
+            labelnames=("structure",),
+        ).labels(structure=self.structure)
+        self._model_answers = registry.counter(
+            "repro_health_model_answers_total",
+            "Queries the model answered itself",
+            labelnames=("structure",),
+        ).labels(structure=self.structure)
+        self._fallbacks = registry.counter(
+            "repro_health_exact_fallbacks_total",
+            "Queries answered by the paired exact structure, by reason",
+            labelnames=("structure", "reason"),
+        )
+        self._short_circuits = registry.counter(
+            "repro_health_short_circuits_total",
+            "Queries answered by definition without model or exact, by reason",
+            labelnames=("structure", "reason"),
+        )
+
+    # -- pickling (guarded structures are pickled whole) ----------------------
+
+    def __getstate__(self):
+        return {
+            "structure": self.structure,
+            "queries": self.queries,
+            "model_answers": self.model_answers,
+            "exact_fallbacks": dict(self.exact_fallbacks),
+            "short_circuits": dict(self.short_circuits),
+        }
+
+    def __setstate__(self, state):
+        self.structure = state["structure"]
+        self._init_metrics(MetricsRegistry())
+        self._queries.inc(state["queries"])
+        self._model_answers.inc(state["model_answers"])
+        for reason, count in state["exact_fallbacks"].items():
+            self.record_fallback(reason, count)
+        for reason, count in state["short_circuits"].items():
+            self.record_short_circuit(reason, count)
 
     # -- recording -----------------------------------------------------------
 
     def record_query(self) -> None:
-        self.queries += 1
+        self._queries.inc()
 
     def record_model_answer(self) -> None:
-        self.model_answers += 1
+        self._model_answers.inc()
 
-    def record_fallback(self, reason: str) -> None:
-        self.exact_fallbacks[reason] += 1
+    def record_fallback(self, reason: str, count: int = 1) -> None:
+        self._fallbacks.labels(structure=self.structure, reason=reason).inc(count)
 
-    def record_short_circuit(self, reason: str) -> None:
-        self.short_circuits[reason] += 1
+    def record_short_circuit(self, reason: str, count: int = 1) -> None:
+        self._short_circuits.labels(
+            structure=self.structure, reason=reason
+        ).inc(count)
 
     # -- aggregates ----------------------------------------------------------
+
+    @property
+    def queries(self) -> int:
+        return int(self._queries.value)
+
+    @property
+    def model_answers(self) -> int:
+        return int(self._model_answers.value)
+
+    def _reason_counter(self, family) -> Counter:
+        counts = Counter()
+        for labels, child in family.items():
+            if labels.get("structure") != self.structure:
+                continue
+            value = int(child.value)
+            if value:
+                counts[labels["reason"]] = value
+        return counts
+
+    @property
+    def exact_fallbacks(self) -> Counter:
+        """Fallback reason -> count (zero-valued reasons omitted)."""
+        return self._reason_counter(self._fallbacks)
+
+    @property
+    def short_circuits(self) -> Counter:
+        """Short-circuit reason -> count (zero-valued reasons omitted)."""
+        return self._reason_counter(self._short_circuits)
 
     @property
     def total_fallbacks(self) -> int:
@@ -59,7 +139,8 @@ class HealthCounters:
     @property
     def fallback_fraction(self) -> float:
         """Share of queries the model failed to answer itself."""
-        return self.total_fallbacks / self.queries if self.queries else 0.0
+        queries = self.queries
+        return self.total_fallbacks / queries if queries else 0.0
 
     def healthy(self, max_fallback_fraction: float = 0.5) -> bool:
         """Whether the model is still carrying its share of the traffic.
@@ -74,7 +155,7 @@ class HealthCounters:
 
     def report_line(self) -> str:
         """One-line operator summary (printed by the CLI's guarded mode)."""
-        reasons = Counter(self.exact_fallbacks) + Counter(self.short_circuits)
+        reasons = self.exact_fallbacks + self.short_circuits
         detail = (
             ",".join(f"{reason}:{count}" for reason, count in sorted(reasons.items()))
             or "none"
@@ -96,7 +177,7 @@ class HealthCounters:
         }
 
     def reset(self) -> None:
-        self.queries = 0
-        self.model_answers = 0
-        self.exact_fallbacks.clear()
-        self.short_circuits.clear()
+        self._queries.reset()
+        self._model_answers.reset()
+        self._fallbacks.reset()
+        self._short_circuits.reset()

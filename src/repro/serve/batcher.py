@@ -26,6 +26,7 @@ from concurrent.futures import Future
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
+from ..obs.trace import Tracer
 from .errors import ServerClosedError, ServerOverloadedError
 
 __all__ = ["BatchPolicy", "MicroBatcher", "OVERFLOW_POLICIES"]
@@ -64,6 +65,9 @@ class BatchPolicy:
 class _Request:
     query: Any
     future: Future
+    # Enqueue timestamp (``time.monotonic``): the dispatcher reports the
+    # oldest request's queue wait as the batch's ``batch_wait`` trace span.
+    enqueued_at: float = 0.0
 
 
 class MicroBatcher:
@@ -86,6 +90,10 @@ class MicroBatcher:
         every dispatched batch.
     on_shed / on_reject:
         Optional zero-argument telemetry callbacks for overflow outcomes.
+    tracer:
+        Optional :class:`repro.obs.Tracer`; when given, every dispatched
+        batch records a ``batch_wait`` span (the oldest request's queue
+        wait plus coalescing delay — the latency cost of batching).
     """
 
     def __init__(
@@ -96,6 +104,7 @@ class MicroBatcher:
         on_batch: Callable[[int], None] | None = None,
         on_shed: Callable[[], None] | None = None,
         on_reject: Callable[[], None] | None = None,
+        tracer: Tracer | None = None,
     ):
         self.policy = policy or BatchPolicy()
         if self.policy.overflow == "shed-to-exact" and shed_fn is None:
@@ -105,6 +114,7 @@ class MicroBatcher:
         self._on_batch = on_batch
         self._on_shed = on_shed
         self._on_reject = on_reject
+        self._tracer = tracer
         self._queue: queue.Queue = queue.Queue(maxsize=self.policy.max_queue)
         self._closed = False
         self._thread: threading.Thread | None = None
@@ -158,7 +168,7 @@ class MicroBatcher:
         if self._closed:
             raise ServerClosedError("cannot submit to a closed server")
         future: Future = Future()
-        request = _Request(query, future)
+        request = _Request(query, future, enqueued_at=time.monotonic())
         policy = self.policy.overflow
         if policy == "block":
             self._queue.put(request)
@@ -217,6 +227,12 @@ class MicroBatcher:
             self._dispatch(batch)
 
     def _dispatch(self, batch: list[_Request]) -> None:
+        if self._tracer is not None:
+            self._tracer.record(
+                "batch_wait",
+                (time.monotonic() - batch[0].enqueued_at) * 1000.0,
+                batch_size=len(batch),
+            )
         try:
             results = self._batch_fn([request.query for request in batch])
             if len(results) != len(batch):

@@ -39,6 +39,7 @@ class QueryCache:
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        self.invalidation_misses = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -66,10 +67,20 @@ class QueryCache:
                 self.evictions += 1
 
     def invalidate(self, key: Hashable) -> bool:
-        """Drop one entry; counted even when the key was not cached."""
+        """Drop one entry; ``True`` iff the key was actually cached.
+
+        Invalidations that find nothing are counted separately
+        (``invalidation_misses``), so operators can see wasted
+        invalidation traffic — update storms against keys nobody queried —
+        instead of having it inflate the real invalidation count.
+        """
         with self._lock:
-            self.invalidations += 1
-            return self._data.pop(key, _MISSING) is not _MISSING
+            dropped = self._data.pop(key, _MISSING) is not _MISSING
+            if dropped:
+                self.invalidations += 1
+            else:
+                self.invalidation_misses += 1
+            return dropped
 
     def clear(self) -> None:
         """Drop every entry (snapshot swap); counters are preserved."""
@@ -78,16 +89,20 @@ class QueryCache:
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
     def as_dict(self) -> dict:
         with self._lock:
+            total = self.hits + self.misses
             return {
                 "capacity": self.capacity,
                 "entries": len(self._data),
                 "hits": self.hits,
                 "misses": self.misses,
+                "hit_rate": self.hits / total if total else 0.0,
                 "evictions": self.evictions,
                 "invalidations": self.invalidations,
+                "invalidation_misses": self.invalidation_misses,
             }

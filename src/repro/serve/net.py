@@ -8,6 +8,12 @@ protocol deliberately simple enough for ``nc``:
 * response: one line per query — cardinality as a float, index position as
   an integer (``none`` for a miss), membership as ``true``/``false``;
 * ``STATS`` returns the full server-stats JSON on one line;
+* ``METRICS`` returns the Prometheus-style text exposition (latency
+  histograms, cache hit rate, guard fallbacks, shard fan-out, training
+  stats) — multi-line, terminated by a ``# EOF`` line (the OpenMetrics
+  convention), since the exposition format is inherently line-oriented;
+* ``TRACE`` (optionally ``TRACE <limit>``) returns the most recent
+  query-path spans as a JSON array on one line;
 * ``QUIT`` ends the connection (as does EOF);
 * a line that does not parse as integers is answered with
   ``error malformed query`` — the connection stays up.
@@ -36,11 +42,28 @@ class _Handler(socketserver.StreamRequestHandler):
             line = raw.decode("utf-8", errors="replace").strip()
             if not line:
                 continue
-            command = line.upper()
+            tokens = line.split()
+            command = tokens[0].upper()
             if command == "QUIT":
                 return
             if command == "STATS":
                 self._reply(json.dumps(server.stats_dict(), sort_keys=True))
+                continue
+            if command == "METRICS":
+                exposition = server.metrics_text()
+                for metric_line in exposition.splitlines():
+                    self._reply(metric_line)
+                self._reply("# EOF")
+                continue
+            if command == "TRACE":
+                limit = 200
+                if len(tokens) > 1:
+                    try:
+                        limit = max(0, int(tokens[1]))
+                    except ValueError:
+                        self._reply("error malformed trace limit")
+                        continue
+                self._reply(json.dumps(server.trace_spans(limit)))
                 continue
             try:
                 query = tuple(int(token) for token in line.split())

@@ -33,6 +33,7 @@ from ..core import (
     LearnedCardinalityEstimator,
     LearnedSetIndex,
 )
+from ..obs.trace import Tracer, get_tracer
 from ..reliability import (
     GuardedBloomFilter,
     GuardedCardinalityEstimator,
@@ -114,10 +115,12 @@ class SetServer:
         policy: BatchPolicy | None = None,
         cache_size: int = 1024,
         exact: InvertedIndex | None = None,
+        tracer: Tracer | None = None,
     ):
         self.kind = detect_kind(structure)
         self.policy = policy or BatchPolicy()
         self.stats = ServerStats()
+        self.tracer = tracer if tracer is not None else get_tracer()
         self.cache = QueryCache(cache_size)
         self._snapshots = SnapshotHolder(structure)
         if exact is None:
@@ -143,7 +146,9 @@ class SetServer:
             on_batch=self.stats.record_batch,
             on_shed=self.stats.record_shed,
             on_reject=self.stats.record_reject,
+            tracer=self.tracer,
         )
+        self._register_gauges()
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -216,9 +221,12 @@ class SetServer:
         """
         started = time.monotonic()
         self.stats.record_submitted()
-        key = self._canonical(query)
+        with self.tracer.span("encode", kind=self.kind):
+            key = self._canonical(query)
         if key is not None:
-            found, value = self.cache.get(key)
+            with self.tracer.span("cache_lookup") as span:
+                found, value = self.cache.get(key)
+                span["attrs"]["hit"] = found
             if found:
                 future: Future = Future()
                 future.set_result(value)
@@ -253,17 +261,28 @@ class SetServer:
     def _serve_batch(self, queries: Sequence[Any]) -> Sequence[Any]:
         # One snapshot read per batch: a concurrent swap never tears a
         # batch across generations.
-        structure = self._snapshots.current.structure
-        if self.kind == "cardinality":
-            return [float(v) for v in structure.estimate_many(queries)]
-        if self.kind == "index":
-            return list(structure.lookup_many(queries))
-        return [bool(v) for v in structure.contains_many(queries)]
+        snapshot = self._snapshots.current
+        structure = snapshot.structure
+        with self.tracer.span(
+            "model_forward",
+            kind=self.kind,
+            batch_size=len(queries),
+            snapshot_version=snapshot.version,
+        ):
+            if self.kind == "cardinality":
+                return [float(v) for v in structure.estimate_many(queries)]
+            if self.kind == "index":
+                return list(structure.lookup_many(queries))
+            return [bool(v) for v in structure.contains_many(queries)]
 
     # -- degraded serving (caller thread, shed-to-exact) -----------------------
 
     def _shed_answer(self, query: Any) -> Any:
         """Exact answer mirroring the guarded facades' defined semantics."""
+        with self.tracer.span("guard_fallback", kind=self.kind, shed=True):
+            return self._shed_answer_inner(query)
+
+    def _shed_answer_inner(self, query: Any) -> Any:
         exact = self._exact
         canonical = self._canonical(query)
         if self.kind == "cardinality":
@@ -289,12 +308,110 @@ class SetServer:
 
     # -- reporting --------------------------------------------------------------
 
+    @property
+    def registry(self):
+        """The server's :class:`MetricsRegistry` (owned by its stats)."""
+        return self.stats.registry
+
+    def _register_gauges(self) -> None:
+        """Expose cache / health / fan-out / training state on the registry.
+
+        Everything is callback-backed and reads through ``self.structure``,
+        so a hot snapshot swap automatically redirects the exposition to
+        the new generation — no re-registration on swap.
+        """
+        reg = self.stats.registry
+        reg.gauge_function(
+            "repro_serve_snapshot_version",
+            "Generation of the currently served snapshot",
+            lambda: self.snapshot.version,
+        )
+        for field in ("capacity", "entries", "hits", "misses", "hit_rate",
+                      "evictions", "invalidations", "invalidation_misses"):
+            reg.gauge_function(
+                f"repro_cache_{field}",
+                f"Result cache {field.replace('_', ' ')}",
+                lambda f=field: self.cache.as_dict()[f],
+            )
+        for field in ("queries", "model_answers", "fallbacks",
+                      "short_circuits", "fallback_fraction"):
+            reg.gauge_function(
+                f"repro_health_{field}",
+                f"Guarded-structure {field.replace('_', ' ')} "
+                "(0 when the served structure is unguarded)",
+                lambda f=field: self._health_stat(f),
+            )
+        for field in ("num_shards", "queries", "shard_calls"):
+            reg.gauge_function(
+                f"repro_shard_fanout_{field}",
+                f"Sharded router fan-out {field.replace('_', ' ')} "
+                "(0 when the served structure is unsharded)",
+                lambda f=field: self._fanout_stat(f),
+            )
+        for field in ("final_loss", "total_seconds", "seconds_per_epoch",
+                      "num_outliers", "num_training_subsets"):
+            reg.gauge_function(
+                f"repro_training_{field}",
+                f"Last build's training {field.replace('_', ' ')} "
+                "(from the served structure's build report)",
+                lambda f=field: self._training_stat(f),
+            )
+
+    def _health_stat(self, field: str) -> float:
+        health = getattr(self.structure, "health", None)
+        if health is None:
+            return 0.0
+        if field == "fallbacks":
+            return float(health.total_fallbacks)
+        if field == "short_circuits":
+            return float(health.total_short_circuits)
+        return float(getattr(health, field))
+
+    def _fanout_stat(self, field: str) -> float:
+        inner = _inner_structure(self.structure)
+        probe = getattr(inner, "fanout_stats", None)
+        if probe is None:
+            return 0.0
+        return float(probe()[field])
+
+    def _training_stat(self, field: str) -> float:
+        """Aggregate build-report telemetry across shards (sum; loss: mean)."""
+        inner = _inner_structure(self.structure)
+        parts = getattr(inner, "parts", None)
+        reports = []
+        if parts is not None:
+            for part in parts:
+                report = getattr(_inner_structure(part), "report", None)
+                if report is not None:
+                    reports.append(report)
+        else:
+            report = getattr(inner, "report", None)
+            if report is not None:
+                reports.append(report)
+        if not reports:
+            return 0.0
+        values = [float(getattr(report, field, 0.0)) for report in reports]
+        if field in ("final_loss", "seconds_per_epoch"):
+            return sum(values) / len(values)
+        return sum(values)
+
+    def metrics_text(self) -> str:
+        """The Prometheus-style exposition (the ``METRICS`` verb's body)."""
+        return self.stats.registry.render_text()
+
+    def trace_spans(self, limit: int | None = None) -> list[dict]:
+        """Recent query-path spans from the server's tracer (oldest first)."""
+        return self.tracer.snapshot(limit)
+
     def stats_dict(self) -> dict:
         """Full telemetry snapshot, health counters folded in when guarded."""
         health = getattr(self.structure, "health", None)
         out = self.stats.as_dict(cache=self.cache, health=health)
         out["kind"] = self.kind
         out["snapshot_version"] = self.snapshot.version
+        fanout = getattr(_inner_structure(self.structure), "fanout_stats", None)
+        if fanout is not None:
+            out["shard_fanout"] = fanout()
         return out
 
     @staticmethod

@@ -7,6 +7,15 @@ percentiles from a bounded reservoir, overload outcomes (shed / rejected),
 cache effectiveness, snapshot swaps, and — when the served structure is a
 guarded facade — its reliability :class:`HealthCounters` folded into the
 same report.
+
+The counters are stored in a :class:`repro.obs.MetricsRegistry` (one per
+``ServerStats`` unless a shared registry is passed), so the same numbers
+that back :meth:`as_dict` / :meth:`report_line` render as a Prometheus
+exposition through the TCP frontend's ``METRICS`` verb.  A single
+instance-level lock still serializes every mutation, and all reads go
+through the locked :meth:`_snapshot`, so reported counter sets are always
+mutually consistent — no torn served/failed/batch triples under
+concurrent recording.
 """
 
 from __future__ import annotations
@@ -16,68 +25,130 @@ from collections import deque
 
 import numpy as np
 
+from ..obs.metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
+
 __all__ = ["ServerStats"]
+
+_COUNTERS = (
+    ("requests_submitted", "repro_serve_requests_submitted_total",
+     "Requests admitted through submit()"),
+    ("requests_served", "repro_serve_requests_served_total",
+     "Requests answered successfully"),
+    ("requests_failed", "repro_serve_requests_failed_total",
+     "Requests whose future resolved with an error"),
+    ("cache_hits_served", "repro_serve_cache_hits_served_total",
+     "Requests answered from the result cache"),
+    ("batches_dispatched", "repro_serve_batches_dispatched_total",
+     "Micro-batches dispatched to the structure"),
+    ("batched_requests", "repro_serve_batched_requests_total",
+     "Requests carried inside dispatched batches"),
+    ("shed", "repro_serve_shed_total",
+     "Requests degraded to the exact structure on overload"),
+    ("rejected", "repro_serve_rejected_total",
+     "Requests rejected on overload"),
+    ("snapshot_swaps", "repro_serve_snapshot_swaps_total",
+     "Hot snapshot swaps performed"),
+)
 
 
 class ServerStats:
-    """Thread-safe counters + latency reservoir for one server."""
+    """Thread-safe, registry-backed counters + latency reservoir.
 
-    def __init__(self, latency_reservoir: int = 100_000):
+    Public counter names (``stats.requests_served`` …) remain plain-int
+    reads; the values live in registry counters so the exposition and the
+    attribute views can never disagree.
+    """
+
+    def __init__(self, latency_reservoir: int = 100_000,
+                 registry: MetricsRegistry | None = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._lock = threading.Lock()
-        self.requests_submitted = 0
-        self.requests_served = 0
-        self.requests_failed = 0
-        self.cache_hits_served = 0
-        self.batches_dispatched = 0
-        self.batched_requests = 0
-        self.shed = 0
-        self.rejected = 0
-        self.snapshot_swaps = 0
+        self._counters = {
+            attr: self.registry.counter(metric_name, help_text)
+            for attr, metric_name, help_text in _COUNTERS
+        }
+        self._latency_hist = self.registry.histogram(
+            "repro_serve_latency_seconds",
+            "End-to-end request latency (submit to resolved future)",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self.registry.gauge_function(
+            "repro_serve_mean_batch_size",
+            "Mean requests per dispatched batch (the coalescing win)",
+            lambda: self.mean_batch_size,
+        )
         self._latencies: deque[float] = deque(maxlen=latency_reservoir)
+
+    # -- attribute views (read whole ints; see _snapshot for coherent sets) ----
+
+    def __getattr__(self, name: str):
+        counters = self.__dict__.get("_counters")
+        if counters is not None and name in counters:
+            return int(counters[name].value)
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
 
     # -- recording (called from server / batcher callbacks) -------------------
 
     def record_submitted(self) -> None:
         with self._lock:
-            self.requests_submitted += 1
+            self._counters["requests_submitted"].inc()
 
     def record_served(self, latency_seconds: float, from_cache: bool = False) -> None:
         with self._lock:
-            self.requests_served += 1
+            self._counters["requests_served"].inc()
             if from_cache:
-                self.cache_hits_served += 1
+                self._counters["cache_hits_served"].inc()
             self._latencies.append(latency_seconds)
+            self._latency_hist.observe(latency_seconds)
 
     def record_failed(self) -> None:
         with self._lock:
-            self.requests_failed += 1
+            self._counters["requests_failed"].inc()
 
     def record_batch(self, size: int) -> None:
         with self._lock:
-            self.batches_dispatched += 1
-            self.batched_requests += size
+            self._counters["batches_dispatched"].inc()
+            self._counters["batched_requests"].inc(size)
 
     def record_shed(self) -> None:
         with self._lock:
-            self.shed += 1
+            self._counters["shed"].inc()
 
     def record_reject(self) -> None:
         with self._lock:
-            self.rejected += 1
+            self._counters["rejected"].inc()
 
     def record_swap(self) -> None:
         with self._lock:
-            self.snapshot_swaps += 1
+            self._counters["snapshot_swaps"].inc()
 
     # -- aggregates ------------------------------------------------------------
 
-    @property
-    def mean_batch_size(self) -> float:
-        return (
-            self.batched_requests / self.batches_dispatched
-            if self.batches_dispatched
+    def _snapshot(self) -> dict:
+        """All counters read under one lock — a mutually consistent set.
+
+        Every reporting path (``mean_batch_size``, :meth:`as_dict`,
+        :meth:`report_line`) goes through here rather than reading the
+        counters piecemeal, which is what used to allow torn
+        served/failed/batch combinations under concurrent recording.
+        """
+        with self._lock:
+            out = {
+                attr: int(counter.value)
+                for attr, counter in self._counters.items()
+            }
+        out["mean_batch_size"] = (
+            out["batched_requests"] / out["batches_dispatched"]
+            if out["batches_dispatched"]
             else 0.0
         )
+        return out
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self._snapshot()["mean_batch_size"]
 
     def latency_percentiles_ms(self) -> dict[str, float]:
         """p50/p95/p99 over the (bounded) latency reservoir, in ms."""
@@ -91,19 +162,7 @@ class ServerStats:
     def as_dict(self, cache=None, health=None) -> dict:
         """Full snapshot; pass the server's cache / the structure's health
         counters to fold them into one report."""
-        with self._lock:
-            out = {
-                "requests_submitted": self.requests_submitted,
-                "requests_served": self.requests_served,
-                "requests_failed": self.requests_failed,
-                "cache_hits_served": self.cache_hits_served,
-                "batches_dispatched": self.batches_dispatched,
-                "batched_requests": self.batched_requests,
-                "mean_batch_size": self.mean_batch_size,
-                "shed": self.shed,
-                "rejected": self.rejected,
-                "snapshot_swaps": self.snapshot_swaps,
-            }
+        out = self._snapshot()
         out.update(self.latency_percentiles_ms())
         if cache is not None:
             out["cache"] = cache.as_dict()
@@ -114,15 +173,16 @@ class ServerStats:
     def report_line(self) -> str:
         """One-line operator summary (the serving analogue of
         :meth:`HealthCounters.report_line`)."""
+        snap = self._snapshot()
         pct = self.latency_percentiles_ms()
         return (
-            f"[serve] served={self.requests_served} "
-            f"failed={self.requests_failed} "
-            f"batches={self.batches_dispatched} "
-            f"mean_batch={self.mean_batch_size:.2f} "
-            f"cache_hits={self.cache_hits_served} "
-            f"shed={self.shed} rejected={self.rejected} "
-            f"swaps={self.snapshot_swaps} "
+            f"[serve] served={snap['requests_served']} "
+            f"failed={snap['requests_failed']} "
+            f"batches={snap['batches_dispatched']} "
+            f"mean_batch={snap['mean_batch_size']:.2f} "
+            f"cache_hits={snap['cache_hits_served']} "
+            f"shed={snap['shed']} rejected={snap['rejected']} "
+            f"swaps={snap['snapshot_swaps']} "
             f"p50={pct['p50_ms']:.3f}ms p95={pct['p95_ms']:.3f}ms "
             f"p99={pct['p99_ms']:.3f}ms"
         )

@@ -16,6 +16,7 @@ monolith over everything.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
@@ -88,6 +89,7 @@ class ShardPlan:
             )
         self.collection = collection
         self._shards = tuple(shards)
+        self._offsets = tuple(shard.offset for shard in self._shards)
 
     @classmethod
     def contiguous(cls, collection: SetCollection, num_shards: int) -> "ShardPlan":
@@ -131,14 +133,15 @@ class ShardPlan:
         return len(self.collection)
 
     def shard_of_position(self, position: int) -> Shard:
-        """The shard holding global ``position``."""
+        """The shard holding global ``position`` (O(log K) bisect).
+
+        Shards tile the collection in offset order, so the owning shard is
+        the last one whose offset is <= ``position``.
+        """
         if not 0 <= position < self.num_sets:
             raise IndexError(f"position {position} outside collection")
-        for shard in self._shards:
-            if position < shard.end:
-                return shard
-        raise AssertionError("unreachable: shards tile the collection")
+        return self._shards[bisect_right(self._offsets, position) - 1]
 
     def offsets(self) -> tuple[int, ...]:
         """Global start position of each shard, in shard order."""
-        return tuple(shard.offset for shard in self._shards)
+        return self._offsets

@@ -37,12 +37,14 @@ serving caches invalidate exactly as they do for unsharded structures.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Iterable, Sequence
 
 import numpy as np
 
 from ..baselines.bloom import BloomFilter
 from ..core.hooks import UpdateNotifier
+from ..obs.trace import get_tracer
 from .plan import ShardPlan
 
 __all__ = [
@@ -85,6 +87,33 @@ class _ShardedBase(UpdateNotifier):
             ceiling if ceiling is not None else shard.max_element_id()
             for ceiling, shard in zip(map(_part_ceiling, parts), plan)
         ]
+        self._fanout_lock = threading.Lock()
+        self._fanout_queries = 0
+        self._fanout_shard_calls = 0
+
+    def __getstate__(self):
+        state = super().__getstate__()
+        state.pop("_fanout_lock", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._fanout_lock = threading.Lock()
+
+    def _record_fanout(self, queries: int, shard_calls: int) -> None:
+        """Account one scatter-gather: ``queries`` routed, shards touched."""
+        with self._fanout_lock:
+            self._fanout_queries += queries
+            self._fanout_shard_calls += shard_calls
+
+    def fanout_stats(self) -> dict:
+        """Scatter-gather telemetry (scraped into the server's registry)."""
+        with self._fanout_lock:
+            return {
+                "num_shards": len(self.parts),
+                "queries": self._fanout_queries,
+                "shard_calls": self._fanout_shard_calls,
+            }
 
     @property
     def num_shards(self) -> int:
@@ -152,19 +181,27 @@ class ShardedCardinalityEstimator(_ShardedBase):
             model_slots.append(slot)
         if unique_sets:
             totals = np.zeros(len(unique_sets), dtype=np.float64)
-            for shard_id, part in enumerate(self.parts):
-                rows = [
-                    slot
-                    for slot, canonical in enumerate(unique_sets)
-                    if self._shard_can_match(shard_id, canonical)
-                ]
-                if not rows:
-                    continue
-                values = np.asarray(
-                    part.estimate_many([unique_sets[slot] for slot in rows]),
-                    dtype=np.float64,
-                )
-                totals[rows] += values
+            with get_tracer().span(
+                "shard_fanout", kind="cardinality",
+                shards=len(self.parts), queries=len(unique_sets),
+            ) as span:
+                shard_calls = 0
+                for shard_id, part in enumerate(self.parts):
+                    rows = [
+                        slot
+                        for slot, canonical in enumerate(unique_sets)
+                        if self._shard_can_match(shard_id, canonical)
+                    ]
+                    if not rows:
+                        continue
+                    values = np.asarray(
+                        part.estimate_many([unique_sets[slot] for slot in rows]),
+                        dtype=np.float64,
+                    )
+                    totals[rows] += values
+                    shard_calls += 1
+                span["attrs"]["shard_calls"] = shard_calls
+            self._record_fanout(len(unique_sets), shard_calls)
             out[model_rows] = totals[model_slots]
         return out
 
@@ -223,23 +260,32 @@ class ShardedSetIndex(_ShardedBase):
                 results[row] = 0 if self.plan.num_sets else None
                 continue
             pending.setdefault(canonical, []).append(row)
-        for shard_id, part in enumerate(self.parts):
-            if not pending:
-                break
-            shard_queries = [
-                canonical
-                for canonical in pending
-                if self._shard_can_match(shard_id, canonical)
-            ]
-            if not shard_queries:
-                continue
-            found = part.lookup_many(shard_queries)
-            offset = self.plan[shard_id].offset
-            for canonical, local in zip(shard_queries, found):
-                if local is None:
+        routed = len(pending)
+        with get_tracer().span(
+            "shard_fanout", kind="index",
+            shards=len(self.parts), queries=routed,
+        ) as span:
+            shard_calls = 0
+            for shard_id, part in enumerate(self.parts):
+                if not pending:
+                    break
+                shard_queries = [
+                    canonical
+                    for canonical in pending
+                    if self._shard_can_match(shard_id, canonical)
+                ]
+                if not shard_queries:
                     continue
-                for row in pending.pop(canonical):
-                    results[row] = int(local) + offset
+                found = part.lookup_many(shard_queries)
+                shard_calls += 1
+                offset = self.plan[shard_id].offset
+                for canonical, local in zip(shard_queries, found):
+                    if local is None:
+                        continue
+                    for row in pending.pop(canonical):
+                        results[row] = int(local) + offset
+            span["attrs"]["shard_calls"] = shard_calls
+        self._record_fanout(routed, shard_calls)
         return results
 
     def insert_update(self, subset: Iterable[int], new_position: int) -> None:
@@ -325,22 +371,31 @@ class ShardedBloomFilter(_ShardedBase):
                 answers[row] = True
                 continue
             pending.setdefault(canonical, []).append(row)
-        for shard_id, part in enumerate(self.parts):
-            if not pending:
-                break
-            shard_queries = [
-                canonical
-                for canonical in pending
-                if self._shard_can_match(shard_id, canonical)
-            ]
-            if not shard_queries:
-                continue
-            found = part.contains_many(shard_queries)
-            for canonical, hit in zip(shard_queries, found):
-                if not hit:
+        routed = len(pending)
+        with get_tracer().span(
+            "shard_fanout", kind="bloom",
+            shards=len(self.parts), queries=routed,
+        ) as span:
+            shard_calls = 0
+            for shard_id, part in enumerate(self.parts):
+                if not pending:
+                    break
+                shard_queries = [
+                    canonical
+                    for canonical in pending
+                    if self._shard_can_match(shard_id, canonical)
+                ]
+                if not shard_queries:
                     continue
-                for row in pending.pop(canonical):
-                    answers[row] = True
+                found = part.contains_many(shard_queries)
+                shard_calls += 1
+                for canonical, hit in zip(shard_queries, found):
+                    if not hit:
+                        continue
+                    for row in pending.pop(canonical):
+                        answers[row] = True
+            span["attrs"]["shard_calls"] = shard_calls
+        self._record_fanout(routed, shard_calls)
         return answers
 
     def insert(self, subset: Iterable[int], expected_inserts: int = 1024) -> None:

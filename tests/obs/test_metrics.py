@@ -1,0 +1,223 @@
+"""MetricsRegistry: kinds, labels, exposition, thread safety, pickling."""
+
+from __future__ import annotations
+
+import math
+import pickle
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    global_registry,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = MetricsRegistry().counter("c_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("c_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_reset(self):
+        counter = MetricsRegistry().counter("c_total")
+        counter.inc(3)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(10)
+        gauge.inc(2.5)
+        gauge.dec(0.5)
+        assert gauge.value == 12.0
+
+    def test_callback_backed_gauge_reads_live_state(self):
+        state = {"n": 1}
+        gauge = MetricsRegistry().gauge_function("g", "", lambda: state["n"])
+        assert gauge.value == 1
+        state["n"] = 7
+        assert gauge.value == 7
+
+    def test_callback_exception_renders_nan_not_crash(self):
+        registry = MetricsRegistry()
+        registry.gauge_function("g", "", lambda: 1 / 0)
+        assert math.isnan(registry.get("g").value)
+        assert "NaN" in registry.render_text() or "nan" in registry.render_text()
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        samples = dict()
+        for suffix, labels, value in registry.get("h")._default().samples():
+            samples[(suffix, labels.get("le"))] = value
+        assert samples[("_bucket", "0.1")] == 1
+        assert samples[("_bucket", "1")] == 3
+        assert samples[("_bucket", "10")] == 4
+        assert samples[("_bucket", "+Inf")] == 5
+        assert samples[("_count", None)] == 5
+        assert samples[("_sum", None)] == pytest.approx(56.05)
+
+    def test_buckets_validated(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("h_empty", buckets=())
+        with pytest.raises(ValueError):
+            registry.histogram("h_dup", buckets=(1.0, 1.0))
+
+    def test_default_buckets_cover_serving_latencies(self):
+        assert DEFAULT_LATENCY_BUCKETS == tuple(sorted(DEFAULT_LATENCY_BUCKETS))
+        assert DEFAULT_LATENCY_BUCKETS[0] <= 1e-4
+        assert DEFAULT_LATENCY_BUCKETS[-1] >= 1.0
+
+
+class TestLabels:
+    def test_per_labelset_children_are_distinct(self):
+        family = MetricsRegistry().counter("c_total", labelnames=("kind",))
+        family.labels(kind="a").inc()
+        family.labels(kind="a").inc()
+        family.labels(kind="b").inc(5)
+        assert family.labels(kind="a").value == 2
+        assert family.per_label_values() == {("a",): 2, ("b",): 5}
+
+    def test_wrong_labelset_rejected(self):
+        family = MetricsRegistry().counter("c_total", labelnames=("kind",))
+        with pytest.raises(ValueError):
+            family.labels(other="x")
+
+    def test_labelled_family_rejects_default_child_proxy(self):
+        family = MetricsRegistry().counter("c_total", labelnames=("kind",))
+        with pytest.raises(ValueError):
+            family.inc()
+
+    def test_label_values_escaped_in_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", labelnames=("q",)).labels(q='a"b\\c\nd').inc()
+        text = registry.render_text()
+        assert 'q="a\\"b\\\\c\\nd"' in text
+
+
+class TestRegistry:
+    def test_registration_is_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c_total") is registry.counter("c_total")
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_label_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x", labelnames=("a",))
+        with pytest.raises(ValueError):
+            registry.counter("x", labelnames=("b",))
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("bad name")
+        with pytest.raises(ValueError):
+            registry.counter("ok", labelnames=("bad-label",))
+
+    def test_render_text_structure(self):
+        registry = MetricsRegistry()
+        registry.counter("req_total", "Requests").inc(3)
+        registry.gauge("temp", "Temperature").set(21.5)
+        text = registry.render_text()
+        assert "# HELP req_total Requests" in text
+        assert "# TYPE req_total counter" in text
+        assert "req_total 3" in text
+        assert "# TYPE temp gauge" in text
+        assert "temp 21.5" in text
+        assert text.endswith("\n")
+
+    def test_no_duplicate_type_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total").inc()
+        registry.counter("a_total").inc()
+        registry.histogram("lat", buckets=(1.0,)).observe(0.5)
+        type_names = [
+            line.split()[2]
+            for line in registry.render_text().splitlines()
+            if line.startswith("# TYPE ")
+        ]
+        assert len(type_names) == len(set(type_names))
+
+    def test_as_dict_flattens_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", labelnames=("k",)).labels(k="x").inc(2)
+        assert registry.as_dict() == {'c_total{k="x"}': 2}
+
+    def test_global_registry_is_a_singleton(self):
+        assert global_registry() is global_registry()
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_conserve_counts(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total")
+        histogram = registry.histogram("h", buckets=(0.5,))
+        threads = 8
+        per_thread = 10_000
+
+        def hammer() -> None:
+            for i in range(per_thread):
+                counter.inc()
+                histogram.observe(i % 2)
+
+        workers = [threading.Thread(target=hammer) for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert counter.value == threads * per_thread
+        assert registry.get("h")._default().count == threads * per_thread
+
+    def test_concurrent_registration_returns_one_family(self):
+        registry = MetricsRegistry()
+        seen = []
+
+        def register() -> None:
+            seen.append(registry.counter("same_total"))
+
+        workers = [threading.Thread(target=register) for _ in range(8)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert all(family is seen[0] for family in seen)
+
+
+class TestPickling:
+    def test_registry_round_trips_without_locks(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc(3)
+        registry.gauge("g").set(2.5)
+        restored = pickle.loads(pickle.dumps(registry))
+        assert restored.get("c_total").value == 3
+        assert restored.get("g").value == 2.5
+        restored.counter("c_total").inc()  # lock was recreated
+        assert restored.get("c_total").value == 4
+
+    def test_callback_gauge_drops_its_function(self):
+        registry = MetricsRegistry()
+        registry.gauge_function("g", "", lambda: 42.0)
+        registry.get("g").set(1.0)
+        restored = pickle.loads(pickle.dumps(registry))
+        assert restored.get("g").value == 1.0  # value-backed after restore

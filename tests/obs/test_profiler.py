@@ -1,0 +1,131 @@
+"""TrainingProfiler: Trainer.fit and guided_fit report into the registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DeepSetsModel,
+    LogMinMaxScaler,
+    OutlierRemovalConfig,
+    TrainConfig,
+    Trainer,
+    guided_fit,
+)
+from repro.nn.data import SetDataLoader
+from repro.obs import MetricsRegistry, TrainingProfiler, get_profiler
+
+
+def _make_profiler() -> TrainingProfiler:
+    return TrainingProfiler(registry=MetricsRegistry())
+
+
+def _value(profiler: TrainingProfiler, name: str) -> float:
+    return profiler.registry.get(name).value
+
+
+def _classification_task(rng, n=60, vocab=20):
+    sets, labels = [], []
+    for _ in range(n):
+        size = int(rng.integers(1, 5))
+        subset = sorted(set(rng.choice(vocab, size=size, replace=False).tolist()))
+        sets.append(subset)
+        labels.append(1.0 if 0 in subset else 0.0)
+    return sets, np.array(labels)
+
+
+class TestTrainerHooks:
+    def test_fit_reports_epochs_and_run_summary(self, rng):
+        sets, labels = _classification_task(rng)
+        model = DeepSetsModel(20, 2, (4,), (4,), rng=rng)
+        loader = SetDataLoader(sets, labels, batch_size=32, rng=rng)
+        profiler = _make_profiler()
+        history = Trainer(
+            model, TrainConfig(epochs=3, loss="bce"), profiler=profiler
+        ).fit(loader)
+
+        assert _value(profiler, "repro_training_epoch") == 3
+        assert _value(profiler, "repro_training_loss") == pytest.approx(
+            history.losses[-1]
+        )
+        assert _value(profiler, "repro_training_active_samples") == len(sets)
+        assert _value(profiler, "repro_training_runs_total") == 1
+        assert _value(profiler, "repro_training_epochs_completed") == 3
+        assert _value(profiler, "repro_training_final_loss") == pytest.approx(
+            history.final_loss
+        )
+        assert _value(profiler, "repro_training_total_seconds") > 0
+        assert _value(profiler, "repro_training_divergences_total") == 0
+
+    def test_trainer_defaults_to_the_global_profiler(self, rng):
+        sets, labels = _classification_task(rng, n=20)
+        model = DeepSetsModel(20, 2, (4,), (4,), rng=rng)
+        trainer = Trainer(model, TrainConfig(epochs=1, loss="bce"))
+        assert trainer.profiler is get_profiler()
+
+    def test_divergence_hook_counts_rollbacks(self, rng):
+        pytest.importorskip("repro.reliability")
+        from repro.reliability import FaultInjector
+
+        sets, labels = _classification_task(rng)
+        model = DeepSetsModel(20, 2, (4,), (4,), rng=rng)
+        loader = SetDataLoader(sets, labels, batch_size=32, rng=rng)
+        profiler = _make_profiler()
+        config = TrainConfig(
+            epochs=4, loss="bce", lr=5e-3,
+            max_divergence_retries=3, lr_backoff=0.5,
+        )
+        with FaultInjector(nan_losses=1):
+            Trainer(model, config, profiler=profiler).fit(loader)
+        assert _value(profiler, "repro_training_divergences_total") == 1
+        assert _value(profiler, "repro_training_lr_backoffs_total") == 1
+        assert _value(profiler, "repro_training_lr") == pytest.approx(5e-3 * 0.5)
+
+
+class TestGuidedFitHooks:
+    def _run(self, rng, profiler, removal, epochs=6):
+        sets = [[i % 5] for i in range(20)]
+        targets = np.arange(20, dtype=np.float64) % 10
+        model = DeepSetsModel(6, 2, (4,), (4,), rng=rng)
+        scaler = LogMinMaxScaler.from_bounds(0, 10)
+        return guided_fit(
+            model,
+            sets,
+            targets,
+            scaler,
+            TrainConfig(epochs=epochs, seed=0),
+            removal=removal,
+            rng=np.random.default_rng(0),
+            profiler=profiler,
+        )
+
+    def test_evictions_counted(self, rng):
+        profiler = _make_profiler()
+        result = self._run(
+            rng, profiler,
+            OutlierRemovalConfig(percentile=80.0, at_epochs=(2,)),
+        )
+        assert result.num_outliers > 0
+        assert (
+            _value(profiler, "repro_training_evictions_total")
+            == result.num_outliers
+        )
+        assert (
+            _value(profiler, "repro_training_active_samples")
+            == 20 - result.num_outliers
+        )
+
+    def test_budget_hits_counted(self, rng):
+        profiler = _make_profiler()
+        result = self._run(
+            rng, profiler,
+            OutlierRemovalConfig(
+                percentile=1.0, at_epochs=(1, 2, 3, 4), max_fraction_removed=0.1
+            ),
+        )
+        assert result.budget_hits >= 1
+        assert (
+            _value(profiler, "repro_training_eviction_budget_hits_total")
+            == result.budget_hits
+        )

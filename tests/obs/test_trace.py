@@ -1,0 +1,119 @@
+"""Tracer: nesting, bounded buffer, record(), enable/disable."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import Tracer, get_tracer, set_tracer, trace
+
+
+class TestSpans:
+    def test_span_records_name_duration_and_attrs(self):
+        tracer = Tracer()
+        with tracer.span("encode", kind="cardinality"):
+            pass
+        (span,) = tracer.snapshot()
+        assert span["name"] == "encode"
+        assert span["attrs"] == {"kind": "cardinality"}
+        assert span["duration_ms"] >= 0.0
+        assert span["parent_id"] is None
+
+    def test_attrs_can_be_attached_mid_span(self):
+        tracer = Tracer()
+        with tracer.span("cache_lookup") as span:
+            span["attrs"]["hit"] = True
+        assert tracer.snapshot()[0]["attrs"]["hit"] is True
+
+    def test_nested_spans_record_parent_ids(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.snapshot()  # inner closes first
+        assert inner["name"] == "inner"
+        assert inner["parent_id"] == outer["span_id"]
+        assert outer["parent_id"] is None
+
+    def test_span_closed_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        assert len(tracer) == 1
+        with tracer.span("after"):
+            pass
+        assert tracer.snapshot()[-1]["parent_id"] is None  # stack unwound
+
+    def test_threads_do_not_share_span_stacks(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(2)
+
+        def run(name: str) -> None:
+            with tracer.span(name):
+                barrier.wait(timeout=5)
+
+        workers = [
+            threading.Thread(target=run, args=(f"t{i}",)) for i in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert all(span["parent_id"] is None for span in tracer.snapshot())
+
+
+class TestBuffer:
+    def test_ring_buffer_drops_oldest_and_counts(self):
+        tracer = Tracer(max_spans=3)
+        for i in range(5):
+            tracer.record("s", float(i))
+        assert len(tracer) == 3
+        assert tracer.dropped == 2
+        assert [span["duration_ms"] for span in tracer.snapshot()] == [2, 3, 4]
+
+    def test_snapshot_limit_keeps_newest(self):
+        tracer = Tracer()
+        for i in range(4):
+            tracer.record("s", float(i))
+        assert [s["duration_ms"] for s in tracer.snapshot(limit=2)] == [2, 3]
+
+    def test_snapshot_is_a_copy(self):
+        tracer = Tracer()
+        tracer.record("s", 1.0, k="v")
+        tracer.snapshot()[0]["attrs"]["k"] = "mutated"
+        assert tracer.snapshot()[0]["attrs"]["k"] == "v"
+
+    def test_clear_resets_spans_and_dropped(self):
+        tracer = Tracer(max_spans=1)
+        tracer.record("a", 1.0)
+        tracer.record("b", 2.0)
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.dropped == 0
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            Tracer(max_spans=0)
+
+
+class TestDisabled:
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("s") as span:
+            span["attrs"]["x"] = 1  # still assignable — stays a no-op
+        tracer.record("r", 1.0)
+        assert len(tracer) == 0
+
+
+class TestDefaultTracer:
+    def test_trace_uses_the_process_default(self):
+        previous = get_tracer()
+        try:
+            tracer = set_tracer(Tracer())
+            with trace("via_module", n=1):
+                pass
+            assert tracer.snapshot()[0]["name"] == "via_module"
+        finally:
+            set_tracer(previous)

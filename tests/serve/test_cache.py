@@ -65,10 +65,11 @@ class TestInvalidation:
         assert cache.get("b") == (True, 2)
         assert cache.invalidations == 1
 
-    def test_invalidate_missing_key_is_counted_but_false(self):
+    def test_invalidate_missing_key_counts_as_miss_not_invalidation(self):
         cache = QueryCache(capacity=4)
         assert cache.invalidate("ghost") is False
-        assert cache.invalidations == 1
+        assert cache.invalidations == 0
+        assert cache.invalidation_misses == 1
 
     def test_clear_preserves_counters(self):
         cache = QueryCache(capacity=4)
@@ -117,4 +118,16 @@ class TestConcurrency:
             "misses": 1,
             "evictions": 0,
             "invalidations": 0,
+            "invalidation_misses": 0,
+            "hit_rate": 0.5,
         }
+
+    def test_hit_rate_is_locked_and_consistent(self):
+        cache = QueryCache(capacity=4)
+        assert cache.hit_rate == 0.0
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("a")
+        cache.get("b")
+        cache.get("b")
+        assert cache.hit_rate == 0.5

@@ -33,6 +33,18 @@ def ask(stream, line):
     return stream.readline().strip()
 
 
+def ask_metrics(stream):
+    """Send METRICS and collect exposition lines up to the # EOF frame."""
+    stream.write("METRICS\n")
+    stream.flush()
+    lines = []
+    for raw in stream:
+        if raw.strip() == "# EOF":
+            break
+        lines.append(raw.rstrip("\n"))
+    return lines
+
+
 class TestProtocol:
     def test_query_line_returns_formatted_estimate(self, frontend, estimator):
         tcp, server = frontend
@@ -59,6 +71,54 @@ class TestProtocol:
             report = json.loads(ask(stream, "STATS"))
             assert report["kind"] == "cardinality"
             assert report["requests_served"] >= 1
+        finally:
+            sock.close()
+
+    def test_metrics_returns_framed_exposition(self, frontend):
+        tcp, _ = frontend
+        sock, stream = connect(tcp)
+        try:
+            ask(stream, "0 1")
+            lines = ask_metrics(stream)
+            assert lines, "exposition must be non-empty"
+            type_names = [
+                line.split()[2] for line in lines if line.startswith("# TYPE ")
+            ]
+            assert len(type_names) == len(set(type_names)), "duplicate families"
+            assert "repro_serve_requests_served_total" in type_names
+            assert "repro_serve_latency_seconds" in type_names
+            assert "repro_cache_hit_rate" in type_names
+            sample_names = {
+                line.split("{")[0].split()[0]
+                for line in lines
+                if not line.startswith("#")
+            }
+            assert "repro_serve_latency_seconds_bucket" in sample_names
+            # The connection still serves queries after the framed reply.
+            assert ask(stream, "0 1") != ""
+        finally:
+            sock.close()
+
+    def test_trace_returns_span_json(self, frontend):
+        tcp, _ = frontend
+        sock, stream = connect(tcp)
+        try:
+            ask(stream, "0 1")
+            spans = json.loads(ask(stream, "TRACE 10"))
+            assert isinstance(spans, list) and spans
+            assert len(spans) <= 10
+            names = {span["name"] for span in spans}
+            assert names & {"encode", "cache_lookup", "model_forward", "batch_wait"}
+            assert all("duration_ms" in span for span in spans)
+        finally:
+            sock.close()
+
+    def test_trace_with_bad_limit_reports_error(self, frontend):
+        tcp, _ = frontend
+        sock, stream = connect(tcp)
+        try:
+            assert ask(stream, "TRACE abc") == "error malformed trace limit"
+            assert ask(stream, "0 1") != ""  # connection stays up
         finally:
             sock.close()
 

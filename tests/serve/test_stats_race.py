@@ -1,0 +1,132 @@
+"""Threaded stress tests: telemetry counters conserve under concurrency.
+
+The bugs these guard against were real: ``ServerStats.mean_batch_size``
+and ``report_line`` used to read counters without the lock (torn
+served/failed/batch combinations), and ``QueryCache.hit_rate`` read
+``hits``/``misses`` unlocked.  Eight writer threads hammer the telemetry
+while readers snapshot it; afterwards every conservation law must hold
+*exactly* — a single lost ``+= 1`` breaks the equalities.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.serve import QueryCache, ServerStats
+
+THREADS = 8
+OPS_PER_THREAD = 10_000
+
+
+def _run_threads(target) -> None:
+    workers = [
+        threading.Thread(target=target, args=(tid,)) for tid in range(THREADS)
+    ]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+
+
+class TestServerStatsConservation:
+    def test_counters_conserve_under_8_writers(self):
+        stats = ServerStats()
+        stop = threading.Event()
+
+        def write(tid: int) -> None:
+            for i in range(OPS_PER_THREAD):
+                stats.record_submitted()
+                if i % 10 == tid % 10:
+                    stats.record_failed()
+                else:
+                    stats.record_served(0.001, from_cache=(i % 3 == 0))
+                if i % 4 == 0:
+                    stats.record_batch(4)
+
+        def read() -> None:
+            # Concurrent reads must never crash, deadlock, or report an
+            # inconsistent served/failed total exceeding submissions.
+            while not stop.is_set():
+                snap = stats._snapshot()
+                assert (
+                    snap["requests_served"] + snap["requests_failed"]
+                    <= snap["requests_submitted"]
+                )
+                stats.report_line()
+                stats.mean_batch_size
+
+        reader = threading.Thread(target=read)
+        reader.start()
+        try:
+            _run_threads(write)
+        finally:
+            stop.set()
+            reader.join()
+
+        total = THREADS * OPS_PER_THREAD
+        assert stats.requests_submitted == total
+        assert stats.requests_served + stats.requests_failed == total
+        assert stats.requests_failed == total // 10
+        assert stats.batches_dispatched == total // 4
+        assert stats.batched_requests == 4 * (total // 4)
+        assert stats.mean_batch_size == 4.0
+
+    def test_registry_exposition_matches_attribute_views(self):
+        stats = ServerStats()
+        stats.record_submitted()
+        stats.record_served(0.002)
+        flat = stats.registry.as_dict()
+        assert flat["repro_serve_requests_submitted_total"] == 1
+        assert flat["repro_serve_requests_served_total"] == 1
+        assert flat["repro_serve_latency_seconds_count"] == 1
+
+
+class TestQueryCacheConservation:
+    def test_gets_and_invalidations_conserve_under_8_writers(self):
+        cache = QueryCache(capacity=128)
+
+        def write(tid: int) -> None:
+            for i in range(OPS_PER_THREAD):
+                key = (tid, i % 200)
+                cache.put(key, i)
+                cache.get(key)
+                if i % 5 == 0:
+                    cache.invalidate(key)
+
+        _run_threads(write)
+
+        total = THREADS * OPS_PER_THREAD
+        assert cache.hits + cache.misses == total
+        assert (
+            cache.invalidations + cache.invalidation_misses
+            == THREADS * (OPS_PER_THREAD // 5)
+        )
+
+    def test_hit_rate_read_concurrently_with_writers(self):
+        # Large enough that no put/get pair can be split by an eviction.
+        cache = QueryCache(capacity=1024)
+        stop = threading.Event()
+        rates = []
+
+        def read() -> None:
+            while not stop.is_set():
+                rate = cache.hit_rate
+                assert 0.0 <= rate <= 1.0
+                rates.append(rate)
+
+        def write(tid: int) -> None:
+            for i in range(OPS_PER_THREAD // 10):
+                cache.put((tid, i % 50), i)
+                cache.get((tid, i % 50))
+                cache.get((tid, "cold", i))
+
+        reader = threading.Thread(target=read)
+        reader.start()
+        try:
+            _run_threads(write)
+        finally:
+            stop.set()
+            reader.join()
+        assert rates, "reader thread never sampled"
+        # Exactly one hit and one miss per iteration per writer.
+        assert cache.hit_rate == 0.5

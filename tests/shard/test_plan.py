@@ -81,6 +81,27 @@ class TestPositions:
         plan = ShardPlan.contiguous(collection, 3)
         assert plan.offsets() == tuple(shard.offset for shard in plan)
 
+    def test_bisect_routing_matches_linear_scan_at_k1000(self):
+        """Every shard boundary at K=1000: the O(log K) bisect lookup must
+        agree with the O(K) linear reference on the first and last position
+        of each shard (the off-by-one hot spots of boundary arithmetic)."""
+        collection = SetCollection([[i % 7, (i % 11) + 7] for i in range(2500)])
+        plan = ShardPlan.contiguous(collection, 1000)
+        assert len(plan) == 1000
+
+        def linear_reference(position: int) -> Shard:
+            for shard in plan:
+                if shard.offset <= position < shard.end:
+                    return shard
+            raise AssertionError(f"no shard covers {position}")
+
+        boundary_positions = set()
+        for shard in plan:
+            boundary_positions.add(shard.offset)
+            boundary_positions.add(shard.end - 1)
+        for position in sorted(boundary_positions):
+            assert plan.shard_of_position(position) is linear_reference(position)
+
 
 class TestValidation:
     def test_rejects_non_tiling_shards(self, collection):

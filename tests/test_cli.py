@@ -49,6 +49,74 @@ class TestDatasetsAndStats:
         out = capsys.readouterr().out
         assert "uniq_elem" in out
 
+    def test_stats_without_collection_or_connect_errors(self, capsys):
+        assert main(["stats"]) == 2
+        assert "--connect" in capsys.readouterr().err
+
+    def test_stats_metrics_requires_connect(self, capsys):
+        assert main(["stats", "--metrics"]) == 2
+        assert "--connect" in capsys.readouterr().err
+
+    def test_trace_dump_requires_connect(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace-dump"])
+
+    def test_bad_connect_address_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["stats", "--connect", "nota-port"])
+
+
+class TestLiveTelemetryCommands:
+    @pytest.fixture
+    def live_server(self, collection_file, tmp_path, capsys):
+        from repro.serve import SetServer, TcpServeFrontend
+
+        model_file = tmp_path / "est.pkl"
+        assert main([
+            "train", "cardinality", str(collection_file), str(model_file),
+            "--kind", "lsm", "--epochs", "2", "--no-hybrid",
+        ]) == 0
+        capsys.readouterr()
+        with open(model_file, "rb") as handle:
+            structure = pickle.load(handle)
+        with SetServer(structure, cache_size=16) as server:
+            frontend = TcpServeFrontend(server, port=0).start_background()
+            server.query((1, 2))
+            server.query((1, 2))
+            host, port = frontend.address
+            yield f"{host}:{port}"
+            frontend.shutdown()
+
+    def test_stats_connect_prints_json(self, live_server, capsys):
+        import json
+
+        assert main(["stats", "--connect", live_server]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["requests_served"] == 2
+        assert report["cache"]["hits"] == 1
+
+    def test_stats_connect_metrics_prints_exposition(self, live_server, capsys):
+        assert main(["stats", "--connect", live_server, "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_serve_requests_served_total counter" in out
+        assert "repro_serve_latency_seconds_bucket" in out
+
+    def test_trace_dump_prints_spans(self, live_server, capsys):
+        assert main(["trace-dump", "--connect", live_server]) == 0
+        out = capsys.readouterr().out
+        assert "cache_lookup" in out
+        assert "ms" in out
+
+    def test_trace_dump_json(self, live_server, capsys):
+        import json
+
+        assert main([
+            "trace-dump", "--connect", live_server, "--json", "--limit", "5"
+        ]) == 0
+        spans = json.loads(capsys.readouterr().out)
+        assert isinstance(spans, list)
+        assert 0 < len(spans) <= 5
+
 
 class TestTrainAndQuery:
     def test_cardinality_roundtrip(self, collection_file, tmp_path, capsys):

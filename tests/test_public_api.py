@@ -16,6 +16,7 @@ SUBPACKAGES = (
     "repro.core",
     "repro.datasets",
     "repro.engine",
+    "repro.obs",
     "repro.serve",
     "repro.bench",
 )

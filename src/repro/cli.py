@@ -17,6 +17,8 @@ Usage (installed as the ``repro`` console script, or
     repro lookup idx.pkl 3 17                  # first position containing {3, 17}
     repro contains bf.pkl 3 17                 # membership answer
     repro serve est.pkl --port 7007            # concurrent TCP query serving
+    repro serve idx.pkl --auto-refresh         # + background staleness repair
+    repro refresh-status --connect 127.0.0.1:7007   # maintenance status JSON
     repro stats --connect 127.0.0.1:7007       # live server telemetry (JSON)
     repro stats --connect 127.0.0.1:7007 --metrics   # Prometheus exposition
     repro trace-dump --connect 127.0.0.1:7007  # recent query-path spans
@@ -152,6 +154,40 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=7007)
     _add_serving_knobs(serve)
+    serve.add_argument(
+        "--auto-refresh", action="store_true",
+        help="watch staleness (delta count / aux fraction) and retrain + "
+             "hot-swap the structure in the background when a threshold trips",
+    )
+    serve.add_argument("--refresh-interval", type=float, default=1.0,
+                       help="seconds between staleness checks")
+    serve.add_argument("--refresh-max-deltas", type=int, default=1000,
+                       help="refresh once this many mutations accumulate")
+    serve.add_argument("--refresh-max-aux-fraction", type=float, default=0.25,
+                       help="refresh once the auxiliary layer holds this "
+                            "fraction of answers")
+    serve.add_argument("--refresh-min-interval", type=float, default=30.0,
+                       help="minimum seconds between two refreshes")
+    serve.add_argument("--refresh-epochs", type=int, default=6,
+                       help="training epochs per background rebuild")
+    serve.add_argument("--refresh-workers", type=int, default=1,
+                       help="per-shard rebuild process-pool size (sharded "
+                            "structures only)")
+    serve.add_argument("--refresh-collection", type=Path, default=None,
+                       help="collection file backing rebuilds (needed for "
+                            "unsharded cardinality/bloom structures, which "
+                            "do not carry their training collection)")
+
+    refresh_status = commands.add_parser(
+        "refresh-status",
+        help="query a running server's maintenance status (REFRESH verb)",
+    )
+    refresh_status.add_argument("--connect", metavar="HOST:PORT", required=True)
+    refresh_status.add_argument("--now", action="store_true",
+                                help="force a refresh before reporting")
+    refresh_status.add_argument("--json", action="store_true",
+                                help="print the raw status JSON instead of "
+                                     "the human summary")
 
     bench = commands.add_parser(
         "bench-serve",
@@ -479,6 +515,32 @@ def _batch_policy(args):
     )
 
 
+def _make_refresher(args, server, structure):
+    """Build and start the background refresher for ``repro serve``."""
+    from .maintain import BackgroundRefresher, StalenessPolicy, default_rebuilder
+
+    collection = (
+        SetCollection.load(args.refresh_collection)
+        if args.refresh_collection is not None
+        else None
+    )
+    rebuild = default_rebuilder(
+        structure,
+        collection=collection,
+        train_config=TrainConfig(epochs=args.refresh_epochs, seed=args.seed
+                                 if hasattr(args, "seed") else 0),
+        workers=args.refresh_workers,
+    )
+    policy = StalenessPolicy(
+        max_deltas=args.refresh_max_deltas,
+        max_aux_fraction=args.refresh_max_aux_fraction,
+        min_interval_s=args.refresh_min_interval,
+    )
+    return BackgroundRefresher(
+        server, rebuild, policy=policy, interval_s=args.refresh_interval
+    ).start()
+
+
 def _cmd_serve(args) -> int:
     from .serve import SetServer, TcpServeFrontend
 
@@ -486,11 +548,22 @@ def _cmd_serve(args) -> int:
     with SetServer(
         structure, policy=_batch_policy(args), cache_size=args.cache_size
     ) as server:
+        refresher = None
+        if args.auto_refresh:
+            try:
+                refresher = _make_refresher(args, server, structure)
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
         frontend = TcpServeFrontend(server, host=args.host, port=args.port)
         host, port = frontend.address
+        refresh_note = (
+            "; auto-refresh on (REFRESH for status)" if refresher else ""
+        )
         print(
             f"serving {server.kind} queries on {host}:{port} "
-            f"(one query per line; STATS for telemetry, QUIT to disconnect)"
+            f"(one query per line; STATS for telemetry, QUIT to "
+            f"disconnect){refresh_note}"
         )
         try:
             frontend.serve_forever()
@@ -498,7 +571,55 @@ def _cmd_serve(args) -> int:
             pass
         finally:
             frontend.shutdown()
+            if refresher is not None:
+                refresher.close()
         print(server.stats.report_line(), file=sys.stderr)
+        if refresher is not None:
+            print(
+                f"[maintain] refreshes={refresher.refreshes} "
+                f"failures={refresher.failures} "
+                f"replayed={refresher.replayed}",
+                file=sys.stderr,
+            )
+    return 0
+
+
+def _cmd_refresh_status(args) -> int:
+    import json
+
+    verb = "REFRESH NOW" if args.now else "REFRESH"
+    payload = _fetch_from_server(args.connect, verb)
+    if payload.startswith("error"):
+        print(payload, file=sys.stderr)
+        return 1
+    status = json.loads(payload)
+    if not status.get("auto_refresh", False):
+        print("auto-refresh is not enabled on this server", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    state = status.get("state", {})
+    print(
+        f"{status['kind']} maintainer "
+        f"{'running' if status.get('running') else 'stopped'} "
+        f"(check interval {status.get('interval_s')}s)"
+    )
+    print(
+        f"refreshes {status.get('refreshes', 0)} "
+        f"(failures {status.get('failures', 0)}, "
+        f"replayed deltas {status.get('replayed_deltas', 0)}); "
+        f"serving snapshot v{status.get('snapshot_version')}"
+    )
+    print(
+        f"pending deltas {state.get('pending_deltas', 0)}, "
+        f"aux fraction {state.get('aux_fraction', 0.0):.3f}, "
+        f"probe q-error {state.get('probe_q_error')}"
+    )
+    if status.get("last_reasons"):
+        print(f"last refresh reasons: {', '.join(status['last_reasons'])}")
+    if status.get("last_error"):
+        print(f"last error: {status['last_error']}")
     return 0
 
 
@@ -587,6 +708,7 @@ _COMMANDS = {
     "lookup": _cmd_lookup,
     "contains": _cmd_contains,
     "serve": _cmd_serve,
+    "refresh-status": _cmd_refresh_status,
     "bench-serve": _cmd_bench_serve,
     "bench-shard": _cmd_bench_shard,
 }

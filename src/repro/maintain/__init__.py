@@ -1,0 +1,38 @@
+"""Incremental maintenance: delta tracking, staleness, background refresh.
+
+The paper's hybrid structures absorb post-build inserts and updates into
+their auxiliary exact layers (§6); this package closes the loop back to a
+freshly trained model.  :class:`DeltaBuffer` records every absorbed
+mutation through the core :class:`~repro.core.UpdateNotifier` hooks,
+:class:`StalenessPolicy` decides when the accumulated drift warrants a
+retrain, and :class:`BackgroundRefresher` retrains off the serving
+thread, replays the recorded deltas onto the fresh structure, and
+publishes it through the serving stack's hot swap.
+"""
+
+from .delta import DeltaBuffer, DeltaEvent
+from .policy import StalenessPolicy, StalenessState, aux_fraction_of
+from .refresher import (
+    BackgroundRefresher,
+    RefreshError,
+    default_rebuilder,
+    mutate_through,
+    replay_deltas,
+    rewrap_like,
+    unwrap_structure,
+)
+
+__all__ = [
+    "BackgroundRefresher",
+    "DeltaBuffer",
+    "DeltaEvent",
+    "RefreshError",
+    "StalenessPolicy",
+    "StalenessState",
+    "aux_fraction_of",
+    "default_rebuilder",
+    "mutate_through",
+    "replay_deltas",
+    "rewrap_like",
+    "unwrap_structure",
+]

@@ -1,0 +1,158 @@
+"""Delta buffer: the record of post-build mutations a structure absorbed.
+
+The paper's update strategy (§6, §7.2) sends every insert/update into the
+auxiliary exact structure and defers retraining.  That keeps answers
+correct but silently degrades the learned structure towards a plain
+HashMap; the serving stack needs to *see* the degradation to repair it.
+:class:`DeltaBuffer` subscribes to a structure's
+:class:`~repro.core.UpdateNotifier` hooks and records every mutation —
+sequence-numbered, bounded, thread-safe — so the
+:class:`~repro.maintain.StalenessPolicy` can count drift and the
+:class:`~repro.maintain.BackgroundRefresher` can replay the mutations that
+raced a retrain onto the freshly trained structure before the hot swap.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any
+
+__all__ = ["DeltaBuffer", "DeltaEvent"]
+
+
+class DeltaEvent:
+    """One recorded mutation: its sequence number and canonical subset."""
+
+    __slots__ = ("seq", "canonical")
+
+    def __init__(self, seq: int, canonical: tuple[int, ...]):
+        self.seq = seq
+        self.canonical = canonical
+
+    def __repr__(self) -> str:
+        return f"DeltaEvent(seq={self.seq}, canonical={self.canonical})"
+
+
+class DeltaBuffer:
+    """Bounded, thread-safe log of post-build structure mutations.
+
+    Parameters
+    ----------
+    max_events:
+        Ring capacity.  When it overflows the oldest events are dropped
+        and counted; :meth:`events_since` then reports the replay window
+        as truncated so a refresher knows its replay may be incomplete
+        (the full rebuild still re-derives state from the old structure's
+        auxiliary layers, so truncation costs fidelity only for events the
+        old structure itself no longer remembers).
+    """
+
+    def __init__(self, max_events: int = 100_000):
+        if max_events < 1:
+            raise ValueError("max_events must be >= 1")
+        self.max_events = int(max_events)
+        self._lock = threading.Lock()
+        self._events: deque[DeltaEvent] = deque()
+        self._seq = 0
+        self._dropped = 0
+        self._attached: list[Any] = []
+
+    # -- subscription ---------------------------------------------------------
+
+    def attach(self, structure: Any) -> None:
+        """Subscribe to ``structure``'s update notifications.
+
+        ``structure`` must expose ``add_update_listener`` (every learned
+        structure and sharded router does via :class:`UpdateNotifier`).
+        """
+        structure.add_update_listener(self.record)
+        with self._lock:
+            self._attached.append(structure)
+
+    def detach(self, structure: Any) -> None:
+        """Unsubscribe from ``structure`` (no-op if not attached)."""
+        try:
+            structure.remove_update_listener(self.record)
+        except (AttributeError, ValueError):
+            pass
+        with self._lock:
+            try:
+                self._attached.remove(structure)
+            except ValueError:
+                pass
+
+    def detach_all(self) -> None:
+        """Unsubscribe from every structure this buffer is attached to."""
+        with self._lock:
+            attached = list(self._attached)
+        for structure in attached:
+            self.detach(structure)
+
+    # -- recording ------------------------------------------------------------
+
+    def record(self, canonical: tuple[int, ...]) -> int:
+        """Log one mutation; returns its sequence number.
+
+        This is the :class:`UpdateNotifier` listener signature, so the
+        buffer can be registered directly.
+        """
+        with self._lock:
+            self._seq += 1
+            self._events.append(DeltaEvent(self._seq, tuple(canonical)))
+            while len(self._events) > self.max_events:
+                self._events.popleft()
+                self._dropped += 1
+            return self._seq
+
+    # -- reading --------------------------------------------------------------
+
+    def mark(self) -> int:
+        """The current sequence number (a replay watermark)."""
+        with self._lock:
+            return self._seq
+
+    def pending_since(self, mark: int) -> int:
+        """How many mutations were recorded after ``mark``."""
+        with self._lock:
+            return max(self._seq - int(mark), 0)
+
+    def events_since(self, mark: int) -> tuple[list[tuple[int, ...]], bool]:
+        """Canonicals recorded after ``mark`` plus a truncation flag.
+
+        The canonicals are de-duplicated preserving first-occurrence order
+        (replaying a mutation twice is idempotent but pointless).  The
+        second element is ``True`` when ring overflow dropped events inside
+        the requested window.
+        """
+        with self._lock:
+            events = [e for e in self._events if e.seq > mark]
+            oldest_retained = self._events[0].seq if self._events else self._seq + 1
+            truncated = self._dropped > 0 and oldest_retained > int(mark) + 1
+        seen: set[tuple[int, ...]] = set()
+        canonicals: list[tuple[int, ...]] = []
+        for event in events:
+            if event.canonical not in seen:
+                seen.add(event.canonical)
+                canonicals.append(event.canonical)
+        return canonicals, truncated
+
+    @property
+    def total_events(self) -> int:
+        with self._lock:
+            return self._seq
+
+    @property
+    def dropped(self) -> int:
+        with self._lock:
+            return self._dropped
+
+    def as_dict(self) -> dict:
+        with self._lock:
+            return {
+                "total_events": self._seq,
+                "buffered": len(self._events),
+                "dropped": self._dropped,
+                "max_events": self.max_events,
+                "attached": len(self._attached),
+            }

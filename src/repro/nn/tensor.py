@@ -19,19 +19,22 @@ Design notes
 * Gradients are plain ``np.ndarray`` objects; higher-order gradients are out
   of scope, which keeps the engine small and auditable.
 * :func:`no_grad` disables graph recording, making pure inference (used by
-  the latency benchmarks) allocation-light.
+  the latency benchmarks) allocation-light.  The flag is **thread-local**:
+  a serving thread running inference under :func:`no_grad` must not stop a
+  concurrent background-refresh thread from recording its training graph.
 """
 
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable
 
 import numpy as np
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor"]
 
-_GRAD_ENABLED = True
+_GRAD_STATE = threading.local()
 
 # A backward closure maps the upstream gradient to per-parent contributions.
 BackwardFn = Callable[[np.ndarray], list[tuple["Tensor", np.ndarray]]]
@@ -45,18 +48,20 @@ def no_grad():
     :class:`Tensor` wrapper; ``backward`` cannot flow through results
     produced here.
     """
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    previous = is_grad_enabled()
+    _GRAD_STATE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_STATE.enabled = previous
 
 
 def is_grad_enabled() -> bool:
-    """Return whether operations currently record the autograd graph."""
-    return _GRAD_ENABLED
+    """Return whether operations currently record the autograd graph.
+
+    Per-thread: each new thread starts with gradients enabled.
+    """
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -120,7 +125,7 @@ class Tensor:
         backward: BackwardFn,
     ) -> "Tensor":
         """Create a non-leaf tensor, recording the graph iff enabled."""
-        needs = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        needs = is_grad_enabled() and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=needs)
         if needs:
             out._parents = parents

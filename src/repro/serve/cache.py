@@ -82,6 +82,37 @@ class QueryCache:
                 self.invalidation_misses += 1
             return dropped
 
+    def invalidate_related(self, canonical) -> int:
+        """Drop every entry whose answer a mutation of ``canonical`` can change.
+
+        A structure mutation is logically an insert/update of the set
+        ``canonical``: any cached query that is a *subset* of it can now be
+        satisfied (or counted) by the mutated set, and any *superset* query
+        had its answer derived from state the mutation just changed.  Both
+        directions are dropped; the exact key is a subset of itself, so
+        this strictly widens :meth:`invalidate`.  The empty query (its
+        answer aggregates the whole collection) is a subset of every
+        mutation and is always dropped.  Returns the number of entries
+        removed; a sweep that drops nothing counts one invalidation miss.
+        """
+        try:
+            mutated = frozenset(canonical)
+        except TypeError:
+            return 0
+        with self._lock:
+            stale = [
+                key
+                for key in self._data
+                if (cached := frozenset(key)) <= mutated or cached >= mutated
+            ]
+            for key in stale:
+                del self._data[key]
+            if stale:
+                self.invalidations += len(stale)
+            else:
+                self.invalidation_misses += 1
+            return len(stale)
+
     def clear(self) -> None:
         """Drop every entry (snapshot swap); counters are preserved."""
         with self._lock:

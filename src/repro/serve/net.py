@@ -14,6 +14,10 @@ protocol deliberately simple enough for ``nc``:
   convention), since the exposition format is inherently line-oriented;
 * ``TRACE`` (optionally ``TRACE <limit>``) returns the most recent
   query-path spans as a JSON array on one line;
+* ``REFRESH`` returns the maintenance status JSON (delta backlog,
+  staleness policy, refresh counts) when the server runs with
+  ``--auto-refresh``, else ``{"auto_refresh": false}``; ``REFRESH NOW``
+  additionally forces a refresh before reporting;
 * ``QUIT`` ends the connection (as does EOF);
 * a line that does not parse as integers is answered with
   ``error malformed query`` — the connection stays up.
@@ -64,6 +68,19 @@ class _Handler(socketserver.StreamRequestHandler):
                         self._reply("error malformed trace limit")
                         continue
                 self._reply(json.dumps(server.trace_spans(limit)))
+                continue
+            if command == "REFRESH":
+                maintainer = getattr(server, "maintainer", None)
+                if maintainer is None:
+                    self._reply(json.dumps({"auto_refresh": False}))
+                    continue
+                if len(tokens) > 1 and tokens[1].upper() == "NOW":
+                    try:
+                        maintainer.refresh_now(("manual",))
+                    except Exception as exc:
+                        self._reply(f"error {type(exc).__name__}")
+                        continue
+                self._reply(json.dumps(maintainer.status(), sort_keys=True))
                 continue
             try:
                 query = tuple(int(token) for token in line.split())

@@ -137,7 +137,12 @@ class SetServer:
                 "exact=... or serve a guarded structure"
             )
         self._exact = exact
-        self._listener = self.cache.invalidate
+        # A mutation can change the answers of subset/superset queries too,
+        # not just the exact key — the listener sweeps all related entries.
+        self._listener = self.cache.invalidate_related
+        # Set by a repro.maintain.BackgroundRefresher when auto-refresh is
+        # enabled; the REFRESH protocol verb reports through it.
+        self.maintainer = None
         self._attach_listener(structure)
         self._batcher = MicroBatcher(
             self._serve_batch,

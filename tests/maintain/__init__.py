@@ -1,0 +1,1 @@
+"""Incremental maintenance suite: delta buffer, staleness, refresh, soak."""

@@ -1,0 +1,66 @@
+"""Shared fixtures for the maintenance suite.
+
+Mirrors the serving suite's economics: training dominates, so a read-only
+estimator is built once per session, while tests that mutate or refresh
+train fresh cheap structures through :func:`fresh_estimator`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import LearnedCardinalityEstimator, ModelConfig, TrainConfig
+from repro.sets import InvertedIndex, SetCollection
+
+SETS = [
+    [0, 1, 2],
+    [1, 2],
+    [0, 3],
+    [1, 2, 3],
+    [4, 5],
+    [0, 4, 5],
+    [2, 3, 4],
+    [0, 1],
+    [3, 5],
+    [0, 2, 5],
+    [1, 4],
+    [2, 5],
+]
+
+
+def small_model_config(seed: int = 0) -> ModelConfig:
+    return ModelConfig(
+        kind="lsm", embedding_dim=2, phi_hidden=(4,), rho_hidden=(4,), seed=seed
+    )
+
+
+def small_train_config(seed: int = 0, epochs: int = 2) -> TrainConfig:
+    return TrainConfig(epochs=epochs, batch_size=64, lr=5e-3, loss="mse", seed=seed)
+
+
+def fresh_estimator(collection, seed: int = 0) -> LearnedCardinalityEstimator:
+    """A cheap private estimator for tests that mutate or swap it away."""
+    return LearnedCardinalityEstimator.build(
+        collection,
+        model_config=small_model_config(seed),
+        train_config=small_train_config(seed),
+        max_subset_size=3,
+        rng=np.random.default_rng(seed),
+    )
+
+
+@pytest.fixture(scope="session")
+def collection() -> SetCollection:
+    return SetCollection(SETS)
+
+
+@pytest.fixture(scope="session")
+def truth(collection) -> InvertedIndex:
+    return InvertedIndex(collection)
+
+
+@pytest.fixture(scope="session")
+def estimator(collection) -> LearnedCardinalityEstimator:
+    """Read-only shared estimator; mutating tests use fresh_estimator."""
+    return fresh_estimator(collection)

@@ -1,0 +1,123 @@
+"""DeltaBuffer: sequencing, bounded retention, dedup, and hook wiring."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.hooks import UpdateNotifier
+from repro.maintain import DeltaBuffer
+
+
+class _Mutable(UpdateNotifier):
+    """Minimal structure exposing the real UpdateNotifier surface."""
+
+    def poke(self, canonical: tuple[int, ...]) -> None:
+        self._notify_update(canonical)
+
+
+class TestRecording:
+    def test_record_assigns_increasing_sequence_numbers(self):
+        buffer = DeltaBuffer()
+        assert buffer.record((0, 1)) == 1
+        assert buffer.record((2,)) == 2
+        assert buffer.total_events == 2
+
+    def test_attach_records_structure_notifications(self):
+        buffer = DeltaBuffer()
+        structure = _Mutable()
+        buffer.attach(structure)
+        structure.poke((3, 4))
+        assert buffer.total_events == 1
+        assert buffer.events_since(0) == ([(3, 4)], False)
+
+    def test_detach_stops_recording(self):
+        buffer = DeltaBuffer()
+        structure = _Mutable()
+        buffer.attach(structure)
+        buffer.detach(structure)
+        structure.poke((1,))
+        assert buffer.total_events == 0
+        # Detaching twice (or a never-attached structure) is a no-op.
+        buffer.detach(structure)
+        buffer.detach(_Mutable())
+
+    def test_detach_all_clears_every_subscription(self):
+        buffer = DeltaBuffer()
+        structures = [_Mutable(), _Mutable(), _Mutable()]
+        for structure in structures:
+            buffer.attach(structure)
+        assert buffer.as_dict()["attached"] == 3
+        buffer.detach_all()
+        assert buffer.as_dict()["attached"] == 0
+        for structure in structures:
+            structure.poke((9,))
+        assert buffer.total_events == 0
+
+
+class TestWindowing:
+    def test_mark_and_pending_since(self):
+        buffer = DeltaBuffer()
+        buffer.record((0,))
+        mark = buffer.mark()
+        assert buffer.pending_since(mark) == 0
+        buffer.record((1,))
+        buffer.record((2,))
+        assert buffer.pending_since(mark) == 2
+        assert buffer.pending_since(0) == 3
+
+    def test_events_since_deduplicates_preserving_first_occurrence(self):
+        buffer = DeltaBuffer()
+        for canonical in [(0, 1), (2,), (0, 1), (3,), (2,)]:
+            buffer.record(canonical)
+        canonicals, truncated = buffer.events_since(0)
+        assert canonicals == [(0, 1), (2,), (3,)]
+        assert truncated is False
+
+    def test_events_since_respects_the_mark(self):
+        buffer = DeltaBuffer()
+        buffer.record((0,))
+        mark = buffer.mark()
+        buffer.record((1,))
+        assert buffer.events_since(mark) == ([(1,)], False)
+
+    def test_overflow_drops_oldest_and_flags_truncation(self):
+        buffer = DeltaBuffer(max_events=4)
+        for element in range(10):
+            buffer.record((element,))
+        assert buffer.dropped == 6
+        canonicals, truncated = buffer.events_since(0)
+        assert canonicals == [(6,), (7,), (8,), (9,)]
+        assert truncated is True
+        # A window that starts after the dropped range is not truncated.
+        canonicals, truncated = buffer.events_since(7)
+        assert canonicals == [(7,), (8,), (9,)]
+        assert truncated is False
+
+    def test_max_events_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DeltaBuffer(max_events=0)
+
+
+class TestConcurrency:
+    def test_concurrent_recording_never_loses_or_repeats_a_sequence(self):
+        buffer = DeltaBuffer()
+        per_thread = 200
+        seqs: list[list[int]] = [[] for _ in range(8)]
+
+        def writer(slot: int) -> None:
+            for i in range(per_thread):
+                seqs[slot].append(buffer.record((slot, i)))
+
+        threads = [
+            threading.Thread(target=writer, args=(slot,)) for slot in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        observed = [seq for slot in seqs for seq in slot]
+        assert len(observed) == 8 * per_thread
+        assert sorted(observed) == list(range(1, 8 * per_thread + 1))
+        assert buffer.total_events == 8 * per_thread

@@ -1,0 +1,272 @@
+"""Maintenance soak: 10k interleaved ops on the full served stack.
+
+The acceptance scenario for the maintenance subsystem: K=3 sharded,
+guarded index and Bloom structures behind concurrent servers with
+auto-refresh enabled, driven by interleaved queries and inserts until at
+least one background refresh has retrained and hot-swapped a generation.
+Throughout (including across swaps) the stack must uphold its hard
+guarantees:
+
+* the Bloom filter never answers a false negative — not for stored
+  subsets, not for post-build inserts (in- or out-of-universe), and not
+  after a refresh retrained the models underneath;
+* the index never violates its error bounds — stored subsets resolve to
+  the exact global first position, inserted overrides resolve to their
+  inserted position;
+* no torn snapshot — every submitted future resolves to a well-typed
+  answer and the servers count zero failed requests.
+
+The workload seed rotates via ``REPRO_TEST_SEED`` (CI echoes it); it is
+embedded in every assertion message so failures are replayable.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import ModelConfig, TrainConfig
+from repro.maintain import BackgroundRefresher, StalenessPolicy, default_rebuilder, mutate_through
+from repro.reliability import GuardedBloomFilter, GuardedSetIndex
+from repro.serve import SetServer
+from repro.sets import InvertedIndex, SetCollection
+from repro.shard import ShardedBuilder, ShardPlan
+
+from tests.serve.conftest import wait_until
+
+SEED = int(os.environ.get("REPRO_TEST_SEED", "20260805"))
+
+TARGET_OPS = 10_000
+NUM_SHARDS = 3
+VOCAB = 26
+MAX_DELTAS = 80  # staleness trip point: low enough for several refreshes
+
+
+def _collection(rng) -> SetCollection:
+    sets = []
+    for _ in range(48):
+        size = int(rng.integers(2, 6))
+        sets.append(tuple(int(e) for e in rng.choice(VOCAB, size=size, replace=False)))
+    return SetCollection(sets)
+
+
+def _stored_subsets(collection, rng, max_size: int, count: int):
+    """In-universe positives: subsets of stored sets, sized 1..max_size."""
+    subsets = []
+    for _ in range(count):
+        base = collection[int(rng.integers(len(collection)))]
+        size = int(rng.integers(1, min(max_size, len(base)) + 1))
+        subsets.append(
+            tuple(sorted(int(e) for e in rng.choice(base, size=size, replace=False)))
+        )
+    return subsets
+
+def _absent_combos(truth, rng, count: int, max_size: int = 3):
+    """In-universe element combinations stored in no set (insert targets)."""
+    combos = []
+    seen = set()
+    while len(combos) < count:
+        size = int(rng.integers(2, max_size + 1))
+        combo = tuple(sorted(int(e) for e in rng.choice(VOCAB, size=size, replace=False)))
+        if combo in seen or truth.first_position(combo) is not None:
+            continue
+        seen.add(combo)
+        combos.append(combo)
+    return combos
+
+
+def _build_stack():
+    rng = np.random.default_rng(SEED)
+    collection = _collection(rng)
+    truth = InvertedIndex(collection)
+    plan = ShardPlan.contiguous(collection, NUM_SHARDS)
+    model_config = ModelConfig(
+        kind="lsm", embedding_dim=2, phi_hidden=(4,), rho_hidden=(4,)
+    )
+    train_config = TrainConfig(epochs=1, batch_size=64, lr=5e-3)
+
+    def build(task, max_subset_size):
+        return ShardedBuilder(
+            plan,
+            workers=1,
+            base_seed=SEED % 1000,
+            model_config=model_config,
+            train_config=train_config,
+            max_subset_size=max_subset_size,
+            num_negative_samples=50,
+        ).build(task)
+
+    index = GuardedSetIndex(build("index", 3), truth)
+    bloom = GuardedBloomFilter(build("bloom", 2), truth)
+    return collection, truth, rng, model_config, train_config, index, bloom
+
+
+@pytest.mark.slow
+def test_soak_ten_thousand_ops_with_background_refresh():
+    (
+        collection,
+        truth,
+        rng,
+        model_config,
+        train_config,
+        index,
+        bloom,
+    ) = _build_stack()
+    print(f"maintenance soak seed={SEED}")
+
+    servers = {
+        "index": SetServer(index, cache_size=256).start(),
+        "bloom": SetServer(bloom, cache_size=256).start(),
+    }
+    refreshers = {}
+    for kind, server in servers.items():
+        refreshers[kind] = BackgroundRefresher(
+            server,
+            default_rebuilder(
+                server.structure,
+                model_config=model_config,
+                train_config=train_config,
+                max_subset_size=3 if kind == "index" else 2,
+                num_negative_samples=50,
+            ),
+            policy=StalenessPolicy(
+                max_deltas=MAX_DELTAS,
+                # Inserts target combos outside the trained subsets, so the
+                # aux fraction saturates by design: delta count is the
+                # trigger, min_interval paces back-to-back rebuilds.
+                max_aux_fraction=None,
+                min_interval_s=0.5,
+            ),
+            interval_s=0.05,
+        ).start()
+
+    # Pre-planned insert streams: index overrides target combinations that
+    # are stored nowhere (so truth answers stay unshadowed); bloom inserts
+    # mix in-universe combos with out-of-universe sets (the backup path).
+    index_inserts = iter(
+        [(combo, 1000 + i) for i, combo in enumerate(_absent_combos(truth, rng, 600))]
+    )
+    bloom_in_universe = _absent_combos(truth, rng, 300)
+    bloom_inserts = iter(
+        bloom_in_universe
+        + [(VOCAB + 100 + i, VOCAB + 400 + i) for i in range(300)]
+    )
+
+    inserted_positions: dict[tuple[int, ...], int] = {}
+    inserted_members: list[tuple[int, ...]] = []
+    ops = 0
+    tag = f"(seed={SEED})"
+    try:
+        while ops < TARGET_OPS:
+            # -- one burst of open-loop queries per server -------------------
+            index_stored = _stored_subsets(collection, rng, 3, 10)
+            index_overrides = list(inserted_positions)[-4:]
+            bloom_stored = _stored_subsets(collection, rng, 2, 10)
+            bloom_known = inserted_members[-4:]
+            batch = []
+            for query in index_stored + index_overrides:
+                batch.append(("index", query, servers["index"].submit(query)))
+            for query in bloom_stored + bloom_known:
+                batch.append(("bloom", query, servers["bloom"].submit(query)))
+
+            # -- interleaved inserts, swap-safe via mutate_through -----------
+            for _ in range(2):
+                try:
+                    combo, position = next(index_inserts)
+                except StopIteration:
+                    break
+                mutate_through(
+                    servers["index"],
+                    lambda inner, c=combo, p=position: inner.insert_update(c, p),
+                )
+                inserted_positions[combo] = position
+                ops += 1
+            for _ in range(2):
+                try:
+                    member = next(bloom_inserts)
+                except StopIteration:
+                    break
+                canonical = tuple(sorted(member))
+                mutate_through(
+                    servers["bloom"], lambda inner, c=canonical: inner.insert(c)
+                )
+                inserted_members.append(canonical)
+                ops += 1
+
+            # -- gather and verify every answer ------------------------------
+            for kind, query, future in batch:
+                answer = future.result(timeout=60.0)
+                ops += 1
+                if kind == "bloom":
+                    assert bool(answer) is True, (
+                        f"bloom false negative for {query} {tag}"
+                    )
+                elif query in inserted_positions:
+                    assert answer == inserted_positions[query], (
+                        f"index lost inserted override {query} {tag}"
+                    )
+                else:
+                    assert answer == truth.first_position(query), (
+                        f"index violated exactness for {query} {tag}"
+                    )
+
+        # -- at least one background refresh must have been published --------
+        assert wait_until(
+            lambda: sum(r.refreshes for r in refreshers.values()) >= 1,
+            timeout=120.0,
+        ), f"no background refresh after {ops} ops {tag}"
+
+        for kind, server in servers.items():
+            refresher = refreshers[kind]
+            status = refresher.status()
+            assert status["failures"] == 0, f"{kind} refresh failed {tag}: {status}"
+            # Query spans evict old entries from the tracer ring, so observe
+            # a refresh span on a refresh we just triggered ourselves.
+            refresher.refresh_now(("soak-verify",))
+            spans = [
+                span
+                for span in server.tracer.snapshot()
+                if span["name"] == "refresh"
+            ]
+            assert spans, f"{kind} refresh left no trace span {tag}"
+            assert spans[-1]["attrs"]["reasons"] == "soak-verify"
+            assert spans[-1]["attrs"]["snapshot_version"] == server.snapshot.version
+            text = server.registry.render_text()
+            samples = [
+                line
+                for line in text.splitlines()
+                if line.startswith("repro_maintain_refreshes_total ")
+            ]
+            assert samples and float(samples[0].split()[1]) == refresher.refreshes
+
+        # -- post-refresh: the guarantees still hold on the new generation ---
+        for query in _stored_subsets(collection, rng, 3, 40):
+            assert servers["index"].query(query) == truth.first_position(query), (
+                f"index exactness broken after refresh for {query} {tag}"
+            )
+        for query in _stored_subsets(collection, rng, 2, 40):
+            assert servers["bloom"].query(query), (
+                f"bloom false negative after refresh for {query} {tag}"
+            )
+        for combo, position in list(inserted_positions.items())[-50:]:
+            assert servers["index"].query(combo) == position, (
+                f"index insert lost across refresh for {combo} {tag}"
+            )
+        for member in inserted_members[-50:]:
+            assert servers["bloom"].query(member), (
+                f"bloom insert lost across refresh for {member} {tag}"
+            )
+
+        # -- no torn snapshot: nothing failed end to end ---------------------
+        for kind, server in servers.items():
+            assert server.stats.requests_failed == 0, f"{kind} dropped requests {tag}"
+        assert ops >= TARGET_OPS
+    finally:
+        for refresher in refreshers.values():
+            refresher.close()
+            refresher.delta.detach_all()
+        for server in servers.values():
+            server.maintainer = None
+            server.close()

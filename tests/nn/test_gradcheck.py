@@ -1,0 +1,228 @@
+"""Numerical gradcheck harness: autograd vs central differences.
+
+Every gradient the DeepSets training path relies on is compared against a
+central-difference approximation on random ragged batches:
+
+* the segment poolings (``segment_sum`` / ``segment_mean`` /
+  ``segment_max``) including empty segments and single-element segments —
+  the shapes real ragged batches produce for empty sets and singletons;
+* ``gather`` (the embedding primitive) with repeated indices, whose
+  backward must scatter-*add*;
+* the :class:`Embedding` and :class:`MLP` modules end to end, checking
+  every trainable parameter.
+
+Seeds are embedded in the failure messages (``REPRO_TEST_SEED`` rotates
+them in CI) so any drift in the autograd core is reproducible.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP, Embedding, Tensor
+from repro.nn import functional as F
+from tests.conftest import numeric_gradient
+
+SEED = int(os.environ.get("REPRO_TEST_SEED", "20260805"))
+
+ATOL = 1e-6
+RTOL = 1e-4
+
+
+def _check_input_gradient(op, data: np.ndarray, seed_rng, context: str):
+    """Compare autograd input gradients of ``op`` against central diffs.
+
+    ``op`` maps a Tensor to a Tensor; the scalar objective is a fixed
+    random projection of the output, which exercises every output entry.
+    """
+    x = Tensor(data.copy(), requires_grad=True)
+    out = op(x)
+    projection = seed_rng.normal(size=out.shape)
+    out.backward(projection)
+
+    holder = Tensor(data.copy(), requires_grad=True)
+
+    def value() -> float:
+        return float((op(holder).data * projection).sum())
+
+    numeric = numeric_gradient(value, holder.data)
+    np.testing.assert_allclose(
+        x.grad, numeric, atol=ATOL, rtol=RTOL, err_msg=context
+    )
+
+
+# -- ragged segment layouts ----------------------------------------------------
+
+# (segment_ids, num_segments) layouts; ids must be sorted non-decreasing.
+SEGMENT_LAYOUTS = {
+    "dense": (np.array([0, 0, 1, 1, 1, 2, 3, 3]), 4),
+    "empty_first": (np.array([1, 1, 2, 2, 2]), 3),
+    "empty_middle": (np.array([0, 0, 2, 2]), 4),
+    "empty_trailing": (np.array([0, 1, 1]), 4),
+    "all_singletons": (np.array([0, 1, 2, 3]), 4),
+    "single_element_total": (np.array([0]), 1),
+    "one_fat_segment": (np.array([0, 0, 0, 0, 0, 0]), 2),
+}
+
+
+@pytest.mark.parametrize("layout", sorted(SEGMENT_LAYOUTS))
+@pytest.mark.parametrize("pooling", ["sum", "mean", "max"])
+def test_segment_pooling_gradients(pooling: str, layout: str):
+    segment_ids, num_segments = SEGMENT_LAYOUTS[layout]
+    rng = np.random.default_rng(SEED + len(layout) * 31 + len(pooling))
+    op_fn = {
+        "sum": F.segment_sum,
+        "mean": F.segment_mean,
+        "max": F.segment_max,
+    }[pooling]
+    data = rng.normal(size=(len(segment_ids), 3))
+    if pooling == "max":
+        # Break exact ties: the max gradient at a tie is subgradient
+        # territory where finite differences are not comparable.
+        data += np.arange(data.size).reshape(data.shape) * 1e-3
+    _check_input_gradient(
+        lambda x: op_fn(x, segment_ids, num_segments),
+        data,
+        np.random.default_rng(SEED),
+        context=f"seed={SEED} pooling={pooling} layout={layout}",
+    )
+
+
+def test_segment_max_tied_rows_split_gradient():
+    """Exact ties split the max gradient evenly (documented behaviour)."""
+    x = Tensor(np.array([[2.0], [2.0], [1.0]]), requires_grad=True)
+    F.segment_max(x, np.array([0, 0, 0]), 1).sum().backward()
+    np.testing.assert_allclose(x.grad, [[0.5], [0.5], [0.0]])
+
+
+def test_empty_segments_produce_zero_and_zero_gradient():
+    """Empty segments output zero rows and route no gradient anywhere."""
+    segment_ids = np.array([1, 1])
+    for op_fn in (F.segment_sum, F.segment_mean, F.segment_max):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        out = op_fn(x, segment_ids, 3)
+        np.testing.assert_allclose(out.data[0], 0.0)
+        np.testing.assert_allclose(out.data[2], 0.0)
+        # A projection touching only the empty segments back-propagates zero.
+        projection = np.zeros(out.shape)
+        projection[0] = 1.0
+        projection[2] = 1.0
+        out.backward(projection)
+        np.testing.assert_allclose(x.grad, 0.0)
+
+
+# -- gather --------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "indices",
+    [
+        np.array([0, 2, 4]),
+        np.array([1, 1, 1, 1]),  # repeats: backward must scatter-ADD
+        np.array([4, 0, 4, 2, 0]),
+        np.array([], dtype=np.int64),  # empty lookup (empty-set encoding)
+    ],
+    ids=["distinct", "all_repeat", "mixed_repeat", "empty"],
+)
+def test_gather_gradients(indices: np.ndarray):
+    rng = np.random.default_rng(SEED + len(indices))
+    table = rng.normal(size=(5, 3))
+    _check_input_gradient(
+        lambda t: F.gather(t, indices),
+        table,
+        np.random.default_rng(SEED + 1),
+        context=f"seed={SEED} indices={indices.tolist()}",
+    )
+
+
+# -- modules -------------------------------------------------------------------
+
+def _check_module_parameters(model, run, context: str):
+    """Gradcheck every trainable parameter of ``model`` under ``run``.
+
+    ``run()`` performs the forward pass and returns the output Tensor;
+    the scalar objective is a fixed random projection of that output.
+    """
+    projection_rng = np.random.default_rng(SEED + 97)
+    out = run()
+    projection = projection_rng.normal(size=out.shape)
+    model.zero_grad()
+    out.backward(projection)
+
+    def value() -> float:
+        return float((run().data * projection).sum())
+
+    for name, parameter in model.named_parameters():
+        numeric = numeric_gradient(value, parameter.data)
+        np.testing.assert_allclose(
+            parameter.grad,
+            numeric,
+            atol=ATOL,
+            rtol=RTOL,
+            err_msg=f"{context} parameter={name}",
+        )
+
+
+def test_embedding_parameter_gradients():
+    rng = np.random.default_rng(SEED)
+    model = Embedding(7, 4, rng=rng)
+    indices = np.array([3, 0, 3, 6, 1])  # includes a repeated id
+    _check_module_parameters(
+        model,
+        lambda: model(indices),
+        context=f"seed={SEED} module=Embedding",
+    )
+
+
+def test_mlp_parameter_gradients():
+    rng = np.random.default_rng(SEED + 5)
+    model = MLP(4, (6, 5), 2, activation="tanh", out_activation="sigmoid",
+                rng=rng)
+    x = Tensor(rng.normal(size=(3, 4)))
+    _check_module_parameters(
+        model,
+        lambda: model(x),
+        context=f"seed={SEED} module=MLP(tanh->sigmoid)",
+    )
+
+
+def test_mlp_relu_parameter_gradients():
+    """ReLU MLP: inputs scaled away from the kink so central differences
+    stay valid."""
+    rng = np.random.default_rng(SEED + 9)
+    model = MLP(3, (4,), 1, activation="relu", rng=rng)
+    x = Tensor(rng.normal(size=(5, 3)) + 3.0)  # keep pre-activations positive
+    _check_module_parameters(
+        model,
+        lambda: model(x),
+        context=f"seed={SEED} module=MLP(relu)",
+    )
+
+
+def test_embedding_pool_mlp_end_to_end():
+    """The full DeepSets path: embed -> segment pool -> MLP, single chain."""
+    rng = np.random.default_rng(SEED + 13)
+    embedding = Embedding(6, 3, rng=rng)
+    head = MLP(3, (4,), 1, activation="tanh", rng=rng)
+    indices = np.array([0, 2, 2, 5, 1])
+    segment_ids = np.array([0, 0, 1, 1, 3])  # segment 2 is empty
+    num_segments = 4
+
+    class _Pipeline:
+        def named_parameters(self):
+            yield from embedding.named_parameters("embedding.")
+            yield from head.named_parameters("head.")
+
+        def zero_grad(self):
+            embedding.zero_grad()
+            head.zero_grad()
+
+    def run():
+        pooled = F.segment_sum(embedding(indices), segment_ids, num_segments)
+        return head(pooled)
+
+    _check_module_parameters(
+        _Pipeline(), run, context=f"seed={SEED} module=embed+pool+mlp"
+    )

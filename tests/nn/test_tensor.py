@@ -238,6 +238,40 @@ class TestNoGrad:
                 raise RuntimeError("boom")
         assert is_grad_enabled()
 
+    def test_no_grad_is_thread_local(self):
+        """An inference thread's no_grad window must not disable graph
+        recording for a concurrent training thread (the background-refresh
+        deployment: serving infers while the refresher retrains)."""
+        import threading
+
+        inside = threading.Event()
+        release = threading.Event()
+        results: dict[str, object] = {}
+
+        def inference() -> None:
+            with no_grad():
+                inside.set()
+                release.wait(10.0)
+                results["inference_enabled"] = is_grad_enabled()
+
+        def training() -> None:
+            inside.wait(10.0)
+            x = Tensor([3.0], requires_grad=True)
+            (x * x).sum().backward()
+            results["grad"] = None if x.grad is None else float(x.grad[0])
+            release.set()
+
+        threads = [
+            threading.Thread(target=inference),
+            threading.Thread(target=training),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(15.0)
+        assert results["inference_enabled"] is False
+        assert results["grad"] == 6.0
+
 
 @settings(max_examples=25, deadline=None)
 @given(

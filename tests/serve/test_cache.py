@@ -80,6 +80,45 @@ class TestInvalidation:
         assert cache.hits == 1
 
 
+class TestRelatedInvalidation:
+    """A mutation of set S must drop subset AND superset keys, not just S."""
+
+    def test_drops_exact_subset_and_superset_keys(self):
+        cache = QueryCache(capacity=16)
+        cache.put((1, 2), "exact")
+        cache.put((1,), "subset")
+        cache.put((2,), "subset")
+        cache.put((1, 2, 3), "superset")
+        cache.put((4, 5), "unrelated")
+        dropped = cache.invalidate_related((1, 2))
+        assert dropped == 4
+        for key in [(1, 2), (1,), (2,), (1, 2, 3)]:
+            assert cache.get(key) == (False, None), key
+        assert cache.get((4, 5)) == (True, "unrelated")
+        assert cache.invalidations == 4
+
+    def test_empty_query_key_is_always_dropped(self):
+        # The empty query aggregates the whole collection; every mutation
+        # can change its answer.
+        cache = QueryCache(capacity=4)
+        cache.put((), "count-all")
+        assert cache.invalidate_related((7, 8)) == 1
+        assert cache.get(()) == (False, None)
+
+    def test_overlapping_but_incomparable_keys_survive(self):
+        cache = QueryCache(capacity=4)
+        cache.put((1, 3), "overlap-not-subset")
+        cache.invalidate_related((1, 2))
+        assert cache.get((1, 3)) == (True, "overlap-not-subset")
+
+    def test_sweep_without_victims_counts_one_miss(self):
+        cache = QueryCache(capacity=4)
+        cache.put((9,), "far")
+        assert cache.invalidate_related((1, 2)) == 0
+        assert cache.invalidation_misses == 1
+        assert cache.invalidations == 0
+
+
 class TestConcurrency:
     def test_concurrent_mixed_operations_stay_consistent(self):
         cache = QueryCache(capacity=64)

@@ -122,6 +122,36 @@ class TestProtocol:
         finally:
             sock.close()
 
+    def test_refresh_without_maintainer_reports_disabled(self, frontend):
+        tcp, _ = frontend
+        sock, stream = connect(tcp)
+        try:
+            assert json.loads(ask(stream, "REFRESH")) == {"auto_refresh": False}
+            assert ask(stream, "0 1") != ""  # connection stays up
+        finally:
+            sock.close()
+
+    def test_refresh_reports_maintainer_status(self, frontend, collection):
+        from repro.maintain import BackgroundRefresher, default_rebuilder
+
+        tcp, server = frontend
+        refresher = BackgroundRefresher(
+            server,
+            default_rebuilder(server.structure, collection=collection),
+        )
+        sock, stream = connect(tcp)
+        try:
+            status = json.loads(ask(stream, "REFRESH"))
+            assert status["auto_refresh"] is True
+            assert status["kind"] == "cardinality"
+            assert status["refreshes"] == 0
+            assert "policy" in status and "delta" in status
+        finally:
+            sock.close()
+            refresher.close()
+            refresher.delta.detach_all()
+            server.maintainer = None
+
     def test_quit_closes_connection(self, frontend):
         tcp, _ = frontend
         sock, stream = connect(tcp)

@@ -33,6 +33,19 @@ class TestParser:
         assert args.kind == "clsm"
         assert args.epochs == 30
 
+    def test_serve_auto_refresh_defaults(self):
+        args = build_parser().parse_args(["serve", "model.pkl"])
+        assert args.auto_refresh is False
+        assert args.refresh_interval == 1.0
+        assert args.refresh_max_deltas == 1000
+        assert args.refresh_max_aux_fraction == 0.25
+        assert args.refresh_min_interval == 30.0
+        assert args.refresh_collection is None
+
+    def test_refresh_status_requires_connect(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["refresh-status"])
+
 
 class TestDatasetsAndStats:
     def test_datasets_lists_presets(self, capsys):
@@ -116,6 +129,68 @@ class TestLiveTelemetryCommands:
         spans = json.loads(capsys.readouterr().out)
         assert isinstance(spans, list)
         assert 0 < len(spans) <= 5
+
+    def test_refresh_status_without_maintainer_reports_disabled(
+        self, live_server, capsys
+    ):
+        assert main(["refresh-status", "--connect", live_server]) == 1
+        assert "not enabled" in capsys.readouterr().err
+
+
+class TestRefreshStatusCommand:
+    @pytest.fixture
+    def maintained_server(self, collection_file, tmp_path, capsys):
+        from repro.core import ModelConfig, TrainConfig
+        from repro.maintain import BackgroundRefresher, default_rebuilder
+        from repro.serve import SetServer, TcpServeFrontend
+
+        model_file = tmp_path / "est.pkl"
+        assert main([
+            "train", "cardinality", str(collection_file), str(model_file),
+            "--kind", "lsm", "--epochs", "2", "--no-hybrid",
+        ]) == 0
+        capsys.readouterr()
+        with open(model_file, "rb") as handle:
+            structure = pickle.load(handle)
+        with SetServer(structure, cache_size=16) as server:
+            frontend = TcpServeFrontend(server, port=0).start_background()
+            refresher = BackgroundRefresher(
+                server,
+                default_rebuilder(
+                    structure,
+                    collection=SetCollection.load(collection_file),
+                    model_config=ModelConfig(
+                        kind="lsm", embedding_dim=2, phi_hidden=(4,),
+                        rho_hidden=(4,),
+                    ),
+                    train_config=TrainConfig(epochs=1, batch_size=64),
+                ),
+            )
+            host, port = frontend.address
+            try:
+                yield f"{host}:{port}"
+            finally:
+                refresher.close()
+                refresher.delta.detach_all()
+                server.maintainer = None
+                frontend.shutdown()
+
+    def test_json_status(self, maintained_server, capsys):
+        import json
+
+        assert main([
+            "refresh-status", "--connect", maintained_server, "--json"
+        ]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["auto_refresh"] is True
+        assert status["kind"] == "cardinality"
+        assert status["refreshes"] == 0
+
+    def test_now_forces_a_refresh(self, maintained_server, capsys):
+        assert main(["refresh-status", "--connect", maintained_server, "--now"]) == 0
+        out = capsys.readouterr().out
+        assert "refreshes 1" in out
+        assert "snapshot v1" in out
 
 
 class TestTrainAndQuery:

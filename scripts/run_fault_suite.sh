@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
-# Fault suite: run every fault-injection test, then the full tier-1 suite,
-# proving the reliability guards hold AND nothing regressed around them.
+# Fault suite: run every fault-injection test, drive the graded fault-storm
+# scenario end to end, then the full tier-1 suite — proving the reliability
+# guards hold under live faults AND nothing regressed around them.
 #
 # Usage:  scripts/run_fault_suite.sh [extra pytest args...]
+#
+# Seed: honours REPRO_TEST_SEED if set (echoed so failures are replayable),
+# matching the CI scenario-smoke job's rotation.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -10,6 +14,10 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 echo "== fault-injection tests (-m faults) =="
 python -m pytest -m faults -q -p no:cacheprovider "$@"
+
+echo
+echo "== graded fault-storm scenario (seed ${REPRO_TEST_SEED:-default}) =="
+python -m repro.cli scenario run fault-storm --fast --seeds 1
 
 echo
 echo "== full tier-1 suite =="

@@ -18,6 +18,8 @@ Subpackages
 ``repro.reliability`` guarded serving, health counters, fault injection
 ``repro.serve``     concurrent query serving: micro-batching, caching, swap
 ``repro.shard``     sharded scale-out: parallel training, scatter-gather
+``repro.maintain``  incremental maintenance: deltas, staleness, refresh
+``repro.scenario``  declarative robustness scenarios with SLO grading
 ``repro.bench``     benchmark harness regenerating every table & figure
 
 Quickstart

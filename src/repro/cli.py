@@ -23,6 +23,9 @@ Usage (installed as the ``repro`` console script, or
     repro stats --connect 127.0.0.1:7007 --metrics   # Prometheus exposition
     repro trace-dump --connect 127.0.0.1:7007  # recent query-path spans
     repro bench-serve --dataset rw-small       # serving-vs-serial loadgen
+    repro scenario list                        # robustness scenario suite
+    repro scenario run --all --seeds 3         # run + SLO-grade every scenario
+    repro scenario run --fast                  # CI smoke subset, scaled down
 
 Trained structures are pickled whole (model + scaler + auxiliaries), which
 matches the paper's memory-measurement methodology.
@@ -31,6 +34,7 @@ matches the paper's memory-measurement methodology.
 from __future__ import annotations
 
 import argparse
+import os
 import pickle
 import sys
 from pathlib import Path
@@ -177,6 +181,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="collection file backing rebuilds (needed for "
                             "unsharded cardinality/bloom structures, which "
                             "do not carry their training collection)")
+    serve.add_argument("--refresh-backoff-base", type=float, default=0.5,
+                       help="base seconds of exponential backoff after a "
+                            "failed refresh (doubles per consecutive failure)")
+    serve.add_argument("--refresh-breaker-failures", type=int, default=5,
+                       help="consecutive refresh failures that open the "
+                            "circuit breaker")
+    serve.add_argument("--idle-timeout", type=float, default=300.0,
+                       help="drop client connections idle this many seconds "
+                            "(0 disables)")
+    serve.add_argument("--max-line-bytes", type=int, default=65536,
+                       help="longest accepted request line")
+    serve.add_argument("--request-deadline", type=float, default=30.0,
+                       help="per-query answer deadline in seconds (0 disables)")
 
     refresh_status = commands.add_parser(
         "refresh-status",
@@ -230,6 +247,37 @@ def build_parser() -> argparse.ArgumentParser:
     bench_shard.add_argument("--out", type=Path, default=None,
                              help="report path (default: results/BENCH_shard.json)")
     bench_shard.add_argument("--seed", type=int, default=0)
+
+    scenario = commands.add_parser(
+        "scenario",
+        help="run the declarative robustness scenario suite with SLO grading",
+    )
+    scenario_commands = scenario.add_subparsers(
+        dest="scenario_command", required=True
+    )
+    scenario_commands.add_parser(
+        "list", help="list the built-in scenarios and their SLOs"
+    )
+    scenario_run = scenario_commands.add_parser(
+        "run", help="run scenarios across seeds and grade each run"
+    )
+    scenario_run.add_argument(
+        "names", nargs="*",
+        help="scenario names to run (see 'repro scenario list')",
+    )
+    scenario_run.add_argument("--all", action="store_true",
+                              help="run every built-in scenario")
+    scenario_run.add_argument("--fast", action="store_true",
+                              help="scaled-down variants (CI smoke); with "
+                                   "no names, runs the fast subset")
+    scenario_run.add_argument("--seeds", type=int, default=3,
+                              help="number of seeds per scenario")
+    scenario_run.add_argument("--seed", type=int, default=None,
+                              help="base seed (default: REPRO_TEST_SEED "
+                                   "env or 20260805)")
+    scenario_run.add_argument("--out", type=Path, default=None,
+                              help="JSONL trajectory path (default: "
+                                   "results/BENCH_scenarios.json)")
 
     return parser
 
@@ -537,7 +585,9 @@ def _make_refresher(args, server, structure):
         min_interval_s=args.refresh_min_interval,
     )
     return BackgroundRefresher(
-        server, rebuild, policy=policy, interval_s=args.refresh_interval
+        server, rebuild, policy=policy, interval_s=args.refresh_interval,
+        backoff_base_s=getattr(args, "refresh_backoff_base", 0.5),
+        breaker_failures=getattr(args, "refresh_breaker_failures", 5),
     ).start()
 
 
@@ -555,7 +605,14 @@ def _cmd_serve(args) -> int:
             except ValueError as exc:
                 print(f"error: {exc}", file=sys.stderr)
                 return 2
-        frontend = TcpServeFrontend(server, host=args.host, port=args.port)
+        frontend = TcpServeFrontend(
+            server,
+            host=args.host,
+            port=args.port,
+            idle_timeout_s=args.idle_timeout or None,
+            max_line_bytes=args.max_line_bytes,
+            request_deadline_s=args.request_deadline or None,
+        )
         host, port = frontend.address
         refresh_note = (
             "; auto-refresh on (REFRESH for status)" if refresher else ""
@@ -697,6 +754,74 @@ def _cmd_bench_shard(args) -> int:
     return 0 if sum(report["violations"].values()) == 0 else 1
 
 
+def _cmd_scenario(args) -> int:
+    from .scenario import (
+        FAST_SUBSET,
+        SCENARIOS,
+        append_record,
+        grade,
+        make_record,
+        run_scenario,
+    )
+
+    if args.scenario_command == "list":
+        for name, spec in SCENARIOS.items():
+            print(f"{name:12s} {spec.steps:3d} steps  {spec.description}")
+        return 0
+
+    if args.all:
+        names = list(SCENARIOS)
+    elif args.names:
+        names = list(args.names)
+    elif args.fast:
+        names = list(FAST_SUBSET)
+    else:
+        print(
+            "error: name at least one scenario, or use --all / --fast",
+            file=sys.stderr,
+        )
+        return 2
+    unknown = [name for name in names if name not in SCENARIOS]
+    if unknown:
+        print(
+            f"error: unknown scenario(s) {', '.join(unknown)}; "
+            f"available: {', '.join(SCENARIOS)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    base_seed = args.seed
+    if base_seed is None:
+        base_seed = int(os.environ.get("REPRO_TEST_SEED", "20260805"))
+    seeds = [base_seed + offset for offset in range(max(args.seeds, 1))]
+    print(
+        f"scenario suite: {len(names)} scenario(s) x {len(seeds)} seed(s), "
+        f"base seed {base_seed}"
+        + (" [fast]" if args.fast else "")
+    )
+    failures = 0
+    for name in names:
+        spec = SCENARIOS[name]
+        for seed in seeds:
+            obs = run_scenario(spec, seed, fast=args.fast)
+            violations = grade(spec, obs)
+            record = make_record(spec, seed, obs, violations, fast=args.fast)
+            path = append_record(record, args.out)
+            verdict = "PASS" if not violations else "FAIL"
+            print(
+                f"[{verdict}] {name} seed={seed} ops={obs['ops']} "
+                f"p99={obs['p99_ms']:.1f}ms refreshes={obs['refreshes']} "
+                f"wall={obs['wall_s']:.1f}s"
+            )
+            for violation in violations:
+                print(f"       violation: {violation}")
+            failures += bool(violations)
+    print(f"appended {len(names) * len(seeds)} record(s) to {path}")
+    if failures:
+        print(f"{failures} run(s) violated their SLOs", file=sys.stderr)
+    return 1 if failures else 0
+
+
 _COMMANDS = {
     "datasets": _cmd_datasets,
     "generate": _cmd_generate,
@@ -711,6 +836,7 @@ _COMMANDS = {
     "refresh-status": _cmd_refresh_status,
     "bench-serve": _cmd_bench_serve,
     "bench-shard": _cmd_bench_shard,
+    "scenario": _cmd_scenario,
 }
 
 

@@ -186,8 +186,16 @@ class LearnedBloomFilter(UpdateNotifier):
         return corrupt_prediction(self.model.predict_one(canonical))
 
     def contains(self, query: Iterable[int]) -> bool:
-        """Membership answer; model first, backup filter on rejection."""
-        if self.score(query) >= self.threshold:
+        """Membership answer; model first, backup filter on rejection.
+
+        A non-finite score (corrupted weights, injected faults) fails
+        *open*: the Bloom contract tolerates false positives but never
+        false negatives, and a NaN carries no evidence of absence.
+        """
+        score = self.score(query)
+        if not np.isfinite(score):
+            return True
+        if score >= self.threshold:
             return True
         if self.backup is not None:
             return self.backup.contains_set(set(query))
@@ -223,9 +231,10 @@ class LearnedBloomFilter(UpdateNotifier):
         return scores
 
     def contains_many(self, queries: Sequence[Iterable[int]]) -> np.ndarray:
-        """Vectorized membership answers."""
+        """Vectorized membership answers (non-finite scores fail open)."""
         canonicals = [tuple(sorted(set(q))) for q in queries]
-        answers = self.score_many(canonicals) >= self.threshold
+        scores = self.score_many(canonicals)
+        answers = (scores >= self.threshold) | ~np.isfinite(scores)
         if self.backup is not None:
             for row in np.flatnonzero(~answers):
                 answers[row] = self.backup.contains_set(set(canonicals[row]))

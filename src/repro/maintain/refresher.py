@@ -285,6 +285,21 @@ class BackgroundRefresher:
         Optional ``() -> float`` returning an observed mean q-error for
         the drift signal (e.g. comparing served estimates against an
         exact :class:`InvertedIndex` over a probe workload).
+    backoff_base_s / backoff_max_s:
+        Exponential backoff after a failed refresh: the ``n``-th
+        consecutive failure suspends policy-triggered refreshes for
+        ``min(backoff_base_s * 2**(n-1), backoff_max_s)`` seconds.
+        Without this, a persistently failing rebuild (bad training data,
+        injected faults, a dead worker pool) re-triggers on every policy
+        evaluation and burns a CPU retraining into the same wall while
+        the old generation serves just fine.
+    breaker_failures / breaker_cooldown_s:
+        Circuit breaker over the backoff: after ``breaker_failures``
+        consecutive failures the breaker *opens* and refreshes stay
+        suspended for at least ``breaker_cooldown_s``; the first attempt
+        after the cooldown runs *half-open* (one probe refresh) — success
+        closes the breaker, failure re-opens it for another cooldown.
+        Manual :meth:`refresh_now` calls bypass both mechanisms.
     """
 
     def __init__(
@@ -295,15 +310,33 @@ class BackgroundRefresher:
         delta: DeltaBuffer | None = None,
         interval_s: float = 1.0,
         probe: Callable[[], float] | None = None,
+        backoff_base_s: float = 0.5,
+        backoff_max_s: float = 60.0,
+        breaker_failures: int = 5,
+        breaker_cooldown_s: float = 60.0,
     ):
         if interval_s <= 0:
             raise ValueError("interval_s must be positive")
+        if backoff_base_s <= 0 or backoff_max_s <= 0:
+            raise ValueError("backoff durations must be positive")
+        if breaker_failures < 1:
+            raise ValueError("breaker_failures must be >= 1")
+        if breaker_cooldown_s < 0:
+            raise ValueError("breaker_cooldown_s cannot be negative")
         self.server = server
         self.rebuild = rebuild
         self.policy = policy or StalenessPolicy()
         self.delta = delta or DeltaBuffer()
         self.interval_s = float(interval_s)
         self.probe = probe
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_max_s = float(backoff_max_s)
+        self.breaker_failures = int(breaker_failures)
+        self.breaker_cooldown_s = float(breaker_cooldown_s)
+        self._consecutive_failures = 0
+        self._retry_at = 0.0  # monotonic instant policy refreshes resume
+        self._breaker_tripped = False
+        self.backoff_skips = 0
         self._refresh_lock = threading.RLock()
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
@@ -389,7 +422,13 @@ class BackgroundRefresher:
         )
 
     def check_now(self) -> bool:
-        """Evaluate the policy once; refresh if it trips.  True on refresh."""
+        """Evaluate the policy once; refresh if it trips.  True on refresh.
+
+        A tripped policy does not refresh while failure backoff is in
+        effect (see ``backoff_base_s``): the skip is counted instead, and
+        the old generation keeps serving until the backoff window — or the
+        open breaker's cooldown — expires.
+        """
         self.checks += 1
         self._metric_checks.inc()
         reasons = self.policy.evaluate(self.collect_state())
@@ -400,8 +439,42 @@ class BackgroundRefresher:
             and time.monotonic() - self._last_refresh_at < self.policy.min_interval_s
         ):
             return False
+        if time.monotonic() < self._retry_at:
+            self.backoff_skips += 1
+            self._metric_backoff_skips.inc()
+            return False
         self.refresh_now(reasons)
         return True
+
+    # -- failure backoff / circuit breaker ------------------------------------
+
+    @property
+    def breaker_state(self) -> str:
+        """``closed`` (healthy), ``open`` (cooling down after repeated
+        failures), or ``half-open`` (cooldown over, next attempt probes)."""
+        if not self._breaker_tripped:
+            return "closed"
+        return "open" if time.monotonic() < self._retry_at else "half-open"
+
+    def backoff_remaining_s(self) -> float:
+        """Seconds until policy-triggered refreshes resume (0 when none)."""
+        return max(self._retry_at - time.monotonic(), 0.0)
+
+    def _record_refresh_failure(self) -> None:
+        self._consecutive_failures += 1
+        delay = min(
+            self.backoff_base_s * 2.0 ** (self._consecutive_failures - 1),
+            self.backoff_max_s,
+        )
+        if self._consecutive_failures >= self.breaker_failures:
+            self._breaker_tripped = True
+            delay = max(delay, self.breaker_cooldown_s)
+        self._retry_at = time.monotonic() + delay
+
+    def _record_refresh_success(self) -> None:
+        self._consecutive_failures = 0
+        self._retry_at = 0.0
+        self._breaker_tripped = False
 
     # -- the refresh itself ----------------------------------------------------
 
@@ -426,6 +499,7 @@ class BackgroundRefresher:
                     snapshot = self._refresh(span)
             except Exception as exc:
                 self._record_failure(exc)
+                self._record_refresh_failure()
                 raise RefreshError(
                     f"refresh failed ({', '.join(reasons)}): {exc}"
                 ) from exc
@@ -433,6 +507,7 @@ class BackgroundRefresher:
             self._last_refresh_at = time.monotonic()
             self._last_reasons = reasons
             self._last_error = None
+            self._record_refresh_success()
             self.refreshes += 1
             self._metric_refreshes.inc()
             return snapshot
@@ -484,6 +559,26 @@ class BackgroundRefresher:
             "repro_maintain_replayed_deltas_total",
             "Recorded mutations re-applied onto refreshed structures",
         )
+        self._metric_backoff_skips = registry.counter(
+            "repro_maintain_backoff_skips_total",
+            "Tripped policy evaluations suppressed by failure backoff",
+        )
+        registry.gauge_function(
+            "repro_maintain_refresh_backoff",
+            "Seconds until policy-triggered refreshes resume (0 when "
+            "no backoff is in effect)",
+            self.backoff_remaining_s,
+        )
+        registry.gauge_function(
+            "repro_maintain_consecutive_refresh_failures",
+            "Refresh failures since the last success",
+            lambda: float(self._consecutive_failures),
+        )
+        registry.gauge_function(
+            "repro_maintain_breaker_open",
+            "1 while the refresh circuit breaker is open or half-open",
+            lambda: 1.0 if self._breaker_tripped else 0.0,
+        )
         registry.gauge_function(
             "repro_maintain_deltas_pending",
             "Mutations recorded since the last refresh",
@@ -528,6 +623,10 @@ class BackgroundRefresher:
             "last_reasons": list(self._last_reasons),
             "last_error": self._last_error,
             "recent_errors": list(self.recent_errors),
+            "consecutive_failures": self._consecutive_failures,
+            "backoff_remaining_s": self.backoff_remaining_s(),
+            "backoff_skips": self.backoff_skips,
+            "breaker_state": self.breaker_state,
             "last_replay_truncated": self._last_replay_truncated,
             "delta": self.delta.as_dict(),
             "snapshot_version": self.server.snapshot.version,

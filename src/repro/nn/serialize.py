@@ -18,6 +18,7 @@ from __future__ import annotations
 import io
 import os
 import pickle
+import struct
 import zipfile
 import zlib
 from pathlib import Path
@@ -115,7 +116,19 @@ def load_state(module: Module, path: str | Path) -> None:
             state = {name: archive[name] for name in archive.files}
     except FileNotFoundError:
         raise
-    except (zipfile.BadZipFile, ValueError, EOFError, KeyError, OSError) as error:
+    except (
+        zipfile.BadZipFile,
+        zlib.error,
+        struct.error,
+        ValueError,
+        EOFError,
+        KeyError,
+        OSError,
+        # zipfile raises these for a corrupted compression-method or
+        # flag field rather than BadZipFile.
+        NotImplementedError,
+        IndexError,
+    ) as error:
         raise CorruptStateError(path, f"unreadable archive ({error})") from error
     stored = state.pop(_CHECKSUM_KEY, None)
     if stored is not None and int(stored[0]) != _state_checksum(state):

@@ -1,0 +1,65 @@
+"""Declarative robustness scenarios with SLO grading.
+
+The scenario suite promotes the hand-rolled maintenance soak into a
+first-class robustness harness: :mod:`~repro.scenario.spec` declares the
+workload shapes and their SLOs, :mod:`~repro.scenario.workload`
+synthesizes the skewed/drifting/hot/faulty streams,
+:mod:`~repro.scenario.runner` drives the full served + sharded + guarded
++ auto-refresh stack through them, and :mod:`~repro.scenario.grade`
+turns observations into explicit SLO violations and one JSON line per
+run in ``results/BENCH_scenarios.json``.
+
+Entry points: ``repro scenario list`` / ``repro scenario run`` (CLI) and
+:func:`run_scenario` + :func:`grade` (programmatic).
+"""
+
+from .grade import (
+    DEFAULT_RESULTS_PATH,
+    append_record,
+    grade,
+    make_record,
+    scenario_registry,
+)
+from .runner import NUM_SHARDS, run_scenario
+from .spec import (
+    FAST_SUBSET,
+    SCENARIOS,
+    SLO,
+    FaultPlan,
+    ScenarioSpec,
+    get_scenario,
+    scenario_names,
+)
+from .workload import (
+    VOCAB,
+    ZipfQueryStream,
+    absent_combos,
+    bloom_insert_stream,
+    index_insert_stream,
+    make_collection,
+    stored_subsets,
+)
+
+__all__ = [
+    "DEFAULT_RESULTS_PATH",
+    "FAST_SUBSET",
+    "NUM_SHARDS",
+    "SCENARIOS",
+    "SLO",
+    "VOCAB",
+    "FaultPlan",
+    "ScenarioSpec",
+    "ZipfQueryStream",
+    "absent_combos",
+    "append_record",
+    "bloom_insert_stream",
+    "get_scenario",
+    "grade",
+    "index_insert_stream",
+    "make_collection",
+    "make_record",
+    "run_scenario",
+    "scenario_names",
+    "scenario_registry",
+    "stored_subsets",
+]

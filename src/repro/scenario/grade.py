@@ -1,0 +1,185 @@
+"""SLO grading and the scenario bench trajectory sink.
+
+:func:`grade` turns one run's observation record into an explicit list of
+violations — every violation names the SLO bound and the observed value,
+so a failed CI run reads like a diagnosis, not a boolean.  Each graded
+run increments the module's ``repro_scenario_*`` metrics
+(:func:`scenario_registry`) and can be appended as one JSON line to
+``results/BENCH_scenarios.json`` (:func:`append_record`), the same
+one-line-per-run trajectory convention the other ``BENCH_*`` files use,
+so robustness regressions are diffable across PRs.
+
+Each SLO traces to a source guarantee (see DESIGN.md): Bloom false
+negatives to the paper's no-false-negative invariant, index mismatches to
+Algorithm 2's locally-bounded error contract, torn snapshots to the
+snapshot holder's atomicity, refresh/backoff/breaker bounds to the
+maintenance subsystem's "the old generation keeps serving" promise.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any
+
+from ..obs.metrics import MetricsRegistry
+from .spec import ScenarioSpec
+
+__all__ = [
+    "DEFAULT_RESULTS_PATH",
+    "append_record",
+    "grade",
+    "make_record",
+    "scenario_registry",
+]
+
+DEFAULT_RESULTS_PATH = Path("results") / "BENCH_scenarios.json"
+
+_REGISTRY = MetricsRegistry()
+_RUNS = _REGISTRY.counter(
+    "repro_scenario_runs_total", "Scenario runs graded"
+)
+_PASSED = _REGISTRY.counter(
+    "repro_scenario_passed_total", "Scenario runs that met every SLO"
+)
+_FAILED = _REGISTRY.counter(
+    "repro_scenario_failed_total", "Scenario runs with at least one violation"
+)
+_VIOLATIONS = _REGISTRY.counter(
+    "repro_scenario_violations_total", "Individual SLO violations observed"
+)
+
+
+def scenario_registry() -> MetricsRegistry:
+    """The registry holding the ``repro_scenario_*`` grading metrics."""
+    return _REGISTRY
+
+
+def grade(spec: ScenarioSpec, obs: dict[str, Any]) -> list[str]:
+    """Check one run's observations against the spec's SLO.
+
+    Returns the list of violations (empty = pass).  For fault-storm
+    scenarios, ``min_refreshes`` is evaluated against the *post-storm*
+    refresh count — a refresh that landed before the storm proves
+    nothing about recovery.
+    """
+    slo = spec.slo
+    violations: list[str] = []
+
+    def check(condition: bool, message: str) -> None:
+        if not condition:
+            violations.append(message)
+
+    check(
+        obs["false_negatives"] <= slo.max_false_negatives,
+        f"bloom false negatives: {obs['false_negatives']} > "
+        f"{slo.max_false_negatives} (no-false-negative invariant)",
+    )
+    check(
+        obs["index_mismatches"] <= slo.max_index_mismatches,
+        f"index mismatches: {obs['index_mismatches']} > "
+        f"{slo.max_index_mismatches} (Algorithm 2 exactness contract)",
+    )
+    check(
+        obs.get("invalid_cardinalities", 0) == 0,
+        f"non-finite/negative cardinalities served: "
+        f"{obs.get('invalid_cardinalities', 0)} (guard fallback contract)",
+    )
+    torn = obs["failed_requests"] + obs["gather_errors"]
+    check(
+        torn <= slo.max_failed_requests,
+        f"failed/torn requests: {torn} > {slo.max_failed_requests} "
+        "(snapshot atomicity)",
+    )
+    if slo.max_p99_ms is not None:
+        check(
+            obs["p99_ms"] <= slo.max_p99_ms,
+            f"p99 latency: {obs['p99_ms']:.1f}ms > {slo.max_p99_ms:.1f}ms",
+        )
+    if slo.min_cache_hit_rate is not None:
+        check(
+            obs["cache_hit_rate"] >= slo.min_cache_hit_rate,
+            f"cache hit rate: {obs['cache_hit_rate']:.3f} < "
+            f"{slo.min_cache_hit_rate:.3f}",
+        )
+    if slo.min_refreshes is not None:
+        refreshes = (
+            obs.get("post_storm_refreshes", obs["refreshes"])
+            if spec.fault_plan is not None
+            else obs["refreshes"]
+        )
+        label = "post-storm refreshes" if spec.fault_plan else "refreshes"
+        check(
+            refreshes >= slo.min_refreshes,
+            f"{label}: {refreshes} < {slo.min_refreshes}",
+        )
+    if slo.max_pending_deltas_after is not None:
+        check(
+            obs["pending_deltas_after"] <= slo.max_pending_deltas_after,
+            f"pending deltas after settle: {obs['pending_deltas_after']} > "
+            f"{slo.max_pending_deltas_after}",
+        )
+    if slo.min_refresh_failures is not None:
+        check(
+            obs["refresh_failures"] >= slo.min_refresh_failures,
+            f"refresh failures: {obs['refresh_failures']} < "
+            f"{slo.min_refresh_failures} (storm never bit)",
+        )
+    if slo.require_backoff_engaged:
+        check(
+            obs["backoff_skips"] >= 1,
+            "failure backoff never suppressed a tripped policy evaluation",
+        )
+    if slo.require_breaker_opened:
+        check(bool(obs["breaker_opened"]), "refresh circuit breaker never opened")
+    if slo.require_old_generation_serving:
+        check(
+            bool(obs.get("old_generation_served")),
+            "old generation did not keep serving through the storm "
+            f"(wrong={obs['storm_wrong_answers']}, "
+            f"failed={obs['storm_failed_requests']})",
+        )
+    if slo.min_degrade_activations is not None:
+        check(
+            obs["degrade_activations"] >= slo.min_degrade_activations,
+            f"degrade activations: {obs['degrade_activations']} < "
+            f"{slo.min_degrade_activations} (server never shed to exact)",
+        )
+
+    _RUNS.inc()
+    if violations:
+        _FAILED.inc()
+        _VIOLATIONS.inc(len(violations))
+    else:
+        _PASSED.inc()
+    return violations
+
+
+def make_record(
+    spec: ScenarioSpec,
+    seed: int,
+    obs: dict[str, Any],
+    violations: list[str],
+    fast: bool = False,
+) -> dict[str, Any]:
+    """The one-JSON-line-per-run record appended to the bench trajectory."""
+    return {
+        "bench": "scenarios",
+        "scenario": spec.name,
+        "seed": seed,
+        "fast": fast,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "passed": not violations,
+        "violations": violations,
+        "observations": obs,
+    }
+
+
+def append_record(record: dict[str, Any], path: Path | str | None = None) -> Path:
+    """Append one run record as a JSON line (creating parents as needed)."""
+    target = Path(path) if path is not None else DEFAULT_RESULTS_PATH
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return target

@@ -1,0 +1,144 @@
+"""Workload synthesis for scenario runs.
+
+Generates the three ingredient streams a scenario mixes:
+
+* a **query pool** of stored subsets (in-universe positives) sampled per
+  seed, read through a Zipf distribution whose skew ``alpha`` the runner
+  interpolates over time (drift sharpens the head) and whose rank->entry
+  mapping can rotate (drift moves the head);
+* a **hot-key** overlay: a fixed handful of pool entries that a flash
+  crowd hammers with probability ``hot_fraction``;
+* **insert streams**: element combinations stored in *no* set (so exact
+  truth stays unshadowed) for index overrides, and a mix of in-universe
+  combos and out-of-universe sets for Bloom inserts — the same shapes the
+  maintenance soak uses, promoted to a reusable generator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..sets import InvertedIndex, SetCollection
+
+__all__ = [
+    "VOCAB",
+    "make_collection",
+    "stored_subsets",
+    "absent_combos",
+    "ZipfQueryStream",
+    "index_insert_stream",
+    "bloom_insert_stream",
+]
+
+#: Element-universe size for scenario collections; small enough that tiny
+#: models train in CI, large enough that absent combinations are plentiful.
+VOCAB = 26
+
+
+def make_collection(rng: np.random.Generator, num_sets: int = 32) -> SetCollection:
+    """A seed-deterministic collection of small sets over :data:`VOCAB`."""
+    sets = []
+    for _ in range(num_sets):
+        size = int(rng.integers(2, 6))
+        sets.append(tuple(int(e) for e in rng.choice(VOCAB, size=size, replace=False)))
+    return SetCollection(sets)
+
+
+def stored_subsets(
+    collection: SetCollection,
+    rng: np.random.Generator,
+    max_size: int,
+    count: int,
+) -> list[tuple[int, ...]]:
+    """In-universe positives: subsets of stored sets, sized 1..max_size."""
+    subsets = []
+    for _ in range(count):
+        base = collection[int(rng.integers(len(collection)))]
+        size = int(rng.integers(1, min(max_size, len(base)) + 1))
+        subsets.append(
+            tuple(sorted(int(e) for e in rng.choice(base, size=size, replace=False)))
+        )
+    return subsets
+
+
+def absent_combos(
+    truth: InvertedIndex,
+    rng: np.random.Generator,
+    count: int,
+    max_size: int = 3,
+) -> list[tuple[int, ...]]:
+    """In-universe element combinations stored in no set (insert targets)."""
+    combos: list[tuple[int, ...]] = []
+    seen: set[tuple[int, ...]] = set()
+    while len(combos) < count:
+        size = int(rng.integers(2, max_size + 1))
+        combo = tuple(sorted(int(e) for e in rng.choice(VOCAB, size=size, replace=False)))
+        if combo in seen or truth.first_position(combo) is not None:
+            continue
+        seen.add(combo)
+        combos.append(combo)
+    return combos
+
+
+class ZipfQueryStream:
+    """Zipf-skewed reads over a fixed pool, with drift and hot-key knobs.
+
+    ``alpha`` is supplied per draw (the runner interpolates it across
+    steps); ``rotation`` shifts the rank->pool mapping so the hot head
+    moves without changing the pool.  Hot-key draws bypass the Zipf ranks
+    entirely and hit the first ``hot_keys`` pool entries.
+    """
+
+    def __init__(
+        self,
+        pool: list[tuple[int, ...]],
+        rng: np.random.Generator,
+        hot_fraction: float = 0.0,
+        hot_keys: int = 3,
+    ):
+        if not pool:
+            raise ValueError("query pool cannot be empty")
+        self.pool = pool
+        self.rng = rng
+        self.hot_fraction = float(hot_fraction)
+        self.hot_keys = min(int(hot_keys), len(pool))
+        self._ranks = np.arange(1, len(pool) + 1, dtype=np.float64)
+
+    def draw(
+        self, count: int, alpha: float, rotation: int = 0
+    ) -> list[tuple[int, ...]]:
+        weights = self._ranks ** -max(alpha, 1e-6)
+        weights /= weights.sum()
+        indices = self.rng.choice(len(self.pool), size=count, p=weights)
+        queries = []
+        for index in indices:
+            if self.hot_fraction and self.rng.random() < self.hot_fraction:
+                queries.append(self.pool[int(self.rng.integers(self.hot_keys))])
+            else:
+                queries.append(self.pool[(int(index) + rotation) % len(self.pool)])
+        return queries
+
+
+def index_insert_stream(
+    truth: InvertedIndex, rng: np.random.Generator, count: int
+) -> Iterator[tuple[tuple[int, ...], int]]:
+    """(combo, position) overrides targeting combos stored nowhere."""
+    return iter(
+        (combo, 1000 + offset)
+        for offset, combo in enumerate(absent_combos(truth, rng, count))
+    )
+
+
+def bloom_insert_stream(
+    truth: InvertedIndex, rng: np.random.Generator, count: int
+) -> Iterator[tuple[int, ...]]:
+    """Membership inserts: in-universe combos mixed with out-of-universe
+    sets (the latter exercise the backup-filter path)."""
+    in_universe = absent_combos(truth, rng, count // 2)
+    out_of_universe = [
+        (VOCAB + 100 + offset, VOCAB + 400 + offset)
+        for offset in range(count - len(in_universe))
+    ]
+    return iter(in_universe + out_of_universe)

@@ -25,10 +25,23 @@ protocol deliberately simple enough for ``nc``:
 Each client connection runs on its own thread (``ThreadingTCPServer``), so
 concurrent connections exercise the micro-batcher exactly like in-process
 client threads do.
+
+The frontend defends its handler threads against hostile or broken
+clients:
+
+* **idle timeout** — a connection that sends nothing for ``idle_timeout_s``
+  is dropped (a stalled client used to hold its handler thread forever);
+* **bounded line length** — a request line longer than ``max_line_bytes``
+  is answered with ``error line too long`` and the connection is closed (a
+  newline-less firehose used to grow an unbounded buffer);
+* **per-request deadline** — a query that the server cannot answer within
+  ``request_deadline_s`` is answered with ``error deadline exceeded``
+  instead of blocking the handler on the future indefinitely.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 import json
 import socketserver
 import threading
@@ -40,9 +53,33 @@ __all__ = ["TcpServeFrontend"]
 
 
 class _Handler(socketserver.StreamRequestHandler):
+    def setup(self) -> None:
+        # StreamRequestHandler applies ``self.timeout`` to the socket, so
+        # every blocking read on rfile observes the idle timeout.
+        self.timeout = self.server.idle_timeout_s  # type: ignore[attr-defined]
+        super().setup()
+
     def handle(self) -> None:
+        try:
+            self._serve_lines()
+        except (TimeoutError, OSError):
+            # Stalled, vanished, or misbehaving client: drop the
+            # connection and free the handler thread.
+            return
+
+    def _serve_lines(self) -> None:
         server: SetServer = self.server.set_server  # type: ignore[attr-defined]
-        for raw in self.rfile:
+        max_line = self.server.max_line_bytes  # type: ignore[attr-defined]
+        deadline = self.server.request_deadline_s  # type: ignore[attr-defined]
+        while True:
+            raw = self.rfile.readline(max_line + 1)
+            if not raw:
+                return
+            if len(raw) > max_line:
+                # The line kept going past the cap; there is no safe way
+                # to resynchronize mid-line, so answer and hang up.
+                self._reply("error line too long")
+                return
             line = raw.decode("utf-8", errors="replace").strip()
             if not line:
                 continue
@@ -88,9 +125,13 @@ class _Handler(socketserver.StreamRequestHandler):
                 self._reply("error malformed query")
                 continue
             try:
-                self._reply(_format_answer(server.kind, server.query(query)))
+                answer = server.query(query, timeout=deadline)
+            except (concurrent.futures.TimeoutError, TimeoutError):
+                self._reply("error deadline exceeded")
             except Exception as exc:
                 self._reply(f"error {type(exc).__name__}")
+            else:
+                self._reply(_format_answer(server.kind, answer))
 
     def _reply(self, text: str) -> None:
         self.wfile.write((text + "\n").encode("utf-8"))
@@ -112,11 +153,39 @@ class _TcpServer(socketserver.ThreadingTCPServer):
 
 class TcpServeFrontend:
     """Owns the listening socket; start with :meth:`serve_forever` (blocking)
-    or :meth:`start_background` (tests), stop with :meth:`shutdown`."""
+    or :meth:`start_background` (tests), stop with :meth:`shutdown`.
 
-    def __init__(self, set_server: SetServer, host: str = "127.0.0.1", port: int = 0):
+    Parameters
+    ----------
+    idle_timeout_s:
+        Connections idle longer than this are dropped; ``None`` disables
+        the timeout (not recommended outside tests).
+    max_line_bytes:
+        Longest accepted request line (including the newline).
+    request_deadline_s:
+        Per-query answer deadline; ``None`` waits forever.
+    """
+
+    def __init__(
+        self,
+        set_server: SetServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        idle_timeout_s: float | None = 300.0,
+        max_line_bytes: int = 65536,
+        request_deadline_s: float | None = 30.0,
+    ):
+        if idle_timeout_s is not None and idle_timeout_s <= 0:
+            raise ValueError("idle_timeout_s must be positive or None")
+        if max_line_bytes < 16:
+            raise ValueError("max_line_bytes must be >= 16")
+        if request_deadline_s is not None and request_deadline_s <= 0:
+            raise ValueError("request_deadline_s must be positive or None")
         self._tcp = _TcpServer((host, port), _Handler)
         self._tcp.set_server = set_server  # type: ignore[attr-defined]
+        self._tcp.idle_timeout_s = idle_timeout_s  # type: ignore[attr-defined]
+        self._tcp.max_line_bytes = int(max_line_bytes)  # type: ignore[attr-defined]
+        self._tcp.request_deadline_s = request_deadline_s  # type: ignore[attr-defined]
         self._thread: threading.Thread | None = None
 
     @property

@@ -24,6 +24,7 @@ own future, never its batchmates).
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import Future
 from typing import Any, Iterable, Sequence
@@ -107,6 +108,18 @@ class SetServer:
         policy.  Optional when the structure is guarded (its paired exact
         index is reused) or is a :class:`LearnedSetIndex` (one is built
         from its collection); required otherwise for that policy.
+    degrade_after / degrade_window / degrade_probe_every:
+        Graceful degradation under sustained model failure.  When the
+        served structure is guarded and its exact fallback is available,
+        the server watches the fallback fraction over sliding windows of
+        ``degrade_window`` health-counted queries; once it reaches
+        ``degrade_after`` the server *degrades*: new requests are answered
+        on the caller's thread by the exact fallback path instead of
+        queueing for a model that is failing every call.  While degraded,
+        every ``degrade_probe_every``-th request still flows through the
+        model path as a recovery probe; when the probed fallback fraction
+        drops below ``degrade_after / 2`` the server un-degrades.
+        ``degrade_after=None`` disables the mechanism.
     """
 
     def __init__(
@@ -116,7 +129,16 @@ class SetServer:
         cache_size: int = 1024,
         exact: InvertedIndex | None = None,
         tracer: Tracer | None = None,
+        degrade_after: float | None = 0.95,
+        degrade_window: int = 64,
+        degrade_probe_every: int = 16,
     ):
+        if degrade_after is not None and not 0.0 < degrade_after <= 1.0:
+            raise ValueError("degrade_after must be in (0, 1] or None")
+        if degrade_window < 1:
+            raise ValueError("degrade_window must be >= 1")
+        if degrade_probe_every < 2:
+            raise ValueError("degrade_probe_every must be >= 2")
         self.kind = detect_kind(structure)
         self.policy = policy or BatchPolicy()
         self.stats = ServerStats()
@@ -143,6 +165,15 @@ class SetServer:
         # Set by a repro.maintain.BackgroundRefresher when auto-refresh is
         # enabled; the REFRESH protocol verb reports through it.
         self.maintainer = None
+        self._degrade_after = degrade_after
+        self._degrade_window = int(degrade_window)
+        self._degrade_probe_every = int(degrade_probe_every)
+        self._degrade_lock = threading.Lock()
+        self._degraded = False
+        self._degraded_count = 0
+        self._degrade_activations = 0
+        self._degraded_served = 0
+        self._reset_degrade_marks(structure)
         self._attach_listener(structure)
         self._batcher = MicroBatcher(
             self._serve_batch,
@@ -200,6 +231,12 @@ class SetServer:
         snapshot = self._snapshots.swap(structure)
         self._attach_listener(structure)
         self.cache.clear()
+        # A swap installs a freshly trained generation with fresh health
+        # counters; degradation state restarts from a clean slate.
+        with self._degrade_lock:
+            self._degraded = False
+            self._degraded_count = 0
+            self._reset_degrade_marks(structure)
         self.stats.record_swap()
         return snapshot
 
@@ -214,6 +251,82 @@ class SetServer:
             inner.remove_update_listener(self._listener)
         except (AttributeError, ValueError):
             pass
+
+    # -- graceful degradation (sustained model failure) ------------------------
+
+    def _reset_degrade_marks(self, structure: Any) -> None:
+        health = getattr(structure, "health", None)
+        if health is None:
+            self._degrade_mark = (0, 0)
+        else:
+            self._degrade_mark = (health.queries, health.total_fallbacks)
+
+    @property
+    def degraded(self) -> bool:
+        """True while the server answers through the exact fallback path."""
+        return self._degraded
+
+    @property
+    def degrade_activations(self) -> int:
+        return self._degrade_activations
+
+    def _maybe_degrade(self) -> bool:
+        """Advance the degradation state machine for one request.
+
+        Returns ``True`` when this request must be served on the caller's
+        thread by the exact fallback.  The decision reads the guarded
+        structure's health counters, which are advanced by the dispatcher
+        thread — evaluation therefore lags submission by roughly one
+        batch, which is fine: degradation is a sustained-failure response,
+        not a per-request routing decision.
+        """
+        if self._degrade_after is None or self._exact is None:
+            return False
+        health = getattr(self.structure, "health", None)
+        if health is None:
+            return False
+        with self._degrade_lock:
+            queries = health.queries
+            fallbacks = health.total_fallbacks
+            window = queries - self._degrade_mark[0]
+            if self._degraded:
+                # Probes keep flowing through the model path; once enough
+                # of them have been health-counted, re-evaluate recovery.
+                if window >= max(self._degrade_window // 4, 4):
+                    fraction = (fallbacks - self._degrade_mark[1]) / window
+                    self._degrade_mark = (queries, fallbacks)
+                    if fraction < self._degrade_after / 2.0:
+                        self._degraded = False
+                        return False
+                self._degraded_count += 1
+                if self._degraded_count % self._degrade_probe_every == 0:
+                    return False
+                return True
+            if window >= self._degrade_window:
+                fraction = (fallbacks - self._degrade_mark[1]) / window
+                self._degrade_mark = (queries, fallbacks)
+                if fraction >= self._degrade_after:
+                    self._degraded = True
+                    self._degraded_count = 0
+                    self._degrade_activations += 1
+                    self._metric_degrade_activations.inc()
+                    return True
+            return False
+
+    def _serve_degraded(self, key: tuple[int, ...], started: float) -> Future:
+        """Answer on the caller's thread via the exact fallback path."""
+        future: Future = Future()
+        self._degraded_served += 1
+        self._metric_degraded_served.inc()
+        try:
+            with self.tracer.span("degraded_exact", kind=self.kind):
+                future.set_result(self._shed_answer_inner(key))
+        except Exception as exc:
+            future.set_exception(exc)
+            self.stats.record_failed()
+        else:
+            self.stats.record_served(time.monotonic() - started)
+        return future
 
     # -- querying --------------------------------------------------------------
 
@@ -237,6 +350,8 @@ class SetServer:
                 future.set_result(value)
                 self.stats.record_served(time.monotonic() - started, from_cache=True)
                 return future
+            if self._maybe_degrade():
+                return self._serve_degraded(key, started)
         future = self._batcher.submit(key if key is not None else query)
 
         def _resolved(f: Future) -> None:
@@ -295,12 +410,18 @@ class SetServer:
                 return 0.0
             if not canonical:
                 return float(exact.num_sets)
+            override = self._auxiliary_override(canonical)
+            if override is not None:
+                return float(override)
             return float(exact.cardinality(canonical))
         if self.kind == "index":
             if canonical is None:
                 return None
             if not canonical:
                 return 0 if exact.num_sets else None
+            override = self._auxiliary_override(canonical)
+            if override is not None:
+                return int(override)
             return exact.first_position(canonical)
         if canonical is None:
             return False
@@ -310,6 +431,20 @@ class SetServer:
             return True
         backup = _backup_filter(self.structure)
         return backup.contains_set(set(canonical)) if backup is not None else False
+
+    def _auxiliary_override(self, canonical: tuple[int, ...]) -> Any:
+        """Post-build mutation recorded for ``canonical``, if any.
+
+        The exact :class:`InvertedIndex` is built from the collection and
+        never absorbs §6's updates — those live in the served structure's
+        auxiliary override layer.  A shed or degraded answer must consult
+        that layer first, or an inserted override would silently revert to
+        its pre-insert answer whenever the model path is bypassed.
+        """
+        auxiliary = getattr(_inner_structure(self.structure), "auxiliary", None)
+        if auxiliary is None:
+            return None
+        return auxiliary.get(canonical)
 
     # -- reporting --------------------------------------------------------------
 
@@ -330,6 +465,20 @@ class SetServer:
             "repro_serve_snapshot_version",
             "Generation of the currently served snapshot",
             lambda: self.snapshot.version,
+        )
+        reg.gauge_function(
+            "repro_serve_degraded",
+            "1 while the server answers through the exact fallback path "
+            "(sustained model failure)",
+            lambda: 1.0 if self._degraded else 0.0,
+        )
+        self._metric_degrade_activations = reg.counter(
+            "repro_serve_degrade_activations_total",
+            "Times the server entered degraded (exact-fallback) serving",
+        )
+        self._metric_degraded_served = reg.counter(
+            "repro_serve_degraded_served_total",
+            "Requests answered by the exact fallback while degraded",
         )
         for field in ("capacity", "entries", "hits", "misses", "hit_rate",
                       "evictions", "invalidations", "invalidation_misses"):
@@ -414,6 +563,9 @@ class SetServer:
         out = self.stats.as_dict(cache=self.cache, health=health)
         out["kind"] = self.kind
         out["snapshot_version"] = self.snapshot.version
+        out["degraded"] = self._degraded
+        out["degrade_activations"] = self._degrade_activations
+        out["degraded_served"] = self._degraded_served
         fanout = getattr(_inner_structure(self.structure), "fanout_stats", None)
         if fanout is not None:
             out["shard_fanout"] = fanout()

@@ -1,0 +1,203 @@
+"""Refresh failure backoff and circuit breaker.
+
+A persistently failing rebuild must not burn CPU retraining into the same
+wall on every policy evaluation: consecutive failures suspend
+policy-triggered refreshes exponentially, repeated failures open a
+circuit breaker, and manual ``refresh_now`` calls bypass both — the old
+generation keeps serving throughout.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.maintain import BackgroundRefresher, RefreshError, StalenessPolicy
+from repro.serve import SetServer
+
+from .conftest import fresh_estimator
+
+
+def _tripped_policy() -> StalenessPolicy:
+    """A policy that trips as soon as two deltas are pending."""
+    return StalenessPolicy(max_deltas=1, max_aux_fraction=None, min_interval_s=0.0)
+
+
+@pytest.fixture
+def serving(collection):
+    estimator = fresh_estimator(collection, seed=71)
+    server = SetServer(estimator, cache_size=0).start()
+    made = []
+
+    def make(rebuild, **kwargs):
+        refresher = BackgroundRefresher(
+            server, rebuild, policy=_tripped_policy(), **kwargs
+        )
+        made.append(refresher)
+        return refresher
+
+    yield server, make
+    for refresher in made:
+        refresher.close()
+        refresher.delta.detach_all()
+    server.maintainer = None
+    server.close()
+
+
+def _trip(refresher) -> None:
+    refresher.delta.record((0, 1))
+    refresher.delta.record((1, 2))
+
+
+def _broken(_inner):
+    raise RuntimeError("rebuild is wedged")
+
+
+class TestBackoff:
+    def test_failed_refresh_suspends_policy_refreshes(self, serving):
+        _server, make = serving
+        refresher = make(_broken, backoff_base_s=30.0, breaker_failures=99)
+        _trip(refresher)
+        with pytest.raises(RefreshError):
+            refresher.check_now()
+        assert refresher.backoff_remaining_s() > 0.0
+        assert refresher.status()["consecutive_failures"] == 1
+        # The policy still trips, but the evaluation is suppressed.
+        assert refresher.check_now() is False
+        assert refresher.backoff_skips == 1
+        assert refresher.failures == 1  # no second attempt was made
+
+    def test_backoff_grows_exponentially(self, serving):
+        _server, make = serving
+        refresher = make(
+            _broken, backoff_base_s=10.0, backoff_max_s=600.0, breaker_failures=99
+        )
+        _trip(refresher)
+        remaining = []
+        for _ in range(3):
+            with pytest.raises(RefreshError):
+                refresher.refresh_now(("test",))
+            remaining.append(refresher.backoff_remaining_s())
+        # 10s, then ~20s, then ~40s (monotonic growth is the contract).
+        assert remaining[0] <= 10.0
+        assert remaining[1] > remaining[0]
+        assert remaining[2] > remaining[1]
+
+    def test_backoff_caps_at_max(self, serving):
+        _server, make = serving
+        refresher = make(
+            _broken, backoff_base_s=10.0, backoff_max_s=15.0, breaker_failures=99
+        )
+        for _ in range(6):
+            with pytest.raises(RefreshError):
+                refresher.refresh_now(("test",))
+        assert refresher.backoff_remaining_s() <= 15.0
+
+    def test_success_resets_backoff_and_failure_streak(self, serving, collection):
+        server, make = serving
+        state = {"broken": True}
+
+        def flaky(inner):
+            if state["broken"]:
+                raise RuntimeError("still wedged")
+            return fresh_estimator(collection, seed=72)
+
+        refresher = make(flaky, backoff_base_s=30.0, breaker_failures=99)
+        with pytest.raises(RefreshError):
+            refresher.refresh_now(("test",))
+        assert refresher.backoff_remaining_s() > 0.0
+        state["broken"] = False
+        # Manual refresh bypasses the backoff window entirely.
+        refresher.refresh_now(("manual",))
+        assert refresher.backoff_remaining_s() == 0.0
+        assert refresher.status()["consecutive_failures"] == 0
+        assert refresher.breaker_state == "closed"
+
+    def test_backoff_gauge_and_skip_counter_in_exposition(self, serving):
+        server, make = serving
+        refresher = make(_broken, backoff_base_s=60.0, breaker_failures=99)
+        _trip(refresher)
+        with pytest.raises(RefreshError):
+            refresher.check_now()
+        assert refresher.check_now() is False
+        text = server.registry.render_text()
+        backoff = [
+            line for line in text.splitlines()
+            if line.startswith("repro_maintain_refresh_backoff ")
+        ]
+        assert backoff and float(backoff[0].split()[1]) > 0.0
+        skips = [
+            line for line in text.splitlines()
+            if line.startswith("repro_maintain_backoff_skips_total ")
+        ]
+        assert skips and float(skips[0].split()[1]) == refresher.backoff_skips
+
+
+class TestCircuitBreaker:
+    def test_breaker_opens_after_consecutive_failures(self, serving):
+        server, make = serving
+        refresher = make(
+            _broken,
+            backoff_base_s=0.01,
+            breaker_failures=2,
+            breaker_cooldown_s=60.0,
+        )
+        for _ in range(2):
+            with pytest.raises(RefreshError):
+                refresher.refresh_now(("test",))
+        assert refresher.breaker_state == "open"
+        # The open breaker enforces at least the cooldown, not the (tiny)
+        # exponential delay.
+        assert refresher.backoff_remaining_s() > 1.0
+        text = server.registry.render_text()
+        gauge = [
+            line for line in text.splitlines()
+            if line.startswith("repro_maintain_breaker_open ")
+        ]
+        assert gauge and float(gauge[0].split()[1]) == 1.0
+
+    def test_breaker_goes_half_open_after_cooldown(self, serving):
+        _server, make = serving
+        refresher = make(
+            _broken,
+            backoff_base_s=0.001,
+            backoff_max_s=0.001,
+            breaker_failures=1,
+            breaker_cooldown_s=0.0,
+        )
+        with pytest.raises(RefreshError):
+            refresher.refresh_now(("test",))
+        time.sleep(0.01)  # let the (1ms) exponential delay lapse
+        assert refresher.breaker_state == "half-open"
+        assert refresher.status()["breaker_state"] == "half-open"
+
+    def test_half_open_success_closes_the_breaker(self, serving, collection):
+        _server, make = serving
+        state = {"broken": True}
+
+        def flaky(inner):
+            if state["broken"]:
+                raise RuntimeError("still wedged")
+            return fresh_estimator(collection, seed=73)
+
+        refresher = make(
+            flaky, backoff_base_s=0.001, backoff_max_s=0.001,
+            breaker_failures=1, breaker_cooldown_s=0.0,
+        )
+        with pytest.raises(RefreshError):
+            refresher.refresh_now(("test",))
+        time.sleep(0.01)
+        assert refresher.breaker_state == "half-open"
+        state["broken"] = False
+        refresher.refresh_now(("probe",))
+        assert refresher.breaker_state == "closed"
+
+    def test_constructor_validates_knobs(self, serving):
+        _server, make = serving
+        with pytest.raises(ValueError):
+            make(_broken, backoff_base_s=0.0)
+        with pytest.raises(ValueError):
+            make(_broken, breaker_failures=0)
+        with pytest.raises(ValueError):
+            make(_broken, breaker_cooldown_s=-1.0)

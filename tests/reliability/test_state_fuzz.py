@@ -1,0 +1,110 @@
+"""Fuzzing the weight-archive loader: corrupt bytes must never load wrong.
+
+``load_state`` guards the hot-swap path: a refresher that reloads a
+corrupted archive must get a :class:`CorruptStateError` it can back off
+on — never a module that silently serves garbage.  These tests byte-flip
+and truncate real ``save_state`` archives for all three structure models
+(cardinality estimator, set index, Bloom filter) and assert the contract:
+every load either raises ``CorruptStateError`` or yields weights
+bit-identical to what was saved (a flip in archive slack is harmless, a
+flip anywhere meaningful is caught).
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.nn.serialize import CorruptStateError, load_state, save_state
+
+pytestmark = pytest.mark.faults
+
+FLIPS_PER_ARCHIVE = 48
+TRUNCATIONS_PER_ARCHIVE = 16
+
+
+def _reference_state(model, path):
+    """The float32 state a clean load of ``path`` produces."""
+    clone = copy.deepcopy(model)
+    load_state(clone, path)
+    return {name: array.copy() for name, array in clone.state_dict().items()}
+
+
+def _assert_never_wrong(model, path, reference):
+    """A fuzzed archive must raise CorruptStateError or load exactly."""
+    target = copy.deepcopy(model)
+    try:
+        load_state(target, path)
+    except CorruptStateError:
+        return
+    loaded = target.state_dict()
+    assert set(loaded) == set(reference)
+    for name, array in reference.items():
+        np.testing.assert_array_equal(
+            loaded[name],
+            array,
+            err_msg=f"fuzzed archive loaded with altered weights in {name!r}",
+        )
+
+
+@pytest.fixture(params=["estimator", "index", "bloom"])
+def model(request):
+    structure = request.getfixturevalue(request.param)
+    return structure.model
+
+
+class TestByteFlipFuzz:
+    def test_single_byte_flips_never_load_wrong(self, model, tmp_path):
+        path = tmp_path / "weights.npz"
+        save_state(model, path)
+        pristine = path.read_bytes()
+        reference = _reference_state(model, path)
+        rng = np.random.default_rng(20260807)
+        offsets = rng.choice(
+            len(pristine), size=min(FLIPS_PER_ARCHIVE, len(pristine)), replace=False
+        )
+        for offset in offsets:
+            corrupted = bytearray(pristine)
+            corrupted[offset] ^= 1 << int(rng.integers(8))
+            path.write_bytes(bytes(corrupted))
+            _assert_never_wrong(model, path, reference)
+
+    def test_multi_byte_burst_flips_never_load_wrong(self, model, tmp_path):
+        path = tmp_path / "weights.npz"
+        save_state(model, path)
+        pristine = path.read_bytes()
+        reference = _reference_state(model, path)
+        rng = np.random.default_rng(20260808)
+        for _ in range(8):
+            corrupted = bytearray(pristine)
+            start = int(rng.integers(len(pristine) - 8))
+            for offset in range(start, start + 8):
+                corrupted[offset] ^= int(rng.integers(1, 256))
+            path.write_bytes(bytes(corrupted))
+            _assert_never_wrong(model, path, reference)
+
+
+class TestTruncationFuzz:
+    def test_truncations_raise_corrupt(self, model, tmp_path):
+        path = tmp_path / "weights.npz"
+        save_state(model, path)
+        pristine = path.read_bytes()
+        rng = np.random.default_rng(20260809)
+        # The zip central directory lives at the end of the file, so any
+        # strict prefix is unreadable — including cutting mid-entry.
+        lengths = set(
+            int(n) for n in rng.integers(1, len(pristine), TRUNCATIONS_PER_ARCHIVE)
+        )
+        lengths.update((1, 2, len(pristine) // 2, len(pristine) - 1))
+        for length in sorted(lengths):
+            path.write_bytes(pristine[:length])
+            with pytest.raises(CorruptStateError):
+                load_state(copy.deepcopy(model), path)
+
+    def test_empty_file_raises_corrupt(self, model, tmp_path):
+        path = tmp_path / "weights.npz"
+        path.write_bytes(b"")
+        with pytest.raises(CorruptStateError):
+            load_state(copy.deepcopy(model), path)

@@ -1,0 +1,159 @@
+"""SLO grading: violation wording, metric counters, and the JSONL sink."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.scenario import (
+    SLO,
+    FaultPlan,
+    ScenarioSpec,
+    append_record,
+    get_scenario,
+    grade,
+    make_record,
+    scenario_registry,
+)
+
+
+def clean_obs(**overrides):
+    """Observations that pass every default SLO check."""
+    obs = {
+        "ops": 500,
+        "false_negatives": 0,
+        "index_mismatches": 0,
+        "invalid_cardinalities": 0,
+        "failed_requests": 0,
+        "gather_errors": 0,
+        "p99_ms": 5.0,
+        "cache_hit_rate": 0.9,
+        "refreshes": 3,
+        "post_storm_refreshes": 2,
+        "pending_deltas_after": 0,
+        "refresh_failures": 2,
+        "backoff_skips": 4,
+        "breaker_opened": True,
+        "old_generation_served": True,
+        "storm_wrong_answers": 0,
+        "storm_failed_requests": 0,
+        "degrade_activations": 1,
+    }
+    obs.update(overrides)
+    return obs
+
+
+def spec_with(slo: SLO, fault: bool = False) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="t",
+        description="t",
+        fault_plan=FaultPlan() if fault else None,
+        slo=slo,
+    )
+
+
+class TestGrade:
+    def test_clean_run_passes(self):
+        assert grade(spec_with(SLO()), clean_obs()) == []
+
+    def test_false_negative_names_the_invariant(self):
+        violations = grade(spec_with(SLO()), clean_obs(false_negatives=2))
+        assert len(violations) == 1
+        assert "no-false-negative" in violations[0]
+
+    def test_index_mismatch_names_algorithm_two(self):
+        violations = grade(spec_with(SLO()), clean_obs(index_mismatches=1))
+        assert any("Algorithm 2" in v for v in violations)
+
+    def test_torn_requests_sum_failed_and_gather_errors(self):
+        violations = grade(
+            spec_with(SLO()), clean_obs(failed_requests=1, gather_errors=2)
+        )
+        assert any("3 > 0" in v and "atomicity" in v for v in violations)
+
+    def test_invalid_cardinalities_always_graded(self):
+        violations = grade(spec_with(SLO()), clean_obs(invalid_cardinalities=5))
+        assert any("guard fallback" in v for v in violations)
+
+    def test_p99_and_hit_rate_bounds(self):
+        slo = SLO(max_p99_ms=10.0, min_cache_hit_rate=0.5)
+        assert grade(spec_with(slo), clean_obs()) == []
+        violations = grade(
+            spec_with(slo), clean_obs(p99_ms=50.0, cache_hit_rate=0.1)
+        )
+        assert len(violations) == 2
+
+    def test_fault_scenarios_grade_post_storm_refreshes(self):
+        slo = SLO(min_refreshes=1)
+        obs = clean_obs(refreshes=5, post_storm_refreshes=0)
+        # Without a fault plan, total refreshes satisfy the bound...
+        assert grade(spec_with(slo), obs) == []
+        # ...but under a storm, only post-storm refreshes prove recovery.
+        violations = grade(spec_with(slo, fault=True), obs)
+        assert any("post-storm" in v for v in violations)
+
+    def test_recovery_story_requirements(self):
+        slo = SLO(
+            min_refresh_failures=1,
+            require_backoff_engaged=True,
+            require_breaker_opened=True,
+            require_old_generation_serving=True,
+            min_degrade_activations=1,
+        )
+        obs = clean_obs(
+            refresh_failures=0,
+            backoff_skips=0,
+            breaker_opened=False,
+            old_generation_served=False,
+            degrade_activations=0,
+        )
+        violations = grade(spec_with(slo, fault=True), obs)
+        assert len(violations) == 5
+
+    def test_grading_increments_the_scenario_metrics(self):
+        text_before = scenario_registry().render_text()
+        grade(spec_with(SLO()), clean_obs())
+        grade(spec_with(SLO()), clean_obs(false_negatives=1))
+        text_after = scenario_registry().render_text()
+
+        def value(text, name):
+            for line in text.splitlines():
+                if line.startswith(name + " "):
+                    return float(line.split()[1])
+            return 0.0
+
+        assert (
+            value(text_after, "repro_scenario_runs_total")
+            - value(text_before, "repro_scenario_runs_total")
+        ) == 2.0
+        assert (
+            value(text_after, "repro_scenario_failed_total")
+            - value(text_before, "repro_scenario_failed_total")
+        ) == 1.0
+
+
+class TestRecords:
+    def test_make_record_is_json_ready(self):
+        spec = get_scenario("read-heavy")
+        obs = clean_obs()
+        record = make_record(spec, seed=42, obs=obs, violations=[], fast=True)
+        parsed = json.loads(json.dumps(record))
+        assert parsed["bench"] == "scenarios"
+        assert parsed["scenario"] == "read-heavy"
+        assert parsed["seed"] == 42
+        assert parsed["fast"] is True
+        assert parsed["passed"] is True
+        assert parsed["observations"]["ops"] == obs["ops"]
+
+    def test_append_record_writes_one_json_line_per_run(self, tmp_path):
+        target = tmp_path / "nested" / "BENCH_scenarios.json"
+        spec = get_scenario("read-heavy")
+        for seed in (1, 2):
+            record = make_record(spec, seed, clean_obs(), ["p99 blew up"])
+            append_record(record, target)
+        lines = target.read_text().splitlines()
+        assert len(lines) == 2
+        parsed = [json.loads(line) for line in lines]
+        assert [p["seed"] for p in parsed] == [1, 2]
+        assert all(p["passed"] is False for p in parsed)

@@ -1,0 +1,72 @@
+"""Runner smoke tests: the full stack survives a small scenario run.
+
+The tier-1 smoke drives one trimmed read/write scenario end to end and
+asserts the observation record is complete and clean.  The full fast
+fault-storm (with its real-time backoff windows) runs under ``-m slow``
+and in the CI scenario job via the CLI.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.scenario import ScenarioSpec, SLO, get_scenario, grade, run_scenario
+
+SEED = 20260807
+
+
+def tiny(spec: ScenarioSpec, **overrides) -> ScenarioSpec:
+    return dataclasses.replace(
+        spec.fast(),
+        steps=8,
+        queries_per_step=4,
+        settle_timeout_s=30.0,
+        **overrides,
+    )
+
+
+class TestRunnerSmoke:
+    def test_read_write_scenario_end_to_end(self):
+        spec = tiny(get_scenario("write-heavy"), max_deltas=8)
+        obs = run_scenario(spec, seed=SEED)
+        # Correctness invariants hold on a healthy run.
+        assert obs["false_negatives"] == 0
+        assert obs["index_mismatches"] == 0
+        assert obs["invalid_cardinalities"] == 0
+        assert obs["failed_requests"] == 0
+        assert obs["gather_errors"] == 0
+        # All three structure kinds were actually exercised.
+        assert obs["bloom_checks"] > 0
+        assert obs["index_checks"] > 0
+        assert obs["cardinality_checks"] > 0
+        # Writes trip the (tiny) staleness policy and deltas replay.
+        assert obs["refreshes"] >= 1
+        assert obs["replayed_deltas"] >= 1
+        # The record is grader-complete.
+        for key in (
+            "p50_ms", "p99_ms", "cache_hit_rate", "pending_deltas_after",
+            "backoff_skips", "degrade_activations", "snapshot_versions",
+            "wall_s",
+        ):
+            assert key in obs
+        assert grade(spec, obs) == []
+
+    def test_same_seed_same_workload_shape(self):
+        spec = tiny(get_scenario("read-heavy"))
+        a = run_scenario(spec, seed=SEED)
+        b = run_scenario(spec, seed=SEED)
+        # Latency/wall jitter aside, the driven workload is deterministic.
+        assert a["ops"] == b["ops"]
+        assert a["bloom_checks"] == b["bloom_checks"]
+        assert a["index_checks"] == b["index_checks"]
+
+
+@pytest.mark.slow
+@pytest.mark.faults
+class TestFaultStormSlow:
+    def test_fast_fault_storm_meets_its_slo(self):
+        spec = get_scenario("fault-storm")
+        obs = run_scenario(spec, seed=SEED, fast=True)
+        assert grade(spec, obs) == []

@@ -1,0 +1,109 @@
+"""Workload synthesis: determinism, Zipf skew, drift, and insert streams."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.scenario import (
+    VOCAB,
+    ZipfQueryStream,
+    absent_combos,
+    bloom_insert_stream,
+    index_insert_stream,
+    make_collection,
+    stored_subsets,
+)
+from repro.sets import InvertedIndex
+
+
+@pytest.fixture
+def collection():
+    return make_collection(np.random.default_rng(7))
+
+
+@pytest.fixture
+def truth(collection):
+    return InvertedIndex(collection)
+
+
+class TestCollection:
+    def test_same_seed_same_collection(self):
+        a = make_collection(np.random.default_rng(3))
+        b = make_collection(np.random.default_rng(3))
+        assert [tuple(s) for s in a] == [tuple(s) for s in b]
+
+    def test_elements_stay_in_vocab(self, collection):
+        for stored in collection:
+            assert all(0 <= e < VOCAB for e in stored)
+
+
+class TestPools:
+    def test_stored_subsets_are_true_positives(self, collection, truth):
+        pool = stored_subsets(collection, np.random.default_rng(1), 3, 50)
+        assert len(pool) == 50
+        for query in pool:
+            assert 1 <= len(query) <= 3
+            assert truth.first_position(query) is not None
+
+    def test_absent_combos_are_true_negatives(self, truth):
+        combos = absent_combos(truth, np.random.default_rng(2), 30)
+        assert len(combos) == len(set(combos)) == 30
+        for combo in combos:
+            assert truth.first_position(combo) is None
+            assert all(0 <= e < VOCAB for e in combo)
+
+
+class TestZipfStream:
+    def _pool(self):
+        return [(i,) for i in range(40)]
+
+    def test_high_alpha_concentrates_the_head(self):
+        stream = ZipfQueryStream(self._pool(), np.random.default_rng(4))
+        counts = Counter(stream.draw(2000, alpha=2.0))
+        head = counts[(0,)]
+        tail = counts.get((39,), 0)
+        assert head > 2000 * 0.4
+        assert head > tail * 10
+
+    def test_low_alpha_spreads_the_mass(self):
+        stream = ZipfQueryStream(self._pool(), np.random.default_rng(5))
+        counts = Counter(stream.draw(2000, alpha=0.05))
+        assert max(counts.values()) < 2000 * 0.2
+
+    def test_rotation_moves_the_head(self):
+        stream = ZipfQueryStream(self._pool(), np.random.default_rng(6))
+        counts = Counter(stream.draw(2000, alpha=2.0, rotation=10))
+        assert counts[(10,)] > 2000 * 0.4
+
+    def test_hot_fraction_one_only_draws_hot_keys(self):
+        stream = ZipfQueryStream(
+            self._pool(), np.random.default_rng(8), hot_fraction=1.0, hot_keys=3
+        )
+        drawn = set(stream.draw(500, alpha=1.0))
+        assert drawn <= {(0,), (1,), (2,)}
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfQueryStream([], np.random.default_rng(0))
+
+
+class TestInsertStreams:
+    def test_index_stream_yields_unshadowed_overrides(self, truth):
+        pairs = list(index_insert_stream(truth, np.random.default_rng(9), 20))
+        assert len(pairs) == 20
+        positions = [position for _, position in pairs]
+        assert len(set(positions)) == 20  # distinct override positions
+        for combo, _ in pairs:
+            assert truth.first_position(combo) is None
+
+    def test_bloom_stream_mixes_in_and_out_of_universe(self, truth):
+        members = list(bloom_insert_stream(truth, np.random.default_rng(10), 20))
+        assert len(members) == 20
+        in_universe = [m for m in members if all(e < VOCAB for e in m)]
+        out_of_universe = [m for m in members if any(e >= VOCAB for e in m)]
+        assert in_universe and out_of_universe
+        for member in in_universe:
+            assert truth.first_position(member) is None

@@ -1,0 +1,91 @@
+"""Graceful degradation: shed to the exact fallback under sustained faults.
+
+When the guarded structure's health counters show (nearly) every answer
+coming from the exact fallback, paying thread-pool dispatch plus a model
+forward pass per request buys nothing.  The server notices, degrades to
+answering on the caller thread straight from the exact path, keeps
+probing the model, and recovers once the guard reports health again.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reliability import ALWAYS, FaultInjector, GuardedCardinalityEstimator
+from repro.serve import SetServer
+
+from .conftest import QUERIES
+
+
+@pytest.fixture
+def guarded_server(estimator, truth):
+    guarded = GuardedCardinalityEstimator(estimator, truth)
+    # cache_size=0 so every request reaches the guard's health counters;
+    # a small window so a short storm fills it.
+    server = SetServer(
+        guarded, cache_size=0, degrade_window=8, degrade_probe_every=4
+    ).start()
+    yield server
+    server.close()
+
+
+def _drive(server, count):
+    for i in range(count):
+        server.submit(QUERIES[i % len(QUERIES)]).result(timeout=10.0)
+
+
+class TestDegradation:
+    def test_healthy_server_never_degrades(self, guarded_server):
+        _drive(guarded_server, 24)
+        stats = guarded_server.stats_dict()
+        assert stats["degraded"] is False
+        assert stats["degrade_activations"] == 0
+
+    def test_sustained_faults_trigger_degraded_mode(self, guarded_server):
+        with FaultInjector(nan_predictions=ALWAYS):
+            _drive(guarded_server, 32)
+            stats = guarded_server.stats_dict()
+            assert stats["degraded"] is True
+            assert stats["degrade_activations"] >= 1
+            assert stats["degraded_served"] > 0
+
+    def test_degraded_answers_match_exact_truth(self, guarded_server, truth):
+        with FaultInjector(nan_predictions=ALWAYS):
+            _drive(guarded_server, 32)
+            assert guarded_server.stats_dict()["degraded"] is True
+            for query in QUERIES[:6]:
+                answer = guarded_server.submit(query).result(timeout=10.0)
+                assert answer == truth.cardinality(set(query))
+
+    def test_server_recovers_once_faults_clear(self, guarded_server):
+        with FaultInjector(nan_predictions=ALWAYS):
+            _drive(guarded_server, 32)
+            assert guarded_server.stats_dict()["degraded"] is True
+        # Faults gone: periodic probes refill the window with healthy
+        # model answers and the server exits degraded mode.
+        _drive(guarded_server, 64)
+        stats = guarded_server.stats_dict()
+        assert stats["degraded"] is False
+        assert stats["degrade_activations"] >= 1  # history is preserved
+
+    def test_degraded_gauge_and_counters_in_exposition(self, guarded_server):
+        with FaultInjector(nan_predictions=ALWAYS):
+            _drive(guarded_server, 32)
+            text = guarded_server.registry.render_text()
+            lines = dict(
+                line.rsplit(" ", 1)
+                for line in text.splitlines()
+                if line and not line.startswith("#")
+            )
+            assert float(lines["repro_serve_degraded"]) == 1.0
+            assert float(lines["repro_serve_degrade_activations_total"]) >= 1.0
+            assert float(lines["repro_serve_degraded_served_total"]) > 0.0
+
+    def test_constructor_validates_knobs(self, estimator, truth):
+        guarded = GuardedCardinalityEstimator(estimator, truth)
+        with pytest.raises(ValueError):
+            SetServer(guarded, degrade_after=1.5)
+        with pytest.raises(ValueError):
+            SetServer(guarded, degrade_window=0)
+        with pytest.raises(ValueError):
+            SetServer(guarded, degrade_probe_every=0)

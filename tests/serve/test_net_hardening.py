@@ -1,0 +1,131 @@
+"""TCP frontend hardening: deadlines, idle timeouts, bounded line length.
+
+One slow or hostile client must not be able to pin a handler thread
+forever (idle timeout), park a request on a wedged backend indefinitely
+(per-request deadline), or balloon handler memory with an unbounded line
+(line length cap).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import socket
+import time
+
+import pytest
+
+from repro.serve import SetServer, TcpServeFrontend
+
+from .test_net import ask, connect
+
+
+@pytest.fixture
+def server(estimator):
+    server = SetServer(estimator, cache_size=64).start()
+    yield server
+    server.close()
+
+
+def make_frontend(server, **kwargs):
+    return TcpServeFrontend(server, port=0, **kwargs).start_background()
+
+
+class TestLineLength:
+    def test_overlong_line_is_rejected_and_connection_closed(self, server):
+        tcp = make_frontend(server, max_line_bytes=64)
+        try:
+            sock, stream = connect(tcp)
+            try:
+                reply = ask(stream, "0 " * 200)
+                assert reply == "error line too long"
+                # The handler hung up; the next read sees EOF.
+                assert stream.readline() == ""
+            finally:
+                sock.close()
+        finally:
+            tcp.shutdown()
+
+    def test_line_within_cap_still_served(self, server):
+        tcp = make_frontend(server, max_line_bytes=64)
+        try:
+            sock, stream = connect(tcp)
+            try:
+                assert ask(stream, "0 1") == f"{server.query((0, 1)):.2f}"
+            finally:
+                sock.close()
+        finally:
+            tcp.shutdown()
+
+
+class TestRequestDeadline:
+    def test_wedged_backend_yields_deadline_error(self, server):
+        tcp = make_frontend(server, request_deadline_s=0.2)
+        # A future that never completes: the handler must give up at the
+        # deadline instead of pinning the connection forever.
+        server.submit = lambda query: concurrent.futures.Future()
+        try:
+            sock, stream = connect(tcp)
+            try:
+                start = time.monotonic()
+                assert ask(stream, "0 1") == "error deadline exceeded"
+                assert time.monotonic() - start < 5.0
+                # The connection survives a deadline miss.
+                assert ask(stream, "STATS") != ""
+            finally:
+                sock.close()
+        finally:
+            tcp.shutdown()
+
+
+class TestIdleTimeout:
+    def test_idle_connection_is_reaped(self, server):
+        tcp = make_frontend(server, idle_timeout_s=0.2)
+        try:
+            sock, stream = connect(tcp)
+            try:
+                assert ask(stream, "0 1") != ""
+                time.sleep(0.6)
+                sock.settimeout(5.0)
+                # The handler timed out waiting for our next line and
+                # closed the socket: we observe EOF.
+                assert stream.readline() == ""
+            finally:
+                sock.close()
+        finally:
+            tcp.shutdown()
+
+    def test_active_connection_outlives_the_idle_window(self, server):
+        tcp = make_frontend(server, idle_timeout_s=0.5)
+        try:
+            sock, stream = connect(tcp)
+            try:
+                for _ in range(4):
+                    time.sleep(0.2)
+                    assert ask(stream, "0 1") != ""
+            finally:
+                sock.close()
+        finally:
+            tcp.shutdown()
+
+
+class TestValidation:
+    def test_rejects_bad_knobs(self, server):
+        with pytest.raises(ValueError):
+            TcpServeFrontend(server, idle_timeout_s=0.0)
+        with pytest.raises(ValueError):
+            TcpServeFrontend(server, request_deadline_s=-1.0)
+        with pytest.raises(ValueError):
+            TcpServeFrontend(server, max_line_bytes=8)
+
+    def test_none_disables_timeouts(self, server):
+        tcp = TcpServeFrontend(
+            server, idle_timeout_s=None, request_deadline_s=None
+        ).start_background()
+        try:
+            sock, stream = connect(tcp)
+            try:
+                assert ask(stream, "0 1") != ""
+            finally:
+                sock.close()
+        finally:
+            tcp.shutdown()

@@ -19,6 +19,7 @@ Subpackages
 ``repro.serve``     concurrent query serving: micro-batching, caching, swap
 ``repro.shard``     sharded scale-out: parallel training, scatter-gather
 ``repro.maintain``  incremental maintenance: deltas, staleness, refresh
+``repro.infer``     frozen-plan compiled inference, quantized variants
 ``repro.scenario``  declarative robustness scenarios with SLO grading
 ``repro.bench``     benchmark harness regenerating every table & figure
 
@@ -44,6 +45,15 @@ from .core import (
     TrainConfig,
     mean_q_error,
     q_error,
+)
+from .infer import (
+    GateConfig,
+    InferencePlan,
+    PlanSet,
+    attached_plans,
+    freeze,
+    freeze_structure,
+    refreeze_like,
 )
 from .obs import (
     MetricsRegistry,
@@ -96,6 +106,13 @@ __all__ = [
     "GuardedBloomFilter",
     "HealthCounters",
     "FaultInjector",
+    "InferencePlan",
+    "PlanSet",
+    "GateConfig",
+    "freeze",
+    "freeze_structure",
+    "refreeze_like",
+    "attached_plans",
     "SetServer",
     "BatchPolicy",
     "ServerStats",

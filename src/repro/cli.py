@@ -26,6 +26,9 @@ Usage (installed as the ``repro`` console script, or
     repro scenario list                        # robustness scenario suite
     repro scenario run --all --seeds 3         # run + SLO-grade every scenario
     repro scenario run --fast                  # CI smoke subset, scaled down
+    repro scenario trend                       # flag SLO-margin drift across runs
+    repro freeze est.pkl                       # attach compiled inference plans
+    repro bench-infer --min-speedup 10         # frozen-plan vs autograd timing
 
 Trained structures are pickled whole (model + scaler + auxiliaries), which
 matches the paper's memory-measurement methodology.
@@ -34,6 +37,7 @@ matches the paper's memory-measurement methodology.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import os
 import pickle
 import sys
@@ -278,6 +282,63 @@ def build_parser() -> argparse.ArgumentParser:
     scenario_run.add_argument("--out", type=Path, default=None,
                               help="JSONL trajectory path (default: "
                                    "results/BENCH_scenarios.json)")
+    scenario_trend = scenario_commands.add_parser(
+        "trend",
+        help="diff recent runs in the scenario trajectory and flag "
+             "SLO-margin drift",
+    )
+    scenario_trend.add_argument("--path", type=Path, default=None,
+                                help="JSONL trajectory to analyze (default: "
+                                     "results/BENCH_scenarios.json)")
+    scenario_trend.add_argument("--drift-threshold", type=float, default=0.2,
+                                help="flag when consumed SLO budget grows by "
+                                     "more than this fraction between runs")
+    scenario_trend.add_argument("--json", action="store_true",
+                                help="print the full report as JSON")
+
+    freeze = commands.add_parser(
+        "freeze",
+        help="compile a trained structure's model(s) into frozen "
+             "inference plans (float64/float32/int8) and re-pickle it",
+    )
+    freeze.add_argument("structure", type=Path)
+    freeze.add_argument("--out", type=Path, default=None,
+                        help="output pickle (default: rewrite in place)")
+    freeze.add_argument("--dtypes", nargs="+",
+                        default=["float64", "float32", "int8"],
+                        choices=("float64", "float32", "int8"))
+    freeze.add_argument("--active", default="float32",
+                        choices=("float64", "float32", "int8"),
+                        help="variant the structure serves through")
+    freeze.add_argument("--strict", action="store_true",
+                        help="fail instead of skipping a variant whose "
+                             "accuracy delta exceeds its gate")
+    freeze.add_argument("--max-mean-qerror", type=float, default=None,
+                        help="override the mean q-error gate for quantized "
+                             "variants (regression structures)")
+    freeze.add_argument("--max-flip-fraction", type=float, default=None,
+                        help="override the decision-flip gate for quantized "
+                             "variants (Bloom filters)")
+
+    bench_infer = commands.add_parser(
+        "bench-infer",
+        help="time frozen plans vs the autograd forward on all three "
+             "structures (writes results/BENCH_infer.json)",
+    )
+    bench_infer.add_argument("--batch-size", type=int, default=1024)
+    bench_infer.add_argument("--num-sets", type=int, default=400)
+    bench_infer.add_argument("--universe", type=int, default=500)
+    bench_infer.add_argument("--repeats", type=int, default=7)
+    bench_infer.add_argument("--epochs", type=int, default=3)
+    bench_infer.add_argument("--min-speedup", type=float, default=10.0,
+                             help="required float32 speedup over autograd "
+                                  "(CI smoke uses a relaxed bound)")
+    bench_infer.add_argument("--structures", nargs="+",
+                             default=["cardinality", "index", "bloom"],
+                             choices=("cardinality", "index", "bloom"))
+    bench_infer.add_argument("--no-json", action="store_true",
+                             help="skip writing results/BENCH_infer.json")
+    bench_infer.add_argument("--seed", type=int, default=0)
 
     return parser
 
@@ -769,6 +830,9 @@ def _cmd_scenario(args) -> int:
             print(f"{name:12s} {spec.steps:3d} steps  {spec.description}")
         return 0
 
+    if args.scenario_command == "trend":
+        return _cmd_scenario_trend(args)
+
     if args.all:
         names = list(SCENARIOS)
     elif args.names:
@@ -822,6 +886,126 @@ def _cmd_scenario(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_scenario_trend(args) -> int:
+    import json
+
+    from .scenario import scenario_trend
+
+    try:
+        report = scenario_trend(
+            path=args.path, drift_threshold=args.drift_threshold
+        )
+    except FileNotFoundError as exc:
+        print(f"error: no scenario trajectory at {exc.filename}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0 if report["ok"] else 1
+    print(
+        f"{report['records']} record(s) across {len(report['keys'])} "
+        f"(scenario, seed) key(s)"
+        + (f"; skipped {report['skipped_lines']} bad line(s)"
+           if report["skipped_lines"] else "")
+    )
+    for label, entry in report["keys"].items():
+        budget = entry["slo_consumption"]
+        headline = (
+            f"p99 at {budget['p99_ms']:.0%} of budget"
+            if "p99_ms" in budget else "no bounded SLOs"
+        )
+        drift = entry["drift"].get("p99_ms")
+        drift_note = f", drift {drift:+.0%}" if drift is not None else ""
+        status = "PASS" if entry["passed"] else "FAIL"
+        print(f"  [{status}] {label}: {headline}{drift_note} "
+              f"({entry['runs']} run(s))")
+    if report["flags"]:
+        print("flags:")
+        for flag in report["flags"]:
+            print(f"  ! {flag}")
+    else:
+        print("no SLO-margin drift detected")
+    return 0 if report["ok"] else 1
+
+
+def _cmd_freeze(args) -> int:
+    from .infer import FreezeError, FrozenVariantRejected, GateConfig, freeze_structure
+
+    try:
+        structure = _load_structure(args.structure)
+    except FileNotFoundError:
+        print(f"error: no such structure pickle: {args.structure}",
+              file=sys.stderr)
+        return 2
+    overrides = {}
+    if args.max_mean_qerror is not None:
+        overrides["max_mean_qerror"] = args.max_mean_qerror
+    if args.max_flip_fraction is not None:
+        overrides["max_flip_fraction"] = args.max_flip_fraction
+    gates = dataclasses.replace(GateConfig(), **overrides)
+    try:
+        report = freeze_structure(
+            structure,
+            dtypes=tuple(args.dtypes),
+            active=args.active,
+            gates=gates,
+            strict=args.strict,
+        )
+    except FrozenVariantRejected as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FreezeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    out = args.out or args.structure
+    with open(out, "wb") as handle:
+        pickle.dump(structure, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    for index, part in enumerate(report.parts):
+        for name, entry in sorted(part["reports"].items()):
+            if entry.get("accepted"):
+                plan = part["plans"].variants[name]
+                active_note = " [active]" if name == part["plans"].active else ""
+                print(
+                    f"part {index}: {name:8s} accepted "
+                    f"({plan.size_bytes() / 1e3:.1f} KB){active_note}"
+                )
+            else:
+                print(
+                    f"part {index}: {name:8s} rejected -- {entry.get('reason')}"
+                )
+    size_kb = Path(out).stat().st_size / 1e3
+    print(f"froze {report.kind} structure -> {out} ({size_kb:.1f} KB)")
+    return 0
+
+
+def _cmd_bench_infer(args) -> int:
+    from .bench.infer import run_infer_bench
+
+    report = run_infer_bench(
+        num_sets=args.num_sets,
+        universe=args.universe,
+        batch_size=args.batch_size,
+        repeats=args.repeats,
+        epochs=args.epochs,
+        seed=args.seed,
+        min_speedup=args.min_speedup,
+        structures=tuple(args.structures),
+        write_json=not args.no_json,
+    )
+    if not report["passed"]:
+        print(
+            f"bench-infer FAILED: min float32 speedup "
+            f"{report['min_float32_speedup']:.2f}x < {args.min_speedup}x "
+            f"or a published variant escaped its gate",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"bench-infer passed: min float32 speedup "
+        f"{report['min_float32_speedup']:.2f}x (required {args.min_speedup}x)"
+    )
+    return 0
+
+
 _COMMANDS = {
     "datasets": _cmd_datasets,
     "generate": _cmd_generate,
@@ -836,6 +1020,8 @@ _COMMANDS = {
     "refresh-status": _cmd_refresh_status,
     "bench-serve": _cmd_bench_serve,
     "bench-shard": _cmd_bench_shard,
+    "bench-infer": _cmd_bench_infer,
+    "freeze": _cmd_freeze,
     "scenario": _cmd_scenario,
 }
 

@@ -52,6 +52,30 @@ class LearnedCardinalityEstimator(UpdateNotifier):
         self.scaler = scaler
         self.auxiliary: dict[tuple[int, ...], int] = {}
         self.report = _BuildReport()
+        self.infer_plan = None
+
+    # -- compiled inference ----------------------------------------------------
+
+    def attach_plan(self, plan) -> None:
+        """Serve model predictions through a frozen plan (None detaches).
+
+        Routing is transparent: a stale or absent plan falls back to the
+        autograd ``model.predict`` path, and query-shape errors (empty
+        sets, out-of-vocabulary ids) are raised identically by both paths.
+        """
+        self.infer_plan = plan
+
+    def detach_plan(self) -> None:
+        """Drop the attached plan; queries return to the autograd path."""
+        self.infer_plan = None
+
+    def _predict_scaled(self, sets) -> np.ndarray:
+        plan = self.infer_plan
+        if plan is not None:
+            scaled = plan.predict_scaled(self.model, sets)
+            if scaled is not None:
+                return scaled
+        return self.model.predict(sets)
 
     # -- construction --------------------------------------------------------
 
@@ -166,7 +190,7 @@ class LearnedCardinalityEstimator(UpdateNotifier):
         exact = self.auxiliary.get(canonical)
         if exact is not None:
             return float(exact)
-        scaled = corrupt_prediction(self.model.predict_one(canonical))
+        scaled = corrupt_prediction(float(self._predict_scaled([canonical])[0]))
         return float(max(self.scaler.inverse(np.asarray([scaled]))[0], 1.0))
 
     def estimate_many(self, queries: Sequence[Iterable[int]]) -> np.ndarray:
@@ -195,7 +219,7 @@ class LearnedCardinalityEstimator(UpdateNotifier):
             model_rows.append(row)
             model_slots.append(slot)
         if unique_sets:
-            scaled = corrupt_predictions(self.model.predict(unique_sets))
+            scaled = corrupt_predictions(self._predict_scaled(unique_sets))
             values = np.maximum(self.scaler.inverse(scaled), 1.0)
             out[model_rows] = values[model_slots]
         return out

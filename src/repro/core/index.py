@@ -79,6 +79,25 @@ class LearnedSetIndex(UpdateNotifier):
         self.auxiliary: dict[tuple[int, ...], int] = {}
         self.stats = LookupStats()
         self.report = _BuildReport()
+        self.infer_plan = None
+
+    # -- compiled inference ----------------------------------------------------
+
+    def attach_plan(self, plan) -> None:
+        """Serve position estimates through a frozen plan (None detaches)."""
+        self.infer_plan = plan
+
+    def detach_plan(self) -> None:
+        """Drop the attached plan; queries return to the autograd path."""
+        self.infer_plan = None
+
+    def _predict_scaled(self, sets) -> np.ndarray:
+        plan = self.infer_plan
+        if plan is not None:
+            scaled = plan.predict_scaled(self.model, sets)
+            if scaled is not None:
+                return scaled
+        return self.model.predict(sets)
 
     # -- construction --------------------------------------------------------
 
@@ -164,7 +183,8 @@ class LearnedSetIndex(UpdateNotifier):
 
     def predict_position(self, query: Iterable[int]) -> float:
         """Raw model estimate of the first position (no search)."""
-        scaled = corrupt_prediction(self.model.predict_one(tuple(sorted(set(query)))))
+        canonical = tuple(sorted(set(query)))
+        scaled = corrupt_prediction(float(self._predict_scaled([canonical])[0]))
         return float(self.scaler.inverse(np.asarray([scaled]))[0])
 
     def predict_positions(self, queries: Sequence[Iterable[int]]) -> np.ndarray:
@@ -186,7 +206,7 @@ class LearnedSetIndex(UpdateNotifier):
             slots[row] = slot
         if not unique_sets:
             return np.empty(0, dtype=np.float64)
-        scaled = corrupt_predictions(self.model.predict(unique_sets))
+        scaled = corrupt_predictions(self._predict_scaled(unique_sets))
         return self.scaler.inverse(scaled)[slots]
 
     def lookup(self, query: Iterable[int], fallback_scan: bool = True) -> int | None:

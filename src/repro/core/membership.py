@@ -52,6 +52,25 @@ class LearnedBloomFilter(UpdateNotifier):
         # Validation aid: the positives this filter guarantees (kept only
         # in memory; not part of the serialized structure or its size).
         self.trained_positives: tuple[tuple[int, ...], ...] = ()
+        self.infer_plan = None
+
+    # -- compiled inference ----------------------------------------------------
+
+    def attach_plan(self, plan) -> None:
+        """Serve classifier scores through a frozen plan (None detaches)."""
+        self.infer_plan = plan
+
+    def detach_plan(self) -> None:
+        """Drop the attached plan; queries return to the autograd path."""
+        self.infer_plan = None
+
+    def _predict_scaled(self, sets) -> np.ndarray:
+        plan = self.infer_plan
+        if plan is not None:
+            scores = plan.predict_scaled(self.model, sets)
+            if scores is not None:
+                return scores
+        return self.model.predict(sets)
 
     # -- construction --------------------------------------------------------
 
@@ -183,7 +202,7 @@ class LearnedBloomFilter(UpdateNotifier):
         canonical = tuple(sorted(set(query)))
         if not self._in_universe(canonical):
             return 0.0
-        return corrupt_prediction(self.model.predict_one(canonical))
+        return corrupt_prediction(float(self._predict_scaled([canonical])[0]))
 
     def contains(self, query: Iterable[int]) -> bool:
         """Membership answer; model first, backup filter on rejection.
@@ -226,7 +245,7 @@ class LearnedBloomFilter(UpdateNotifier):
             model_rows.append(row)
             model_slots.append(slot)
         if unique_sets:
-            predicted = corrupt_predictions(self.model.predict(unique_sets))
+            predicted = corrupt_predictions(self._predict_scaled(unique_sets))
             scores[model_rows] = predicted[model_slots]
         return scores
 

@@ -149,6 +149,10 @@ class Trainer:
         sees epochs that completed with finite losses.
         """
         history = TrainingHistory()
+        # Any attached inference plan is stale the moment training starts
+        # moving weights; bump immediately (not just at the end) so a frozen
+        # plan can never serve mid-fit weights.
+        self.model.bump_weights_version()
         best_loss = float("inf")
         stale_epochs = 0
         # Rollback target: the weights of the best finite epoch so far
@@ -219,6 +223,7 @@ class Trainer:
                         break
             epoch += 1
         self.model.eval()
+        self.model.bump_weights_version()
         self.profiler.on_fit_end(history)
         return history
 

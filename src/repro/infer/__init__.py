@@ -1,0 +1,44 @@
+"""Frozen-plan compiled inference (ROADMAP item 1).
+
+``freeze`` exports a trained DeepSets model into an :class:`InferencePlan`
+of plain numpy ops — no graph nodes, no grad-mode checks — with
+``float64``/``float32``/``int8`` weight variants behind accuracy-delta
+gates.  ``freeze_structure`` attaches the gated serving variant to a
+built structure; the structures themselves fall back to the autograd
+path transparently whenever a plan is absent or stale.
+"""
+
+from .freeze import (
+    DEFAULT_FOLD_LIMIT,
+    FreezeError,
+    FreezeReport,
+    FrozenVariantRejected,
+    GateConfig,
+    attached_plans,
+    freeze,
+    freeze_structure,
+    refreeze_like,
+)
+from .metrics import infer_registry
+from .plan import InferencePlan, PlanError, PlanSet, model_signature
+from .quantize import dequantize, quantization_error, quantize_per_tensor
+
+__all__ = [
+    "DEFAULT_FOLD_LIMIT",
+    "FreezeError",
+    "FreezeReport",
+    "FrozenVariantRejected",
+    "GateConfig",
+    "InferencePlan",
+    "PlanError",
+    "PlanSet",
+    "attached_plans",
+    "dequantize",
+    "freeze",
+    "freeze_structure",
+    "infer_registry",
+    "model_signature",
+    "quantization_error",
+    "quantize_per_tensor",
+    "refreeze_like",
+]

@@ -1,0 +1,42 @@
+"""Process-wide ``repro_infer_*`` metrics.
+
+Plan routing happens inside the core structures, which do not own a
+metrics registry; the counters therefore live on the process-wide
+:func:`repro.obs.global_registry` (labelled by structure kind), while
+each :class:`~repro.infer.plan.InferencePlan` instance additionally keeps
+its own hit/fallback totals so a :class:`~repro.serve.SetServer` can
+expose per-snapshot gauges for whatever structure it currently serves.
+"""
+
+from __future__ import annotations
+
+from ..obs.metrics import global_registry
+
+__all__ = ["record_hit", "record_fallback", "infer_registry"]
+
+_REGISTRY = global_registry()
+
+_HITS = _REGISTRY.counter(
+    "repro_infer_plan_hits_total",
+    "Batches answered through a frozen inference plan",
+    labelnames=("kind", "dtype"),
+)
+
+_FALLBACKS = _REGISTRY.counter(
+    "repro_infer_plan_fallbacks_total",
+    "Plan-routed calls that fell back to the autograd path",
+    labelnames=("kind", "reason"),
+)
+
+
+def infer_registry():
+    """The registry carrying the process-wide ``repro_infer_*`` counters."""
+    return _REGISTRY
+
+
+def record_hit(kind: str, dtype: str) -> None:
+    _HITS.labels(kind=kind, dtype=dtype).inc()
+
+
+def record_fallback(kind: str, reason: str) -> None:
+    _FALLBACKS.labels(kind=kind, reason=reason).inc()

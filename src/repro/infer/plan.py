@@ -1,0 +1,663 @@
+"""Frozen inference plans: the compiled fast path behind the autograd models.
+
+An :class:`InferencePlan` is a trained DeepSets model exported to a flat
+recipe of plain-numpy ops — no :class:`~repro.nn.tensor.Tensor` graph
+nodes, no grad-mode checks, no per-layer Python modules.  The forward pass
+for a batch of sets collapses to:
+
+1. **table gather** — for the LSM (and small-universe CLSM) the whole
+   ``phi(embed(x))`` prefix is *folded at freeze time* into one per-element
+   table, so inference reads one row per element;
+2. **decompose + gather + fuse** — for large-universe CLSM the Algorithm-1
+   divisor decomposition runs vectorized, the per-position sub-embedding
+   rows are gathered and concatenated, and the fused ``phi`` stack runs as
+   contiguous BLAS calls;
+3. **segment pooling** — small-fanout batches pool through a padded
+   gather plus one mask-weighted ``einsum`` contraction (per-segment
+   ``reduceat`` slicing costs ~0.3us per set, which dominates big
+   batches); max pooling and very ragged batches fall back to the same
+   ``np.add.reduceat`` reduction the autograd
+   :func:`repro.nn.functional.segment_sum` uses, including its
+   empty-segment fixups;
+4. **rho** — the output MLP as a handful of ``np.matmul`` calls into
+   reused scratch buffers.
+
+Plans come in three weight variants: ``float64`` (bit-faithful to the
+autograd weights), ``float32`` (the serving default), and ``int8``
+(per-tensor scale/zero-point affine quantization; embedding/folded tables
+stay int8 in memory and are dequantized per gathered row, small MLP
+matrices are dequantized once onto the int8 grid, biases stay in the
+compute dtype).  The accuracy gates that decide whether a quantized
+variant may be published live in :mod:`repro.infer.freeze`.
+
+Thread safety: scratch buffers are thread-local, so one plan instance can
+serve concurrent callers; the hit/fallback counters are lock-protected.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from .metrics import record_fallback, record_hit
+
+__all__ = ["InferencePlan", "PlanSet", "PlanError"]
+
+#: Weight-variant name -> the dtype inference computes in.
+COMPUTE_DTYPES = {
+    "float64": np.float64,
+    "float32": np.float32,
+    "int8": np.float32,
+}
+
+#: Weight bits per variant (the compression paper's x-axis).
+VARIANT_BITS = {"float64": 64, "float32": 32, "int8": 8}
+
+_SUPPORTED_ACTIVATIONS = ("relu", "sigmoid", "tanh", "identity",
+                          "leaky_relu", "softplus")
+
+
+class PlanError(RuntimeError):
+    """A plan could not be constructed, serialized, or executed."""
+
+
+def _stable_sigmoid(x: np.ndarray) -> np.ndarray:
+    # Mirrors repro.nn.functional.sigmoid's piecewise form exactly.
+    e = np.exp(-np.abs(x))
+    return np.where(x >= 0, 1.0 / (1.0 + e), e / (1.0 + e))
+
+
+def _apply_activation(layer: tuple, x: np.ndarray) -> np.ndarray:
+    name = layer[0]
+    if name == "identity":
+        return x
+    if name == "relu":
+        np.maximum(x, 0.0, out=x)
+        return x
+    if name == "tanh":
+        np.tanh(x, out=x)
+        return x
+    if name == "sigmoid":
+        x[...] = _stable_sigmoid(x)
+        return x
+    if name == "leaky_relu":
+        slope = layer[1]
+        np.multiply(x, np.where(x > 0, 1.0, slope).astype(x.dtype), out=x)
+        return x
+    if name == "softplus":
+        x[...] = np.maximum(x, 0.0) + np.log1p(np.exp(-np.abs(x)))
+        return x
+    raise PlanError(f"unsupported activation {name!r} in frozen plan")
+
+
+class _Arena:
+    """Growable per-thread scratch buffers, keyed by pipeline stage."""
+
+    def __init__(self):
+        self._buffers: dict[Any, np.ndarray] = {}
+
+    def take(self, key: Any, rows: int, cols: int, dtype) -> np.ndarray:
+        buffer = self._buffers.get(key)
+        if (
+            buffer is None
+            or buffer.shape[0] < rows
+            or buffer.shape[1] != cols
+            or buffer.dtype != dtype
+        ):
+            capacity = max(rows, 64)
+            buffer = np.empty((capacity, cols), dtype=dtype)
+            self._buffers[key] = buffer
+        return buffer[:rows]
+
+
+def model_signature(model) -> tuple[str, int]:
+    """Cheap identity of a model's architecture: class name + weight count."""
+    return (type(model).__name__, int(sum(p.data.size for p in model.parameters())))
+
+
+class InferencePlan:
+    """One frozen weight variant of one trained DeepSets model.
+
+    Call the plan like ``model.predict``: ``plan(sets)`` takes a sequence
+    of non-empty element-id collections and returns a float64 array of
+    scaled model outputs.  Out-of-vocabulary ids raise ``IndexError`` with
+    the same contract as :class:`repro.nn.layers.Embedding`; empty sets
+    raise ``ValueError`` like :meth:`SetBatch.from_sets` — frozen and
+    autograd paths fail identically so guarded facades need no special
+    cases.
+    """
+
+    SCHEMA_VERSION = 1
+
+    def __init__(
+        self,
+        *,
+        kind: str,
+        dtype_name: str,
+        pooling: str,
+        rho_layers: list[tuple],
+        vocab_size: int,
+        weights_version: int,
+        signature: tuple[str, int],
+        table: np.ndarray | None = None,
+        table_qparams: tuple[float, int] | None = None,
+        tables: list[np.ndarray] | None = None,
+        tables_qparams: list[tuple[float, int]] | None = None,
+        ns: int | None = None,
+        divisor: int | None = None,
+        phi_layers: list[tuple] | None = None,
+        structure_kind: str = "model",
+        meta: dict | None = None,
+    ):
+        if kind not in ("folded", "clsm"):
+            raise PlanError(f"unknown plan kind {kind!r}")
+        if dtype_name not in COMPUTE_DTYPES:
+            raise PlanError(f"unknown plan dtype {dtype_name!r}")
+        if pooling not in ("sum", "mean", "max"):
+            raise PlanError(f"unknown pooling {pooling!r}")
+        self.kind = kind
+        self.dtype_name = dtype_name
+        self.pooling = pooling
+        self.rho_layers = rho_layers
+        self.vocab_size = int(vocab_size)
+        self.weights_version = int(weights_version)
+        self.signature = (str(signature[0]), int(signature[1]))
+        self.table = table
+        self.table_qparams = table_qparams
+        self.tables = tables
+        self.tables_qparams = tables_qparams
+        self.ns = ns
+        self.divisor = divisor
+        self.phi_layers = phi_layers or []
+        self.structure_kind = structure_kind
+        self.meta = dict(meta or {})
+        self.hits = 0
+        self.fallbacks = 0
+        self._counter_lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- plumbing -------------------------------------------------------------
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("_local", None)
+        state.pop("_counter_lock", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._counter_lock = threading.Lock()
+        self._local = threading.local()
+
+    @property
+    def compute_dtype(self):
+        return COMPUTE_DTYPES[self.dtype_name]
+
+    @property
+    def bits(self) -> int:
+        return VARIANT_BITS[self.dtype_name]
+
+    def _arena(self) -> _Arena:
+        arena = getattr(self._local, "arena", None)
+        if arena is None:
+            arena = self._local.arena = _Arena()
+        return arena
+
+    def size_bytes(self) -> int:
+        """In-memory weight footprint (the bits-vs-accuracy x-axis)."""
+        total = 0
+        if self.table is not None:
+            total += self.table.nbytes
+        for t in self.tables or []:
+            total += t.nbytes
+        for layers in (self.phi_layers, self.rho_layers):
+            for layer in layers:
+                if layer[0] == "linear":
+                    total += layer[1].nbytes
+                    if layer[2] is not None:
+                        total += layer[2].nbytes
+        return total
+
+    # -- staleness + routing ---------------------------------------------------
+
+    def matches(self, model) -> bool:
+        """True when ``model`` still carries the weights this plan froze."""
+        try:
+            return (
+                int(model.weights_version()) == self.weights_version
+                and model_signature(model) == self.signature
+            )
+        except Exception:
+            return False
+
+    def record_hit(self) -> None:
+        with self._counter_lock:
+            self.hits += 1
+        record_hit(self.structure_kind, self.dtype_name)
+
+    def record_fallback(self, reason: str) -> None:
+        with self._counter_lock:
+            self.fallbacks += 1
+        record_fallback(self.structure_kind, reason)
+
+    def predict_scaled(self, model, sets: Sequence[Iterable[int]]):
+        """The structure-facing entry point: plan output, or ``None``.
+
+        Returns ``None`` when the plan is stale for ``model`` (weights
+        retrained or reloaded since the freeze) — the caller then falls
+        back to the autograd path transparently.  Query-shape errors
+        (empty sets, out-of-vocabulary ids) propagate exactly like the
+        autograd path's, so fallback never masks a caller bug.
+        """
+        if model is not None and not self.matches(model):
+            self.record_fallback("stale")
+            return None
+        out = self(sets)
+        self.record_hit()
+        return out
+
+    # -- execution -------------------------------------------------------------
+
+    def __call__(self, sets: Sequence[Iterable[int]]) -> np.ndarray:
+        try:
+            # Fast path: sized sequences (the canonical tuples every
+            # structure passes) flatten in two C-level sweeps instead of
+            # one ndarray construction per set.
+            lengths = np.fromiter(map(len, sets), dtype=np.int64,
+                                  count=len(sets))
+        except TypeError:
+            sets = [tuple(s) for s in sets]
+            lengths = np.fromiter(map(len, sets), dtype=np.int64,
+                                  count=len(sets))
+        num_sets = len(lengths)
+        if num_sets and int(lengths.min()) == 0:
+            raise ValueError("sets must be non-empty")
+        total = int(lengths.sum())
+        elements = np.fromiter(
+            itertools.chain.from_iterable(sets), dtype=np.int64, count=total
+        )
+        return self._forward(elements, lengths, num_sets)
+
+    def forward_flat(
+        self, elements: np.ndarray, segment_ids: np.ndarray, num_sets: int
+    ) -> np.ndarray:
+        """Forward a flattened batch; returns float64 shape ``(num_sets,)``.
+
+        ``segment_ids`` must be sorted ascending (the :class:`SetBatch`
+        layout); lengths are recovered by ``bincount``.
+        """
+        lengths = np.bincount(segment_ids, minlength=num_sets).astype(np.int64)
+        return self._forward(elements, lengths, num_sets)
+
+    def _forward(
+        self, elements: np.ndarray, lengths: np.ndarray, num_sets: int
+    ) -> np.ndarray:
+        if elements.size and (
+            elements.min() < 0 or elements.max() >= self.vocab_size
+        ):
+            self._raise_oov(elements)
+        arena = self._arena()
+        if self.kind == "folded":
+            if num_sets and self.pooling != "max":
+                max_len = int(lengths.max())
+                if 0 < max_len <= self._PAD_POOL_MAX_LEN:
+                    pooled = self._pool_folded_padded(
+                        elements, lengths, num_sets, max_len, arena
+                    )
+                    out = self._run_layers(self.rho_layers, pooled, arena, "rho")
+                    return np.asarray(out, dtype=np.float64).reshape(num_sets)
+            transformed = self._gather_table(
+                self.table, self.table_qparams, elements, arena, "fold"
+            )
+        else:
+            transformed = self._clsm_transform(elements, arena)
+        pooled = self._pool(transformed, lengths, num_sets, arena)
+        out = self._run_layers(self.rho_layers, pooled, arena, "rho")
+        return np.asarray(out, dtype=np.float64).reshape(num_sets)
+
+    def _pool_folded_padded(
+        self, elements, lengths, num_sets, max_len, arena
+    ) -> np.ndarray:
+        # Fused gather+pool for folded plans: pad the *element ids* per set
+        # and run one table gather straight into the (sets, max_len, dim)
+        # pooling view — the flat per-element gather disappears entirely.
+        starts = np.cumsum(lengths) - lengths
+        offsets = np.arange(max_len)
+        idx = starts[:, None] + offsets
+        mask = (offsets < lengths[:, None]).astype(self.compute_dtype)
+        np.minimum(idx, len(elements) - 1, out=idx)  # pad slots stay in-bounds
+        rows = self._gather_table(
+            self.table, self.table_qparams, elements[idx.reshape(-1)],
+            arena, "fold",
+        )
+        gathered = rows.reshape(num_sets, max_len, rows.shape[1])
+        out = arena.take(("pool",), num_sets, rows.shape[1], rows.dtype)
+        np.einsum("slk,sl->sk", gathered, mask, out=out)
+        if self.pooling == "mean":
+            out /= np.maximum(lengths, 1).astype(rows.dtype)[:, None]
+        return out
+
+    def _raise_oov(self, elements: np.ndarray) -> None:
+        ns = self.ns or 1
+        if ns > 1:
+            # The autograd CLSM fails inside the quotient-position
+            # embedding with decomposed sub-ids (every lower position is a
+            # remainder mod divisor and always in range); mirror its
+            # message so the frozen path is indistinguishable to callers.
+            shift = self.divisor ** (ns - 1)
+            quotient = elements // shift
+            vocab = self.vocab_size // shift
+            raise IndexError(
+                f"embedding index out of range [0, {vocab}): "
+                f"[{quotient.min()}, {quotient.max()}]"
+            )
+        raise IndexError(
+            f"embedding index out of range [0, {self.vocab_size}): "
+            f"[{elements.min()}, {elements.max()}]"
+        )
+
+    def _gather_table(self, table, qparams, indices, arena, key) -> np.ndarray:
+        if qparams is None:
+            out = arena.take((key, "rows"), len(indices), table.shape[1],
+                             table.dtype)
+            np.take(table, indices, axis=0, out=out)
+            return out
+        scale, zero = qparams
+        rows = table[indices]
+        out = arena.take((key, "deq"), rows.shape[0], rows.shape[1],
+                         self.compute_dtype)
+        np.multiply(rows, self.compute_dtype(scale), out=out)
+        out -= self.compute_dtype(scale * zero)
+        return out
+
+    def _clsm_transform(self, elements: np.ndarray, arena: _Arena) -> np.ndarray:
+        ns, divisor = self.ns, self.divisor
+        n = len(elements)
+        width = sum(t.shape[1] for t in self.tables)
+        concat = arena.take(("clsm", "concat"), n, width, self.compute_dtype)
+        current = elements.copy()
+        offset = 0
+        for position, table in enumerate(self.tables):
+            if position < ns - 1:
+                sub = current % divisor
+                current //= divisor
+            else:
+                sub = current
+            qparams = self.tables_qparams[position] if self.tables_qparams else None
+            dim = table.shape[1]
+            rows = table[sub]
+            if qparams is None:
+                concat[:, offset:offset + dim] = rows
+            else:
+                scale, zero = qparams
+                block = concat[:, offset:offset + dim]
+                np.multiply(rows, self.compute_dtype(scale), out=block,
+                            casting="unsafe")
+                block -= self.compute_dtype(scale * zero)
+            offset += dim
+        return self._run_layers(self.phi_layers, concat, arena, "phi")
+
+    def _run_layers(self, layers, x: np.ndarray, arena: _Arena, tag: str):
+        for index, layer in enumerate(layers):
+            if layer[0] == "linear":
+                _, weight, bias = layer
+                out = arena.take((tag, index), x.shape[0], weight.shape[1],
+                                 weight.dtype)
+                np.matmul(x, weight, out=out)
+                if bias is not None:
+                    out += bias
+                x = out
+            else:
+                x = _apply_activation(layer, x)
+        return x
+
+    # Above this per-set fanout the padded pooling buffer stops paying for
+    # itself (padding waste grows with the largest set in the batch).
+    _PAD_POOL_MAX_LEN = 16
+
+    def _pool(self, x, lengths, num_segments, arena) -> np.ndarray:
+        out = arena.take(("pool",), num_segments, x.shape[1], x.dtype)
+        if num_segments == 0:
+            return out
+        max_len = int(lengths.max())
+        if self.pooling != "max" and 0 < max_len <= self._PAD_POOL_MAX_LEN:
+            # Padded gather + mask-weighted einsum: one contraction over a
+            # (sets, max_len, dim) view instead of per-segment reduceat
+            # slices, whose ~0.3us/segment overhead dominated large batches.
+            starts = np.cumsum(lengths) - lengths
+            offsets = np.arange(max_len)
+            idx = starts[:, None] + offsets
+            mask = (offsets < lengths[:, None]).astype(x.dtype)
+            np.minimum(idx, max(len(x) - 1, 0), out=idx)  # pad rows in-bounds
+            flat = arena.take(("pool", "pad"), num_segments * max_len,
+                              x.shape[1], x.dtype)
+            np.take(x, idx.reshape(-1), axis=0, out=flat)
+            gathered = flat.reshape(num_segments, max_len, x.shape[1])
+            np.einsum("slk,sl->sk", gathered, mask, out=out)
+            if self.pooling == "mean":
+                out /= np.maximum(lengths, 1).astype(x.dtype)[:, None]
+            return out
+        # Mirrors repro.nn.functional.segment_{sum,mean,max} including the
+        # empty-segment zero fixups, so frozen and autograd paths agree on
+        # every edge batch (direct forward_flat callers may pass gaps).
+        out[:] = 0.0
+        if len(x):
+            present = lengths > 0
+            starts = (np.cumsum(lengths) - lengths)[present]
+            if self.pooling == "max":
+                reduced = np.maximum.reduceat(x, starts, axis=0)
+            else:
+                reduced = np.add.reduceat(x, starts, axis=0)
+            out[present] = reduced
+            if self.pooling == "mean":
+                out /= np.maximum(lengths, 1).astype(x.dtype)[:, None]
+        return out
+
+    # -- serialization ----------------------------------------------------------
+
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Flatten to named arrays (for ``save_state`` embedding)."""
+        arrays: dict[str, np.ndarray] = {}
+        meta = {
+            "schema": self.SCHEMA_VERSION,
+            "kind": self.kind,
+            "dtype": self.dtype_name,
+            "pooling": self.pooling,
+            "vocab_size": self.vocab_size,
+            "weights_version": self.weights_version,
+            "signature": list(self.signature),
+            "structure_kind": self.structure_kind,
+            "ns": self.ns,
+            "divisor": self.divisor,
+            "table_qparams": list(self.table_qparams) if self.table_qparams else None,
+            "tables_qparams": [list(q) for q in self.tables_qparams]
+            if self.tables_qparams else None,
+            "phi_acts": _layer_recipe(self.phi_layers),
+            "rho_acts": _layer_recipe(self.rho_layers),
+            "num_tables": len(self.tables) if self.tables is not None else None,
+            "meta": self.meta,
+        }
+        arrays["meta"] = _json_to_array(meta)
+        if self.table is not None:
+            arrays["table"] = self.table
+        for position, table in enumerate(self.tables or []):
+            arrays[f"tables.{position}"] = table
+        for tag, layers in (("phi", self.phi_layers), ("rho", self.rho_layers)):
+            for index, layer in enumerate(layers):
+                if layer[0] == "linear":
+                    arrays[f"{tag}.{index}.weight"] = layer[1]
+                    if layer[2] is not None:
+                        arrays[f"{tag}.{index}.bias"] = layer[2]
+        return arrays
+
+    @classmethod
+    def from_arrays(cls, arrays: dict[str, np.ndarray]) -> "InferencePlan":
+        try:
+            meta = _json_from_array(arrays["meta"])
+        except KeyError:
+            raise PlanError("plan archive is missing its meta entry") from None
+        if meta.get("schema") != cls.SCHEMA_VERSION:
+            raise PlanError(
+                f"unsupported plan schema {meta.get('schema')!r}"
+            )
+        num_tables = meta.get("num_tables")
+        tables = None
+        if num_tables is not None:
+            tables = [np.asarray(arrays[f"tables.{i}"]) for i in range(num_tables)]
+        phi_layers = _layers_from_recipe(meta["phi_acts"], arrays, "phi")
+        rho_layers = _layers_from_recipe(meta["rho_acts"], arrays, "rho")
+        return cls(
+            kind=meta["kind"],
+            dtype_name=meta["dtype"],
+            pooling=meta["pooling"],
+            rho_layers=rho_layers,
+            vocab_size=meta["vocab_size"],
+            weights_version=meta["weights_version"],
+            signature=tuple(meta["signature"]),
+            table=np.asarray(arrays["table"]) if "table" in arrays else None,
+            table_qparams=tuple(meta["table_qparams"])
+            if meta.get("table_qparams") else None,
+            tables=tables,
+            tables_qparams=[tuple(q) for q in meta["tables_qparams"]]
+            if meta.get("tables_qparams") else None,
+            ns=meta.get("ns"),
+            divisor=meta.get("divisor"),
+            phi_layers=phi_layers,
+            structure_kind=meta.get("structure_kind", "model"),
+            meta=meta.get("meta") or {},
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"InferencePlan(kind={self.kind!r}, dtype={self.dtype_name!r}, "
+            f"pooling={self.pooling!r}, vocab={self.vocab_size}, "
+            f"bytes={self.size_bytes()})"
+        )
+
+
+def _layer_recipe(layers: list[tuple]) -> list[list]:
+    recipe = []
+    for layer in layers:
+        if layer[0] == "linear":
+            recipe.append(["linear", layer[2] is not None])
+        elif layer[0] == "leaky_relu":
+            recipe.append(["leaky_relu", layer[1]])
+        else:
+            recipe.append([layer[0]])
+    return recipe
+
+
+def _layers_from_recipe(recipe, arrays, tag) -> list[tuple]:
+    layers: list[tuple] = []
+    for index, entry in enumerate(recipe):
+        name = entry[0]
+        if name == "linear":
+            weight = np.asarray(arrays[f"{tag}.{index}.weight"])
+            bias = (
+                np.asarray(arrays[f"{tag}.{index}.bias"]) if entry[1] else None
+            )
+            layers.append(("linear", weight, bias))
+        elif name == "leaky_relu":
+            layers.append(("leaky_relu", float(entry[1])))
+        elif name in _SUPPORTED_ACTIVATIONS:
+            layers.append((name,))
+        else:
+            raise PlanError(f"unsupported layer {name!r} in plan archive")
+    return layers
+
+
+def _json_to_array(payload: dict) -> np.ndarray:
+    encoded = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return np.frombuffer(encoded, dtype=np.uint8).copy()
+
+
+def _json_from_array(array: np.ndarray) -> dict:
+    try:
+        return json.loads(np.asarray(array, dtype=np.uint8).tobytes().decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as error:
+        raise PlanError(f"undecodable plan metadata ({error})") from error
+
+
+class PlanSet:
+    """The published weight variants of one frozen model.
+
+    ``variants`` maps dtype name -> :class:`InferencePlan`; ``active``
+    names the variant a structure serves through.  ``reports`` carries the
+    per-variant gate metrics (accuracy deltas, sizes, rejection reasons)
+    for observability and the bench reports.
+    """
+
+    def __init__(
+        self,
+        variants: dict[str, InferencePlan],
+        active: str,
+        reports: dict[str, dict] | None = None,
+    ):
+        if active not in variants:
+            raise PlanError(
+                f"active variant {active!r} not among {sorted(variants)}"
+            )
+        self.variants = dict(variants)
+        self.active = active
+        self.reports = dict(reports or {})
+
+    @property
+    def active_plan(self) -> InferencePlan:
+        return self.variants[self.active]
+
+    def rebind(self, model) -> "PlanSet":
+        """Re-anchor staleness tracking to ``model``'s current weights.
+
+        Used after :func:`repro.nn.serialize.load_state` re-materializes a
+        model from the same archive the plans were stored in: loading bumps
+        the model's weights version, but the archive's checksum guarantees
+        weights and plans still belong together.
+        """
+        version = int(model.weights_version())
+        signature = model_signature(model)
+        for plan in self.variants.values():
+            plan.weights_version = version
+            plan.signature = signature
+        return self
+
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        arrays = {
+            "meta": _json_to_array(
+                {
+                    "schema": InferencePlan.SCHEMA_VERSION,
+                    "active": self.active,
+                    "variants": sorted(self.variants),
+                    "reports": self.reports,
+                }
+            )
+        }
+        for name, plan in self.variants.items():
+            for key, array in plan.to_arrays().items():
+                arrays[f"{name}/{key}"] = array
+        return arrays
+
+    @classmethod
+    def from_arrays(cls, arrays: dict[str, np.ndarray]) -> "PlanSet":
+        try:
+            meta = _json_from_array(arrays["meta"])
+        except KeyError:
+            raise PlanError("plan-set archive is missing its meta entry") from None
+        variants = {}
+        for name in meta.get("variants", []):
+            prefix = f"{name}/"
+            sub = {
+                key[len(prefix):]: value
+                for key, value in arrays.items()
+                if key.startswith(prefix)
+            }
+            if not sub:
+                raise PlanError(f"plan variant {name!r} has no arrays")
+            variants[name] = InferencePlan.from_arrays(sub)
+        return cls(variants, meta["active"], meta.get("reports"))
+
+    def __repr__(self) -> str:
+        return f"PlanSet(active={self.active!r}, variants={sorted(self.variants)})"

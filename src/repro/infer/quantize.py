@@ -1,0 +1,45 @@
+"""Per-tensor int8 affine quantization for frozen plans.
+
+The *Compressing (Multidimensional) Learned Bloom Filters* playbook:
+weight bits are a knob traded against q-error/FPR.  Each tensor gets one
+``(scale, zero_point)`` pair over the symmetric int8 range ``[-128, 127]``;
+dequantization is ``(q - zero_point) * scale``.  Embedding and folded
+tables stay int8 in memory (dequantized per gathered row), small MLP
+matrices are dequantized once at freeze time — their float32 values still
+sit exactly on the int8 grid, so the accuracy the gates measure is the
+accuracy served.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["quantize_per_tensor", "dequantize", "quantization_error"]
+
+QMIN, QMAX = -128, 127
+
+
+def quantize_per_tensor(array: np.ndarray) -> tuple[np.ndarray, float, int]:
+    """Quantize ``array`` to int8; returns ``(q, scale, zero_point)``."""
+    array = np.asarray(array, dtype=np.float64)
+    lo = float(min(array.min(), 0.0)) if array.size else 0.0
+    hi = float(max(array.max(), 0.0)) if array.size else 0.0
+    scale = (hi - lo) / (QMAX - QMIN)
+    if scale <= 0.0:
+        scale = 1.0
+    zero_point = int(round(QMIN - lo / scale))
+    zero_point = max(QMIN, min(QMAX, zero_point))
+    q = np.clip(np.round(array / scale) + zero_point, QMIN, QMAX)
+    return q.astype(np.int8), float(scale), zero_point
+
+
+def dequantize(q: np.ndarray, scale: float, zero_point: int,
+               dtype=np.float32) -> np.ndarray:
+    """Map int8 codes back to floats on the quantization grid."""
+    return ((q.astype(np.float64) - zero_point) * scale).astype(dtype)
+
+
+def quantization_error(array: np.ndarray) -> float:
+    """Max absolute round-trip error of per-tensor int8 on ``array``."""
+    q, scale, zero = quantize_per_tensor(array)
+    return float(np.max(np.abs(dequantize(q, scale, zero, np.float64) - array)))

@@ -343,6 +343,7 @@ class BackgroundRefresher:
         self._last_refresh_mark = 0
         self._last_refresh_at: float | None = None
         self._last_refresh_duration = 0.0
+        self._last_refreeze_seconds = 0.0
         self._last_reasons: list[str] = []
         self._last_error: str | None = None
         #: Rolling window of failure messages (``last_error`` clears on the
@@ -517,6 +518,7 @@ class BackgroundRefresher:
         old_inner = unwrap_structure(old)
         pre_mark = self.delta.mark()
         new_inner = self.rebuild(old_inner)
+        self._refreeze(old_inner, new_inner, span)
         new = rewrap_like(old, new_inner)
         # Replay the full mutation history: a rebuild retrains from the
         # collection, which never absorbed the post-build mutations — they
@@ -539,6 +541,37 @@ class BackgroundRefresher:
         span["attrs"]["snapshot_version"] = snapshot.version
         span["attrs"]["replay_truncated"] = self._last_replay_truncated
         return snapshot
+
+    def _refreeze(self, old_inner: Any, new_inner: Any, span: dict) -> None:
+        """Carry frozen inference plans onto the retrained generation.
+
+        Re-freezing runs inside its own traced span and records its cost in
+        ``repro_maintain_refreeze_seconds``, so freeze time after a retrain
+        is visible and never silently extends the swap window.  A freeze
+        failure is recorded but does not fail the refresh: the new
+        generation then serves through the autograd path (the transparent
+        fallback) instead of staying unpublished.
+        """
+        from ..infer import refreeze_like
+
+        started = time.monotonic()
+        try:
+            tracer = getattr(self.server, "tracer", None)
+            ctx = (
+                tracer.span("refreeze", kind=self.server.kind)
+                if tracer is not None
+                else _null_span()
+            )
+            with ctx:
+                report = refreeze_like(old_inner, new_inner)
+        except Exception as exc:
+            self._last_error = f"refreeze failed: {type(exc).__name__}: {exc}"
+            self.recent_errors.append(self._last_error)
+            span["attrs"]["refrozen"] = False
+        else:
+            span["attrs"]["refrozen"] = report is not None
+        finally:
+            self._last_refreeze_seconds = time.monotonic() - started
 
     # -- reporting --------------------------------------------------------------
 
@@ -601,6 +634,12 @@ class BackgroundRefresher:
             lambda: self._last_refresh_duration,
         )
         registry.gauge_function(
+            "repro_maintain_refreeze_seconds",
+            "Wall-clock cost of re-freezing inference plans after the last "
+            "rebuild (0 when the structure carries no plan)",
+            lambda: self._last_refreeze_seconds,
+        )
+        registry.gauge_function(
             "repro_maintain_running",
             "1 while the background check loop is alive",
             lambda: 1.0 if self.running else 0.0,
@@ -620,6 +659,7 @@ class BackgroundRefresher:
             "failures": self.failures,
             "replayed_deltas": self.replayed,
             "last_refresh_duration_s": self._last_refresh_duration,
+            "last_refreeze_s": self._last_refreeze_seconds,
             "last_reasons": list(self._last_reasons),
             "last_error": self._last_error,
             "recent_errors": list(self.recent_errors),

@@ -66,6 +66,22 @@ class Module:
         for parameter in self.parameters():
             parameter.zero_grad()
 
+    # -- weights versioning --------------------------------------------------
+
+    def weights_version(self) -> int:
+        """Monotonic counter bumped whenever the weights change wholesale.
+
+        Frozen inference plans record the version they were exported at and
+        refuse to serve a model whose weights have since moved (training,
+        ``load_state_dict``) — the staleness check behind the transparent
+        autograd fallback.
+        """
+        return getattr(self, "_weights_version", 0)
+
+    def bump_weights_version(self) -> int:
+        self._weights_version = self.weights_version() + 1
+        return self._weights_version
+
     # -- forward -----------------------------------------------------------
 
     def forward(self, *args, **kwargs):
@@ -98,6 +114,7 @@ class Module:
                     f"{array.shape} vs {parameter.data.shape}"
                 )
             parameter.data = array.copy()
+        self.bump_weights_version()
 
     # -- size accounting ----------------------------------------------------
 

@@ -41,6 +41,12 @@ __all__ = [
 # start with a dunder segment.
 _CHECKSUM_KEY = "__checksum__"
 
+# Prefix under which frozen inference plans are embedded alongside the
+# weights (same dunder-segment reasoning as the checksum key).  The
+# checksum covers plan arrays too, so plan corruption surfaces as
+# CorruptStateError rather than a bad prediction.
+_PLAN_PREFIX = "__plan__/"
+
 
 class CorruptStateError(RuntimeError):
     """A weight archive is unreadable, truncated, or fails validation."""
@@ -67,7 +73,8 @@ def _state_checksum(state: dict[str, np.ndarray]) -> int:
 _ZIP_EPOCH = (1980, 1, 1, 0, 0, 0)
 
 
-def save_state(module: Module, path: str | Path, dtype=np.float32) -> None:
+def save_state(module: Module, path: str | Path, dtype=np.float32,
+               plans=None) -> None:
     """Atomically write a module's weights to ``path`` as a checksummed npz.
 
     The archive is written to ``path + ".tmp"``, flushed and fsynced, then
@@ -78,11 +85,18 @@ def save_state(module: Module, path: str | Path, dtype=np.float32) -> None:
     with the current time, so re-saving identical weights in a different
     second would change the file).  Two builds with the same seed therefore
     produce bit-identical archives.
+
+    ``plans`` may be a :class:`repro.infer.PlanSet`; its frozen variants
+    are embedded under a reserved prefix (covered by the checksum) so
+    :func:`load_state` can restore compiled inference without re-freezing.
     """
     path = Path(path)
     state = {
         name: array.astype(dtype) for name, array in module.state_dict().items()
     }
+    if plans is not None:
+        for name, array in plans.to_arrays().items():
+            state[_PLAN_PREFIX + name] = np.asanyarray(array)
     state[_CHECKSUM_KEY] = np.asarray([_state_checksum(state)], dtype=np.int64)
     tmp_path = path.with_name(path.name + ".tmp")
     try:
@@ -103,12 +117,17 @@ def save_state(module: Module, path: str | Path, dtype=np.float32) -> None:
     corrupt_state_file(path)  # test-only fault-injection hook
 
 
-def load_state(module: Module, path: str | Path) -> None:
+def load_state(module: Module, path: str | Path):
     """Load and validate weights written by :func:`save_state`.
 
     Raises :class:`CorruptStateError` (naming the file) when the archive is
     unreadable, fails its checksum, or does not match the module's
     parameters; raises ``FileNotFoundError`` for a missing file.
+
+    Returns the :class:`repro.infer.PlanSet` embedded in the archive (with
+    staleness tracking rebound to the freshly loaded weights), or ``None``
+    for archives written without plans — older archives keep loading
+    unchanged.
     """
     path = Path(path)
     try:
@@ -133,12 +152,28 @@ def load_state(module: Module, path: str | Path) -> None:
     stored = state.pop(_CHECKSUM_KEY, None)
     if stored is not None and int(stored[0]) != _state_checksum(state):
         raise CorruptStateError(path, "checksum mismatch (bit rot or tampering)")
+    plan_arrays = {
+        name[len(_PLAN_PREFIX):]: state.pop(name)
+        for name in list(state)
+        if name.startswith(_PLAN_PREFIX)
+    }
     try:
         module.load_state_dict(state)
     except (KeyError, ValueError) as error:
         raise CorruptStateError(
             path, f"archive does not match the module ({error})"
         ) from error
+    if not plan_arrays:
+        return None
+    from ..infer.plan import PlanError, PlanSet
+
+    try:
+        plans = PlanSet.from_arrays(plan_arrays)
+    except (PlanError, KeyError, ValueError) as error:
+        raise CorruptStateError(
+            path, f"embedded inference plans are invalid ({error})"
+        ) from error
+    return plans.rebind(module)
 
 
 def pickled_size_bytes(obj) -> int:

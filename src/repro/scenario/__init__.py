@@ -30,6 +30,7 @@ from .spec import (
     get_scenario,
     scenario_names,
 )
+from .trend import load_records, scenario_trend
 from .workload import (
     VOCAB,
     ZipfQueryStream,
@@ -56,10 +57,12 @@ __all__ = [
     "get_scenario",
     "grade",
     "index_insert_stream",
+    "load_records",
     "make_collection",
     "make_record",
     "run_scenario",
     "scenario_names",
     "scenario_registry",
+    "scenario_trend",
     "stored_subsets",
 ]

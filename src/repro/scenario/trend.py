@@ -1,0 +1,160 @@
+"""Trend reporting over the scenario bench trajectory.
+
+``results/BENCH_scenarios.json`` is append-only — every soak run adds one
+JSON line per (scenario, seed).  A single run passing its SLOs says
+nothing about *trajectory*: a p99 that drifts from 20% of budget to 95%
+of budget across five runs is a regression in the making that the binary
+pass flag hides until the day it flips.  :func:`scenario_trend` diffs the
+latest record against the previous record with the same (scenario, seed,
+fast) key and flags:
+
+* pass -> fail transitions (the alarm already went off);
+* SLO-margin drift — the fraction of p99 budget consumed grew by more
+  than ``drift_threshold`` between consecutive runs;
+* margin exhaustion — the latest run consumed over 90% of its p99
+  budget, even if drift between the last two runs was small.
+
+The report is pure data; the CLI (``repro scenario trend``) renders it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .grade import DEFAULT_RESULTS_PATH
+from .spec import get_scenario
+
+__all__ = ["scenario_trend", "load_records"]
+
+#: Latest run consuming more than this fraction of an SLO budget is
+#: flagged even without drift between the last two runs.
+NEAR_LIMIT_FRACTION = 0.9
+
+
+def load_records(path: str | Path | None = None) -> tuple[list[dict], int]:
+    """Parse the JSONL trajectory; returns ``(records, skipped_lines)``.
+
+    Unparseable lines are counted rather than fatal: one torn append from
+    a crashed soak run must not brick trend reporting forever.
+    """
+    target = Path(path) if path is not None else DEFAULT_RESULTS_PATH
+    records: list[dict] = []
+    skipped = 0
+    with target.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                skipped += 1
+                continue
+            if not isinstance(record, dict) or "scenario" not in record:
+                skipped += 1
+                continue
+            records.append(record)
+    return records, skipped
+
+
+def _slo_consumption(record: dict) -> dict[str, float]:
+    """Fraction of each bounded SLO budget a run consumed (0 = idle,
+    1 = at the limit, >1 = violating)."""
+    try:
+        slo = get_scenario(record["scenario"]).slo
+    except (KeyError, TypeError):
+        return {}
+    obs = record.get("observations") or {}
+    consumed: dict[str, float] = {}
+    if slo.max_p99_ms and obs.get("p99_ms") is not None:
+        consumed["p99_ms"] = float(obs["p99_ms"]) / float(slo.max_p99_ms)
+    if slo.min_cache_hit_rate and obs.get("cache_hit_rate") is not None:
+        # Invert: consumption = how much of the allowed *shortfall* from a
+        # perfect hit rate has been eaten.
+        budget = 1.0 - float(slo.min_cache_hit_rate)
+        if budget > 0:
+            consumed["cache_hit_rate"] = (
+                1.0 - float(obs["cache_hit_rate"])
+            ) / budget
+    if slo.max_pending_deltas_after and obs.get("pending_deltas_after") is not None:
+        consumed["pending_deltas_after"] = float(
+            obs["pending_deltas_after"]
+        ) / float(slo.max_pending_deltas_after)
+    return consumed
+
+
+def scenario_trend(
+    path: str | Path | None = None,
+    drift_threshold: float = 0.2,
+) -> dict[str, Any]:
+    """Diff the two most recent runs per (scenario, seed, fast) key.
+
+    Returns ``{"keys": {...}, "flags": [...], "ok": bool, ...}`` where
+    ``ok`` means no key regressed to failure, drifted by more than
+    ``drift_threshold`` of an SLO budget, or sits above
+    ``NEAR_LIMIT_FRACTION`` of one.
+    """
+    records, skipped = load_records(path)
+    series: dict[tuple, list[dict]] = {}
+    for record in records:
+        key = (
+            str(record.get("scenario")),
+            record.get("seed"),
+            bool(record.get("fast")),
+        )
+        series.setdefault(key, []).append(record)
+
+    keys: dict[str, dict] = {}
+    flags: list[str] = []
+    for (scenario, seed, fast), runs in sorted(
+        series.items(), key=lambda item: (item[0][0], str(item[0][1]), item[0][2])
+    ):
+        label = f"{scenario}/seed={seed}" + ("/fast" if fast else "")
+        latest = runs[-1]
+        previous = runs[-2] if len(runs) > 1 else None
+        latest_slo = _slo_consumption(latest)
+        entry: dict[str, Any] = {
+            "runs": len(runs),
+            "passed": bool(latest.get("passed")),
+            "slo_consumption": latest_slo,
+            "drift": {},
+        }
+        key_flags: list[str] = []
+        if previous is not None:
+            if previous.get("passed") and not latest.get("passed"):
+                key_flags.append(
+                    f"{label}: regressed pass -> fail "
+                    f"({latest.get('violations')})"
+                )
+            for metric, consumed in latest_slo.items():
+                before = _slo_consumption(previous).get(metric)
+                if before is None:
+                    continue
+                drift = consumed - before
+                entry["drift"][metric] = drift
+                if drift > drift_threshold:
+                    key_flags.append(
+                        f"{label}: {metric} drifted from "
+                        f"{before:.0%} to {consumed:.0%} of SLO budget"
+                    )
+        for metric, consumed in latest_slo.items():
+            if consumed > NEAR_LIMIT_FRACTION and bool(latest.get("passed")):
+                key_flags.append(
+                    f"{label}: {metric} at {consumed:.0%} of SLO budget"
+                )
+        if not latest.get("passed") and previous is None:
+            key_flags.append(f"{label}: latest run failed its SLOs")
+        entry["flags"] = key_flags
+        flags.extend(key_flags)
+        keys[label] = entry
+
+    return {
+        "records": len(records),
+        "skipped_lines": skipped,
+        "drift_threshold": drift_threshold,
+        "keys": keys,
+        "flags": flags,
+        "ok": not flags,
+    }

@@ -510,6 +510,21 @@ class SetServer:
                 "(from the served structure's build report)",
                 lambda f=field: self._training_stat(f),
             )
+        for field, help_text in (
+            ("attached", "Structure parts serving through a frozen plan"),
+            ("parts", "Structure parts in total (shards, or 1)"),
+            ("hits", "Batches answered by attached frozen plans"),
+            ("fallbacks", "Plan-routed calls that fell back to autograd"),
+            ("bits", "Weight bits of the attached plans (mean across parts; "
+                     "0 when no plan is attached)"),
+            ("quant_delta", "Worst gated accuracy delta of the attached "
+                            "plans (mean q-error minus 1, or flip fraction)"),
+        ):
+            reg.gauge_function(
+                f"repro_infer_plan_{field}",
+                f"{help_text} (reads through the served snapshot)",
+                lambda f=field: self._infer_stat(f),
+            )
 
     def _health_stat(self, field: str) -> float:
         health = getattr(self.structure, "health", None)
@@ -548,6 +563,43 @@ class SetServer:
         if field in ("final_loss", "seconds_per_epoch"):
             return sum(values) / len(values)
         return sum(values)
+
+    def _infer_stat(self, field: str) -> float:
+        """Frozen-plan telemetry aggregated across the served parts."""
+        inner = _inner_structure(self.structure)
+        parts = getattr(inner, "parts", None)
+        raw_parts = (
+            [_inner_structure(part) for part in parts]
+            if parts is not None
+            else [inner]
+        )
+        plans = [
+            plan
+            for plan in (getattr(part, "infer_plan", None) for part in raw_parts)
+            if plan is not None
+        ]
+        if field == "parts":
+            return float(len(raw_parts))
+        if field == "attached":
+            return float(len(plans))
+        if not plans:
+            return 0.0
+        if field == "hits":
+            return float(sum(plan.hits for plan in plans))
+        if field == "fallbacks":
+            return float(sum(plan.fallbacks for plan in plans))
+        if field == "bits":
+            return float(sum(plan.bits for plan in plans)) / len(plans)
+        if field == "quant_delta":
+            deltas = []
+            for plan in plans:
+                metrics = plan.meta.get("gate_metrics") or {}
+                if "flip_fraction" in metrics:
+                    deltas.append(float(metrics["flip_fraction"]))
+                elif "mean_qerror" in metrics:
+                    deltas.append(float(metrics["mean_qerror"]) - 1.0)
+            return max(deltas) if deltas else 0.0
+        return 0.0
 
     def metrics_text(self) -> str:
         """The Prometheus-style exposition (the ``METRICS`` verb's body)."""

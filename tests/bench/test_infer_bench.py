@@ -1,0 +1,69 @@
+"""Smoke test for the compiled-inference benchmark harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.infer import run_infer_bench
+from repro.core import ModelConfig
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_infer_bench(
+        num_sets=40,
+        universe=60,
+        batch_size=64,
+        repeats=1,
+        epochs=1,
+        min_speedup=0.0,
+        structures=("cardinality",),
+        model_config=ModelConfig(
+            kind="lsm", embedding_dim=2, phi_hidden=(4,), rho_hidden=(4,)
+        ),
+        write_json=False,
+    )
+
+
+def test_report_shape(report):
+    assert report["bench"] == "infer"
+    assert set(report["structures"]) == {"cardinality"}
+    assert report["batch_size"] == 64
+    entry = report["structures"]["cardinality"]
+    assert entry["autograd_ms"] > 0
+    assert set(entry["variants"]) >= {"float64", "float32", "int8"}
+
+
+def test_variants_report_timing_and_gate_outcome(report):
+    for name, variant in report["structures"]["cardinality"]["variants"].items():
+        assert variant["ms"] > 0, name
+        assert variant["speedup"] > 0, name
+        assert variant["size_bytes"] > 0, name
+        assert "accepted" in variant, name
+
+
+def test_trivial_min_speedup_passes_the_verdict(report):
+    assert report["passed"] is True
+    assert report["min_float32_speedup"] > 0
+
+
+def test_impossible_min_speedup_fails_the_verdict():
+    report = run_infer_bench(
+        num_sets=40,
+        universe=60,
+        batch_size=16,
+        repeats=1,
+        epochs=1,
+        min_speedup=1e9,
+        structures=("cardinality",),
+        model_config=ModelConfig(
+            kind="lsm", embedding_dim=2, phi_hidden=(4,), rho_hidden=(4,)
+        ),
+        write_json=False,
+    )
+    assert report["passed"] is False
+
+
+def test_invalid_batch_size_is_rejected():
+    with pytest.raises(ValueError, match="batch_size"):
+        run_infer_bench(batch_size=0, write_json=False)

@@ -1,0 +1,97 @@
+"""Shared fixtures for the compiled-inference suite.
+
+Training dominates runtime, so the three learned structures are built once
+per session over the same tiny collection the edge-conformance matrix
+uses; tests that attach/detach plans or bump weight versions must build
+private structures via the ``fresh_*`` helpers instead of mutating the
+shared ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    LearnedBloomFilter,
+    LearnedCardinalityEstimator,
+    LearnedSetIndex,
+    ModelConfig,
+    TrainConfig,
+)
+from repro.sets import SetCollection
+
+SETS = [
+    [0, 1, 2],
+    [1, 2],
+    [0, 3],
+    [1, 2, 3],
+    [4, 5],
+    [0, 4, 5],
+    [2, 3, 4],
+    [0, 1],
+    [3, 5],
+    [0, 2, 5],
+    [1, 4],
+    [2, 5],
+]
+
+
+def small_model_config(seed: int = 0) -> ModelConfig:
+    return ModelConfig(
+        kind="lsm", embedding_dim=2, phi_hidden=(4,), rho_hidden=(4,), seed=seed
+    )
+
+
+def small_train_config(loss: str = "mse", seed: int = 0) -> TrainConfig:
+    return TrainConfig(epochs=2, batch_size=64, lr=5e-3, loss=loss, seed=seed)
+
+
+def fresh_estimator(collection, seed: int = 0) -> LearnedCardinalityEstimator:
+    return LearnedCardinalityEstimator.build(
+        collection,
+        model_config=small_model_config(seed),
+        train_config=small_train_config("mse", seed),
+        max_subset_size=3,
+        rng=np.random.default_rng(seed),
+    )
+
+
+def fresh_index(collection, seed: int = 0) -> LearnedSetIndex:
+    return LearnedSetIndex.build(
+        collection,
+        model_config=small_model_config(seed),
+        train_config=small_train_config("mse", seed),
+        max_subset_size=3,
+        rng=np.random.default_rng(seed),
+    )
+
+
+def fresh_bloom(collection, seed: int = 0) -> LearnedBloomFilter:
+    return LearnedBloomFilter.build(
+        collection,
+        model_config=small_model_config(seed),
+        train_config=small_train_config("bce", seed),
+        max_subset_size=2,
+        rng=np.random.default_rng(seed),
+    )
+
+
+@pytest.fixture(scope="session")
+def collection() -> SetCollection:
+    return SetCollection(SETS)
+
+
+@pytest.fixture(scope="session")
+def estimator(collection) -> LearnedCardinalityEstimator:
+    return fresh_estimator(collection)
+
+
+@pytest.fixture(scope="session")
+def index(collection) -> LearnedSetIndex:
+    return fresh_index(collection)
+
+
+@pytest.fixture(scope="session")
+def bloom(collection) -> LearnedBloomFilter:
+    return fresh_bloom(collection)

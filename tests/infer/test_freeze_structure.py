@@ -1,0 +1,159 @@
+"""freeze_structure: gating, attachment, routing, and refreeze carry-over."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.infer import (
+    FrozenVariantRejected,
+    GateConfig,
+    attached_plans,
+    freeze_structure,
+    refreeze_like,
+)
+
+from .conftest import fresh_bloom, fresh_estimator, fresh_index
+
+QUERIES = [(0, 1), (2,), (1, 2, 3), (4, 5), (3,)]
+
+
+class TestGates:
+    def test_all_variants_publish_on_every_structure(
+        self, estimator, index, bloom
+    ):
+        for structure, kind in (
+            (estimator, "cardinality"), (index, "index"), (bloom, "bloom")
+        ):
+            report = freeze_structure(structure, attach=False)
+            assert report.kind == kind
+            reports = report.parts[0]["reports"]
+            assert set(reports) == {"float64", "float32", "int8"}
+            for name, entry in reports.items():
+                assert entry["accepted"], f"{kind}/{name}: {entry['reason']}"
+                assert entry["bits"] in (8, 32, 64)
+            sizes = {n: reports[n]["size_bytes"] for n in reports}
+            assert sizes["int8"] < sizes["float32"] < sizes["float64"]
+
+    def test_impossible_gate_rejects_quantized_but_never_float64(
+        self, collection
+    ):
+        estimator = fresh_estimator(collection, seed=11)
+        report = freeze_structure(
+            estimator, gates=GateConfig(max_mean_qerror=1.0), attach=False
+        )
+        reports = report.parts[0]["reports"]
+        assert reports["float64"]["accepted"]
+        assert not reports["int8"]["accepted"]
+        assert "q-error" in reports["int8"]["reason"]
+        planset = report.parts[0]["plans"]
+        assert "int8" not in planset.variants
+        # active falls back to a published variant
+        assert planset.active in planset.variants
+
+    def test_strict_mode_raises_on_rejection(self, collection):
+        estimator = fresh_estimator(collection, seed=12)
+        with pytest.raises(FrozenVariantRejected) as excinfo:
+            freeze_structure(
+                estimator,
+                gates=GateConfig(max_mean_qerror=1.0),
+                strict=True,
+                attach=False,
+            )
+        assert excinfo.value.dtype in ("float32", "int8")
+
+    def test_bloom_gate_counts_decision_flips(self, bloom):
+        report = freeze_structure(bloom, attach=False)
+        for entry in report.parts[0]["reports"].values():
+            metrics = entry["metrics"]
+            assert metrics["flip_fraction"] <= 0.02
+            assert metrics["new_false_negatives"] == 0
+
+
+class TestAttachmentAndRouting:
+    def test_attached_plan_serves_batches_and_counts_hits(self, collection):
+        estimator = fresh_estimator(collection, seed=13)
+        before = estimator.estimate_many(QUERIES)
+        report = freeze_structure(estimator)
+        plan = estimator.infer_plan
+        assert plan is report.parts[0]["plans"].active_plan
+        hits = plan.hits
+        after = estimator.estimate_many(QUERIES)
+        assert plan.hits > hits
+        np.testing.assert_allclose(after, before, rtol=1e-4, atol=1e-4)
+
+    def test_single_query_paths_route_through_the_plan(self, collection):
+        estimator = fresh_estimator(collection, seed=14)
+        reference = estimator.estimate((1, 2))
+        freeze_structure(estimator)
+        assert estimator.estimate((1, 2)) == pytest.approx(reference, rel=1e-4)
+        assert estimator.infer_plan.hits >= 1
+
+    def test_stale_plan_falls_back_to_autograd(self, collection):
+        estimator = fresh_estimator(collection, seed=15)
+        freeze_structure(estimator)
+        plan = estimator.infer_plan
+        estimator.model.bump_weights_version()
+        value = estimator.estimate((1, 2))  # must not raise
+        assert np.isfinite(value)
+        assert plan.fallbacks >= 1
+
+    def test_detach_restores_the_autograd_path(self, collection):
+        estimator = fresh_estimator(collection, seed=16)
+        reference = estimator.estimate_many(QUERIES)
+        freeze_structure(estimator)
+        estimator.detach_plan()
+        assert estimator.infer_plan is None
+        np.testing.assert_array_equal(
+            estimator.estimate_many(QUERIES), reference
+        )
+
+    def test_index_and_bloom_route_through_plans(self, collection):
+        index = fresh_index(collection, seed=17)
+        bloom = fresh_bloom(collection, seed=18)
+        index_before = list(index.predict_positions(QUERIES))
+        bloom_before = [bloom.contains(q) for q in QUERIES]
+        freeze_structure(index)
+        freeze_structure(bloom)
+        np.testing.assert_allclose(
+            list(index.predict_positions(QUERIES)), index_before,
+            rtol=1e-4, atol=1e-4,
+        )
+        assert [bloom.contains(q) for q in QUERIES] == bloom_before
+        assert index.infer_plan.hits >= 1
+        assert bloom.infer_plan.hits >= 1
+
+    def test_attached_plans_walks_guarded_and_sharded(self, collection):
+        from repro.reliability import GuardedCardinalityEstimator
+
+        estimator = fresh_estimator(collection, seed=19)
+        guarded = GuardedCardinalityEstimator.for_collection(
+            estimator, collection
+        )
+        assert attached_plans(guarded) == []
+        report = freeze_structure(guarded)
+        assert len(report.parts) == 1
+        assert attached_plans(guarded) == [estimator.infer_plan]
+
+
+class TestRefreeze:
+    def test_refreeze_like_carries_options_to_a_new_generation(
+        self, collection
+    ):
+        old = fresh_estimator(collection, seed=20)
+        freeze_structure(
+            old, dtypes=("float32",), gates=GateConfig(probe_seed=7)
+        )
+        new = fresh_estimator(collection, seed=21)
+        report = refreeze_like(old, new)
+        assert report is not None
+        assert new.infer_plan is not None
+        assert new.infer_plan.matches(new.model)
+        options = new.infer_plan.meta["freeze_options"]
+        assert options["gates"]["probe_seed"] == 7
+
+    def test_refreeze_like_without_plans_is_a_no_op(self, collection):
+        old = fresh_estimator(collection, seed=22)
+        new = fresh_estimator(collection, seed=23)
+        assert refreeze_like(old, new) is None
+        assert new.infer_plan is None

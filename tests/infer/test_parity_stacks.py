@@ -1,0 +1,206 @@
+"""Differential parity: frozen plans must not change deployed answers.
+
+Reuses the edge-set conformance matrix — {cardinality, index, bloom} x
+{unsharded, K=3 sharded}, each guarded — and asserts that attaching
+compiled plans leaves every answer unchanged: exact for the defined edge
+semantics (empty / OOV / duplicates) and for the index/bloom decisions,
+within float32 tolerance for raw cardinality scores.  Served answers are
+compared through a *fresh* SetServer per phase so the result cache never
+masks a regression.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    LearnedBloomFilter,
+    LearnedCardinalityEstimator,
+    LearnedSetIndex,
+    ModelConfig,
+    TrainConfig,
+)
+from repro.infer import attached_plans, freeze_structure
+from repro.reliability import (
+    GuardedBloomFilter,
+    GuardedCardinalityEstimator,
+    GuardedSetIndex,
+)
+from repro.serve import SetServer
+from repro.sets import SetCollection
+from repro.shard import ShardedBuilder, ShardPlan
+
+from .conftest import SETS
+
+OOV = 1000
+
+EDGE_QUERIES = [
+    ("empty", ()),
+    ("singleton", (2,)),
+    ("all_oov", (OOV, OOV + 1)),
+    ("oov_singleton", (OOV,)),
+    ("duplicates", (1, 1, 2, 2)),
+    ("duplicate_singleton", (2, 2, 2)),
+    ("duplicate_oov", (OOV, OOV)),
+]
+
+STORED_QUERIES = [(0, 1), (1, 2), (4, 5), (2, 3, 4), (0,), (5,), (1, 2, 3)]
+
+# Queries the guard answers with a documented constant before any model
+# dispatch; everything else flows through the (possibly compiled) model.
+GUARD_CONSTANT = {"empty", "all_oov", "oov_singleton", "duplicate_oov"}
+
+ALL_QUERIES = [q for _, q in EDGE_QUERIES] + STORED_QUERIES
+
+KINDS = ("cardinality", "index", "bloom")
+DEPLOYMENTS = ("unsharded", "sharded")
+
+
+def _small_model() -> ModelConfig:
+    return ModelConfig(kind="lsm", embedding_dim=2, phi_hidden=(4,),
+                       rho_hidden=(4,), seed=0)
+
+
+def _small_train(loss: str) -> TrainConfig:
+    return TrainConfig(epochs=2, batch_size=64, lr=5e-3, loss=loss, seed=0)
+
+
+@pytest.fixture(scope="module")
+def stacks():
+    """All six guarded structures, frozen after baselines are captured."""
+    collection = SetCollection(SETS)
+    rng = np.random.default_rng(0)
+    structures = {}
+    structures[("cardinality", "unsharded")] = (
+        GuardedCardinalityEstimator.for_collection(
+            LearnedCardinalityEstimator.build(
+                collection, model_config=_small_model(),
+                train_config=_small_train("mse"), max_subset_size=3, rng=rng,
+            ),
+            collection,
+        )
+    )
+    structures[("index", "unsharded")] = GuardedSetIndex(
+        LearnedSetIndex.build(
+            collection, model_config=_small_model(),
+            train_config=_small_train("mse"), max_subset_size=3, rng=rng,
+        )
+    )
+    structures[("bloom", "unsharded")] = GuardedBloomFilter.for_collection(
+        LearnedBloomFilter.build(
+            collection, model_config=_small_model(),
+            train_config=_small_train("bce"), max_subset_size=2, rng=rng,
+        ),
+        collection,
+    )
+    plan = ShardPlan.contiguous(collection, 3)
+    builder = ShardedBuilder(
+        plan,
+        workers=1,
+        base_seed=0,
+        model_config=_small_model(),
+        train_config=TrainConfig(epochs=2, batch_size=64, lr=5e-3),
+        max_subset_size=3,
+        num_negative_samples=100,
+    )
+    structures[("cardinality", "sharded")] = (
+        GuardedCardinalityEstimator.for_collection(
+            builder.build("cardinality"), collection
+        )
+    )
+    structures[("index", "sharded")] = GuardedSetIndex(builder.build("index"))
+    structures[("bloom", "sharded")] = GuardedBloomFilter.for_collection(
+        builder.build("bloom"), collection
+    )
+
+    baselines = {
+        key: {q: _direct_answer(key[0], structure, q) for q in ALL_QUERIES}
+        for key, structure in structures.items()
+    }
+    served_baselines = {}
+    for key, structure in structures.items():
+        server = SetServer(structure, cache_size=64).start()
+        try:
+            served_baselines[key] = {
+                q: server.query(list(q)) for q in ALL_QUERIES
+            }
+        finally:
+            server.close()
+
+    reports = {key: freeze_structure(s) for key, s in structures.items()}
+    return {
+        "structures": structures,
+        "baselines": baselines,
+        "served_baselines": served_baselines,
+        "reports": reports,
+    }
+
+
+def _direct_answer(kind: str, structure, query):
+    if kind == "cardinality":
+        return structure.estimate(query)
+    if kind == "index":
+        return structure.lookup(query)
+    return structure.contains(query)
+
+
+def _assert_same(kind, before, after, context):
+    if kind == "cardinality":
+        assert after == pytest.approx(before, rel=1e-4, abs=1e-4), context
+    else:
+        assert after == before, context
+
+
+@pytest.mark.parametrize("deployment", DEPLOYMENTS)
+@pytest.mark.parametrize("kind", KINDS)
+def test_plans_attach_across_the_matrix(kind, deployment, stacks):
+    report = stacks["reports"][(kind, deployment)]
+    expected_parts = 3 if deployment == "sharded" else 1
+    assert len(report.parts) == expected_parts
+    plans = attached_plans(stacks["structures"][(kind, deployment)])
+    assert len(plans) == expected_parts
+
+
+@pytest.mark.parametrize("deployment", DEPLOYMENTS)
+@pytest.mark.parametrize("kind", KINDS)
+def test_direct_answers_survive_freezing(kind, deployment, stacks):
+    structure = stacks["structures"][(kind, deployment)]
+    baseline = stacks["baselines"][(kind, deployment)]
+    for label, query in EDGE_QUERIES:
+        after = _direct_answer(kind, structure, query)
+        if label in GUARD_CONSTANT:
+            # Guard-defined constants must stay exact on every kind.
+            assert after == baseline[query], f"{kind}/{deployment} {label}"
+        else:
+            _assert_same(kind, baseline[query], after,
+                         f"{kind}/{deployment} {label}")
+    for query in STORED_QUERIES:
+        after = _direct_answer(kind, structure, query)
+        _assert_same(kind, baseline[query], after,
+                     f"{kind}/{deployment} {query}")
+
+
+@pytest.mark.parametrize("deployment", DEPLOYMENTS)
+@pytest.mark.parametrize("kind", KINDS)
+def test_served_answers_survive_freezing(kind, deployment, stacks):
+    structure = stacks["structures"][(kind, deployment)]
+    baseline = stacks["served_baselines"][(kind, deployment)]
+    server = SetServer(structure, cache_size=64).start()
+    try:
+        for query in ALL_QUERIES:
+            after = server.query(list(query))
+            _assert_same(kind, baseline[query], after,
+                         f"served {kind}/{deployment} {query}")
+    finally:
+        server.close()
+
+
+@pytest.mark.parametrize("deployment", DEPLOYMENTS)
+@pytest.mark.parametrize("kind", KINDS)
+def test_plans_actually_serve_the_queries(kind, deployment, stacks):
+    plans = attached_plans(stacks["structures"][(kind, deployment)])
+    assert plans
+    # Stored (in-vocab) queries must have hit at least one compiled plan;
+    # OOV/empty queries are answered by the guard before model dispatch.
+    assert sum(plan.hits for plan in plans) > 0

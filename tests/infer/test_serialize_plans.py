@@ -1,0 +1,133 @@
+"""Quantized-plan persistence: save_state / load_state round trips.
+
+Plans ride inside the weight archive under ``__plan__/`` entries so a
+restart never has to re-freeze.  The archive must stay byte-deterministic
+(two saves of the same state are bit-identical), the whole-file checksum
+must cover the plan sections, and a structurally valid archive whose plan
+payload is garbage must fail loudly rather than attach a nonsense plan.
+"""
+
+from __future__ import annotations
+
+import io
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.core.deepsets import DeepSetsModel
+from repro.infer import PlanSet, freeze
+from repro.nn.serialize import (
+    _CHECKSUM_KEY,
+    _PLAN_PREFIX,
+    _ZIP_EPOCH,
+    _state_checksum,
+    CorruptStateError,
+    load_state,
+    save_state,
+)
+
+QUERIES = [(1, 2), (7,), (3, 8, 9), (0, 5)]
+
+
+def _model(seed: int = 0) -> DeepSetsModel:
+    return DeepSetsModel(
+        vocab_size=20, embedding_dim=3, phi_hidden=(4,), rho_hidden=(4,),
+        rng=np.random.default_rng(seed),
+    )
+
+
+def _planset(model) -> PlanSet:
+    plans = freeze(model)
+    return PlanSet(
+        variants=plans, active="float32",
+        reports={name: {"accepted": True} for name in plans},
+    )
+
+
+class TestRoundTrip:
+    def test_load_state_restores_plans_without_refreezing(self, tmp_path):
+        model = _model()
+        planset = _planset(model)
+        expected = {
+            name: plan(QUERIES) for name, plan in planset.variants.items()
+        }
+        path = tmp_path / "model.npz"
+        save_state(model, path, plans=planset)
+
+        restored = load_state(_model(seed=99), path)
+        assert restored is not None
+        assert restored.active == "float32"
+        assert set(restored.variants) == set(planset.variants)
+        for name, plan in restored.variants.items():
+            np.testing.assert_array_equal(plan(QUERIES), expected[name])
+
+    def test_rebind_anchors_staleness_to_the_loaded_weights(self, tmp_path):
+        model = _model()
+        path = tmp_path / "model.npz"
+        save_state(model, path, plans=_planset(model))
+        target = _model(seed=99)
+        restored = load_state(target, path)
+        # Loading bumps the weight version; rebind must follow it so the
+        # plan serves instead of falling back forever.
+        assert restored.active_plan.matches(target)
+        target.bump_weights_version()
+        assert not restored.active_plan.matches(target)
+
+    def test_archive_without_plans_returns_none(self, tmp_path):
+        model = _model()
+        path = tmp_path / "plain.npz"
+        save_state(model, path)
+        assert load_state(_model(seed=99), path) is None
+
+
+class TestByteDeterminism:
+    def test_two_saves_are_bit_identical(self, tmp_path):
+        model = _model()
+        planset = _planset(model)
+        first, second = tmp_path / "a.npz", tmp_path / "b.npz"
+        save_state(model, first, plans=planset)
+        save_state(model, second, plans=planset)
+        assert first.read_bytes() == second.read_bytes()
+
+
+class TestCorruption:
+    def test_flipped_payload_byte_fails_the_checksum(self, tmp_path):
+        model = _model()
+        path = tmp_path / "model.npz"
+        save_state(model, path, plans=_planset(model))
+        raw = bytearray(path.read_bytes())
+        # Flip one byte inside a compressed member body (past the first
+        # local header) so the zip still parses but the data changed.
+        raw[200] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CorruptStateError):
+            load_state(_model(seed=99), path)
+
+    def test_valid_checksum_but_garbage_plan_meta_is_rejected(self, tmp_path):
+        """An attacker (or bug) that rewrites the plan section *and* fixes
+        the checksum must still be stopped by plan-level validation."""
+        model = _model()
+        path = tmp_path / "model.npz"
+        save_state(model, path, plans=_planset(model))
+        with np.load(path) as archive:
+            state = {name: archive[name] for name in archive.files}
+        state.pop(_CHECKSUM_KEY)
+        state[_PLAN_PREFIX + "meta"] = np.frombuffer(
+            b'{"schema": "bogus"}', dtype=np.uint8
+        ).copy()
+        state[_CHECKSUM_KEY] = np.asarray(
+            [_state_checksum(state)], dtype=np.int64
+        )
+        with open(path, "wb") as handle:
+            with zipfile.ZipFile(handle, "w", zipfile.ZIP_DEFLATED) as out:
+                for name in sorted(state):
+                    buffer = io.BytesIO()
+                    np.lib.format.write_array(
+                        buffer, np.asanyarray(state[name])
+                    )
+                    info = zipfile.ZipInfo(name + ".npy", date_time=_ZIP_EPOCH)
+                    info.compress_type = zipfile.ZIP_DEFLATED
+                    out.writestr(info, buffer.getvalue())
+        with pytest.raises(CorruptStateError, match="inference plans"):
+            load_state(_model(seed=99), path)

@@ -1,0 +1,104 @@
+"""Trend reporting over the scenario-bench trajectory file."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.scenario import get_scenario, load_records, scenario_trend
+from repro.scenario.trend import NEAR_LIMIT_FRACTION
+
+
+def _record(scenario="read-heavy", seed=0, fast=True, p99_fraction=0.1,
+            passed=True, violations=()):
+    budget = get_scenario(scenario).slo.max_p99_ms
+    return {
+        "bench": "scenario",
+        "scenario": scenario,
+        "seed": seed,
+        "fast": fast,
+        "passed": passed,
+        "violations": list(violations),
+        "observations": {"p99_ms": p99_fraction * budget},
+    }
+
+
+def _write(path, records, extra_lines=()):
+    lines = [json.dumps(record) for record in records]
+    lines.extend(extra_lines)
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def test_stable_trajectory_is_ok(tmp_path):
+    path = tmp_path / "BENCH_scenarios.json"
+    _write(path, [_record(p99_fraction=0.10), _record(p99_fraction=0.12)])
+    report = scenario_trend(path)
+    assert report["ok"]
+    assert report["flags"] == []
+    assert report["records"] == 2
+    (entry,) = report["keys"].values()
+    assert entry["runs"] == 2
+    assert entry["drift"]["p99_ms"] == pytest.approx(0.02)
+
+
+def test_margin_drift_between_runs_is_flagged(tmp_path):
+    path = tmp_path / "BENCH_scenarios.json"
+    _write(path, [_record(p99_fraction=0.10), _record(p99_fraction=0.50)])
+    report = scenario_trend(path, drift_threshold=0.2)
+    assert not report["ok"]
+    assert any("drifted from 10% to 50%" in flag for flag in report["flags"])
+    # A looser threshold accepts the same trajectory.
+    assert scenario_trend(path, drift_threshold=0.5)["ok"]
+
+
+def test_pass_to_fail_transition_is_flagged(tmp_path):
+    path = tmp_path / "BENCH_scenarios.json"
+    _write(path, [
+        _record(passed=True),
+        _record(passed=False, violations=["p99_ms 900 > 750"]),
+    ])
+    report = scenario_trend(path)
+    assert not report["ok"]
+    assert any("regressed pass -> fail" in flag for flag in report["flags"])
+
+
+def test_near_limit_margin_is_flagged_even_without_drift(tmp_path):
+    path = tmp_path / "BENCH_scenarios.json"
+    fraction = NEAR_LIMIT_FRACTION + 0.05
+    _write(path, [_record(p99_fraction=fraction),
+                  _record(p99_fraction=fraction)])
+    report = scenario_trend(path)
+    assert not report["ok"]
+    assert any("of SLO budget" in flag for flag in report["flags"])
+
+
+def test_distinct_keys_do_not_cross_contaminate(tmp_path):
+    path = tmp_path / "BENCH_scenarios.json"
+    _write(path, [
+        _record(seed=0, p99_fraction=0.10),
+        _record(seed=1, p99_fraction=0.50),
+        _record(seed=0, p99_fraction=0.12),
+        _record(seed=1, p99_fraction=0.52),
+    ])
+    report = scenario_trend(path)
+    assert report["ok"]
+    assert len(report["keys"]) == 2
+
+
+def test_corrupt_lines_are_counted_not_fatal(tmp_path):
+    path = tmp_path / "BENCH_scenarios.json"
+    _write(path, [_record()], extra_lines=["{not json", '{"no": "scenario"}'])
+    records, skipped = load_records(path)
+    assert len(records) == 1
+    assert skipped == 2
+    report = scenario_trend(path)
+    assert report["skipped_lines"] == 2
+
+
+def test_single_failing_run_is_flagged(tmp_path):
+    path = tmp_path / "BENCH_scenarios.json"
+    _write(path, [_record(passed=False, violations=["boom"])])
+    report = scenario_trend(path)
+    assert not report["ok"]
+    assert any("failed its SLOs" in flag for flag in report["flags"])

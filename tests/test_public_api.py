@@ -18,6 +18,7 @@ SUBPACKAGES = (
     "repro.engine",
     "repro.obs",
     "repro.serve",
+    "repro.infer",
     "repro.scenario",
     "repro.bench",
 )

@@ -10,6 +10,7 @@ from .reporting import (
     results_dir,
 )
 from .serving import run_serving_benchmark, serving_workload, write_serving_report
+from .serving_mp import run_mp_serving_benchmark, write_mp_serving_report
 from .sharding import run_shard_benchmark, write_shard_report
 from .timing import Timer, mean_query_ms
 from .workbench import (
@@ -40,8 +41,10 @@ __all__ = [
     "Timer",
     "mean_query_ms",
     "run_serving_benchmark",
+    "run_mp_serving_benchmark",
     "serving_workload",
     "write_serving_report",
+    "write_mp_serving_report",
     "run_shard_benchmark",
     "write_shard_report",
     "MAX_SUBSET_SIZE",

@@ -18,6 +18,8 @@ Usage (installed as the ``repro`` console script, or
     repro contains bf.pkl 3 17                 # membership answer
     repro serve est.pkl --port 7007            # concurrent TCP query serving
     repro serve idx.pkl --auto-refresh         # + background staleness repair
+    repro serve est.pkl --workers 4            # multi-process worker pool
+    repro bench-serve --workers 2              # pool-vs-threaded benchmark
     repro refresh-status --connect 127.0.0.1:7007   # maintenance status JSON
     repro stats --connect 127.0.0.1:7007       # live server telemetry (JSON)
     repro stats --connect 127.0.0.1:7007 --metrics   # Prometheus exposition
@@ -161,6 +163,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("structure", type=Path)
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=7007)
+    serve.add_argument("--workers", type=int, default=0,
+                       help="serve through N worker processes with "
+                            "shared-memory plan snapshots and an asyncio "
+                            "frontend (0 = single-process threaded tier)")
+    serve.add_argument("--max-respawns", type=int, default=None,
+                       help="per-worker crash-respawn budget (--workers "
+                            "only; default unlimited)")
     _add_serving_knobs(serve)
     serve.add_argument(
         "--auto-refresh", action="store_true",
@@ -219,6 +228,13 @@ def build_parser() -> argparse.ArgumentParser:
                        default="cardinality")
     bench.add_argument("--num-queries", type=int, default=2000)
     bench.add_argument("--threads", type=int, default=8)
+    bench.add_argument("--workers", type=int, default=0,
+                       help="also bench a worker pool of N processes "
+                            "(writes results/BENCH_serve_mp.json)")
+    bench.add_argument("--min-speedup", type=float, default=0.0,
+                       help="required pool-over-serial speedup with "
+                            "--workers (default 0.0: parity-only, since "
+                            "a 1-core host cannot show a throughput win)")
     bench.add_argument("--epochs", type=int, default=10)
     bench.add_argument("--max-subset-size", type=int, default=4)
     bench.add_argument("--max-training-samples", type=int, default=20_000)
@@ -653,45 +669,73 @@ def _make_refresher(args, server, structure):
 
 
 def _cmd_serve(args) -> int:
-    from .serve import SetServer, TcpServeFrontend
+    import json
+
+    from .serve import AsyncTcpFrontend, SetServer, TcpServeFrontend, WorkerPool
 
     structure = _load_structure(args.structure)
-    with SetServer(
-        structure, policy=_batch_policy(args), cache_size=args.cache_size
-    ) as server:
+    if args.workers > 0:
+        backend = WorkerPool(
+            structure,
+            workers=args.workers,
+            policy=_batch_policy(args),
+            cache_size=args.cache_size,
+            max_respawns=args.max_respawns,
+        )
+        tier_note = f"{args.workers} worker processes, asyncio frontend"
+    else:
+        backend = SetServer(
+            structure, policy=_batch_policy(args), cache_size=args.cache_size
+        )
+        tier_note = "threaded tier"
+    with backend:
         refresher = None
         if args.auto_refresh:
             try:
-                refresher = _make_refresher(args, server, structure)
+                refresher = _make_refresher(args, backend, structure)
             except ValueError as exc:
                 print(f"error: {exc}", file=sys.stderr)
                 return 2
-        frontend = TcpServeFrontend(
-            server,
+        frontend_class = (
+            AsyncTcpFrontend if args.workers > 0 else TcpServeFrontend
+        )
+        frontend = frontend_class(
+            backend,
             host=args.host,
             port=args.port,
             idle_timeout_s=args.idle_timeout or None,
             max_line_bytes=args.max_line_bytes,
             request_deadline_s=args.request_deadline or None,
         )
+        if args.workers > 0:
+            frontend.start_background()
         host, port = frontend.address
         refresh_note = (
             "; auto-refresh on (REFRESH for status)" if refresher else ""
         )
         print(
-            f"serving {server.kind} queries on {host}:{port} "
-            f"(one query per line; STATS for telemetry, QUIT to "
-            f"disconnect){refresh_note}"
+            f"serving {backend.kind} queries on {host}:{port} "
+            f"({tier_note}; one query per line; STATS for telemetry, "
+            f"QUIT to disconnect){refresh_note}"
         )
         try:
-            frontend.serve_forever()
+            if args.workers > 0:
+                frontend.wait()
+            else:
+                frontend.serve_forever()
         except KeyboardInterrupt:
             pass
         finally:
             frontend.shutdown()
             if refresher is not None:
                 refresher.close()
-        print(server.stats.report_line(), file=sys.stderr)
+        if args.workers > 0:
+            print(
+                json.dumps(backend.stats_dict().get("pool", {}), sort_keys=True),
+                file=sys.stderr,
+            )
+        else:
+            print(backend.stats.report_line(), file=sys.stderr)
         if refresher is not None:
             print(
                 f"[maintain] refreshes={refresher.refreshes} "
@@ -756,6 +800,8 @@ def _cmd_bench_serve(args) -> int:
         max_subset_size=args.max_subset_size,
         seed=args.seed + 1,
     )
+    if args.workers > 0:
+        return _bench_serve_mp(args, structure, queries)
     report = run_serving_benchmark(
         structure,
         queries,
@@ -779,6 +825,38 @@ def _cmd_bench_serve(args) -> int:
     )
     print(f"wrote {path}")
     return 0 if report["mismatches"] == 0 else 1
+
+
+def _bench_serve_mp(args, structure, queries) -> int:
+    from .bench.serving_mp import run_mp_serving_benchmark, write_mp_serving_report
+
+    report = run_mp_serving_benchmark(
+        structure,
+        queries,
+        workers=args.workers,
+        threads=args.threads,
+        policy=_batch_policy(args),
+        cache_size=args.cache_size,
+        min_speedup=args.min_speedup,
+    )
+    report["dataset"] = args.dataset
+    report["guarded"] = args.guarded
+    path = write_mp_serving_report(report, args.out)
+    print(
+        f"{args.task} mp-serving on {args.dataset}: "
+        f"serial {report['serial_qps']:,.0f} qps, "
+        f"threaded {report['threaded_qps']:,.0f} qps, "
+        f"pool {report['pool_qps']:,.0f} qps "
+        f"({report['pool_speedup']:.2f}x over serial, "
+        f"{args.workers} workers on {report['cpu_count']} core(s))"
+    )
+    print(
+        f"mismatches: threaded={report['threaded_mismatches']} "
+        f"pool={report['pool_mismatches']}"
+    )
+    print(f"caveat: {report['caveat']}")
+    print(f"wrote {path}")
+    return 0 if report["passed"] else 1
 
 
 def _cmd_bench_shard(args) -> int:

@@ -22,8 +22,22 @@ from .freeze import (
 from .metrics import infer_registry
 from .plan import InferencePlan, PlanError, PlanSet, model_signature
 from .quantize import dequantize, quantization_error, quantize_per_tensor
+from .shm import (
+    ShmSegment,
+    attach_plan,
+    attach_segment,
+    create_segment,
+    publish_plan,
+    shm_dir_names,
+)
 
 __all__ = [
+    "ShmSegment",
+    "attach_plan",
+    "attach_segment",
+    "create_segment",
+    "publish_plan",
+    "shm_dir_names",
     "DEFAULT_FOLD_LIMIT",
     "FreezeError",
     "FreezeReport",

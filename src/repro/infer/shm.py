@@ -1,0 +1,286 @@
+"""Zero-copy plan publication through ``multiprocessing.shared_memory``.
+
+A frozen :class:`~repro.infer.plan.InferencePlan` is a dict of plain numpy
+arrays (:meth:`to_arrays`), which makes cross-process publication cheap:
+the arrays are packed once into one named shared-memory segment, and every
+worker process *attaches* the segment and rebuilds the plan over zero-copy
+views of the same physical pages.  A snapshot swap then ships only the
+segment *names* — the weights themselves are never re-serialized, re-sent,
+or duplicated per worker.
+
+Layout of a segment (everything little-endian):
+
+========  =======================================================
+offset    content
+========  =======================================================
+0         ``b"RPSHM1"`` magic (6 bytes)
+6         manifest length ``L`` as ``<Q`` (8 bytes)
+14        manifest: JSON array of ``[name, dtype, shape, offset,
+          nbytes]`` entries, offsets relative to the payload base
+14 + L    payload: the arrays' raw bytes, each 64-byte aligned
+========  =======================================================
+
+Attach safety: CPython's ``resource_tracker`` assumes every process that
+opens a segment co-owns it and unlinks "leaked" segments at process exit.
+A worker that merely *attached* a published plan must not tear it down
+when the worker dies (crash recovery respawns workers while the
+generation keeps serving), so :func:`attach_segment` unregisters the
+attached segment from the tracker — exactly one process (the publisher,
+via :class:`~repro.serve.registry.PlanRegistry`) owns unlink.
+"""
+
+from __future__ import annotations
+
+import atexit
+import gc
+import json
+import struct
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any
+
+import numpy as np
+
+from .plan import InferencePlan, PlanError
+
+__all__ = [
+    "ShmSegment",
+    "attach_plan",
+    "attach_segment",
+    "create_segment",
+    "pack_arrays_size",
+    "publish_plan",
+]
+
+_MAGIC = b"RPSHM1"
+_HEADER = struct.Struct("<Q")
+_ALIGN = 64
+
+#: Mappings whose unmap was refused (a live view still exported the
+#: buffer).  Holding them here keeps ``SharedMemory.__del__`` from firing
+#: the same ``BufferError`` as an unraisable exception; the close is
+#: retried on the next segment close and at interpreter exit, by which
+#: point the views are collectible.
+_deferred_close: list[shared_memory.SharedMemory] = []
+
+
+def _retry_deferred_closes() -> None:
+    if not _deferred_close:
+        return
+    gc.collect()
+    for shm in _deferred_close[:]:
+        try:
+            shm.close()
+        except BufferError:
+            continue
+        _deferred_close.remove(shm)
+
+
+atexit.register(_retry_deferred_closes)
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _manifest(arrays: dict[str, np.ndarray]) -> tuple[bytes, dict[str, int], int]:
+    """The JSON manifest plus per-array payload offsets and payload size."""
+    entries = []
+    offsets: dict[str, int] = {}
+    cursor = 0
+    for name in sorted(arrays):
+        array = np.ascontiguousarray(arrays[name])
+        if array.dtype.hasobject:
+            # Rejected before any segment exists: a failure mid-create
+            # would leak a half-written name.
+            raise PlanError(
+                f"array {name!r} has object dtype; only plain numeric "
+                f"arrays can be shared"
+            )
+        cursor = _aligned(cursor)
+        offsets[name] = cursor
+        entries.append(
+            [name, array.dtype.str, list(array.shape), cursor, array.nbytes]
+        )
+        cursor += array.nbytes
+    blob = json.dumps(entries, sort_keys=True).encode("utf-8")
+    return blob, offsets, cursor
+
+
+def pack_arrays_size(arrays: dict[str, np.ndarray]) -> int:
+    """Bytes a segment holding ``arrays`` needs."""
+    blob, _offsets, payload = _manifest(arrays)
+    return len(_MAGIC) + _HEADER.size + len(blob) + _ALIGN + payload
+
+
+class ShmSegment:
+    """One named shared-memory segment holding a dict of numpy arrays.
+
+    Created by the publisher (``owner=True``; only the owner may
+    :meth:`unlink`) or attached by a reader (``owner=False``; the reader
+    only ever :meth:`close`\\ s its mapping).  ``arrays`` are zero-copy
+    read-only views into the shared pages — they stay valid exactly as
+    long as this segment is open.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, owner: bool):
+        self._shm = shm
+        self.owner = owner
+        self._closed = False
+        self._unlinked = False
+        self.arrays = self._unpack()
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def size(self) -> int:
+        return self._shm.size
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _unpack(self) -> dict[str, np.ndarray]:
+        buffer = self._shm.buf
+        prefix = len(_MAGIC)
+        if bytes(buffer[:prefix]) != _MAGIC:
+            raise PlanError(
+                f"segment {self.name!r} does not hold packed plan arrays"
+            )
+        (length,) = _HEADER.unpack_from(buffer, prefix)
+        base = prefix + _HEADER.size
+        try:
+            entries = json.loads(bytes(buffer[base:base + length]).decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            raise PlanError(
+                f"undecodable manifest in segment {self.name!r} ({error})"
+            ) from error
+        payload_base = _aligned(base + length)
+        arrays: dict[str, np.ndarray] = {}
+        for name, dtype, shape, offset, nbytes in entries:
+            start = payload_base + offset
+            view = np.frombuffer(
+                buffer, dtype=np.dtype(dtype), count=nbytes // np.dtype(dtype).itemsize,
+                offset=start,
+            ).reshape(shape)
+            view.flags.writeable = False
+            arrays[name] = view
+        return arrays
+
+    def close(self) -> None:
+        """Drop this process's mapping (safe to call twice).
+
+        Views handed out through :attr:`arrays` must not be used after
+        close; they are dropped here so a stale reference fails loudly
+        instead of reading unmapped pages.  If some view is still
+        referenced elsewhere the unmap is deferred to its collection
+        (``mmap`` refuses to close under exported buffers) — correctness
+        is unaffected because unlinked POSIX segments live until the last
+        mapping drops.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.arrays = {}
+        _retry_deferred_closes()
+        try:
+            self._shm.close()
+        except BufferError:
+            gc.collect()  # drop freshly unreachable views, then retry
+            try:
+                self._shm.close()
+            except BufferError:
+                _deferred_close.append(self._shm)
+
+    def unlink(self) -> None:
+        """Remove the segment name (owner only; mappings stay valid)."""
+        if not self.owner:
+            raise PlanError(
+                f"refusing to unlink segment {self.name!r}: not the owner"
+            )
+        if self._unlinked:
+            return
+        self._unlinked = True
+        self._shm.unlink()
+
+    def __enter__(self) -> "ShmSegment":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        role = "owner" if self.owner else "reader"
+        return f"ShmSegment({self.name!r}, {role}, {self.size} bytes)"
+
+
+def create_segment(name: str, arrays: dict[str, np.ndarray]) -> ShmSegment:
+    """Pack ``arrays`` into a new named segment (the publisher side)."""
+    blob, offsets, payload = _manifest(arrays)
+    prefix = len(_MAGIC) + _HEADER.size
+    payload_base = _aligned(prefix + len(blob))
+    size = max(payload_base + payload, 1)
+    shm = shared_memory.SharedMemory(create=True, size=size, name=name)
+    buffer = shm.buf
+    buffer[: len(_MAGIC)] = _MAGIC
+    _HEADER.pack_into(buffer, len(_MAGIC), len(blob))
+    buffer[prefix:prefix + len(blob)] = blob
+    for key in sorted(arrays):
+        array = np.ascontiguousarray(arrays[key])
+        start = payload_base + offsets[key]
+        buffer[start:start + array.nbytes] = array.tobytes()
+    return ShmSegment(shm, owner=True)
+
+
+def attach_segment(name: str, untrack: bool = True) -> ShmSegment:
+    """Attach an existing segment as a reader (never unlinks it).
+
+    With ``untrack=True`` the attach is unregistered from this process's
+    ``resource_tracker`` so a reader (or its crash) can never destroy a
+    segment it does not own — see the module docstring.  Pass
+    ``untrack=False`` when the reader was *forked* from the publisher:
+    the two processes then share one tracker, whose per-name cache the
+    publisher already maintains — unregistering from the reader would
+    cancel the publisher's entry (the tracker cache is a set, so the
+    reader's duplicate registration is already a no-op).
+    """
+    shm = shared_memory.SharedMemory(name=name)
+    if untrack:
+        try:
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass  # tracker bookkeeping is best-effort; ownership stays correct
+    return ShmSegment(shm, owner=False)
+
+
+def publish_plan(name: str, plan: InferencePlan) -> ShmSegment:
+    """Publish one frozen plan into a named segment."""
+    return create_segment(name, plan.to_arrays())
+
+
+def attach_plan(
+    segment: ShmSegment | str, untrack: bool = True
+) -> tuple[ShmSegment, InferencePlan]:
+    """Rebuild the plan published in ``segment`` over zero-copy views.
+
+    Returns the (open) segment together with the plan; the caller keeps
+    the segment open for as long as it serves through the plan.
+    """
+    if isinstance(segment, str):
+        segment = attach_segment(segment, untrack=untrack)
+    plan = InferencePlan.from_arrays(segment.arrays)
+    return segment, plan
+
+
+def shm_dir_names() -> list[str] | None:
+    """Names currently linked under ``/dev/shm`` (None when unsupported).
+
+    The hygiene tests enumerate this to prove that shutdown and
+    generation retirement leak no segments.
+    """
+    import os
+
+    if not os.path.isdir("/dev/shm"):
+        return None
+    return sorted(os.listdir("/dev/shm"))

@@ -45,6 +45,8 @@ __all__ = [
     "MetricsRegistry",
     "DEFAULT_LATENCY_BUCKETS",
     "global_registry",
+    "merge_expositions",
+    "relabel_exposition",
 ]
 
 _METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
@@ -454,6 +456,64 @@ class MetricsRegistry:
                     merged = {**labels, **extra}
                     out[f"{family.name}{suffix}{_format_labels(merged)}"] = value
         return out
+
+
+_SAMPLE_LINE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s(.*)$"
+)
+
+
+def relabel_exposition(text: str, labels: dict[str, str]) -> str:
+    """Inject ``labels`` into every sample line of a text exposition.
+
+    Used by the worker pool to mark each worker's exposition with a
+    ``worker="N"`` label before merging, so per-worker series stay
+    distinguishable in the aggregated scrape.  Comment lines (HELP/TYPE)
+    pass through unchanged; existing labels are preserved after the
+    injected ones.
+    """
+    if not labels:
+        return text
+    prefix = ",".join(
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in labels.items()
+    )
+    lines = []
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            lines.append(line)
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            lines.append(line)
+            continue
+        name, existing, value = match.groups()
+        body = prefix + ("," + existing if existing else "")
+        lines.append(f"{name}{{{body}}} {value}")
+    return "\n".join(lines) + ("\n" if text.endswith("\n") else "")
+
+
+def merge_expositions(
+    sections: Sequence[tuple[dict[str, str], str]]
+) -> str:
+    """Merge several text expositions into one, de-duplicating metadata.
+
+    ``sections`` is a list of ``(labels, exposition_text)``; each
+    section's samples are relabeled with its labels, and repeated
+    ``# HELP`` / ``# TYPE`` lines (the same families exist in every
+    worker) appear once.
+    """
+    seen_comments: set[str] = set()
+    lines: list[str] = []
+    for labels, text in sections:
+        for line in relabel_exposition(text, labels).splitlines():
+            if line.startswith("#"):
+                if line in seen_comments:
+                    continue
+                seen_comments.add(line)
+            if line:
+                lines.append(line)
+    return "\n".join(lines) + ("\n" if lines else "")
 
 
 _GLOBAL_LOCK = threading.Lock()

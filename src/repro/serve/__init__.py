@@ -16,22 +16,37 @@ throughput:
 * :mod:`repro.serve.server` — :class:`SetServer`, the facade tying the
   pieces together, plus :class:`ServerStats` telemetry;
 * :mod:`repro.serve.net` — a line-protocol TCP frontend
-  (``repro serve --port``).
+  (``repro serve --port``);
+* :mod:`repro.serve.registry` — :class:`PlanRegistry`, generation-versioned
+  shared-memory plan publication (atomic swap + refcounted unlink);
+* :mod:`repro.serve.pool` — :class:`WorkerPool`, the multi-process tier:
+  N worker replicas behind consistent-hash routing, crash recovery, and
+  zero-copy plan snapshots (``repro serve --workers N``);
+* :mod:`repro.serve.frontend` — :class:`AsyncTcpFrontend`, the asyncio
+  line-protocol frontend replacing thread-per-connection TCP.
 """
 
 from .batcher import OVERFLOW_POLICIES, BatchPolicy, MicroBatcher
 from .cache import QueryCache
 from .errors import ServeError, ServerClosedError, ServerOverloadedError
+from .frontend import AsyncTcpFrontend
 from .net import TcpServeFrontend
-from .server import SetServer, detect_kind
+from .pool import PoolError, WorkerPool
+from .registry import PlanGeneration, PlanRegistry, RegistryError
+from .server import SetServer, canonical_query, detect_kind, exact_answer
 from .snapshot import Snapshot, SnapshotHolder
 from .stats import ServerStats
 
 __all__ = [
+    "AsyncTcpFrontend",
     "BatchPolicy",
     "MicroBatcher",
     "OVERFLOW_POLICIES",
+    "PlanGeneration",
+    "PlanRegistry",
+    "PoolError",
     "QueryCache",
+    "RegistryError",
     "ServeError",
     "ServerClosedError",
     "ServerOverloadedError",
@@ -40,5 +55,8 @@ __all__ = [
     "Snapshot",
     "SnapshotHolder",
     "TcpServeFrontend",
+    "WorkerPool",
+    "canonical_query",
     "detect_kind",
+    "exact_answer",
 ]

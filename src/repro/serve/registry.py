@@ -1,0 +1,270 @@
+"""`PlanRegistry`: generation-versioned shared-memory plan publication.
+
+The worker-pool serving tier keeps frozen :class:`InferencePlan` weights in
+named ``multiprocessing.shared_memory`` segments so every worker process
+serves through the *same* physical pages (see :mod:`repro.infer.shm`).
+This registry is the publisher side: it owns the segments, versions them
+by **generation**, and guarantees two things a naive implementation tears
+up under refresh traffic:
+
+* **atomic generation swap** — a new generation's segments are fully
+  created and written *before* the registry's current pointer flips, so a
+  reader can never attach a half-written generation (the exact analogue
+  of :class:`~repro.serve.snapshot.SnapshotHolder`'s swap guarantee, one
+  level down);
+* **refcounted unlink** — retiring a generation (because a refresh
+  published a newer one) defers the ``unlink`` until every reader that
+  acquired it has released it, so a worker finishing a batch on the old
+  generation never reads unmapped pages, and nothing leaks: once the last
+  reader releases, the name disappears from ``/dev/shm``.
+
+Ownership is strictly single-process: only the registry (the front-end /
+publisher process) ever unlinks.  Workers attach by name through
+:func:`repro.infer.shm.attach_segment`, which exempts the attach from
+their ``resource_tracker`` so a worker crash cannot destroy a live
+generation.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..infer.shm import ShmSegment, create_segment
+
+__all__ = ["PlanGeneration", "PlanRegistry", "RegistryError"]
+
+
+class RegistryError(RuntimeError):
+    """A publication or refcount operation was invalid."""
+
+
+@dataclass
+class PlanGeneration:
+    """One published generation: named segments plus reader bookkeeping."""
+
+    generation: int
+    #: One entry per structure part; ``None`` for parts without a plan.
+    names: list[str | None]
+    #: Weight versions of the plans, aligned with ``names`` (None gaps).
+    weights_versions: list[int | None]
+    segments: list[ShmSegment] = field(default_factory=list)
+    readers: int = 0
+    retired: bool = False
+    unlinked: bool = False
+
+    @property
+    def segment_names(self) -> list[str]:
+        return [name for name in self.names if name is not None]
+
+    def as_dict(self) -> dict:
+        return {
+            "generation": self.generation,
+            "names": list(self.names),
+            "weights_versions": list(self.weights_versions),
+            "readers": self.readers,
+            "retired": self.retired,
+            "unlinked": self.unlinked,
+            "bytes": sum(segment.size for segment in self.segments),
+        }
+
+
+class PlanRegistry:
+    """Owns the shared-memory segments behind the pool's plan generations.
+
+    Parameters
+    ----------
+    prefix:
+        Segment-name prefix; defaults to a per-process unique token (kept
+        short — POSIX shm names are limited to 31 bytes on some
+        platforms).  The hygiene tests enumerate ``/dev/shm`` by this
+        prefix to prove nothing leaks.
+    """
+
+    def __init__(self, prefix: str | None = None):
+        self.prefix = prefix or f"rp{os.getpid():x}{secrets.token_hex(3)}"
+        self._lock = threading.Lock()
+        self._generations: dict[int, PlanGeneration] = {}
+        self._current: PlanGeneration | None = None
+        self._next_generation = 1
+        self._closed = False
+        self.publishes = 0
+        self.unlinks = 0
+
+    # -- publication -----------------------------------------------------------
+
+    def publish(
+        self, arrays_per_part: Sequence[dict[str, np.ndarray] | None],
+        weights_versions: Sequence[int | None] | None = None,
+    ) -> PlanGeneration:
+        """Publish one generation of plan arrays (one entry per part).
+
+        All segments are created and fully written before the current
+        pointer flips; the previous generation is retired (unlinked as
+        soon as its last reader releases — immediately when it has none).
+        """
+        with self._lock:
+            if self._closed:
+                raise RegistryError("registry is closed")
+            generation = self._next_generation
+            self._next_generation += 1
+        if weights_versions is None:
+            weights_versions = [None] * len(arrays_per_part)
+        segments: list[ShmSegment] = []
+        names: list[str | None] = []
+        try:
+            for part_index, arrays in enumerate(arrays_per_part):
+                if arrays is None:
+                    names.append(None)
+                    continue
+                name = f"{self.prefix}-g{generation}-p{part_index}"
+                segments.append(create_segment(name, arrays))
+                names.append(name)
+        except Exception:
+            # Half-built generations must never leak nor become current.
+            for segment in segments:
+                segment.close()
+                segment.unlink()
+            raise
+        record = PlanGeneration(
+            generation=generation,
+            names=names,
+            weights_versions=[
+                None if v is None else int(v) for v in weights_versions
+            ],
+            segments=segments,
+        )
+        with self._lock:
+            if self._closed:
+                for segment in segments:
+                    segment.close()
+                    segment.unlink()
+                raise RegistryError("registry closed during publish")
+            previous = self._current
+            self._generations[generation] = record
+            self._current = record  # the atomic flip
+            self.publishes += 1
+            if previous is not None:
+                previous.retired = True
+                self._maybe_unlink(previous)
+        return record
+
+    # -- reader refcounting ----------------------------------------------------
+
+    @property
+    def current(self) -> PlanGeneration | None:
+        return self._current
+
+    @property
+    def generation(self) -> int:
+        current = self._current
+        return current.generation if current is not None else 0
+
+    def acquire(self, generation: int | None = None) -> PlanGeneration | None:
+        """Register a reader on a generation (default: current).
+
+        Returns the acquired record, or ``None`` when nothing is
+        published yet.  The generation will not be unlinked until the
+        matching :meth:`release`.
+        """
+        with self._lock:
+            record = (
+                self._current
+                if generation is None
+                else self._generations.get(generation)
+            )
+            if record is None:
+                if generation is not None:
+                    raise RegistryError(f"unknown generation {generation}")
+                return None
+            if record.unlinked:
+                raise RegistryError(
+                    f"generation {record.generation} is already unlinked"
+                )
+            record.readers += 1
+            return record
+
+    def release(self, generation: int) -> None:
+        """Drop one reader; unlinks a retired generation at refcount zero."""
+        with self._lock:
+            record = self._generations.get(generation)
+            if record is None:
+                return
+            if record.readers <= 0:
+                raise RegistryError(
+                    f"generation {generation} released more than acquired"
+                )
+            record.readers -= 1
+            self._maybe_unlink(record)
+
+    def _maybe_unlink(self, record: PlanGeneration) -> None:
+        # Caller holds the lock.
+        if record.retired and record.readers == 0 and not record.unlinked:
+            record.unlinked = True
+            for segment in record.segments:
+                segment.close()
+                segment.unlink()
+            self.unlinks += 1
+            self._generations.pop(record.generation, None)
+
+    # -- reporting / shutdown --------------------------------------------------
+
+    def live_segment_names(self) -> list[str]:
+        """Every segment name still linked (across all generations)."""
+        with self._lock:
+            return sorted(
+                name
+                for record in self._generations.values()
+                if not record.unlinked
+                for name in record.segment_names
+            )
+
+    def status(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "prefix": self.prefix,
+                "generation": self.generation,
+                "publishes": self.publishes,
+                "unlinks": self.unlinks,
+                "live_segments": sum(
+                    len(record.segment_names)
+                    for record in self._generations.values()
+                    if not record.unlinked
+                ),
+                "generations": [
+                    record.as_dict()
+                    for record in sorted(
+                        self._generations.values(), key=lambda r: r.generation
+                    )
+                ],
+            }
+
+    def close(self) -> None:
+        """Unlink everything (shutdown path; ignores refcounts).
+
+        POSIX keeps existing mappings valid after unlink, so a worker
+        mid-batch at shutdown finishes on its mapping; the names are gone
+        immediately — nothing can leak past close.
+        """
+        with self._lock:
+            self._closed = True
+            for record in self._generations.values():
+                if not record.unlinked:
+                    record.unlinked = True
+                    for segment in record.segments:
+                        segment.close()
+                        segment.unlink()
+                    self.unlinks += 1
+            self._generations.clear()
+            self._current = None
+
+    def __enter__(self) -> "PlanRegistry":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -51,7 +51,7 @@ from .cache import QueryCache
 from .snapshot import Snapshot, SnapshotHolder
 from .stats import ServerStats
 
-__all__ = ["SetServer", "detect_kind"]
+__all__ = ["SetServer", "canonical_query", "detect_kind", "exact_answer"]
 
 _KIND_TYPES = {
     "cardinality": (
@@ -89,6 +89,66 @@ def _inner_structure(structure: Any) -> Any:
 def _backup_filter(structure: Any):
     """The Bloom backup filter of a (possibly guarded) membership structure."""
     return getattr(_inner_structure(structure), "backup", None)
+
+
+def canonical_query(query: Any) -> tuple[int, ...] | None:
+    """Sorted de-duplicated int tuple, or ``None`` for malformed input."""
+    try:
+        return tuple(sorted({int(element) for element in query}))
+    except (TypeError, ValueError):
+        return None
+
+
+def _auxiliary_override_of(structure: Any, canonical: tuple[int, ...]) -> Any:
+    """Post-build mutation recorded for ``canonical``, if any.
+
+    The exact :class:`InvertedIndex` is built from the collection and
+    never absorbs §6's updates — those live in the served structure's
+    auxiliary override layer.  An exact-path answer must consult that
+    layer first, or an inserted override would silently revert to its
+    pre-insert answer whenever the model path is bypassed.
+    """
+    auxiliary = getattr(_inner_structure(structure), "auxiliary", None)
+    if auxiliary is None:
+        return None
+    return auxiliary.get(canonical)
+
+
+def exact_answer(kind: str, exact: InvertedIndex, structure: Any, query: Any) -> Any:
+    """Exact answer mirroring the guarded facades' defined semantics.
+
+    Shared by the threaded server's shed/degraded paths and the worker
+    pool's shed-while-replica-down path, so every exact-path deployment
+    answers identically: auxiliary overrides first, then the exact index,
+    with the facades' defined empty/malformed semantics.
+    """
+    canonical = canonical_query(query)
+    if kind == "cardinality":
+        if canonical is None:
+            return 0.0
+        if not canonical:
+            return float(exact.num_sets)
+        override = _auxiliary_override_of(structure, canonical)
+        if override is not None:
+            return float(override)
+        return float(exact.cardinality(canonical))
+    if kind == "index":
+        if canonical is None:
+            return None
+        if not canonical:
+            return 0 if exact.num_sets else None
+        override = _auxiliary_override_of(structure, canonical)
+        if override is not None:
+            return int(override)
+        return exact.first_position(canonical)
+    if canonical is None:
+        return False
+    if not canonical:
+        return exact.num_sets > 0
+    if exact.contains(canonical):
+        return True
+    backup = _backup_filter(structure)
+    return backup.contains_set(set(canonical)) if backup is not None else False
 
 
 class SetServer:
@@ -403,48 +463,7 @@ class SetServer:
             return self._shed_answer_inner(query)
 
     def _shed_answer_inner(self, query: Any) -> Any:
-        exact = self._exact
-        canonical = self._canonical(query)
-        if self.kind == "cardinality":
-            if canonical is None:
-                return 0.0
-            if not canonical:
-                return float(exact.num_sets)
-            override = self._auxiliary_override(canonical)
-            if override is not None:
-                return float(override)
-            return float(exact.cardinality(canonical))
-        if self.kind == "index":
-            if canonical is None:
-                return None
-            if not canonical:
-                return 0 if exact.num_sets else None
-            override = self._auxiliary_override(canonical)
-            if override is not None:
-                return int(override)
-            return exact.first_position(canonical)
-        if canonical is None:
-            return False
-        if not canonical:
-            return exact.num_sets > 0
-        if exact.contains(canonical):
-            return True
-        backup = _backup_filter(self.structure)
-        return backup.contains_set(set(canonical)) if backup is not None else False
-
-    def _auxiliary_override(self, canonical: tuple[int, ...]) -> Any:
-        """Post-build mutation recorded for ``canonical``, if any.
-
-        The exact :class:`InvertedIndex` is built from the collection and
-        never absorbs §6's updates — those live in the served structure's
-        auxiliary override layer.  A shed or degraded answer must consult
-        that layer first, or an inserted override would silently revert to
-        its pre-insert answer whenever the model path is bypassed.
-        """
-        auxiliary = getattr(_inner_structure(self.structure), "auxiliary", None)
-        if auxiliary is None:
-            return None
-        return auxiliary.get(canonical)
+        return exact_answer(self.kind, self._exact, self.structure, query)
 
     # -- reporting --------------------------------------------------------------
 
@@ -623,9 +642,4 @@ class SetServer:
             out["shard_fanout"] = fanout()
         return out
 
-    @staticmethod
-    def _canonical(query: Any) -> tuple[int, ...] | None:
-        try:
-            return tuple(sorted({int(element) for element in query}))
-        except (TypeError, ValueError):
-            return None
+    _canonical = staticmethod(canonical_query)

@@ -13,6 +13,8 @@ import pytest
 from repro.core import LearnedCardinalityEstimator, ModelConfig, TrainConfig
 from repro.sets import InvertedIndex, SetCollection
 
+from tests.serve.conftest import wait_until  # noqa: F401  (suite-wide helper)
+
 SETS = [
     [0, 1, 2],
     [1, 2],

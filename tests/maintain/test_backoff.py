@@ -9,14 +9,12 @@ generation keeps serving throughout.
 
 from __future__ import annotations
 
-import time
-
 import pytest
 
 from repro.maintain import BackgroundRefresher, RefreshError, StalenessPolicy
 from repro.serve import SetServer
 
-from .conftest import fresh_estimator
+from .conftest import fresh_estimator, wait_until
 
 
 def _tripped_policy() -> StalenessPolicy:
@@ -168,8 +166,9 @@ class TestCircuitBreaker:
         )
         with pytest.raises(RefreshError):
             refresher.refresh_now(("test",))
-        time.sleep(0.01)  # let the (1ms) exponential delay lapse
-        assert refresher.breaker_state == "half-open"
+        # Wait out the (1ms) exponential delay instead of sleeping a fixed
+        # amount: on a loaded box a fixed sleep is a flake either way.
+        assert wait_until(lambda: refresher.breaker_state == "half-open")
         assert refresher.status()["breaker_state"] == "half-open"
 
     def test_half_open_success_closes_the_breaker(self, serving, collection):
@@ -187,8 +186,7 @@ class TestCircuitBreaker:
         )
         with pytest.raises(RefreshError):
             refresher.refresh_now(("test",))
-        time.sleep(0.01)
-        assert refresher.breaker_state == "half-open"
+        assert wait_until(lambda: refresher.breaker_state == "half-open")
         state["broken"] = False
         refresher.refresh_now(("probe",))
         assert refresher.breaker_state == "closed"

@@ -1,0 +1,178 @@
+"""Shared fixtures for the multi-process serving-tier suite.
+
+Structures are trained once per session (training dominates test time)
+with the rotating ``REPRO_TEST_SEED`` so CI's seed rotation actually
+exercises different weights; every multiprocess assertion echoes the seed
+through :func:`seed_note` so a red run is reproducible from its message
+alone.  Mutating tests must train their own structures — the session
+fixtures are shared and read-only.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    LearnedBloomFilter,
+    LearnedCardinalityEstimator,
+    LearnedSetIndex,
+    TrainConfig,
+)
+from repro.infer import freeze_structure
+from repro.reliability import (
+    GuardedBloomFilter,
+    GuardedCardinalityEstimator,
+    GuardedSetIndex,
+)
+from repro.sets import InvertedIndex, SetCollection
+from repro.shard import ShardPlan, ShardedBuilder
+
+from tests.serve.conftest import (  # noqa: F401  (re-exported for the suite)
+    QUERIES,
+    SETS,
+    small_model_config,
+    wait_until,
+)
+
+#: The rotating CI seed; every multiprocess assertion message echoes it.
+SEED = int(os.environ.get("REPRO_TEST_SEED", "0"))
+
+#: Queries that exercise the error contracts alongside the happy path:
+#: out-of-vocabulary ids, the empty set, and an oversized subset.
+EDGE_QUERIES = [
+    (9, 9),              # OOV: universe is 0..5
+    (),                  # empty set
+    (0, 1, 2, 3, 4, 5),  # oversized vs max_subset_size=3 training
+    (7,),                # single OOV element
+    (-1, 2),             # negative id
+]
+
+
+def seed_note(context: str = "") -> str:
+    """Assertion-message suffix making any failure reproducible."""
+    note = f"REPRO_TEST_SEED={SEED}"
+    return f"{note} ({context})" if context else note
+
+
+def outcome(call, *args):
+    """Answer or error contract of one call: ``("ok", value)`` or
+    ``("err", type_name, message)`` — the unit of cross-process parity."""
+    try:
+        return ("ok", call(*args))
+    except Exception as exc:
+        return ("err", type(exc).__name__, str(exc))
+
+
+def future_outcome(future, timeout: float = 30.0):
+    try:
+        return ("ok", future.result(timeout=timeout))
+    except Exception as exc:
+        return ("err", type(exc).__name__, str(exc))
+
+
+def _train_config(loss: str) -> TrainConfig:
+    return TrainConfig(epochs=4, batch_size=64, lr=5e-3, loss=loss, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def collection() -> SetCollection:
+    return SetCollection(SETS)
+
+
+@pytest.fixture(scope="session")
+def truth(collection) -> InvertedIndex:
+    return InvertedIndex(collection)
+
+
+@pytest.fixture(scope="session")
+def estimator(collection) -> LearnedCardinalityEstimator:
+    return LearnedCardinalityEstimator.build(
+        collection,
+        model_config=small_model_config(),
+        train_config=_train_config("mse"),
+        max_subset_size=3,
+        rng=np.random.default_rng(SEED),
+    )
+
+
+@pytest.fixture(scope="session")
+def index(collection) -> LearnedSetIndex:
+    return LearnedSetIndex.build(
+        collection,
+        model_config=small_model_config(),
+        train_config=_train_config("mse"),
+        max_subset_size=3,
+        rng=np.random.default_rng(SEED),
+    )
+
+
+@pytest.fixture(scope="session")
+def bloom(collection) -> LearnedBloomFilter:
+    return LearnedBloomFilter.build(
+        collection,
+        train_config=_train_config("bce"),
+        max_subset_size=2,
+        rng=np.random.default_rng(SEED),
+    )
+
+
+@pytest.fixture(scope="session")
+def frozen_estimator(collection) -> LearnedCardinalityEstimator:
+    """An estimator with attached float32 plans (the shm publication path)."""
+    structure = LearnedCardinalityEstimator.build(
+        collection,
+        model_config=small_model_config(),
+        train_config=_train_config("mse"),
+        max_subset_size=3,
+        rng=np.random.default_rng(SEED),
+    )
+    freeze_structure(structure, dtypes=("float64", "float32"), active="float32")
+    return structure
+
+
+@pytest.fixture(scope="session")
+def guarded_estimator(estimator, collection) -> GuardedCardinalityEstimator:
+    return GuardedCardinalityEstimator.for_collection(estimator, collection)
+
+
+@pytest.fixture(scope="session")
+def guarded_index(index) -> GuardedSetIndex:
+    return GuardedSetIndex(index)
+
+
+@pytest.fixture(scope="session")
+def guarded_bloom(bloom, collection) -> GuardedBloomFilter:
+    return GuardedBloomFilter.for_collection(bloom, collection)
+
+
+def _sharded(collection, task: str):
+    builder = ShardedBuilder(
+        ShardPlan.contiguous(collection, 3),
+        workers=1,
+        base_seed=SEED,
+        model_config=small_model_config(),
+        train_config=TrainConfig(
+            epochs=2, batch_size=64, lr=5e-3,
+            loss="bce" if task == "bloom" else "mse", seed=SEED,
+        ),
+        max_subset_size=2 if task == "bloom" else 3,
+    )
+    return builder.build(task)
+
+
+@pytest.fixture(scope="session")
+def sharded_estimator(collection):
+    return _sharded(collection, "cardinality")
+
+
+@pytest.fixture(scope="session")
+def sharded_index(collection):
+    return _sharded(collection, "index")
+
+
+@pytest.fixture(scope="session")
+def sharded_bloom(collection):
+    return _sharded(collection, "bloom")

@@ -1,0 +1,158 @@
+"""Worker-crash chaos: SIGKILL mid-batch, respawn, no silent drops."""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import pytest
+
+from repro.serve import PoolError, WorkerPool
+
+from .conftest import QUERIES, future_outcome, seed_note, wait_until
+
+
+def _kill_worker(pool, index: int = 0) -> int:
+    pid = pool._slots[index].process.pid
+    os.kill(pid, signal.SIGKILL)
+    return pid
+
+
+def test_sigkill_mid_batch_drops_nothing(estimator, truth):
+    """Every query admitted before the kill resolves: answered by a
+    replica, shed to exact, or a defined error — never a hung future."""
+    queries = QUERIES[:40]
+    with WorkerPool(estimator, workers=2, exact=truth) as pool:
+        futures = pool.submit_many(queries)
+        _kill_worker(pool, 0)
+        outcomes = [future_outcome(future, timeout=30.0) for future in futures]
+        for query, result in zip(queries, outcomes):
+            assert result[0] in ("ok", "err"), seed_note(
+                f"query {query!r} resolved to neither answer nor error"
+            )
+            if result[0] == "ok":
+                assert isinstance(result[1], float), seed_note(
+                    f"query {query!r} returned a non-answer {result[1]!r}"
+                )
+        # At least the kill itself must not have failed anything silently:
+        # the pool counters account for every admitted query.
+        stats = pool.stats_dict()["pool"]
+        accounted = (
+            stats["repro_pool_served_total"]
+            + stats["repro_pool_failed_total"]
+            + stats["repro_pool_shed_total"]
+        )
+        assert accounted >= len(queries), seed_note(
+            f"pool counters account for {accounted} < {len(queries)} queries"
+        )
+
+
+def test_killed_worker_respawns_and_serves(estimator, truth):
+    with WorkerPool(estimator, workers=2, exact=truth) as pool:
+        old_pid = _kill_worker(pool, 0)
+        assert wait_until(
+            lambda: pool._slots[0].alive
+            and pool._slots[0].process.pid != old_pid,
+            timeout=30.0,
+        ), seed_note("worker 0 did not respawn after SIGKILL")
+        info = pool.workers_info()[0]
+        assert info["respawns"] == 1
+        assert info["generation"] == pool.plan_registry.generation, seed_note(
+            "respawned worker attached a stale generation"
+        )
+        # The respawned worker serves its keyspace slice again.
+        for query in QUERIES[:12]:
+            assert pool.query(query) == pytest.approx(
+                estimator.estimate(query), rel=1e-6
+            ), seed_note(f"post-respawn answer diverged on {query!r}")
+
+
+def test_respawned_replica_remembers_mutations(collection, truth):
+    """A replica that died after a mutation must come back with it — the
+    respawn re-pickles the master, the mutation source of truth."""
+    from tests.serve.conftest import train_estimator
+
+    estimator = train_estimator(collection)
+    with WorkerPool(estimator, workers=2, exact=truth) as pool:
+        pool.record_update((0, 1), 9)
+        expected = estimator.estimate((0, 1))
+        old_pid = _kill_worker(pool, 0)
+        assert wait_until(
+            lambda: pool._slots[0].alive
+            and pool._slots[0].process.pid != old_pid,
+            timeout=30.0,
+        ), seed_note("worker did not respawn")
+        assert pool.query((0, 1)) == pytest.approx(expected, rel=1e-6), (
+            seed_note("respawned replica forgot a pre-crash mutation")
+        )
+
+
+def test_exhausted_respawn_budget_sheds_to_exact(estimator, truth):
+    with WorkerPool(
+        estimator, workers=2, exact=truth, max_respawns=0
+    ) as pool:
+        victim = None
+        # Find the worker that owns this query's slice and kill it.
+        probe = (1, 2)
+        from repro.serve.pool import canonical_query
+
+        key = repr(canonical_query(probe)).encode()
+        victim = pool._ring.route(key)
+        _kill_worker(pool, victim)
+        assert wait_until(
+            lambda: not pool._slots[victim].alive, timeout=30.0
+        ), seed_note("kill was not detected")
+        # Budget exhausted: the slot stays down, its slice sheds to exact.
+        answer = pool.query(probe)
+        assert answer == float(truth.cardinality(probe)), seed_note(
+            "shed path did not produce the exact answer"
+        )
+        assert pool.workers_info()[victim]["alive"] is False
+
+
+def test_bloom_no_false_negatives_through_crashes(bloom, collection, truth):
+    """The Bloom contract (no false negatives on stored sets) must hold
+    through a worker crash: shed answers come from the exact index."""
+    stored = [tuple(s) for s in collection]
+    with WorkerPool(bloom, workers=2, exact=truth) as pool:
+        before = [pool.query(query) for query in stored]
+        assert all(before), seed_note(
+            "false negative on a stored set before any crash"
+        )
+        old_pid = _kill_worker(pool, 0)
+        # Immediately after the kill (respawn may or may not have landed),
+        # stored sets must still answer True.
+        during = [pool.query(query) for query in stored]
+        assert all(during), seed_note(
+            "false negative on a stored set while a worker was down"
+        )
+        assert wait_until(
+            lambda: pool._slots[0].alive
+            and pool._slots[0].process.pid != old_pid,
+            timeout=30.0,
+        ), seed_note("worker did not respawn")
+        after = [pool.query(query) for query in stored]
+        assert all(after), seed_note(
+            "false negative on a stored set after respawn"
+        )
+
+
+def test_ctl_waiters_get_defined_errors_on_crash(estimator, truth):
+    """A control request in flight when the worker dies resolves to a
+    PoolError naming the worker — never a hang."""
+    with WorkerPool(estimator, workers=1, exact=truth) as pool:
+        slot = pool._slots[0]
+        # Stall the worker with a big batch, then race a ctl against the
+        # kill; whichever way the race lands, the future must resolve.
+        pool.submit_many(QUERIES)
+        future = pool._ctl(slot, "stats", None)
+        _kill_worker(pool, 0)
+        try:
+            result = future.result(timeout=30.0)
+            assert isinstance(result, dict)
+        except PoolError:
+            pass  # defined error is equally acceptable
+        except Exception as exc:  # pragma: no cover - diagnostic clarity
+            pytest.fail(
+                seed_note(f"ctl future resolved to unexpected {exc!r}")
+            )

@@ -1,0 +1,154 @@
+"""Cross-process differential parity: WorkerPool vs threaded SetServer.
+
+The same query/mutation trace runs through the threaded tier and through
+the multi-process tier, and every outcome — answers *and* error-string
+contracts (OOV / empty / oversized inputs) — must be identical.  The
+matrix covers all three structures in plain, guarded, and K=3 sharded
+variants, so the pickle + pipe + shm path is proven equivalent to the
+in-process path on every serving surface the repo has.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import SetServer, WorkerPool
+
+from .conftest import EDGE_QUERIES, QUERIES, future_outcome, seed_note
+
+
+def _trace_outcomes(backend, queries) -> list[tuple]:
+    futures = [backend.submit(query) for query in queries]
+    return [future_outcome(future) for future in futures]
+
+
+def _assert_parity(threaded_trace, pool_trace, queries, label: str) -> None:
+    for query, threaded, pooled in zip(queries, threaded_trace, pool_trace):
+        assert pooled == threaded, seed_note(
+            f"{label}: pool diverged from threaded server on {query!r}: "
+            f"threaded={threaded!r} pool={pooled!r}"
+        )
+
+
+def _parity_case(structure, queries, workers: int = 2) -> None:
+    with SetServer(structure) as server:
+        threaded_trace = _trace_outcomes(server, queries)
+    with WorkerPool(structure, workers=workers) as pool:
+        pool_trace = _trace_outcomes(pool, queries)
+    _assert_parity(
+        threaded_trace, pool_trace, queries, type(structure).__name__
+    )
+
+
+WORKLOAD = QUERIES[:24] + EDGE_QUERIES + QUERIES[24:36]
+
+
+@pytest.mark.parametrize(
+    "fixture_name",
+    [
+        "estimator",
+        "index",
+        "bloom",
+        "guarded_estimator",
+        "guarded_index",
+        "guarded_bloom",
+        "sharded_estimator",
+        "sharded_index",
+        "sharded_bloom",
+        "frozen_estimator",
+    ],
+)
+def test_query_trace_parity(fixture_name, request):
+    structure = request.getfixturevalue(fixture_name)
+    _parity_case(structure, WORKLOAD)
+
+
+def test_error_contracts_cross_the_process_boundary(estimator):
+    """OOV errors must arrive with the same type AND message."""
+    with SetServer(estimator) as server:
+        threaded = _trace_outcomes(server, EDGE_QUERIES)
+    with WorkerPool(estimator, workers=2) as pool:
+        pooled = _trace_outcomes(pool, EDGE_QUERIES)
+    _assert_parity(threaded, pooled, EDGE_QUERIES, "error contracts")
+    # And the trace must actually contain errors (else this test proves
+    # nothing about the error path).
+    kinds = {outcome[0] for outcome in threaded}
+    assert "err" in kinds, seed_note(
+        "edge queries produced no errors on the unguarded estimator"
+    )
+
+
+def test_guarded_edges_answer_without_errors(guarded_estimator):
+    """The guarded facade turns every edge into a defined answer — and the
+    pool must preserve exactly that contract."""
+    with SetServer(guarded_estimator) as server:
+        threaded = _trace_outcomes(server, EDGE_QUERIES)
+    with WorkerPool(guarded_estimator, workers=2) as pool:
+        pooled = _trace_outcomes(pool, EDGE_QUERIES)
+    assert all(outcome[0] == "ok" for outcome in threaded), seed_note(
+        "guarded facade leaked an error on an edge query"
+    )
+    _assert_parity(threaded, pooled, EDGE_QUERIES, "guarded edges")
+
+
+@pytest.mark.parametrize("task", ["cardinality", "index", "bloom"])
+def test_mutation_trace_parity(task, collection):
+    """Interleaved mutations and queries: pool replicas must agree with a
+    threaded server applying the identical trace."""
+    from tests.serve.conftest import train_estimator
+
+    from repro.core import LearnedBloomFilter, LearnedSetIndex, TrainConfig
+    from repro.sets import SetCollection
+
+    import numpy as np
+
+    from .conftest import SEED, small_model_config
+
+    def build():
+        if task == "cardinality":
+            return train_estimator(collection, seed=SEED)
+        if task == "index":
+            return LearnedSetIndex.build(
+                collection,
+                model_config=small_model_config(),
+                train_config=TrainConfig(
+                    epochs=2, batch_size=64, lr=5e-3, loss="mse", seed=SEED
+                ),
+                max_subset_size=3,
+                rng=np.random.default_rng(SEED),
+            )
+        return LearnedBloomFilter.build(
+            collection,
+            train_config=TrainConfig(
+                epochs=2, batch_size=64, lr=5e-3, loss="bce", seed=SEED
+            ),
+            max_subset_size=2,
+            rng=np.random.default_rng(SEED),
+        )
+
+    queries = QUERIES[:16]
+    mutations = {
+        "cardinality": [(("record_update"), ((0, 3), 5))],
+        "index": [(("insert_update"), ((0, 3), 2))],
+        "bloom": [(("insert"), ((3, 4, 5),))],
+    }[task]
+
+    threaded_structure = build()
+    pool_structure = build()
+
+    with SetServer(threaded_structure) as server:
+        threaded_rounds = [_trace_outcomes(server, queries)]
+        for op, args in mutations:
+            getattr(server.structure, op)(*args)
+        threaded_rounds.append(_trace_outcomes(server, queries))
+
+    with WorkerPool(pool_structure, workers=2) as pool:
+        pool_rounds = [_trace_outcomes(pool, queries)]
+        for op, args in mutations:
+            getattr(pool, op)(*args)
+        pool_rounds.append(_trace_outcomes(pool, queries))
+
+    for round_label, threaded, pooled in zip(
+        ("before-mutation", "after-mutation"), threaded_rounds, pool_rounds
+    ):
+        _assert_parity(threaded, pooled, queries, f"{task} {round_label}")

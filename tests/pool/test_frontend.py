@@ -1,0 +1,177 @@
+"""AsyncTcpFrontend: protocol parity with the threaded TCP frontend."""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import pytest
+
+from repro.serve import AsyncTcpFrontend, SetServer, WorkerPool
+
+from .conftest import seed_note
+
+
+@pytest.fixture()
+def pool_frontend(estimator, truth):
+    with WorkerPool(estimator, workers=2, exact=truth) as pool:
+        frontend = AsyncTcpFrontend(pool, port=0).start_background()
+        try:
+            yield frontend, pool
+        finally:
+            frontend.shutdown()
+
+
+def _client(frontend):
+    sock = socket.create_connection(frontend.address, timeout=10.0)
+    return sock, sock.makefile("rw", encoding="utf-8", newline="\n")
+
+
+def _ask(stream, line: str) -> str:
+    stream.write(line + "\n")
+    stream.flush()
+    return stream.readline().strip()
+
+
+def test_queries_and_errors_over_tcp(pool_frontend, estimator):
+    frontend, _pool = pool_frontend
+    sock, stream = _client(frontend)
+    try:
+        answer = _ask(stream, "1 2")
+        assert answer == f"{estimator.estimate((1, 2)):.2f}", seed_note(
+            "TCP answer diverged from the direct estimate"
+        )
+        assert _ask(stream, "bogus") == "error malformed query"
+        assert _ask(stream, "9 9") == "error IndexError", seed_note(
+            "OOV error contract not preserved over TCP"
+        )
+    finally:
+        sock.close()
+
+
+def test_stats_and_workers_verbs(pool_frontend):
+    frontend, pool = pool_frontend
+    sock, stream = _client(frontend)
+    try:
+        stats = json.loads(_ask(stream, "STATS"))
+        assert stats["kind"] == "cardinality"
+        assert stats["workers_alive"] == 2
+        workers = json.loads(_ask(stream, "WORKERS"))
+        assert [entry["worker"] for entry in workers] == [0, 1]
+        assert all(entry["alive"] for entry in workers), seed_note(
+            "WORKERS verb reported a dead worker in a healthy pool"
+        )
+    finally:
+        sock.close()
+
+
+def test_metrics_verb_is_terminated_and_worker_labeled(pool_frontend):
+    frontend, _pool = pool_frontend
+    sock, stream = _client(frontend)
+    try:
+        stream.write("METRICS\n")
+        stream.flush()
+        lines = []
+        for line in stream:
+            if line.strip() == "# EOF":
+                break
+            lines.append(line.rstrip("\n"))
+        body = "\n".join(lines)
+        assert "repro_pool_workers_alive" in body
+        assert 'worker="0"' in body, seed_note(
+            "merged exposition lost its worker labels over TCP"
+        )
+    finally:
+        sock.close()
+
+
+def test_trace_verb_returns_span_json(pool_frontend):
+    frontend, pool = pool_frontend
+    sock, stream = _client(frontend)
+    try:
+        _ask(stream, "0 1")
+        spans = json.loads(_ask(stream, "TRACE 20"))
+        assert isinstance(spans, list)
+    finally:
+        sock.close()
+
+
+def test_refresh_without_maintainer_reports_disabled(pool_frontend):
+    frontend, _pool = pool_frontend
+    sock, stream = _client(frontend)
+    try:
+        status = json.loads(_ask(stream, "REFRESH"))
+        assert status == {"auto_refresh": False}
+    finally:
+        sock.close()
+
+
+def test_workers_verb_on_threaded_server_is_an_error(estimator):
+    with SetServer(estimator) as server:
+        frontend = AsyncTcpFrontend(server, port=0).start_background()
+        try:
+            sock, stream = _client(frontend)
+            try:
+                assert _ask(stream, "WORKERS") == "error not a worker pool"
+                # Ordinary queries work against the threaded backend too:
+                # the frontend is backend-agnostic.
+                answer = _ask(stream, "1 2")
+                assert answer == f"{server.query((1, 2)):.2f}"
+            finally:
+                sock.close()
+        finally:
+            frontend.shutdown()
+
+
+def test_oversized_line_is_rejected_with_hangup(pool_frontend):
+    frontend, _pool = pool_frontend
+    sock, stream = _client(frontend)
+    try:
+        stream.write("1 " * 40000 + "\n")
+        stream.flush()
+        assert stream.readline().strip() == "error line too long"
+        assert stream.readline() == "", seed_note(
+            "frontend kept the connection open after an oversized line"
+        )
+    finally:
+        sock.close()
+
+
+def test_quit_closes_the_connection(pool_frontend):
+    frontend, _pool = pool_frontend
+    sock, stream = _client(frontend)
+    try:
+        stream.write("QUIT\n")
+        stream.flush()
+        assert stream.readline() == ""
+    finally:
+        sock.close()
+
+
+def test_concurrent_connections_multiplex(pool_frontend, estimator):
+    frontend, _pool = pool_frontend
+    clients = [_client(frontend) for _ in range(8)]
+    try:
+        for i, (_sock, stream) in enumerate(clients):
+            stream.write(f"{i % 5}\n")
+            stream.flush()
+        for i, (_sock, stream) in enumerate(clients):
+            expected = f"{estimator.estimate((i % 5,)):.2f}"
+            assert stream.readline().strip() == expected, seed_note(
+                f"connection {i} got the wrong multiplexed answer"
+            )
+    finally:
+        for sock, _stream in clients:
+            sock.close()
+
+
+def test_bind_failure_raises_in_start_background(estimator):
+    with SetServer(estimator) as server:
+        first = AsyncTcpFrontend(server, port=0).start_background()
+        try:
+            busy_port = first.address[1]
+            second = AsyncTcpFrontend(server, port=busy_port)
+            with pytest.raises(RuntimeError):
+                second.start_background()
+        finally:
+            first.shutdown()

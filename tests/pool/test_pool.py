@@ -1,0 +1,179 @@
+"""WorkerPool lifecycle: routing, telemetry, mutations, and swaps."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve import PoolError, WorkerPool
+from repro.serve.pool import _HashRing
+
+from .conftest import QUERIES, future_outcome, seed_note, wait_until
+
+
+def test_pool_answers_match_direct_estimates(estimator):
+    with WorkerPool(estimator, workers=2) as pool:
+        assert pool.kind == "cardinality"
+        assert pool.workers_alive == 2, seed_note("not all workers came up")
+        for query in QUERIES[:12]:
+            assert pool.query(query) == pytest.approx(
+                estimator.estimate(query), rel=1e-6
+            ), seed_note(f"pool diverged from direct estimate on {query}")
+
+
+def test_pool_requires_at_least_one_worker(estimator):
+    with pytest.raises(ValueError):
+        WorkerPool(estimator, workers=0)
+
+
+def test_submit_many_preserves_order(estimator):
+    queries = QUERIES[:20]
+    with WorkerPool(estimator, workers=2) as pool:
+        answers = pool.query_many(queries)
+    expected = [estimator.estimate(query) for query in queries]
+    assert answers == pytest.approx(expected, rel=1e-6), seed_note(
+        "batched pool answers lost their order"
+    )
+
+
+def test_hash_ring_is_stable_and_covers_all_workers():
+    ring = _HashRing(4)
+    keys = [repr((i, i + 1)).encode() for i in range(200)]
+    routed = [ring.route(key) for key in keys]
+    # Stable: the same key always lands on the same worker.
+    assert routed == [ring.route(key) for key in keys]
+    # Covering: every worker owns a slice of a 200-key space.
+    assert set(routed) == {0, 1, 2, 3}
+    # Independent instances agree (the front-end can rebuild the ring).
+    assert routed == [_HashRing(4).route(key) for key in keys]
+
+
+def test_mutations_reach_master_and_every_replica(collection):
+    from tests.serve.conftest import train_estimator
+
+    estimator = train_estimator(collection)
+    with WorkerPool(estimator, workers=2) as pool:
+        before = pool.query((0, 1))
+        pool.record_update((0, 1), 2)
+        # The master (mutation source of truth) sees the delta...
+        assert estimator.estimate((0, 1)) != before
+        # ...and so does whichever replica serves the routed query.
+        assert pool.query((0, 1)) == pytest.approx(
+            estimator.estimate((0, 1)), rel=1e-6
+        ), seed_note("replica missed a broadcast mutation")
+
+
+def test_wrong_kind_mutation_is_rejected(estimator):
+    with WorkerPool(estimator, workers=1) as pool:
+        with pytest.raises(TypeError):
+            pool.insert((0, 1))
+
+
+def test_swap_rolls_every_worker_to_the_new_generation(collection):
+    from tests.serve.conftest import train_estimator
+
+    old = train_estimator(collection, seed=1)
+    new = train_estimator(collection, seed=2)
+    with WorkerPool(old, workers=2) as pool:
+        first_generation = pool.plan_registry.generation
+        snapshot = pool.swap(new)
+        assert snapshot.structure is new
+        assert pool.plan_registry.generation == first_generation + 1
+        for info in pool.workers_info():
+            assert info["generation"] == pool.plan_registry.generation, (
+                seed_note(f"worker {info['worker']} stuck on an old generation")
+            )
+        assert pool.query((1, 2)) == pytest.approx(
+            new.estimate((1, 2)), rel=1e-6
+        ), seed_note("post-swap answers still come from the old structure")
+
+
+def test_swap_rejects_kind_mismatch(estimator, bloom):
+    with WorkerPool(estimator, workers=1) as pool:
+        with pytest.raises(TypeError):
+            pool.swap(bloom)
+
+
+def test_stats_and_metrics_aggregate_workers(estimator):
+    with WorkerPool(estimator, workers=2) as pool:
+        pool.query_many(QUERIES[:10])
+        stats = pool.stats_dict()
+        assert stats["kind"] == "cardinality"
+        assert stats["workers_alive"] == 2
+        assert set(stats["per_worker"]) == {"0", "1"}, seed_note(
+            "a live worker is missing from stats_dict"
+        )
+        assert stats["pool"]["repro_pool_requests_total"] >= 10
+        text = pool.metrics_text()
+        assert "repro_pool_workers_alive" in text
+        assert 'worker="0"' in text and 'worker="1"' in text, seed_note(
+            "worker labels missing from the merged exposition"
+        )
+        # Comment lines are deduped across worker sections: both workers
+        # expose repro_serve_* families, but each HELP appears once.
+        help_lines = [
+            line for line in text.splitlines()
+            if line.startswith("# HELP repro_serve_requests_served_total")
+        ]
+        assert len(help_lines) == 1, seed_note(
+            "worker expositions were not merged/deduped"
+        )
+
+
+def test_trace_spans_carry_worker_attribution(estimator):
+    with WorkerPool(estimator, workers=2) as pool:
+        pool.query_many(QUERIES[:8])
+        spans = pool.trace_spans(50)
+        worker_spans = [span for span in spans if "worker" in span]
+        assert worker_spans, seed_note("no worker-attributed spans surfaced")
+        assert {span["worker"] for span in worker_spans} <= {0, 1}
+
+
+def test_closed_pool_sheds_to_exact(estimator, truth):
+    pool = WorkerPool(estimator, workers=1, exact=truth)
+    pool.start()
+    baseline = pool.query((1, 2))
+    pool.close()
+    # After close, routed queries shed to the exact path: a defined
+    # answer, not a hang and not an exception.
+    answer = pool.query((1, 2))
+    assert answer == float(truth.cardinality((1, 2))), seed_note(
+        "post-close shed path did not answer exactly"
+    )
+    assert isinstance(baseline, float)
+
+
+def test_pool_without_exact_fails_loudly_when_down(estimator):
+    # A bare estimator carries no collection, so no exact index can be
+    # derived: down-worker queries must fail with a defined error.
+    pool = WorkerPool(estimator, workers=1)
+    assert pool._exact is None
+    pool.start()
+    pool.close()
+    with pytest.raises(PoolError):
+        pool.query((1, 2))
+
+
+def test_context_manager_restarts_are_independent(estimator):
+    for _ in range(2):
+        with WorkerPool(estimator, workers=1) as pool:
+            assert isinstance(pool.query((0, 1)), float)
+
+
+def test_empty_query_has_defined_semantics(estimator, index, bloom):
+    for structure in (estimator, index, bloom):
+        with WorkerPool(structure, workers=1) as pool:
+            result = future_outcome(pool.submit(()))
+            direct = None
+            try:
+                if pool.kind == "cardinality":
+                    direct = ("ok", structure.estimate(()))
+                elif pool.kind == "index":
+                    direct = ("ok", structure.lookup(()))
+                else:
+                    direct = ("ok", structure.contains(()))
+            except Exception as exc:
+                direct = ("err", type(exc).__name__, str(exc))
+            assert result == direct, seed_note(
+                f"empty-query contract diverged for kind={pool.kind}"
+            )

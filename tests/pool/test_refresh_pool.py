@@ -1,0 +1,132 @@
+"""Background refresh drives the pool: duck-typed swap, new generations.
+
+The maintain tier was written against the threaded ``SetServer`` surface;
+the pool exposes the same one (``structure`` / ``swap`` / ``kind`` /
+``registry`` / ``tracer`` / ``snapshot`` / ``maintainer``), so a
+:class:`BackgroundRefresher` must drive N worker processes exactly as it
+drives one server — publishing a fresh shm generation per refresh.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import LearnedCardinalityEstimator, TrainConfig
+from repro.infer import freeze_structure
+from repro.maintain import BackgroundRefresher, StalenessPolicy, default_rebuilder
+from repro.serve import WorkerPool
+
+from .conftest import SEED, seed_note, small_model_config, wait_until
+
+
+@pytest.fixture()
+def fresh_estimator(collection):
+    structure = LearnedCardinalityEstimator.build(
+        collection,
+        model_config=small_model_config(),
+        train_config=TrainConfig(
+            epochs=2, batch_size=64, lr=5e-3, loss="mse", seed=SEED
+        ),
+        max_subset_size=3,
+        rng=np.random.default_rng(SEED),
+    )
+    freeze_structure(structure, dtypes=("float64", "float32"), active="float32")
+    return structure
+
+
+def _rebuilder(structure, collection):
+    return default_rebuilder(
+        structure,
+        collection=collection,
+        model_config=small_model_config(),
+        train_config=TrainConfig(
+            epochs=2, batch_size=64, lr=5e-3, loss="mse", seed=SEED
+        ),
+        base_seed=SEED + 1,
+    )
+
+
+def test_manual_refresh_publishes_a_new_generation(fresh_estimator, collection, truth):
+    with WorkerPool(fresh_estimator, workers=2, exact=truth) as pool:
+        refresher = BackgroundRefresher(
+            pool,
+            _rebuilder(fresh_estimator, collection),
+            policy=StalenessPolicy(max_deltas=None, max_aux_fraction=None),
+            interval_s=30.0,
+        )
+        assert pool.maintainer is refresher
+        generation_before = pool.plan_registry.generation
+        version_before = pool.snapshot.version
+        snapshot = refresher.refresh_now(("test",))
+        assert snapshot.version == version_before + 1
+        assert pool.plan_registry.generation == generation_before + 1, (
+            seed_note("refresh did not publish a new shm generation")
+        )
+        for info in pool.workers_info():
+            assert info["generation"] == pool.plan_registry.generation, (
+                seed_note(f"worker {info['worker']} missed the refresh swap")
+            )
+        # Traffic still flows, against the refreshed structure.
+        assert pool.query((1, 2)) == pytest.approx(
+            pool.structure.estimate((1, 2)), rel=1e-6
+        )
+        status = refresher.status()
+        assert status["refreshes"] == 1
+
+
+def test_delta_pressure_trips_a_background_refresh(fresh_estimator, collection, truth):
+    with WorkerPool(fresh_estimator, workers=2, exact=truth) as pool:
+        with BackgroundRefresher(
+            pool,
+            _rebuilder(fresh_estimator, collection),
+            policy=StalenessPolicy(
+                max_deltas=3, max_aux_fraction=None, min_interval_s=0.0
+            ),
+            interval_s=0.05,
+        ) as refresher:
+            generation_before = pool.plan_registry.generation
+            for _ in range(4):
+                pool.record_update((0, 1), 4)
+            assert wait_until(
+                lambda: refresher.refreshes >= 1, timeout=30.0
+            ), seed_note("delta pressure never tripped a refresh")
+            assert wait_until(
+                lambda: pool.plan_registry.generation > generation_before,
+                timeout=30.0,
+            ), seed_note("background refresh published no new generation")
+            # The replayed mutation survives the rebuild-and-swap.
+            assert isinstance(pool.query((0, 1)), float)
+
+
+def test_refresh_status_flows_through_the_async_frontend(
+    fresh_estimator, collection, truth
+):
+    import json
+    import socket
+
+    from repro.serve import AsyncTcpFrontend
+
+    with WorkerPool(fresh_estimator, workers=2, exact=truth) as pool:
+        with BackgroundRefresher(
+            pool,
+            _rebuilder(fresh_estimator, collection),
+            policy=StalenessPolicy(max_deltas=None, max_aux_fraction=None),
+            interval_s=30.0,
+        ).start() as refresher:
+            frontend = AsyncTcpFrontend(pool, port=0).start_background()
+            try:
+                sock = socket.create_connection(frontend.address, timeout=10.0)
+                stream = sock.makefile("rw", encoding="utf-8", newline="\n")
+                stream.write("REFRESH NOW\n")
+                stream.flush()
+                status = json.loads(stream.readline())
+                assert status["auto_refresh"] is True
+                assert status["refreshes"] == 1, seed_note(
+                    "REFRESH NOW over the async frontend did not refresh"
+                )
+                assert status["snapshot_version"] == pool.snapshot.version
+                sock.close()
+            finally:
+                frontend.shutdown()
+            assert refresher.running

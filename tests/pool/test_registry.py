@@ -1,0 +1,106 @@
+"""PlanRegistry: atomic generation swap and refcounted unlink."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.infer import PlanError, shm_dir_names
+from repro.serve import PlanRegistry, RegistryError
+
+from .conftest import seed_note
+
+
+def _arrays(fill: float = 1.0) -> dict[str, np.ndarray]:
+    return {"w": np.full((4, 2), fill), "v": np.arange(3.0)}
+
+
+def _linked(prefix: str) -> list[str]:
+    names = shm_dir_names() or []
+    return [name for name in names if name.startswith(prefix)]
+
+
+def test_publish_flips_current_atomically():
+    with PlanRegistry() as registry:
+        assert registry.current is None and registry.generation == 0
+        first = registry.publish([_arrays(1.0)])
+        assert registry.generation == first.generation == 1
+        second = registry.publish([_arrays(2.0), None])
+        assert registry.generation == second.generation == 2
+        assert second.names[1] is None
+        # The retired generation had no readers: unlinked immediately.
+        assert first.unlinked
+        assert registry.live_segment_names() == second.segment_names
+
+
+def test_reader_refcount_defers_unlink():
+    with PlanRegistry() as registry:
+        first = registry.publish([_arrays(1.0)])
+        acquired = registry.acquire()
+        assert acquired is first and first.readers == 1
+        registry.publish([_arrays(2.0)])
+        assert first.retired and not first.unlinked, seed_note(
+            "retired generation unlinked while a reader still held it"
+        )
+        assert first.segment_names[0] in _linked(registry.prefix)
+        registry.release(first.generation)
+        assert first.unlinked
+        assert first.segment_names[0] not in _linked(registry.prefix)
+
+
+def test_release_without_acquire_is_an_error():
+    with PlanRegistry() as registry:
+        record = registry.publish([_arrays()])
+        with pytest.raises(RegistryError):
+            registry.release(record.generation)
+
+
+def test_acquire_unknown_generation_is_an_error():
+    with PlanRegistry() as registry:
+        registry.publish([_arrays()])
+        with pytest.raises(RegistryError):
+            registry.acquire(99)
+
+
+def test_half_built_publication_leaks_nothing():
+    registry = PlanRegistry()
+    try:
+        before = _linked(registry.prefix)
+        with pytest.raises(PlanError):
+            # The second part is unpackable: publish raises after the
+            # first part's segment already exists.
+            registry.publish([_arrays(), {"bad": object()}])
+        assert _linked(registry.prefix) == before, seed_note(
+            "a half-built generation leaked segments"
+        )
+        assert registry.current is None
+    finally:
+        registry.close()
+
+
+def test_close_unlinks_everything_even_with_readers():
+    registry = PlanRegistry()
+    record = registry.publish([_arrays()])
+    registry.acquire()
+    registry.close()
+    assert _linked(registry.prefix) == [], seed_note(
+        "registry.close() left segments linked"
+    )
+    with pytest.raises(RegistryError):
+        registry.publish([_arrays()])
+    # Releasing after close is a harmless no-op (the record is gone).
+    registry.release(record.generation)
+
+
+def test_status_reports_generations_and_bytes():
+    with PlanRegistry() as registry:
+        registry.publish([_arrays()])
+        registry.acquire()
+        registry.publish([_arrays(2.0)])
+        status = registry.status()
+        assert status["generation"] == 2
+        assert status["publishes"] == 2
+        assert status["live_segments"] == 2
+        generations = {g["generation"]: g for g in status["generations"]}
+        assert generations[1]["retired"] and generations[1]["readers"] == 1
+        assert all(g["bytes"] > 0 for g in status["generations"])

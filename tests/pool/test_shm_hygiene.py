@@ -1,0 +1,142 @@
+"""Shared-memory hygiene: no segment outlives its generation or the pool.
+
+These tests enumerate ``/dev/shm`` by the registry's name prefix — the
+strongest possible oracle: if a name is linked there, it leaks kernel
+memory until reboot, whatever our bookkeeping claims.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.infer import shm_dir_names
+from repro.serve import WorkerPool
+
+from .conftest import QUERIES, seed_note, wait_until
+
+
+pytestmark = pytest.mark.skipif(
+    shm_dir_names() is None, reason="no /dev/shm on this platform"
+)
+
+
+def _linked(prefix: str) -> list[str]:
+    return [name for name in (shm_dir_names() or []) if name.startswith(prefix)]
+
+
+def test_shutdown_unlinks_every_segment(frozen_estimator):
+    pool = WorkerPool(frozen_estimator, workers=2)
+    prefix = pool.plan_registry.prefix
+    pool.start()
+    assert _linked(prefix), seed_note(
+        "pool started without publishing any plan segment"
+    )
+    pool.query_many(QUERIES[:8])
+    pool.close()
+    assert _linked(prefix) == [], seed_note(
+        f"segments leaked in /dev/shm after close: {_linked(prefix)}"
+    )
+
+
+def test_each_swap_retires_the_previous_generation(collection):
+    import numpy as np
+
+    from repro.core import LearnedCardinalityEstimator, TrainConfig
+    from repro.infer import freeze_structure
+
+    from .conftest import SEED, small_model_config
+
+    def frozen(seed: int):
+        structure = LearnedCardinalityEstimator.build(
+            collection,
+            model_config=small_model_config(),
+            train_config=TrainConfig(
+                epochs=2, batch_size=64, lr=5e-3, loss="mse", seed=seed
+            ),
+            max_subset_size=3,
+            rng=np.random.default_rng(seed),
+        )
+        freeze_structure(
+            structure, dtypes=("float64", "float32"), active="float32"
+        )
+        return structure
+
+    with WorkerPool(frozen(SEED), workers=2) as pool:
+        prefix = pool.plan_registry.prefix
+        seen_after_swap = []
+        for round_index in range(3):
+            pool.swap(frozen(SEED + round_index + 1))
+            current = set(pool.plan_registry.current.segment_names)
+            linked = set(_linked(prefix))
+            assert linked == current, seed_note(
+                f"swap {round_index}: /dev/shm holds {sorted(linked)} but "
+                f"the live generation is {sorted(current)}"
+            )
+            seen_after_swap.append(sorted(linked))
+            # Traffic keeps flowing on the fresh generation.
+            assert isinstance(pool.query((1, 2)), float)
+        # Each generation used fresh names (no silent reuse).
+        flattened = [name for names in seen_after_swap for name in names]
+        assert len(set(flattened)) == len(flattened)
+    assert _linked(prefix) == [], seed_note("segments survived pool close")
+
+
+def test_old_generation_reader_finishes_before_unlink(frozen_estimator, collection):
+    """A batch in flight during a swap still answers correctly: the worker
+    closes its old mapping only after the dispatcher drains, and POSIX
+    keeps unlinked pages valid until that close."""
+    import numpy as np
+
+    from repro.core import LearnedCardinalityEstimator, TrainConfig
+    from repro.infer import freeze_structure
+
+    from .conftest import SEED, small_model_config
+
+    new = LearnedCardinalityEstimator.build(
+        collection,
+        model_config=small_model_config(),
+        train_config=TrainConfig(
+            epochs=2, batch_size=64, lr=5e-3, loss="mse", seed=SEED + 77
+        ),
+        max_subset_size=3,
+        rng=np.random.default_rng(SEED + 77),
+    )
+    freeze_structure(new, dtypes=("float64", "float32"), active="float32")
+
+    with WorkerPool(frozen_estimator, workers=2) as pool:
+        # Pile a large batch onto the old generation, then swap while the
+        # workers are (very likely) still chewing on it.
+        futures = pool.submit_many(QUERIES * 4)
+        pool.swap(new)
+        answers = [future.result(timeout=60.0) for future in futures]
+        assert all(isinstance(answer, float) for answer in answers), (
+            seed_note("a mid-swap batch lost answers")
+        )
+        # After the swap settles, only the new generation remains linked.
+        prefix = pool.plan_registry.prefix
+        assert wait_until(
+            lambda: set(_linked(prefix))
+            == set(pool.plan_registry.current.segment_names),
+            timeout=30.0,
+        ), seed_note("old generation was not retired after the swap drained")
+
+
+def test_worker_crash_does_not_unlink_live_generation(frozen_estimator):
+    import os
+    import signal
+
+    with WorkerPool(frozen_estimator, workers=2) as pool:
+        prefix = pool.plan_registry.prefix
+        live_before = set(_linked(prefix))
+        pid = pool._slots[0].process.pid
+        os.kill(pid, signal.SIGKILL)
+        assert wait_until(
+            lambda: pool._slots[0].alive
+            and pool._slots[0].process.pid != pid,
+            timeout=30.0,
+        ), seed_note("worker did not respawn")
+        assert set(_linked(prefix)) == live_before, seed_note(
+            "a worker crash changed the set of linked segments"
+        )
+        # The survivor and the respawn both still answer.
+        assert isinstance(pool.query((0, 1)), float)

@@ -1,0 +1,146 @@
+"""Shared-memory plan packing: segment layout, attach, and ownership."""
+
+from __future__ import annotations
+
+import secrets
+
+import numpy as np
+import pytest
+
+from repro.infer import (
+    PlanError,
+    attach_plan,
+    attach_segment,
+    create_segment,
+    publish_plan,
+    shm_dir_names,
+)
+from repro.infer.freeze import _raw_parts
+from repro.infer.shm import pack_arrays_size
+
+from .conftest import seed_note
+
+
+def _name() -> str:
+    return f"rptest{secrets.token_hex(4)}"
+
+
+def _arrays() -> dict[str, np.ndarray]:
+    rng = np.random.default_rng(7)
+    return {
+        "weights": rng.normal(size=(5, 3)).astype(np.float32),
+        "bias": rng.normal(size=(3,)),
+        "ids": np.arange(11, dtype=np.int64),
+        "empty": np.zeros((0, 2), dtype=np.float64),
+    }
+
+
+def test_segment_roundtrip_is_exact():
+    arrays = _arrays()
+    name = _name()
+    with create_segment(name, arrays) as owner:
+        reader = attach_segment(name)
+        try:
+            assert sorted(reader.arrays) == sorted(arrays)
+            for key, expected in arrays.items():
+                got = reader.arrays[key]
+                assert got.dtype == expected.dtype
+                assert got.shape == expected.shape
+                np.testing.assert_array_equal(got, expected)
+                assert not got.flags.writeable
+        finally:
+            reader.close()
+        owner.unlink()
+
+
+def test_reader_views_are_zero_copy():
+    arrays = _arrays()
+    name = _name()
+    with create_segment(name, arrays) as owner:
+        reader = attach_segment(name)
+        try:
+            view = reader.arrays["weights"]
+            # A zero-copy view has no own data: its base chain reaches the
+            # shared buffer rather than a private allocation.
+            assert view.base is not None
+        finally:
+            reader.close()
+        owner.unlink()
+
+
+def test_only_the_owner_may_unlink():
+    name = _name()
+    with create_segment(name, _arrays()) as owner:
+        reader = attach_segment(name)
+        with pytest.raises(PlanError):
+            reader.unlink()
+        reader.close()
+        owner.unlink()
+
+
+def test_attach_rejects_foreign_segments():
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(create=True, size=64, name=_name())
+    try:
+        with pytest.raises(PlanError):
+            attach_segment(shm.name)
+    finally:
+        shm.close()
+        shm.unlink()
+
+
+def test_pack_size_bounds_segment_size():
+    arrays = _arrays()
+    name = _name()
+    with create_segment(name, arrays) as owner:
+        assert owner.size <= pack_arrays_size(arrays)
+        owner.unlink()
+
+
+def test_close_is_idempotent_and_drops_views():
+    name = _name()
+    owner = create_segment(name, _arrays())
+    reader = attach_segment(name)
+    reader.close()
+    reader.close()
+    assert reader.arrays == {}
+    owner.close()
+    owner.unlink()
+
+
+def test_plan_publication_roundtrip(frozen_estimator):
+    (raw,) = _raw_parts(frozen_estimator)
+    plan = raw.infer_plan
+    assert plan is not None, seed_note("freeze_structure attached no plan")
+    name = _name()
+    segment = publish_plan(name, plan)
+    try:
+        reader_segment, rebuilt = attach_plan(name)
+        try:
+            queries = [(0, 1), (2,), (1, 2, 3)]
+            expected = plan(queries)
+            got = rebuilt(queries)
+            assert np.array_equal(got, expected), seed_note(
+                "shm plan answers diverged from the source plan"
+            )
+            assert rebuilt.weights_version == plan.weights_version
+        finally:
+            reader_segment.close()
+    finally:
+        segment.close()
+        segment.unlink()
+
+
+def test_unlink_removes_the_name_from_dev_shm():
+    names = shm_dir_names()
+    if names is None:
+        pytest.skip("no /dev/shm on this platform")
+    name = _name()
+    segment = create_segment(name, _arrays())
+    assert name in (shm_dir_names() or [])
+    segment.close()
+    segment.unlink()
+    assert name not in (shm_dir_names() or []), seed_note(
+        f"segment {name} leaked in /dev/shm after unlink"
+    )

@@ -84,10 +84,11 @@ class TestIdleTimeout:
             sock, stream = connect(tcp)
             try:
                 assert ask(stream, "0 1") != ""
-                time.sleep(0.6)
-                sock.settimeout(5.0)
-                # The handler timed out waiting for our next line and
-                # closed the socket: we observe EOF.
+                # Block on the next line with a generous socket timeout:
+                # the handler's 0.2s idle window fires first and closes
+                # the connection, which we observe as EOF — no fixed
+                # sleep to mistune against a loaded CI box.
+                sock.settimeout(10.0)
                 assert stream.readline() == ""
             finally:
                 sock.close()
@@ -99,9 +100,14 @@ class TestIdleTimeout:
         try:
             sock, stream = connect(tcp)
             try:
-                for _ in range(4):
-                    time.sleep(0.2)
+                # Keep the connection active until well past the idle
+                # window (wall-clock measured, not slept): every ask is
+                # activity, so the handler must never reap us.
+                deadline = time.monotonic() + 1.25
+                asks = 0
+                while time.monotonic() < deadline or asks < 2:
                     assert ask(stream, "0 1") != ""
+                    asks += 1
             finally:
                 sock.close()
         finally:

@@ -42,6 +42,7 @@ from .core import (
     LogMinMaxScaler,
     ModelConfig,
     OutlierRemovalConfig,
+    PredicateCardinalitySuite,
     TrainConfig,
     mean_q_error,
     q_error,
@@ -68,11 +69,19 @@ from .reliability import (
     FaultInjector,
     GuardedBloomFilter,
     GuardedCardinalityEstimator,
+    GuardedPredicateSuite,
     GuardedSetIndex,
     HealthCounters,
 )
 from .serve import BatchPolicy, ServerStats, SetServer
-from .sets import InvertedIndex, SetCollection, Vocabulary
+from .sets import (
+    DEFAULT_PREDICATES,
+    InvertedIndex,
+    Predicate,
+    SetCollection,
+    Vocabulary,
+    as_predicate,
+)
 from .shard import (
     Shard,
     ShardBuildError,
@@ -101,6 +110,11 @@ __all__ = [
     "LogMinMaxScaler",
     "q_error",
     "mean_q_error",
+    "Predicate",
+    "DEFAULT_PREDICATES",
+    "as_predicate",
+    "PredicateCardinalitySuite",
+    "GuardedPredicateSuite",
     "GuardedCardinalityEstimator",
     "GuardedSetIndex",
     "GuardedBloomFilter",

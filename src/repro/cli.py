@@ -11,9 +11,12 @@ Usage (installed as the ``repro`` console script, or
     repro train cardinality sets.txt est.pkl --kind clsm --epochs 30
     repro train index sets.txt idx.pkl
     repro train bloom sets.txt bf.pkl
+    repro train predicate sets.txt suite.pkl   # one estimator per predicate
     repro build index sets.txt idx.pkl --shards 4 --workers 4
     repro bench-shard --dataset rw-small --shards 4
     repro estimate est.pkl 3 17 42             # cardinality of {3, 17, 42}
+    repro estimate suite.pkl 3 17 --predicate "overlap>=2"
+    repro estimate suite.pkl 3 17 --predicate superset
     repro lookup idx.pkl 3 17                  # first position containing {3, 17}
     repro contains bf.pkl 3 17                 # membership answer
     repro serve est.pkl --port 7007            # concurrent TCP query serving
@@ -107,7 +110,7 @@ def build_parser() -> argparse.ArgumentParser:
                                  "one-line-per-span summary")
 
     train = commands.add_parser("train", help="train a learned structure")
-    train.add_argument("task", choices=("cardinality", "index", "bloom"))
+    train.add_argument("task", choices=("cardinality", "index", "bloom", "predicate"))
     train.add_argument("collection", type=Path)
     train.add_argument("out", type=Path)
     train.add_argument("--kind", choices=("lsm", "clsm"), default="clsm")
@@ -128,7 +131,7 @@ def build_parser() -> argparse.ArgumentParser:
         "build",
         help="train a sharded structure (parallel per-shard training)",
     )
-    build.add_argument("task", choices=("cardinality", "index", "bloom"))
+    build.add_argument("task", choices=("cardinality", "index", "bloom", "predicate"))
     build.add_argument("collection", type=Path)
     build.add_argument("out", type=Path)
     build.add_argument("--shards", type=int, default=4,
@@ -155,6 +158,13 @@ def build_parser() -> argparse.ArgumentParser:
         sub = commands.add_parser(name, help=help_text)
         sub.add_argument("structure", type=Path)
         sub.add_argument("elements", type=int, nargs="+")
+        if name == "estimate":
+            sub.add_argument(
+                "--predicate", default="subset",
+                help="query semantics: subset (default), superset, "
+                     "overlap>=K, or jaccard>=T (needs a structure "
+                     "trained with `repro train predicate`)",
+            )
 
     serve = commands.add_parser(
         "serve",
@@ -478,6 +488,21 @@ def _build_structure(args, collection: SetCollection):
             max_training_samples=args.max_training_samples,
             rng=rng,
         )
+    elif args.task == "predicate":
+        from .core import PredicateCardinalitySuite
+
+        structure = PredicateCardinalitySuite.build(
+            collection,
+            model_config=model_config,
+            train_config=TrainConfig(
+                epochs=args.epochs, batch_size=batch_size, lr=lr,
+                loss="mse", seed=args.seed,
+            ),
+            removal=removal,
+            max_subset_size=args.max_subset_size,
+            num_samples=args.max_training_samples,
+            rng=rng,
+        )
     elif args.task == "index":
         structure = LearnedSetIndex.build(
             collection,
@@ -509,6 +534,10 @@ def _build_structure(args, collection: SetCollection):
             structure = GuardedCardinalityEstimator.for_collection(
                 structure, collection
             )
+        elif args.task == "predicate":
+            from .reliability import GuardedPredicateSuite
+
+            structure = GuardedPredicateSuite.for_collection(structure, collection)
         elif args.task == "index":
             structure = GuardedSetIndex(structure)
         else:
@@ -581,6 +610,9 @@ def _report_health(structure) -> None:
 
 
 def _cmd_estimate(args) -> int:
+    from .core import PredicateCardinalitySuite
+    from .reliability import GuardedPredicateSuite
+    from .sets import as_predicate
     from .shard import ShardedCardinalityEstimator
 
     structure = _load_structure(args.structure)
@@ -590,12 +622,33 @@ def _cmd_estimate(args) -> int:
             LearnedCardinalityEstimator,
             GuardedCardinalityEstimator,
             ShardedCardinalityEstimator,
+            PredicateCardinalitySuite,
+            GuardedPredicateSuite,
         ),
     ):
         print("error: structure is not a cardinality estimator", file=sys.stderr)
         return 2
-    print(f"{structure.estimate(args.elements):.2f}")
-    if isinstance(structure, GuardedCardinalityEstimator):
+    try:
+        predicate = as_predicate(args.predicate)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if predicate.kind == "subset" and not getattr(
+        structure, "supports_predicates", False
+    ):
+        print(f"{structure.estimate(args.elements):.2f}")
+    else:
+        try:
+            value = structure.estimate(args.elements, predicate=predicate)
+        except (KeyError, TypeError, ValueError) as exc:
+            print(
+                f"error: structure cannot answer predicate "
+                f"{predicate.spec!r}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"{value:.2f}")
+    if isinstance(structure, (GuardedCardinalityEstimator, GuardedPredicateSuite)):
         _report_health(structure)
     return 0
 

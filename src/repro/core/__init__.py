@@ -24,6 +24,7 @@ from .index import LearnedSetIndex, LookupStats
 from .filters_ext import PartitionedLearnedBloomFilter, SandwichedLearnedBloomFilter
 from .membership import LearnedBloomFilter
 from .multi import MultiSetMembership
+from .predicate_suite import PredicateCardinalitySuite
 from .qerror import (
     absolute_error,
     binary_accuracy,
@@ -44,6 +45,7 @@ __all__ = [
     "SandwichedLearnedBloomFilter",
     "PartitionedLearnedBloomFilter",
     "MultiSetMembership",
+    "PredicateCardinalitySuite",
     "UpdateNotifier",
     "LookupStats",
     "DeepSetsModel",

@@ -1,0 +1,199 @@
+"""Predicate-conditioned cardinality estimation (the query-family tentpole).
+
+The paper's estimator answers one predicate — subset containment.  ACE
+(PAPERS.md) generalizes set-valued cardinality estimation to a predicate
+family; this module is the learned side of that generalization here: a
+:class:`PredicateCardinalitySuite` trains **one DeepSets estimator per
+predicate** over the same collection, because the count surfaces differ
+structurally (subset counts are monotone decreasing in the query, superset
+counts increase with it, overlap/Jaccard thresholds carve level sets) and
+a single regressor conditioned on a predicate id underperforms four small
+specialists at this scale.
+
+Each member estimator is a plain :class:`LearnedCardinalityEstimator` —
+auxiliary overrides, guided outlier eviction, compiled-inference plans and
+byte accounting all keep working per predicate.  The suite adds routing:
+
+* ``estimate`` / ``estimate_many`` take a ``predicate`` argument;
+* ``estimate_many_keyed`` answers a *mixed* batch of ``(spec, query)``
+  pairs in one pass per distinct predicate — the entry point the serving
+  micro-batcher uses, since one flush may interleave predicates.
+
+Training corpora come from :func:`repro.sets.subsets.predicate_training_pairs`
+(enumeration for subset, labelled perturbed stored sets for the rest), and
+labels are scaled per predicate: the subset scaler keeps the paper's
+a-priori bound (max single-element cardinality); the other predicates have
+no such bound below ``num_sets``, so their scalers fit the corpus.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..sets.collection import SetCollection
+from ..sets.inverted import InvertedIndex
+from ..sets.predicates import DEFAULT_PREDICATES, Predicate, as_predicate
+from ..sets.subsets import predicate_training_pairs
+from .cardinality import LearnedCardinalityEstimator
+from .config import ModelConfig
+from .hooks import UpdateNotifier
+from .hybrid import OutlierRemovalConfig
+from .scaling import LogMinMaxScaler
+from .training import TrainConfig
+
+__all__ = ["PredicateCardinalitySuite"]
+
+
+class PredicateCardinalitySuite(UpdateNotifier):
+    """One learned cardinality estimator per predicate, behind one router."""
+
+    supports_predicates = True
+
+    def __init__(self, estimators: Mapping[str, LearnedCardinalityEstimator]):
+        super().__init__()
+        if not estimators:
+            raise ValueError("suite needs at least one estimator")
+        # Keyed by canonical predicate spec; parse() validates each key.
+        self._estimators = {
+            as_predicate(spec).spec: estimator
+            for spec, estimator in estimators.items()
+        }
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        collection: SetCollection,
+        predicates: Sequence[Predicate | str] = DEFAULT_PREDICATES,
+        model_config: ModelConfig | None = None,
+        train_config: TrainConfig | None = None,
+        removal: OutlierRemovalConfig | None = None,
+        num_samples: int = 2000,
+        max_subset_size: int | None = 6,
+        max_extra_elements: int = 3,
+        rng: np.random.Generator | None = None,
+        index: InvertedIndex | None = None,
+    ) -> "PredicateCardinalitySuite":
+        """Train one estimator per predicate over ``collection``.
+
+        The exact :class:`InvertedIndex` (built once, shareable via
+        ``index``) labels every non-subset corpus; the subset member goes
+        through :meth:`LearnedCardinalityEstimator.build` so it stays
+        byte-identical to the unsharded paper estimator.
+        """
+        rng = rng or np.random.default_rng(
+            train_config.seed if train_config else None
+        )
+        index = index if index is not None else InvertedIndex(collection)
+        max_element_id = collection.max_element_id()
+        estimators: dict[str, LearnedCardinalityEstimator] = {}
+        for predicate in predicates:
+            predicate = as_predicate(predicate)
+            if predicate.kind == "subset":
+                estimators[predicate.spec] = LearnedCardinalityEstimator.build(
+                    collection,
+                    model_config=model_config,
+                    train_config=train_config,
+                    removal=removal,
+                    max_subset_size=max_subset_size,
+                    max_training_samples=num_samples,
+                    rng=rng,
+                )
+                continue
+            queries, counts = predicate_training_pairs(
+                collection,
+                predicate,
+                index=index,
+                num_samples=num_samples,
+                max_subset_size=max_subset_size,
+                max_extra_elements=max_extra_elements,
+                rng=rng,
+            )
+            # Counts range over [0, num_sets] with no tighter a-priori
+            # bound, so the scaler spans that full range (log1p admits 0).
+            scaler = LogMinMaxScaler.from_bounds(0.0, float(index.num_sets))
+            estimators[predicate.spec] = LearnedCardinalityEstimator.from_training_data(
+                queries,
+                counts,
+                max_element_id=max_element_id,
+                scaler=scaler,
+                model_config=model_config,
+                train_config=train_config,
+                removal=removal,
+                rng=rng,
+            )
+        return cls(estimators)
+
+    # -- routing --------------------------------------------------------------
+
+    @property
+    def predicates(self) -> tuple[Predicate, ...]:
+        """The trained predicate family, in registration order."""
+        return tuple(Predicate.parse(spec) for spec in self._estimators)
+
+    def estimator_for(self, predicate) -> LearnedCardinalityEstimator:
+        predicate = as_predicate(predicate)
+        try:
+            return self._estimators[predicate.spec]
+        except KeyError:
+            raise KeyError(
+                f"no estimator trained for predicate {predicate.spec!r}; "
+                f"trained: {sorted(self._estimators)}"
+            ) from None
+
+    def max_known_id(self) -> int:
+        """Shared trained universe (every member embeds the same ids)."""
+        return min(e.max_known_id() for e in self._estimators.values())
+
+    # -- queries --------------------------------------------------------------
+
+    def estimate(self, query: Iterable[int], predicate=None) -> float:
+        return self.estimator_for(predicate).estimate(query)
+
+    def estimate_many(
+        self, queries: Sequence[Iterable[int]], predicate=None
+    ) -> np.ndarray:
+        return self.estimator_for(predicate).estimate_many(queries)
+
+    def estimate_many_keyed(
+        self, items: Sequence[tuple[str, tuple[int, ...]]]
+    ) -> np.ndarray:
+        """Answer a mixed batch of ``(predicate_spec, query)`` pairs.
+
+        Rows are grouped by predicate so each member estimator gets one
+        vectorized call (keeping its own dedupe effective), then scattered
+        back into submission order.
+        """
+        out = np.empty(len(items), dtype=np.float64)
+        groups: dict[str, tuple[list[int], list[tuple[int, ...]]]] = {}
+        for row, (spec, query) in enumerate(items):
+            spec = as_predicate(spec).spec
+            rows, queries = groups.setdefault(spec, ([], []))
+            rows.append(row)
+            queries.append(query)
+        for spec, (rows, queries) in groups.items():
+            out[rows] = np.asarray(
+                self.estimator_for(spec).estimate_many(queries), dtype=np.float64
+            )
+        return out
+
+    # -- updates --------------------------------------------------------------
+
+    def record_update(self, subset, cardinality: int, predicate=None) -> None:
+        """Exact post-training override for one ``(predicate, query)``.
+
+        Lands in the member estimator's auxiliary map and re-fires the
+        suite-level hooks so serving caches invalidate regardless of which
+        member changed.
+        """
+        predicate = as_predicate(predicate)
+        self.estimator_for(predicate).record_update(subset, cardinality)
+        self._notify_update(tuple(sorted(set(subset))))
+
+    # -- accounting ------------------------------------------------------------
+
+    def total_bytes(self) -> int:
+        return sum(e.total_bytes() for e in self._estimators.values())

@@ -15,6 +15,7 @@ import numpy as np
 
 from ..nn.serialize import pickled_size_bytes
 from ..sets.inverted import InvertedIndex
+from ..sets.predicates import SUBSET, as_predicate
 from .table import SetTable
 
 __all__ = ["GinIndex"]
@@ -28,16 +29,38 @@ class GinIndex:
         self._inverted = InvertedIndex(table.to_collection())
         self.build_seconds = time.perf_counter() - started
         self.table = table
+        self._size_bytes: int | None = None
 
     def count_contains(self, query: Iterable[int]) -> int:
         """``COUNT(*) WHERE set @> query`` via posting-list intersection."""
         return self._inverted.cardinality(query)
 
-    def matching_rows(self, query: Iterable[int]) -> np.ndarray:
-        return self._inverted.matching_positions(query)
+    def count_matching(self, query: Iterable[int], predicate=SUBSET) -> int:
+        """``COUNT(*)`` under any predicate, on the posting lists.
+
+        Subset stays the classic rarest-first intersection; superset /
+        overlap / Jaccard run the per-position overlap-count algorithm of
+        :meth:`InvertedIndex.count_predicate` (one posting-list pass per
+        query element, then a vectorized size comparison).
+        """
+        return self._inverted.count_predicate(as_predicate(predicate), query)
+
+    def matching_rows(self, query: Iterable[int], predicate=SUBSET) -> np.ndarray:
+        predicate = as_predicate(predicate)
+        if predicate.kind == "subset":
+            return self._inverted.matching_positions(query)
+        return self._inverted.matching_positions_predicate(predicate, query)
 
     def size_bytes(self) -> int:
-        """Serialized size of the posting lists (the index's footprint)."""
-        return pickled_size_bytes(
-            {e: self._inverted.posting(e) for e in self._inverted.elements()}
-        )
+        """Serialized size of the posting lists (the index's footprint).
+
+        The postings are immutable after construction (a rebuild goes
+        through ``create_gin_index``, which makes a fresh instance), so
+        the footprint is computed once and cached — repeated calls used
+        to materialize and re-pickle every posting list each time.
+        """
+        if self._size_bytes is None:
+            self._size_bytes = pickled_size_bytes(
+                {e: self._inverted.posting(e) for e in self._inverted.elements()}
+            )
+        return self._size_bytes

@@ -1,17 +1,26 @@
 """COUNT-query execution over a :class:`SetTable` (Table 12's three regimes).
 
-The engine answers ``SELECT COUNT(*) FROM t WHERE set @> :query`` through
-one of three plans, mirroring the paper's PostgreSQL comparison:
+The engine answers ``SELECT COUNT(*) FROM t WHERE set <predicate> :query``
+through one of three plans, mirroring the paper's PostgreSQL comparison:
 
-* ``seqscan``   — full-table scan with a subset test per row
+* ``seqscan``   — full-table scan with a predicate test per row
   (PostgreSQL without an index);
-* ``gin``       — posting-list intersection on the :class:`GinIndex`
+* ``gin``       — posting-list evaluation on the :class:`GinIndex`
   (PostgreSQL with the hstore index);
 * ``udf:NAME``  — delegate to a registered estimator UDF
   (the paper's CLSM-in-PostgreSQL integration; approximate).
 
+The predicate defaults to subset containment (``set @> query``, the
+paper's query); ``superset`` / ``overlap>=K`` / ``jaccard>=T`` route to the
+matching exact algorithms (:mod:`repro.sets.predicates`) on seqscan and
+GIN plans, and to the UDF only when it advertises predicate support.
+
 ``explain`` implements the planner choice: GIN if present, else seq scan —
 a UDF plan is only used when explicitly requested, as in the paper.
+Execution resolves a plan to its *executor* exactly once per call: a batch
+(:meth:`SetQueryEngine.count_many`) runs start to finish against the index
+captured at resolution time, so a concurrent ``drop_gin_index()`` cannot
+tear it into half-GIN, half-error results.
 """
 
 from __future__ import annotations
@@ -20,10 +29,11 @@ import time
 from dataclasses import dataclass
 from typing import Iterable
 
+from ..sets.predicates import SUBSET, Predicate, as_predicate
 from ..sets.vocab import Vocabulary
 from .gin import GinIndex
 from .table import SetTable
-from .udf import ServedUdf, UdfRegistry
+from .udf import ServedUdf, UdfRegistry, invoke_udf, invoke_udf_many
 
 __all__ = ["QueryResult", "SetQueryEngine"]
 
@@ -43,7 +53,7 @@ class QueryResult:
 
 
 class SetQueryEngine:
-    """Planner + executor for subset-containment COUNT queries."""
+    """Planner + executor for set-predicate COUNT queries."""
 
     def __init__(self, table: SetTable):
         self.table = table
@@ -86,37 +96,58 @@ class SetQueryEngine:
         ``None`` lets the planner pick: GIN when available, sequential scan
         otherwise.  Explicit values are validated.
         """
+        return self._resolve(plan)[0]
+
+    def _resolve(self, plan: str | None):
+        """Validate ``plan`` and capture its executor in one step.
+
+        Returns ``(resolved_name, gin_index, udf_function)`` where exactly
+        one of the last two is non-``None`` for indexed/UDF plans.  The
+        caller executes against the captured objects, never through
+        ``self.gin`` / the registry again, so concurrent DDL (dropping the
+        index, unregistering the UDF) cannot change an execution midway.
+        """
+        gin = self.gin
         if plan is None:
-            return "gin" if self.gin is not None else "seqscan"
+            return ("gin", gin, None) if gin is not None else ("seqscan", None, None)
         if plan == "seqscan":
-            return plan
+            return plan, None, None
         if plan == "gin":
-            if self.gin is None:
+            if gin is None:
                 raise RuntimeError("no GIN index exists; create_gin_index() first")
-            return plan
+            return plan, gin, None
         if plan.startswith("udf:"):
-            name = plan[4:]
-            if name not in self.udfs:
-                raise KeyError(f"no UDF registered under {name!r}")
-            return plan
+            return plan, None, self.udfs.get(plan[4:])
         raise ValueError(f"unknown plan {plan!r}")
+
+    def _default_plan_name(self, plan: str | None) -> str:
+        """Plan *name* without validation — for results that skip execution."""
+        if plan is not None:
+            return plan
+        return "gin" if self.gin is not None else "seqscan"
 
     # -- execution ----------------------------------------------------------------
 
-    def count(self, query: Iterable[int], plan: str | None = None) -> QueryResult:
-        """Run ``COUNT(*) WHERE set @> query`` under the resolved plan."""
+    def count(
+        self,
+        query: Iterable[int],
+        plan: str | None = None,
+        predicate: Predicate | str | None = None,
+    ) -> QueryResult:
+        """Run ``COUNT(*) WHERE predicate(query, set)`` under the resolved plan."""
+        predicate = as_predicate(predicate)
         canonical = tuple(sorted(set(int(e) for e in query)))
         if not canonical:
             raise ValueError("query must contain at least one element")
-        resolved = self.explain(plan)
+        resolved, gin, function = self._resolve(plan)
         started = time.perf_counter()
         if resolved == "seqscan":
-            count, examined = self._seqscan(canonical)
+            count, examined = self._seqscan(canonical, predicate)
         elif resolved == "gin":
-            count = self.gin.count_contains(canonical)
+            count = gin.count_matching(canonical, predicate)
             examined = 0
         else:
-            count = self.udfs.call(resolved[4:], canonical)
+            count = invoke_udf(function, canonical, predicate)
             examined = 0
         return QueryResult(
             count=float(count),
@@ -126,27 +157,50 @@ class SetQueryEngine:
         )
 
     def count_many(
-        self, queries: Iterable[Iterable[int]], plan: str | None = None
+        self,
+        queries: Iterable[Iterable[int]],
+        plan: str | None = None,
+        predicate: Predicate | str | None = None,
     ) -> list[QueryResult]:
         """Run one COUNT per query under a single resolved plan.
 
-        For ``udf:`` plans whose UDF exposes a batch path (a registered
-        server), all queries are submitted together and answered by
-        coalesced vectorized model calls; other plans execute per query.
-        The per-result ``seconds`` is the mean over the batch for the
-        batched path, since batching makes individual timings meaningless.
+        The plan is resolved — and its executor captured — once for the
+        whole batch, so every query runs against the same index even if
+        the index is dropped or rebuilt concurrently.  For ``udf:`` plans
+        whose UDF exposes a batch path (a registered server), all queries
+        are submitted together and answered by coalesced vectorized model
+        calls; other plans execute per query.  The per-result ``seconds``
+        is the mean over the batch for the batched path, since batching
+        makes individual timings meaningless.
         """
+        predicate = as_predicate(predicate)
         canonicals = []
         for query in queries:
             canonical = tuple(sorted(set(int(e) for e in query)))
             if not canonical:
                 raise ValueError("query must contain at least one element")
             canonicals.append(canonical)
-        resolved = self.explain(plan)
+        resolved, gin, function = self._resolve(plan)
         if not resolved.startswith("udf:"):
-            return [self.count(canonical, plan=resolved) for canonical in canonicals]
+            results = []
+            for canonical in canonicals:
+                started = time.perf_counter()
+                if resolved == "gin":
+                    count = gin.count_matching(canonical, predicate)
+                    examined = 0
+                else:
+                    count, examined = self._seqscan(canonical, predicate)
+                results.append(
+                    QueryResult(
+                        count=float(count),
+                        plan=resolved,
+                        rows_examined=examined,
+                        seconds=time.perf_counter() - started,
+                    )
+                )
+            return results
         started = time.perf_counter()
-        counts = self.udfs.call_many(resolved[4:], canonicals)
+        counts = invoke_udf_many(function, canonicals, predicate)
         mean_seconds = (
             (time.perf_counter() - started) / len(canonicals) if canonicals else 0.0
         )
@@ -165,30 +219,46 @@ class SetQueryEngine:
         tokens: Iterable[str],
         vocab: Vocabulary,
         plan: str | None = None,
+        predicate: Predicate | str | None = None,
     ) -> QueryResult:
         """COUNT for a string-token query; unseen tokens are a defined miss.
 
         Real queries arrive as strings (hashtags, log tokens).  A token the
-        vocabulary never interned cannot occur in any stored set, so the
-        exact count is 0 — returned without touching the plan's executor
-        instead of surfacing an uncaught ``KeyError`` from strict encoding.
+        vocabulary never interned cannot occur in any stored set, so under
+        ``subset`` the exact count is 0 — returned *before* plan resolution,
+        so a miss never raises on a plan whose executor is unavailable
+        (``plan="gin"`` with no index, an unregistered ``udf:``).  Under
+        the other predicates unknown tokens are dropped from the query:
+        exact for ``superset`` and ``overlap`` (unknown elements contribute
+        nothing to intersections and never block containment), a documented
+        over-approximation for ``jaccard`` (the lost union members would
+        only shrink the score); a query of *only* unknown tokens is a miss.
         """
+        predicate = as_predicate(predicate)
         ids, unknown = vocab.encode_lenient(tokens)
-        if unknown:
+        if unknown and (predicate.kind == "subset" or not ids):
             return QueryResult(
                 count=0.0,
-                plan=self.explain(plan),
+                plan=self._default_plan_name(plan),
                 rows_examined=0,
                 seconds=0.0,
             )
-        return self.count(ids, plan=plan)
+        return self.count(ids, plan=plan, predicate=predicate)
 
-    def _seqscan(self, query: tuple[int, ...]) -> tuple[int, int]:
+    def _seqscan(
+        self, query: tuple[int, ...], predicate: Predicate = SUBSET
+    ) -> tuple[int, int]:
         q = frozenset(query)
         count = 0
         examined = 0
+        if predicate.kind == "subset":
+            for _, stored in self.table.scan():
+                examined += 1
+                if q.issubset(stored):
+                    count += 1
+            return count, examined
         for _, stored in self.table.scan():
             examined += 1
-            if q.issubset(stored):
+            if predicate.matches(q, stored):
                 count += 1
         return count, examined

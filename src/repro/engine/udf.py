@@ -8,15 +8,58 @@ A UDF may additionally expose a *batch* path: :class:`ServedUdf` wraps a
 :class:`repro.serve.SetServer` so a ``udf:`` plan executed over many
 queries at once rides the server's micro-batcher instead of looping
 single-query model calls.
+
+Predicates: a plain callable is assumed to implement the paper's subset
+semantics only; a UDF that understands the full predicate family
+advertises it with a truthy ``supports_predicates`` attribute and accepts
+a ``predicate`` keyword.  Routing a non-subset predicate to a UDF without
+that attribute is a :class:`ValueError`, not a silently wrong answer.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Iterable, Sequence
 
-__all__ = ["ServedUdf", "UdfRegistry"]
+from ..sets.predicates import SUBSET, Predicate, as_predicate
+
+__all__ = ["ServedUdf", "UdfRegistry", "invoke_udf", "invoke_udf_many"]
 
 Udf = Callable[[tuple[int, ...]], float]
+
+
+def invoke_udf(
+    function: Udf, canonical: tuple[int, ...], predicate: Predicate = SUBSET
+) -> float:
+    """Call one UDF under one predicate, enforcing the support contract."""
+    predicate = as_predicate(predicate)
+    if getattr(function, "supports_predicates", False):
+        return float(function(canonical, predicate=predicate))
+    if predicate.kind != "subset":
+        raise ValueError(
+            f"UDF does not support predicate {predicate.spec!r}; "
+            "only subset-containment UDFs can omit supports_predicates"
+        )
+    return float(function(canonical))
+
+
+def invoke_udf_many(
+    function: Udf,
+    canonicals: Sequence[tuple[int, ...]],
+    predicate: Predicate = SUBSET,
+) -> list[float]:
+    """Batched invocation; uses the UDF's ``many`` path when it has one."""
+    predicate = as_predicate(predicate)
+    many = getattr(function, "many", None)
+    if callable(many):
+        if getattr(function, "supports_predicates", False):
+            return [float(value) for value in many(canonicals, predicate=predicate)]
+        if predicate.kind != "subset":
+            raise ValueError(
+                f"UDF does not support predicate {predicate.spec!r}; "
+                "only subset-containment UDFs can omit supports_predicates"
+            )
+        return [float(value) for value in many(canonicals)]
+    return [invoke_udf(function, canonical, predicate) for canonical in canonicals]
 
 
 class ServedUdf:
@@ -25,19 +68,31 @@ class ServedUdf:
     Scalar calls delegate to the server's blocking :meth:`query`; the
     engine's batched execution path uses :meth:`many`, which submits every
     query before waiting so the micro-batcher can coalesce them into
-    vectorized model calls.
+    vectorized model calls.  The server understands the whole predicate
+    family, so the wrapper advertises ``supports_predicates``.
     """
+
+    supports_predicates = True
 
     def __init__(self, server):
         if not hasattr(server, "query") or not hasattr(server, "query_many"):
             raise TypeError("ServedUdf needs a SetServer-like object")
         self.server = server
 
-    def __call__(self, query: tuple[int, ...]) -> float:
-        return float(self.server.query(query))
+    def __call__(
+        self, query: tuple[int, ...], predicate: Predicate | str | None = None
+    ) -> float:
+        return float(self.server.query(query, predicate=predicate))
 
-    def many(self, queries: Sequence[tuple[int, ...]]) -> list[float]:
-        return [float(value) for value in self.server.query_many(queries)]
+    def many(
+        self,
+        queries: Sequence[tuple[int, ...]],
+        predicate: Predicate | str | None = None,
+    ) -> list[float]:
+        return [
+            float(value)
+            for value in self.server.query_many(queries, predicate=predicate)
+        ]
 
 
 class UdfRegistry:
@@ -61,19 +116,26 @@ class UdfRegistry:
         except KeyError:
             raise KeyError(f"no UDF registered under {name!r}") from None
 
-    def call(self, name: str, query: Iterable[int]) -> float:
-        return float(self.get(name)(tuple(sorted(set(query)))))
+    def call(
+        self,
+        name: str,
+        query: Iterable[int],
+        predicate: Predicate | str | None = None,
+    ) -> float:
+        return invoke_udf(
+            self.get(name), tuple(sorted(set(query))), as_predicate(predicate)
+        )
 
     def call_many(
-        self, name: str, queries: Sequence[Iterable[int]]
+        self,
+        name: str,
+        queries: Sequence[Iterable[int]],
+        predicate: Predicate | str | None = None,
     ) -> list[float]:
-        """Batched invocation; uses the UDF's ``many`` path when it has one."""
+        """Batched invocation under one captured function lookup."""
         function = self.get(name)
         canonicals = [tuple(sorted(set(q))) for q in queries]
-        many = getattr(function, "many", None)
-        if callable(many):
-            return [float(value) for value in many(canonicals)]
-        return [float(function(canonical)) for canonical in canonicals]
+        return invoke_udf_many(function, canonicals, as_predicate(predicate))
 
     def __contains__(self, name: str) -> bool:
         return name in self._functions

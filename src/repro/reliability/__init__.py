@@ -16,6 +16,7 @@ from .guarded import (
     GuardedBloomFilter,
     GuardedCardinalityEstimator,
     GuardedEstimator,
+    GuardedPredicateSuite,
     GuardedSetIndex,
     REASON_EMPTY,
     REASON_INVALID_PREDICTION,
@@ -34,6 +35,7 @@ __all__ = [
     "HealthCounters",
     "GuardedEstimator",
     "GuardedCardinalityEstimator",
+    "GuardedPredicateSuite",
     "GuardedSetIndex",
     "GuardedBloomFilter",
     "REASON_MALFORMED",

@@ -49,6 +49,7 @@ from .health import HealthCounters
 __all__ = [
     "GuardedEstimator",
     "GuardedCardinalityEstimator",
+    "GuardedPredicateSuite",
     "GuardedSetIndex",
     "GuardedBloomFilter",
     "REASON_MALFORMED",
@@ -239,6 +240,123 @@ class GuardedCardinalityEstimator(GuardedEstimator):
     def _exact(self, canonical: tuple[int, ...], reason: str) -> float:
         self.health.record_fallback(reason)
         return float(self.exact.cardinality(canonical))
+
+
+class GuardedPredicateSuite(GuardedEstimator):
+    """Reliability facade over :class:`PredicateCardinalitySuite`.
+
+    Per-predicate failure semantics (``subset`` keeps the contract of
+    :class:`GuardedCardinalityEstimator`; the other kinds differ where
+    the mathematics differ):
+
+    * **empty query** — ``N`` under subset (vacuous truth), ``0`` under
+      superset/overlap/jaccard (stored sets are non-empty); both are the
+      exact defined answers, served as short-circuits.
+    * **OOV elements** — an exact subset miss (``0.0``); under the other
+      kinds unknown ids do *not* force a miss (they never block superset
+      containment and merely enlarge the Jaccard union), so the query is
+      answered by the exact index, which implements precisely those
+      semantics via empty posting lists.
+    * **oversized query** — an exact subset miss; under the other kinds a
+      huge query *helps* matching, so it is answered exactly rather than
+      shown to a model that never trained on that size.
+    * **model failure / invalid prediction** — exact predicate count.
+    """
+
+    structure_name = "predicate_cardinality"
+    supports_predicates = True
+
+    def __init__(self, suite, exact: InvertedIndex, max_query_size: int | None = None):
+        super().__init__(suite, exact, max_query_size)
+        self.suite = suite
+
+    @classmethod
+    def for_collection(cls, suite, collection) -> "GuardedPredicateSuite":
+        return cls(
+            suite,
+            InvertedIndex(collection),
+            max_query_size=_max_stored_size(collection),
+        )
+
+    def estimate(self, query: Iterable[int], predicate=None) -> float:
+        """Predicate-conditioned estimate that never raises on any query."""
+        return float(self.estimate_many([query], predicate=predicate)[0])
+
+    def estimate_many(
+        self, queries: Sequence[Iterable[int]], predicate=None
+    ) -> np.ndarray:
+        from ..sets.predicates import as_predicate
+
+        predicate = as_predicate(predicate)
+        spec = predicate.spec
+        return self.estimate_many_keyed([(spec, query) for query in queries])
+
+    def estimate_many_keyed(
+        self, items: Sequence[tuple[str, Iterable[int]]]
+    ) -> np.ndarray:
+        """Mixed ``(predicate_spec, query)`` batch with per-row fallback.
+
+        Valid rows share one :meth:`estimate_many_keyed` pass on the
+        wrapped suite; every prediction is then validated individually,
+        so a NaN row falls back to the exact predicate count without
+        dragging its batchmates with it.
+        """
+        from ..sets.predicates import as_predicate
+
+        out = np.empty(len(items), dtype=np.float64)
+        model_rows: list[int] = []
+        model_items: list[tuple] = []
+        for row, (spec, query) in enumerate(items):
+            self.health.record_query()
+            try:
+                predicate = as_predicate(spec)
+            except (TypeError, ValueError):
+                self.health.record_short_circuit(REASON_MALFORMED)
+                out[row] = 0.0
+                continue
+            canonical = self._canonicalize(query)
+            reason = self._validate(canonical)
+            if reason == REASON_MALFORMED:
+                self.health.record_short_circuit(reason)
+                out[row] = 0.0
+            elif reason == REASON_EMPTY:
+                self.health.record_short_circuit(reason)
+                out[row] = float(predicate.empty_query_count(self.exact.num_sets))
+            elif reason is not None and predicate.kind == "subset":
+                # OOV / oversized queries are exact subset misses.
+                self.health.record_short_circuit(reason)
+                out[row] = 0.0
+            elif reason is not None:
+                # Under the other predicates neither condition is a miss;
+                # the exact index implements the defined OOV semantics.
+                out[row] = self._exact(predicate, canonical, reason)
+            else:
+                model_rows.append(row)
+                model_items.append((predicate, canonical))
+        if not model_rows:
+            return out
+        keyed = [(predicate.spec, canonical) for predicate, canonical in model_items]
+        try:
+            values = np.asarray(
+                self.suite.estimate_many_keyed(keyed), dtype=np.float64
+            )
+            if len(values) != len(keyed):
+                raise ValueError("batched estimate returned a short result")
+        except Exception:
+            for row, (predicate, canonical) in zip(model_rows, model_items):
+                out[row] = self._exact(predicate, canonical, REASON_MODEL_ERROR)
+            return out
+        for row, (predicate, canonical), value in zip(model_rows, model_items, values):
+            if not math.isfinite(value) or value < 0.0 or value > self.exact.num_sets:
+                out[row] = self._exact(predicate, canonical, REASON_INVALID_PREDICTION)
+            else:
+                self.health.record_model_answer()
+                out[row] = float(value)
+        return out
+
+    def _exact(self, predicate, canonical: tuple[int, ...], reason: str) -> float:
+        self.health.record_fallback(reason)
+        return float(self.exact.count_predicate(predicate, canonical))
 
 
 class GuardedSetIndex(GuardedEstimator):

@@ -20,6 +20,33 @@ __all__ = ["QueryCache"]
 _MISSING = object()
 
 
+def _related(key: Hashable, mutated: frozenset) -> bool:
+    """Whether a mutation of ``mutated`` can change the answer under ``key``.
+
+    See :meth:`QueryCache.invalidate_related` for the per-predicate rules.
+    """
+    spec = None
+    cached_query = key
+    if (
+        isinstance(key, tuple)
+        and len(key) == 2
+        and isinstance(key[0], str)
+    ):
+        spec, cached_query = key
+    try:
+        cached = frozenset(cached_query)
+    except TypeError:
+        return False
+    if not cached:
+        return True
+    if spec is None or spec.startswith(("subset", "superset")):
+        return cached <= mutated or cached >= mutated
+    if spec.startswith(("overlap", "jaccard")):
+        return bool(cached & mutated)
+    # Unknown spec string: be conservative, drop it.
+    return True
+
+
 class QueryCache:
     """Bounded LRU map with hit/miss/eviction/invalidation counters.
 
@@ -86,25 +113,30 @@ class QueryCache:
         """Drop every entry whose answer a mutation of ``canonical`` can change.
 
         A structure mutation is logically an insert/update of the set
-        ``canonical``: any cached query that is a *subset* of it can now be
-        satisfied (or counted) by the mutated set, and any *superset* query
-        had its answer derived from state the mutation just changed.  Both
-        directions are dropped; the exact key is a subset of itself, so
-        this strictly widens :meth:`invalidate`.  The empty query (its
-        answer aggregates the whole collection) is a subset of every
-        mutation and is always dropped.  Returns the number of entries
-        removed; a sweep that drops nothing counts one invalidation miss.
+        ``canonical``.  Keys come in two shapes: a bare canonical query
+        (legacy callers) or a ``(predicate_spec, canonical)`` pair (the
+        server).  The relation swept depends on the cached predicate:
+
+        * **bare / subset / superset** — any cached query that is a subset
+          of the mutated set can now be satisfied (or counted) by it, and
+          any superset query had its answer derived from state the
+          mutation changed; both directions are dropped (the exact key is
+          a subset of itself, so this strictly widens :meth:`invalidate`);
+        * **overlap / jaccard** — the thresholds move with the
+          intersection size, so any cached query *intersecting* the
+          mutated set is dropped (a strict superset of the ⊆/⊇ sweep);
+        * the **empty query** aggregates the whole collection under every
+          predicate and is always dropped.
+
+        Returns the number of entries removed; a sweep that drops nothing
+        counts one invalidation miss.
         """
         try:
             mutated = frozenset(canonical)
         except TypeError:
             return 0
         with self._lock:
-            stale = [
-                key
-                for key in self._data
-                if (cached := frozenset(key)) <= mutated or cached >= mutated
-            ]
+            stale = [key for key in self._data if _related(key, mutated)]
             for key in stale:
                 del self._data[key]
             if stale:

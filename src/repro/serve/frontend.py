@@ -25,7 +25,7 @@ import json
 import threading
 from typing import Any
 
-from .net import _format_answer
+from .net import _format_answer, parse_query_line
 
 __all__ = ["AsyncTcpFrontend"]
 
@@ -215,13 +215,13 @@ class AsyncTcpFrontend:
                 )
                 continue
             try:
-                query = tuple(int(token) for token in tokens)
+                spec, query = parse_query_line(tokens)
             except ValueError:
                 await self._reply(writer, "error malformed query")
                 continue
             try:
                 answer = await asyncio.wait_for(
-                    asyncio.wrap_future(backend.submit(query)),
+                    asyncio.wrap_future(backend.submit(query, predicate=spec)),
                     timeout=self.request_deadline_s,
                 )
             except asyncio.TimeoutError:

@@ -4,7 +4,9 @@
 protocol deliberately simple enough for ``nc``:
 
 * request: one query per line, element ids separated by spaces
-  (``3 17 42\\n``);
+  (``3 17 42\\n``); an optional leading predicate token selects the query
+  semantics (``superset 3 17 42``, ``overlap>=2 3 17``,
+  ``jaccard>=0.5 3 17``, ``subset 3 17`` — no token means ``subset``);
 * response: one line per query — cardinality as a float, index position as
   an integer (``none`` for a miss), membership as ``true``/``false``;
 * ``STATS`` returns the full server-stats JSON on one line;
@@ -47,9 +49,28 @@ import socketserver
 import threading
 from typing import Any
 
+from ..sets.predicates import Predicate
 from .server import SetServer
 
-__all__ = ["TcpServeFrontend"]
+__all__ = ["TcpServeFrontend", "parse_query_line"]
+
+
+def parse_query_line(tokens: list[str]) -> tuple[str, tuple[int, ...]]:
+    """Split a request line into ``(predicate_spec, query)``.
+
+    An optional leading non-numeric token names the predicate
+    (``superset 3 17``, ``overlap>=2 3 17``); its absence means
+    ``subset``.  Raises ``ValueError`` for unparseable lines — a leading
+    token that is neither an integer nor a known predicate keeps the
+    protocol's historical ``error malformed query`` answer.
+    """
+    spec = "subset"
+    if tokens:
+        head = tokens[0]
+        if not (head.isdigit() or (head.startswith("-") and head[1:].isdigit())):
+            spec = Predicate.parse(head).spec
+            tokens = tokens[1:]
+    return spec, tuple(int(token) for token in tokens)
 
 
 class _Handler(socketserver.StreamRequestHandler):
@@ -120,12 +141,12 @@ class _Handler(socketserver.StreamRequestHandler):
                 self._reply(json.dumps(maintainer.status(), sort_keys=True))
                 continue
             try:
-                query = tuple(int(token) for token in line.split())
+                spec, query = parse_query_line(tokens)
             except ValueError:
                 self._reply("error malformed query")
                 continue
             try:
-                answer = server.query(query, timeout=deadline)
+                answer = server.query(query, timeout=deadline, predicate=spec)
             except (concurrent.futures.TimeoutError, TimeoutError):
                 self._reply("error deadline exceeded")
             except Exception as exc:

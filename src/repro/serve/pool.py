@@ -58,6 +58,7 @@ from ..infer.shm import attach_plan
 from ..obs.metrics import MetricsRegistry, merge_expositions
 from ..obs.trace import Tracer, get_tracer
 from ..sets.inverted import InvertedIndex
+from ..sets.predicates import as_predicate
 from .batcher import BatchPolicy
 from .registry import PlanRegistry
 from .server import SetServer, canonical_query, detect_kind, exact_answer
@@ -237,9 +238,17 @@ def _pool_worker_main(
                 break
             verb = message[0]
             if verb == "batch":
-                futures = [
-                    (rid, server.submit(query)) for rid, query in message[1]
-                ]
+                futures = []
+                for rid, spec, query in message[1]:
+                    try:
+                        # submit can raise synchronously (e.g. a predicate
+                        # the structure does not route); that is this
+                        # request's defined error, not a replica death.
+                        futures.append((rid, server.submit(query, predicate=spec)))
+                    except Exception as exc:
+                        failed: Future = Future()
+                        failed.set_exception(exc)
+                        futures.append((rid, failed))
                 replies = []
                 for rid, future in futures:
                     try:
@@ -528,14 +537,34 @@ class WorkerPool:
 
     # -- querying --------------------------------------------------------------
 
-    def submit(self, query: Iterable[int]) -> Future:
-        """Admit one query; returns a future resolving to its answer."""
-        return self.submit_many([query])[0]
+    def supports_predicates(self) -> bool:
+        """Whether the replicated structure routes the non-subset predicates."""
+        if self.kind != "cardinality":
+            return False
+        flag = getattr(self.structure, "supports_predicates", None)
+        if flag is not None:
+            return bool(flag)
+        return hasattr(self.structure, "estimate_many_keyed")
 
-    def submit_many(self, queries: Sequence[Iterable[int]]) -> list[Future]:
+    def submit(self, query: Iterable[int], predicate=None) -> Future:
+        """Admit one query; returns a future resolving to its answer."""
+        return self.submit_many([query], predicate=predicate)[0]
+
+    def submit_many(
+        self, queries: Sequence[Iterable[int]], predicate=None
+    ) -> list[Future]:
         """Admit a client batch: route, group per worker, send one message
         per worker.  Queries routed to a down worker shed to the exact
-        path immediately (or resolve to a defined :class:`PoolError`)."""
+        path immediately (or resolve to a defined :class:`PoolError`).
+        ``predicate`` rides the batch message, so every replica answers —
+        and caches — under the same ``(predicate, canonical)`` key the
+        threaded tier uses."""
+        spec = as_predicate(predicate).spec
+        if spec != "subset" and not self.supports_predicates():
+            raise ValueError(
+                f"this {self.kind} pool cannot answer predicate "
+                f"{spec!r}; serve a PredicateCardinalitySuite"
+            )
         futures: list[Future] = []
         grouped: dict[int, list[tuple[int, Any, Future]]] = {}
         for query in queries:
@@ -543,10 +572,13 @@ class WorkerPool:
             futures.append(future)
             self._metric_requests.inc()
             canonical = canonical_query(query)
-            key = repr(canonical if canonical is not None else query).encode()
+            routed = canonical if canonical is not None else query
+            # Subset keys keep their historical shape so the ring routes
+            # existing traffic identically across upgrades.
+            key = repr(routed if spec == "subset" else (spec, routed)).encode()
             slot = self._slots[self._ring.route(key)]
             if not slot.alive or self._closing.is_set():
-                self._resolve_shed(future, query)
+                self._resolve_shed(future, (spec, query))
                 continue
             grouped.setdefault(slot.index, []).append(
                 (next(self._rids), query, future)
@@ -556,31 +588,38 @@ class WorkerPool:
             with slot.lock:
                 if not slot.alive:
                     for _rid, query, future in entries:
-                        self._resolve_shed(future, query)
+                        self._resolve_shed(future, (spec, query))
                     continue
                 for rid, query, future in entries:
-                    slot.pending[rid] = (future, query)
+                    slot.pending[rid] = (future, (spec, query))
             try:
                 with slot.send_lock:
                     slot.conn.send(
-                        ("batch", [(rid, query) for rid, query, _f in entries])
+                        ("batch", [(rid, spec, query) for rid, query, _f in entries])
                     )
             except (OSError, ValueError):
                 self._on_worker_down(slot)
         return futures
 
-    def query(self, query: Iterable[int], timeout: float | None = 30.0) -> Any:
-        return self.submit(query).result(timeout)
+    def query(
+        self, query: Iterable[int], timeout: float | None = 30.0, predicate=None
+    ) -> Any:
+        return self.submit(query, predicate=predicate).result(timeout)
 
     def query_many(
-        self, queries: Sequence[Iterable[int]], timeout: float | None = 30.0
+        self,
+        queries: Sequence[Iterable[int]],
+        timeout: float | None = 30.0,
+        predicate=None,
     ) -> list[Any]:
         return [
-            future.result(timeout) for future in self.submit_many(queries)
+            future.result(timeout)
+            for future in self.submit_many(queries, predicate=predicate)
         ]
 
-    def _resolve_shed(self, future: Future, query: Any) -> None:
+    def _resolve_shed(self, future: Future, item: tuple[str, Any]) -> None:
         """Answer on the exact path (replica down / pool draining)."""
+        spec, query = item
         self._metric_sheds.inc()
         if self._exact is None:
             future.set_exception(
@@ -592,7 +631,10 @@ class WorkerPool:
         try:
             with self.tracer.span("pool_shed_exact", kind=self.kind):
                 future.set_result(
-                    exact_answer(self.kind, self._exact, self.structure, query)
+                    exact_answer(
+                        self.kind, self._exact, self.structure, query,
+                        predicate=spec,
+                    )
                 )
         except Exception as exc:
             future.set_exception(exc)
@@ -786,15 +828,15 @@ class WorkerPool:
         No request is ever silently dropped.
         """
         pending, slot.pending = slot.pending, {}
-        for future, query in pending.values():
+        for future, item in pending.values():
             if future.done():
                 continue
-            if query is None:
+            if item is None:
                 future.set_exception(
                     PoolError(f"worker {slot.index} died before acking")
                 )
             else:
-                self._resolve_shed(future, query)
+                self._resolve_shed(future, item)
 
     # -- reporting -------------------------------------------------------------
 

@@ -33,14 +33,17 @@ from ..core import (
     LearnedBloomFilter,
     LearnedCardinalityEstimator,
     LearnedSetIndex,
+    PredicateCardinalitySuite,
 )
 from ..obs.trace import Tracer, get_tracer
 from ..reliability import (
     GuardedBloomFilter,
     GuardedCardinalityEstimator,
+    GuardedPredicateSuite,
     GuardedSetIndex,
 )
 from ..sets.inverted import InvertedIndex
+from ..sets.predicates import SUBSET, Predicate, as_predicate
 from ..shard import (
     ShardedBloomFilter,
     ShardedCardinalityEstimator,
@@ -58,6 +61,8 @@ _KIND_TYPES = {
         LearnedCardinalityEstimator,
         GuardedCardinalityEstimator,
         ShardedCardinalityEstimator,
+        PredicateCardinalitySuite,
+        GuardedPredicateSuite,
     ),
     "index": (LearnedSetIndex, GuardedSetIndex, ShardedSetIndex),
     "bloom": (LearnedBloomFilter, GuardedBloomFilter, ShardedBloomFilter),
@@ -79,6 +84,8 @@ def _inner_structure(structure: Any) -> Any:
     """The raw learned structure behind a guarded facade (or itself)."""
     if isinstance(structure, GuardedCardinalityEstimator):
         return structure.estimator
+    if isinstance(structure, GuardedPredicateSuite):
+        return structure.suite
     if isinstance(structure, GuardedSetIndex):
         return structure.index
     if isinstance(structure, GuardedBloomFilter):
@@ -99,39 +106,61 @@ def canonical_query(query: Any) -> tuple[int, ...] | None:
         return None
 
 
-def _auxiliary_override_of(structure: Any, canonical: tuple[int, ...]) -> Any:
+def _auxiliary_override_of(
+    structure: Any, canonical: tuple[int, ...], predicate: Predicate = SUBSET
+) -> Any:
     """Post-build mutation recorded for ``canonical``, if any.
 
     The exact :class:`InvertedIndex` is built from the collection and
     never absorbs §6's updates — those live in the served structure's
     auxiliary override layer.  An exact-path answer must consult that
     layer first, or an inserted override would silently revert to its
-    pre-insert answer whenever the model path is bypassed.
+    pre-insert answer whenever the model path is bypassed.  A predicate
+    suite keeps one auxiliary map per member estimator, so the probe
+    routes through ``estimator_for`` when the structure has one.
     """
-    auxiliary = getattr(_inner_structure(structure), "auxiliary", None)
+    inner = _inner_structure(structure)
+    member_of = getattr(inner, "estimator_for", None)
+    if callable(member_of):
+        try:
+            inner = member_of(predicate)
+        except Exception:
+            return None
+    elif predicate.kind != "subset":
+        # A subset-only structure holds no overrides for other predicates.
+        return None
+    auxiliary = getattr(inner, "auxiliary", None)
     if auxiliary is None:
         return None
     return auxiliary.get(canonical)
 
 
-def exact_answer(kind: str, exact: InvertedIndex, structure: Any, query: Any) -> Any:
+def exact_answer(
+    kind: str,
+    exact: InvertedIndex,
+    structure: Any,
+    query: Any,
+    predicate: Predicate | str | None = None,
+) -> Any:
     """Exact answer mirroring the guarded facades' defined semantics.
 
     Shared by the threaded server's shed/degraded paths and the worker
     pool's shed-while-replica-down path, so every exact-path deployment
     answers identically: auxiliary overrides first, then the exact index,
-    with the facades' defined empty/malformed semantics.
+    with the facades' defined empty/malformed semantics.  ``predicate``
+    only changes cardinality answers (index/bloom are subset tasks).
     """
+    predicate = as_predicate(predicate)
     canonical = canonical_query(query)
     if kind == "cardinality":
         if canonical is None:
             return 0.0
         if not canonical:
-            return float(exact.num_sets)
-        override = _auxiliary_override_of(structure, canonical)
+            return float(predicate.empty_query_count(exact.num_sets))
+        override = _auxiliary_override_of(structure, canonical, predicate)
         if override is not None:
             return float(override)
-        return float(exact.cardinality(canonical))
+        return float(exact.count_predicate(predicate, canonical))
     if kind == "index":
         if canonical is None:
             return None
@@ -373,14 +402,14 @@ class SetServer:
                     return True
             return False
 
-    def _serve_degraded(self, key: tuple[int, ...], started: float) -> Future:
+    def _serve_degraded(self, item: tuple[str, Any], started: float) -> Future:
         """Answer on the caller's thread via the exact fallback path."""
         future: Future = Future()
         self._degraded_served += 1
         self._metric_degraded_served.inc()
         try:
             with self.tracer.span("degraded_exact", kind=self.kind):
-                future.set_result(self._shed_answer_inner(key))
+                future.set_result(self._shed_answer_inner(item))
         except Exception as exc:
             future.set_exception(exc)
             self.stats.record_failed()
@@ -390,20 +419,41 @@ class SetServer:
 
     # -- querying --------------------------------------------------------------
 
-    def submit(self, query: Iterable[int]) -> Future:
+    def supports_predicates(self) -> bool:
+        """Whether the served structure routes the non-subset predicates."""
+        if self.kind != "cardinality":
+            return False
+        structure = self.structure
+        flag = getattr(structure, "supports_predicates", None)
+        if flag is not None:
+            return bool(flag)
+        return hasattr(structure, "estimate_many_keyed")
+
+    def submit(self, query: Iterable[int], predicate=None) -> Future:
         """Admit one query; returns a future resolving to its answer.
 
         Cache hits resolve immediately on the calling thread; misses are
         coalesced by the micro-batcher.  Overload outcomes (reject / shed)
         arrive through the future per the configured overflow policy.
+        ``predicate`` selects the query semantics (cardinality servers
+        whose structure routes the family); cache keys carry it, so the
+        same canonical query under two predicates occupies two entries.
         """
         started = time.monotonic()
+        predicate = as_predicate(predicate)
+        if predicate.kind != "subset" and not self.supports_predicates():
+            raise ValueError(
+                f"this {self.kind} server cannot answer predicate "
+                f"{predicate.spec!r}; serve a PredicateCardinalitySuite"
+            )
+        spec = predicate.spec
         self.stats.record_submitted()
         with self.tracer.span("encode", kind=self.kind):
             key = self._canonical(query)
+        cache_key = (spec, key) if key is not None else None
         if key is not None:
             with self.tracer.span("cache_lookup") as span:
-                found, value = self.cache.get(key)
+                found, value = self.cache.get(cache_key)
                 span["attrs"]["hit"] = found
             if found:
                 future: Future = Future()
@@ -411,45 +461,58 @@ class SetServer:
                 self.stats.record_served(time.monotonic() - started, from_cache=True)
                 return future
             if self._maybe_degrade():
-                return self._serve_degraded(key, started)
-        future = self._batcher.submit(key if key is not None else query)
+                return self._serve_degraded((spec, key), started)
+        future = self._batcher.submit((spec, key if key is not None else query))
 
         def _resolved(f: Future) -> None:
             if f.cancelled() or f.exception() is not None:
                 self.stats.record_failed()
                 return
-            if key is not None:
-                self.cache.put(key, f.result())
+            if cache_key is not None:
+                self.cache.put(cache_key, f.result())
             self.stats.record_served(time.monotonic() - started)
 
         future.add_done_callback(_resolved)
         return future
 
-    def query(self, query: Iterable[int], timeout: float | None = 30.0) -> Any:
+    def query(
+        self, query: Iterable[int], timeout: float | None = 30.0, predicate=None
+    ) -> Any:
         """Blocking convenience wrapper around :meth:`submit`."""
-        return self.submit(query).result(timeout)
+        return self.submit(query, predicate=predicate).result(timeout)
 
     def query_many(
-        self, queries: Sequence[Iterable[int]], timeout: float | None = 30.0
+        self,
+        queries: Sequence[Iterable[int]],
+        timeout: float | None = 30.0,
+        predicate=None,
     ) -> list[Any]:
         """Submit a client-side batch and gather the answers in order."""
-        futures = [self.submit(q) for q in queries]
+        futures = [self.submit(q, predicate=predicate) for q in queries]
         return [future.result(timeout) for future in futures]
 
     # -- batched execution (dispatcher thread) ---------------------------------
 
-    def _serve_batch(self, queries: Sequence[Any]) -> Sequence[Any]:
+    def _serve_batch(self, items: Sequence[tuple[str, Any]]) -> Sequence[Any]:
         # One snapshot read per batch: a concurrent swap never tears a
-        # batch across generations.
+        # batch across generations.  Items are (predicate_spec, query)
+        # pairs; one flush may interleave predicates, so keyed structures
+        # get the pairs and plain ones (submit admits only subset for
+        # them) get the bare queries.
         snapshot = self._snapshots.current
         structure = snapshot.structure
         with self.tracer.span(
             "model_forward",
             kind=self.kind,
-            batch_size=len(queries),
+            batch_size=len(items),
             snapshot_version=snapshot.version,
         ):
+            queries = [query for _, query in items]
             if self.kind == "cardinality":
+                if hasattr(structure, "estimate_many_keyed"):
+                    return [
+                        float(v) for v in structure.estimate_many_keyed(list(items))
+                    ]
                 return [float(v) for v in structure.estimate_many(queries)]
             if self.kind == "index":
                 return list(structure.lookup_many(queries))
@@ -457,13 +520,16 @@ class SetServer:
 
     # -- degraded serving (caller thread, shed-to-exact) -----------------------
 
-    def _shed_answer(self, query: Any) -> Any:
+    def _shed_answer(self, item: tuple[str, Any]) -> Any:
         """Exact answer mirroring the guarded facades' defined semantics."""
         with self.tracer.span("guard_fallback", kind=self.kind, shed=True):
-            return self._shed_answer_inner(query)
+            return self._shed_answer_inner(item)
 
-    def _shed_answer_inner(self, query: Any) -> Any:
-        return exact_answer(self.kind, self._exact, self.structure, query)
+    def _shed_answer_inner(self, item: tuple[str, Any]) -> Any:
+        spec, query = item
+        return exact_answer(
+            self.kind, self._exact, self.structure, query, predicate=spec
+        )
 
     # -- reporting --------------------------------------------------------------
 

@@ -2,12 +2,15 @@
 
 from .collection import CollectionStats, SetCollection
 from .inverted import InvertedIndex
+from .predicates import DEFAULT_PREDICATES, SUBSET, SUPERSET, Predicate, as_predicate
 from .subsets import (
     cardinality_training_pairs,
     enumerate_subsets,
     index_training_pairs,
     negative_membership_samples,
     positive_membership_samples,
+    predicate_training_pairs,
+    sample_predicate_workload,
     sample_query_workload,
 )
 from .vocab import Vocabulary
@@ -17,10 +20,17 @@ __all__ = [
     "CollectionStats",
     "InvertedIndex",
     "Vocabulary",
+    "Predicate",
+    "as_predicate",
+    "SUBSET",
+    "SUPERSET",
+    "DEFAULT_PREDICATES",
     "enumerate_subsets",
     "index_training_pairs",
     "cardinality_training_pairs",
     "positive_membership_samples",
     "negative_membership_samples",
     "sample_query_workload",
+    "predicate_training_pairs",
+    "sample_predicate_workload",
 ]

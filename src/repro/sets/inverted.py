@@ -20,6 +20,7 @@ from typing import Iterable
 import numpy as np
 
 from .collection import SetCollection
+from .predicates import as_predicate
 
 __all__ = ["InvertedIndex"]
 
@@ -29,7 +30,9 @@ class InvertedIndex:
 
     def __init__(self, collection: SetCollection):
         postings: dict[int, list[int]] = {}
+        sizes = np.empty(len(collection), dtype=np.int64)
         for position, stored in enumerate(collection):
+            sizes[position] = len(stored)
             for element in stored:
                 postings.setdefault(element, []).append(position)
         # Positions were appended in increasing order, so lists are sorted.
@@ -37,6 +40,7 @@ class InvertedIndex:
             element: np.asarray(positions, dtype=np.int64)
             for element, positions in postings.items()
         }
+        self._set_sizes = sizes
         self._num_sets = len(collection)
 
     def __contains__(self, element: int) -> bool:
@@ -87,6 +91,70 @@ class InvertedIndex:
 
     def contains(self, query: Iterable[int]) -> bool:
         return len(self._intersection(query)) > 0
+
+    # -- predicate evaluation (superset / overlap / jaccard baselines) ---------
+
+    def set_size(self, position: int) -> int:
+        """Number of elements of the stored set at ``position``."""
+        return int(self._set_sizes[position])
+
+    def overlap_counts(self, query: Iterable[int]) -> np.ndarray:
+        """``counts[i]`` = ``|query ∩ S[i]|`` for every stored position.
+
+        Unknown element ids have empty posting lists and contribute
+        nothing, which is exactly the defined OOV semantics.  Each posting
+        list holds distinct positions, so the fancy-index accumulate adds
+        at most one per element.
+        """
+        counts = np.zeros(self._num_sets, dtype=np.int64)
+        for element in set(query):
+            counts[self.posting(element)] += 1
+        return counts
+
+    def count_predicate(self, predicate, query: Iterable[int]) -> int:
+        """Exact ``COUNT(*) WHERE predicate(query, set)`` for any predicate.
+
+        This is the ground-truth oracle for the non-subset query family:
+        the superset count compares per-position overlap against the
+        stored set's size, overlap thresholds the same counts, and the
+        Jaccard test derives the union size from ``|q| + |s| - |q ∩ s|``.
+        The empty query gets the defined answer for its predicate.
+        """
+        predicate = as_predicate(predicate)
+        q = set(query)
+        if not q:
+            return predicate.empty_query_count(self._num_sets)
+        if predicate.kind == "subset":
+            return int(len(self._intersection(q)))
+        counts = self.overlap_counts(q)
+        if predicate.kind == "superset":
+            return int((counts == self._set_sizes).sum())
+        if predicate.kind == "overlap":
+            return int((counts >= predicate.threshold).sum())
+        union = len(q) + self._set_sizes - counts
+        return int((counts / union >= predicate.threshold).sum())
+
+    def matching_positions_predicate(
+        self, predicate, query: Iterable[int]
+    ) -> np.ndarray:
+        """Sorted positions whose set satisfies the predicate for ``query``."""
+        predicate = as_predicate(predicate)
+        q = set(query)
+        if not q:
+            if predicate.kind == "subset":
+                return np.arange(self._num_sets, dtype=np.int64)
+            return np.empty(0, dtype=np.int64)
+        if predicate.kind == "subset":
+            return self._intersection(q)
+        counts = self.overlap_counts(q)
+        if predicate.kind == "superset":
+            mask = counts == self._set_sizes
+        elif predicate.kind == "overlap":
+            mask = counts >= predicate.threshold
+        else:
+            union = len(q) + self._set_sizes - counts
+            mask = counts / union >= predicate.threshold
+        return np.flatnonzero(mask).astype(np.int64)
 
     def max_element_cardinality(self) -> int:
         """Largest single-element cardinality — the scaler's upper bound.

@@ -1,0 +1,173 @@
+"""The set-predicate family: subset, superset, overlap-count, Jaccard.
+
+The paper's queries are subset-containment (``stored @> query``); ACE
+(PAPERS.md) frames set-valued estimation over a broader predicate family.
+This module is the single source of truth for those semantics — every
+layer (exact baselines, training generators, engine plans, guarded
+facades, serving caches, TCP/CLI surfaces) evaluates or names a predicate
+through :class:`Predicate`.
+
+The four kinds, for a query set ``q`` and a stored set ``s``:
+
+* ``subset``    — ``q ⊆ s``  (PostgreSQL ``s @> q``; the paper's query);
+* ``superset``  — ``s ⊆ q``  (PostgreSQL ``s <@ q``);
+* ``overlap``   — ``|q ∩ s| >= k`` for an integer threshold ``k >= 1``;
+* ``jaccard``   — ``|q ∩ s| / |q ∪ s| >= τ`` for ``0 < τ <= 1``.
+
+Thresholded kinds are spelled ``overlap>=K`` / ``jaccard>=T`` in their
+string form (:meth:`Predicate.parse` / :attr:`Predicate.spec`), which is
+also the wire format on the TCP protocol and the first component of
+serving-cache keys.
+
+Defined degenerate semantics (shared by every layer):
+
+* the **empty query** matches every stored set under ``subset`` (vacuous
+  truth) and no stored set under the other three kinds — stored sets are
+  non-empty, so none is contained in ``∅``, intersects it ``k >= 1``
+  times, or reaches a positive Jaccard score;
+* **unknown element ids** (never stored) can be part of a query: they
+  contribute nothing to any intersection, never block ``superset``
+  containment, and still enlarge the Jaccard union.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = [
+    "Predicate",
+    "SUBSET",
+    "SUPERSET",
+    "DEFAULT_PREDICATES",
+    "as_predicate",
+]
+
+_KINDS = ("subset", "superset", "overlap", "jaccard")
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """One membership test between a query set and a stored set."""
+
+    kind: str
+    threshold: float | None = None
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"unknown predicate kind {self.kind!r}; expected one of {_KINDS}"
+            )
+        if self.kind in ("subset", "superset"):
+            if self.threshold is not None:
+                raise ValueError(f"{self.kind} takes no threshold")
+        elif self.kind == "overlap":
+            if self.threshold is None or int(self.threshold) != self.threshold:
+                raise ValueError("overlap needs an integer threshold k")
+            if self.threshold < 1:
+                raise ValueError("overlap threshold must be >= 1")
+            object.__setattr__(self, "threshold", int(self.threshold))
+        else:  # jaccard
+            if self.threshold is None:
+                raise ValueError("jaccard needs a threshold τ")
+            threshold = float(self.threshold)
+            if not 0.0 < threshold <= 1.0:
+                raise ValueError("jaccard threshold must be in (0, 1]")
+            object.__setattr__(self, "threshold", threshold)
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def subset(cls) -> "Predicate":
+        return cls("subset")
+
+    @classmethod
+    def superset(cls) -> "Predicate":
+        return cls("superset")
+
+    @classmethod
+    def overlap(cls, k: int) -> "Predicate":
+        return cls("overlap", int(k))
+
+    @classmethod
+    def jaccard(cls, tau: float) -> "Predicate":
+        return cls("jaccard", float(tau))
+
+    @classmethod
+    def parse(cls, spec: str) -> "Predicate":
+        """Parse ``subset`` / ``superset`` / ``overlap>=K`` / ``jaccard>=T``."""
+        text = spec.strip().lower()
+        if text == "subset":
+            return cls.subset()
+        if text == "superset":
+            return cls.superset()
+        kind, sep, raw = text.partition(">=")
+        if sep and kind in ("overlap", "jaccard"):
+            try:
+                if kind == "overlap":
+                    return cls.overlap(int(raw))
+                return cls.jaccard(float(raw))
+            except ValueError as exc:
+                raise ValueError(f"bad predicate threshold in {spec!r}: {exc}") from None
+        raise ValueError(
+            f"cannot parse predicate {spec!r}; expected subset, superset, "
+            "overlap>=K, or jaccard>=T"
+        )
+
+    # -- identity --------------------------------------------------------------
+
+    @property
+    def spec(self) -> str:
+        """Canonical string form; round-trips through :meth:`parse`."""
+        if self.kind == "overlap":
+            return f"overlap>={self.threshold}"
+        if self.kind == "jaccard":
+            return f"jaccard>={self.threshold:g}"
+        return self.kind
+
+    def __str__(self) -> str:
+        return self.spec
+
+    # -- evaluation ------------------------------------------------------------
+
+    def matches(self, query: Iterable[int], stored: Iterable[int]) -> bool:
+        """Whether one stored set satisfies the predicate for ``query``."""
+        q = frozenset(query)
+        if self.kind == "subset":
+            return q.issubset(stored)
+        s = frozenset(stored)
+        if self.kind == "superset":
+            return s.issubset(q)
+        intersection = len(q & s)
+        if self.kind == "overlap":
+            return intersection >= self.threshold
+        union = len(q | s)
+        return union > 0 and intersection / union >= self.threshold
+
+    def empty_query_count(self, num_sets: int) -> int:
+        """Exact COUNT for the empty query (see the module docstring)."""
+        return int(num_sets) if self.kind == "subset" else 0
+
+
+SUBSET = Predicate.subset()
+SUPERSET = Predicate.superset()
+
+# The predicate family exercised by default across training suites, the
+# differential harness, and the conformance matrix.
+DEFAULT_PREDICATES = (
+    SUBSET,
+    SUPERSET,
+    Predicate.overlap(2),
+    Predicate.jaccard(0.5),
+)
+
+
+def as_predicate(value) -> Predicate:
+    """Coerce a :class:`Predicate`, spec string, or ``None`` (-> subset)."""
+    if value is None:
+        return SUBSET
+    if isinstance(value, Predicate):
+        return value
+    if isinstance(value, str):
+        return Predicate.parse(value)
+    raise TypeError(f"cannot interpret {value!r} as a predicate")

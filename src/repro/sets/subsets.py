@@ -18,6 +18,7 @@ import numpy as np
 
 from .collection import SetCollection
 from .inverted import InvertedIndex
+from .predicates import as_predicate
 
 __all__ = [
     "enumerate_subsets",
@@ -26,6 +27,8 @@ __all__ = [
     "positive_membership_samples",
     "negative_membership_samples",
     "sample_query_workload",
+    "predicate_training_pairs",
+    "sample_predicate_workload",
 ]
 
 
@@ -160,6 +163,103 @@ def negative_membership_samples(
         if index.cardinality(candidate) == 0:
             negatives.add(candidate)
     return sorted(negatives)
+
+
+def _perturbed_query(
+    collection: SetCollection,
+    population: np.ndarray,
+    rng: np.random.Generator,
+    max_subset_size: int,
+    max_extra_elements: int,
+) -> tuple[int, ...]:
+    """One query for the non-subset predicates: a perturbed stored set.
+
+    Start from a random subset of a random stored set (so intersections
+    with the collection are plentiful), then with probability 1/2 mix in
+    up to ``max_extra_elements`` other vocabulary elements — these widen
+    Jaccard unions, complete supersets of *other* stored sets, and keep
+    the label distribution away from the all-zero corner.
+    """
+    stored = collection[int(rng.integers(0, len(collection)))]
+    cap = min(len(stored), max_subset_size)
+    size = int(rng.integers(1, cap + 1))
+    chosen = rng.choice(len(stored), size=size, replace=False)
+    query = {stored[i] for i in chosen}
+    if max_extra_elements > 0 and rng.random() < 0.5:
+        extra = int(rng.integers(1, max_extra_elements + 1))
+        extra = min(extra, len(population))
+        query.update(int(e) for e in rng.choice(population, size=extra, replace=False))
+    return tuple(sorted(query))
+
+
+def predicate_training_pairs(
+    collection: SetCollection,
+    predicate,
+    index: InvertedIndex | None = None,
+    num_samples: int = 2000,
+    max_subset_size: int | None = 6,
+    max_extra_elements: int = 3,
+    rng: np.random.Generator | None = None,
+) -> tuple[list[tuple[int, ...]], np.ndarray]:
+    """Training corpus ``(queries, counts)`` for one predicate.
+
+    ``subset`` delegates to :func:`cardinality_training_pairs` (the
+    paper's enumeration); the other predicates have no useful enumeration
+    (any element combination is a legal query), so distinct queries are
+    *sampled* as perturbed stored sets and labelled by the exact
+    :class:`InvertedIndex` predicate oracle.
+    """
+    predicate = as_predicate(predicate)
+    if predicate.kind == "subset":
+        return cardinality_training_pairs(
+            collection,
+            max_subset_size=max_subset_size,
+            max_samples=num_samples,
+            rng=rng,
+        )
+    rng = rng or np.random.default_rng()
+    index = index if index is not None else InvertedIndex(collection)
+    population = np.flatnonzero(collection.element_frequencies())
+    cap = max_subset_size if max_subset_size is not None else max(
+        len(stored) for stored in collection
+    )
+    labelled: dict[tuple[int, ...], int] = {}
+    attempts = 0
+    max_attempts = 50 * num_samples
+    while len(labelled) < num_samples and attempts < max_attempts:
+        attempts += 1
+        query = _perturbed_query(collection, population, rng, cap, max_extra_elements)
+        if query in labelled:
+            continue
+        labelled[query] = index.count_predicate(predicate, query)
+    queries = list(labelled.keys())
+    counts = np.fromiter(labelled.values(), dtype=np.int64, count=len(queries))
+    return queries, counts
+
+
+def sample_predicate_workload(
+    collection: SetCollection,
+    predicate,
+    num_queries: int,
+    rng: np.random.Generator | None = None,
+    max_subset_size: int | None = 6,
+    max_extra_elements: int = 3,
+) -> list[tuple[int, ...]]:
+    """Evaluation workload drawn like the predicate's training corpus."""
+    predicate = as_predicate(predicate)
+    if predicate.kind == "subset":
+        return sample_query_workload(
+            collection, num_queries, rng=rng, max_subset_size=max_subset_size
+        )
+    rng = rng or np.random.default_rng()
+    population = np.flatnonzero(collection.element_frequencies())
+    cap = max_subset_size if max_subset_size is not None else max(
+        len(stored) for stored in collection
+    )
+    return [
+        _perturbed_query(collection, population, rng, cap, max_extra_elements)
+        for _ in range(num_queries)
+    ]
 
 
 def sample_query_workload(

@@ -30,7 +30,9 @@ from ..core.config import ModelConfig
 from ..core.hybrid import OutlierRemovalConfig
 from ..core.index import LearnedSetIndex
 from ..core.membership import LearnedBloomFilter
+from ..core.predicate_suite import PredicateCardinalitySuite
 from ..core.training import TrainConfig
+from ..sets.predicates import DEFAULT_PREDICATES
 from .plan import Shard, ShardPlan
 from .routers import (
     ShardedBloomFilter,
@@ -97,6 +99,17 @@ def _dispatch_build(
             threshold=options.get("threshold", 0.5),
             rng=rng,
         )
+    if task == "predicate":
+        return PredicateCardinalitySuite.build(
+            shard.collection,
+            predicates=options.get("predicates") or DEFAULT_PREDICATES,
+            model_config=model_config,
+            train_config=train_config,
+            removal=options.get("removal"),
+            num_samples=options.get("max_training_samples") or 512,
+            max_subset_size=options.get("max_subset_size", 4),
+            rng=rng,
+        )
     raise ValueError(f"unknown task {task!r}; expected one of {TASKS}")
 
 
@@ -148,6 +161,7 @@ class ShardedBuilder:
         num_negative_samples: int | None = None,
         error_range_length: int = 100,
         bloom_threshold: float = 0.5,
+        predicates: Sequence = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -164,6 +178,7 @@ class ShardedBuilder:
             "num_negative_samples": num_negative_samples,
             "error_range_length": error_range_length,
             "threshold": bloom_threshold,
+            "predicates": tuple(predicates) if predicates is not None else None,
         }
 
     # -- training --------------------------------------------------------------
@@ -211,6 +226,7 @@ class ShardedBuilder:
         from ..reliability import (
             GuardedBloomFilter,
             GuardedCardinalityEstimator,
+            GuardedPredicateSuite,
             GuardedSetIndex,
         )
 
@@ -218,6 +234,8 @@ class ShardedBuilder:
             return GuardedCardinalityEstimator.for_collection(part, collection)
         if task == "index":
             return GuardedSetIndex(part)
+        if task == "predicate":
+            return GuardedPredicateSuite.for_collection(part, collection)
         return GuardedBloomFilter.for_collection(part, collection)
 
     # -- public API ------------------------------------------------------------
@@ -231,6 +249,15 @@ class ShardedBuilder:
     def build_bloom(self) -> ShardedBloomFilter:
         return ShardedBloomFilter(self.plan, self._train_parts("bloom"))
 
+    def build_predicate_suite(self) -> ShardedCardinalityEstimator:
+        """Per-shard :class:`PredicateCardinalitySuite` routers.
+
+        The cardinality router serves them unchanged (counts stay additive
+        under every predicate); its ``supports_predicates`` turns true
+        because every part routes the whole family.
+        """
+        return ShardedCardinalityEstimator(self.plan, self._train_parts("predicate"))
+
     def build(self, task: str):
         """Train every shard for ``task`` and return the matching router."""
         if task == "cardinality":
@@ -239,7 +266,11 @@ class ShardedBuilder:
             return self.build_index()
         if task == "bloom":
             return self.build_bloom()
-        raise ValueError(f"unknown task {task!r}; expected one of {TASKS}")
+        if task == "predicate":
+            return self.build_predicate_suite()
+        raise ValueError(
+            f"unknown task {task!r}; expected one of {TASKS + ('predicate',)}"
+        )
 
     def build_all(self) -> dict[str, Any]:
         """All three routers, keyed by task name."""

@@ -45,6 +45,7 @@ import numpy as np
 from ..baselines.bloom import BloomFilter
 from ..core.hooks import UpdateNotifier
 from ..obs.trace import get_tracer
+from ..sets.predicates import SUBSET, Predicate, as_predicate
 from .plan import ShardPlan
 
 __all__ = [
@@ -128,11 +129,25 @@ class _ShardedBase(UpdateNotifier):
         """Largest element id any shard can answer for (the global universe)."""
         return max(self._ceilings)
 
-    def _shard_can_match(self, shard_id: int, canonical: tuple[int, ...]) -> bool:
-        """False only when the query *provably* misses the shard."""
+    def _shard_can_match(
+        self,
+        shard_id: int,
+        canonical: tuple[int, ...],
+        predicate: Predicate = SUBSET,
+    ) -> bool:
+        """False only when the query *provably* misses the shard.
+
+        ``subset``: a query element larger than every element in the shard
+        cannot be contained by any of its sets.  The other predicates only
+        need a non-empty intersection (superset of a non-empty ``s``,
+        overlap ``>= 1``, Jaccard ``> 0``), which is impossible exactly
+        when even the *smallest* query element exceeds the shard ceiling.
+        """
         if not canonical:
             return True
-        return canonical[-1] <= self._ceilings[shard_id]
+        if predicate.kind == "subset":
+            return canonical[-1] <= self._ceilings[shard_id]
+        return canonical[0] <= self._ceilings[shard_id]
 
 
 class ShardedCardinalityEstimator(_ShardedBase):
@@ -148,16 +163,34 @@ class ShardedCardinalityEstimator(_ShardedBase):
         super().__init__(plan, parts)
         self.auxiliary: dict[tuple[int, ...], int] = {}
 
-    def estimate(self, query: Iterable[int]) -> float:
-        return float(self.estimate_many([query])[0])
+    @property
+    def supports_predicates(self) -> bool:
+        """Non-subset predicates need every shard structure to route them."""
+        return all(
+            getattr(part, "supports_predicates", False) for part in self.parts
+        )
 
-    def estimate_many(self, queries: Sequence[Iterable[int]]) -> np.ndarray:
+    def estimate(self, query: Iterable[int], predicate=None) -> float:
+        return float(self.estimate_many([query], predicate=predicate)[0])
+
+    def estimate_many(
+        self, queries: Sequence[Iterable[int]], predicate=None
+    ) -> np.ndarray:
         """Vectorized estimates: one batched fan-out per shard.
 
         Queries are canonicalized and de-duplicated once at the router, so
         a batch of repeats costs each shard a single forward row (the
-        shard's own dedupe then sees already-unique queries).
+        shard's own dedupe then sees already-unique queries).  All four
+        predicates are per-set tests, so counts stay additive over the
+        plan's disjoint shards; only the skip rule changes
+        (:meth:`_ShardedBase._shard_can_match`).
         """
+        predicate = as_predicate(predicate)
+        if predicate.kind != "subset" and not self.supports_predicates:
+            raise ValueError(
+                f"per-shard structures do not support predicate "
+                f"{predicate.spec!r}; shard a PredicateCardinalitySuite"
+            )
         canonicals = [_canonical(q) for q in queries]
         out = np.empty(len(canonicals), dtype=np.float64)
         unique_sets: list[tuple[int, ...]] = []
@@ -165,13 +198,14 @@ class ShardedCardinalityEstimator(_ShardedBase):
         model_rows: list[int] = []
         model_slots: list[int] = []
         for row, canonical in enumerate(canonicals):
-            exact = self.auxiliary.get(canonical)
-            if exact is not None:
-                out[row] = float(exact)
-                continue
+            if predicate.kind == "subset":
+                # Router-level overrides are recorded subset counts.
+                exact = self.auxiliary.get(canonical)
+                if exact is not None:
+                    out[row] = float(exact)
+                    continue
             if not canonical:
-                # The empty set is a subset of every stored set.
-                out[row] = float(self.plan.num_sets)
+                out[row] = float(predicate.empty_query_count(self.plan.num_sets))
                 continue
             slot = unique_slot.get(canonical)
             if slot is None:
@@ -190,19 +224,48 @@ class ShardedCardinalityEstimator(_ShardedBase):
                     rows = [
                         slot
                         for slot, canonical in enumerate(unique_sets)
-                        if self._shard_can_match(shard_id, canonical)
+                        if self._shard_can_match(shard_id, canonical, predicate)
                     ]
                     if not rows:
                         continue
-                    values = np.asarray(
-                        part.estimate_many([unique_sets[slot] for slot in rows]),
-                        dtype=np.float64,
-                    )
-                    totals[rows] += values
+                    shard_queries = [unique_sets[slot] for slot in rows]
+                    if predicate.kind != "subset":
+                        # Elements above the shard ceiling never occur in
+                        # the shard, so they cannot change any intersection
+                        # there; dropping them keeps the member model inside
+                        # its per-shard embedding universe.  The skip rule
+                        # guarantees at least one element survives.
+                        ceiling = self._ceilings[shard_id]
+                        shard_queries = [
+                            tuple(e for e in q if e <= ceiling)
+                            for q in shard_queries
+                        ]
+                    if predicate.kind == "subset" and not getattr(
+                        part, "supports_predicates", False
+                    ):
+                        raw = part.estimate_many(shard_queries)
+                    else:
+                        raw = part.estimate_many(shard_queries, predicate=predicate)
+                    totals[rows] += np.asarray(raw, dtype=np.float64)
                     shard_calls += 1
                 span["attrs"]["shard_calls"] = shard_calls
             self._record_fanout(len(unique_sets), shard_calls)
             out[model_rows] = totals[model_slots]
+        return out
+
+    def estimate_many_keyed(
+        self, items: Sequence[tuple[str, Iterable[int]]]
+    ) -> np.ndarray:
+        """Mixed ``(predicate_spec, query)`` batch: one fan-out per predicate."""
+        out = np.empty(len(items), dtype=np.float64)
+        groups: dict[str, tuple[list[int], list]] = {}
+        for row, (spec, query) in enumerate(items):
+            spec = as_predicate(spec).spec
+            rows, group_queries = groups.setdefault(spec, ([], []))
+            rows.append(row)
+            group_queries.append(query)
+        for spec, (rows, group_queries) in groups.items():
+            out[rows] = self.estimate_many(group_queries, predicate=spec)
         return out
 
     def record_update(self, subset: Iterable[int], cardinality: int) -> None:

@@ -1,0 +1,191 @@
+"""Tests for :class:`PredicateCardinalitySuite` and its guarded facade.
+
+One tiny suite (module-scoped — training dominates the cost) backs all of:
+routing by predicate spec, mixed keyed batches, exact post-training
+overrides, and the per-predicate failure semantics documented on
+:class:`GuardedPredicateSuite`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ModelConfig, TrainConfig
+from repro.core.predicate_suite import PredicateCardinalitySuite
+from repro.reliability import GuardedPredicateSuite
+from repro.sets import InvertedIndex, SetCollection
+from repro.sets.predicates import DEFAULT_PREDICATES, Predicate
+
+from .conftest import _make_collection
+
+
+@pytest.fixture(scope="module")
+def collection() -> SetCollection:
+    return _make_collection(seed=13, n=120, vocab=40)
+
+
+@pytest.fixture(scope="module")
+def exact(collection) -> InvertedIndex:
+    return InvertedIndex(collection)
+
+
+@pytest.fixture(scope="module")
+def suite(collection) -> PredicateCardinalitySuite:
+    return PredicateCardinalitySuite.build(
+        collection,
+        model_config=ModelConfig(kind="clsm", embedding_dim=4, seed=3),
+        train_config=TrainConfig(epochs=8, batch_size=256, lr=3e-3, seed=3),
+        num_samples=400,
+        max_subset_size=3,
+        rng=np.random.default_rng(3),
+    )
+
+
+@pytest.fixture(scope="module")
+def guarded(suite, collection) -> GuardedPredicateSuite:
+    return GuardedPredicateSuite.for_collection(suite, collection)
+
+
+class TestSuite:
+    def test_trains_one_estimator_per_default_predicate(self, suite):
+        assert suite.supports_predicates is True
+        assert suite.predicates == DEFAULT_PREDICATES
+        for predicate in DEFAULT_PREDICATES:
+            assert suite.estimator_for(predicate) is suite.estimator_for(
+                predicate.spec
+            )
+
+    def test_unknown_predicate_is_a_keyerror(self, suite):
+        with pytest.raises(KeyError, match="overlap>=9"):
+            suite.estimator_for("overlap>=9")
+
+    def test_estimate_routes_to_the_member(self, suite, collection):
+        query = collection[0][:2]
+        for predicate in DEFAULT_PREDICATES:
+            routed = suite.estimate(query, predicate=predicate)
+            member = suite.estimator_for(predicate).estimate(query)
+            assert routed == member
+
+    def test_keyed_batch_matches_per_predicate_batches(self, suite, collection):
+        queries = [collection[i][:2] for i in range(8)]
+        items = [
+            (predicate.spec, tuple(query))
+            for query in queries
+            for predicate in DEFAULT_PREDICATES
+        ]
+        keyed = suite.estimate_many_keyed(items)
+        for row, (spec, query) in enumerate(items):
+            expected = float(suite.estimate_many([query], predicate=spec)[0])
+            assert keyed[row] == pytest.approx(expected), (spec, query)
+
+    def test_record_update_overrides_one_member_only(self, suite, collection):
+        query = tuple(collection[1][:2])
+        suite.record_update(query, 17, predicate="superset")
+        assert suite.estimate(query, predicate="superset") == 17.0
+        # The subset member keeps its own answer surface.
+        assert suite.estimate(query, predicate="subset") != 17.0
+
+    def test_record_update_fires_suite_level_hooks(self, suite, collection):
+        fired = []
+        suite.add_update_listener(fired.append)
+        try:
+            query = tuple(collection[2][:2])
+            suite.record_update(query, 3, predicate="overlap>=2")
+            assert fired == [query]
+        finally:
+            suite.remove_update_listener(fired.append)
+
+    def test_accounting_and_universe(self, suite, collection):
+        assert suite.total_bytes() > 0
+        assert suite.max_known_id() >= collection.max_element_id()
+
+    def test_constructor_rejects_empty_and_bad_specs(self, suite):
+        with pytest.raises(ValueError):
+            PredicateCardinalitySuite({})
+        with pytest.raises(ValueError):
+            PredicateCardinalitySuite(
+                {"contains": suite.estimator_for("subset")}
+            )
+
+
+class TestGuardedSemantics:
+    def test_empty_query_is_exact_per_predicate(self, guarded, collection):
+        n = len(collection)
+        assert guarded.estimate((), predicate="subset") == float(n)
+        for spec in ("superset", "overlap>=2", "jaccard>=0.5"):
+            assert guarded.estimate((), predicate=spec) == 0.0
+
+    def test_oov_is_a_subset_miss_but_exact_elsewhere(
+        self, guarded, exact, collection
+    ):
+        oov = tuple(collection[0]) + (10_000,)
+        assert guarded.estimate(oov, predicate="subset") == 0.0
+        for spec in ("superset", "overlap>=2", "jaccard>=0.5"):
+            expected = float(exact.count_predicate(spec, oov))
+            assert guarded.estimate(oov, predicate=spec) == expected, spec
+
+    def test_oversized_query_is_answered_exactly_for_non_subset(
+        self, guarded, exact
+    ):
+        huge = tuple(range(guarded.max_query_size + 5))
+        assert guarded.estimate(huge, predicate="subset") == 0.0
+        expected = float(exact.count_predicate("superset", huge))
+        assert guarded.estimate(huge, predicate="superset") == expected
+
+    def test_malformed_query_and_spec_are_zero(self, guarded):
+        before = guarded.health.total_short_circuits
+        assert guarded.estimate(("x",), predicate="superset") == 0.0
+        # A malformed wire spec is per-row data, not a programming error:
+        # the keyed path answers 0.0 instead of poisoning its batchmates.
+        assert guarded.estimate_many_keyed([("between", (1, 2))])[0] == 0.0
+        assert guarded.health.total_short_circuits == before + 2
+        # The keyword argument, by contrast, is caller code — it raises.
+        with pytest.raises(ValueError):
+            guarded.estimate((1, 2), predicate="between")
+
+    def test_model_failure_falls_back_to_exact_predicate_count(
+        self, suite, collection, exact, monkeypatch
+    ):
+        guarded = GuardedPredicateSuite.for_collection(suite, collection)
+        monkeypatch.setattr(
+            suite,
+            "estimate_many_keyed",
+            lambda items: (_ for _ in ()).throw(RuntimeError("boom")),
+        )
+        query = tuple(collection[3][:2])
+        for predicate in DEFAULT_PREDICATES:
+            expected = float(exact.count_predicate(predicate, query))
+            assert guarded.estimate(query, predicate=predicate) == expected
+        assert guarded.health.total_fallbacks == len(DEFAULT_PREDICATES)
+
+    def test_invalid_prediction_falls_back_per_row(
+        self, suite, collection, exact, monkeypatch
+    ):
+        guarded = GuardedPredicateSuite.for_collection(suite, collection)
+        query = tuple(collection[4][:2])
+
+        def poisoned(items):
+            values = np.ones(len(items))
+            values[0] = np.nan
+            return values
+
+        monkeypatch.setattr(suite, "estimate_many_keyed", poisoned)
+        out = guarded.estimate_many_keyed(
+            [("superset", query), ("overlap>=2", query)]
+        )
+        assert out[0] == float(exact.count_predicate("superset", query))
+        assert out[1] == 1.0  # the healthy batchmate kept its model answer
+
+    def test_mixed_keyed_batch_equals_singles(self, guarded, collection):
+        queries = [tuple(collection[i][:3]) for i in range(6)]
+        items = [
+            (predicate.spec, query)
+            for query in queries
+            for predicate in DEFAULT_PREDICATES
+        ]
+        batched = guarded.estimate_many_keyed(items)
+        singles = [
+            guarded.estimate(query, predicate=spec) for spec, query in items
+        ]
+        assert list(batched) == pytest.approx(singles)

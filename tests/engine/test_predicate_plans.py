@@ -1,0 +1,185 @@
+"""Plan parity across the predicate family (ISSUE 9 tentpole, engine layer).
+
+Every executing plan — seqscan, GIN posting lists, and the UDF routing
+layer — must agree with a brute-force evaluation of
+:meth:`Predicate.matches` over the stored rows, for every predicate in
+``DEFAULT_PREDICATES`` plus extra thresholds.  Queries are drawn from a
+seeded workload (``REPRO_TEST_SEED`` rotates in CI); failures echo the
+seed so a red run reproduces from its message alone.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.engine import SetQueryEngine, SetTable
+from repro.sets import SetCollection
+from repro.sets.predicates import DEFAULT_PREDICATES, Predicate
+
+SEED = int(os.environ.get("REPRO_TEST_SEED", "0"))
+
+PREDICATES = DEFAULT_PREDICATES + (
+    Predicate.overlap(1),
+    Predicate.overlap(3),
+    Predicate.jaccard(0.3),
+    Predicate.jaccard(1.0),
+)
+
+
+def seed_note(context: str = "") -> str:
+    note = f"REPRO_TEST_SEED={SEED}"
+    return f"{note} {context}".strip()
+
+
+@pytest.fixture(scope="module")
+def collection() -> SetCollection:
+    rng = random.Random(SEED * 7919 + 17)
+    sets = [
+        sorted(rng.sample(range(30), rng.randint(1, 8))) for _ in range(60)
+    ]
+    return SetCollection(sets)
+
+
+@pytest.fixture(scope="module")
+def engine(collection) -> SetQueryEngine:
+    engine = SetQueryEngine(SetTable.from_collection(collection))
+    engine.create_gin_index()
+    return engine
+
+
+@pytest.fixture(scope="module")
+def workload(collection) -> list[tuple[int, ...]]:
+    rng = random.Random(SEED * 104729 + 3)
+    queries = []
+    stored = list(collection)
+    for _ in range(40):
+        base = list(rng.choice(stored))
+        if rng.random() < 0.5 and len(base) > 1:
+            base = rng.sample(base, rng.randint(1, len(base) - 1))
+        if rng.random() < 0.3:
+            base.append(rng.randint(0, 40))  # may be out-of-vocabulary
+        queries.append(tuple(sorted(set(base))))
+    return queries
+
+
+def brute_force(collection, query, predicate) -> int:
+    return sum(predicate.matches(query, stored) for stored in collection)
+
+
+@pytest.mark.parametrize("predicate", PREDICATES, ids=lambda p: p.spec)
+class TestPlanParity:
+    def test_seqscan_matches_brute_force(
+        self, engine, collection, workload, predicate
+    ):
+        for query in workload:
+            expected = brute_force(collection, query, predicate)
+            result = engine.count(query, plan="seqscan", predicate=predicate)
+            assert result.count == expected, seed_note(
+                f"predicate={predicate.spec} query={query}"
+            )
+            assert result.plan == "seqscan"
+            assert result.rows_examined == len(collection)
+
+    def test_gin_matches_brute_force(
+        self, engine, collection, workload, predicate
+    ):
+        for query in workload:
+            expected = brute_force(collection, query, predicate)
+            result = engine.count(query, plan="gin", predicate=predicate)
+            assert result.count == expected, seed_note(
+                f"predicate={predicate.spec} query={query}"
+            )
+            assert result.plan == "gin"
+
+    def test_gin_matching_rows_are_exactly_the_matching_rows(
+        self, engine, collection, workload, predicate
+    ):
+        table = engine.table
+        for query in workload:
+            rows = engine.gin.matching_rows(query, predicate)
+            expected = [
+                row_id
+                for row_id, stored in table.scan()
+                if predicate.matches(query, stored)
+            ]
+            assert sorted(int(r) for r in rows) == expected, seed_note(
+                f"predicate={predicate.spec} query={query}"
+            )
+
+    def test_count_many_matches_per_query_counts(
+        self, engine, workload, predicate
+    ):
+        batch = engine.count_many(workload, plan="gin", predicate=predicate)
+        singles = [
+            engine.count(q, plan="seqscan", predicate=predicate).count
+            for q in workload
+        ]
+        assert [r.count for r in batch] == singles, seed_note(predicate.spec)
+
+    def test_spec_string_and_predicate_object_agree(
+        self, engine, workload, predicate
+    ):
+        query = workload[0]
+        via_object = engine.count(query, plan="gin", predicate=predicate)
+        via_spec = engine.count(query, plan="gin", predicate=predicate.spec)
+        assert via_object.count == via_spec.count, seed_note(predicate.spec)
+
+
+class TestUdfPredicateContract:
+    """Plain UDFs stay subset-only; predicate-aware UDFs get the predicate."""
+
+    def test_plain_udf_answers_subset_only(self, engine, collection):
+        engine.register_udf("plain", lambda q: float(len(q)))
+        try:
+            query = tuple(collection[0][:2])
+            assert engine.count(query, plan="udf:plain").count == len(query)
+            for predicate in PREDICATES:
+                if predicate.kind == "subset":
+                    continue
+                with pytest.raises(ValueError, match="supports_predicates"):
+                    engine.count(query, plan="udf:plain", predicate=predicate)
+                with pytest.raises(ValueError, match="supports_predicates"):
+                    engine.count_many(
+                        [query], plan="udf:plain", predicate=predicate
+                    )
+        finally:
+            engine.udfs.unregister("plain")
+
+    def test_predicate_aware_udf_receives_the_predicate(self, engine, collection):
+        received = []
+
+        def aware(query, predicate=None):
+            received.append(predicate)
+            return 1.0
+
+        aware.supports_predicates = True
+        engine.register_udf("aware", aware)
+        try:
+            query = tuple(collection[0][:2])
+            for predicate in PREDICATES:
+                engine.count(query, plan="udf:aware", predicate=predicate)
+            assert [p.spec for p in received] == [p.spec for p in PREDICATES]
+        finally:
+            engine.udfs.unregister("aware")
+
+    def test_batch_udf_without_support_rejects_before_invoking(self, engine):
+        calls = []
+
+        def batch(query):
+            calls.append(query)
+            return 0.0
+
+        batch.many = lambda queries: [0.0] * len(queries)
+        batch.supports_predicates = False
+        engine.register_udf("batch", batch)
+        try:
+            with pytest.raises(ValueError):
+                engine.count_many(
+                    [(1,), (2,)], plan="udf:batch", predicate="superset"
+                )
+            assert calls == []  # rejected up front, nothing executed
+        finally:
+            engine.udfs.unregister("batch")

@@ -1,0 +1,196 @@
+"""Regression tests for the three engine-layer bugfixes (ISSUE 9).
+
+Each test pins one latent bug found while wiring the predicate family
+through :class:`SetQueryEngine`; each demonstrably fails when its fix is
+reverted:
+
+1. **miss-path plan validation** — ``count_tokens`` used to resolve the
+   plan (``self.explain(plan)``) even when an unknown token already
+   determined the answer was 0, so a *defined* miss raised
+   ``RuntimeError`` (``plan="gin"`` with no index) or ``KeyError`` (an
+   unregistered ``udf:`` plan);
+2. **torn plan resolution mid-batch** — ``count_many`` re-resolved the
+   plan inside each per-query call, so ``drop_gin_index()`` from another
+   thread mid-batch tore the batch into half-answers, half
+   ``RuntimeError``;
+3. **per-call posting-list materialization** — ``GinIndex.size_bytes()``
+   rebuilt and re-pickled every posting list on each call instead of
+   caching the (immutable) footprint.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+import repro.engine.gin as gin_module
+from repro.engine import GinIndex, SetQueryEngine, SetTable
+from repro.sets import SetCollection, Vocabulary
+
+
+@pytest.fixture
+def collection() -> SetCollection:
+    return SetCollection([[1, 2, 3], [2, 3], [1, 4], [2, 3, 4], [1, 2, 3]])
+
+
+@pytest.fixture
+def engine(collection) -> SetQueryEngine:
+    return SetQueryEngine(SetTable.from_collection(collection))
+
+
+@pytest.fixture
+def vocab() -> Vocabulary:
+    vocab = Vocabulary()
+    for token in ("a", "b", "c", "d"):
+        vocab.add(token)
+    return vocab
+
+
+class TestCountTokensMissPath:
+    """Bugfix 1: a defined miss must not touch the plan's executor."""
+
+    def test_miss_does_not_raise_under_ginless_gin_plan(self, engine, vocab):
+        # Pre-fix: explain("gin") raised RuntimeError despite the miss.
+        result = engine.count_tokens(["unseen-token"], vocab, plan="gin")
+        assert result.count == 0.0
+        assert result.plan == "gin"
+        assert result.rows_examined == 0
+
+    def test_miss_does_not_raise_under_unregistered_udf_plan(self, engine, vocab):
+        # Pre-fix: explain("udf:nope") raised KeyError despite the miss.
+        result = engine.count_tokens(["unseen-token"], vocab, plan="udf:nope")
+        assert result.count == 0.0
+        assert result.plan == "udf:nope"
+
+    def test_known_tokens_still_validate_the_plan(self, engine, vocab):
+        # The fix must not weaken validation on the executing path.
+        with pytest.raises(RuntimeError):
+            engine.count_tokens(["a"], vocab, plan="gin")
+        with pytest.raises(KeyError):
+            engine.count_tokens(["a"], vocab, plan="udf:nope")
+
+    def test_mixed_known_unknown_is_still_a_subset_miss(self, engine, vocab):
+        result = engine.count_tokens(["a", "unseen-token"], vocab, plan="gin")
+        assert result.count == 0.0
+
+    def test_all_unknown_is_a_miss_under_every_predicate(self, engine, vocab):
+        for spec in ("subset", "superset", "overlap>=1", "jaccard>=0.5"):
+            result = engine.count_tokens(
+                ["unseen-token"], vocab, plan="gin", predicate=spec
+            )
+            assert result.count == 0.0, spec
+
+
+class TestCountManyResolvesOnce:
+    """Bugfix 2: one resolution, one executor, for the whole batch."""
+
+    def test_drop_mid_batch_does_not_tear_the_batch(self, engine):
+        """Deterministic interleaving: the index vanishes after query #1.
+
+        Pre-fix, ``count_many`` re-ran ``self.count(canonical,
+        plan="gin")`` per query, which re-validated ``self.gin`` and
+        raised ``RuntimeError`` for every query after the drop.
+        """
+        index = engine.create_gin_index()
+        queries = [(1,), (2, 3), (2,), (1, 2, 3), (4,)]
+        expected = [engine.count(q, plan="seqscan").count for q in queries]
+        original = GinIndex.count_matching
+        calls = {"n": 0}
+
+        def dropping_count(self, query, predicate=None):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                engine.drop_gin_index()
+            return original(self, query, predicate)
+
+        try:
+            GinIndex.count_matching = dropping_count
+            results = engine.count_many(queries, plan="gin")
+        finally:
+            GinIndex.count_matching = original
+        assert engine.gin is None  # the drop really happened mid-batch
+        assert [r.count for r in results] == expected
+        assert all(r.plan == "gin" for r in results)
+        assert calls["n"] == len(queries)
+        assert index.count_contains((2, 3)) == 4  # captured executor survived
+
+    def test_concurrent_drop_thread_cannot_tear_the_batch(self, engine):
+        """A real cross-thread ``drop_gin_index`` mid-batch."""
+        engine.create_gin_index()
+        queries = [(1,), (2, 3), (2,), (1, 2, 3), (4,), (2, 4)]
+        expected = [engine.count(q, plan="seqscan").count for q in queries]
+        original = GinIndex.count_matching
+        dropped = threading.Event()
+
+        def dropping_count(self, query, predicate=None):
+            if not dropped.is_set():
+                dropper = threading.Thread(target=engine.drop_gin_index)
+                dropper.start()
+                dropper.join()
+                dropped.set()
+            return original(self, query, predicate)
+
+        try:
+            GinIndex.count_matching = dropping_count
+            results = engine.count_many(queries)  # planner picked gin
+        finally:
+            GinIndex.count_matching = original
+        assert dropped.is_set()
+        assert [r.count for r in results] == expected
+        assert all(r.plan == "gin" for r in results)
+
+    def test_single_count_also_executes_the_captured_index(self, engine):
+        """``count`` captures its executor at resolution time too."""
+        engine.create_gin_index()
+        original = GinIndex.count_matching
+
+        def dropping_count(self, query, predicate=None):
+            engine.drop_gin_index()
+            return original(self, query, predicate)
+
+        try:
+            GinIndex.count_matching = dropping_count
+            result = engine.count((2, 3))
+        finally:
+            GinIndex.count_matching = original
+        assert result.count == 4.0
+        assert result.plan == "gin"
+
+
+class TestGinSizeBytesCache:
+    """Bugfix 3: the footprint is computed once per index instance."""
+
+    def test_repeated_calls_pickle_once(self, engine, monkeypatch):
+        index = engine.create_gin_index()
+        calls = {"n": 0}
+        real = gin_module.pickled_size_bytes
+
+        def counting(payload):
+            calls["n"] += 1
+            return real(payload)
+
+        monkeypatch.setattr(gin_module, "pickled_size_bytes", counting)
+        first = index.size_bytes()
+        second = index.size_bytes()
+        third = index.size_bytes()
+        assert first == second == third
+        assert calls["n"] == 1  # pre-fix: one full re-pickle per call
+
+    def test_cached_footprint_equals_a_fresh_computation(self, engine):
+        """The Table-12 memory bench output must be byte-identical."""
+        index = engine.create_gin_index()
+        cached = index.size_bytes()
+        fresh = gin_module.pickled_size_bytes(
+            {e: index._inverted.posting(e) for e in index._inverted.elements()}
+        )
+        assert cached == fresh > 0
+
+    def test_rebuild_invalidates_the_cache(self, engine):
+        """``create_gin_index`` rebuilds; the new instance recomputes."""
+        first = engine.create_gin_index()
+        size_before = first.size_bytes()
+        rebuilt = engine.create_gin_index()
+        assert rebuilt is not first
+        assert rebuilt._size_bytes is None  # nothing stale carried over
+        assert rebuilt.size_bytes() == size_before

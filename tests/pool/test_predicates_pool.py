@@ -1,0 +1,84 @@
+"""Predicate plumbing across the process boundary (ISSUE 9, pool layer).
+
+The worker pool must (a) ship ``(rid, predicate_spec, query)`` batches to
+its replicas and route every predicate to the same worker a plain subset
+query of the same canonical would reach, (b) answer each predicate
+identically to a direct in-process server over the same structure, and
+(c) reject non-subset predicates on subset-only structures *before*
+anything crosses a pipe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TrainConfig
+from repro.core.predicate_suite import PredicateCardinalitySuite
+from repro.reliability import GuardedPredicateSuite
+from repro.serve import SetServer, WorkerPool
+from repro.sets.predicates import DEFAULT_PREDICATES
+
+from .conftest import EDGE_QUERIES, SEED, seed_note, small_model_config
+
+SPECS = tuple(predicate.spec for predicate in DEFAULT_PREDICATES)
+
+QUERIES = [(0, 1), (1, 2), (2, 3), (0,), (4, 5), (1, 2, 3), (5,)]
+
+
+@pytest.fixture(scope="module")
+def guarded_suite(collection) -> GuardedPredicateSuite:
+    suite = PredicateCardinalitySuite.build(
+        collection,
+        model_config=small_model_config(),
+        train_config=TrainConfig(
+            epochs=3, batch_size=64, lr=5e-3, loss="mse", seed=SEED
+        ),
+        num_samples=200,
+        max_subset_size=3,
+        rng=np.random.default_rng(SEED),
+    )
+    return GuardedPredicateSuite.for_collection(suite, collection)
+
+
+def test_pool_matches_direct_server_under_every_predicate(guarded_suite):
+    with SetServer(guarded_suite, cache_size=0) as direct:
+        direct_answers = {
+            (spec, query): direct.query(query, predicate=spec)
+            for spec in SPECS
+            for query in QUERIES + EDGE_QUERIES
+        }
+    with WorkerPool(guarded_suite, workers=2) as pool:
+        assert pool.supports_predicates()
+        for (spec, query), expected in direct_answers.items():
+            got = pool.query(query, predicate=spec)
+            assert got == pytest.approx(expected), seed_note(
+                f"predicate={spec} query={query}"
+            )
+
+
+def test_pool_batch_interleaves_predicates(guarded_suite):
+    items = [(spec, query) for query in QUERIES for spec in SPECS]
+    with WorkerPool(guarded_suite, workers=2) as pool:
+        singles = [
+            pool.query(query, predicate=spec) for spec, query in items
+        ]
+        for spec in SPECS:
+            batch = pool.query_many(list(QUERIES), predicate=spec)
+            expected = [
+                value
+                for (s, _), value in zip(items, singles)
+                if s == spec
+            ]
+            assert list(batch) == pytest.approx(expected), seed_note(spec)
+
+
+def test_subset_only_pool_rejects_other_predicates_up_front(estimator, truth):
+    with WorkerPool(estimator, workers=1, exact=truth) as pool:
+        assert not pool.supports_predicates()
+        assert pool.query((0, 1)) >= 0.0  # subset unaffected
+        for spec in SPECS[1:]:
+            with pytest.raises(ValueError, match="cannot answer predicate"):
+                pool.query((0, 1), predicate=spec)
+            with pytest.raises(ValueError, match="cannot answer predicate"):
+                pool.query_many([(0, 1)], predicate=spec)

@@ -62,7 +62,7 @@ class TestRequestDeadline:
         tcp = make_frontend(server, request_deadline_s=0.2)
         # A future that never completes: the handler must give up at the
         # deadline instead of pinning the connection forever.
-        server.submit = lambda query: concurrent.futures.Future()
+        server.submit = lambda query, predicate=None: concurrent.futures.Future()
         try:
             sock, stream = connect(tcp)
             try:

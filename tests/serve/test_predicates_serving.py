@@ -1,0 +1,214 @@
+"""Serving-layer predicate plumbing (ISSUE 9 tentpole, serve layer).
+
+Covers the three serving surfaces the predicate family flows through:
+
+* :class:`QueryCache` keys are ``(predicate_spec, canonical)`` pairs and
+  :meth:`invalidate_related` sweeps per predicate (⊆/⊇ for subset and
+  superset, intersection for overlap/jaccard, everything for unknown);
+* :class:`SetServer` routes predicates to suite structures, caches per
+  predicate, and rejects non-subset predicates on subset-only structures;
+* the TCP line protocol's optional leading predicate token
+  (:func:`parse_query_line` and a live frontend round-trip).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TrainConfig
+from repro.core.predicate_suite import PredicateCardinalitySuite
+from repro.reliability import GuardedPredicateSuite
+from repro.serve import QueryCache, SetServer, TcpServeFrontend
+from repro.serve.net import parse_query_line
+from repro.sets.predicates import DEFAULT_PREDICATES
+
+from .conftest import small_model_config
+from .test_net import ask, connect
+
+SPECS = tuple(predicate.spec for predicate in DEFAULT_PREDICATES)
+
+
+@pytest.fixture(scope="module")
+def suite(collection) -> PredicateCardinalitySuite:
+    return PredicateCardinalitySuite.build(
+        collection,
+        model_config=small_model_config(),
+        train_config=TrainConfig(epochs=3, batch_size=64, lr=5e-3, loss="mse", seed=0),
+        num_samples=200,
+        max_subset_size=3,
+        rng=np.random.default_rng(0),
+    )
+
+
+@pytest.fixture(scope="module")
+def guarded(suite, collection) -> GuardedPredicateSuite:
+    return GuardedPredicateSuite.for_collection(suite, collection)
+
+
+class TestCacheKeySweeps:
+    def test_subset_and_superset_keys_sweep_by_containment(self):
+        cache = QueryCache(capacity=16)
+        cache.put(("subset", (1, 2)), 1.0)       # ⊆ mutated -> dropped
+        cache.put(("superset", (1, 2, 3, 4)), 2.0)  # ⊇ mutated -> dropped
+        cache.put(("subset", (1, 9)), 3.0)       # incomparable -> kept
+        assert cache.invalidate_related((1, 2, 3)) == 2
+        assert cache.get(("subset", (1, 9)))[0]
+
+    def test_overlap_and_jaccard_keys_sweep_by_intersection(self):
+        cache = QueryCache(capacity=16)
+        cache.put(("overlap>=2", (3, 9)), 1.0)    # intersects -> dropped
+        cache.put(("jaccard>=0.5", (1, 8)), 2.0)  # intersects -> dropped
+        cache.put(("overlap>=2", (8, 9)), 3.0)    # disjoint -> kept
+        assert cache.invalidate_related((1, 2, 3)) == 2
+        assert cache.get(("overlap>=2", (8, 9)))[0]
+
+    def test_incomparable_subset_key_survives_where_overlap_does_not(self):
+        # The same cached query, one per predicate: the mutation (1, 2, 3)
+        # overlaps (1, 9) without containing it either way.
+        cache = QueryCache(capacity=16)
+        cache.put(("subset", (1, 9)), 1.0)
+        cache.put(("overlap>=2", (1, 9)), 2.0)
+        assert cache.invalidate_related((1, 2, 3)) == 1
+        assert cache.get(("subset", (1, 9)))[0]
+        assert not cache.get(("overlap>=2", (1, 9)))[0]
+
+    def test_empty_query_key_drops_under_every_predicate(self):
+        cache = QueryCache(capacity=16)
+        for spec in SPECS:
+            cache.put((spec, ()), 0.0)
+        assert cache.invalidate_related((7,)) == len(SPECS)
+
+    def test_unknown_spec_key_is_dropped_conservatively(self):
+        cache = QueryCache(capacity=16)
+        cache.put(("between", (8, 9)), 1.0)
+        assert cache.invalidate_related((1, 2)) == 1
+
+    def test_legacy_bare_keys_keep_the_containment_sweep(self):
+        cache = QueryCache(capacity=16)
+        cache.put((1, 2), 1.0)
+        cache.put((1, 9), 2.0)
+        assert cache.invalidate_related((1, 2, 3)) == 1
+        assert cache.get((1, 9))[0]
+
+
+class TestParseQueryLine:
+    def test_no_token_means_subset(self):
+        assert parse_query_line(["3", "17"]) == ("subset", (3, 17))
+
+    def test_leading_token_selects_the_predicate(self):
+        for spec in ("superset", "overlap>=2", "jaccard>=0.5"):
+            assert parse_query_line([spec, "3", "17"]) == (spec, (3, 17))
+
+    def test_explicit_subset_token_is_accepted(self):
+        assert parse_query_line(["subset", "3"]) == ("subset", (3,))
+
+    def test_negative_ids_are_not_mistaken_for_predicates(self):
+        assert parse_query_line(["-1", "3"]) == ("subset", (-1, 3))
+
+    def test_bad_token_and_bad_ids_raise(self):
+        with pytest.raises(ValueError):
+            parse_query_line(["contains", "3"])
+        with pytest.raises(ValueError):
+            parse_query_line(["superset", "x"])
+
+
+class TestServerPredicates:
+    def test_subset_only_structure_rejects_other_predicates(self, estimator):
+        with SetServer(estimator, cache_size=8) as server:
+            assert not server.supports_predicates()
+            assert server.query((0, 1)) >= 0.0  # subset still served
+            with pytest.raises(ValueError, match="predicate"):
+                server.query((0, 1), predicate="superset")
+
+    def test_suite_server_answers_every_predicate(self, guarded, truth):
+        with SetServer(guarded, cache_size=32) as server:
+            assert server.supports_predicates()
+            for spec in SPECS:
+                value = server.query((0, 1), predicate=spec)
+                assert 0.0 <= value <= truth.num_sets, spec
+
+    def test_cache_entries_are_per_predicate(self, guarded):
+        with SetServer(guarded, cache_size=32) as server:
+            baseline = server.cache.misses
+            for spec in SPECS:
+                server.query((1, 2), predicate=spec)
+            assert server.cache.misses == baseline + len(SPECS)
+            hits = server.cache.hits
+            for spec in SPECS:
+                server.query((2, 1, 2), predicate=spec)  # same canonical
+            assert server.cache.hits == hits + len(SPECS)
+
+    def test_record_update_invalidates_across_predicates(self, collection):
+        suite = PredicateCardinalitySuite.build(
+            collection,
+            model_config=small_model_config(),
+            train_config=TrainConfig(
+                epochs=2, batch_size=64, lr=5e-3, loss="mse", seed=1
+            ),
+            num_samples=120,
+            max_subset_size=3,
+            rng=np.random.default_rng(1),
+        )
+        with SetServer(suite, cache_size=32) as server:
+            for spec in SPECS:
+                server.query((1, 2), predicate=spec)
+            assert len(server.cache) == len(SPECS)
+            # Mutating (1, 2) can change the answer under every predicate.
+            suite.record_update((1, 2), 9, predicate="subset")
+            assert len(server.cache) == 0
+            assert server.query((1, 2), predicate="subset") == 9.0
+
+    def test_query_many_accepts_a_predicate(self, guarded, truth):
+        with SetServer(guarded, cache_size=0) as server:
+            values = server.query_many([(0, 1), (1, 2)], predicate="superset")
+            exact = [
+                truth.count_predicate("superset", (0, 1)),
+                truth.count_predicate("superset", (1, 2)),
+            ]
+            assert all(0.0 <= v <= truth.num_sets for v in values)
+            assert len(values) == len(exact)
+
+
+class TestTcpPredicates:
+    @pytest.fixture
+    def frontend(self, guarded):
+        server = SetServer(guarded, cache_size=64).start()
+        tcp = TcpServeFrontend(server, port=0).start_background()
+        yield tcp, server
+        tcp.shutdown()
+        server.close()
+
+    def test_predicate_tokens_round_trip(self, frontend, truth):
+        tcp, _ = frontend
+        sock, stream = connect(tcp)
+        try:
+            for spec in SPECS:
+                answer = ask(stream, f"{spec} 1 2")
+                assert 0.0 <= float(answer) <= truth.num_sets, spec
+            bare = ask(stream, "1 2")
+            tagged = ask(stream, "subset 1 2")
+            assert bare == tagged  # no token == explicit subset
+        finally:
+            sock.close()
+
+    def test_unknown_predicate_token_is_malformed(self, frontend):
+        tcp, _ = frontend
+        sock, stream = connect(tcp)
+        try:
+            assert ask(stream, "contains 1 2") == "error malformed query"
+            assert float(ask(stream, "1 2")) >= 0.0  # connection survives
+        finally:
+            sock.close()
+
+    def test_unsupported_predicate_on_subset_server_is_an_error(self, estimator):
+        server = SetServer(estimator, cache_size=0).start()
+        tcp = TcpServeFrontend(server, port=0).start_background()
+        sock, stream = connect(tcp)
+        try:
+            assert ask(stream, "superset 1 2") == "error ValueError"
+            assert float(ask(stream, "1 2")) >= 0.0
+        finally:
+            sock.close()
+            tcp.shutdown()
+            server.close()

@@ -1,0 +1,219 @@
+"""Unit tests for the predicate family (ISSUE 9 tentpole, sets layer).
+
+:class:`Predicate` is the single source of truth for query semantics, so
+this file pins its contract precisely: parse/spec round-trips, threshold
+validation, brute-force agreement of :meth:`matches`, the defined
+degenerate semantics (empty query, unknown ids), and the exact
+posting-list baselines on :class:`InvertedIndex`.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import numpy as np
+import pytest
+
+from repro.sets import InvertedIndex, SetCollection
+from repro.sets.predicates import (
+    DEFAULT_PREDICATES,
+    SUBSET,
+    SUPERSET,
+    Predicate,
+    as_predicate,
+)
+
+SEED = int(os.environ.get("REPRO_TEST_SEED", "0"))
+
+
+def seed_note(context: str = "") -> str:
+    return f"REPRO_TEST_SEED={SEED} {context}".strip()
+
+
+class TestParseAndSpec:
+    @pytest.mark.parametrize(
+        "spec",
+        ["subset", "superset", "overlap>=1", "overlap>=7", "jaccard>=0.5",
+         "jaccard>=0.25", "jaccard>=1"],
+    )
+    def test_spec_round_trips_through_parse(self, spec):
+        predicate = Predicate.parse(spec)
+        assert Predicate.parse(predicate.spec) == predicate
+
+    def test_parse_normalizes_case_and_whitespace(self):
+        assert Predicate.parse("  SUPERSET ") == SUPERSET
+        assert Predicate.parse("Overlap>=3") == Predicate.overlap(3)
+
+    def test_spec_is_the_str_form(self):
+        assert str(Predicate.jaccard(0.5)) == "jaccard>=0.5"
+        assert str(SUBSET) == "subset"
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "contains", "overlap", "overlap>=", "overlap>=0",
+         "overlap>=-1", "overlap>=1.5", "jaccard", "jaccard>=0",
+         "jaccard>=1.5", "jaccard>=x", "subset>=1"],
+    )
+    def test_parse_rejects_malformed_specs(self, bad):
+        with pytest.raises(ValueError):
+            Predicate.parse(bad)
+
+    def test_constructor_validates_thresholds(self):
+        with pytest.raises(ValueError):
+            Predicate("subset", 1)
+        with pytest.raises(ValueError):
+            Predicate("overlap")
+        with pytest.raises(ValueError):
+            Predicate("overlap", 0)
+        with pytest.raises(ValueError):
+            Predicate("jaccard", 0.0)
+        with pytest.raises(ValueError):
+            Predicate("jaccard", 1.0001)
+        with pytest.raises(ValueError):
+            Predicate("between")
+
+    def test_as_predicate_coercions(self):
+        assert as_predicate(None) is SUBSET
+        assert as_predicate("overlap>=2") == Predicate.overlap(2)
+        predicate = Predicate.jaccard(0.5)
+        assert as_predicate(predicate) is predicate
+        with pytest.raises(TypeError):
+            as_predicate(3)
+
+
+class TestMatches:
+    def test_subset_and_superset_are_mirror_images(self):
+        q, s = (1, 2), (1, 2, 3)
+        assert SUBSET.matches(q, s) and not SUBSET.matches(s, q)
+        assert SUPERSET.matches(s, q) and not SUPERSET.matches(q, s)
+
+    def test_overlap_counts_distinct_shared_elements(self):
+        assert Predicate.overlap(2).matches((1, 2, 9), (2, 1, 7))
+        assert not Predicate.overlap(3).matches((1, 2, 9), (2, 1, 7))
+
+    def test_jaccard_is_intersection_over_union(self):
+        # |q ∩ s| = 2, |q ∪ s| = 4 -> J = 0.5
+        q, s = (1, 2, 3), (2, 3, 4)
+        assert Predicate.jaccard(0.5).matches(q, s)
+        assert not Predicate.jaccard(0.51).matches(q, s)
+        assert Predicate.jaccard(1.0).matches(q, q)
+
+    def test_matches_agrees_with_set_algebra_brute_force(self):
+        rng = random.Random(SEED * 31 + 5)
+        for _ in range(300):
+            q = frozenset(rng.sample(range(12), rng.randint(0, 6)))
+            s = frozenset(rng.sample(range(12), rng.randint(1, 6)))
+            for predicate in DEFAULT_PREDICATES:
+                if predicate.kind == "subset":
+                    expected = q <= s
+                elif predicate.kind == "superset":
+                    expected = s <= q
+                elif predicate.kind == "overlap":
+                    expected = len(q & s) >= predicate.threshold
+                else:
+                    expected = (
+                        len(q | s) > 0
+                        and len(q & s) / len(q | s) >= predicate.threshold
+                    )
+                assert predicate.matches(q, s) == expected, seed_note(
+                    f"predicate={predicate.spec} q={sorted(q)} s={sorted(s)}"
+                )
+
+    def test_empty_query_semantics(self):
+        for predicate in DEFAULT_PREDICATES:
+            assert predicate.matches((), (1, 2)) == (predicate.kind == "subset")
+            expected = 10 if predicate.kind == "subset" else 0
+            assert predicate.empty_query_count(10) == expected
+
+    def test_unknown_ids_enlarge_jaccard_union_only(self):
+        # 999 is never stored: it blocks subset, is ignored by superset
+        # containment of s, counts nothing toward overlap, and dilutes J.
+        s = (1, 2)
+        assert not SUBSET.matches((1, 2, 999), s)
+        assert SUPERSET.matches((1, 2, 999), s)
+        assert Predicate.overlap(2).matches((1, 2, 999), s)
+        assert Predicate.jaccard(0.67).matches((1, 2), s)
+        assert not Predicate.jaccard(0.67).matches((1, 2, 999), s)
+
+
+@pytest.fixture(scope="module")
+def collection() -> SetCollection:
+    rng = random.Random(SEED * 131 + 7)
+    return SetCollection(
+        [sorted(rng.sample(range(20), rng.randint(1, 6))) for _ in range(50)]
+    )
+
+
+@pytest.fixture(scope="module")
+def index(collection) -> InvertedIndex:
+    return InvertedIndex(collection)
+
+
+@pytest.fixture(scope="module")
+def queries(collection) -> list[tuple[int, ...]]:
+    rng = random.Random(SEED * 257 + 1)
+    stored = list(collection)
+    out = [()]
+    for _ in range(60):
+        base = set(rng.choice(stored))
+        if rng.random() < 0.4:
+            base.add(rng.randint(0, 30))  # possibly out-of-vocabulary
+        if rng.random() < 0.4 and len(base) > 1:
+            base.discard(next(iter(base)))
+        out.append(tuple(sorted(base)))
+    return out
+
+
+class TestInvertedIndexPredicates:
+    def test_count_predicate_matches_brute_force(self, index, collection, queries):
+        for predicate in DEFAULT_PREDICATES + (
+            Predicate.overlap(1),
+            Predicate.jaccard(0.3),
+        ):
+            for query in queries:
+                expected = sum(
+                    predicate.matches(query, stored) for stored in collection
+                )
+                got = index.count_predicate(predicate, query)
+                assert got == expected, seed_note(
+                    f"predicate={predicate.spec} query={query}"
+                )
+
+    def test_matching_positions_predicate_matches_brute_force(
+        self, index, collection, queries
+    ):
+        for predicate in DEFAULT_PREDICATES:
+            for query in queries:
+                expected = [
+                    position
+                    for position, stored in enumerate(collection)
+                    if predicate.matches(query, stored)
+                ]
+                got = index.matching_positions_predicate(predicate, query)
+                assert list(got) == expected, seed_note(
+                    f"predicate={predicate.spec} query={query}"
+                )
+
+    def test_subset_path_agrees_with_cardinality(self, index, queries):
+        for query in queries:
+            if query:
+                assert index.count_predicate(SUBSET, query) == index.cardinality(
+                    query
+                )
+
+    def test_overlap_counts_vector(self, index, collection):
+        query = (0, 1, 2, 999)
+        counts = index.overlap_counts(query)
+        assert counts.dtype == np.int64 and len(counts) == len(collection)
+        for position, stored in enumerate(collection):
+            assert counts[position] == len(set(query) & set(stored))
+
+    def test_set_size_reports_stored_sizes(self, index, collection):
+        for position, stored in enumerate(collection):
+            assert index.set_size(position) == len(stored)
+
+    def test_accepts_spec_strings(self, index):
+        assert index.count_predicate("superset", (0, 1, 2, 3, 4, 5)) == (
+            index.count_predicate(SUPERSET, (0, 1, 2, 3, 4, 5))
+        )

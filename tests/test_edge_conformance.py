@@ -16,9 +16,22 @@ and the answers are asserted identical cell by cell:
 * duplicates     -> same answer as the de-duplicated query on every path;
 * valid singleton -> direct == served, sharding-independent where the
   facade guarantees exactness (index positions, bloom no-false-negative).
+
+The predicate family adds its own matrix (``TestPredicateMatrix``):
+
+    {empty, OOV, duplicate}
+  x {subset, superset, overlap>=2, jaccard>=0.5}
+  x {unsharded suite, K=3 sharded suite} (both guarded)
+  x {direct call, SetServer submit}
+
+with the per-predicate defined answers of
+:class:`~repro.reliability.GuardedPredicateSuite`; assertion messages echo
+the rotating ``REPRO_TEST_SEED``.
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
@@ -30,14 +43,24 @@ from repro.core import (
     ModelConfig,
     TrainConfig,
 )
+from repro.core.predicate_suite import PredicateCardinalitySuite
 from repro.reliability import (
     GuardedBloomFilter,
     GuardedCardinalityEstimator,
+    GuardedPredicateSuite,
     GuardedSetIndex,
 )
 from repro.serve import SetServer
 from repro.sets import InvertedIndex, SetCollection
+from repro.sets.predicates import DEFAULT_PREDICATES
 from repro.shard import ShardedBuilder, ShardPlan
+
+SEED = int(os.environ.get("REPRO_TEST_SEED", "0"))
+
+
+def seed_note(context: str = "") -> str:
+    note = f"REPRO_TEST_SEED={SEED}"
+    return f"{note} ({context})" if context else note
 
 SETS = [
     [0, 1, 2],
@@ -253,3 +276,134 @@ def test_edge_queries_never_raise_and_health_is_counted(kind, deployment,
     for _, query, _ in EDGE_QUERIES:
         _direct_answer(kind, structure, query)
     assert structure.health.queries == before + len(EDGE_QUERIES)
+
+
+# -- the predicate x structure matrix ----------------------------------------
+
+
+@pytest.fixture(scope="module")
+def predicate_structures(collection):
+    """Guarded predicate suites: unsharded and K=3 sharded."""
+    unsharded = PredicateCardinalitySuite.build(
+        collection,
+        model_config=_small_model(),
+        train_config=TrainConfig(
+            epochs=2, batch_size=64, lr=5e-3, loss="mse", seed=SEED
+        ),
+        num_samples=150,
+        max_subset_size=3,
+        rng=np.random.default_rng(SEED),
+    )
+    sharded = ShardedBuilder(
+        ShardPlan.contiguous(collection, 3),
+        workers=1,
+        base_seed=SEED,
+        model_config=_small_model(),
+        train_config=TrainConfig(epochs=2, batch_size=64, lr=5e-3),
+        max_subset_size=3,
+        max_training_samples=150,
+    ).build("predicate")
+    return {
+        "unsharded": GuardedPredicateSuite.for_collection(unsharded, collection),
+        "sharded": GuardedPredicateSuite.for_collection(sharded, collection),
+    }
+
+
+@pytest.fixture(scope="module")
+def predicate_servers(predicate_structures):
+    running = {
+        deployment: SetServer(structure, cache_size=64).start()
+        for deployment, structure in predicate_structures.items()
+    }
+    yield running
+    for server in running.values():
+        server.close()
+
+
+def _predicate_answers(deployment, predicate_structures, predicate_servers,
+                       query, predicate):
+    structure = predicate_structures[deployment]
+    server = predicate_servers[deployment]
+    return (
+        structure.estimate(query, predicate=predicate),
+        server.query(list(query), predicate=predicate.spec),
+    )
+
+
+@pytest.mark.parametrize("deployment", DEPLOYMENTS)
+@pytest.mark.parametrize("predicate", DEFAULT_PREDICATES, ids=lambda p: p.spec)
+class TestPredicateMatrix:
+    def test_empty_query_has_the_defined_answer(
+        self, predicate, deployment, predicate_structures, predicate_servers
+    ):
+        direct, served = _predicate_answers(
+            deployment, predicate_structures, predicate_servers, (), predicate
+        )
+        expected = float(predicate.empty_query_count(len(SETS)))
+        assert direct == expected, seed_note(
+            f"direct {predicate.spec}/{deployment}"
+        )
+        assert served == expected, seed_note(
+            f"served {predicate.spec}/{deployment}"
+        )
+
+    @pytest.mark.parametrize("query", [(OOV,), (OOV, OOV + 1), (2, OOV)])
+    def test_oov_is_a_subset_miss_and_exact_elsewhere(
+        self, predicate, deployment, query, predicate_structures,
+        predicate_servers, truth
+    ):
+        direct, served = _predicate_answers(
+            deployment, predicate_structures, predicate_servers, query,
+            predicate
+        )
+        if predicate.kind == "subset":
+            expected = 0.0
+        else:
+            expected = float(truth.count_predicate(predicate, query))
+        assert direct == expected, seed_note(
+            f"direct {predicate.spec}/{deployment} {query}"
+        )
+        assert served == expected, seed_note(
+            f"served {predicate.spec}/{deployment} {query}"
+        )
+
+    @pytest.mark.parametrize("query,dedup",
+                             [((1, 1, 2, 2), (1, 2)), ((2, 2, 2), (2,)),
+                              ((OOV, OOV), (OOV,))])
+    def test_duplicates_canonicalize(
+        self, predicate, deployment, query, dedup, predicate_structures,
+        predicate_servers
+    ):
+        structure = predicate_structures[deployment]
+        server = predicate_servers[deployment]
+        assert structure.estimate(query, predicate=predicate) == (
+            structure.estimate(dedup, predicate=predicate)
+        ), seed_note(f"direct {predicate.spec}/{deployment} {query}")
+        assert server.query(list(query), predicate=predicate.spec) == (
+            server.query(list(dedup), predicate=predicate.spec)
+        ), seed_note(f"served {predicate.spec}/{deployment} {query}")
+
+    @pytest.mark.parametrize("query", [(), (2,), (1, 2), (OOV,), (1, 1, 2)])
+    def test_direct_and_served_agree(
+        self, predicate, deployment, query, predicate_structures,
+        predicate_servers
+    ):
+        direct, served = _predicate_answers(
+            deployment, predicate_structures, predicate_servers, query,
+            predicate
+        )
+        assert direct == served, seed_note(
+            f"{predicate.spec}/{deployment} {query}: {direct} != {served}"
+        )
+
+    def test_answers_never_raise_and_health_is_counted(
+        self, predicate, deployment, predicate_structures
+    ):
+        structure = predicate_structures[deployment]
+        before = structure.health.queries
+        probes = [(), (2,), (OOV,), (1, 1, 2), (OOV, 2)]
+        for query in probes:
+            structure.estimate(query, predicate=predicate)
+        assert structure.health.queries == before + len(probes), seed_note(
+            f"{predicate.spec}/{deployment}"
+        )

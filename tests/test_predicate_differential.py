@@ -1,0 +1,234 @@
+"""Predicate-family differential harness (ISSUE 9 acceptance gate).
+
+For every predicate in ``DEFAULT_PREDICATES``, over >= 200 seeded queries
+(``REPRO_TEST_SEED`` rotates in CI; every assertion echoes it):
+
+* **exact contracts** — GIN posting-list evaluation, the engine's
+  seqscan, and :meth:`InvertedIndex.count_predicate` answer *identically*
+  to a brute-force evaluation of :meth:`Predicate.matches`;
+* **sharded structure** — the K=3 predicate router's answer is the sum of
+  its per-shard answers over the shards the query can touch;
+* **estimator gates** — guarded sharded estimates are finite, within
+  ``[0, N]``, and within a (generous) aggregate q-error gate of the exact
+  counts;
+* **served parity** — a :class:`SetServer` over the guarded sharded suite
+  answers exactly like direct calls, including the defined
+  empty/OOV/oversized semantics per predicate.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.reliability import GuardedPredicateSuite
+from repro.engine import SetQueryEngine, SetTable
+from repro.serve import SetServer
+from repro.sets import InvertedIndex, SetCollection
+from repro.sets.predicates import DEFAULT_PREDICATES
+from repro.sets.subsets import sample_predicate_workload
+from repro.shard import ShardPlan, ShardedBuilder
+from repro.core import ModelConfig, TrainConfig
+
+SEED = int(os.environ.get("REPRO_TEST_SEED", "0"))
+NUM_QUERIES = 220  # >= 200 per predicate
+NUM_SHARDS = 3
+
+
+def seed_note(context: str = "") -> str:
+    note = f"REPRO_TEST_SEED={SEED}"
+    return f"{note} ({context})" if context else note
+
+
+@pytest.fixture(scope="module")
+def collection() -> SetCollection:
+    rng = np.random.default_rng(SEED * 9973 + 29)
+    sets = []
+    for _ in range(48):
+        size = int(rng.integers(2, 6))
+        sets.append(tuple(int(e) for e in rng.choice(26, size=size, replace=False)))
+    return SetCollection(sets)
+
+
+@pytest.fixture(scope="module")
+def truth(collection) -> InvertedIndex:
+    return InvertedIndex(collection)
+
+
+@pytest.fixture(scope="module")
+def engine(collection) -> SetQueryEngine:
+    engine = SetQueryEngine(SetTable.from_collection(collection))
+    engine.create_gin_index()
+    return engine
+
+
+@pytest.fixture(scope="module")
+def workloads(collection) -> dict[str, list[tuple[int, ...]]]:
+    """Per-predicate seeded workloads drawn like the training corpora."""
+    out = {}
+    for position, predicate in enumerate(DEFAULT_PREDICATES):
+        rng = np.random.default_rng(SEED * 613 + position)
+        queries = sample_predicate_workload(
+            collection, predicate, NUM_QUERIES, rng=rng, max_subset_size=4
+        )
+        out[predicate.spec] = [tuple(int(e) for e in q) for q in queries]
+    return out
+
+
+@pytest.fixture(scope="module")
+def guarded(collection) -> GuardedPredicateSuite:
+    """A guarded K=3 sharded predicate suite (tiny training budget)."""
+    builder = ShardedBuilder(
+        ShardPlan.contiguous(collection, NUM_SHARDS),
+        workers=1,
+        base_seed=SEED,
+        model_config=ModelConfig(
+            kind="lsm", embedding_dim=2, phi_hidden=(4,), rho_hidden=(4,)
+        ),
+        train_config=TrainConfig(epochs=2, batch_size=64, lr=5e-3),
+        max_subset_size=4,
+        max_training_samples=300,
+    )
+    sharded = builder.build("predicate")
+    return GuardedPredicateSuite.for_collection(sharded, collection)
+
+
+def brute_force(collection, predicate, query) -> int:
+    return sum(predicate.matches(query, stored) for stored in collection)
+
+
+@pytest.mark.parametrize(
+    "predicate", DEFAULT_PREDICATES, ids=lambda p: p.spec
+)
+class TestExactContracts:
+    """Index contracts are exact: no tolerance anywhere in this class."""
+
+    def test_gin_seqscan_and_inverted_index_agree_with_brute_force(
+        self, engine, truth, collection, workloads, predicate
+    ):
+        for query in workloads[predicate.spec]:
+            expected = brute_force(collection, predicate, query)
+            gin = engine.count(query, plan="gin", predicate=predicate).count
+            seqscan = engine.count(
+                query, plan="seqscan", predicate=predicate
+            ).count
+            inverted = truth.count_predicate(predicate, query)
+            assert gin == seqscan == inverted == expected, seed_note(
+                f"predicate={predicate.spec} query={query}"
+            )
+
+    def test_matching_positions_agree_with_brute_force(
+        self, truth, collection, workloads, predicate
+    ):
+        for query in workloads[predicate.spec][:60]:
+            expected = [
+                position
+                for position, stored in enumerate(collection)
+                if predicate.matches(query, stored)
+            ]
+            got = truth.matching_positions_predicate(predicate, query)
+            assert list(got) == expected, seed_note(
+                f"predicate={predicate.spec} query={query}"
+            )
+
+
+@pytest.mark.parametrize(
+    "predicate", DEFAULT_PREDICATES, ids=lambda p: p.spec
+)
+class TestShardedGuardedServed:
+    def test_sharded_answer_is_the_sum_over_matchable_shards(
+        self, guarded, workloads, predicate
+    ):
+        sharded = guarded.suite
+        for query in workloads[predicate.spec][:80]:
+            canonical = tuple(sorted(set(query)))
+            if not canonical:
+                continue
+            got = float(sharded.estimate(canonical, predicate=predicate))
+            expected = 0.0
+            for shard_id, part in enumerate(sharded.parts):
+                if not sharded._shard_can_match(shard_id, canonical, predicate):
+                    continue
+                # The router clips each shard's query to the shard's element
+                # universe (ids above the ceiling cannot occur in the shard).
+                ceiling = sharded._ceilings[shard_id]
+                clipped = (
+                    canonical
+                    if predicate.kind == "subset"
+                    else tuple(e for e in canonical if e <= ceiling)
+                )
+                expected += float(part.estimate(clipped, predicate=predicate))
+            assert got == pytest.approx(expected, rel=1e-9), seed_note(
+                f"predicate={predicate.spec} query={query}"
+            )
+
+    def test_guarded_estimates_pass_the_gates(
+        self, guarded, truth, collection, workloads, predicate
+    ):
+        queries = workloads[predicate.spec]
+        estimates = guarded.estimate_many(queries, predicate=predicate)
+        exact = np.array(
+            [truth.count_predicate(predicate, q) for q in queries], dtype=float
+        )
+        assert np.all(np.isfinite(estimates)), seed_note(predicate.spec)
+        assert np.all(estimates >= 0.0), seed_note(predicate.spec)
+        assert np.all(estimates <= len(collection)), seed_note(predicate.spec)
+        q_errors = np.maximum(estimates, exact) / np.maximum(
+            np.minimum(estimates, exact), 1.0
+        )
+        # A deliberately generous aggregate gate: the per-shard models are
+        # trained for two epochs on 300 samples; the gate catches gross
+        # routing/scaling bugs (answers off by the collection size), not
+        # model accuracy regressions.
+        assert float(np.median(q_errors)) <= 32.0, seed_note(
+            f"predicate={predicate.spec} median_q={float(np.median(q_errors)):.2f}"
+        )
+
+    def test_served_answers_equal_direct_answers(
+        self, guarded, workloads, predicate
+    ):
+        queries = workloads[predicate.spec]
+        direct = [
+            float(guarded.estimate(q, predicate=predicate)) for q in queries
+        ]
+        with SetServer(guarded, cache_size=256) as server:
+            served = [
+                float(server.query(q, predicate=predicate.spec))
+                for q in queries
+            ]
+            cached = [
+                float(server.query(q, predicate=predicate.spec))
+                for q in queries
+            ]
+        assert served == pytest.approx(direct, rel=1e-9), seed_note(
+            predicate.spec
+        )
+        assert cached == served, seed_note(f"{predicate.spec} cached")
+
+    def test_degenerate_queries_have_the_defined_answers_everywhere(
+        self, guarded, truth, collection, predicate
+    ):
+        oov = collection.max_element_id() + 10_000
+        oversized = tuple(range(max(len(s) for s in collection) + 2))
+        empty_expected = float(predicate.empty_query_count(len(collection)))
+        if predicate.kind == "subset":
+            oov_expected = 0.0
+            oversized_expected = 0.0
+        else:
+            oov_expected = float(truth.count_predicate(predicate, (0, oov)))
+            oversized_expected = float(
+                truth.count_predicate(predicate, oversized)
+            )
+        with SetServer(guarded, cache_size=0) as server:
+            for query, expected in (
+                ((), empty_expected),
+                ((0, oov), oov_expected),
+                (oversized, oversized_expected),
+            ):
+                direct = guarded.estimate(query, predicate=predicate)
+                served = server.query(query, predicate=predicate.spec)
+                assert direct == served == expected, seed_note(
+                    f"predicate={predicate.spec} query={query}"
+                )

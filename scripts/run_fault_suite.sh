@@ -20,5 +20,10 @@ echo "== graded fault-storm scenario (seed ${REPRO_TEST_SEED:-default}) =="
 python -m repro.cli scenario run fault-storm --fast --seeds 1
 
 echo
+echo "== adaptive drift differential (seed ${REPRO_TEST_SEED:-default}) =="
+python -m pytest -q -p no:cacheprovider tests/adapt \
+    "tests/test_edge_conformance.py::TestAdaptiveEdgeConformance" "$@"
+
+echo
 echo "== full tier-1 suite =="
 python -m pytest -q -p no:cacheprovider "$@"

@@ -19,6 +19,7 @@ Subpackages
 ``repro.serve``     concurrent query serving: micro-batching, caching, swap
 ``repro.shard``     sharded scale-out: parallel training, scatter-gather
 ``repro.maintain``  incremental maintenance: deltas, staleness, refresh
+``repro.adapt``     workload-adaptive training, drift-aware targeted refresh
 ``repro.infer``     frozen-plan compiled inference, quantized variants
 ``repro.scenario``  declarative robustness scenarios with SLO grading
 ``repro.bench``     benchmark harness regenerating every table & figure

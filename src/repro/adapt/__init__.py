@@ -1,0 +1,35 @@
+"""Workload-adaptive training and drift-aware targeted refresh.
+
+The feedback loop ROADMAP item 5 asks for, in four pieces:
+
+* :class:`WorkloadLog` — bounded, thread-safe record of the served query
+  stream (frequencies + sampled observed q-error);
+* :func:`sample_from_workload` — frequency-weighted refresh training sets
+  consumed through :func:`repro.core.hybrid.guided_fit`'s sample-weight
+  path;
+* :class:`ShardStalenessTracker` / :func:`probe_shard_errors` —
+  Algorithm 2's local error bounds applied to staleness: observed error
+  bucketed by shard offsets;
+* :class:`AdaptiveRefresher` — rebuilds *only* tripped shards
+  (:func:`workload_shard_rebuilder`) and hot-swaps them individually.
+"""
+
+from .refresher import (
+    AdaptiveRefresher,
+    workload_rebuilder,
+    workload_shard_rebuilder,
+)
+from .sampler import sample_from_workload
+from .tracker import ShardStalenessTracker, probe_shard_errors
+from .workload import WorkloadEntry, WorkloadLog
+
+__all__ = [
+    "AdaptiveRefresher",
+    "ShardStalenessTracker",
+    "WorkloadEntry",
+    "WorkloadLog",
+    "probe_shard_errors",
+    "sample_from_workload",
+    "workload_rebuilder",
+    "workload_shard_rebuilder",
+]

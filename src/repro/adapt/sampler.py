@@ -1,0 +1,155 @@
+"""Turn an observed workload into a frequency-weighted training set.
+
+``sample_from_workload`` is the bridge from :class:`~repro.adapt.WorkloadLog`
+to :func:`repro.core.hybrid.guided_fit`'s new sample-weight path: observed
+queries enter the refresh training set weighted by how often they were
+served, mixed with a perturbation-sampled *novelty mass* so the refreshed
+model does not overfit to yesterday's hot keys (the moving-workload
+critique of learned structures — see PAPERS.md on Kraska et al. and ACE).
+
+Labels are always exact, read from the paired
+:class:`~repro.sets.InvertedIndex` — training on served (possibly stale or
+model-estimated) answers would launder the very drift we are correcting.
+
+Hygiene: empty queries, queries with out-of-universe elements, and
+duplicate keys are dropped *here*, in one place, so malformed traffic
+recorded into the log can never poison a refresh training set (the
+edge-conformance suite pins this).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..sets.collection import SetCollection
+from ..sets.inverted import InvertedIndex
+from ..sets.subsets import sample_query_workload
+from .workload import WorkloadEntry, WorkloadLog
+
+__all__ = ["sample_from_workload"]
+
+
+def _clean_observed(
+    entries: Iterable[WorkloadEntry],
+    spec: str,
+    max_element_id: int,
+) -> list[WorkloadEntry]:
+    """Observed entries that are usable as training samples.
+
+    Drops other predicates' entries, the empty query (it has no model
+    path: the serving layer answers it exactly), and queries containing
+    elements outside the trained universe (the model cannot embed them;
+    the guarded facades answer them through the exact fallback anyway).
+    Canonical keys are unique per spec by construction, so no dedup pass
+    is needed beyond the key set itself.
+    """
+    cleaned: list[WorkloadEntry] = []
+    for entry in entries:
+        if entry.spec != spec:
+            continue
+        if not entry.canonical:
+            continue
+        if entry.canonical[0] < 0 or entry.canonical[-1] > max_element_id:
+            continue
+        cleaned.append(entry)
+    return cleaned
+
+
+def sample_from_workload(
+    workload: WorkloadLog | Sequence[WorkloadEntry],
+    collection: SetCollection,
+    exact: InvertedIndex | None = None,
+    *,
+    kind: str = "cardinality",
+    spec: str = "subset",
+    num_samples: int = 512,
+    novelty_fraction: float = 0.25,
+    max_subset_size: int = 6,
+    rng: np.random.Generator | None = None,
+) -> tuple[list[tuple[int, ...]], np.ndarray, np.ndarray]:
+    """Build ``(subsets, targets, weights)`` for a workload-guided refresh.
+
+    * the observed mass — up to ``(1 - novelty_fraction) * num_samples``
+      hottest usable entries, weighted by their observed frequency;
+    * the novelty mass — perturbation-sampled queries over the *current*
+      collection (:func:`repro.sets.subsets.sample_query_workload`), each
+      with weight 1 — generalization pressure against pure replay.
+
+    ``kind`` selects the label: ``"cardinality"`` (exact subset counts —
+    0 is a legal label: the model learns toward the floor and guided
+    eviction moves stubborn negatives into the exact auxiliary) or
+    ``"index"`` (exact first positions; unfindable queries are dropped
+    since no position exists to learn).
+    """
+    if kind not in ("cardinality", "index"):
+        raise ValueError(f"kind must be 'cardinality' or 'index', not {kind!r}")
+    if not 0.0 <= novelty_fraction <= 1.0:
+        raise ValueError("novelty_fraction must lie in [0, 1]")
+    if num_samples < 1:
+        raise ValueError("num_samples must be >= 1")
+    rng = rng or np.random.default_rng()
+    exact = exact or InvertedIndex(collection)
+    entries = (
+        workload.top() if isinstance(workload, WorkloadLog) else list(workload)
+    )
+    max_element_id = collection.max_element_id()
+    usable = _clean_observed(entries, spec, max_element_id)
+    usable.sort(key=lambda e: (-e.count, -e.last_seq))
+
+    novelty_budget = int(round(novelty_fraction * num_samples))
+    observed_budget = max(num_samples - novelty_budget, 0)
+
+    subsets: list[tuple[int, ...]] = []
+    targets: list[float] = []
+    weights: list[float] = []
+    seen: set[tuple[int, ...]] = set()
+
+    for entry in usable[:observed_budget]:
+        label = _label(kind, exact, entry.canonical)
+        if label is None:
+            continue
+        subsets.append(entry.canonical)
+        targets.append(label)
+        weights.append(float(entry.count))
+        seen.add(entry.canonical)
+
+    if novelty_budget and len(collection):
+        # Oversample: perturbed queries can collide with observed keys or
+        # (for the index task) be unfindable; draw extras and keep the
+        # first ``novelty_budget`` usable ones.
+        candidates = sample_query_workload(
+            collection,
+            num_queries=novelty_budget * 2,
+            rng=rng,
+            max_subset_size=max_subset_size,
+        )
+        added = 0
+        for query in candidates:
+            if added >= novelty_budget:
+                break
+            canonical = tuple(sorted(set(query)))
+            if not canonical or canonical in seen:
+                continue
+            label = _label(kind, exact, canonical)
+            if label is None:
+                continue
+            subsets.append(canonical)
+            targets.append(label)
+            weights.append(1.0)
+            seen.add(canonical)
+            added += 1
+
+    return (
+        subsets,
+        np.asarray(targets, dtype=np.float64),
+        np.asarray(weights, dtype=np.float64),
+    )
+
+
+def _label(kind: str, exact: InvertedIndex, canonical: tuple[int, ...]):
+    if kind == "cardinality":
+        return float(exact.cardinality(canonical))
+    position = exact.first_position(canonical)
+    return None if position is None else float(position)

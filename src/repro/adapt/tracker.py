@@ -1,0 +1,211 @@
+"""Per-shard observed q-error tracking (Algorithm 2's bounds, by shard).
+
+Algorithm 2 buckets a model's error over the predicted-position axis so a
+bad region cannot inflate every lookup's search window.  This module
+applies the same idea to *staleness*: the observed workload's error is
+bucketed by shard offsets, so one drifting shard trips a per-shard policy
+reason (``local_q_error:shard<i>``) instead of a global rebuild of all K
+shards.
+
+:class:`ShardStalenessTracker` keeps a sliding window of observations per
+shard (recent traffic decides, matching how drift actually presents) with
+a minimum-observation gate so a shard that served three queries cannot
+trip on noise.  :func:`probe_shard_errors` fills the tracker from a
+workload snapshot: for each observed query it computes every reachable
+shard's *local* exact truth (matching positions restricted to the shard's
+global position range) and compares it against that shard part's own
+estimate, attributing error to exactly the shards that produced it.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from ..core.qerror import q_error
+from ..sets.inverted import InvertedIndex
+from ..sets.predicates import SUBSET
+from .workload import WorkloadEntry
+
+__all__ = ["ShardStalenessTracker", "probe_shard_errors"]
+
+
+class ShardStalenessTracker:
+    """Sliding-window observed q-error per shard, keyed by shard offsets.
+
+    ``offsets`` are the plan's global start positions
+    (:meth:`repro.shard.ShardPlan.offsets`); :meth:`shard_of` maps a
+    global position back to its shard, which is how callers bucket
+    position-space evidence.  Thread-safe: the probe writes from the
+    refresher thread while ``STALENESS``/status reads concurrently.
+    """
+
+    def __init__(
+        self,
+        offsets: Sequence[int],
+        window: int = 64,
+        min_observations: int = 8,
+    ):
+        if not offsets:
+            raise ValueError("offsets must name at least one shard")
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if min_observations < 1:
+            raise ValueError("min_observations must be >= 1")
+        self.offsets = np.asarray(offsets, dtype=np.int64)
+        if (np.diff(self.offsets) <= 0).any() or self.offsets[0] != 0:
+            raise ValueError("offsets must start at 0 and strictly increase")
+        self.window = int(window)
+        self.min_observations = int(min_observations)
+        self._lock = threading.Lock()
+        self._errors: list[deque[float]] = [
+            deque(maxlen=self.window) for _ in offsets
+        ]
+        self._recorded = [0] * len(offsets)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.offsets)
+
+    def shard_of(self, position: int) -> int:
+        """The shard whose global position range contains ``position``."""
+        return int(np.searchsorted(self.offsets, position, side="right") - 1)
+
+    def record(self, shard_id: int, value: float) -> None:
+        """Add one observed q-error to a shard's window."""
+        if not 0 <= shard_id < self.num_shards:
+            raise IndexError(f"shard id {shard_id} outside {self.num_shards} shards")
+        if not math.isfinite(value):
+            return
+        with self._lock:
+            self._errors[shard_id].append(float(value))
+            self._recorded[shard_id] += 1
+
+    def observations(self, shard_id: int) -> int:
+        with self._lock:
+            return len(self._errors[shard_id])
+
+    def mean_q_error(self, shard_id: int) -> float:
+        """Windowed mean (NaN below the minimum-observation gate)."""
+        with self._lock:
+            window = self._errors[shard_id]
+            if len(window) < self.min_observations:
+                return math.nan
+            return sum(window) / len(window)
+
+    def q_errors(self) -> dict[int, float]:
+        """Per-shard windowed means for every shard past the gate.
+
+        The shape :class:`repro.maintain.StalenessState.shard_q_errors`
+        expects; sparsely observed shards are simply absent.
+        """
+        out: dict[int, float] = {}
+        for shard_id in range(self.num_shards):
+            value = self.mean_q_error(shard_id)
+            if math.isfinite(value):
+                out[shard_id] = value
+        return out
+
+    def reset(self, shard_id: int) -> None:
+        """Forget a shard's window (after its part was rebuilt)."""
+        with self._lock:
+            self._errors[shard_id].clear()
+
+    def as_dict(self) -> dict:
+        """JSON-safe snapshot for the ``STALENESS`` verb."""
+        with self._lock:
+            shards = {
+                str(shard_id): {
+                    "observations": len(window),
+                    "recorded_total": self._recorded[shard_id],
+                    "mean_q_error": (
+                        sum(window) / len(window)
+                        if len(window) >= self.min_observations
+                        else None
+                    ),
+                }
+                for shard_id, window in enumerate(self._errors)
+            }
+        return {
+            "window": self.window,
+            "min_observations": self.min_observations,
+            "shards": shards,
+        }
+
+
+def _shard_ranges(router: Any) -> list[tuple[int, int]]:
+    return [(shard.offset, shard.end) for shard in router.plan]
+
+
+def probe_shard_errors(
+    router: Any,
+    exact: InvertedIndex,
+    entries: Iterable[WorkloadEntry],
+    tracker: ShardStalenessTracker,
+    max_queries: int = 64,
+) -> int:
+    """Attribute observed queries' error to individual shards.
+
+    For each usable subset-predicate entry the global exact matching
+    positions are split by shard ranges; every shard the router would fan
+    the query to is asked for its own estimate and scored against its
+    local truth.  Shards the skip rule excludes contribute an exact 0 and
+    are not scored — no evidence, no trip.  Returns the number of
+    (query, shard) observations recorded.
+
+    Supported routers: ``ShardedCardinalityEstimator`` (estimates vs local
+    counts) and ``ShardedSetIndex`` (positions vs local first positions,
+    scored on the +1-shifted position axis).  Membership routers have no
+    graded error to attribute and record nothing.
+    """
+    parts = getattr(router, "parts", None)
+    if parts is None:
+        return 0
+    kind = type(router).__name__
+    if kind not in ("ShardedCardinalityEstimator", "ShardedSetIndex"):
+        return 0
+    ranges = _shard_ranges(router)
+    max_element_id = router.max_known_id()
+    recorded = 0
+    probed = 0
+    for entry in entries:
+        if probed >= max_queries:
+            break
+        canonical = entry.canonical
+        if entry.spec != SUBSET.spec or not canonical:
+            continue
+        if canonical[0] < 0 or canonical[-1] > max_element_id:
+            continue
+        probed += 1
+        positions = np.asarray(exact.matching_positions(canonical))
+        for shard_id, part in enumerate(parts):
+            if not router._shard_can_match(shard_id, canonical):
+                continue
+            start, end = ranges[shard_id]
+            local = positions[(positions >= start) & (positions < end)]
+            if kind == "ShardedCardinalityEstimator":
+                truth = float(len(local))
+                estimate = float(part.estimate_many([canonical])[0])
+                value = float(q_error([estimate], [truth])[0])
+            else:
+                # Index parts answer local-first-position; score on the
+                # +1-shifted axis so position 0 is not floored away.
+                truth_first = float(local[0] - start) if len(local) else None
+                found = part.lookup_many([canonical])[0]
+                if truth_first is None and found is None:
+                    value = 1.0
+                elif truth_first is None or found is None:
+                    # Found where nothing exists (or missed an existing
+                    # position): maximal local disagreement.
+                    value = float(end - start) + 1.0
+                else:
+                    value = float(
+                        q_error([float(found) + 1.0], [truth_first + 1.0])[0]
+                    )
+            tracker.record(shard_id, value)
+            recorded += 1
+    return recorded

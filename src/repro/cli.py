@@ -210,6 +210,29 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--refresh-breaker-failures", type=int, default=5,
                        help="consecutive refresh failures that open the "
                             "circuit breaker")
+    serve.add_argument(
+        "--adaptive", action="store_true",
+        help="record the served workload and refresh adaptively: rebuilds "
+             "are frequency-weighted toward observed queries, and with a "
+             "sharded structure only drift-tripped shards are rebuilt "
+             "(STALENESS for status; implies --auto-refresh)",
+    )
+    serve.add_argument("--adaptive-workload-capacity", type=int, default=4096,
+                       help="distinct query keys the workload log retains "
+                            "(lowest-frequency keys evict past this)")
+    serve.add_argument("--adaptive-observe-every", type=int, default=16,
+                       help="sample every N-th served query against exact "
+                            "truth for observed q-error (0 disables)")
+    serve.add_argument("--adaptive-max-local-q-error", type=float, default=4.0,
+                       help="per-shard observed q-error that trips a "
+                            "targeted shard rebuild")
+    serve.add_argument("--adaptive-min-observations", type=int, default=8,
+                       help="observations a shard needs in its window "
+                            "before its local q-error can trip")
+    serve.add_argument("--adaptive-novelty-fraction", type=float, default=0.25,
+                       help="fraction of adaptive training samples drawn "
+                            "from fresh perturbation sampling instead of "
+                            "the observed workload")
     serve.add_argument("--idle-timeout", type=float, default=300.0,
                        help="drop client connections idle this many seconds "
                             "(0 disables)")
@@ -693,31 +716,73 @@ def _batch_policy(args):
     )
 
 
-def _make_refresher(args, server, structure):
+def _make_refresher(args, server, structure, workload=None):
     """Build and start the background refresher for ``repro serve``."""
-    from .maintain import BackgroundRefresher, StalenessPolicy, default_rebuilder
+    from .maintain import (
+        BackgroundRefresher,
+        StalenessPolicy,
+        default_rebuilder,
+        unwrap_structure,
+    )
 
     collection = (
         SetCollection.load(args.refresh_collection)
         if args.refresh_collection is not None
         else None
     )
+    train_config = TrainConfig(
+        epochs=args.refresh_epochs,
+        seed=args.seed if hasattr(args, "seed") else 0,
+    )
     rebuild = default_rebuilder(
         structure,
         collection=collection,
-        train_config=TrainConfig(epochs=args.refresh_epochs, seed=args.seed
-                                 if hasattr(args, "seed") else 0),
+        train_config=train_config,
         workers=args.refresh_workers,
     )
+    adaptive = getattr(args, "adaptive", False) and workload is not None
     policy = StalenessPolicy(
         max_deltas=args.refresh_max_deltas,
         max_aux_fraction=args.refresh_max_aux_fraction,
         min_interval_s=args.refresh_min_interval,
+        max_local_q_error=(
+            args.adaptive_max_local_q_error if adaptive else None
+        ),
     )
-    return BackgroundRefresher(
-        server, rebuild, policy=policy, interval_s=args.refresh_interval,
+    common = dict(
+        policy=policy,
+        interval_s=args.refresh_interval,
         backoff_base_s=getattr(args, "refresh_backoff_base", 0.5),
         breaker_failures=getattr(args, "refresh_breaker_failures", 5),
+    )
+    if not adaptive:
+        return BackgroundRefresher(server, rebuild, **common).start()
+
+    from .adapt import (
+        AdaptiveRefresher,
+        ShardStalenessTracker,
+        workload_shard_rebuilder,
+    )
+
+    inner = unwrap_structure(structure)
+    tracker = None
+    shard_rebuild = None
+    if getattr(inner, "plan", None) is not None:
+        tracker = ShardStalenessTracker(
+            inner.plan.offsets(),
+            min_observations=args.adaptive_min_observations,
+        )
+        shard_rebuild = workload_shard_rebuilder(
+            workload,
+            train_config=train_config,
+            base_seed=getattr(args, "seed", 0) or 0,
+        )
+    return AdaptiveRefresher(
+        server, rebuild,
+        workload=workload,
+        tracker=tracker,
+        shard_rebuild=shard_rebuild,
+        **common,
     ).start()
 
 
@@ -727,6 +792,14 @@ def _cmd_serve(args) -> int:
     from .serve import AsyncTcpFrontend, SetServer, TcpServeFrontend, WorkerPool
 
     structure = _load_structure(args.structure)
+    workload = None
+    if args.adaptive:
+        from .adapt import WorkloadLog
+
+        workload = WorkloadLog(
+            capacity=args.adaptive_workload_capacity,
+            observe_every=args.adaptive_observe_every,
+        )
     if args.workers > 0:
         backend = WorkerPool(
             structure,
@@ -734,18 +807,22 @@ def _cmd_serve(args) -> int:
             policy=_batch_policy(args),
             cache_size=args.cache_size,
             max_respawns=args.max_respawns,
+            workload=workload,
         )
         tier_note = f"{args.workers} worker processes, asyncio frontend"
     else:
         backend = SetServer(
-            structure, policy=_batch_policy(args), cache_size=args.cache_size
+            structure, policy=_batch_policy(args), cache_size=args.cache_size,
+            workload=workload,
         )
         tier_note = "threaded tier"
     with backend:
         refresher = None
-        if args.auto_refresh:
+        if args.auto_refresh or args.adaptive:
             try:
-                refresher = _make_refresher(args, backend, structure)
+                refresher = _make_refresher(
+                    args, backend, structure, workload=workload
+                )
             except ValueError as exc:
                 print(f"error: {exc}", file=sys.stderr)
                 return 2
@@ -763,9 +840,12 @@ def _cmd_serve(args) -> int:
         if args.workers > 0:
             frontend.start_background()
         host, port = frontend.address
-        refresh_note = (
-            "; auto-refresh on (REFRESH for status)" if refresher else ""
-        )
+        if refresher is not None and workload is not None:
+            refresh_note = "; adaptive refresh on (STALENESS for status)"
+        elif refresher is not None:
+            refresh_note = "; auto-refresh on (REFRESH for status)"
+        else:
+            refresh_note = ""
         print(
             f"serving {backend.kind} queries on {host}:{port} "
             f"({tier_note}; one query per line; STATS for telemetry, "

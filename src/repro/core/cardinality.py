@@ -90,6 +90,7 @@ class LearnedCardinalityEstimator(UpdateNotifier):
         max_training_samples: int | None = None,
         rng: np.random.Generator | None = None,
         training_pairs: tuple[Sequence[tuple[int, ...]], np.ndarray] | None = None,
+        sample_weights: np.ndarray | None = None,
     ) -> "LearnedCardinalityEstimator":
         """Enumerate subsets of ``collection`` and train the estimator.
 
@@ -97,7 +98,9 @@ class LearnedCardinalityEstimator(UpdateNotifier):
         ``removal=None`` trains without the hybrid auxiliary.
         ``training_pairs`` lets callers reuse an already-enumerated
         ``(subsets, cardinalities)`` corpus (the benchmark suite trains
-        several variants over identical data).
+        several variants over identical data).  ``sample_weights`` (aligned
+        with ``training_pairs``) weight the training loss per sample — the
+        workload-adaptive refresh path's frequency weighting.
         """
         rng = rng or np.random.default_rng(
             train_config.seed if train_config else None
@@ -122,6 +125,7 @@ class LearnedCardinalityEstimator(UpdateNotifier):
             train_config=train_config,
             removal=removal,
             rng=rng,
+            sample_weights=sample_weights,
         )
 
     @classmethod
@@ -135,6 +139,7 @@ class LearnedCardinalityEstimator(UpdateNotifier):
         train_config: TrainConfig | None = None,
         removal: OutlierRemovalConfig | None = None,
         rng: np.random.Generator | None = None,
+        sample_weights: np.ndarray | None = None,
     ) -> "LearnedCardinalityEstimator":
         model_config = model_config or ModelConfig()
         train_config = train_config or TrainConfig()
@@ -152,6 +157,7 @@ class LearnedCardinalityEstimator(UpdateNotifier):
             train_config,
             removal=removal,
             rng=rng,
+            sample_weights=sample_weights,
         )
         for position in result.outlier_indices:
             estimator.auxiliary[tuple(subsets[position])] = int(

@@ -109,6 +109,7 @@ def guided_fit(
     removal: OutlierRemovalConfig | None = None,
     rng: np.random.Generator | None = None,
     profiler: TrainingProfiler | None = None,
+    sample_weights: np.ndarray | None = None,
 ) -> GuidedFitResult:
     """Train ``model`` with iterative outlier eviction.
 
@@ -118,6 +119,12 @@ def guided_fit(
     Eviction counts and budget hits are reported to ``profiler`` (the
     process-wide training profiler by default), alongside the per-epoch
     telemetry the inner :class:`Trainer` emits.
+
+    ``sample_weights`` (optional, one non-negative weight per sample) turn
+    the loss into a weighted mean, which is how the workload-adaptive path
+    (:mod:`repro.adapt`) makes frequently-observed queries dominate a
+    refresh fit.  Outlier scoring stays *unweighted*: eviction thresholds
+    are about per-sample error magnitude, not workload mass.
     """
     ragged = sets if isinstance(sets, RaggedArray) else RaggedArray(sets)
     targets = np.asarray(targets, dtype=np.float64)
@@ -127,6 +134,7 @@ def guided_fit(
         scaled_targets,
         batch_size=train_config.batch_size,
         rng=rng or np.random.default_rng(train_config.seed),
+        weights=sample_weights,
     )
     profiler = profiler if profiler is not None else get_profiler()
     trainer = Trainer(model, train_config, profiler=profiler)

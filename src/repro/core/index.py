@@ -114,6 +114,7 @@ class LearnedSetIndex(UpdateNotifier):
         use_local_errors: bool = True,
         rng: np.random.Generator | None = None,
         training_pairs: tuple[Sequence[tuple[int, ...]], np.ndarray] | None = None,
+        sample_weights: np.ndarray | None = None,
     ) -> "LearnedSetIndex":
         """Train the index over all (capped) subsets of ``collection``.
 
@@ -122,7 +123,8 @@ class LearnedSetIndex(UpdateNotifier):
         scaled-down experiments, at the cost of that guarantee for
         unsampled subsets (lookups then fall back to a full scan).
         ``training_pairs`` reuses a pre-enumerated ``(subsets, positions)``
-        corpus.
+        corpus; ``sample_weights`` (aligned with it) weight the training
+        loss per sample for the workload-adaptive refresh path.
         """
         model_config = model_config or ModelConfig()
         train_config = train_config or TrainConfig()
@@ -147,6 +149,7 @@ class LearnedSetIndex(UpdateNotifier):
             train_config,
             removal=removal,
             rng=rng,
+            sample_weights=sample_weights,
         )
         # Error bounds cover the *retained* (non-outlier) subsets: outliers
         # are answered exactly by the auxiliary map and must not inflate

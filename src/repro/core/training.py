@@ -167,9 +167,17 @@ class Trainer:
             epoch_loss = 0.0
             samples = 0
             diverged = False
-            for batch, targets, _ in loader:
+            sample_weights = getattr(loader, "weights", None)
+            for batch, targets, chunk in loader:
                 predictions = self.model(batch)
-                loss = self.loss_fn(predictions, targets.reshape(-1, 1))
+                if sample_weights is None:
+                    loss = self.loss_fn(predictions, targets.reshape(-1, 1))
+                else:
+                    loss = self.loss_fn(
+                        predictions,
+                        targets.reshape(-1, 1),
+                        weights=sample_weights[chunk].reshape(-1, 1),
+                    )
                 loss_value = corrupt_loss(loss.item())
                 if not math.isfinite(loss_value):
                     # Abandon the epoch before the bad gradients can

@@ -11,7 +11,12 @@ publishes it through the serving stack's hot swap.
 """
 
 from .delta import DeltaBuffer, DeltaEvent
-from .policy import StalenessPolicy, StalenessState, aux_fraction_of
+from .policy import (
+    StalenessPolicy,
+    StalenessState,
+    aux_fraction_of,
+    tripped_shards,
+)
 from .refresher import (
     BackgroundRefresher,
     RefreshError,
@@ -34,5 +39,6 @@ __all__ = [
     "mutate_through",
     "replay_deltas",
     "rewrap_like",
+    "tripped_shards",
     "unwrap_structure",
 ]

@@ -12,7 +12,12 @@ way the hybrid design degrades:
   degenerate worst case is a fraction of 1.0);
 * **probe q-error** — observed estimation drift measured by an optional
   probe workload (Algorithm 2's error bounds are computed at build time;
-  drift past them means the recorded bounds no longer describe the model).
+  drift past them means the recorded bounds no longer describe the model);
+* **local q-error** — the same drift signal *bucketed by shard offsets*
+  (Algorithm 2's local bounds applied to the observed workload): each
+  shard of a ``Sharded*`` router gets its own observed mean q-error, and
+  the per-shard reasons (``local_q_error:shard3``) let the refresher
+  retrain only the shards that actually degraded.
 
 ``evaluate`` returns the *reasons* that tripped, so refreshes are
 attributable in metrics and trace spans.
@@ -22,9 +27,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterable
 
-__all__ = ["StalenessPolicy", "StalenessState", "aux_fraction_of"]
+__all__ = [
+    "StalenessPolicy",
+    "StalenessState",
+    "aux_fraction_of",
+    "tripped_shards",
+]
+
+_LOCAL_REASON_PREFIX = "local_q_error:shard"
 
 
 @dataclass
@@ -34,6 +46,10 @@ class StalenessState:
     pending_deltas: int = 0
     aux_fraction: float = 0.0
     probe_q_error: float = field(default=math.nan)
+    # Per-shard observed mean q-error (Algorithm 2's local bounds bucketed
+    # by shard offsets); None when the structure is unsharded or no
+    # per-shard observations exist yet.
+    shard_q_errors: dict[int, float] | None = None
 
     def as_dict(self) -> dict:
         return {
@@ -42,6 +58,14 @@ class StalenessState:
             # NaN (no probe) serializes as null so the dict is JSON-safe.
             "probe_q_error": (
                 self.probe_q_error if math.isfinite(self.probe_q_error) else None
+            ),
+            "shard_q_errors": (
+                {
+                    str(shard_id): (value if math.isfinite(value) else None)
+                    for shard_id, value in sorted(self.shard_q_errors.items())
+                }
+                if self.shard_q_errors is not None
+                else None
             ),
         }
 
@@ -57,6 +81,7 @@ class StalenessPolicy:
     max_deltas: int | None = 1000
     max_aux_fraction: float | None = 0.25
     max_probe_q_error: float | None = None
+    max_local_q_error: float | None = None
     min_interval_s: float = 0.0
 
     def __post_init__(self):
@@ -66,6 +91,8 @@ class StalenessPolicy:
             raise ValueError("max_aux_fraction must be positive (or None)")
         if self.max_probe_q_error is not None and self.max_probe_q_error < 1.0:
             raise ValueError("max_probe_q_error must be >= 1.0 (or None)")
+        if self.max_local_q_error is not None and self.max_local_q_error < 1.0:
+            raise ValueError("max_local_q_error must be >= 1.0 (or None)")
         if self.min_interval_s < 0.0:
             raise ValueError("min_interval_s cannot be negative")
 
@@ -85,6 +112,11 @@ class StalenessPolicy:
             and state.probe_q_error > self.max_probe_q_error
         ):
             reasons.append("q_error_drift")
+        if self.max_local_q_error is not None and state.shard_q_errors:
+            for shard_id in sorted(state.shard_q_errors):
+                value = state.shard_q_errors[shard_id]
+                if math.isfinite(value) and value > self.max_local_q_error:
+                    reasons.append(f"{_LOCAL_REASON_PREFIX}{shard_id}")
         return reasons
 
     def as_dict(self) -> dict:
@@ -92,8 +124,27 @@ class StalenessPolicy:
             "max_deltas": self.max_deltas,
             "max_aux_fraction": self.max_aux_fraction,
             "max_probe_q_error": self.max_probe_q_error,
+            "max_local_q_error": self.max_local_q_error,
             "min_interval_s": self.min_interval_s,
         }
+
+
+def tripped_shards(reasons: Iterable[str]) -> list[int]:
+    """Shard ids named by per-shard ``local_q_error:shard<i>`` reasons.
+
+    Returns a sorted list; reasons that are not per-shard are ignored.
+    The inverse of the reason formatting in :meth:`StalenessPolicy.evaluate`,
+    used by the targeted-refresh path to decide *which* parts to retrain.
+    """
+    shard_ids: set[int] = set()
+    for reason in reasons:
+        if reason.startswith(_LOCAL_REASON_PREFIX):
+            suffix = reason[len(_LOCAL_REASON_PREFIX):]
+            try:
+                shard_ids.add(int(suffix))
+            except ValueError:
+                continue
+    return sorted(shard_ids)
 
 
 def aux_fraction_of(structure: Any) -> float:

@@ -518,6 +518,16 @@ class BackgroundRefresher:
         old_inner = unwrap_structure(old)
         pre_mark = self.delta.mark()
         new_inner = self.rebuild(old_inner)
+        return self._publish(old, old_inner, new_inner, pre_mark, span)
+
+    def _publish(self, old: Any, old_inner: Any, new_inner: Any,
+                 pre_mark: int, span: dict):
+        """Refreeze, rewrap, replay, and hot-swap a rebuilt inner structure.
+
+        Shared by the full-rebuild path above and the targeted per-shard
+        path (:class:`repro.adapt.AdaptiveRefresher`), which assembles
+        ``new_inner`` from a mix of fresh and reused shard parts.
+        """
         self._refreeze(old_inner, new_inner, span)
         new = rewrap_like(old, new_inner)
         # Replay the full mutation history: a rebuild retrains from the

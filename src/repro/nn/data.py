@@ -129,6 +129,7 @@ class SetDataLoader:
         batch_size: int = 256,
         shuffle: bool = True,
         rng: np.random.Generator | None = None,
+        weights: np.ndarray | None = None,
     ):
         self.ragged = sets if isinstance(sets, RaggedArray) else RaggedArray(sets)
         self.targets = np.asarray(targets, dtype=np.float64)
@@ -136,6 +137,16 @@ class SetDataLoader:
             raise ValueError(
                 f"{len(self.ragged)} sets but {len(self.targets)} targets"
             )
+        if weights is None:
+            self.weights = None
+        else:
+            self.weights = np.asarray(weights, dtype=np.float64)
+            if len(self.weights) != len(self.targets):
+                raise ValueError(
+                    f"{len(self.targets)} targets but {len(self.weights)} weights"
+                )
+            if (self.weights < 0).any():
+                raise ValueError("sample weights must be non-negative")
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
         self.batch_size = batch_size

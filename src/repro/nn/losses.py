@@ -11,6 +11,8 @@
 
 from __future__ import annotations
 
+import numpy as np
+
 from . import functional as F
 from .tensor import Tensor, as_tensor
 
@@ -35,19 +37,37 @@ def _pair(pred: Tensor, target) -> tuple[Tensor, Tensor]:
     return pred, target
 
 
-def mse_loss(pred: Tensor, target) -> Tensor:
+def _reduce(elementwise: Tensor, weights) -> Tensor:
+    """Mean, or a weighted mean when per-sample ``weights`` are given.
+
+    Weights are treated as constants (no gradient flows through them) and
+    normalized by their sum, so uniform weights reproduce the plain mean
+    exactly and the loss scale stays independent of the weight scale.
+    """
+    if weights is None:
+        return elementwise.mean()
+    w = np.asarray(weights, dtype=np.float64).reshape(elementwise.shape)
+    if (w < 0).any():
+        raise ValueError("sample weights must be non-negative")
+    total = float(w.sum())
+    if total <= 0:
+        raise ValueError("sample weights must not sum to zero")
+    return (elementwise * w).sum() * (1.0 / total)
+
+
+def mse_loss(pred: Tensor, target, weights=None) -> Tensor:
     """Mean squared error."""
     pred, target = _pair(pred, target)
-    return ((pred - target) ** 2).mean()
+    return _reduce((pred - target) ** 2, weights)
 
 
-def mae_loss(pred: Tensor, target) -> Tensor:
+def mae_loss(pred: Tensor, target, weights=None) -> Tensor:
     """Mean absolute error."""
     pred, target = _pair(pred, target)
-    return F.abs(pred - target).mean()
+    return _reduce(F.abs(pred - target), weights)
 
 
-def q_error_loss(pred: Tensor, target) -> Tensor:
+def q_error_loss(pred: Tensor, target, weights=None) -> Tensor:
     """Differentiable q-error surrogate on scaled targets.
 
     With targets ``t = (log y - lo) / (hi - lo)`` the identity
@@ -56,36 +76,36 @@ def q_error_loss(pred: Tensor, target) -> Tensor:
     q-error.  Exposed under its own name so model configs read like the
     paper's Table 1.
     """
-    return mae_loss(pred, target)
+    return mae_loss(pred, target, weights)
 
 
-def huber_loss(pred: Tensor, target, delta: float = 1.0) -> Tensor:
+def huber_loss(pred: Tensor, target, delta: float = 1.0, weights=None) -> Tensor:
     """Smooth L1: quadratic near zero, linear in the tails."""
     pred, target = _pair(pred, target)
     diff = pred - target
     abs_diff = F.abs(diff)
     quadratic = F.clip(abs_diff, None, delta)
     linear = abs_diff - quadratic
-    return (quadratic**2 * 0.5 + linear * delta).mean()
+    return _reduce(quadratic**2 * 0.5 + linear * delta, weights)
 
 
-def binary_cross_entropy(pred: Tensor, target) -> Tensor:
+def binary_cross_entropy(pred: Tensor, target, weights=None) -> Tensor:
     """BCE on probabilities (the models end in a sigmoid)."""
     pred, target = _pair(pred, target)
     clipped = F.clip(pred, _EPS, 1.0 - _EPS)
     loss = target * F.log(clipped) + (1.0 - target) * F.log(1.0 - clipped)
-    return -loss.mean()
+    return _reduce(loss, weights) * -1.0
 
 
-def bce_with_logits(logits: Tensor, target) -> Tensor:
+def bce_with_logits(logits: Tensor, target, weights=None) -> Tensor:
     """Numerically stable BCE taking raw logits.
 
     Uses ``max(z, 0) - z*t + log(1 + e^{-|z|})``.
     """
     logits, target = _pair(logits, target)
-    return (
-        F.relu(logits) - logits * target + F.softplus(-F.abs(logits))
-    ).mean()
+    return _reduce(
+        F.relu(logits) - logits * target + F.softplus(-F.abs(logits)), weights
+    )
 
 
 _LOSSES = {

@@ -1,7 +1,8 @@
 """Asyncio line-protocol frontend (the pool's replacement for thread-per-connection TCP).
 
 Speaks exactly the protocol of :mod:`repro.serve.net` — same verbs
-(``STATS`` / ``METRICS`` / ``TRACE`` / ``REFRESH`` / ``QUIT``), same
+(``STATS`` / ``METRICS`` / ``TRACE`` / ``REFRESH`` / ``STALENESS`` /
+``QUIT``), same
 answer formatting, same hardening (idle timeout, bounded line length,
 per-request deadline) — but multiplexes every connection onto one event
 loop instead of one thread each, so ten thousand mostly-idle connections
@@ -213,6 +214,19 @@ class AsyncTcpFrontend:
                 await self._reply(
                     writer, json.dumps(maintainer.status(), sort_keys=True)
                 )
+                continue
+            if command == "STALENESS":
+                maintainer = getattr(backend, "maintainer", None)
+                status = getattr(maintainer, "staleness_status", None)
+                if status is None:
+                    await self._reply(writer, json.dumps({"adaptive": False}))
+                    continue
+                try:
+                    await self._reply(
+                        writer, json.dumps(status(), sort_keys=True)
+                    )
+                except Exception as exc:
+                    await self._reply(writer, f"error {type(exc).__name__}")
                 continue
             try:
                 spec, query = parse_query_line(tokens)

@@ -20,6 +20,9 @@ protocol deliberately simple enough for ``nc``:
   staleness policy, refresh counts) when the server runs with
   ``--auto-refresh``, else ``{"auto_refresh": false}``; ``REFRESH NOW``
   additionally forces a refresh before reporting;
+* ``STALENESS`` returns the adaptive-refresh status JSON (workload-log
+  summary, per-shard observed q-error, tripped policy reasons) when the
+  server runs an adaptive maintainer, else ``{"adaptive": false}``;
 * ``QUIT`` ends the connection (as does EOF);
 * a line that does not parse as integers is answered with
   ``error malformed query`` — the connection stays up.
@@ -139,6 +142,17 @@ class _Handler(socketserver.StreamRequestHandler):
                         self._reply(f"error {type(exc).__name__}")
                         continue
                 self._reply(json.dumps(maintainer.status(), sort_keys=True))
+                continue
+            if command == "STALENESS":
+                maintainer = getattr(server, "maintainer", None)
+                status = getattr(maintainer, "staleness_status", None)
+                if status is None:
+                    self._reply(json.dumps({"adaptive": False}))
+                    continue
+                try:
+                    self._reply(json.dumps(status(), sort_keys=True))
+                except Exception as exc:
+                    self._reply(f"error {type(exc).__name__}")
                 continue
             try:
                 spec, query = parse_query_line(tokens)

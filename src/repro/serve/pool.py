@@ -53,6 +53,7 @@ from concurrent.futures import Future
 from hashlib import blake2b
 from typing import Any, Iterable, Sequence
 
+from ..core.qerror import q_error
 from ..infer.freeze import _raw_parts
 from ..infer.shm import attach_plan
 from ..obs.metrics import MetricsRegistry, merge_expositions
@@ -356,6 +357,11 @@ class WorkerPool:
     max_respawns:
         Per-worker respawn budget (``None``: unlimited).  An exhausted
         slot stays down and its keyspace slice is shed to exact.
+    workload:
+        Optional :class:`repro.adapt.WorkloadLog` recording the routed
+        stream on the front-end (same contract as :class:`SetServer`'s
+        ``workload``); sampled answers are scored against the master's
+        exact structure.
     """
 
     def __init__(
@@ -372,6 +378,7 @@ class WorkerPool:
         registry_prefix: str | None = None,
         spawn_timeout_s: float = 60.0,
         publish_timeout_s: float = 60.0,
+        workload: Any = None,
     ):
         if workers < 1:
             raise ValueError("a worker pool needs at least one worker")
@@ -388,6 +395,7 @@ class WorkerPool:
             if collection is not None:
                 exact = InvertedIndex(collection)
         self._exact = exact
+        self.workload = workload
         self.maintainer = None
         self._ctx = (
             multiprocessing.get_context(start_method)
@@ -572,6 +580,13 @@ class WorkerPool:
             futures.append(future)
             self._metric_requests.inc()
             canonical = canonical_query(query)
+            if canonical is not None and self.workload is not None:
+                # Front-end recording covers every routed query, including
+                # ones a replica answers from its own cache.
+                if self.workload.record(spec, canonical):
+                    future.add_done_callback(
+                        lambda f, s=spec, c=canonical: self._observe_answer(s, c, f)
+                    )
             routed = canonical if canonical is not None else query
             # Subset keys keep their historical shape so the ring routes
             # existing traffic identically across upgrades.
@@ -616,6 +631,39 @@ class WorkerPool:
             future.result(timeout)
             for future in self.submit_many(queries, predicate=predicate)
         ]
+
+    def _observe_answer(
+        self, spec: str, canonical: tuple[int, ...], future: Future
+    ) -> None:
+        """Score one resolved answer against exact truth (sampled).
+
+        Runs on the receiver thread via a done callback; mirrors
+        :meth:`SetServer._observe_answer`'s scoring.  Telemetry only —
+        any failure is swallowed.
+        """
+        if self._exact is None or self.kind == "bloom":
+            return
+        if future.cancelled() or future.exception() is not None:
+            return
+        try:
+            answer = future.result()
+            truth = exact_answer(
+                self.kind, self._exact, self.structure, canonical,
+                predicate=spec,
+            )
+            if self.kind == "cardinality":
+                error = float(q_error([float(answer)], [float(truth)])[0])
+            elif answer is None and truth is None:
+                error = 1.0
+            elif answer is None or truth is None:
+                error = float(self._exact.num_sets) + 1.0
+            else:
+                error = float(
+                    q_error([float(answer) + 1.0], [float(truth) + 1.0])[0]
+                )
+            self.workload.observe(spec, canonical, error)
+        except Exception:
+            pass
 
     def _resolve_shed(self, future: Future, item: tuple[str, Any]) -> None:
         """Answer on the exact path (replica down / pool draining)."""

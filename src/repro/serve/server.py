@@ -35,6 +35,7 @@ from ..core import (
     LearnedSetIndex,
     PredicateCardinalitySuite,
 )
+from ..core.qerror import q_error
 from ..obs.trace import Tracer, get_tracer
 from ..reliability import (
     GuardedBloomFilter,
@@ -197,6 +198,14 @@ class SetServer:
         policy.  Optional when the structure is guarded (its paired exact
         index is reused) or is a :class:`LearnedSetIndex` (one is built
         from its collection); required otherwise for that policy.
+    workload:
+        Optional :class:`repro.adapt.WorkloadLog`.  Every well-formed
+        submitted query is recorded (cache hits included — frequency is a
+        property of the stream, not of the answer path), and when the
+        log's ``observe_every`` sampling fires, the answer is scored
+        against the exact structure and the observed q-error reported
+        back.  Feeds the adaptive-refresh loop; ``None`` (the default)
+        records nothing.
     degrade_after / degrade_window / degrade_probe_every:
         Graceful degradation under sustained model failure.  When the
         served structure is guarded and its exact fallback is available,
@@ -221,6 +230,7 @@ class SetServer:
         degrade_after: float | None = 0.95,
         degrade_window: int = 64,
         degrade_probe_every: int = 16,
+        workload: Any = None,
     ):
         if degrade_after is not None and not 0.0 < degrade_after <= 1.0:
             raise ValueError("degrade_after must be in (0, 1] or None")
@@ -248,6 +258,9 @@ class SetServer:
                 "exact=... or serve a guarded structure"
             )
         self._exact = exact
+        # Optional served-stream recorder (repro.adapt.WorkloadLog); an
+        # AdaptiveRefresher attaching later may install one here too.
+        self.workload = workload
         # A mutation can change the answers of subset/superset queries too,
         # not just the exact key — the listener sweeps all related entries.
         self._listener = self.cache.invalidate_related
@@ -451,6 +464,13 @@ class SetServer:
         with self.tracer.span("encode", kind=self.kind):
             key = self._canonical(query)
         cache_key = (spec, key) if key is not None else None
+        # Record before the cache check: frequency is a property of the
+        # stream, and a hot cached key still deserves training weight.
+        observe_due = (
+            key is not None
+            and self.workload is not None
+            and self.workload.record(spec, key)
+        )
         if key is not None:
             with self.tracer.span("cache_lookup") as span:
                 found, value = self.cache.get(cache_key)
@@ -459,8 +479,12 @@ class SetServer:
                 future: Future = Future()
                 future.set_result(value)
                 self.stats.record_served(time.monotonic() - started, from_cache=True)
+                if observe_due:
+                    self._observe_answer(spec, key, value)
                 return future
             if self._maybe_degrade():
+                # Degraded answers come from the exact path already; there
+                # is no model error to observe, only frequency (recorded).
                 return self._serve_degraded((spec, key), started)
         future = self._batcher.submit((spec, key if key is not None else query))
 
@@ -471,6 +495,8 @@ class SetServer:
             if cache_key is not None:
                 self.cache.put(cache_key, f.result())
             self.stats.record_served(time.monotonic() - started)
+            if observe_due:
+                self._observe_answer(spec, key, f.result())
 
         future.add_done_callback(_resolved)
         return future
@@ -490,6 +516,41 @@ class SetServer:
         """Submit a client-side batch and gather the answers in order."""
         futures = [self.submit(q, predicate=predicate) for q in queries]
         return [future.result(timeout) for future in futures]
+
+    # -- workload observation (sampled truth) -----------------------------------
+
+    def _observe_answer(
+        self, spec: str, key: tuple[int, ...], answer: Any
+    ) -> None:
+        """Score one served answer against exact truth into the workload log.
+
+        Runs only when the log's ``observe_every`` sampling fires, so the
+        exact intersection it costs is amortized over the stream.  Bloom
+        answers have no graded error to observe; truth failures are
+        swallowed — observation is telemetry, never a request-path hazard.
+        """
+        if self.workload is None or self._exact is None or self.kind == "bloom":
+            return
+        try:
+            truth = exact_answer(
+                self.kind, self._exact, self.structure, key, predicate=spec
+            )
+            if self.kind == "cardinality":
+                error = float(q_error([float(answer)], [float(truth)])[0])
+            elif answer is None and truth is None:
+                error = 1.0
+            elif answer is None or truth is None:
+                # Missed an existing position (or found a phantom one):
+                # maximal disagreement on the position axis.
+                error = float(self._exact.num_sets) + 1.0
+            else:
+                # +1-shifted so position 0 is not floored away.
+                error = float(
+                    q_error([float(answer) + 1.0], [float(truth) + 1.0])[0]
+                )
+            self.workload.observe(spec, key, error)
+        except Exception:
+            pass
 
     # -- batched execution (dispatcher thread) ---------------------------------
 

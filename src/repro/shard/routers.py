@@ -120,6 +120,35 @@ class _ShardedBase(UpdateNotifier):
     def num_shards(self) -> int:
         return len(self.parts)
 
+    def with_parts(self, replacements: dict[int, Any]) -> "_ShardedBase":
+        """A new router of the same type with some parts replaced.
+
+        ``replacements`` maps shard ids to freshly trained per-shard
+        structures; every other part is the *same object* as in this
+        router.  Router-level mutation layers carry over: the auxiliary
+        override map is copied (the straggler replay after a hot swap
+        covers writes that race the copy) and the membership insert filter
+        is shared (inserts are monotone, so both generations seeing them
+        is safe).  This is the copy-and-swap half of targeted refresh —
+        readers holding the old router never observe a torn parts list,
+        and untouched parts stay byte-identical.
+        """
+        parts = list(self.parts)
+        for shard_id, part in replacements.items():
+            if not 0 <= shard_id < len(parts):
+                raise IndexError(
+                    f"shard id {shard_id} outside the {len(parts)}-shard plan"
+                )
+            parts[shard_id] = part
+        clone = type(self)(self.plan, parts)
+        auxiliary = getattr(self, "auxiliary", None)
+        if auxiliary is not None:
+            clone.auxiliary = dict(auxiliary)
+        inserted = getattr(self, "_inserted", None)
+        if inserted is not None:
+            clone._inserted = inserted
+        return clone
+
     @property
     def collection(self):
         """The parent collection the plan partitions."""

@@ -1,0 +1,237 @@
+"""Regression: per-shard hot swap never exposes a torn router.
+
+Targeted refresh publishes ``router.with_parts({...})`` through the
+server's snapshot swap.  These tests pin the two halves of that
+guarantee:
+
+* *copy-and-swap* — readers hammering ``estimate_many`` while a writer
+  loops shard replacements must only ever see whole published
+  generations.  Stub parts encode ``generation * 1000**shard_id``, so a
+  summed router answer decodes to the exact per-shard generation vector;
+  a torn parts list (mixed old/new mid-replacement) would decode to a
+  vector that was never published — chaos style borrowed from
+  ``tests/pool``;
+* *untouched parts are the same objects* — ``with_parts`` must not
+  rebuild, copy, or re-wrap parts it was not asked to replace (the drift
+  differential asserts byte-identity on real trained parts; object
+  identity is the mechanism), while router-level mutation layers carry
+  over.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import numpy as np
+
+from repro import SetCollection
+from repro.serve import SetServer
+from repro.sets.inverted import InvertedIndex
+from repro.shard import ShardPlan, ShardedCardinalityEstimator, ShardedSetIndex
+from repro.shard.routers import ShardedBloomFilter
+
+SEED = int(os.environ.get("REPRO_TEST_SEED", "0"))
+
+NUM_SHARDS = 3
+SWAPS = 60
+READERS = 4
+
+
+def _collection() -> SetCollection:
+    rng = np.random.default_rng(SEED)
+    sets = []
+    for block in range(NUM_SHARDS):
+        lo = 10 * block
+        for _ in range(6):
+            size = int(rng.integers(2, 5))
+            sets.append(
+                sorted(rng.choice(np.arange(lo, lo + 10), size=size,
+                                  replace=False).tolist())
+            )
+    return SetCollection(sets)
+
+
+class _StubPart:
+    """Cardinality part answering ``generation * 1000**shard_id``.
+
+    The router sums per-shard answers, so with one stub per shard the sum
+    decodes (base 1000) back into each shard's generation — any mixed-
+    generation readout is visible as a never-published digit vector.
+    """
+
+    def __init__(self, shard_id: int, generation: int, ceiling: int):
+        self.shard_id = shard_id
+        self.generation = generation
+        self._ceiling = ceiling
+
+    def max_known_id(self) -> int:
+        return self._ceiling
+
+    def estimate_many(self, queries):
+        value = float(self.generation) * (1000.0 ** self.shard_id)
+        return np.full(len(queries), value, dtype=np.float64)
+
+
+def _decode(total: float) -> tuple[int, ...]:
+    digits = []
+    remaining = int(round(total))
+    for _ in range(NUM_SHARDS):
+        digits.append(remaining % 1000)
+        remaining //= 1000
+    return tuple(digits)
+
+
+class TestTornRouterNeverObserved:
+    def test_readers_see_only_published_generation_vectors(self):
+        collection = _collection()
+        plan = ShardPlan.contiguous(collection, NUM_SHARDS)
+        ceiling = collection.max_element_id()
+        router = ShardedCardinalityEstimator(
+            plan,
+            [_StubPart(sid, 1, ceiling) for sid in range(NUM_SHARDS)],
+        )
+        exact = InvertedIndex(collection)
+        server = SetServer(router, exact=exact, cache_size=0).start()
+
+        published: set[tuple[int, ...]] = {(1,) * NUM_SHARDS}
+        publish_lock = threading.Lock()
+        stop = threading.Event()
+        violations: list[tuple[int, ...]] = []
+
+        def read() -> None:
+            query = (1, 15, 25)  # reaches every shard (ceiling is global)
+            while not stop.is_set():
+                structure = server.structure
+                vector = _decode(float(structure.estimate_many([query])[0]))
+                with publish_lock:
+                    known = vector in published
+                if not known:
+                    violations.append(vector)
+                    return
+
+        readers = [threading.Thread(target=read) for _ in range(READERS)]
+        for thread in readers:
+            thread.start()
+        try:
+            generations = [1] * NUM_SHARDS
+            for step in range(SWAPS):
+                # Replace two shards at once: a torn parts list would
+                # expose a half-applied vector that is never published.
+                targets = [step % NUM_SHARDS, (step + 1) % NUM_SHARDS]
+                for sid in set(targets):
+                    generations[sid] += 1
+                replacements = {
+                    sid: _StubPart(sid, generations[sid], ceiling)
+                    for sid in set(targets)
+                }
+                old = server.structure
+                new_router = old.with_parts(replacements)
+                with publish_lock:
+                    published.add(tuple(generations))
+                server.swap(new_router)
+        finally:
+            stop.set()
+            for thread in readers:
+                thread.join()
+            server.close()
+
+        assert not violations, (
+            f"seed={SEED}: readers observed torn generation vectors "
+            f"{violations}; published={sorted(published)}"
+        )
+
+
+class TestWithPartsContract:
+    def test_untouched_parts_are_the_same_objects(self):
+        collection = _collection()
+        plan = ShardPlan.contiguous(collection, NUM_SHARDS)
+        ceiling = collection.max_element_id()
+        parts = [_StubPart(sid, 1, ceiling) for sid in range(NUM_SHARDS)]
+        router = ShardedCardinalityEstimator(plan, parts)
+        router.record_update((1, 2), 5)
+
+        fresh = _StubPart(1, 2, ceiling)
+        clone = router.with_parts({1: fresh})
+
+        assert type(clone) is ShardedCardinalityEstimator
+        assert clone.parts[0] is parts[0], (
+            f"seed={SEED}: untouched shard 0 must be the same object"
+        )
+        assert clone.parts[2] is parts[2], (
+            f"seed={SEED}: untouched shard 2 must be the same object"
+        )
+        assert clone.parts[1] is fresh
+        # The mutation layer carries over by value; later writes diverge.
+        assert clone.auxiliary == {(1, 2): 5}
+        router.record_update((3,), 7)
+        assert (3,) not in clone.auxiliary
+
+    def test_index_router_roundtrip_and_auxiliary(self):
+        collection = _collection()
+        plan = ShardPlan.contiguous(collection, NUM_SHARDS)
+
+        class _StubIndexPart:
+            def __init__(self, ceiling):
+                self._ceiling = ceiling
+
+            def max_known_id(self):
+                return self._ceiling
+
+            def lookup_many(self, queries):
+                return [0 for _ in queries]
+
+        ceiling = collection.max_element_id()
+        parts = [_StubIndexPart(ceiling) for _ in range(NUM_SHARDS)]
+        router = ShardedSetIndex(plan, parts)
+        router.insert_update((5, 6), 11)
+        clone = router.with_parts({0: _StubIndexPart(ceiling)})
+        assert clone.auxiliary == {(5, 6): 11}
+        assert clone.parts[1] is parts[1] and clone.parts[2] is parts[2]
+        # Overrides answer before any fan-out, on both generations.
+        assert clone.lookup((5, 6)) == 11
+
+    def test_bloom_router_shares_insert_filter(self):
+        collection = _collection()
+        plan = ShardPlan.contiguous(collection, NUM_SHARDS)
+
+        class _StubBloomPart:
+            def __init__(self, ceiling):
+                self._ceiling = ceiling
+
+            def max_known_id(self):
+                return self._ceiling
+
+            def contains_many(self, queries):
+                return np.zeros(len(queries), dtype=bool)
+
+        ceiling = collection.max_element_id()
+        parts = [_StubBloomPart(ceiling) for _ in range(NUM_SHARDS)]
+        router = ShardedBloomFilter(plan, parts)
+        router.insert((7, 8))
+        clone = router.with_parts({2: _StubBloomPart(ceiling)})
+        # Inserts are monotone, so the filter is *shared*, not copied:
+        # an insert racing the swap is visible to both generations.
+        assert clone._inserted is router._inserted
+        assert clone.contains((7, 8)), (
+            f"seed={SEED}: inserted subset must stay contained across "
+            "a targeted swap"
+        )
+        router.insert((9,))
+        assert clone.contains((9,))
+
+    def test_out_of_range_shard_id_rejected(self):
+        collection = _collection()
+        plan = ShardPlan.contiguous(collection, NUM_SHARDS)
+        ceiling = collection.max_element_id()
+        router = ShardedCardinalityEstimator(
+            plan, [_StubPart(sid, 1, ceiling) for sid in range(NUM_SHARDS)]
+        )
+        try:
+            router.with_parts({NUM_SHARDS: _StubPart(0, 1, ceiling)})
+        except IndexError:
+            pass
+        else:
+            raise AssertionError(
+                f"seed={SEED}: with_parts must reject shard id {NUM_SHARDS}"
+            )

@@ -1,0 +1,167 @@
+"""Property tests for the workload log's core guarantees.
+
+Three invariants the adaptive loop leans on:
+
+* bounded memory — eviction under sustained skew keeps exactly the
+  highest-frequency keys (refresh training must see the hot set);
+* exact conservation under concurrency — eight writer threads never lose
+  a ``+= 1`` (frequencies are the sample weights; a torn count silently
+  mis-weights training), mirroring ``tests/serve/test_stats_race.py``;
+* per-predicate keying — the same canonical query under different
+  predicate specs is always distinct entries (the serving cache's keying,
+  and required for correct labels: a subset count is not a Jaccard count).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+
+from repro.adapt import WorkloadLog
+
+SEED = int(os.environ.get("REPRO_TEST_SEED", "0"))
+
+THREADS = 8
+OPS_PER_THREAD = 5_000
+
+
+class TestBoundedEviction:
+    def test_sustained_skew_keeps_the_hot_set(self):
+        # A hot set of exactly `capacity` keys (count >= 2 each), then a
+        # long stream of one-shot cold keys.  Every cold insert pushes
+        # the log over capacity and evict-min must throw out a count-1
+        # key — the cold one — never a hot key.
+        capacity, cold = 16, 200
+        log = WorkloadLog(capacity=capacity)
+        for i in range(capacity):
+            for _ in range(2 + i % 3):
+                log.record("subset", (i,))
+        for j in range(cold):
+            log.record("subset", (1000 + j,))
+        survivors = {entry.canonical for entry in log.entries()}
+        expected = {(i,) for i in range(capacity)}
+        assert survivors == expected, (
+            f"seed={SEED}: eviction must keep the {capacity} hottest keys; "
+            f"kept {sorted(survivors)}"
+        )
+        assert len(log) == capacity, f"seed={SEED}: capacity bound violated"
+        assert log.evictions == cold, (
+            f"seed={SEED}: expected {cold} evictions, got {log.evictions}"
+        )
+        counts = {e.canonical: e.count for e in log.entries()}
+        assert counts == {(i,): 2 + i % 3 for i in range(capacity)}, (
+            f"seed={SEED}: surviving counts must be exact"
+        )
+
+    def test_count_tie_evicts_oldest(self):
+        log = WorkloadLog(capacity=2)
+        log.record("subset", (1,))
+        log.record("subset", (2,))
+        log.record("subset", (3,))
+        assert {e.canonical for e in log.entries()} == {(2,), (3,)}, (
+            f"seed={SEED}: equal counts must evict the oldest key"
+        )
+
+    def test_top_orders_by_frequency_then_recency(self):
+        log = WorkloadLog(capacity=8)
+        for _ in range(3):
+            log.record("subset", (1, 2))
+        log.record("subset", (9,))
+        log.record("subset", (5,))
+        top = log.top()
+        assert [e.canonical for e in top[:1]] == [(1, 2)]
+        # (5,) was seen after (9,) — recency breaks the count tie.
+        assert [e.canonical for e in top[1:]] == [(5,), (9,)]
+
+    def test_observe_recreates_evicted_key(self):
+        log = WorkloadLog(capacity=2)
+        log.record("subset", (1,))
+        log.record("subset", (2,))
+        log.record("subset", (3,))  # evicts one
+        log.observe("subset", (4,), 2.5)
+        entry = {e.canonical: e for e in log.entries()}[(4,)]
+        assert entry.q_error_count == 1 and entry.mean_q_error == 2.5
+        assert len(log) == 2
+
+    def test_non_finite_observations_dropped(self):
+        log = WorkloadLog(capacity=4)
+        log.record("subset", (1,))
+        log.observe("subset", (1,), math.nan)
+        log.observe("subset", (1,), math.inf)
+        assert math.isnan(log.mean_observed_q_error())
+
+
+class TestConcurrentConservation:
+    def test_counts_conserve_under_8_writers(self):
+        # Capacity exceeds the distinct-key count, so eviction never
+        # interferes; every recorded bump must be present afterwards.
+        distinct = 64
+        log = WorkloadLog(capacity=2 * THREADS * distinct)
+        observed_total = [0] * THREADS
+
+        def write(tid: int) -> None:
+            for i in range(OPS_PER_THREAD):
+                due = log.record("subset", (tid, i % distinct))
+                if due:
+                    observed_total[tid] += 1
+                if i % 7 == 0:
+                    log.observe("subset", (tid, i % distinct), 1.5)
+
+        workers = [
+            threading.Thread(target=write, args=(tid,))
+            for tid in range(THREADS)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+
+        total = THREADS * OPS_PER_THREAD
+        assert log.total_records == total, (
+            f"seed={SEED}: lifetime record count must be exact"
+        )
+        counts = sum(entry.count for entry in log.entries())
+        assert counts == total, (
+            f"seed={SEED}: per-key counts must sum to {total}, got {counts}"
+        )
+        observations = sum(e.q_error_count for e in log.entries())
+        assert observations == THREADS * ((OPS_PER_THREAD + 6) // 7), (
+            f"seed={SEED}: q-error observations must conserve"
+        )
+        assert log.evictions == 0, f"seed={SEED}: no eviction expected"
+        assert log.mean_observed_q_error() == 1.5
+
+    def test_observe_every_fires_exactly_in_serial(self):
+        log = WorkloadLog(capacity=128, observe_every=4)
+        fired = sum(log.record("subset", (i,)) for i in range(100))
+        assert fired == 25
+
+
+class TestPerPredicateKeys:
+    def test_same_canonical_under_specs_never_collides(self):
+        log = WorkloadLog(capacity=32)
+        specs = ["subset", "superset", "overlap>=2", "jaccard>=0.5"]
+        for spec in specs:
+            for _ in range(3):
+                log.record(spec, (3, 1, 4))
+        entries = {(e.spec, e.canonical): e.count for e in log.entries()}
+        assert len(entries) == len(specs), (
+            f"seed={SEED}: each spec must key its own entry, got {entries}"
+        )
+        assert all(count == 3 for count in entries.values())
+        # Observations are spec-scoped too.
+        log.observe("subset", (3, 1, 4), 9.0)
+        by_key = {(e.spec, e.canonical): e for e in log.entries()}
+        assert by_key[("subset", (1, 3, 4))].q_error_count == 1
+        assert by_key[("superset", (1, 3, 4))].q_error_count == 0
+
+    def test_canonicalization_dedupes_and_sorts(self):
+        log = WorkloadLog(capacity=8)
+        log.record("subset", (4, 1, 3))
+        log.record("subset", (3, 3, 1, 4, 4))
+        log.record("subset", [1, 4, 3])
+        entries = log.entries()
+        assert len(entries) == 1
+        assert entries[0].canonical == (1, 3, 4)
+        assert entries[0].count == 3

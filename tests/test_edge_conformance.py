@@ -27,6 +27,12 @@ The predicate family adds its own matrix (``TestPredicateMatrix``):
 with the per-predicate defined answers of
 :class:`~repro.reliability.GuardedPredicateSuite`; assertion messages echo
 the rotating ``REPRO_TEST_SEED``.
+
+The adaptive column (``TestAdaptiveEdgeConformance``) pins the same edge
+shapes against the workload-feedback loop: recording them into a
+:class:`~repro.adapt.WorkloadLog` must never change a served answer,
+poison a refresh training set, trip a per-shard local bound, or break a
+targeted shard rebuild.
 """
 
 from __future__ import annotations
@@ -36,6 +42,13 @@ import os
 import numpy as np
 import pytest
 
+from repro.adapt import (
+    ShardStalenessTracker,
+    WorkloadLog,
+    probe_shard_errors,
+    sample_from_workload,
+    workload_shard_rebuilder,
+)
 from repro.core import (
     LearnedBloomFilter,
     LearnedCardinalityEstimator,
@@ -44,6 +57,7 @@ from repro.core import (
     TrainConfig,
 )
 from repro.core.predicate_suite import PredicateCardinalitySuite
+from repro.maintain import StalenessPolicy, StalenessState
 from repro.reliability import (
     GuardedBloomFilter,
     GuardedCardinalityEstimator,
@@ -406,4 +420,142 @@ class TestPredicateMatrix:
             structure.estimate(query, predicate=predicate)
         assert structure.health.queries == before + len(probes), seed_note(
             f"{predicate.spec}/{deployment}"
+        )
+
+
+# -- the adaptive-mode column -------------------------------------------------
+
+
+def _is_clean(query) -> bool:
+    """In-universe, non-empty — the only shapes a model path may train on."""
+    return bool(query) and all(0 <= element <= 5 for element in set(query))
+
+
+@pytest.fixture(scope="module")
+def polluted_log() -> WorkloadLog:
+    """A workload log fed the full edge matrix, plus hostile extras.
+
+    Every edge query recorded hot (count 5), a wrong-predicate entry, a
+    negative element id, and two clean in-universe keys — the only
+    entries a refresh may learn from.
+    """
+    log = WorkloadLog(capacity=64)
+    for _, query, _ in EDGE_QUERIES:
+        for _ in range(5):
+            log.record("subset", query)
+    log.record("superset", (1, 2))
+    log.record("subset", (-3, 1))
+    log.record("subset", (1, 2))
+    log.record("subset", (0, 2, 5))
+    log.observe("subset", (1, 2), 1.5)
+    return log
+
+
+class TestAdaptiveEdgeConformance:
+    def test_recording_never_changes_served_answers(self, structures, truth):
+        """The adaptive hooks are pure telemetry: answers stay identical."""
+        structure = structures[("cardinality", "sharded")]
+        log = WorkloadLog(capacity=64, observe_every=1)
+        with SetServer(structure, cache_size=64) as plain:
+            with SetServer(
+                structure, cache_size=64, exact=truth, workload=log
+            ) as adaptive:
+                for label, query, _ in EDGE_QUERIES:
+                    assert adaptive.query(list(query)) == plain.query(
+                        list(query)
+                    ), seed_note(f"adaptive column {label}")
+        keys = {entry.canonical for entry in log.entries()}
+        # Duplicates fold into their canonical set form before keying.
+        assert (1, 2) in keys and (2,) in keys, seed_note(f"keys={keys}")
+        assert all(
+            key == tuple(sorted(set(key))) for key in keys
+        ), seed_note("recorded keys must be canonical")
+
+    @pytest.mark.parametrize("kind", ["cardinality", "index"])
+    def test_polluted_log_never_poisons_training_sets(
+        self, kind, collection, truth, polluted_log
+    ):
+        """Refresh training sets stay clean whatever traffic was recorded."""
+        subsets, targets, weights = sample_from_workload(
+            polluted_log,
+            collection,
+            truth,
+            kind=kind,
+            num_samples=64,
+            novelty_fraction=0.25,
+            max_subset_size=3,
+            rng=np.random.default_rng(SEED),
+        )
+        max_id = collection.max_element_id()
+        assert subsets, seed_note(f"{kind}: no usable samples survived")
+        for subset, target, weight in zip(subsets, targets, weights):
+            assert subset == tuple(sorted(set(subset))) and subset, seed_note(
+                f"{kind}: non-canonical training subset {subset}"
+            )
+            assert 0 <= subset[0] and subset[-1] <= max_id, seed_note(
+                f"{kind}: out-of-universe training subset {subset}"
+            )
+            assert np.isfinite(target) and np.isfinite(weight), seed_note(
+                f"{kind}: non-finite label/weight for {subset}"
+            )
+            assert weight >= 1.0, seed_note(f"{kind}: weight < 1 for {subset}")
+        by_subset = dict(zip(subsets, weights))
+        # (2,) was served hot through two edge spellings (5 + 5 records).
+        assert by_subset[(2,)] == 10.0, seed_note(
+            f"{kind}: hot edge key must keep its aggregated frequency; "
+            f"got {by_subset[(2,)]}"
+        )
+
+    def test_malformed_entries_record_no_probe_evidence(
+        self, structures, truth
+    ):
+        """Edge traffic alone can never trip a local bound."""
+        router = structures[("cardinality", "sharded")].estimator
+        tracker = ShardStalenessTracker(
+            router.plan.offsets(), window=8, min_observations=1
+        )
+        bad = WorkloadLog(capacity=32)
+        for _, query, _ in EDGE_QUERIES:
+            if _is_clean(query):
+                continue
+            bad.record("subset", query)
+        bad.record("subset", (-3, 1))
+        bad.record("superset", (1, 2))
+        recorded = probe_shard_errors(
+            router, truth, bad.top(), tracker, max_queries=64
+        )
+        assert recorded == 0, seed_note(
+            f"malformed entries produced {recorded} probe observations"
+        )
+        assert tracker.q_errors() == {}, seed_note(
+            f"tracker windows must stay empty, got {tracker.as_dict()}"
+        )
+        policy = StalenessPolicy(
+            max_deltas=None, max_aux_fraction=None, max_local_q_error=1.0
+        )
+        state = StalenessState(shard_q_errors=tracker.q_errors() or None)
+        assert policy.evaluate(state) == [], seed_note(
+            "no local reason may trip on edge traffic"
+        )
+
+    def test_shard_rebuild_survives_polluted_log(
+        self, structures, polluted_log
+    ):
+        """A targeted rebuild over hostile traffic trains and answers sanely."""
+        router = structures[("cardinality", "sharded")].estimator
+        rebuild = workload_shard_rebuilder(
+            polluted_log,
+            model_config=_small_model(),
+            train_config=_small_train("mse"),
+            max_subset_size=3,
+            base_seed=SEED + 11,
+        )
+        part = rebuild(router, 0)
+        shard = router.plan[0]
+        assert part.max_known_id() == shard.collection.max_element_id(), (
+            seed_note("rebuilt part must keep its shard's exact ceiling")
+        )
+        estimates = np.asarray(part.estimate_many([(2,), (0,), (1, 2)]))
+        assert np.all(np.isfinite(estimates)) and np.all(estimates >= 0.0), (
+            seed_note(f"rebuilt part answers must stay sane: {estimates}")
         )
